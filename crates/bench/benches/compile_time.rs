@@ -1,0 +1,39 @@
+//! Criterion compile-time benches (the Figure 6 measurement, wall-clock):
+//! Pitchfork's lift+lower+legalize vs the LLVM-like baseline flow.
+//!
+//! `cargo bench -p fpir-bench --bench compile_time`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpir::Isa;
+use fpir_baseline::LlvmBaseline;
+use pitchfork::Pitchfork;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_time");
+    group.sample_size(20);
+    for name in ["sobel3x3", "softmax", "camera_pipe", "gaussian7x7"] {
+        let wl = fpir_workloads::workload(name).expect("known workload");
+        for isa in [Isa::ArmNeon, Isa::HexagonHvx, Isa::X86Avx2] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/{isa}"), "pitchfork"),
+                &wl.pipeline.expr,
+                |b, e| {
+                    let pf = Pitchfork::new(isa);
+                    b.iter(|| pf.compile(e).expect("compiles"));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/{isa}"), "llvm"),
+                &wl.pipeline.expr,
+                |b, e| {
+                    let bl = LlvmBaseline::new(isa);
+                    b.iter(|| bl.compile(e).expect("compiles"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

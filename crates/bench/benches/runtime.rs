@@ -1,0 +1,39 @@
+//! Criterion wall-clock complement to the Figure 5 cycle model: execute
+//! the compiled machine programs in the vector VM and measure real time.
+//!
+//! `cargo bench -p fpir-bench --bench runtime`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpir::Isa;
+use fpir_bench::{run, Compiler};
+use fpir_isa::target;
+use fpir_sim::execute;
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(10);
+    let names = ["sobel3x3", "average_pool", "camera_pipe", "matmul"];
+    for name in names {
+        let wl = fpir_workloads::workload(name).expect("known workload");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let env = fpir::rand_expr::random_env(&mut rng, &wl.pipeline.expr);
+        for isa in [Isa::ArmNeon, Isa::HexagonHvx, Isa::X86Avx2] {
+            for compiler in [Compiler::Llvm, Compiler::Pitchfork] {
+                let result = run(&wl, isa, &compiler).expect("compiles");
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}/{isa}"), compiler.to_string()),
+                    &result.program,
+                    |b, program| {
+                        b.iter(|| execute(program, &env, target(isa)).expect("runs"));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+use rand::SeedableRng;
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

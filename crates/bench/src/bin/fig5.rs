@@ -1,0 +1,90 @@
+//! Figure 5: runtime speedups over LLVM instruction selection.
+//!
+//! Prints, per benchmark and per target, the cycle-model speedup of
+//! Pitchfork (leave-one-out rule set, as in §5) and Rake (ARM and HVX
+//! only — Rake has no x86 backend) over the LLVM-like baseline, plus the
+//! per-target geometric means the paper headlines (x86 1.31x, ARM 1.82x,
+//! HVX 2.44x). Every compiled program is differentially validated against
+//! the reference interpreter before being timed.
+//!
+//! Usage: `cargo run --release -p fpir-bench --bin fig5 [--no-validate]`
+
+use fpir::Isa;
+use fpir_bench::{geomean, run, validate, Compiler};
+use fpir_workloads::all_workloads;
+
+fn main() {
+    let no_validate = std::env::args().any(|a| a == "--no-validate");
+    let isas = [Isa::ArmNeon, Isa::HexagonHvx, Isa::X86Avx2];
+    println!("Figure 5: runtime speedup over LLVM instruction selection");
+    println!("(cycle model; leave-one-out synthesized rules, as in §5)\n");
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>11} {:>11}",
+        "benchmark", "ARM", "HVX", "x86", "Rake ARM", "Rake HVX"
+    );
+
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut rake_gap: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+    let mut fallback_notes: Vec<String> = Vec::new();
+
+    for wl in all_workloads() {
+        let mut row = [f64::NAN; 5];
+        for (i, isa) in isas.iter().enumerate() {
+            let llvm = run(&wl, *isa, &Compiler::Llvm)
+                .unwrap_or_else(|e| panic!("LLVM failed on {}/{isa}: {e}", wl.name()));
+            let pf = run(&wl, *isa, &Compiler::Pitchfork)
+                .unwrap_or_else(|e| panic!("Pitchfork failed on {}/{isa}: {e}", wl.name()));
+            if !no_validate {
+                validate(&wl, *isa, &llvm, 8).expect("baseline must be correct");
+                validate(&wl, *isa, &pf, 8).expect("pitchfork must be correct");
+            }
+            if llvm.used_rmulshr_fallback {
+                fallback_notes.push(format!("{} on {isa}", wl.name()));
+            }
+            let speedup = llvm.cycles as f64 / pf.cycles as f64;
+            row[i] = speedup;
+            speedups[i].push(speedup);
+            // Rake comparison on ARM and HVX.
+            if *isa != Isa::X86Avx2 {
+                let rk = run(&wl, *isa, &Compiler::Rake)
+                    .unwrap_or_else(|e| panic!("Rake failed on {}/{isa}: {e}", wl.name()));
+                if !no_validate {
+                    validate(&wl, *isa, &rk, 8).expect("rake must be correct");
+                }
+                let rk_speedup = llvm.cycles as f64 / rk.cycles as f64;
+                row[3 + i] = rk_speedup;
+                rake_gap[i].push(pf.cycles as f64 / rk.cycles as f64);
+            }
+        }
+        println!(
+            "{:<16} {:>8.2}x {:>8.2}x {:>8.2}x {:>10.2}x {:>10.2}x",
+            wl.name(),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4]
+        );
+    }
+
+    println!("\ngeomean speedup over LLVM:");
+    println!("  ARM  {:.2}x   (paper: 1.82x)", geomean(&speedups[0]));
+    println!("  HVX  {:.2}x   (paper: 2.44x)", geomean(&speedups[1]));
+    println!("  x86  {:.2}x   (paper: 1.31x)", geomean(&speedups[2]));
+    println!("\nPitchfork runtime relative to Rake (cycles_pf / cycles_rake):");
+    println!(
+        "  ARM  {:.2}   (paper: Pitchfork within ~2% of Rake)",
+        geomean(&rake_gap[0])
+    );
+    println!(
+        "  HVX  {:.2}   (paper: Pitchfork ~13% behind Rake)",
+        geomean(&rake_gap[1])
+    );
+    if !fallback_notes.is_empty() {
+        println!(
+            "\nNote (§5.1): LLVM could not compile these and was given Pitchfork's\n\
+             rounding_mul_shr lowering: {}",
+            fallback_notes.join(", ")
+        );
+    }
+}

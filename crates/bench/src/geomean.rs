@@ -1,0 +1,30 @@
+//! Geometric means for speedup aggregation.
+
+/// Geometric mean of a slice of ratios.
+///
+/// # Panics
+///
+/// Panics on an empty slice or non-positive ratios.
+pub fn geomean(ratios: &[f64]) -> f64 {
+    assert!(!ratios.is_empty(), "geomean of nothing");
+    assert!(ratios.iter().all(|&r| r > 0.0), "geomean needs positive ratios");
+    let log_sum: f64 = ratios.iter().map(|r| r.ln()).sum();
+    (log_sum / ratios.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::geomean;
+
+    #[test]
+    fn matches_hand_computation() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Terse expression constructors.
+//!
+//! These helpers wrap the checked constructors on [`Expr`] and panic on
+//! type errors, which keeps hand-written rules, workloads and tests
+//! readable. Code that builds expressions from untrusted input (e.g. the
+//! parser) should use the fallible constructors on [`Expr`] directly.
+//!
+//! ```
+//! use fpir::build::*;
+//! use fpir::types::{ScalarType, VectorType};
+//!
+//! let t = VectorType::new(ScalarType::U8, 32);
+//! let (a, b) = (var("a", t), var("b", t));
+//! // The Sobel saturating sum: u8(min(x + y, 255)).
+//! let x = add(widen(a), widen(b));
+//! let e = cast(ScalarType::U8, min(x.clone(), splat(255, &x)));
+//! assert_eq!(e.ty().elem, ScalarType::U8);
+//! ```
+
+use crate::expr::{BinOp, CmpOp, Expr, FpirOp, RcExpr};
+use crate::types::{ScalarType, VectorType};
+
+/// A named input of the given type.
+pub fn var(name: &str, ty: impl Into<VectorType>) -> RcExpr {
+    Expr::var(name, ty)
+}
+
+/// A broadcast constant of the given type.
+///
+/// # Panics
+///
+/// Panics if `v` does not fit in the element type.
+pub fn constant(v: i128, ty: impl Into<VectorType>) -> RcExpr {
+    Expr::constant(v, ty).expect("constant fits its type")
+}
+
+/// A broadcast constant with the type of `like`.
+///
+/// # Panics
+///
+/// Panics if `v` does not fit in `like`'s element type.
+pub fn splat(v: i128, like: &RcExpr) -> RcExpr {
+    constant(v, like.ty())
+}
+
+macro_rules! bin_helpers {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            ///
+            /// # Panics
+            ///
+            /// Panics if the operand types differ.
+            pub fn $name(a: RcExpr, b: RcExpr) -> RcExpr {
+                Expr::bin(BinOp::$op, a, b).expect("operands share a type")
+            }
+        )*
+    };
+}
+
+bin_helpers! {
+    /// Wrapping addition.
+    add => Add,
+    /// Wrapping subtraction.
+    sub => Sub,
+    /// Wrapping multiplication.
+    mul => Mul,
+    /// Floor division (`x / 0 == 0`).
+    div => Div,
+    /// Floor remainder (`x % 0 == 0`).
+    modulo => Mod,
+    /// Lane-wise minimum.
+    min => Min,
+    /// Lane-wise maximum.
+    max => Max,
+    /// Shift left (negative counts shift right).
+    shl => Shl,
+    /// Shift right (arithmetic for signed lanes).
+    shr => Shr,
+    /// Bitwise and.
+    bit_and => And,
+    /// Bitwise or.
+    bit_or => Or,
+    /// Bitwise xor.
+    bit_xor => Xor,
+}
+
+macro_rules! cmp_helpers {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            ///
+            /// # Panics
+            ///
+            /// Panics if the operand types differ.
+            pub fn $name(a: RcExpr, b: RcExpr) -> RcExpr {
+                Expr::cmp(CmpOp::$op, a, b).expect("operands share a type")
+            }
+        )*
+    };
+}
+
+cmp_helpers! {
+    /// Lane-wise `==` producing 0/1 lanes.
+    eq => Eq,
+    /// Lane-wise `!=` producing 0/1 lanes.
+    ne => Ne,
+    /// Lane-wise `<` producing 0/1 lanes.
+    lt => Lt,
+    /// Lane-wise `<=` producing 0/1 lanes.
+    le => Le,
+    /// Lane-wise `>` producing 0/1 lanes.
+    gt => Gt,
+    /// Lane-wise `>=` producing 0/1 lanes.
+    ge => Ge,
+}
+
+/// Lane-wise select (non-zero condition lanes pick `on_true`).
+///
+/// # Panics
+///
+/// Panics on mismatched lane counts or arm types.
+pub fn select(cond: RcExpr, on_true: RcExpr, on_false: RcExpr) -> RcExpr {
+    Expr::select(cond, on_true, on_false).expect("select operands are compatible")
+}
+
+/// Lane-wise wrapping conversion to a new element type.
+pub fn cast(elem: ScalarType, arg: RcExpr) -> RcExpr {
+    Expr::cast(elem, arg)
+}
+
+/// Wrapping conversion to the doubled-width type (same signedness).
+///
+/// # Panics
+///
+/// Panics on 64-bit lanes, which have no wider type.
+pub fn widen(arg: RcExpr) -> RcExpr {
+    let elem = arg.elem().widen().expect("lane type has a wider type");
+    Expr::cast(elem, arg)
+}
+
+/// Wrapping conversion to the halved-width type (same signedness).
+///
+/// # Panics
+///
+/// Panics on 8-bit lanes, which have no narrower type.
+pub fn narrow(arg: RcExpr) -> RcExpr {
+    let elem = arg.elem().narrow().expect("lane type has a narrower type");
+    Expr::cast(elem, arg)
+}
+
+/// Bit reinterpretation to a same-width element type.
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn reinterpret(elem: ScalarType, arg: RcExpr) -> RcExpr {
+    Expr::reinterpret(elem, arg).expect("reinterpret widths match")
+}
+
+macro_rules! fpir2_helpers {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            ///
+            /// # Panics
+            ///
+            /// Panics if the operands violate the instruction's typing rule.
+            pub fn $name(a: RcExpr, b: RcExpr) -> RcExpr {
+                Expr::fpir(FpirOp::$op, vec![a, b]).expect("operands satisfy the typing rule")
+            }
+        )*
+    };
+}
+
+fpir2_helpers! {
+    /// `widen(x) + widen(y)`.
+    widening_add => WideningAdd,
+    /// `widen_signed(x) - widen_signed(y)`.
+    widening_sub => WideningSub,
+    /// `widen(x) * widen(y)`.
+    widening_mul => WideningMul,
+    /// `widen(x) << y`.
+    widening_shl => WideningShl,
+    /// `widen(x) >> y`.
+    widening_shr => WideningShr,
+    /// `x + widen(y)` (x twice as wide as y).
+    extending_add => ExtendingAdd,
+    /// `x - widen(y)` (x twice as wide as y).
+    extending_sub => ExtendingSub,
+    /// `x * widen(y)` (x twice as wide as y).
+    extending_mul => ExtendingMul,
+    /// Unsigned absolute difference.
+    absd => Absd,
+    /// Saturating addition.
+    saturating_add => SaturatingAdd,
+    /// Saturating subtraction.
+    saturating_sub => SaturatingSub,
+    /// Round-down averaging.
+    halving_add => HalvingAdd,
+    /// Halving difference.
+    halving_sub => HalvingSub,
+    /// Round-up averaging.
+    rounding_halving_add => RoundingHalvingAdd,
+    /// Rounding shift left (saturating).
+    rounding_shl => RoundingShl,
+    /// Rounding shift right (saturating).
+    rounding_shr => RoundingShr,
+    /// Saturating shift left (§8.4 extension).
+    saturating_shl => SaturatingShl,
+}
+
+/// Unsigned absolute value.
+///
+/// # Panics
+///
+/// Never panics: `abs` accepts any integer lane type.
+pub fn abs(x: RcExpr) -> RcExpr {
+    Expr::fpir(FpirOp::Abs, vec![x]).expect("abs accepts any lane type")
+}
+
+/// Clamp-then-convert to the target element type.
+pub fn saturating_cast(elem: ScalarType, x: RcExpr) -> RcExpr {
+    Expr::fpir(FpirOp::SaturatingCast(elem), vec![x]).expect("saturating_cast accepts any lane type")
+}
+
+/// Saturating conversion to the halved-width type.
+///
+/// # Panics
+///
+/// Panics on 8-bit lanes, which have no narrower type.
+pub fn saturating_narrow(x: RcExpr) -> RcExpr {
+    Expr::fpir(FpirOp::SaturatingNarrow, vec![x]).expect("lane type has a narrower type")
+}
+
+/// `saturating_narrow(widening_mul(x, y) >> z)`.
+///
+/// # Panics
+///
+/// Panics if the operands violate the typing rule.
+pub fn mul_shr(x: RcExpr, y: RcExpr, z: RcExpr) -> RcExpr {
+    Expr::fpir(FpirOp::MulShr, vec![x, y, z]).expect("operands satisfy the typing rule")
+}
+
+/// `saturating_narrow(rounding_shr(widening_mul(x, y), z))`.
+///
+/// # Panics
+///
+/// Panics if the operands violate the typing rule.
+pub fn rounding_mul_shr(x: RcExpr, y: RcExpr, z: RcExpr) -> RcExpr {
+    Expr::fpir(FpirOp::RoundingMulShr, vec![x, y, z]).expect("operands satisfy the typing rule")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ScalarType as S, VectorType as V};
+
+    #[test]
+    fn builders_construct_expected_types() {
+        let t = V::new(S::U8, 16);
+        let a = var("a", t);
+        let b = var("b", t);
+        assert_eq!(add(a.clone(), b.clone()).ty(), t);
+        assert_eq!(widening_add(a.clone(), b.clone()).ty(), V::new(S::U16, 16));
+        assert_eq!(widen(a.clone()).ty(), V::new(S::U16, 16));
+        assert_eq!(saturating_cast(S::I32, a.clone()).ty(), V::new(S::I32, 16));
+        assert_eq!(lt(a.clone(), b).ty(), t);
+        assert_eq!(splat(7, &a).as_const(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a type")]
+    fn mismatched_add_panics() {
+        let a = var("a", V::new(S::U8, 16));
+        let b = var("b", V::new(S::U16, 16));
+        let _ = add(a, b);
+    }
+}

@@ -1,0 +1,57 @@
+//! # fpir — a portable fixed-point vector IR
+//!
+//! This crate is the foundation of `pitchfork-rs`, a reproduction of
+//! *"Fast Instruction Selection for Fast Digital Signal Processing"*
+//! (ASPLOS 2023). It provides:
+//!
+//! * a typed, immutable vector **expression IR** ([`expr`]) spanning
+//!   primitive integer arithmetic, the **FPIR** fixed-point instruction set
+//!   (Table 1 of the paper), and opaque target machine instructions;
+//! * a **reference interpreter** ([`interp`]) that defines the semantics of
+//!   every operation — all correctness claims in the workspace bottom out
+//!   here;
+//! * the **compositional semantics** ([`semantics`]) that expand each FPIR
+//!   instruction into the primitive integer program it fuses, exactly as
+//!   Table 1 defines them;
+//! * **interval bounds inference** ([`bounds`]) powering predicated
+//!   rewrite rules;
+//! * a **printer and parser** ([`printer`], [`parser`]) for the paper's
+//!   concrete syntax.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fpir::build::*;
+//! use fpir::interp::{eval, Env, Value};
+//! use fpir::types::{ScalarType, VectorType};
+//!
+//! // rounding_halving_add(a, b): the round-up average that maps to a
+//! // single instruction on every backend (vpavgb / urhadd / vavg:rnd).
+//! let t = VectorType::new(ScalarType::U8, 4);
+//! let e = rounding_halving_add(var("a", t), var("b", t));
+//!
+//! let env = Env::new()
+//!     .bind("a", Value::new(t, vec![3, 255, 0, 10]))
+//!     .bind("b", Value::new(t, vec![4, 255, 1, 20]));
+//! assert_eq!(eval(&e, &env)?.lanes(), &[4, 255, 1, 15]);
+//! # Ok::<(), fpir::interp::EvalError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bounds;
+pub mod build;
+pub mod expr;
+pub mod interp;
+pub mod machine;
+pub mod parser;
+pub mod printer;
+pub mod rand_expr;
+pub mod semantics;
+pub mod simplify;
+pub mod types;
+
+pub use expr::{BinOp, CmpOp, Expr, ExprKind, FpirOp, RcExpr, TypeError};
+pub use machine::{Isa, MachOp};
+pub use types::{ScalarType, VectorType};

@@ -1,0 +1,143 @@
+//! Opaque handles for target machine instructions.
+//!
+//! Lowered expressions embed machine instructions as [`crate::expr::ExprKind::Mach`]
+//! nodes. The `fpir` crate treats a [`MachOp`] as an opaque, printable id;
+//! the `fpir-isa` crate owns the instruction tables (signatures, executable
+//! semantics, costs) keyed by `(Isa, code)` and implements [`MachEval`] so
+//! the interpreter can execute lowered expressions.
+
+use crate::interp::Value;
+use std::fmt;
+
+/// A target instruction set.
+///
+/// These are *virtual* ISAs modelled on the three backends evaluated in the
+/// paper: x86 AVX2, 64-bit ARM Neon, and Hexagon HVX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Isa {
+    /// x86 AVX2-like: 256-bit vectors, few fused fixed-point ops.
+    X86Avx2,
+    /// 64-bit ARM Neon-like: 128-bit vectors, rich fixed-point ops.
+    ArmNeon,
+    /// Hexagon HVX-like: 1024-bit vectors, rich fixed-point ops, no 64-bit lanes.
+    HexagonHvx,
+}
+
+/// All targets, in the paper's presentation order.
+pub const ALL_ISAS: [Isa; 3] = [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx];
+
+impl Isa {
+    /// Short display name used in reports ("x86", "ARM", "HVX").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Isa::X86Avx2 => "x86",
+            Isa::ArmNeon => "ARM",
+            Isa::HexagonHvx => "HVX",
+        }
+    }
+
+    /// Native vector register width in bits.
+    pub fn vector_bits(self) -> u32 {
+        match self {
+            Isa::X86Avx2 => 256,
+            Isa::ArmNeon => 128,
+            Isa::HexagonHvx => 1024,
+        }
+    }
+
+    /// Largest lane width in bits the target supports natively.
+    ///
+    /// Hexagon HVX has no 64-bit lanes, which is why three of the paper's
+    /// benchmarks cannot be compiled by the LLVM baseline on HVX (§5.1).
+    pub fn max_lane_bits(self) -> u32 {
+        match self {
+            Isa::HexagonHvx => 32,
+            _ => 64,
+        }
+    }
+}
+
+impl fmt::Display for Isa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// An opaque machine-instruction id: a target plus an opcode.
+///
+/// The `name` is the mnemonic used when printing lowered expressions and
+/// machine programs (e.g. `"umlal"`, `"vpavgb"`, `"vmpa"`). Two ops are
+/// equal iff target and opcode are equal.
+#[derive(Debug, Clone, Copy)]
+pub struct MachOp {
+    /// The owning target.
+    pub isa: Isa,
+    /// Target-local opcode index into the `fpir-isa` instruction table.
+    pub code: u16,
+    /// Mnemonic, for display.
+    pub name: &'static str,
+}
+
+impl PartialEq for MachOp {
+    fn eq(&self, other: &Self) -> bool {
+        self.isa == other.isa && self.code == other.code
+    }
+}
+
+impl Eq for MachOp {}
+
+impl std::hash::Hash for MachOp {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.isa.hash(state);
+        self.code.hash(state);
+    }
+}
+
+impl fmt::Display for MachOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+/// Evaluation hook for machine instructions.
+///
+/// Implemented by the `fpir-isa` crate; passed to
+/// [`crate::interp::eval_with`] so lowered expressions can be executed and
+/// differentially tested against the reference semantics.
+pub trait MachEval {
+    /// Execute one machine instruction on evaluated operands, producing a
+    /// value of the node's declared `result_ty`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the opcode is unknown to the implementation
+    /// or the operands do not match its signature.
+    fn eval_mach(
+        &self,
+        op: MachOp,
+        args: &[Value],
+        result_ty: crate::types::VectorType,
+    ) -> Result<Value, String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_ignores_name() {
+        let a = MachOp { isa: Isa::ArmNeon, code: 3, name: "uaddl" };
+        let b = MachOp { isa: Isa::ArmNeon, code: 3, name: "other" };
+        let c = MachOp { isa: Isa::X86Avx2, code: 3, name: "uaddl" };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn isa_properties() {
+        assert_eq!(Isa::HexagonHvx.vector_bits(), 1024);
+        assert_eq!(Isa::HexagonHvx.max_lane_bits(), 32);
+        assert_eq!(Isa::ArmNeon.max_lane_bits(), 64);
+        assert_eq!(Isa::X86Avx2.short_name(), "x86");
+    }
+}

@@ -1,0 +1,149 @@
+//! Human-readable rendering of expressions.
+//!
+//! The syntax follows the paper's: variables print with a type suffix
+//! (`a_u8`), casts print like calls (`u16(x)`), FPIR instructions print by
+//! name, and machine instructions print as `isa.mnemonic(...)`. Lane counts
+//! are elided for readability — [`crate::parser`] reintroduces them when a
+//! printed expression is read back.
+
+use crate::expr::{BinOp, Expr, ExprKind, FpirOp};
+use std::fmt;
+
+/// Operator precedence (higher binds tighter).
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::Xor => 2,
+        BinOp::And => 3,
+        BinOp::Shl | BinOp::Shr => 5,
+        BinOp::Add | BinOp::Sub => 6,
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 7,
+        BinOp::Min | BinOp::Max => 9, // call syntax, never needs parens
+    }
+}
+
+/// Write `expr` to `f`. This backs `impl Display for Expr`.
+pub fn fmt_expr(expr: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    fmt_prec(expr, 0, f)
+}
+
+fn fmt_prec(expr: &Expr, parent: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match expr.kind() {
+        ExprKind::Var(name) => write!(f, "{}_{}", name, expr.elem()),
+        ExprKind::Const(v) => write!(f, "{v}"),
+        ExprKind::Bin(op, a, b) if op.is_call_syntax() => {
+            write!(f, "{}(", op.symbol())?;
+            fmt_prec(a, 0, f)?;
+            write!(f, ", ")?;
+            fmt_prec(b, 0, f)?;
+            write!(f, ")")
+        }
+        ExprKind::Bin(op, a, b) => {
+            let prec = precedence(*op);
+            let need = prec <= parent;
+            if need {
+                write!(f, "(")?;
+            }
+            fmt_prec(a, prec - 1, f)?;
+            write!(f, " {} ", op.symbol())?;
+            fmt_prec(b, prec, f)?;
+            if need {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        ExprKind::Cmp(op, a, b) => {
+            let need = parent >= 4;
+            if need {
+                write!(f, "(")?;
+            }
+            fmt_prec(a, 4, f)?;
+            write!(f, " {} ", op.symbol())?;
+            fmt_prec(b, 4, f)?;
+            if need {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        ExprKind::Select(c, t, e) => {
+            write!(f, "select(")?;
+            fmt_prec(c, 0, f)?;
+            write!(f, ", ")?;
+            fmt_prec(t, 0, f)?;
+            write!(f, ", ")?;
+            fmt_prec(e, 0, f)?;
+            write!(f, ")")
+        }
+        ExprKind::Cast(a) => {
+            write!(f, "{}(", expr.elem())?;
+            fmt_prec(a, 0, f)?;
+            write!(f, ")")
+        }
+        ExprKind::Reinterpret(a) => {
+            write!(f, "reinterpret<{}>(", expr.elem())?;
+            fmt_prec(a, 0, f)?;
+            write!(f, ")")
+        }
+        ExprKind::Fpir(op, args) => {
+            match op {
+                FpirOp::SaturatingCast(t) => write!(f, "saturating_cast<{t}>(")?,
+                _ => write!(f, "{}(", op.name())?,
+            }
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_prec(a, 0, f)?;
+            }
+            write!(f, ")")
+        }
+        ExprKind::Mach(op, args) => {
+            write!(f, "{}.{}(", op.isa.short_name().to_ascii_lowercase(), op.name)?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_prec(a, 0, f)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::*;
+    use crate::types::{ScalarType as S, VectorType as V};
+
+    #[test]
+    fn infix_with_minimal_parens() {
+        let t = V::new(S::I16, 8);
+        let (a, b, c) = (var("a", t), var("b", t), var("c", t));
+        let e = add(a.clone(), mul(b.clone(), c.clone()));
+        assert_eq!(e.to_string(), "a_i16 + b_i16 * c_i16");
+        let e = mul(add(a.clone(), b.clone()), c.clone());
+        assert_eq!(e.to_string(), "(a_i16 + b_i16) * c_i16");
+        let e = sub(a.clone(), sub(b, c));
+        assert_eq!(e.to_string(), "a_i16 - (b_i16 - c_i16)");
+    }
+
+    #[test]
+    fn calls_and_casts() {
+        let t = V::new(S::U16, 8);
+        let x = var("x", t);
+        let e = cast(S::U8, min(x.clone(), splat(255, &x)));
+        assert_eq!(e.to_string(), "u8(min(x_u16, 255))");
+        let e = saturating_cast(S::U8, x.clone());
+        assert_eq!(e.to_string(), "saturating_cast<u8>(x_u16)");
+        let e = reinterpret(S::I16, x);
+        assert_eq!(e.to_string(), "reinterpret<i16>(x_u16)");
+    }
+
+    #[test]
+    fn select_and_cmp() {
+        let t = V::new(S::U8, 4);
+        let (a, b) = (var("a", t), var("b", t));
+        let e = select(lt(a.clone(), b.clone()), sub(b.clone(), a.clone()), sub(a, b));
+        assert_eq!(e.to_string(), "select(a_u8 < b_u8, b_u8 - a_u8, a_u8 - b_u8)");
+    }
+}

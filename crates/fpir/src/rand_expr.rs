@@ -1,0 +1,318 @@
+//! Random well-typed expression generation.
+//!
+//! Used for differential testing across the workspace: a random expression
+//! is compiled through each instruction-selection pipeline and executed on
+//! random inputs, and the results must agree with the reference
+//! interpreter. Also used to generate random *inputs* ([`random_env`]) with
+//! boundary-value bias, since fixed-point bugs live at the extremes.
+
+use crate::build;
+use crate::expr::{BinOp, CmpOp, Expr, FpirOp, RcExpr};
+use crate::interp::{Env, Value};
+use crate::types::{ScalarType, VectorType};
+use rand::prelude::*;
+
+/// Configuration for [`gen_expr`].
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Lane count for every vector in the expression.
+    pub lanes: u32,
+    /// Element types the generator may introduce.
+    pub types: Vec<ScalarType>,
+    /// Probability of emitting an FPIR instruction (vs a primitive op) at
+    /// an interior node. Set to 0.0 to generate pure integer code.
+    pub fpir_prob: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            max_depth: 5,
+            lanes: 8,
+            types: vec![
+                ScalarType::U8,
+                ScalarType::U16,
+                ScalarType::U32,
+                ScalarType::I8,
+                ScalarType::I16,
+                ScalarType::I32,
+            ],
+            fpir_prob: 0.35,
+        }
+    }
+}
+
+/// Generate a random well-typed expression with the given result element
+/// type. Variables are drawn from (and recorded into) a per-call pool named
+/// `v0`, `v1`, … — collect them afterwards with
+/// [`crate::expr::Expr::free_vars`].
+pub fn gen_expr(rng: &mut impl Rng, cfg: &GenConfig, elem: ScalarType) -> RcExpr {
+    let mut pool: Vec<(String, VectorType)> = Vec::new();
+    gen_inner(rng, cfg, elem, cfg.max_depth, &mut pool)
+}
+
+fn gen_inner(
+    rng: &mut impl Rng,
+    cfg: &GenConfig,
+    elem: ScalarType,
+    depth: usize,
+    pool: &mut Vec<(String, VectorType)>,
+) -> RcExpr {
+    let ty = VectorType::new(elem, cfg.lanes);
+    if depth == 0 || rng.gen_bool(0.18) {
+        return gen_leaf(rng, ty, pool);
+    }
+    if rng.gen_bool(cfg.fpir_prob) {
+        if let Some(e) = gen_fpir(rng, cfg, elem, depth, pool) {
+            return e;
+        }
+    }
+    gen_primitive(rng, cfg, elem, depth, pool)
+}
+
+fn gen_leaf(rng: &mut impl Rng, ty: VectorType, pool: &mut Vec<(String, VectorType)>) -> RcExpr {
+    // Reuse an existing variable of this type about half the time, so
+    // generated code has shared subterms like real code does.
+    let existing: Vec<&(String, VectorType)> = pool.iter().filter(|(_, t)| *t == ty).collect();
+    if !existing.is_empty() && rng.gen_bool(0.5) {
+        let (name, t) = existing[rng.gen_range(0..existing.len())];
+        return Expr::var(name.clone(), *t);
+    }
+    if rng.gen_bool(0.25) {
+        return build::constant(rand_lane(rng, ty.elem), ty);
+    }
+    let name = format!("v{}", pool.len());
+    pool.push((name.clone(), ty));
+    Expr::var(name, ty)
+}
+
+fn gen_primitive(
+    rng: &mut impl Rng,
+    cfg: &GenConfig,
+    elem: ScalarType,
+    depth: usize,
+    pool: &mut Vec<(String, VectorType)>,
+) -> RcExpr {
+    let ty = VectorType::new(elem, cfg.lanes);
+    let choice = rng.gen_range(0..10u32);
+    let expr = match choice {
+        0..=4 => {
+            let op = *[
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Min,
+                BinOp::Max,
+                BinOp::And,
+                BinOp::Or,
+                BinOp::Xor,
+                BinOp::Div,
+            ]
+            .choose(rng)
+            .expect("nonempty");
+            let a = gen_inner(rng, cfg, elem, depth - 1, pool);
+            let b = gen_inner(rng, cfg, elem, depth - 1, pool);
+            Expr::bin(op, a, b).expect("same types")
+        }
+        5 => {
+            // Shift by a small constant, as real DSP code does.
+            let count_val = rng.gen_range(0..elem.bits() as i128);
+            let op = if rng.gen_bool(0.5) { BinOp::Shl } else { BinOp::Shr };
+            let a = gen_inner(rng, cfg, elem, depth - 1, pool);
+            let count = build::constant(count_val, a.ty());
+            Expr::bin(op, a, count).expect("same types")
+        }
+        6 => {
+            let op = *[CmpOp::Lt, CmpOp::Gt, CmpOp::Eq, CmpOp::Le].choose(rng).expect("nonempty");
+            let a = gen_inner(rng, cfg, elem, depth - 1, pool);
+            let b = gen_inner(rng, cfg, elem, depth - 1, pool);
+            let c = Expr::cmp(op, a.clone(), b.clone()).expect("same types");
+            Expr::select(c, a, b).expect("compatible")
+        }
+        7 => {
+            // Cast from another type in the pool of allowed types.
+            let src = *cfg.types.choose(rng).expect("nonempty");
+            Expr::cast(elem, gen_inner(rng, cfg, src, depth - 1, pool))
+        }
+        8 => {
+            // Reinterpret from the other-signedness type.
+            let src = if elem.is_signed() { elem.with_unsigned() } else { elem.with_signed() };
+            Expr::reinterpret(elem, gen_inner(rng, cfg, src, depth - 1, pool)).expect("same width")
+        }
+        _ => {
+            let a = gen_inner(rng, cfg, elem, depth - 1, pool);
+            let b = gen_inner(rng, cfg, elem, depth - 1, pool);
+            Expr::bin(BinOp::Add, a, b).expect("same types")
+        }
+    };
+    expr.tap_check(ty)
+}
+
+/// Attempt to produce an FPIR node whose result element type is `elem`;
+/// `None` when no instruction can produce it (e.g. nothing widens to `u8`).
+fn gen_fpir(
+    rng: &mut impl Rng,
+    cfg: &GenConfig,
+    elem: ScalarType,
+    depth: usize,
+    pool: &mut Vec<(String, VectorType)>,
+) -> Option<RcExpr> {
+    let narrow = elem.narrow();
+    let same2 = [
+        FpirOp::SaturatingAdd,
+        FpirOp::SaturatingSub,
+        FpirOp::HalvingAdd,
+        FpirOp::HalvingSub,
+        FpirOp::RoundingHalvingAdd,
+        FpirOp::RoundingShl,
+        FpirOp::RoundingShr,
+        FpirOp::SaturatingShl,
+    ];
+    let e = match rng.gen_range(0..7u32) {
+        // Widening ops: need a half-width source and a same-signedness result.
+        0 | 1 => {
+            let n = narrow?;
+            let op = *[FpirOp::WideningAdd, FpirOp::WideningMul, FpirOp::WideningShl]
+                .choose(rng)
+                .expect("nonempty");
+            // widening_add/shl preserve signedness; widening_mul of two
+            // same-signed inputs does too.
+            let a = gen_inner(rng, cfg, n, depth - 1, pool);
+            let b = gen_inner(rng, cfg, n, depth - 1, pool);
+            Expr::fpir(op, vec![a, b]).ok()?
+        }
+        2 => {
+            let n = narrow?;
+            let a = gen_inner(rng, cfg, elem, depth - 1, pool);
+            let b = gen_inner(rng, cfg, n, depth - 1, pool);
+            Expr::fpir(FpirOp::ExtendingAdd, vec![a, b]).ok()?
+        }
+        3 => {
+            if !elem.is_signed() {
+                let src = if rng.gen_bool(0.5) { elem } else { elem.with_signed() };
+                let a = gen_inner(rng, cfg, src, depth - 1, pool);
+                let b = gen_inner(rng, cfg, src, depth - 1, pool);
+                Expr::fpir(FpirOp::Absd, vec![a, b]).ok()?
+            } else {
+                return None;
+            }
+        }
+        4 => {
+            let src = *cfg.types.choose(rng).expect("nonempty");
+            let a = gen_inner(rng, cfg, src, depth - 1, pool);
+            Expr::fpir(FpirOp::SaturatingCast(elem), vec![a]).ok()?
+        }
+        5 => {
+            let count_val = rng.gen_range(0..elem.bits() as i128);
+            let op = if rng.gen_bool(0.5) { FpirOp::MulShr } else { FpirOp::RoundingMulShr };
+            let x = gen_inner(rng, cfg, elem, depth - 1, pool);
+            let y = gen_inner(rng, cfg, elem, depth - 1, pool);
+            let z = build::constant(count_val, x.ty());
+            Expr::fpir(op, vec![x, y, z]).ok()?
+        }
+        _ => {
+            let op = *same2.choose(rng).expect("nonempty");
+            let a = gen_inner(rng, cfg, elem, depth - 1, pool);
+            let b = gen_inner(rng, cfg, elem, depth - 1, pool);
+            Expr::fpir(op, vec![a, b]).ok()?
+        }
+    };
+    (e.elem() == elem).then_some(e)
+}
+
+/// Boundary-biased random lane value for a type.
+pub fn rand_lane(rng: &mut impl Rng, t: ScalarType) -> i128 {
+    let (lo, hi) = (t.min_value(), t.max_value());
+    match rng.gen_range(0..10u32) {
+        0 => lo,
+        1 => hi,
+        2 => 0,
+        3 => 1,
+        4 => hi / 2,
+        5 => hi / 2 + 1,
+        6 => (lo / 2).min(-1).max(lo),
+        _ => rng.gen_range(lo..=hi),
+    }
+}
+
+/// A random environment binding every free variable of `expr`, with
+/// boundary-value bias.
+pub fn random_env(rng: &mut impl Rng, expr: &RcExpr) -> Env {
+    expr.free_vars()
+        .into_iter()
+        .map(|(name, ty)| {
+            let lanes = (0..ty.lanes).map(|_| rand_lane(rng, ty.elem)).collect();
+            (name, Value::new(ty, lanes))
+        })
+        .collect()
+}
+
+trait TapCheck {
+    fn tap_check(self, ty: VectorType) -> Self;
+}
+
+impl TapCheck for RcExpr {
+    fn tap_check(self, ty: VectorType) -> RcExpr {
+        debug_assert_eq!(self.ty(), ty, "generator produced a mistyped node");
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::eval;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_expressions_evaluate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = GenConfig::default();
+        for i in 0..200 {
+            let elem = *cfg.types.choose(&mut rng).expect("nonempty");
+            let e = gen_expr(&mut rng, &cfg, elem);
+            assert_eq!(e.elem(), elem, "iteration {i} produced wrong type: {e}");
+            let env = random_env(&mut rng, &e);
+            eval(&e, &env).unwrap_or_else(|err| panic!("iteration {i}: {err} in {e}"));
+        }
+    }
+
+    #[test]
+    fn generated_expressions_round_trip_through_parser() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = GenConfig { lanes: 4, ..GenConfig::default() };
+        for _ in 0..100 {
+            // Constant-fold first: printing cannot preserve the operand
+            // types of constant-only subtrees, but it is faithful once they
+            // are folded to literals.
+            let e = crate::simplify::const_fold(&gen_expr(&mut rng, &cfg, ScalarType::I16));
+            if e.free_vars().is_empty() {
+                // A constant-only expression prints without any type
+                // information, so it cannot be read back.
+                continue;
+            }
+            // Printing is lossy only up to trivial constant typing
+            // (`i16(0)` reads back as `0`), so the property is: (1) the
+            // reparsed expression is semantically identical, and (2)
+            // print-parse reaches a fixpoint after one round.
+            let p1 = e.to_string();
+            let e2 = crate::parser::parse_expr(&p1, 4)
+                .unwrap_or_else(|err| panic!("{err} parsing `{p1}`"));
+            for _ in 0..5 {
+                let env = random_env(&mut rng, &e);
+                assert_eq!(
+                    eval(&e, &env).unwrap(),
+                    eval(&e2, &env).unwrap(),
+                    "reparse changed the meaning of `{p1}`"
+                );
+            }
+            let p2 = e2.to_string();
+            let e3 = crate::parser::parse_expr(&p2, 4)
+                .unwrap_or_else(|err| panic!("{err} parsing `{p2}`"));
+            assert_eq!(e3.to_string(), p2, "printer/parser failed to reach a fixpoint");
+        }
+    }
+}

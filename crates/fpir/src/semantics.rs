@@ -1,0 +1,400 @@
+//! Compositional semantics of the FPIR instruction set (Table 1).
+//!
+//! Every FPIR instruction is, by definition, a fused composition of
+//! primitive integer operations. This module produces those compositions as
+//! expressions:
+//!
+//! * [`expand_fpir`] expands a single instruction one step (its result may
+//!   reference other FPIR instructions, exactly as Table 1 does — e.g.
+//!   `saturating_add(x, y) = saturating_narrow(widening_add(x, y))`);
+//! * [`expand_fully`] eliminates *all* FPIR instructions, producing the
+//!   primitive-integer program a C-like front end would have written.
+//!
+//! The expansions here are the semantic *specification*; the direct
+//! interpreter in [`crate::interp`] must agree with them on every input,
+//! which `crates/fpir/tests/table1_semantics.rs` verifies exhaustively for
+//! 8-bit lanes and densely for wider ones.
+//!
+//! Expansion can fail: widening a 64-bit lane has no representable result
+//! type. This is not a weakness of the module but the very effect the paper
+//! reports in §5.1 — three benchmarks express 64-bit intermediates when
+//! written with primitive integer arithmetic, which the LLVM flow cannot
+//! compile for Hexagon HVX.
+
+use crate::build;
+use crate::expr::{BinOp, CmpOp, Expr, ExprKind, FpirOp, RcExpr, TypeError};
+use crate::types::ScalarType;
+
+/// Expand one FPIR instruction into its Table-1 definition.
+///
+/// The result may itself contain FPIR instructions (one step of Table 1);
+/// use [`expand_fully`] to reach primitive integer arithmetic.
+///
+/// # Errors
+///
+/// Fails when the definition needs a type that does not exist (widening a
+/// 64-bit lane).
+pub fn expand_fpir(op: FpirOp, args: &[RcExpr]) -> Result<RcExpr, TypeError> {
+    let widen_cast = |x: &RcExpr| -> Result<RcExpr, TypeError> {
+        let elem = x.elem().widen().ok_or_else(|| {
+            TypeError::new(format!("{} has no wider type for expansion", x.ty()))
+        })?;
+        Ok(Expr::cast(elem, x.clone()))
+    };
+    // Widen to the double-width *signed* type.
+    let widen_signed = |x: &RcExpr| -> Result<RcExpr, TypeError> {
+        let elem = x.elem().widen().ok_or_else(|| {
+            TypeError::new(format!("{} has no wider type for expansion", x.ty()))
+        })?;
+        Ok(Expr::cast(elem.with_signed(), x.clone()))
+    };
+    // Clamp a shift count to [-bits, bits] (or [lo, bits] for unsigned
+    // counts), mirroring the interpreter's clamping.
+    let clamp_count = |y: &RcExpr, lo: i128| -> Result<RcExpr, TypeError> {
+        let b = y.elem().bits() as i128;
+        let hi = Expr::constant(b, y.ty())?;
+        let clamped = Expr::bin(BinOp::Min, y.clone(), hi)?;
+        if y.elem().is_signed() {
+            let lo = Expr::constant(lo, y.ty())?;
+            Expr::bin(BinOp::Max, clamped, lo)
+        } else {
+            Ok(clamped)
+        }
+    };
+
+    match op {
+        FpirOp::WideningAdd => {
+            Expr::bin(BinOp::Add, widen_cast(&args[0])?, widen_cast(&args[1])?)
+        }
+        FpirOp::WideningSub => {
+            Expr::bin(BinOp::Sub, widen_signed(&args[0])?, widen_signed(&args[1])?)
+        }
+        FpirOp::WideningMul => {
+            // The result is signed if either operand is.
+            let signed = args[0].elem().is_signed() || args[1].elem().is_signed();
+            let w = |x: &RcExpr| -> Result<RcExpr, TypeError> {
+                let elem = x.elem().widen().ok_or_else(|| {
+                    TypeError::new(format!("{} has no wider type for expansion", x.ty()))
+                })?;
+                let elem = ScalarType::from_parts(signed, elem.bits()).expect("valid width");
+                Ok(Expr::cast(elem, x.clone()))
+            };
+            Expr::bin(BinOp::Mul, w(&args[0])?, w(&args[1])?)
+        }
+        FpirOp::WideningShl => {
+            Expr::bin(BinOp::Shl, widen_cast(&args[0])?, widen_cast(&args[1])?)
+        }
+        FpirOp::WideningShr => {
+            Expr::bin(BinOp::Shr, widen_cast(&args[0])?, widen_cast(&args[1])?)
+        }
+        FpirOp::ExtendingAdd => {
+            Expr::bin(BinOp::Add, args[0].clone(), widen_cast(&args[1])?)
+        }
+        FpirOp::ExtendingSub => {
+            Expr::bin(BinOp::Sub, args[0].clone(), widen_cast(&args[1])?)
+        }
+        FpirOp::ExtendingMul => {
+            Expr::bin(BinOp::Mul, args[0].clone(), widen_cast(&args[1])?)
+        }
+        FpirOp::Abs => {
+            // select(x > 0, x, -x), reinterpreted unsigned. The wrap of
+            // -INT_MIN is harmless: the unsigned reinterpretation of the
+            // wrapped value is exactly |INT_MIN|.
+            let x = &args[0];
+            let zero = Expr::constant(0, x.ty())?;
+            let neg = Expr::bin(BinOp::Sub, zero.clone(), x.clone())?;
+            let sel = Expr::select(Expr::cmp(CmpOp::Gt, x.clone(), zero)?, x.clone(), neg)?;
+            Expr::reinterpret(x.elem().with_unsigned(), sel)
+        }
+        FpirOp::Absd => {
+            let (x, y) = (&args[0], &args[1]);
+            let sel = Expr::select(
+                Expr::cmp(CmpOp::Gt, x.clone(), y.clone())?,
+                Expr::bin(BinOp::Sub, x.clone(), y.clone())?,
+                Expr::bin(BinOp::Sub, y.clone(), x.clone())?,
+            )?;
+            Expr::reinterpret(x.elem().with_unsigned(), sel)
+        }
+        FpirOp::SaturatingCast(t) => {
+            // cast<t>(min(max(x, t.min()), t.max())), with each clamp
+            // emitted only when t's bound is representable in (and tighter
+            // than) the operand type.
+            let x = &args[0];
+            let src = x.elem();
+            let mut clamped = x.clone();
+            if t.min_value() > src.min_value() {
+                let lo = Expr::constant(t.min_value().max(src.min_value()), x.ty())?;
+                clamped = Expr::bin(BinOp::Max, clamped, lo)?;
+            }
+            if t.max_value() < src.max_value() {
+                let hi = Expr::constant(t.max_value().min(src.max_value()), x.ty())?;
+                clamped = Expr::bin(BinOp::Min, clamped, hi)?;
+            }
+            Ok(Expr::cast(t, clamped))
+        }
+        FpirOp::SaturatingNarrow => {
+            let t = args[0].elem().narrow().ok_or_else(|| {
+                TypeError::new(format!("{} has no narrower type for expansion", args[0].ty()))
+            })?;
+            Expr::fpir(FpirOp::SaturatingCast(t), vec![args[0].clone()])
+        }
+        FpirOp::SaturatingAdd => {
+            let wide = Expr::fpir(FpirOp::WideningAdd, args.to_vec())?;
+            Expr::fpir(FpirOp::SaturatingNarrow, vec![wide])
+        }
+        FpirOp::SaturatingSub => {
+            let wide = Expr::fpir(FpirOp::WideningSub, args.to_vec())?;
+            Expr::fpir(FpirOp::SaturatingCast(args[0].elem()), vec![wide])
+        }
+        FpirOp::HalvingAdd => {
+            let wide = Expr::fpir(FpirOp::WideningAdd, args.to_vec())?;
+            let two = Expr::constant(2, wide.ty())?;
+            Ok(Expr::cast(args[0].elem(), Expr::bin(BinOp::Div, wide, two)?))
+        }
+        FpirOp::HalvingSub => {
+            let wide = Expr::fpir(FpirOp::WideningSub, args.to_vec())?;
+            let two = Expr::constant(2, wide.ty())?;
+            Ok(Expr::cast(args[0].elem(), Expr::bin(BinOp::Div, wide, two)?))
+        }
+        FpirOp::RoundingHalvingAdd => {
+            let wide = Expr::fpir(FpirOp::WideningAdd, args.to_vec())?;
+            let one = Expr::constant(1, wide.ty())?;
+            let two = Expr::constant(2, wide.ty())?;
+            let sum = Expr::bin(BinOp::Add, wide, one)?;
+            Ok(Expr::cast(args[0].elem(), Expr::bin(BinOp::Div, sum, two)?))
+        }
+        FpirOp::RoundingShl => expand_rounding_shift(&args[0], &args[1], false, clamp_count),
+        FpirOp::RoundingShr => expand_rounding_shift(&args[0], &args[1], true, clamp_count),
+        FpirOp::MulShr => {
+            let (x, y, z) = (&args[0], &args[1], &args[2]);
+            let prod = Expr::fpir(FpirOp::WideningMul, vec![x.clone(), y.clone()])?;
+            // The count is non-negative by definition; clamp signed counts
+            // up to zero to keep the expansion total.
+            let mut count = z.clone();
+            if z.elem().is_signed() {
+                count = Expr::bin(BinOp::Max, count, Expr::constant(0, z.ty())?)?;
+            }
+            let count = widen_cast(&count)?;
+            let shifted = Expr::bin(BinOp::Shr, prod, count)?;
+            Expr::fpir(FpirOp::SaturatingCast(x.elem()), vec![shifted])
+        }
+        FpirOp::RoundingMulShr => {
+            // Round-half-up shift without widening the product further,
+            // via the rounding-bit identity
+            //   floor((p + 2^(s-1)) / 2^s) == (p >> s) + ((p >> (s-1)) & 1)
+            // which holds for every p and s >= 1 with no overflow — this is
+            // what lets the definition expand even when the product is
+            // already at the widest lane type.
+            let (x, y, z) = (&args[0], &args[1], &args[2]);
+            let prod = Expr::fpir(FpirOp::WideningMul, vec![x.clone(), y.clone()])?;
+            let mut count = z.clone();
+            if z.elem().is_signed() {
+                count = Expr::bin(BinOp::Max, count, Expr::constant(0, z.ty())?)?;
+            }
+            // Clamp to the product width, as the interpreter does.
+            let count = widen_cast(&count)?;
+            let hi = Expr::constant(2 * x.elem().bits() as i128, count.ty())?;
+            let count = Expr::bin(BinOp::Min, count, hi)?;
+            let zero = Expr::constant(0, count.ty())?;
+            let one_c = Expr::constant(1, count.ty())?;
+            let one_p = Expr::constant(1, prod.ty())?;
+            let shifted = Expr::bin(BinOp::Shr, prod.clone(), count.clone())?;
+            let round_bit = Expr::bin(
+                BinOp::And,
+                Expr::bin(
+                    BinOp::Shr,
+                    prod,
+                    Expr::bin(BinOp::Sub, count.clone(), one_c)?,
+                )?,
+                one_p,
+            )?;
+            let rounded = Expr::bin(BinOp::Add, shifted.clone(), round_bit)?;
+            let value = Expr::select(
+                Expr::cmp(CmpOp::Gt, count, zero)?,
+                rounded,
+                shifted,
+            )?;
+            Expr::fpir(FpirOp::SaturatingCast(x.elem()), vec![value])
+        }
+        FpirOp::SaturatingShl => {
+            let (x, y) = (&args[0], &args[1]);
+            let yc = clamp_count(y, -(y.elem().bits() as i128))?;
+            let wide = Expr::fpir(FpirOp::WideningShl, vec![x.clone(), yc])?;
+            Expr::fpir(FpirOp::SaturatingCast(x.elem()), vec![wide])
+        }
+    }
+}
+
+/// Shared expansion of `rounding_shl` / `rounding_shr`.
+///
+/// `flip` selects the `shr` direction. The count is clamped to
+/// `[-bits, bits]` (exactly as the interpreter clamps), the rounding term
+/// `2^(count-1)` is added for the rounding direction, and the exact
+/// double-width result is saturated back to the operand type.
+fn expand_rounding_shift(
+    x: &RcExpr,
+    y: &RcExpr,
+    flip: bool,
+    clamp_count: impl Fn(&RcExpr, i128) -> Result<RcExpr, TypeError>,
+) -> Result<RcExpr, TypeError> {
+    let b = x.elem().bits() as i128;
+    let yc = clamp_count(y, -b)?;
+    // Work at double width; the count keeps its own signedness.
+    let wide_elem = x.elem().widen().ok_or_else(|| {
+        TypeError::new(format!("{} has no wider type for expansion", x.ty()))
+    })?;
+    let count_elem = yc.elem().widen().expect("count widens with the operand");
+    let xw = Expr::cast(wide_elem, x.clone());
+    let cw = Expr::cast(count_elem, yc);
+
+    // The rounding term applies when the *effective* direction is a right
+    // shift: count < 0 for shl, count > 0 for shr.
+    let zero = Expr::constant(0, cw.ty())?;
+    let one = Expr::constant(1, xw.ty())?;
+    let term_count = if flip {
+        // 2^(count - 1)
+        Expr::bin(BinOp::Sub, cw.clone(), Expr::constant(1, cw.ty())?)?
+    } else {
+        // 2^(-count - 1)
+        let neg = Expr::bin(BinOp::Sub, zero.clone(), cw.clone())?;
+        Expr::bin(BinOp::Sub, neg, Expr::constant(1, cw.ty())?)?
+    };
+    let term = Expr::bin(BinOp::Shl, one, term_count)?;
+    let rounds = if flip {
+        Expr::cmp(CmpOp::Gt, cw.clone(), zero.clone())?
+    } else {
+        Expr::cmp(CmpOp::Lt, cw.clone(), zero.clone())?
+    };
+    let offset = Expr::select(rounds, term, Expr::constant(0, xw.ty())?)?;
+    let sum = Expr::bin(BinOp::Add, xw, offset)?;
+    let shifted = Expr::bin(if flip { BinOp::Shr } else { BinOp::Shl }, sum, cw)?;
+    Expr::fpir(FpirOp::SaturatingCast(x.elem()), vec![shifted])
+}
+
+/// Recursively eliminate every FPIR instruction, producing a program over
+/// primitive integer arithmetic only.
+///
+/// This is how the LLVM-baseline flow sees user code that was written with
+/// FPIR instructions (Halide without Pitchfork lowers them the same way).
+///
+/// # Errors
+///
+/// Fails when an expansion needs a type that does not exist — notably
+/// 64-bit widening (§5.1 of the paper).
+pub fn expand_fully(expr: &RcExpr) -> Result<RcExpr, TypeError> {
+    let children: Vec<RcExpr> = expr
+        .children()
+        .into_iter()
+        .map(expand_fully)
+        .collect::<Result<_, _>>()?;
+    match expr.kind() {
+        ExprKind::Fpir(op, _) => {
+            let expanded = expand_fpir(*op, &children)?;
+            expand_fully(&expanded)
+        }
+        _ => Ok(expr.with_children(children)),
+    }
+}
+
+/// A human-readable Table-1 row: the instruction's name and its one-step
+/// definition, rendered over canonical `u8` (or as documented per-op)
+/// operands. Used by the `table1` report binary.
+pub fn table1_row(op: FpirOp) -> (String, String) {
+    use crate::types::VectorType;
+    let t8 = VectorType::new(ScalarType::U8, 1);
+    let t16 = VectorType::new(ScalarType::U16, 1);
+    let (name, args) = match op.arity() {
+        1 => {
+            let x = if matches!(op, FpirOp::SaturatingNarrow | FpirOp::SaturatingCast(_)) {
+                build::var("x", t16)
+            } else {
+                build::var("x", t8)
+            };
+            (render_call(op, std::slice::from_ref(&x)), vec![x])
+        }
+        3 => {
+            let (x, y, z) = (build::var("x", t8), build::var("y", t8), build::var("z", t8));
+            (render_call(op, &[x.clone(), y.clone(), z.clone()]), vec![x, y, z])
+        }
+        _ => {
+            let wide_first = matches!(
+                op,
+                FpirOp::ExtendingAdd | FpirOp::ExtendingSub | FpirOp::ExtendingMul
+            );
+            let x = if wide_first { build::var("x", t16) } else { build::var("x", t8) };
+            let y = build::var("y", t8);
+            (render_call(op, &[x.clone(), y.clone()]), vec![x, y])
+        }
+    };
+    let def = expand_fpir(op, &args).expect("8/16-bit expansions always exist");
+    (name, def.to_string())
+}
+
+fn render_call(op: FpirOp, args: &[RcExpr]) -> String {
+    let list = args
+        .iter()
+        .map(|a| format!("{a}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    match op {
+        FpirOp::SaturatingCast(t) => format!("saturating_cast<{t}>({list})"),
+        _ => format!("{}({list})", op.name()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::types::{ScalarType as S, VectorType as V};
+
+    #[test]
+    fn expansion_contains_no_fpir() {
+        let t = V::new(S::U8, 4);
+        let e = rounding_mul_shr(var("x", t), var("y", t), constant(7, t));
+        let expanded = expand_fully(&e).unwrap();
+        assert!(!expanded.contains_fpir());
+        assert_eq!(expanded.ty(), e.ty());
+    }
+
+    #[test]
+    fn expansion_preserves_type() {
+        let t = V::new(S::I16, 8);
+        for e in [
+            widening_add(var("x", t), var("y", t)),
+            absd(var("x", t), var("y", t)),
+            saturating_cast(S::U8, var("x", t)),
+            halving_sub(var("x", t), var("y", t)),
+            rounding_shr(var("x", t), var("s", t)),
+        ] {
+            let expanded = expand_fully(&e).unwrap();
+            assert_eq!(expanded.ty(), e.ty(), "type changed expanding {e}");
+        }
+    }
+
+    #[test]
+    fn sixty_four_bit_widening_fails_to_expand() {
+        let t = V::new(S::I64, 2);
+        let e = rounding_mul_shr(var("x", t), var("y", t), constant(31, t));
+        assert!(expand_fully(&e).is_err());
+    }
+
+    #[test]
+    fn saturating_cast_same_range_is_plain_cast() {
+        // u8 -> u32 loses nothing: no clamps should be emitted.
+        let t = V::new(S::U8, 4);
+        let e = expand_fpir(FpirOp::SaturatingCast(S::U32), &[var("x", t)]).unwrap();
+        let printed = e.to_string();
+        assert!(!printed.contains("min"), "unexpected clamp in {printed}");
+        assert!(!printed.contains("max"), "unexpected clamp in {printed}");
+    }
+
+    #[test]
+    fn table1_rows_render() {
+        for op in crate::expr::ALL_FPIR_OPS {
+            let (name, def) = table1_row(op);
+            assert!(!name.is_empty());
+            assert!(!def.is_empty());
+        }
+    }
+}

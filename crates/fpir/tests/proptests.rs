@@ -1,0 +1,149 @@
+//! Property-based tests over the IR's core invariants.
+//!
+//! Strategy: proptest drives seeds and scalar inputs; structured
+//! expressions come from the seeded well-typed generator in
+//! `fpir::rand_expr` (proptest shrinking then operates on the seed).
+
+use fpir::bounds::BoundsCtx;
+use fpir::build;
+use fpir::interp::{eval, Env, Value};
+use fpir::rand_expr::{gen_expr, random_env, GenConfig};
+use fpir::simplify::{const_fold, strength_reduce};
+use fpir::types::{ScalarType, VectorType};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TYPES: [ScalarType; 6] = [
+    ScalarType::U8,
+    ScalarType::U16,
+    ScalarType::U32,
+    ScalarType::I8,
+    ScalarType::I16,
+    ScalarType::I32,
+];
+
+fn gen_from_seed(seed: u64, elem: ScalarType) -> fpir::RcExpr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen_expr(&mut rng, &GenConfig { lanes: 4, ..GenConfig::default() }, elem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every lane an expression produces lies inside the interval the
+    /// bounds engine infers for it (soundness of §3.3's analysis).
+    #[test]
+    fn bounds_inference_is_sound(seed in any::<u64>(), ti in 0usize..TYPES.len()) {
+        let e = gen_from_seed(seed, TYPES[ti]);
+        let mut ctx = BoundsCtx::new();
+        let iv = ctx.interval(&e);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        for _ in 0..4 {
+            let env = random_env(&mut rng, &e);
+            let v = eval(&e, &env).unwrap();
+            for i in 0..v.ty().lanes as usize {
+                prop_assert!(
+                    iv.contains(v.lane(i)),
+                    "value {} outside inferred [{}, {}] for {e}",
+                    v.lane(i), iv.min, iv.max
+                );
+            }
+        }
+    }
+
+    /// Constant folding and strength reduction preserve semantics.
+    #[test]
+    fn simplification_preserves_semantics(seed in any::<u64>(), ti in 0usize..TYPES.len()) {
+        let e = gen_from_seed(seed, TYPES[ti]);
+        let simplified = strength_reduce(&const_fold(&e));
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+        for _ in 0..4 {
+            let env = random_env(&mut rng, &e);
+            prop_assert_eq!(eval(&e, &env).unwrap(), eval(&simplified, &env).unwrap());
+        }
+    }
+
+    /// The compositional Table-1 expansion agrees with the direct
+    /// interpreter on arbitrary expressions (not just per-op sweeps).
+    #[test]
+    fn expansion_preserves_semantics(seed in any::<u64>(), ti in 0usize..TYPES.len()) {
+        let e = gen_from_seed(seed, TYPES[ti]);
+        let Ok(expanded) = fpir::semantics::expand_fully(&e) else {
+            // 64-bit widening boundaries cannot expand — acceptable.
+            return Ok(());
+        };
+        prop_assert!(!expanded.contains_fpir());
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(3));
+        for _ in 0..4 {
+            let env = random_env(&mut rng, &e);
+            prop_assert_eq!(eval(&e, &env).unwrap(), eval(&expanded, &env).unwrap());
+        }
+    }
+
+    /// Print-then-parse preserves semantics and reaches a textual fixpoint.
+    #[test]
+    fn printer_parser_round_trip(seed in any::<u64>(), ti in 0usize..TYPES.len()) {
+        let e = const_fold(&gen_from_seed(seed, TYPES[ti]));
+        if e.free_vars().is_empty() {
+            return Ok(());
+        }
+        let printed = e.to_string();
+        let reparsed = fpir::parser::parse_expr(&printed, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(4));
+        for _ in 0..3 {
+            let env = random_env(&mut rng, &e);
+            prop_assert_eq!(eval(&e, &env).unwrap(), eval(&reparsed, &env).unwrap());
+        }
+        prop_assert_eq!(reparsed.to_string(), fpir::parser::parse_expr(&reparsed.to_string(), 4).unwrap().to_string());
+    }
+
+    /// Saturating ops are clamped versions of their widening forms.
+    #[test]
+    fn saturating_add_clamps_widening_add(a in any::<u8>(), b in any::<u8>()) {
+        let t = VectorType::new(ScalarType::U8, 1);
+        let env = Env::new()
+            .bind("a", Value::splat(a as i128, t))
+            .bind("b", Value::splat(b as i128, t));
+        let sat = eval(&build::saturating_add(build::var("a", t), build::var("b", t)), &env).unwrap();
+        let wide = eval(&build::widening_add(build::var("a", t), build::var("b", t)), &env).unwrap();
+        prop_assert_eq!(sat.lane(0), wide.lane(0).min(255));
+    }
+
+    /// The two averaging modes differ by at most one, with rounding up
+    /// exactly on odd sums.
+    #[test]
+    fn averaging_modes_relate(a in any::<u8>(), b in any::<u8>()) {
+        let t = VectorType::new(ScalarType::U8, 1);
+        let env = Env::new()
+            .bind("a", Value::splat(a as i128, t))
+            .bind("b", Value::splat(b as i128, t));
+        let down = eval(&build::halving_add(build::var("a", t), build::var("b", t)), &env).unwrap();
+        let up = eval(&build::rounding_halving_add(build::var("a", t), build::var("b", t)), &env).unwrap();
+        let odd = (a as i128 + b as i128) % 2;
+        prop_assert_eq!(up.lane(0) - down.lane(0), odd);
+    }
+
+    /// absd is symmetric and zero exactly on equal inputs.
+    #[test]
+    fn absd_properties(a in any::<i16>(), b in any::<i16>()) {
+        let t = VectorType::new(ScalarType::I16, 1);
+        let env = Env::new()
+            .bind("a", Value::splat(a as i128, t))
+            .bind("b", Value::splat(b as i128, t));
+        let ab = eval(&build::absd(build::var("a", t), build::var("b", t)), &env).unwrap();
+        let ba = eval(&build::absd(build::var("b", t), build::var("a", t)), &env).unwrap();
+        prop_assert_eq!(ab.lane(0), ba.lane(0));
+        prop_assert_eq!(ab.lane(0) == 0, a == b);
+        prop_assert_eq!(ab.lane(0), (a as i128 - b as i128).abs());
+    }
+
+    /// Wrapping casts through a wider type are the identity.
+    #[test]
+    fn widen_then_narrow_is_identity(v in any::<i8>()) {
+        let t = VectorType::new(ScalarType::I8, 1);
+        let e = build::narrow(build::widen(build::var("x", t)));
+        let env = Env::new().bind("x", Value::splat(v as i128, t));
+        prop_assert_eq!(eval(&e, &env).unwrap().lane(0), v as i128);
+    }
+}

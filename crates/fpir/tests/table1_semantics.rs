@@ -1,0 +1,305 @@
+//! Table 1 verification: every FPIR instruction's *direct* interpreter
+//! semantics must agree with its *compositional* definition (the fused
+//! primitive-integer program it stands for), on every input.
+//!
+//! 8-bit instantiations are checked exhaustively (all 65 536 operand pairs;
+//! shift-like operands additionally swept over every count). Wider types
+//! are checked on a dense boundary-biased sample. This is the role Rosette
+//! played for the paper's authors (§2.4): it is what lets the rest of the
+//! workspace trust the expansions as a specification.
+
+use fpir::build;
+use fpir::expr::{Expr, FpirOp, RcExpr};
+use fpir::interp::{eval, Env, Value};
+use fpir::semantics::expand_fully;
+use fpir::types::{ScalarType, VectorType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const LANES: u32 = 1024;
+
+/// Every (x, y) pair of 8-bit values for the given types, batched into
+/// `LANES`-wide chunks: (xs, ys) lane vectors.
+fn exhaustive_pairs(tx: ScalarType, ty: ScalarType) -> Vec<(Vec<i128>, Vec<i128>)> {
+    assert_eq!(tx.bits(), 8);
+    assert_eq!(ty.bits(), 8);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut out = Vec::new();
+    for x in tx.min_value()..=tx.max_value() {
+        for y in ty.min_value()..=ty.max_value() {
+            xs.push(x);
+            ys.push(y);
+            if xs.len() == LANES as usize {
+                out.push((std::mem::take(&mut xs), std::mem::take(&mut ys)));
+            }
+        }
+    }
+    if !xs.is_empty() {
+        // Pad the tail chunk by repeating the last pair.
+        while xs.len() < LANES as usize {
+            xs.push(*xs.last().unwrap());
+            ys.push(*ys.last().unwrap());
+        }
+        out.push((xs, ys));
+    }
+    out
+}
+
+/// Boundary-biased random pairs for wider types.
+fn sampled_pairs(tx: ScalarType, ty: ScalarType, chunks: usize, seed: u64) -> Vec<(Vec<i128>, Vec<i128>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..chunks)
+        .map(|_| {
+            let xs = (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, tx)).collect();
+            let ys = (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, ty)).collect();
+            (xs, ys)
+        })
+        .collect()
+}
+
+/// Check direct-vs-expanded agreement of `make(x, y)` over the given data.
+fn check(make: impl Fn(RcExpr, RcExpr) -> RcExpr, tx: ScalarType, ty: ScalarType, data: &[(Vec<i128>, Vec<i128>)]) {
+    let vtx = VectorType::new(tx, LANES);
+    let vty = VectorType::new(ty, LANES);
+    let direct = make(build::var("x", vtx), build::var("y", vty));
+    let expanded = expand_fully(&direct).expect("expansion exists below 64 bits");
+    assert!(!expanded.contains_fpir());
+    for (xs, ys) in data {
+        let env = Env::new()
+            .bind("x", Value::new(vtx, xs.clone()))
+            .bind("y", Value::new(vty, ys.clone()));
+        let a = eval(&direct, &env).expect("direct evaluates");
+        let b = eval(&expanded, &env).expect("expansion evaluates");
+        if a != b {
+            for i in 0..LANES as usize {
+                assert_eq!(
+                    a.lane(i),
+                    b.lane(i),
+                    "direct {} != expansion {} at x={}, y={} for {direct}",
+                    a.lane(i),
+                    b.lane(i),
+                    xs[i],
+                    ys[i],
+                );
+            }
+        }
+    }
+}
+
+fn binary_op(op: FpirOp) -> impl Fn(RcExpr, RcExpr) -> RcExpr {
+    move |x, y| Expr::fpir(op, vec![x, y]).expect("well-typed")
+}
+
+/// All binary FPIR ops whose two operands share one type.
+const SAME_TYPE_BINARY: [FpirOp; 11] = [
+    FpirOp::WideningAdd,
+    FpirOp::WideningSub,
+    FpirOp::WideningMul,
+    FpirOp::Absd,
+    FpirOp::SaturatingAdd,
+    FpirOp::SaturatingSub,
+    FpirOp::HalvingAdd,
+    FpirOp::HalvingSub,
+    FpirOp::RoundingHalvingAdd,
+    FpirOp::WideningShl,
+    FpirOp::WideningShr,
+];
+
+/// Shift-like ops where the count operand may be signed independently.
+const SHIFT_BINARY: [FpirOp; 3] = [FpirOp::RoundingShl, FpirOp::RoundingShr, FpirOp::SaturatingShl];
+
+#[test]
+fn exhaustive_u8_same_type_binary() {
+    let data = exhaustive_pairs(ScalarType::U8, ScalarType::U8);
+    for op in SAME_TYPE_BINARY {
+        check(binary_op(op), ScalarType::U8, ScalarType::U8, &data);
+    }
+}
+
+#[test]
+fn exhaustive_i8_same_type_binary() {
+    let data = exhaustive_pairs(ScalarType::I8, ScalarType::I8);
+    for op in SAME_TYPE_BINARY {
+        check(binary_op(op), ScalarType::I8, ScalarType::I8, &data);
+    }
+}
+
+#[test]
+fn exhaustive_u8_shift_ops_with_signed_counts() {
+    // Counts sweep all of i8, including negative (reverse-direction) and
+    // out-of-range magnitudes.
+    let data = exhaustive_pairs(ScalarType::U8, ScalarType::I8);
+    for op in SHIFT_BINARY {
+        check(binary_op(op), ScalarType::U8, ScalarType::I8, &data);
+    }
+}
+
+#[test]
+fn exhaustive_i8_shift_ops_with_signed_counts() {
+    let data = exhaustive_pairs(ScalarType::I8, ScalarType::I8);
+    for op in SHIFT_BINARY {
+        check(binary_op(op), ScalarType::I8, ScalarType::I8, &data);
+    }
+}
+
+#[test]
+fn exhaustive_mixed_sign_widening_mul() {
+    let data = exhaustive_pairs(ScalarType::U8, ScalarType::I8);
+    check(binary_op(FpirOp::WideningMul), ScalarType::U8, ScalarType::I8, &data);
+    let data = exhaustive_pairs(ScalarType::I8, ScalarType::U8);
+    check(binary_op(FpirOp::WideningMul), ScalarType::I8, ScalarType::U8, &data);
+}
+
+#[test]
+fn exhaustive_u8_unary() {
+    // abs over all of i8, saturating casts over all of u8/i8 into every
+    // 8/16-bit target.
+    for (src, dst) in [
+        (ScalarType::I8, ScalarType::U8),
+        (ScalarType::I8, ScalarType::I8),
+        (ScalarType::U8, ScalarType::I8),
+        (ScalarType::U8, ScalarType::U8),
+        (ScalarType::I8, ScalarType::U16),
+        (ScalarType::U8, ScalarType::I16),
+    ] {
+        let data = exhaustive_pairs(src, src);
+        check(
+            move |x, _| build::saturating_cast(dst, x),
+            src,
+            src,
+            &data,
+        );
+    }
+    let data = exhaustive_pairs(ScalarType::I8, ScalarType::I8);
+    check(|x, _| build::abs(x), ScalarType::I8, ScalarType::I8, &data);
+    let data = exhaustive_pairs(ScalarType::U8, ScalarType::U8);
+    check(|x, _| build::abs(x), ScalarType::U8, ScalarType::U8, &data);
+}
+
+#[test]
+fn exhaustive_u16_extending_ops() {
+    // extending_add/sub/mul(x_u16, y_u8): x sampled over a grid, y
+    // exhaustive — together with the sampled wide test this covers the
+    // interesting carry boundaries.
+    let mut rng = StdRng::seed_from_u64(3);
+    for op in [FpirOp::ExtendingAdd, FpirOp::ExtendingSub, FpirOp::ExtendingMul] {
+        for (wide, narrow) in [
+            (ScalarType::U16, ScalarType::U8),
+            (ScalarType::I16, ScalarType::I8),
+        ] {
+            let vtw = VectorType::new(wide, LANES);
+            let vtn = VectorType::new(narrow, LANES);
+            let direct = Expr::fpir(op, vec![build::var("x", vtw), build::var("y", vtn)])
+                .expect("well-typed");
+            let expanded = expand_fully(&direct).expect("expansion exists");
+            for _ in 0..64 {
+                let xs: Vec<i128> = (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, wide)).collect();
+                let ys: Vec<i128> = (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, narrow)).collect();
+                let env = Env::new()
+                    .bind("x", Value::new(vtw, xs))
+                    .bind("y", Value::new(vtn, ys));
+                assert_eq!(eval(&direct, &env).unwrap(), eval(&expanded, &env).unwrap());
+            }
+        }
+    }
+}
+
+#[test]
+fn sampled_wide_types_binary() {
+    for (tx, seed) in [
+        (ScalarType::U16, 101u64),
+        (ScalarType::I16, 102),
+        (ScalarType::U32, 103),
+        (ScalarType::I32, 104),
+    ] {
+        let data = sampled_pairs(tx, tx, 48, seed);
+        for op in SAME_TYPE_BINARY {
+            check(binary_op(op), tx, tx, &data);
+        }
+        let signed = tx.with_signed();
+        let shift_data = sampled_pairs(tx, signed, 24, seed + 1000);
+        for op in SHIFT_BINARY {
+            check(binary_op(op), tx, signed, &shift_data);
+        }
+    }
+}
+
+#[test]
+fn sampled_mul_shr_family() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for t in [ScalarType::U8, ScalarType::I8, ScalarType::U16, ScalarType::I16, ScalarType::I32] {
+        let vt = VectorType::new(t, LANES);
+        for op in [FpirOp::MulShr, FpirOp::RoundingMulShr] {
+            // Sweep every meaningful constant shift plus a couple past 2b.
+            for z in 0..=(2 * t.bits() as i128 + 2) {
+                let direct = Expr::fpir(
+                    op,
+                    vec![build::var("x", vt), build::var("y", vt), build::constant(z.min(t.max_value()), vt)],
+                )
+                .expect("well-typed");
+                let expanded = expand_fully(&direct).expect("expansion exists");
+                let xs: Vec<i128> = (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, t)).collect();
+                let ys: Vec<i128> = (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, t)).collect();
+                let env = Env::new()
+                    .bind("x", Value::new(vt, xs.clone()))
+                    .bind("y", Value::new(vt, ys.clone()));
+                let a = eval(&direct, &env).unwrap();
+                let b = eval(&expanded, &env).unwrap();
+                for i in 0..LANES as usize {
+                    assert_eq!(
+                        a.lane(i),
+                        b.lane(i),
+                        "{op:?} z={z} x={} y={} on {t}",
+                        xs[i],
+                        ys[i]
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sampled_mul_shr_with_signed_negative_counts() {
+    // Signed count operands below zero must clamp to "no shift" in both
+    // the direct and compositional forms.
+    let mut rng = StdRng::seed_from_u64(43);
+    let t = ScalarType::I16;
+    let vt = VectorType::new(t, LANES);
+    for op in [FpirOp::MulShr, FpirOp::RoundingMulShr] {
+        let direct = Expr::fpir(
+            op,
+            vec![build::var("x", vt), build::var("y", vt), build::var("z", vt)],
+        )
+        .expect("well-typed");
+        let expanded = expand_fully(&direct).expect("expansion exists");
+        for _ in 0..16 {
+            let env = Env::new()
+                .bind("x", Value::new(vt, (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, t)).collect()))
+                .bind("y", Value::new(vt, (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, t)).collect()))
+                .bind("z", Value::new(vt, (0..LANES).map(|_| rng.gen_range(-40i128..40)).collect()));
+            assert_eq!(eval(&direct, &env).unwrap(), eval(&expanded, &env).unwrap());
+        }
+    }
+}
+
+#[test]
+fn saturating_narrow_equals_saturating_cast() {
+    // saturating_narrow(x) is defined as saturating_cast to the half-width
+    // type; check the pair agree as expressions too.
+    let data = sampled_pairs(ScalarType::I16, ScalarType::I16, 16, 7);
+    check(
+        |x, _| build::saturating_narrow(x),
+        ScalarType::I16,
+        ScalarType::I16,
+        &data,
+    );
+    let data = sampled_pairs(ScalarType::U32, ScalarType::U32, 16, 8);
+    check(
+        |x, _| build::saturating_narrow(x),
+        ScalarType::U32,
+        ScalarType::U32,
+        &data,
+    );
+}

@@ -1,0 +1,160 @@
+//! The 64-bit ARM Neon-like virtual target.
+//!
+//! Modelled on AArch64 Advanced SIMD: 128-bit registers and a rich
+//! fixed-point repertoire — widening arithmetic (`uaddl`, `umull`,
+//! `ushll`), widening multiply-accumulate (`umlal`), extending adds
+//! (`uaddw`), halving/rounding averages, saturating narrows, the
+//! `sqrdmulh` Q-format multiply, and the `udot` dot product. Mnemonics use
+//! the unsigned (`u`-prefixed) name; each row accepts both signednesses
+//! unless marked.
+
+use crate::def::{row, InstDef};
+use crate::sem::MachSem;
+use fpir::expr::{BinOp, CmpOp};
+use fpir::{FpirOp, Isa, MachOp};
+
+const fn m(code: u16, name: &'static str) -> MachOp {
+    MachOp { isa: Isa::ArmNeon, code, name }
+}
+
+/// Vector add.
+pub const ADD: MachOp = m(0, "add");
+/// Vector subtract.
+pub const SUB: MachOp = m(1, "sub");
+/// Vector multiply.
+pub const MUL: MachOp = m(2, "mul");
+/// Multiply-accumulate (`mla`).
+pub const MLA: MachOp = m(3, "mla");
+/// Minimum (`umin`/`smin`).
+pub const MIN: MachOp = m(4, "umin");
+/// Maximum (`umax`/`smax`).
+pub const MAX: MachOp = m(5, "umax");
+/// Bitwise and.
+pub const AND: MachOp = m(6, "and");
+/// Bitwise or.
+pub const ORR: MachOp = m(7, "orr");
+/// Bitwise xor.
+pub const EOR: MachOp = m(8, "eor");
+/// Shift left (`shl`/`ushl`).
+pub const SHL: MachOp = m(9, "shl");
+/// Shift right (`ushr`/`sshr`).
+pub const SHR: MachOp = m(10, "ushr");
+/// Compare greater (`cmgt`/`cmhi`).
+pub const CMGT: MachOp = m(11, "cmgt");
+/// Compare equal (`cmeq`).
+pub const CMEQ: MachOp = m(12, "cmeq");
+/// Bitwise select (`bsl`/`bit`).
+pub const BSL: MachOp = m(13, "bit");
+/// Unsigned extend long (`uxtl`).
+pub const UXTL: MachOp = m(14, "uxtl");
+/// Signed extend long (`sxtl`).
+pub const SXTL: MachOp = m(15, "sxtl");
+/// Extract narrow — truncation (`xtn`/`uzp1`).
+pub const XTN: MachOp = m(16, "xtn");
+/// Register reinterpretation (free).
+pub const REINTERP: MachOp = m(17, "mov");
+/// Widening add (`uaddl`/`saddl`).
+pub const UADDL: MachOp = m(18, "uaddl");
+/// Widening subtract (`usubl`/`ssubl`).
+pub const USUBL: MachOp = m(19, "usubl");
+/// Widening multiply (`umull`/`smull`).
+pub const UMULL: MachOp = m(20, "umull");
+/// Widening shift left by immediate (`ushll`/`sshll`).
+pub const USHLL: MachOp = m(21, "ushll");
+/// Extending add — wide plus narrow (`uaddw`/`saddw`).
+pub const UADDW: MachOp = m(22, "uaddw");
+/// Widening multiply-accumulate (`umlal`/`smlal`).
+pub const UMLAL: MachOp = m(23, "umlal");
+/// Absolute difference (`uabd`/`sabd`).
+pub const UABD: MachOp = m(24, "uabd");
+/// Saturating add (`uqadd`/`sqadd`).
+pub const UQADD: MachOp = m(25, "uqadd");
+/// Saturating subtract (`uqsub`/`sqsub`).
+pub const UQSUB: MachOp = m(26, "uqsub");
+/// Halving add (`uhadd`/`shadd`).
+pub const UHADD: MachOp = m(27, "uhadd");
+/// Halving subtract (`uhsub`/`shsub`).
+pub const UHSUB: MachOp = m(28, "uhsub");
+/// Rounding halving add (`urhadd`/`srhadd`).
+pub const URHADD: MachOp = m(29, "urhadd");
+/// Rounding shift right by immediate (`urshr`/`srshr`).
+pub const URSHR: MachOp = m(30, "urshr");
+/// Saturating rounding shift left by register (`uqrshl`/`sqrshl`).
+pub const UQRSHL: MachOp = m(31, "uqrshl");
+/// Saturating shift left (`uqshl`/`sqshl`).
+pub const UQSHL: MachOp = m(32, "uqshl");
+/// Saturating narrow, same signedness (`uqxtn`/`sqxtn`).
+pub const SQXTN: MachOp = m(33, "sqxtn");
+/// Saturating narrow, signed to unsigned (`sqxtun`).
+pub const SQXTUN: MachOp = m(34, "sqxtun");
+/// Saturating rounding doubling multiply high (`sqrdmulh`).
+pub const SQRDMULH: MachOp = m(35, "sqrdmulh");
+/// Dot product with accumulation (`udot`/`sdot`).
+pub const UDOT: MachOp = m(36, "udot");
+/// Absolute value (`abs`).
+pub const ABS: MachOp = m(37, "abs");
+/// Shift right narrow (`shrn`).
+pub const SHRN: MachOp = m(38, "shrn");
+/// Saturating rounding shift right narrow (`sqrshrn`/`uqrshrn`).
+pub const SQRSHRN: MachOp = m(39, "sqrshrn");
+/// Broadcast a constant (`dup`).
+pub const SPLAT: MachOp = m(40, "dup");
+/// 64-bit multiply emulation (Neon has no 64-bit `mul`; LLVM builds it
+/// from 32-bit pieces).
+pub const MUL64: MachOp = m(41, "mul64.seq");
+
+const ALL: &[u32] = &[8, 16, 32, 64];
+const SMALL: &[u32] = &[8, 16, 32];
+const WIDE: &[u32] = &[16, 32, 64];
+
+pub(crate) fn defs() -> Vec<InstDef> {
+    vec![
+        row(ADD, MachSem::Bin(BinOp::Add), 1, ALL, "vector add"),
+        row(SUB, MachSem::Bin(BinOp::Sub), 1, ALL, "vector subtract"),
+        row(MUL, MachSem::Bin(BinOp::Mul), 2, SMALL, "vector multiply"),
+        row(MLA, MachSem::MulAcc, 1, SMALL, "multiply-accumulate"),
+        row(MIN, MachSem::Bin(BinOp::Min), 1, SMALL, "minimum"),
+        row(MAX, MachSem::Bin(BinOp::Max), 1, SMALL, "maximum"),
+        row(AND, MachSem::Bin(BinOp::And), 1, ALL, "bitwise and"),
+        row(ORR, MachSem::Bin(BinOp::Or), 1, ALL, "bitwise or"),
+        row(EOR, MachSem::Bin(BinOp::Xor), 1, ALL, "bitwise xor"),
+        row(SHL, MachSem::Bin(BinOp::Shl), 1, ALL, "shift left"),
+        row(SHR, MachSem::Bin(BinOp::Shr), 1, ALL, "shift right"),
+        row(CMGT, MachSem::Cmp(CmpOp::Gt), 1, ALL, "compare greater"),
+        row(CMEQ, MachSem::Cmp(CmpOp::Eq), 1, ALL, "compare equal"),
+        row(BSL, MachSem::Select, 1, ALL, "bitwise select"),
+        row(UXTL, MachSem::ExtendTo, 1, SMALL, "unsigned extend long").unsigned_only(),
+        row(SXTL, MachSem::ExtendTo, 1, SMALL, "signed extend long").signed_only(),
+        row(XTN, MachSem::TruncTo, 1, WIDE, "extract narrow"),
+        row(REINTERP, MachSem::Reinterpret, 0, ALL, "register alias"),
+        row(UADDL, MachSem::Fpir(FpirOp::WideningAdd), 1, SMALL, "widening add"),
+        row(USUBL, MachSem::Fpir(FpirOp::WideningSub), 1, SMALL, "widening subtract"),
+        row(UMULL, MachSem::Fpir(FpirOp::WideningMul), 2, SMALL, "widening multiply"),
+        row(USHLL, MachSem::Fpir(FpirOp::WideningShl), 1, SMALL, "widening shift left")
+            .const_operands(&[1]),
+        row(UADDW, MachSem::Fpir(FpirOp::ExtendingAdd), 1, WIDE, "extending add"),
+        row(UMLAL, MachSem::WideningMulAcc, 1, WIDE, "widening multiply-accumulate"),
+        row(UABD, MachSem::Fpir(FpirOp::Absd), 1, SMALL, "absolute difference"),
+        row(UQADD, MachSem::Fpir(FpirOp::SaturatingAdd), 1, ALL, "saturating add"),
+        row(UQSUB, MachSem::Fpir(FpirOp::SaturatingSub), 1, ALL, "saturating subtract"),
+        row(UHADD, MachSem::Fpir(FpirOp::HalvingAdd), 1, SMALL, "halving add"),
+        row(UHSUB, MachSem::Fpir(FpirOp::HalvingSub), 1, SMALL, "halving subtract"),
+        row(URHADD, MachSem::Fpir(FpirOp::RoundingHalvingAdd), 1, SMALL, "rounding halving add"),
+        row(URSHR, MachSem::Fpir(FpirOp::RoundingShr), 1, ALL, "rounding shift right")
+            .const_operands(&[1]),
+        row(UQRSHL, MachSem::Fpir(FpirOp::RoundingShl), 1, ALL, "saturating rounding shift"),
+        row(UQSHL, MachSem::Fpir(FpirOp::SaturatingShl), 1, ALL, "saturating shift left"),
+        row(SQXTN, MachSem::Fpir(FpirOp::SaturatingNarrow), 1, WIDE, "saturating narrow"),
+        row(SQXTUN, MachSem::SatCastTo, 1, WIDE, "saturating narrow signed-to-unsigned")
+            .signed_only(),
+        row(SQRDMULH, MachSem::QRDMulH, 2, &[16, 32], "rounding doubling multiply high")
+            .signed_only(),
+        row(UDOT, MachSem::DotAcc4, 2, &[32], "4-way dot product accumulate"),
+        row(ABS, MachSem::Fpir(FpirOp::Abs), 1, SMALL, "absolute value"),
+        row(SHRN, MachSem::ShrNarrow, 1, WIDE, "shift right narrow").const_operands(&[1]),
+        row(SQRSHRN, MachSem::ShrRndSatNarrow, 1, WIDE, "rounding saturating shift-right narrow")
+            .const_operands(&[1]),
+        row(SPLAT, MachSem::Splat, 1, ALL, "broadcast constant"),
+        row(MUL64, MachSem::Bin(BinOp::Mul), 6, &[64], "emulated 64-bit multiply"),
+    ]
+}

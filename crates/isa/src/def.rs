@@ -1,0 +1,212 @@
+//! Instruction definitions and the target registry.
+//!
+//! Each virtual ISA is a table of [`InstDef`]s: opcode, executable
+//! semantics, a throughput-style cost (per native register operated on),
+//! legal lane widths, and operand constraints. The three tables live in
+//! [`crate::x86`], [`crate::arm`] and [`crate::hvx`]; [`target`] returns
+//! the registry entry for an [`Isa`].
+
+use crate::sem::{eval_sem, MachSem};
+use fpir::interp::Value;
+use fpir::types::VectorType;
+use fpir::{Isa, MachOp};
+use std::sync::OnceLock;
+
+/// Signedness requirement on an instruction's first operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignReq {
+    /// Either signedness.
+    Any,
+    /// Signed lanes only.
+    Signed,
+    /// Unsigned lanes only.
+    Unsigned,
+}
+
+/// One machine instruction.
+#[derive(Debug, Clone)]
+pub struct InstDef {
+    /// Opcode handle (embeds the mnemonic).
+    pub op: MachOp,
+    /// What it computes.
+    pub sem: MachSem,
+    /// Cost units per native vector register processed (≈ 10 ×
+    /// reciprocal throughput on the modelled hardware class).
+    pub cost: u32,
+    /// Legal element widths (bits) for the *first* operand.
+    pub widths: &'static [u32],
+    /// Signedness requirement on the first operand.
+    pub sign: SignReq,
+    /// Operand indices that must be broadcast constants (immediates).
+    pub needs_const: &'static [usize],
+    /// One-line description.
+    pub desc: &'static str,
+}
+
+/// A virtual target: an ISA plus its instruction table.
+#[derive(Debug)]
+pub struct Target {
+    /// Which ISA this is.
+    pub isa: Isa,
+    defs: Vec<InstDef>,
+}
+
+impl Target {
+    pub(crate) fn new(isa: Isa, defs: Vec<InstDef>) -> Target {
+        for (i, d) in defs.iter().enumerate() {
+            assert_eq!(d.op.isa, isa, "instruction {} belongs to {}", d.op, d.op.isa);
+            assert_eq!(
+                d.op.code as usize, i,
+                "instruction {} has code {} but sits at table index {i}",
+                d.op, d.op.code
+            );
+        }
+        Target { isa, defs }
+    }
+
+    /// All instructions.
+    pub fn defs(&self) -> &[InstDef] {
+        &self.defs
+    }
+
+    /// Look up an opcode.
+    pub fn def(&self, op: MachOp) -> Option<&InstDef> {
+        if op.isa != self.isa {
+            return None;
+        }
+        self.defs.get(op.code as usize)
+    }
+
+    /// Find the cheapest instruction with the given semantics that is
+    /// legal at `width` bits and `signed`ness.
+    pub fn find(&self, sem: MachSem, width: u32, signed: bool) -> Option<&InstDef> {
+        self.defs
+            .iter()
+            .filter(|d| {
+                d.sem == sem
+                    && d.widths.contains(&width)
+                    && match d.sign {
+                        SignReq::Any => true,
+                        SignReq::Signed => signed,
+                        SignReq::Unsigned => !signed,
+                    }
+            })
+            .min_by_key(|d| d.cost)
+    }
+
+    /// Number of native registers a logical vector occupies (≥ 1).
+    pub fn reg_factor(&self, ty: VectorType) -> u64 {
+        let native = self.isa.vector_bits() as u64;
+        ty.total_bits().div_ceil(native).max(1)
+    }
+}
+
+/// The registry entry for `isa`.
+pub fn target(isa: Isa) -> &'static Target {
+    static REG: OnceLock<[Target; 3]> = OnceLock::new();
+    let all = REG.get_or_init(|| {
+        [
+            Target::new(Isa::X86Avx2, crate::x86::defs()),
+            Target::new(Isa::ArmNeon, crate::arm::defs()),
+            Target::new(Isa::HexagonHvx, crate::hvx::defs()),
+        ]
+    });
+    match isa {
+        Isa::X86Avx2 => &all[0],
+        Isa::ArmNeon => &all[1],
+        Isa::HexagonHvx => &all[2],
+    }
+}
+
+/// [`fpir::machine::MachEval`] implementation executing machine nodes
+/// through the instruction tables — this is what lets the reference
+/// interpreter run lowered expressions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MachEvaluator;
+
+impl fpir::machine::MachEval for MachEvaluator {
+    fn eval_mach(
+        &self,
+        op: MachOp,
+        args: &[Value],
+        result_ty: VectorType,
+    ) -> Result<Value, String> {
+        let t = target(op.isa);
+        let def = t
+            .def(op)
+            .ok_or_else(|| format!("unknown {} opcode {}", op.isa, op.code))?;
+        eval_sem(def.sem, args, result_ty)
+    }
+}
+
+/// Shorthand for building table rows.
+pub(crate) fn row(
+    op: MachOp,
+    sem: MachSem,
+    cost: u32,
+    widths: &'static [u32],
+    desc: &'static str,
+) -> InstDef {
+    InstDef { op, sem, cost, widths, sign: SignReq::Any, needs_const: &[], desc }
+}
+
+impl InstDef {
+    pub(crate) fn signed_only(mut self) -> InstDef {
+        self.sign = SignReq::Signed;
+        self
+    }
+
+    pub(crate) fn unsigned_only(mut self) -> InstDef {
+        self.sign = SignReq::Unsigned;
+        self
+    }
+
+    pub(crate) fn const_operands(mut self, idxs: &'static [usize]) -> InstDef {
+        self.needs_const = idxs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_tables_are_consistent() {
+        for isa in fpir::machine::ALL_ISAS {
+            let t = target(isa);
+            assert!(!t.defs().is_empty());
+            for d in t.defs() {
+                assert!(!d.widths.is_empty(), "{} has no legal widths", d.op);
+                assert!(d.cost > 0 || matches!(d.sem, MachSem::Reinterpret), "{}", d.op);
+                assert!(
+                    d.widths.iter().all(|w| *w <= isa.max_lane_bits()),
+                    "{} claims an illegal width for {isa}",
+                    d.op
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reg_factor_scales_with_width() {
+        use fpir::types::{ScalarType as S, VectorType as V};
+        let arm = target(Isa::ArmNeon);
+        assert_eq!(arm.reg_factor(V::new(S::U8, 16)), 1);
+        assert_eq!(arm.reg_factor(V::new(S::U16, 16)), 2);
+        assert_eq!(arm.reg_factor(V::new(S::U8, 4)), 1);
+        let hvx = target(Isa::HexagonHvx);
+        assert_eq!(hvx.reg_factor(V::new(S::U8, 128)), 1);
+        assert_eq!(hvx.reg_factor(V::new(S::U16, 128)), 2);
+    }
+
+    #[test]
+    fn find_prefers_cheapest_legal() {
+        // Signed compare-greater exists at cost 1 on x86; unsigned is the
+        // emulated, more expensive row.
+        let x86 = target(Isa::X86Avx2);
+        let s = x86.find(MachSem::Cmp(fpir::CmpOp::Gt), 16, true).unwrap();
+        let u = x86.find(MachSem::Cmp(fpir::CmpOp::Gt), 16, false).unwrap();
+        assert!(s.cost < u.cost);
+    }
+}

@@ -1,0 +1,139 @@
+//! The Hexagon HVX-like virtual target.
+//!
+//! Modelled on Qualcomm's Hexagon Vector Extensions: huge 1024-bit
+//! vectors, a rich fixed-point repertoire (averages, absolute difference,
+//! `vsat`, fused shift-round-saturate `vasr`), the multiply-add family
+//! (`vmpa`, `vdmpy`, `vrmpy`), and — critically for §5.1 of the paper —
+//! **no 64-bit lanes at all**: expressions needing 64-bit intermediates
+//! cannot be legalized here.
+
+use crate::def::{row, InstDef};
+use crate::sem::MachSem;
+use fpir::expr::{BinOp, CmpOp};
+use fpir::{FpirOp, Isa, MachOp};
+
+const fn m(code: u16, name: &'static str) -> MachOp {
+    MachOp { isa: Isa::HexagonHvx, code, name }
+}
+
+/// Vector add.
+pub const VADD: MachOp = m(0, "vadd");
+/// Vector subtract.
+pub const VSUB: MachOp = m(1, "vsub");
+/// Vector multiply (16/32-bit).
+pub const VMPYI: MachOp = m(2, "vmpyi");
+/// Minimum.
+pub const VMIN: MachOp = m(3, "vmin");
+/// Maximum.
+pub const VMAX: MachOp = m(4, "vmax");
+/// Bitwise and.
+pub const VAND: MachOp = m(5, "vand");
+/// Bitwise or.
+pub const VOR: MachOp = m(6, "vor");
+/// Bitwise xor.
+pub const VXOR: MachOp = m(7, "vxor");
+/// Shift left.
+pub const VASL: MachOp = m(8, "vasl");
+/// Shift right.
+pub const VASR: MachOp = m(9, "vasr");
+/// Compare greater.
+pub const VCMPGT: MachOp = m(10, "vcmp.gt");
+/// Compare equal.
+pub const VCMPEQ: MachOp = m(11, "vcmp.eq");
+/// Mux (select).
+pub const VMUX: MachOp = m(12, "vmux");
+/// Zero extension.
+pub const VZXT: MachOp = m(13, "vzxt");
+/// Sign extension.
+pub const VSXT: MachOp = m(14, "vsxt");
+/// Truncating pack (even bytes).
+pub const VPACKE: MachOp = m(15, "vpacke");
+/// Register reinterpretation (free).
+pub const VREINTERP: MachOp = m(16, "vreinterp");
+/// Widening add (`vaddubh` family).
+pub const VADDW: MachOp = m(17, "vaddubh");
+/// Widening subtract (`vsububh` family).
+pub const VSUBW: MachOp = m(18, "vsububh");
+/// Widening multiply (`vmpy`).
+pub const VMPY: MachOp = m(19, "vmpy");
+/// Widening multiply with accumulation (`vmpy.acc`).
+pub const VMPYACC: MachOp = m(20, "vmpy.acc");
+/// Multiply-by-immediates-and-add (`vmpa`).
+pub const VMPA: MachOp = m(21, "vmpa");
+/// Accumulating `vmpa` (`vmpa.acc`).
+pub const VMPAACC: MachOp = m(22, "vmpa.acc");
+/// Paired multiply-add (`vdmpy`).
+pub const VDMPY: MachOp = m(23, "vdmpy");
+/// 4-way dot product accumulate (`vrmpy`).
+pub const VRMPY: MachOp = m(24, "vrmpy");
+/// Saturating add (`vadd:sat`).
+pub const VADDSAT: MachOp = m(25, "vadd:sat");
+/// Saturating subtract (`vsub:sat`).
+pub const VSUBSAT: MachOp = m(26, "vsub:sat");
+/// Halving add (`vavg`).
+pub const VAVG: MachOp = m(27, "vavg");
+/// Rounding halving add (`vavg:rnd`).
+pub const VAVGRND: MachOp = m(28, "vavg:rnd");
+/// Halving subtract (`vnavg`).
+pub const VNAVG: MachOp = m(29, "vnavg");
+/// Absolute difference (`vabsdiff`).
+pub const VABSDIFF: MachOp = m(30, "vabsdiff");
+/// Saturate-narrow, input read as signed (`vsat`).
+pub const VSAT: MachOp = m(31, "vsat");
+/// Fused shift-right, round, saturating narrow (`vasr:rnd:sat`).
+pub const VASRRNDSAT: MachOp = m(32, "vasr:rnd:sat");
+/// Absolute value (`vabs`).
+pub const VABS: MachOp = m(33, "vabs");
+/// Broadcast a constant (`vsplat`).
+pub const VSPLAT: MachOp = m(34, "vsplat");
+/// Rounding multiply-high (`vmpyo/vmpye` with `:rnd:sat`, used for the
+/// signed Q-format multiplies of §5.1).
+pub const VMPYERND: MachOp = m(35, "vmpyo:rnd:sat");
+
+const ALL: &[u32] = &[8, 16, 32];
+const WIDE: &[u32] = &[16, 32];
+const NARROW: &[u32] = &[8, 16];
+
+pub(crate) fn defs() -> Vec<InstDef> {
+    vec![
+        row(VADD, MachSem::Bin(BinOp::Add), 1, ALL, "vector add"),
+        row(VSUB, MachSem::Bin(BinOp::Sub), 1, ALL, "vector subtract"),
+        row(VMPYI, MachSem::Bin(BinOp::Mul), 2, WIDE, "vector multiply"),
+        row(VMIN, MachSem::Bin(BinOp::Min), 1, ALL, "minimum"),
+        row(VMAX, MachSem::Bin(BinOp::Max), 1, ALL, "maximum"),
+        row(VAND, MachSem::Bin(BinOp::And), 1, ALL, "bitwise and"),
+        row(VOR, MachSem::Bin(BinOp::Or), 1, ALL, "bitwise or"),
+        row(VXOR, MachSem::Bin(BinOp::Xor), 1, ALL, "bitwise xor"),
+        row(VASL, MachSem::Bin(BinOp::Shl), 1, WIDE, "shift left"),
+        row(VASR, MachSem::Bin(BinOp::Shr), 1, WIDE, "shift right"),
+        row(VCMPGT, MachSem::Cmp(CmpOp::Gt), 1, ALL, "compare greater"),
+        row(VCMPEQ, MachSem::Cmp(CmpOp::Eq), 1, ALL, "compare equal"),
+        row(VMUX, MachSem::Select, 1, ALL, "mux"),
+        row(VZXT, MachSem::ExtendTo, 2, NARROW, "zero extend (shuffle unit)").unsigned_only(),
+        row(VSXT, MachSem::ExtendTo, 2, NARROW, "sign extend (shuffle unit)").signed_only(),
+        row(VPACKE, MachSem::TruncTo, 2, WIDE, "truncating pack (shuffle unit)"),
+        row(VREINTERP, MachSem::Reinterpret, 0, ALL, "register alias"),
+        row(VADDW, MachSem::Fpir(FpirOp::WideningAdd), 1, NARROW, "widening add"),
+        row(VSUBW, MachSem::Fpir(FpirOp::WideningSub), 1, NARROW, "widening subtract"),
+        row(VMPY, MachSem::Fpir(FpirOp::WideningMul), 2, NARROW, "widening multiply"),
+        row(VMPYACC, MachSem::WideningMulAcc, 2, WIDE, "widening multiply-accumulate"),
+        row(VMPA, MachSem::Mpa, 2, NARROW, "multiply-add with immediates")
+            .const_operands(&[2, 3]),
+        row(VMPAACC, MachSem::MpaAcc, 2, WIDE, "accumulating multiply-add with immediates")
+            .const_operands(&[3, 4]),
+        row(VDMPY, MachSem::MulPairsAdd, 2, &[16], "paired multiply-add").signed_only(),
+        row(VRMPY, MachSem::DotAcc4, 2, &[32], "4-way dot product accumulate"),
+        row(VADDSAT, MachSem::Fpir(FpirOp::SaturatingAdd), 1, ALL, "saturating add"),
+        row(VSUBSAT, MachSem::Fpir(FpirOp::SaturatingSub), 1, ALL, "saturating subtract"),
+        row(VAVG, MachSem::Fpir(FpirOp::HalvingAdd), 1, ALL, "halving add"),
+        row(VAVGRND, MachSem::Fpir(FpirOp::RoundingHalvingAdd), 1, ALL, "rounding halving add"),
+        row(VNAVG, MachSem::Fpir(FpirOp::HalvingSub), 1, ALL, "halving subtract"),
+        row(VABSDIFF, MachSem::Fpir(FpirOp::Absd), 1, ALL, "absolute difference"),
+        row(VSAT, MachSem::PackSatSignedTo, 1, WIDE, "saturating pack"),
+        row(VASRRNDSAT, MachSem::ShrRndSatNarrow, 1, WIDE, "shift-round-saturate narrow")
+            .const_operands(&[1]),
+        row(VABS, MachSem::Fpir(FpirOp::Abs), 1, ALL, "absolute value"),
+        row(VSPLAT, MachSem::Splat, 1, ALL, "broadcast constant"),
+        row(VMPYERND, MachSem::QRDMulH, 3, WIDE, "rounding multiply high").signed_only(),
+    ]
+}

@@ -1,0 +1,508 @@
+//! Generic legalization: turn any remaining non-machine nodes into target
+//! instructions.
+//!
+//! This pass encodes the *direct mappings* of §3.3 once per target (the
+//! `n` in the paper's `k + n + 1` rule count) plus the generic fallback
+//! path every compiler needs: unsupported widths are widened, executed at
+//! the wider width, and truncated back — exactly the "high-bit-width
+//! intermediates halve SIMD throughput" effect the paper describes — and
+//! FPIR instructions without a native row are expanded into their
+//! primitive-integer definitions and re-legalized.
+//!
+//! Legalization fails honestly: Hexagon HVX has no 64-bit lanes, so
+//! expressions that require them (§5.1) return
+//! [`LowerError::Unsupported`], mirroring LLVM's failure to compile
+//! `depthwise_conv`, `matmul` and `mul` for HVX.
+
+use crate::def::{InstDef, SignReq, Target};
+use crate::sem::MachSem;
+use fpir::expr::{BinOp, CmpOp, Expr, ExprKind, FpirOp, RcExpr};
+use fpir::types::{ScalarType, VectorType};
+use fpir::Isa;
+use std::fmt;
+
+/// Why an expression could not be lowered for a target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// The target.
+    pub isa: Isa,
+    /// Human-readable reason.
+    pub what: String,
+}
+
+impl LowerError {
+    fn new(isa: Isa, what: impl Into<String>) -> LowerError {
+        LowerError { isa, what: what.into() }
+    }
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot lower for {}: {}", self.isa, self.what)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lower every non-machine node of `expr` into machine instructions for
+/// target `t`.
+///
+/// # Errors
+///
+/// Fails when the expression needs lanes wider than the target supports,
+/// or contains an operation with no legal implementation (e.g. general
+/// vector division).
+pub fn legalize(expr: &RcExpr, t: &Target) -> Result<RcExpr, LowerError> {
+    let children: Vec<RcExpr> = expr
+        .children()
+        .into_iter()
+        .map(|c| legalize(c, t))
+        .collect::<Result<_, _>>()?;
+    let isa = t.isa;
+    check_width(expr.ty(), isa)?;
+
+    match expr.kind() {
+        ExprKind::Var(_) | ExprKind::Const(_) => Ok(expr.clone()),
+        ExprKind::Mach(op, _) => {
+            let node = expr.with_children(children);
+            let def = t
+                .def(*op)
+                .ok_or_else(|| LowerError::new(isa, format!("unknown opcode {op}")))?;
+            validate_mach(&node, def, t)?;
+            Ok(node)
+        }
+        ExprKind::Bin(op, ..) => legalize_bin(*op, expr.ty(), children, t),
+        ExprKind::Cmp(op, ..) => legalize_cmp(*op, expr.ty(), children, t),
+        ExprKind::Select(..) => {
+            let width = children[1].elem().bits();
+            let def = find_usable(t, MachSem::Select, width, false, &children)
+                .ok_or_else(|| LowerError::new(isa, format!("no select at {width} bits")))?;
+            Ok(Expr::mach(def.op, expr.ty(), children))
+        }
+        ExprKind::Cast(_) => legalize_cast(expr.ty().elem, children.remove_first(), t),
+        ExprKind::Reinterpret(_) =>
+
+            Ok(reinterpret_node(expr.ty(), children.remove_first(), t)),
+        ExprKind::Fpir(op, _) => legalize_fpir(*op, expr.ty(), children, t),
+    }
+}
+
+trait RemoveFirst<T> {
+    fn remove_first(self) -> T;
+}
+
+impl<T> RemoveFirst<T> for Vec<T> {
+    fn remove_first(mut self) -> T {
+        self.remove(0)
+    }
+}
+
+fn check_width(ty: VectorType, isa: Isa) -> Result<(), LowerError> {
+    if ty.elem.bits() > isa.max_lane_bits() {
+        Err(LowerError::new(
+            isa,
+            format!("{isa} has no {}-bit lanes (needed for {ty})", ty.elem.bits()),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Find the cheapest row with this semantics that is legal at the width,
+/// signedness, *and* whose const-operand requirements are satisfied by
+/// the actual operands.
+fn find_usable<'t>(
+    t: &'t Target,
+    sem: MachSem,
+    width: u32,
+    signed: bool,
+    args: &[RcExpr],
+) -> Option<&'t InstDef> {
+    t.defs()
+        .iter()
+        .filter(|d| {
+            d.sem == sem
+                && d.widths.contains(&width)
+                && match d.sign {
+                    SignReq::Any => true,
+                    SignReq::Signed => signed,
+                    SignReq::Unsigned => !signed,
+                }
+                && d.needs_const
+                    .iter()
+                    .all(|&i| args.get(i).is_some_and(|a| a.as_const().is_some()))
+        })
+        .min_by_key(|d| d.cost)
+}
+
+fn validate_mach(node: &RcExpr, def: &InstDef, t: &Target) -> Result<(), LowerError> {
+    let args = node.children();
+    if args.len() != def.sem.arity() {
+        return Err(LowerError::new(
+            t.isa,
+            format!("{} takes {} operands, got {}", def.op, def.sem.arity(), args.len()),
+        ));
+    }
+    let first = args
+        .first()
+        .map(|a| a.elem())
+        .unwrap_or(node.elem());
+    if !def.widths.contains(&first.bits()) {
+        return Err(LowerError::new(
+            t.isa,
+            format!("{} is illegal at {} bits", def.op, first.bits()),
+        ));
+    }
+    match def.sign {
+        SignReq::Signed if !first.is_signed() => {
+            return Err(LowerError::new(t.isa, format!("{} requires signed lanes", def.op)))
+        }
+        SignReq::Unsigned if first.is_signed() => {
+            return Err(LowerError::new(t.isa, format!("{} requires unsigned lanes", def.op)))
+        }
+        _ => {}
+    }
+    for &i in def.needs_const {
+        if args.get(i).and_then(|a| a.as_const()).is_none() {
+            return Err(LowerError::new(
+                t.isa,
+                format!("{} operand {i} must be an immediate", def.op),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn reinterpret_node(ty: VectorType, arg: RcExpr, t: &Target) -> RcExpr {
+    if arg.ty() == ty {
+        return arg;
+    }
+    let def = t
+        .defs()
+        .iter()
+        .find(|d| d.sem == MachSem::Reinterpret)
+        .expect("every target has a reinterpret alias");
+    Expr::mach(def.op, ty, vec![arg])
+}
+
+fn legalize_bin(
+    op: BinOp,
+    ty: VectorType,
+    mut args: Vec<RcExpr>,
+    t: &Target,
+) -> Result<RcExpr, LowerError> {
+    let isa = t.isa;
+    let width = ty.elem.bits();
+    let signed = ty.elem.is_signed();
+
+    // Division/remainder: only powers of two are supported (floor division
+    // by 2^k is an arithmetic shift; unsigned remainder is a mask).
+    match op {
+        BinOp::Div => {
+            if let Some(c) = args[1].as_const() {
+                if fpir::simplify::is_pow2(c) {
+                    let count =
+                        Expr::constant(fpir::simplify::log2(c) as i128, args[1].ty())
+                            .expect("log2 fits");
+                    return legalize_bin(BinOp::Shr, ty, vec![args.remove(0), count], t);
+                }
+            }
+            return Err(LowerError::new(isa, "no vector division instruction".to_string()));
+        }
+        BinOp::Mod => {
+            if let (Some(c), false) = (args[1].as_const(), signed) {
+                if fpir::simplify::is_pow2(c) {
+                    let mask = Expr::constant(c - 1, args[1].ty()).expect("mask fits");
+                    return legalize_bin(BinOp::And, ty, vec![args.remove(0), mask], t);
+                }
+            }
+            return Err(LowerError::new(isa, "no vector remainder instruction".to_string()));
+        }
+        BinOp::Shl | BinOp::Shr => {
+            // Normalize negative immediate counts to the other direction.
+            if let Some(c) = args[1].as_const() {
+                if c < 0 {
+                    let flipped = if op == BinOp::Shl { BinOp::Shr } else { BinOp::Shl };
+                    let count = Expr::constant(-c, args[1].ty()).expect("negated count fits");
+                    return legalize_bin(flipped, ty, vec![args.remove(0), count], t);
+                }
+            }
+        }
+        _ => {}
+    }
+
+    if let Some(def) = find_usable(t, MachSem::Bin(op), width, signed, &args) {
+        return Ok(Expr::mach(def.op, ty, args));
+    }
+
+    // Min/max without a native row decompose into compare + select (how
+    // LLVM legalizes 64-bit min/max on AVX2).
+    if matches!(op, BinOp::Min | BinOp::Max) {
+        let (a, b) = (args[0].clone(), args[1].clone());
+        let cmp_op = if op == BinOp::Min { CmpOp::Lt } else { CmpOp::Gt };
+        let cond = legalize_cmp(cmp_op, ty, vec![a.clone(), b.clone()], t)?;
+        let node = Expr::select(cond, a, b).expect("select of like-typed operands");
+        return legalize(&node, t);
+    }
+
+    // Width promotion: run at double width and truncate back (the costly
+    // path that halves SIMD throughput).
+    if let Some(wider) = ty.elem.widen() {
+        if check_width(ty.with_elem(wider), isa).is_ok() {
+            let wide_args = args
+                .into_iter()
+                .map(|a| legalize_cast(wider, a, t))
+                .collect::<Result<Vec<_>, _>>()?;
+            let wide = legalize_bin(op, ty.with_elem(wider), wide_args, t)?;
+            return legalize_cast(ty.elem, wide, t);
+        }
+    }
+    Err(LowerError::new(
+        isa,
+        format!("no `{}` instruction at {width} bits", op.symbol()),
+    ))
+}
+
+fn legalize_cmp(
+    op: CmpOp,
+    ty: VectorType,
+    mut args: Vec<RcExpr>,
+    t: &Target,
+) -> Result<RcExpr, LowerError> {
+    let isa = t.isa;
+    let width = args[0].elem().bits();
+    let signed = args[0].elem().is_signed();
+    let not = |e: RcExpr, t: &Target| -> Result<RcExpr, LowerError> {
+        // Comparisons produce 0/1 lanes; `not` is xor with 1.
+        let one = Expr::constant(1, e.ty()).expect("1 fits");
+        legalize_bin(BinOp::Xor, e.ty(), vec![e, one], t)
+    };
+    match op {
+        CmpOp::Lt => {
+            args.swap(0, 1);
+            legalize_cmp(CmpOp::Gt, ty, args, t)
+        }
+        CmpOp::Le => {
+            // a <= b  ==  !(a > b)
+            let gt = legalize_cmp(CmpOp::Gt, ty, args, t)?;
+            not(gt, t)
+        }
+        CmpOp::Ge => {
+            args.swap(0, 1);
+            legalize_cmp(CmpOp::Le, ty, args, t)
+        }
+        CmpOp::Ne => {
+            let eq = legalize_cmp(CmpOp::Eq, ty, args, t)?;
+            not(eq, t)
+        }
+        CmpOp::Gt | CmpOp::Eq => {
+            if let Some(def) = find_usable(t, MachSem::Cmp(op), width, signed, &args) {
+                Ok(Expr::mach(def.op, ty, args))
+            } else {
+                Err(LowerError::new(
+                    isa,
+                    format!("no `{}` comparison at {width} bits", op.symbol()),
+                ))
+            }
+        }
+    }
+}
+
+/// Legalize a wrapping cast by chaining single-step extends / truncations.
+fn legalize_cast(to: ScalarType, arg: RcExpr, t: &Target) -> Result<RcExpr, LowerError> {
+    let isa = t.isa;
+    let from = arg.elem();
+    check_width(arg.ty().with_elem(to), isa)?;
+    if from.bits() == to.bits() {
+        return Ok(reinterpret_node(arg.ty().with_elem(to), arg, t));
+    }
+    if from.bits() < to.bits() {
+        // One extension step, preserving source signedness (that is what a
+        // wrapping cast does), then recurse.
+        let step = from.widen().expect("from < to implies widenable");
+        let def = find_usable(t, MachSem::ExtendTo, from.bits(), from.is_signed(), std::slice::from_ref(&arg))
+            .ok_or_else(|| {
+                LowerError::new(isa, format!("no extension from {} bits", from.bits()))
+            })?;
+        let widened = Expr::mach(def.op, arg.ty().with_elem(step), vec![arg]);
+        legalize_cast(to, widened, t)
+    } else {
+        let step = from.narrow().expect("from > to implies narrowable");
+        let def = find_usable(t, MachSem::TruncTo, from.bits(), from.is_signed(), std::slice::from_ref(&arg))
+            .ok_or_else(|| {
+                LowerError::new(isa, format!("no truncation from {} bits", from.bits()))
+            })?;
+        let narrowed = Expr::mach(def.op, arg.ty().with_elem(step), vec![arg]);
+        legalize_cast(to, narrowed, t)
+    }
+}
+
+fn legalize_fpir(
+    op: FpirOp,
+    ty: VectorType,
+    args: Vec<RcExpr>,
+    t: &Target,
+) -> Result<RcExpr, LowerError> {
+    let isa = t.isa;
+    let width = args[0].elem().bits();
+    let signed = args[0].elem().is_signed();
+
+    // Saturating casts: a same-signedness one-step narrow has a native row
+    // on ARM/HVX-class targets; anything else expands to clamp-then-cast.
+    if let FpirOp::SaturatingCast(target_elem) = op {
+        let src = args[0].elem();
+        if src.narrow() == Some(target_elem) {
+            if let Some(def) =
+                find_usable(t, MachSem::Fpir(FpirOp::SaturatingNarrow), width, signed, &args)
+            {
+                return Ok(Expr::mach(def.op, ty, args));
+            }
+            // Signed-to-unsigned narrow (sqxtun).
+            if src.is_signed() && !target_elem.is_signed() {
+                if let Some(def) = find_usable(t, MachSem::SatCastTo, width, signed, &args) {
+                    return Ok(Expr::mach(def.op, ty, args));
+                }
+            }
+        }
+        let expanded = fpir::semantics::expand_fpir(op, &args)
+            .map_err(|e| LowerError::new(isa, e.to_string()))?;
+        return legalize(&fpir::simplify::const_fold(&expanded), t);
+    }
+
+    // `saturating_narrow` reaches here only as its own node.
+    let lookup_op = if op == FpirOp::SaturatingNarrow { FpirOp::SaturatingNarrow } else { op };
+    if let Some(def) = find_usable(t, MachSem::Fpir(lookup_op), width, signed, &args) {
+        return Ok(Expr::mach(def.op, ty, args));
+    }
+
+    // No native row: fall back to the instruction's primitive definition
+    // (folding the expansion's constant subterms — shift counts and
+    // rounding terms must be immediates again before selection).
+    let expanded = fpir::semantics::expand_fpir(op, &args)
+        .map_err(|e| LowerError::new(isa, e.to_string()))?;
+    legalize(&fpir::simplify::const_fold(&expanded), t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::def::target;
+    use fpir::build;
+    use fpir::types::{ScalarType as S, VectorType as V};
+
+    fn all_mach(e: &RcExpr) -> bool {
+        !e.any(&mut |n| {
+            !matches!(
+                n.kind(),
+                ExprKind::Mach(..) | ExprKind::Var(_) | ExprKind::Const(_)
+            )
+        })
+    }
+
+    #[test]
+    fn add_lowers_directly_everywhere() {
+        let t = V::new(S::U8, 16);
+        let e = build::add(build::var("a", t), build::var("b", t));
+        for isa in fpir::machine::ALL_ISAS {
+            let out = legalize(&e, target(isa)).unwrap();
+            assert!(all_mach(&out), "{isa}: {out}");
+            assert_eq!(out.ty(), e.ty());
+        }
+    }
+
+    #[test]
+    fn u8_multiply_on_x86_widens() {
+        // AVX2 has no byte multiply: expect extend / vpmull / pack.
+        let t = V::new(S::U8, 32);
+        let e = build::mul(build::var("a", t), build::var("b", t));
+        let out = legalize(&e, target(Isa::X86Avx2)).unwrap();
+        let printed = out.to_string();
+        assert!(printed.contains("vpmull"), "{printed}");
+        assert!(printed.contains("vpmovzx"), "{printed}");
+        assert!(printed.contains("vpacktrunc"), "{printed}");
+    }
+
+    #[test]
+    fn widening_add_maps_to_uaddl_on_arm() {
+        let t = V::new(S::U8, 16);
+        let e = build::widening_add(build::var("a", t), build::var("b", t));
+        let out = legalize(&e, target(Isa::ArmNeon)).unwrap();
+        assert_eq!(out.to_string(), "arm.uaddl(a_u8, b_u8)");
+    }
+
+    #[test]
+    fn halving_add_on_x86_expands() {
+        // x86 has no uhadd: the generic path widens, adds, shifts, narrows.
+        let t = V::new(S::U8, 32);
+        let e = build::halving_add(build::var("a", t), build::var("b", t));
+        let out = legalize(&e, target(Isa::X86Avx2)).unwrap();
+        assert!(all_mach(&out));
+        // The same instruction is a single vavg on HVX.
+        let out = legalize(&e, target(Isa::HexagonHvx)).unwrap();
+        assert_eq!(out.to_string(), "hvx.vavg(a_u8, b_u8)");
+    }
+
+    #[test]
+    fn sixty_four_bit_fails_on_hvx_only() {
+        let t = V::new(S::I64, 4);
+        let e = build::add(build::var("a", t), build::var("b", t));
+        assert!(legalize(&e, target(Isa::ArmNeon)).is_ok());
+        assert!(legalize(&e, target(Isa::X86Avx2)).is_ok());
+        let err = legalize(&e, target(Isa::HexagonHvx)).unwrap_err();
+        assert!(err.what.contains("64-bit"), "{err}");
+    }
+
+    #[test]
+    fn division_by_pow2_becomes_shift() {
+        let t = V::new(S::I16, 8);
+        let e = build::div(build::var("a", t), build::constant(4, t));
+        let out = legalize(&e, target(Isa::ArmNeon)).unwrap();
+        assert!(out.to_string().contains("ushr"), "{out}");
+        // General division fails.
+        let e = build::div(build::var("a", t), build::var("b", t));
+        assert!(legalize(&e, target(Isa::ArmNeon)).is_err());
+    }
+
+    #[test]
+    fn comparisons_normalize() {
+        let t = V::new(S::I16, 8);
+        let e = build::le(build::var("a", t), build::var("b", t));
+        let out = legalize(&e, target(Isa::ArmNeon)).unwrap();
+        assert!(all_mach(&out));
+        // le = not(gt): expect a cmgt and an eor.
+        let p = out.to_string();
+        assert!(p.contains("cmgt") && p.contains("eor"), "{p}");
+    }
+
+    #[test]
+    fn legalized_exprs_evaluate_like_sources() {
+        use fpir::interp::{eval, eval_with};
+        use fpir::rand_expr::{gen_expr, random_env, GenConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(33);
+        let cfg = GenConfig {
+            lanes: 8,
+            types: vec![S::U8, S::U16, S::I16, S::I32, S::U32, S::I8],
+            ..GenConfig::default()
+        };
+        let evaluator = crate::def::MachEvaluator;
+        let mut checked = 0;
+        for i in 0..150 {
+            let elem = cfg.types[i % cfg.types.len()];
+            let e = gen_expr(&mut rng, &cfg, elem);
+            for isa in fpir::machine::ALL_ISAS {
+                let Ok(lowered) = legalize(&e, target(isa)) else {
+                    continue; // e.g. width limits on HVX
+                };
+                let env = random_env(&mut rng, &e);
+                let want = eval(&e, &env).unwrap();
+                let got = eval_with(&lowered, &env, Some(&evaluator))
+                    .unwrap_or_else(|err| panic!("{isa}: {err}\n  src {e}\n  low {lowered}"));
+                assert_eq!(want, got, "{isa} diverged on {e}\n lowered: {lowered}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 200, "only {checked} legalizations checked");
+    }
+}

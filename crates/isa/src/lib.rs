@@ -1,0 +1,49 @@
+//! # fpir-isa — virtual fixed-point SIMD targets
+//!
+//! Three *virtual ISAs* modelled on the paper's evaluation targets —
+//! x86 AVX2 ([`x86`]), 64-bit ARM Neon ([`arm`]) and Hexagon HVX
+//! ([`hvx`]) — each defined as an instruction table with:
+//!
+//! * **executable semantics** ([`sem`]) built from the reference
+//!   interpreter's lane arithmetic, so lowered code can be run and
+//!   differentially tested against the source expression;
+//! * **costs** (per native register processed) that drive both the
+//!   lowering TRSs ([`cost::TargetCost`]) and the cycle model in
+//!   `fpir-sim`;
+//! * **legality**: lane widths, signedness requirements, and
+//!   immediate-operand constraints. Hexagon HVX has no 64-bit lanes,
+//!   reproducing the §5.1 compile failures.
+//!
+//! The [`legalize`] pass provides each target's *direct mappings* (the
+//! `n` per-backend rules of the paper's `k + n + 1` argument) plus the
+//! generic widen-execute-truncate fallback that makes every integer
+//! operation compilable — expensively — even without Pitchfork.
+//!
+//! ```
+//! use fpir::build::*;
+//! use fpir::types::{ScalarType, VectorType};
+//! use fpir::Isa;
+//! use fpir_isa::{legalize::legalize, target};
+//!
+//! let t = VectorType::new(ScalarType::U8, 16);
+//! let e = widening_add(var("a", t), var("b", t));
+//! let lowered = legalize(&e, target(Isa::ArmNeon))?;
+//! assert_eq!(lowered.to_string(), "arm.uaddl(a_u8, b_u8)");
+//! # Ok::<(), fpir_isa::legalize::LowerError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arm;
+pub mod cost;
+pub mod def;
+pub mod hvx;
+pub mod legalize;
+pub mod sem;
+pub mod x86;
+
+pub use cost::TargetCost;
+pub use def::{target, InstDef, MachEvaluator, SignReq, Target};
+pub use legalize::{legalize, LowerError};
+pub use sem::{eval_sem, MachSem};

@@ -1,0 +1,349 @@
+//! Executable semantics of machine instructions.
+//!
+//! Every instruction in a target table carries a [`MachSem`] describing
+//! what it computes. Semantics are defined *in terms of the reference
+//! interpreter's lane arithmetic* (`fpir::interp`), so a lowered machine
+//! program can be executed and differentially tested against the source
+//! expression — that replaces the paper's "run it on the real device /
+//! Hexagon simulator" correctness story.
+//!
+//! A few instructions deliberately have semantics that differ from the
+//! FPIR op they are used to implement — e.g. x86's `vpackuswb` and HVX's
+//! `vsat` reinterpret their input bits as *signed* before saturating
+//! ([`MachSem::PackSatSignedTo`]). Pitchfork may only select them under a
+//! bounds predicate; if a rule gets the predicate wrong, differential
+//! testing catches the disagreement.
+
+use fpir::expr::{BinOp, CmpOp, FpirOp};
+use fpir::interp::{bin_op_lane, cmp_op_lane, fpir_op_lane, Value};
+use fpir::types::{ScalarType, VectorType};
+
+/// What a machine instruction computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachSem {
+    /// A lane-wise primitive binary op at the operand type.
+    Bin(BinOp),
+    /// A comparison producing 0/1 lanes of the operand type.
+    Cmp(CmpOp),
+    /// `select(mask, a, b)` — non-zero mask lanes take `a`.
+    Select,
+    /// Wrapping conversion to a *wider* result element type (zero/sign
+    /// extension chosen by the source signedness — `vpmovzx`, `uxtl`,
+    /// `vzxt`).
+    ExtendTo,
+    /// Wrapping conversion to a *narrower* result element type (`xtn`,
+    /// `vpacke`, x86's shuffle-based pack).
+    TruncTo,
+    /// Bit reinterpretation (free register alias).
+    Reinterpret,
+    /// Exactly the FPIR instruction's semantics at the operand types.
+    Fpir(FpirOp),
+    /// Saturating cast to the result element type.
+    SatCastTo,
+    /// Reinterpret the input as the *signed* type of its width, then
+    /// saturating-cast to the result element type (x86 `vpackuswb`,
+    /// HVX `vsat`).
+    PackSatSignedTo,
+    /// High half of the widened product: `(widen(x) * widen(y)) >> bits`.
+    MulHigh,
+    /// Non-widening multiply-accumulate: `acc + a * b` (wrapping).
+    MulAcc,
+    /// Widening multiply-accumulate: `acc + widen(a) * widen(b)` where
+    /// `acc` has double the operand width (ARM `umlal`, HVX `vmpy.acc`).
+    WideningMulAcc,
+    /// Paired widening multiply-add:
+    /// `widen(a) * widen(b) + widen(c) * widen(d)` (x86 `vpmaddwd`,
+    /// HVX `vdmpy`).
+    MulPairsAdd,
+    /// Multiply-by-constants-and-add: `widen(a) * c0 + widen(b) * c1`
+    /// (HVX `vmpa`); `c0`/`c1` are broadcast-constant operands.
+    Mpa,
+    /// Accumulating [`MachSem::Mpa`]: `acc + widen(a) * c0 + widen(b) * c1`.
+    MpaAcc,
+    /// Four-way widening dot product with accumulation:
+    /// `acc + Σ_{i<4} widen(a_i) * widen(b_i)` where `acc` has 4× the
+    /// operand width (ARM `udot`, HVX `vrmpy`).
+    DotAcc4,
+    /// Fused "shift right, round, saturating narrow":
+    /// `saturating_cast<result>(rounding_shr(x, c))` (HVX `vasr` with the
+    /// `:rnd:sat` modifiers; ARM `sqrshrn`-family).
+    ShrRndSatNarrow,
+    /// Fused "shift right then truncating narrow": `narrow(x >> c)` (ARM
+    /// `shrn`).
+    ShrNarrow,
+    /// Saturating rounding doubling multiply-high:
+    /// `rounding_mul_shr(x, y, bits - 1)` (ARM `sqrdmulh`).
+    QRDMulH,
+    /// Broadcast a scalar constant held in the operand.
+    Splat,
+}
+
+impl MachSem {
+    /// Operand count.
+    pub fn arity(self) -> usize {
+        match self {
+            MachSem::ExtendTo
+            | MachSem::TruncTo
+            | MachSem::Reinterpret
+            | MachSem::SatCastTo
+            | MachSem::PackSatSignedTo
+            | MachSem::Splat => 1,
+            MachSem::Bin(_)
+            | MachSem::Cmp(_)
+            | MachSem::MulHigh
+            | MachSem::ShrRndSatNarrow
+            | MachSem::ShrNarrow
+            | MachSem::QRDMulH => 2,
+            MachSem::Select | MachSem::MulAcc | MachSem::WideningMulAcc => 3,
+            MachSem::Fpir(op) => op.arity(),
+            MachSem::MulPairsAdd | MachSem::Mpa => 4,
+            MachSem::MpaAcc => 5,
+            MachSem::DotAcc4 => 9,
+        }
+    }
+}
+
+/// Execute one instruction.
+///
+/// `result_ty` is the type the surrounding expression/program assigned to
+/// the destination; semantics that imply their own result type validate it.
+///
+/// # Errors
+///
+/// Returns a message on arity mismatch, lane-count mismatch, or a result
+/// type inconsistent with the semantics.
+pub fn eval_sem(sem: MachSem, args: &[Value], result_ty: VectorType) -> Result<Value, String> {
+    if args.len() != sem.arity() {
+        return Err(format!(
+            "{sem:?} takes {} operands, got {}",
+            sem.arity(),
+            args.len()
+        ));
+    }
+    let lanes = result_ty.lanes as usize;
+    for a in args {
+        if a.ty().lanes as usize != lanes {
+            return Err(format!(
+                "operand lanes {} != result lanes {lanes}",
+                a.ty().lanes
+            ));
+        }
+    }
+    let elem0 = args.first().map(|a| a.ty().elem);
+    let per_lane = |f: &dyn Fn(usize) -> Result<i128, String>| -> Result<Value, String> {
+        let mut out = Vec::with_capacity(lanes);
+        for i in 0..lanes {
+            out.push(f(i)?);
+        }
+        Ok(Value::new(result_ty, out))
+    };
+
+    match sem {
+        MachSem::Bin(op) => {
+            let t = elem0.expect("arity >= 1");
+            per_lane(&|i| Ok(bin_op_lane(op, args[0].lane(i), args[1].lane(i), t)))
+        }
+        MachSem::Cmp(op) => {
+            let t = elem0.expect("arity >= 1");
+            per_lane(&|i| Ok(cmp_op_lane(op, args[0].lane(i), args[1].lane(i), t)))
+        }
+        MachSem::Select => per_lane(&|i| {
+            Ok(if args[0].lane(i) != 0 {
+                args[1].lane(i)
+            } else {
+                args[2].lane(i)
+            })
+        }),
+        MachSem::ExtendTo | MachSem::TruncTo | MachSem::Reinterpret | MachSem::Splat => {
+            per_lane(&|i| Ok(result_ty.elem.wrap(args[0].lane(i))))
+        }
+        MachSem::SatCastTo => per_lane(&|i| Ok(result_ty.elem.saturate(args[0].lane(i)))),
+        MachSem::PackSatSignedTo => {
+            let signed = elem0.expect("arity 1").with_signed();
+            per_lane(&|i| Ok(result_ty.elem.saturate(signed.wrap(args[0].lane(i)))))
+        }
+        MachSem::Fpir(op) => {
+            let tys: Vec<ScalarType> = args.iter().map(|a| a.ty().elem).collect();
+            per_lane(&|i| {
+                let xs: Vec<i128> = args.iter().map(|a| a.lane(i)).collect();
+                Ok(fpir_op_lane(op, &xs, &tys, result_ty.elem))
+            })
+        }
+        MachSem::MulHigh => {
+            let t = elem0.expect("arity 2");
+            let bits = t.bits();
+            per_lane(&|i| {
+                Ok(result_ty
+                    .elem
+                    .wrap((args[0].lane(i) * args[1].lane(i)) >> bits))
+            })
+        }
+        MachSem::MulAcc => per_lane(&|i| {
+            Ok(result_ty
+                .elem
+                .wrap(args[0].lane(i) + args[1].lane(i) * args[2].lane(i)))
+        }),
+        MachSem::WideningMulAcc => {
+            let (aw, ow) = (args[0].ty().elem.bits(), args[1].ty().elem.bits());
+            if aw != ow * 2 {
+                return Err(format!(
+                    "widening mul-acc accumulator must be 2x the operand width ({aw} vs {ow})"
+                ));
+            }
+            per_lane(&|i| {
+                Ok(result_ty
+                    .elem
+                    .wrap(args[0].lane(i) + args[1].lane(i) * args[2].lane(i)))
+            })
+        }
+        MachSem::MulPairsAdd => per_lane(&|i| {
+            Ok(result_ty.elem.wrap(
+                args[0].lane(i) * args[1].lane(i) + args[2].lane(i) * args[3].lane(i),
+            ))
+        }),
+        MachSem::Mpa => per_lane(&|i| {
+            Ok(result_ty
+                .elem
+                .wrap(args[0].lane(i) * args[2].lane(i) + args[1].lane(i) * args[3].lane(i)))
+        }),
+        MachSem::MpaAcc => per_lane(&|i| {
+            Ok(result_ty.elem.wrap(
+                args[0].lane(i)
+                    + args[1].lane(i) * args[3].lane(i)
+                    + args[2].lane(i) * args[4].lane(i),
+            ))
+        }),
+        MachSem::DotAcc4 => {
+            let aw = args[0].ty().elem.bits();
+            let ow = args[1].ty().elem.bits();
+            if aw != ow * 4 {
+                return Err(format!(
+                    "dot-product accumulator must be 4x the operand width ({aw} vs {ow})"
+                ));
+            }
+            per_lane(&|i| {
+                let mut acc = args[0].lane(i);
+                for k in 0..4 {
+                    acc += args[1 + k].lane(i) * args[5 + k].lane(i);
+                }
+                Ok(result_ty.elem.wrap(acc))
+            })
+        }
+        MachSem::ShrRndSatNarrow => {
+            let t = elem0.expect("arity 2");
+            let tys = [t, args[1].ty().elem];
+            per_lane(&|i| {
+                let shifted = fpir_op_lane(
+                    FpirOp::RoundingShr,
+                    &[args[0].lane(i), args[1].lane(i)],
+                    &tys,
+                    t,
+                );
+                Ok(result_ty.elem.saturate(shifted))
+            })
+        }
+        MachSem::ShrNarrow => {
+            let t = elem0.expect("arity 2");
+            per_lane(&|i| {
+                let shifted = bin_op_lane(BinOp::Shr, args[0].lane(i), args[1].lane(i), t);
+                Ok(result_ty.elem.wrap(shifted))
+            })
+        }
+        MachSem::QRDMulH => {
+            let t = elem0.expect("arity 2");
+            let tys = [t, t, t];
+            per_lane(&|i| {
+                Ok(fpir_op_lane(
+                    FpirOp::RoundingMulShr,
+                    &[args[0].lane(i), args[1].lane(i), t.bits() as i128 - 1],
+                    &tys,
+                    result_ty.elem,
+                ))
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpir::types::{ScalarType as S, VectorType as V};
+
+    fn v(t: V, xs: &[i128]) -> Value {
+        Value::new(t, xs.to_vec())
+    }
+
+    #[test]
+    fn pack_sat_signed_reinterprets() {
+        // vpackuswb-style: u16 50000 is i16 -15536, which saturates to 0.
+        let t16 = V::new(S::U16, 2);
+        let t8 = V::new(S::U8, 2);
+        let out = eval_sem(MachSem::PackSatSignedTo, &[v(t16, &[50000, 300])], t8).unwrap();
+        assert_eq!(out.lanes(), &[0, 255]);
+        // A plain saturating cast would give 255 for both.
+        let out = eval_sem(MachSem::SatCastTo, &[v(t16, &[50000, 300])], t8).unwrap();
+        assert_eq!(out.lanes(), &[255, 255]);
+    }
+
+    #[test]
+    fn widening_mul_acc() {
+        let t16 = V::new(S::U16, 2);
+        let t8 = V::new(S::U8, 2);
+        let out = eval_sem(
+            MachSem::WideningMulAcc,
+            &[v(t16, &[100, 65535]), v(t8, &[10, 2]), v(t8, &[10, 1])],
+            t16,
+        )
+        .unwrap();
+        assert_eq!(out.lanes(), &[200, 1]); // 65535 + 2 wraps.
+    }
+
+    #[test]
+    fn dot_acc4_accumulates() {
+        let t32 = V::new(S::U32, 1);
+        let t8 = V::new(S::U8, 1);
+        let args: Vec<Value> = std::iter::once(v(t32, &[5]))
+            .chain((0..4).map(|i| v(t8, &[i + 1])))
+            .chain((0..4).map(|_| v(t8, &[10])))
+            .collect();
+        let out = eval_sem(MachSem::DotAcc4, &args, t32).unwrap();
+        assert_eq!(out.lanes(), &[5 + 10 * (1 + 2 + 3 + 4)]);
+    }
+
+    #[test]
+    fn dot_acc4_validates_widths() {
+        let t16 = V::new(S::U16, 1);
+        let t8 = V::new(S::U8, 1);
+        let args: Vec<Value> = std::iter::once(v(t16, &[5]))
+            .chain((0..8).map(|_| v(t8, &[1])))
+            .collect();
+        assert!(eval_sem(MachSem::DotAcc4, &args, t16).is_err());
+    }
+
+    #[test]
+    fn mul_high_matches_shifted_product() {
+        let t = V::new(S::I16, 1);
+        let out = eval_sem(MachSem::MulHigh, &[v(t, &[30000]), v(t, &[30000])], t).unwrap();
+        assert_eq!(out.lanes(), &[(30000 * 30000) >> 16]);
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let t = V::new(S::U8, 1);
+        assert!(eval_sem(MachSem::Select, &[v(t, &[1])], t).is_err());
+    }
+
+    #[test]
+    fn shr_rnd_sat_narrow() {
+        let t16 = V::new(S::I16, 2);
+        let t8 = V::new(S::I8, 2);
+        let out = eval_sem(
+            MachSem::ShrRndSatNarrow,
+            &[v(t16, &[1000, 255]), v(t16, &[2, 2])],
+            t8,
+        )
+        .unwrap();
+        // round(1000 / 4) = 250 -> saturates to 127; round(255/4) = 64.
+        assert_eq!(out.lanes(), &[127, 64]);
+    }
+}

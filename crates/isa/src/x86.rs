@@ -1,0 +1,139 @@
+//! The x86 AVX2-like virtual target.
+//!
+//! Modelled on AVX2's 256-bit integer ISA: few fused fixed-point
+//! operations (the rounding average `vpavgb/w`, saturating add/sub, the
+//! signed packs, and the `vpmaddwd`/`vpmulh*` multiply family), no 8-bit
+//! shifts or multiplies, signed-only compares, and no halving-add — the
+//! gaps that make Pitchfork's x86 backend lean on *compound* lowerings
+//! (§5.1.4).
+
+use crate::def::{row, InstDef};
+use crate::sem::MachSem;
+use fpir::expr::{BinOp, CmpOp};
+use fpir::{FpirOp, Isa, MachOp};
+
+const fn m(code: u16, name: &'static str) -> MachOp {
+    MachOp { isa: Isa::X86Avx2, code, name }
+}
+
+/// Packed add.
+pub const VPADD: MachOp = m(0, "vpadd");
+/// Packed subtract.
+pub const VPSUB: MachOp = m(1, "vpsub");
+/// Packed multiply (low half), 16/32-bit only.
+pub const VPMULL: MachOp = m(2, "vpmull");
+/// Signed multiply high (`vpmulhw`).
+pub const VPMULHW: MachOp = m(3, "vpmulhw");
+/// Unsigned multiply high (`vpmulhuw`).
+pub const VPMULHUW: MachOp = m(4, "vpmulhuw");
+/// Paired widening multiply-add of i16 into i32 (`vpmaddwd`).
+pub const VPMADDWD: MachOp = m(5, "vpmaddwd");
+/// Packed minimum.
+pub const VPMIN: MachOp = m(6, "vpmin");
+/// Packed maximum.
+pub const VPMAX: MachOp = m(7, "vpmax");
+/// Bitwise and.
+pub const VPAND: MachOp = m(8, "vpand");
+/// Bitwise or.
+pub const VPOR: MachOp = m(9, "vpor");
+/// Bitwise xor.
+pub const VPXOR: MachOp = m(10, "vpxor");
+/// Shift left by immediate.
+pub const VPSLL: MachOp = m(11, "vpsll");
+/// Shift right by immediate (logical or arithmetic per signedness).
+pub const VPSR: MachOp = m(12, "vpsr");
+/// Variable shift left (32/64-bit lanes only).
+pub const VPSLLV: MachOp = m(13, "vpsllv");
+/// Variable shift right (32/64-bit lanes only).
+pub const VPSRLV: MachOp = m(14, "vpsrlv");
+/// Signed compare greater-than.
+pub const VPCMPGT: MachOp = m(15, "vpcmpgt");
+/// Emulated unsigned compare greater-than (xor-bias + `vpcmpgt`).
+pub const VPCMPGTU: MachOp = m(16, "vpcmpgtu");
+/// Compare equal.
+pub const VPCMPEQ: MachOp = m(17, "vpcmpeq");
+/// Byte blend (select).
+pub const VPBLENDVB: MachOp = m(18, "vpblendvb");
+/// Zero extension (`vpmovzx`).
+pub const VPMOVZX: MachOp = m(19, "vpmovzx");
+/// Sign extension (`vpmovsx`).
+pub const VPMOVSX: MachOp = m(20, "vpmovsx");
+/// Truncating narrow (shuffle/pack based — costs two uops' worth).
+pub const VPACKTRUNC: MachOp = m(21, "vpacktrunc");
+/// Register reinterpretation (free).
+pub const VREINTERP: MachOp = m(22, "vreinterp");
+/// Unsigned rounding average (`vpavgb`/`vpavgw`).
+pub const VPAVG: MachOp = m(23, "vpavg");
+/// Saturating add (`vpadds*`/`vpaddus*`).
+pub const VPADDS: MachOp = m(24, "vpadds");
+/// Saturating subtract (`vpsubs*`/`vpsubus*`).
+pub const VPSUBS: MachOp = m(25, "vpsubs");
+/// Pack with unsigned saturation, input read as signed (`vpackuswb`).
+pub const VPACKUS: MachOp = m(26, "vpackus");
+/// Pack with signed saturation (`vpacksswb`).
+pub const VPACKSS: MachOp = m(27, "vpackss");
+/// Absolute value (`vpabs`).
+pub const VPABS: MachOp = m(28, "vpabs");
+/// Saturating unsigned subtract used by compound absd (`vpsubus`).
+pub const VPSUBUS: MachOp = m(29, "vpsubus");
+/// Broadcast a constant (`vpbroadcast`).
+pub const VSPLAT: MachOp = m(30, "vpbroadcast");
+/// Rounding multiply-high of i16 (`vpmulhrsw`, the SSSE3 q15 multiply).
+pub const VPMULHRSW: MachOp = m(31, "vpmulhrsw");
+/// Pitchfork's fixed 32-bit rounding multiply-high sequence (vpmuldq /
+/// vpmuludq + shuffles), modelled as one row with the sequence's
+/// aggregate cost.
+pub const VRMULH32: MachOp = m(32, "rmulh32.seq");
+/// 64-bit multiply emulation (vpmuludq pieces + shifts + adds) — AVX2 has
+/// no full 64-bit multiply; LLVM emits this sequence.
+pub const VPMUL64: MachOp = m(33, "mul64.seq");
+
+const ALL: &[u32] = &[8, 16, 32, 64];
+const NO8: &[u32] = &[16, 32, 64];
+const SMALL: &[u32] = &[8, 16, 32];
+
+pub(crate) fn defs() -> Vec<InstDef> {
+    vec![
+        row(VPADD, MachSem::Bin(BinOp::Add), 1, ALL, "packed add"),
+        row(VPSUB, MachSem::Bin(BinOp::Sub), 1, ALL, "packed subtract"),
+        row(VPMULL, MachSem::Bin(BinOp::Mul), 2, &[16, 32], "packed multiply low"),
+        row(VPMULHW, MachSem::MulHigh, 2, &[16], "signed multiply high").signed_only(),
+        row(VPMULHUW, MachSem::MulHigh, 2, &[16], "unsigned multiply high").unsigned_only(),
+        row(VPMADDWD, MachSem::MulPairsAdd, 2, &[16], "paired i16 multiply-add to i32")
+            .signed_only(),
+        row(VPMIN, MachSem::Bin(BinOp::Min), 1, SMALL, "packed minimum"),
+        row(VPMAX, MachSem::Bin(BinOp::Max), 1, SMALL, "packed maximum"),
+        row(VPAND, MachSem::Bin(BinOp::And), 1, ALL, "bitwise and"),
+        row(VPOR, MachSem::Bin(BinOp::Or), 1, ALL, "bitwise or"),
+        row(VPXOR, MachSem::Bin(BinOp::Xor), 1, ALL, "bitwise xor"),
+        row(VPSLL, MachSem::Bin(BinOp::Shl), 1, NO8, "shift left by immediate")
+            .const_operands(&[1]),
+        row(VPSR, MachSem::Bin(BinOp::Shr), 1, NO8, "shift right by immediate")
+            .const_operands(&[1]),
+        row(VPSLLV, MachSem::Bin(BinOp::Shl), 2, &[32, 64], "variable shift left"),
+        row(VPSRLV, MachSem::Bin(BinOp::Shr), 2, &[32, 64], "variable shift right"),
+        row(VPCMPGT, MachSem::Cmp(CmpOp::Gt), 1, ALL, "signed compare greater").signed_only(),
+        row(VPCMPGTU, MachSem::Cmp(CmpOp::Gt), 3, SMALL, "emulated unsigned compare greater")
+            .unsigned_only(),
+        row(VPCMPEQ, MachSem::Cmp(CmpOp::Eq), 1, ALL, "compare equal"),
+        row(VPBLENDVB, MachSem::Select, 2, ALL, "byte blend"),
+        row(VPMOVZX, MachSem::ExtendTo, 1, SMALL, "zero extend").unsigned_only(),
+        row(VPMOVSX, MachSem::ExtendTo, 1, SMALL, "sign extend").signed_only(),
+        row(VPACKTRUNC, MachSem::TruncTo, 2, NO8, "shuffle-based truncation"),
+        row(VREINTERP, MachSem::Reinterpret, 0, ALL, "register alias"),
+        row(VPAVG, MachSem::Fpir(FpirOp::RoundingHalvingAdd), 1, &[8, 16], "rounding average")
+            .unsigned_only(),
+        row(VPADDS, MachSem::Fpir(FpirOp::SaturatingAdd), 1, &[8, 16], "saturating add"),
+        row(VPSUBS, MachSem::Fpir(FpirOp::SaturatingSub), 1, &[8, 16], "saturating subtract"),
+        row(VPACKUS, MachSem::PackSatSignedTo, 1, &[16, 32], "pack, unsigned saturation"),
+        row(VPACKSS, MachSem::PackSatSignedTo, 1, &[16, 32], "pack, signed saturation"),
+        row(VPABS, MachSem::Fpir(FpirOp::Abs), 1, SMALL, "absolute value"),
+        row(VPSUBUS, MachSem::Fpir(FpirOp::SaturatingSub), 1, &[8, 16], "saturating unsigned subtract")
+            .unsigned_only(),
+        row(VSPLAT, MachSem::Splat, 1, ALL, "broadcast constant"),
+        row(VPMULHRSW, MachSem::QRDMulH, 2, &[16], "rounding multiply high").signed_only(),
+        row(VRMULH32, MachSem::QRDMulH, 8, &[32], "32-bit rounding multiply-high sequence")
+            .signed_only(),
+        row(VPMUL64, MachSem::Bin(BinOp::Mul), 6, &[64], "emulated 64-bit multiply"),
+    ]
+}

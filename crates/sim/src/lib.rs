@@ -1,0 +1,24 @@
+//! # fpir-sim — the vector VM and cycle model
+//!
+//! The stand-in for the paper's hardware: lowered expressions are emitted
+//! into linear register programs ([`program`]), executed on concrete
+//! vectors ([`vm`]), priced by a throughput cycle model
+//! ([`program::cycle_cost`]), and differentially tested against the
+//! reference interpreter ([`difftest`]).
+//!
+//! The cycle model is deliberately simple — per-instruction cost units ×
+//! native registers touched, streamed loads charged, loop-invariant
+//! splats free, no issue-width modelling — because the evaluation targets
+//! *relative* performance (speedup ratios), where a consistent constant
+//! factor cancels.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod difftest;
+pub mod program;
+pub mod vm;
+
+pub use difftest::{check_program, Counterexample};
+pub use program::{cycle_cost, emit, EmitError, PInst, PKind, Program, LOAD_COST};
+pub use vm::{execute, ExecError};

@@ -1,0 +1,111 @@
+//! The vector virtual machine.
+//!
+//! Executes linear machine programs on concrete inputs through the
+//! instruction tables' semantics. This is the stand-in for running on an
+//! M1 / Xeon or Qualcomm's cycle-accurate Hexagon simulator: correctness
+//! comes from [`execute`] agreeing with the reference interpreter
+//! (see [`crate::difftest`]), and relative performance from
+//! [`crate::program::cycle_cost`].
+
+use crate::program::{PKind, Program};
+use fpir::interp::{Env, Value};
+use fpir_isa::{eval_sem, Target};
+use std::fmt;
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// What went wrong.
+    pub what: String,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "execution failed: {}", self.what)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Run a program on bound inputs, returning the output vector.
+///
+/// # Errors
+///
+/// Fails on unbound inputs, type-mismatched bindings, or instructions
+/// whose operands violate their semantics.
+pub fn execute(p: &Program, env: &Env, target: &Target) -> Result<Value, ExecError> {
+    if p.isa != target.isa {
+        return Err(ExecError { what: format!("program is for {}, not {}", p.isa, target.isa) });
+    }
+    let mut regs: Vec<Value> = Vec::with_capacity(p.insts().len());
+    for inst in p.insts() {
+        let value = match &inst.kind {
+            PKind::Load { name } => {
+                let v = env
+                    .get(name)
+                    .ok_or_else(|| ExecError { what: format!("unbound input `{name}`") })?;
+                if v.ty() != inst.ty {
+                    return Err(ExecError {
+                        what: format!("input `{name}` bound as {} but loaded as {}", v.ty(), inst.ty),
+                    });
+                }
+                v.clone()
+            }
+            PKind::Splat { value } => Value::splat(*value, inst.ty),
+            PKind::Op { op, args } => {
+                let def = target
+                    .def(*op)
+                    .ok_or_else(|| ExecError { what: format!("unknown opcode {op}") })?;
+                let operands: Vec<Value> = args.iter().map(|&r| regs[r].clone()).collect();
+                eval_sem(def.sem, &operands, inst.ty).map_err(|what| ExecError { what })?
+            }
+        };
+        regs.push(value);
+    }
+    Ok(regs[p.output()].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::emit;
+    use fpir::build;
+    use fpir::types::{ScalarType as S, VectorType as V};
+    use fpir::Isa;
+    use fpir_isa::{legalize, target};
+
+    #[test]
+    fn executes_a_lowered_average() {
+        let t = V::new(S::U8, 4);
+        let e = build::rounding_halving_add(build::var("a", t), build::var("b", t));
+        let tgt = target(Isa::HexagonHvx);
+        let p = emit(&legalize(&e, tgt).unwrap(), tgt).unwrap();
+        let env = Env::new()
+            .bind("a", Value::new(t, vec![3, 255, 0, 10]))
+            .bind("b", Value::new(t, vec![4, 255, 1, 20]));
+        let out = execute(&p, &env, tgt).unwrap();
+        assert_eq!(out.lanes(), &[4, 255, 1, 15]);
+    }
+
+    #[test]
+    fn unbound_input_fails() {
+        let t = V::new(S::U8, 4);
+        let e = build::add(build::var("a", t), build::var("b", t));
+        let tgt = target(Isa::ArmNeon);
+        let p = emit(&legalize(&e, tgt).unwrap(), tgt).unwrap();
+        let env = Env::new().bind("a", Value::splat(1, t));
+        assert!(execute(&p, &env, tgt).is_err());
+    }
+
+    #[test]
+    fn mistyped_input_fails() {
+        let t = V::new(S::U8, 4);
+        let e = build::add(build::var("a", t), build::var("b", t));
+        let tgt = target(Isa::ArmNeon);
+        let p = emit(&legalize(&e, tgt).unwrap(), tgt).unwrap();
+        let env = Env::new()
+            .bind("a", Value::splat(1, t))
+            .bind("b", Value::splat(1, V::new(S::U16, 4)));
+        assert!(execute(&p, &env, tgt).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Corpus construction: sub-expression enumeration.
+//!
+//! The synthesis pipeline is data-driven (§4): rather than enumerating
+//! random rule shapes, it harvests every sub-expression of up to 10 IR
+//! nodes from real benchmark expressions and tries to improve each one.
+//! Small left-hand sides generalize better and keep synthesis tractable.
+
+use fpir::expr::{ExprKind, RcExpr};
+use std::collections::HashSet;
+
+/// Maximum left-hand-side size, in IR nodes (the paper's limit).
+pub const MAX_LHS_NODES: usize = 10;
+
+/// All distinct sub-expressions of `expr` with between 2 and `max_nodes`
+/// nodes, in first-occurrence order. Leaves are skipped (no rule rewrites
+/// a bare variable) and machine nodes never appear in source corpora.
+pub fn subexpressions(expr: &RcExpr, max_nodes: usize) -> Vec<RcExpr> {
+    let mut seen: HashSet<RcExpr> = HashSet::new();
+    let mut out = Vec::new();
+    collect(expr, max_nodes, &mut seen, &mut out);
+    out
+}
+
+fn collect(
+    e: &RcExpr,
+    max_nodes: usize,
+    seen: &mut HashSet<RcExpr>,
+    out: &mut Vec<RcExpr>,
+) {
+    let size = e.size();
+    let is_leaf = matches!(e.kind(), ExprKind::Var(_) | ExprKind::Const(_));
+    if !is_leaf && size <= max_nodes && seen.insert(e.clone()) {
+        out.push(e.clone());
+    }
+    for c in e.children() {
+        collect(c, max_nodes, seen, out);
+    }
+}
+
+/// A corpus entry: a sub-expression plus the benchmark it came from.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The sub-expression (a potential rule left-hand side).
+    pub expr: RcExpr,
+    /// The originating benchmark.
+    pub source: String,
+}
+
+/// Build a corpus from named expressions, deduplicating structurally but
+/// remembering *every* source that produces each sub-expression (this is
+/// what makes the leave-one-out provenance multi-source).
+pub fn build_corpus<'a>(
+    named_exprs: impl IntoIterator<Item = (&'a str, &'a RcExpr)>,
+    max_nodes: usize,
+) -> Vec<(RcExpr, Vec<String>)> {
+    let mut order: Vec<RcExpr> = Vec::new();
+    let mut sources: std::collections::HashMap<RcExpr, Vec<String>> =
+        std::collections::HashMap::new();
+    for (name, expr) in named_exprs {
+        for sub in subexpressions(expr, max_nodes) {
+            let entry = sources.entry(sub.clone()).or_insert_with(|| {
+                order.push(sub.clone());
+                Vec::new()
+            });
+            if !entry.iter().any(|s| s == name) {
+                entry.push(name.to_string());
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|e| {
+            let s = sources.get(&e).cloned().unwrap_or_default();
+            (e, s)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpir::build::*;
+    use fpir::types::{ScalarType as S, VectorType as V};
+
+    #[test]
+    fn enumerates_distinct_interior_nodes() {
+        let t = V::new(S::U8, 8);
+        let (a, b) = (var("a", t), var("b", t));
+        let sum = add(widen(a.clone()), widen(b));
+        let e = mul(sum.clone(), sum);
+        // The 11-node root exceeds the 10-node cap; the shared 5-node sum
+        // dedupes; leaves are skipped: add, widen(a), widen(b).
+        let subs = subexpressions(&e, 10);
+        assert_eq!(subs.len(), 3);
+        // With a larger cap the root itself is included too.
+        assert_eq!(subexpressions(&e, 12).len(), 4);
+    }
+
+    #[test]
+    fn size_limit_is_respected() {
+        let t = V::new(S::U8, 8);
+        let mut e = var("x0", t);
+        for i in 1..20 {
+            e = add(e, var(&format!("x{i}"), t));
+        }
+        for sub in subexpressions(&e, MAX_LHS_NODES) {
+            assert!(sub.size() <= MAX_LHS_NODES);
+        }
+    }
+
+    #[test]
+    fn corpus_tracks_multiple_sources() {
+        let t = V::new(S::U8, 8);
+        let shared = widening_add(var("a", t), var("b", t));
+        let e1 = cast(S::U8, shr(shared.clone(), splat(1, &shared)));
+        let e2 = add(shared.clone(), shared.clone());
+        let corpus = build_corpus([("bench1", &e1), ("bench2", &e2)], 10);
+        let entry = corpus
+            .iter()
+            .find(|(e, _)| e == &shared)
+            .expect("shared subexpression present");
+        assert_eq!(entry.1, vec!["bench1".to_string(), "bench2".to_string()]);
+    }
+}

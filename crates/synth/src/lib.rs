@@ -1,0 +1,31 @@
+//! # fpir-synth — offline rule synthesis and verification
+//!
+//! The offline half of Figure 1: where the paper used Rosette + Z3, this
+//! crate uses bounded enumerative synthesis and dense concrete checking
+//! (exhaustive at 8 bits, boundary-biased samples wider):
+//!
+//! * [`corpus`] — sub-expression harvesting (≤ 10 IR nodes) from real
+//!   benchmark expressions, with multi-source provenance;
+//! * [`lift_synth`] — SyGuS-style bottom-up enumeration of cheaper FPIR
+//!   right-hand sides (§4.1);
+//! * [`lower_synth`] — lowering-pair generation against the Rake oracle
+//!   (§4.2; no x86 oracle, as in the paper);
+//! * [`generalize`] — symbolic constants, pow2 links, binary-searched
+//!   range predicates, with every attempt re-verified (§4.3);
+//! * [`verify`] — the rule verifier that also checks the shipped
+//!   hand-written TRSs (§2.4's "unearthed a handful of subtle bugs").
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod corpus;
+pub mod generalize;
+pub mod lift_synth;
+pub mod lower_synth;
+pub mod verify;
+
+pub use corpus::{build_corpus, subexpressions, MAX_LHS_NODES};
+pub use generalize::{generalize_pair, GeneralizeError};
+pub use lift_synth::{synthesize_lift, SynthBudget};
+pub use lower_synth::{generate_lower_pairs, LowerPair};
+pub use verify::{verify_rule, verify_rule_set, VerifyError, VerifyOptions};

@@ -1,0 +1,275 @@
+//! Lifting-rule synthesis: SyGuS-style bottom-up enumeration (§4.1).
+//!
+//! Given a corpus sub-expression in primitive integer IR, enumerate FPIR
+//! expressions over the same free variables, cheapest-first under the
+//! target-agnostic cost model, pruned by observational equivalence on
+//! sample inputs; a candidate that matches the specification on all
+//! samples (and is strictly cheaper) becomes the right-hand side of a
+//! lifting rewrite pair. Where Rosette posed SMT queries, this module
+//! uses dense concrete evaluation — candidates are *verified* after
+//! generalization by `crate::verify` before being accepted as rules.
+
+use fpir::build;
+use fpir::expr::{Expr, FpirOp, RcExpr};
+use fpir::interp::{eval, Env, Value};
+use fpir::rand_expr::rand_lane;
+use fpir::types::{ScalarType, VectorType};
+use fpir_trs::cost::{AgnosticCost, CostModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Enumeration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthBudget {
+    /// Maximum candidate size in IR nodes.
+    pub max_nodes: usize,
+    /// Sample environments for observational equivalence.
+    pub sample_envs: usize,
+    /// Lanes per environment.
+    pub lanes: u32,
+    /// Cap on the candidate bank (guards pathological corpora).
+    pub max_bank: usize,
+}
+
+impl Default for SynthBudget {
+    fn default() -> SynthBudget {
+        SynthBudget { max_nodes: 4, sample_envs: 6, lanes: 64, max_bank: 220 }
+    }
+}
+
+/// Synthesize an FPIR right-hand side for `lhs`, if one exists that is
+/// strictly cheaper under the target-agnostic cost model.
+pub fn synthesize_lift(lhs: &RcExpr, budget: &SynthBudget) -> Option<RcExpr> {
+    let vars = lhs.free_vars();
+    if vars.is_empty() || vars.len() > 3 {
+        return None;
+    }
+    // The lhs must be re-instantiated at the synthesis lane width.
+    let lhs = retarget_lanes(lhs, budget.lanes);
+    let vars: Vec<(String, VectorType)> = lhs.free_vars();
+
+    let mut rng = StdRng::seed_from_u64(0x11F7);
+    let envs: Vec<Env> = (0..budget.sample_envs)
+        .map(|_| {
+            vars.iter()
+                .map(|(n, t)| {
+                    let lanes = (0..t.lanes).map(|_| rand_lane(&mut rng, t.elem)).collect();
+                    (n.clone(), Value::new(*t, lanes))
+                })
+                .collect()
+        })
+        .collect();
+    let spec = signature(&lhs, &envs)?;
+    let cost = AgnosticCost;
+    let lhs_cost = cost.cost(&lhs);
+
+    // Terminals: the free variables and the constants appearing in lhs
+    // (plus log2 of power-of-two constants, which shift-forming rules
+    // need).
+    let mut bank: Vec<RcExpr> = Vec::new();
+    let mut seen: HashMap<Vec<i128>, ()> = HashMap::new();
+    let mut push = |e: RcExpr, bank: &mut Vec<RcExpr>| {
+        if bank.len() >= budget.max_bank {
+            return;
+        }
+        if let Some(sig) = signature(&e, &envs) {
+            if seen.insert(sig, ()).is_none() {
+                bank.push(e);
+            }
+        }
+    };
+    for (n, t) in &vars {
+        push(Expr::var(n.clone(), *t), &mut bank);
+    }
+    let mut const_pool: Vec<(i128, ScalarType)> = Vec::new();
+    lhs.visit(&mut |e: &Expr| {
+        if let Some(c) = e.as_const() {
+            const_pool.push((c, e.elem()));
+            if fpir::simplify::is_pow2(c) && c > 1 {
+                const_pool.push((fpir::simplify::log2(c) as i128, e.elem()));
+            }
+        }
+    });
+    // Constants are also offered at every variable's element type (shift
+    // counts live at the narrow type after lifting).
+    let var_elems: Vec<ScalarType> = vars.iter().map(|(_, t)| t.elem).collect();
+    for (c, t) in const_pool.clone() {
+        for elem in var_elems.iter().copied().chain(std::iter::once(t)) {
+            if elem.contains(c) {
+                if let Ok(e) = Expr::constant(c, VectorType::new(elem, budget.lanes)) {
+                    push(e, &mut bank);
+                }
+            }
+        }
+    }
+
+    // Grow the bank by size, combining existing candidates with FPIR
+    // instructions (and the few primitives lifted code still contains).
+    let mut best: Option<RcExpr> = None;
+    let consider = |e: RcExpr, best: &mut Option<RcExpr>| {
+        if signature(&e, &envs).as_ref() == Some(&spec) {
+            let c = cost.cost(&e);
+            if c < lhs_cost && best.as_ref().is_none_or(|b| c < cost.cost(b)) {
+                *best = Some(e);
+            }
+        }
+    };
+    for _round in 0..budget.max_nodes {
+        let snapshot = bank.clone();
+        let mut fresh: Vec<RcExpr> = Vec::new();
+        for a in &snapshot {
+            // Unary forms.
+            for t in [
+                a.elem().narrow(),
+                a.elem().widen(),
+                Some(a.elem().with_signed()),
+                Some(a.elem().with_unsigned()),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                if let Ok(e) = Expr::fpir(FpirOp::SaturatingCast(t), vec![a.clone()]) {
+                    fresh.push(e);
+                }
+                if t.bits() == a.elem().bits() {
+                    if let Ok(e) = Expr::reinterpret(t, a.clone()) {
+                        fresh.push(e);
+                    }
+                } else {
+                    fresh.push(Expr::cast(t, a.clone()));
+                }
+            }
+            if let Ok(e) = Expr::fpir(FpirOp::Abs, vec![a.clone()]) {
+                fresh.push(e);
+            }
+            for b in &snapshot {
+                for op in [
+                    FpirOp::WideningAdd,
+                    FpirOp::WideningSub,
+                    FpirOp::WideningMul,
+                    FpirOp::WideningShl,
+                    FpirOp::ExtendingAdd,
+                    FpirOp::ExtendingSub,
+                    FpirOp::Absd,
+                    FpirOp::SaturatingAdd,
+                    FpirOp::SaturatingSub,
+                    FpirOp::HalvingAdd,
+                    FpirOp::HalvingSub,
+                    FpirOp::RoundingHalvingAdd,
+                    FpirOp::RoundingShr,
+                    FpirOp::SaturatingShl,
+                ] {
+                    if let Ok(e) = Expr::fpir(op, vec![a.clone(), b.clone()]) {
+                        fresh.push(e);
+                    }
+                }
+                if a.ty() == b.ty() {
+                    for op in [fpir::BinOp::Add, fpir::BinOp::Sub] {
+                        if let Ok(e) = Expr::bin(op, a.clone(), b.clone()) {
+                            fresh.push(e);
+                        }
+                    }
+                }
+            }
+        }
+        for e in fresh {
+            if e.size() <= budget.max_nodes + 2 {
+                consider(e.clone(), &mut best);
+                push(e, &mut bank);
+            }
+        }
+        if best.is_some() {
+            break;
+        }
+    }
+    // The winner must type-match the specification exactly.
+    best.filter(|b| b.ty() == lhs.ty())
+        .map(|b| retarget_lanes(&b, lhs_original_lanes(&vars)))
+}
+
+fn lhs_original_lanes(_vars: &[(String, VectorType)]) -> u32 {
+    // Candidates are produced at the synthesis lane width; rules are
+    // lane-polymorphic, so any width works — keep the synthesis width.
+    64
+}
+
+/// Rebuild an expression with a different lane count (types are otherwise
+/// unchanged).
+pub fn retarget_lanes(e: &RcExpr, lanes: u32) -> RcExpr {
+    use fpir::expr::ExprKind;
+    let children: Vec<RcExpr> = e
+        .children()
+        .into_iter()
+        .map(|c| retarget_lanes(c, lanes))
+        .collect();
+    match e.kind() {
+        ExprKind::Var(name) => Expr::var(name.clone(), VectorType::new(e.elem(), lanes)),
+        ExprKind::Const(v) => {
+            build::constant(*v, VectorType::new(e.elem(), lanes))
+        }
+        _ => e.with_children(children),
+    }
+}
+
+fn signature(e: &RcExpr, envs: &[Env]) -> Option<Vec<i128>> {
+    let mut out = Vec::new();
+    // Include the type so differently-typed but bit-equal values differ.
+    out.push(e.elem().bits() as i128);
+    out.push(e.elem().is_signed() as i128);
+    for env in envs {
+        let v = eval(e, env).ok()?;
+        out.extend_from_slice(v.lanes());
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpir::build::*;
+    use fpir::types::{ScalarType as S, VectorType as V};
+
+    #[test]
+    fn finds_the_papers_example() {
+        // i16(x_u8) << 6 lifts to reinterpret(widening_shl(x_u8, 6)).
+        let t = V::new(S::U8, 64);
+        let lhs = shl(
+            cast(S::I16, var("x", t)),
+            constant(6, V::new(S::I16, 64)),
+        );
+        let rhs = synthesize_lift(&lhs, &SynthBudget::default()).expect("synthesizable");
+        let printed = rhs.to_string();
+        assert!(printed.contains("widening_shl(x_u8, 6)"), "{printed}");
+    }
+
+    #[test]
+    fn finds_saturating_cast() {
+        let t = V::new(S::U16, 64);
+        let x = var("x", t);
+        let lhs = cast(S::U8, min(x.clone(), splat(255, &x)));
+        let rhs = synthesize_lift(&lhs, &SynthBudget::default()).expect("synthesizable");
+        assert_eq!(rhs.to_string(), "saturating_cast<u8>(x_u16)");
+    }
+
+    #[test]
+    fn finds_rounding_average() {
+        let t = V::new(S::U8, 64);
+        let (a, b) = (var("a", t), var("b", t));
+        let sum = add(widen(a), widen(b));
+        let lhs = cast(
+            S::U8,
+            shr(add(sum.clone(), splat(1, &sum)), splat(1, &sum)),
+        );
+        let rhs = synthesize_lift(&lhs, &SynthBudget::default()).expect("synthesizable");
+        assert_eq!(rhs.to_string(), "rounding_halving_add(a_u8, b_u8)");
+    }
+
+    #[test]
+    fn no_cheaper_form_returns_none() {
+        // A bare add has no cheaper FPIR equivalent.
+        let t = V::new(S::U8, 64);
+        let lhs = add(var("a", t), var("b", t));
+        assert!(synthesize_lift(&lhs, &SynthBudget::default()).is_none());
+    }
+}

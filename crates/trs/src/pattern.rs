@@ -1,0 +1,490 @@
+//! The pattern language of rewrite rules.
+//!
+//! Rules in the paper are written like
+//!
+//! ```text
+//! u16(x_u8) + y_u16  ->  extending_add(y_u16, x_u8)
+//! ```
+//!
+//! and are "polymorphic in nature" (§3.2): the same rule applies at every
+//! lane width. Patterns therefore constrain types *relationally* — "the
+//! cast target is the widened type of `x`" — via [`TypePat`], and bind
+//! expression wildcards ([`Pat::Wild`]), constant wildcards
+//! ([`Pat::ConstWild`], the paper's `c0`), and type variables in one
+//! [`Bindings`] structure.
+//!
+//! Matching handles commutativity automatically: `x + widening_shl(y, c)`
+//! also matches `widening_shl(y, c) + x`.
+
+use fpir::expr::{BinOp, CmpOp, ExprKind, FpirOp, RcExpr};
+use fpir::types::ScalarType;
+use fpir::MachOp;
+
+/// Maximum number of expression wildcards / type variables per rule.
+pub const MAX_WILDS: usize = 12;
+
+/// A type constraint on a pattern node, possibly referencing a type
+/// variable bound elsewhere in the pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypePat {
+    /// Any element type.
+    Any,
+    /// Exactly this element type.
+    Exact(ScalarType),
+    /// Bind (or check against) type variable `tN`.
+    Var(u8),
+    /// The doubled-width type of variable `tN` (same signedness).
+    WidenOf(u8),
+    /// The quadruple-width type of variable `tN` (same signedness) — the
+    /// accumulator type of 4-way dot products.
+    Widen2Of(u8),
+    /// The halved-width type of variable `tN` (same signedness).
+    NarrowOf(u8),
+    /// The signed type with variable `tN`'s width.
+    SignedOf(u8),
+    /// The unsigned type with variable `tN`'s width.
+    UnsignedOf(u8),
+    /// Any type with variable `tN`'s width (either signedness).
+    SameWidthAs(u8),
+    /// The *signed* type with double variable `tN`'s width (the cast
+    /// target of `widening_sub`-shaped source code, e.g. `i16(x_u8)`).
+    WidenSignedOf(u8),
+    /// The unsigned type with half variable `tN`'s width (the target of a
+    /// signed-to-unsigned saturating narrow such as `u8 <- i16`).
+    NarrowUnsignedOf(u8),
+    /// Any unsigned type (binds variable `tN`).
+    AnyUnsigned(u8),
+    /// Any signed type (binds variable `tN`).
+    AnySigned(u8),
+}
+
+impl TypePat {
+    /// Match `t` against the pattern, updating `b` on success.
+    fn matches(self, t: ScalarType, b: &mut Bindings) -> bool {
+        match self {
+            TypePat::Any => true,
+            TypePat::Exact(e) => t == e,
+            TypePat::Var(i) => b.bind_ty(i, t),
+            TypePat::WidenOf(i) => match b.ty(i) {
+                Some(base) => base.widen() == Some(t),
+                None => match t.narrow() {
+                    Some(n) => b.bind_ty(i, n),
+                    None => false,
+                },
+            },
+            TypePat::Widen2Of(i) => match b.ty(i) {
+                Some(base) => base.widen().and_then(ScalarType::widen) == Some(t),
+                None => match t.narrow().and_then(ScalarType::narrow) {
+                    Some(n) => b.bind_ty(i, n),
+                    None => false,
+                },
+            },
+            TypePat::NarrowOf(i) => match b.ty(i) {
+                Some(base) => base.narrow() == Some(t),
+                None => match t.widen() {
+                    Some(w) => b.bind_ty(i, w),
+                    None => false,
+                },
+            },
+            TypePat::SignedOf(i) => {
+                t.is_signed() && b.ty(i).is_some_and(|base| base.bits() == t.bits())
+            }
+            TypePat::UnsignedOf(i) => {
+                !t.is_signed() && b.ty(i).is_some_and(|base| base.bits() == t.bits())
+            }
+            TypePat::SameWidthAs(i) => b.ty(i).is_some_and(|base| base.bits() == t.bits()),
+            // These two cannot recover the base type from the target alone
+            // (both signednesses of the base produce the same target), so
+            // the base variable must already be bound — cast-like patterns
+            // match their operand before their target type to ensure this.
+            TypePat::WidenSignedOf(i) => b
+                .ty(i)
+                .is_some_and(|base| base.widen().map(ScalarType::with_signed) == Some(t)),
+            TypePat::NarrowUnsignedOf(i) => b
+                .ty(i)
+                .is_some_and(|base| base.narrow().map(ScalarType::with_unsigned) == Some(t)),
+            TypePat::AnyUnsigned(i) => !t.is_signed() && b.bind_ty(i, t),
+            TypePat::AnySigned(i) => t.is_signed() && b.bind_ty(i, t),
+        }
+    }
+
+    /// Resolve the pattern to a concrete type given bindings (used when a
+    /// template references a type pattern).
+    pub fn resolve(self, b: &Bindings) -> Option<ScalarType> {
+        match self {
+            TypePat::Any => None,
+            TypePat::Exact(e) => Some(e),
+            TypePat::Var(i) | TypePat::AnyUnsigned(i) | TypePat::AnySigned(i) => b.ty(i),
+            TypePat::WidenOf(i) => b.ty(i).and_then(ScalarType::widen),
+            TypePat::Widen2Of(i) => b.ty(i).and_then(ScalarType::widen).and_then(ScalarType::widen),
+            TypePat::WidenSignedOf(i) => {
+                b.ty(i).and_then(ScalarType::widen).map(ScalarType::with_signed)
+            }
+            TypePat::NarrowUnsignedOf(i) => {
+                b.ty(i).and_then(ScalarType::narrow).map(ScalarType::with_unsigned)
+            }
+            TypePat::NarrowOf(i) => b.ty(i).and_then(ScalarType::narrow),
+            TypePat::SignedOf(i) => b.ty(i).map(ScalarType::with_signed),
+            TypePat::UnsignedOf(i) => b.ty(i).map(ScalarType::with_unsigned),
+            TypePat::SameWidthAs(i) => b.ty(i),
+        }
+    }
+}
+
+/// A rewrite-rule left-hand side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pat {
+    /// An expression wildcard `x0..x7` with a type constraint. The same id
+    /// occurring twice requires structurally equal subexpressions.
+    Wild {
+        /// Wildcard index (also the [`Bindings`] slot).
+        id: u8,
+        /// Type constraint.
+        ty: TypePat,
+    },
+    /// A wildcard matching only broadcast constants (the paper's `c0`).
+    ConstWild {
+        /// Wildcard index.
+        id: u8,
+        /// Type constraint.
+        ty: TypePat,
+    },
+    /// A specific broadcast constant value (any type satisfying `ty`).
+    Lit(i128, TypePat),
+    /// A primitive binary operation.
+    Bin(BinOp, Box<Pat>, Box<Pat>),
+    /// A comparison.
+    Cmp(CmpOp, Box<Pat>, Box<Pat>),
+    /// A select.
+    Select(Box<Pat>, Box<Pat>, Box<Pat>),
+    /// A wrapping cast whose *target element type* satisfies the
+    /// `TypePat`.
+    Cast(TypePat, Box<Pat>),
+    /// A reinterpret whose target element type satisfies the `TypePat`.
+    Reinterpret(TypePat, Box<Pat>),
+    /// An FPIR instruction. `SaturatingCast` is matched via
+    /// [`Pat::SatCast`] instead (its type parameter needs a `TypePat`).
+    Fpir(FpirOp, Vec<Pat>),
+    /// A saturating cast whose target element type satisfies the pattern.
+    SatCast(TypePat, Box<Pat>),
+    /// A machine instruction (used by peephole passes over lowered code).
+    Mach(MachOp, Vec<Pat>),
+}
+
+/// Wildcard and type-variable bindings produced by a successful match.
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    exprs: [Option<RcExpr>; MAX_WILDS],
+    tys: [Option<ScalarType>; MAX_WILDS],
+}
+
+impl Bindings {
+    /// A fresh, empty binding set.
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// The expression bound to wildcard `id`, if any.
+    pub fn expr(&self, id: u8) -> Option<&RcExpr> {
+        self.exprs[id as usize].as_ref()
+    }
+
+    /// The constant value bound to wildcard `id`, if it is a constant.
+    pub fn const_value(&self, id: u8) -> Option<i128> {
+        self.expr(id).and_then(|e| e.as_const())
+    }
+
+    /// The type bound to type variable `id`, if any.
+    pub fn ty(&self, id: u8) -> Option<ScalarType> {
+        self.tys[id as usize]
+    }
+
+    fn bind_expr(&mut self, id: u8, e: &RcExpr) -> bool {
+        match &self.exprs[id as usize] {
+            Some(prev) => prev == e,
+            None => {
+                self.exprs[id as usize] = Some(e.clone());
+                true
+            }
+        }
+    }
+
+    fn bind_ty(&mut self, id: u8, t: ScalarType) -> bool {
+        match self.tys[id as usize] {
+            Some(prev) => prev == t,
+            None => {
+                self.tys[id as usize] = Some(t);
+                true
+            }
+        }
+    }
+}
+
+/// Match `pat` against `expr`, returning bindings on success.
+///
+/// Commutative operators are tried in both operand orders.
+pub fn match_pat(pat: &Pat, expr: &RcExpr) -> Option<Bindings> {
+    let mut b = Bindings::new();
+    matches_inner(pat, expr, &mut b).then_some(b)
+}
+
+fn matches_inner(pat: &Pat, expr: &RcExpr, b: &mut Bindings) -> bool {
+    match pat {
+        Pat::Wild { id, ty } => ty.matches(expr.elem(), b) && b.bind_expr(*id, expr),
+        Pat::ConstWild { id, ty } => {
+            expr.as_const().is_some() && ty.matches(expr.elem(), b) && b.bind_expr(*id, expr)
+        }
+        Pat::Lit(v, ty) => expr.as_const() == Some(*v) && ty.matches(expr.elem(), b),
+        Pat::Bin(op, pa, pb) => match expr.kind() {
+            ExprKind::Bin(eop, ea, eb) if eop == op => {
+                match2(pa, pb, ea, eb, op.is_commutative(), b)
+            }
+            _ => false,
+        },
+        Pat::Cmp(op, pa, pb) => match expr.kind() {
+            ExprKind::Cmp(eop, ea, eb) if eop == op => {
+                let snapshot = b.clone();
+                if matches_inner(pa, ea, b) && matches_inner(pb, eb, b) {
+                    return true;
+                }
+                *b = snapshot;
+                false
+            }
+            _ => false,
+        },
+        Pat::Select(pc, pt, pf) => match expr.kind() {
+            ExprKind::Select(ec, et, ef) => {
+                let snapshot = b.clone();
+                if matches_inner(pc, ec, b) && matches_inner(pt, et, b) && matches_inner(pf, ef, b)
+                {
+                    return true;
+                }
+                *b = snapshot;
+                false
+            }
+            _ => false,
+        },
+        // Cast-like patterns match the operand first so that type
+        // variables are bound before the target type is constrained.
+        Pat::Cast(ty, inner) => match expr.kind() {
+            ExprKind::Cast(arg) => matches_inner(inner, arg, b) && ty.matches(expr.elem(), b),
+            _ => false,
+        },
+        Pat::Reinterpret(ty, inner) => match expr.kind() {
+            ExprKind::Reinterpret(arg) => {
+                matches_inner(inner, arg, b) && ty.matches(expr.elem(), b)
+            }
+            _ => false,
+        },
+        Pat::SatCast(ty, inner) => match expr.kind() {
+            ExprKind::Fpir(FpirOp::SaturatingCast(t), args) => {
+                matches_inner(inner, &args[0], b) && ty.matches(*t, b)
+            }
+            _ => false,
+        },
+        Pat::Fpir(op, pats) => match expr.kind() {
+            ExprKind::Fpir(eop, args) if eop == op && args.len() == pats.len() => {
+                if *op == FpirOp::SaturatingCast(ScalarType::U8) {
+                    // Concrete saturating casts still go through SatCast
+                    // patterns for clarity; an exact-op match is fine too.
+                }
+                if op.is_commutative() && pats.len() == 2 {
+                    match2(&pats[0], &pats[1], &args[0], &args[1], true, b)
+                } else {
+                    match_seq(pats, args, b)
+                }
+            }
+            _ => false,
+        },
+        Pat::Mach(op, pats) => match expr.kind() {
+            ExprKind::Mach(eop, args) if eop == op && args.len() == pats.len() => {
+                match_seq(pats, args, b)
+            }
+            _ => false,
+        },
+    }
+}
+
+fn match_seq(pats: &[Pat], args: &[RcExpr], b: &mut Bindings) -> bool {
+    let snapshot = b.clone();
+    for (p, a) in pats.iter().zip(args) {
+        if !matches_inner(p, a, b) {
+            *b = snapshot;
+            return false;
+        }
+    }
+    true
+}
+
+fn match2(
+    pa: &Pat,
+    pb: &Pat,
+    ea: &RcExpr,
+    eb: &RcExpr,
+    commutative: bool,
+    b: &mut Bindings,
+) -> bool {
+    let snapshot = b.clone();
+    if matches_inner(pa, ea, b) && matches_inner(pb, eb, b) {
+        return true;
+    }
+    *b = snapshot.clone();
+    if commutative && matches_inner(pa, eb, b) && matches_inner(pb, ea, b) {
+        return true;
+    }
+    *b = snapshot;
+    false
+}
+
+impl std::fmt::Display for TypePat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypePat::Any => write!(f, "*"),
+            TypePat::Exact(t) => write!(f, "{t}"),
+            TypePat::Var(i) => write!(f, "t{i}"),
+            TypePat::WidenOf(i) => write!(f, "widen(t{i})"),
+            TypePat::Widen2Of(i) => write!(f, "widen2(t{i})"),
+            TypePat::NarrowOf(i) => write!(f, "narrow(t{i})"),
+            TypePat::SignedOf(i) => write!(f, "signed(t{i})"),
+            TypePat::UnsignedOf(i) => write!(f, "unsigned(t{i})"),
+            TypePat::SameWidthAs(i) => write!(f, "width(t{i})"),
+            TypePat::WidenSignedOf(i) => write!(f, "widen_signed(t{i})"),
+            TypePat::NarrowUnsignedOf(i) => write!(f, "narrow_unsigned(t{i})"),
+            TypePat::AnyUnsigned(i) => write!(f, "t{i}:unsigned"),
+            TypePat::AnySigned(i) => write!(f, "t{i}:signed"),
+        }
+    }
+}
+
+impl std::fmt::Display for Pat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Pat::Wild { id, ty: TypePat::Any } => write!(f, "x{id}"),
+            Pat::Wild { id, ty } => write!(f, "x{id}_{ty}"),
+            Pat::ConstWild { id, ty: TypePat::Any } => write!(f, "c{id}"),
+            Pat::ConstWild { id, ty } => write!(f, "c{id}_{ty}"),
+            Pat::Lit(v, _) => write!(f, "{v}"),
+            Pat::Bin(op, a, b) if op.is_call_syntax() => {
+                write!(f, "{}({a}, {b})", op.symbol())
+            }
+            Pat::Bin(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Pat::Cmp(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Pat::Select(c, t, e) => write!(f, "select({c}, {t}, {e})"),
+            Pat::Cast(ty, a) => write!(f, "cast<{ty}>({a})"),
+            Pat::Reinterpret(ty, a) => write!(f, "reinterpret<{ty}>({a})"),
+            Pat::SatCast(ty, a) => write!(f, "saturating_cast<{ty}>({a})"),
+            Pat::Fpir(op, args) => {
+                write!(f, "{}(", op.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Pat::Mach(op, args) => {
+                write!(f, "{}.{}(", op.isa.short_name().to_ascii_lowercase(), op.name)?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use fpir::build;
+    use fpir::types::{ScalarType as S, VectorType as V};
+
+    fn t8() -> V {
+        V::new(S::U8, 8)
+    }
+
+    #[test]
+    fn wildcard_binds() {
+        let p = wild(0);
+        let e = build::var("a", t8());
+        let b = match_pat(&p, &e).unwrap();
+        assert_eq!(b.expr(0), Some(&e));
+    }
+
+    #[test]
+    fn nonlinear_wildcards_require_equality() {
+        let p = pat_add(wild(0), wild(0));
+        let a = build::var("a", t8());
+        let b_ = build::var("b", t8());
+        assert!(match_pat(&p, &build::add(a.clone(), a.clone())).is_some());
+        assert!(match_pat(&p, &build::add(a, b_)).is_none());
+    }
+
+    #[test]
+    fn commutative_matching() {
+        // Pattern: c0 * x; expression: x * 5.
+        let p = pat_mul(cwild(0), wild(1));
+        let x = build::var("x", t8());
+        let e = build::mul(x.clone(), build::splat(5, &x));
+        let b = match_pat(&p, &e).unwrap();
+        assert_eq!(b.const_value(0), Some(5));
+    }
+
+    #[test]
+    fn widening_cast_pattern() {
+        // u16(x_u8): cast whose target is the widened type of x.
+        let p = Pat::Cast(TypePat::WidenOf(0), Box::new(wild_t(0, TypePat::Var(0))));
+        let e = build::widen(build::var("x", t8()));
+        assert!(match_pat(&p, &e).is_some());
+        // A non-widening cast does not match.
+        let e = fpir::Expr::cast(S::U32, build::var("x", t8()));
+        assert!(match_pat(&p, &e).is_none());
+    }
+
+    #[test]
+    fn type_vars_unify_across_operands() {
+        let p = pat_add(wild_t(0, TypePat::Var(0)), wild_t(1, TypePat::Var(0)));
+        let e = build::add(build::var("a", t8()), build::var("b", t8()));
+        assert!(match_pat(&p, &e).is_some());
+    }
+
+    #[test]
+    fn const_wild_rejects_non_constants() {
+        let p = pat_add(wild(0), cwild(1));
+        let a = build::var("a", t8());
+        let e = build::add(a.clone(), a.clone());
+        assert!(match_pat(&p, &e).is_none());
+        let e = build::add(a.clone(), build::splat(3, &a));
+        assert!(match_pat(&p, &e).is_some());
+    }
+
+    #[test]
+    fn sat_cast_pattern_binds_target_type() {
+        let p = Pat::SatCast(TypePat::NarrowOf(0), Box::new(wild_t(0, TypePat::Var(0))));
+        let e = build::saturating_cast(S::U8, build::var("x", V::new(S::U16, 8)));
+        assert!(match_pat(&p, &e).is_some());
+        // Narrowing by two steps does not match NarrowOf.
+        let e = build::saturating_cast(S::U8, build::var("x", V::new(S::U32, 8)));
+        assert!(match_pat(&p, &e).is_none());
+    }
+
+    #[test]
+    fn lit_matches_value_only() {
+        let p = pat_add(wild(0), lit(255));
+        let x = build::var("x", V::new(S::U16, 4));
+        assert!(match_pat(&p, &build::add(x.clone(), build::splat(255, &x))).is_some());
+        assert!(match_pat(&p, &build::add(x.clone(), build::splat(254, &x))).is_none());
+    }
+
+    #[test]
+    fn any_unsigned_rejects_signed() {
+        let p = wild_t(0, TypePat::AnyUnsigned(0));
+        assert!(match_pat(&p, &build::var("x", t8())).is_some());
+        assert!(match_pat(&p, &build::var("x", V::new(S::I8, 8))).is_none());
+    }
+}

@@ -1,0 +1,254 @@
+//! The greedy bottom-up fixpoint rewriter (§3.2).
+//!
+//! The rewriter traverses the expression tree bottom-up, greedily applying
+//! the first rule (in priority order) whose pattern matches, whose
+//! predicate holds, and whose output strictly reduces the active cost
+//! model. It repeats until the expression converges to a fixed point —
+//! termination is guaranteed by the strict cost descent.
+
+use crate::cost::CostModel;
+use crate::rule::RuleSet;
+use fpir::bounds::BoundsCtx;
+use fpir::expr::RcExpr;
+use std::collections::BTreeMap;
+
+/// Per-run statistics: how many times each rule fired.
+#[derive(Debug, Clone, Default)]
+pub struct RewriteStats {
+    fired: BTreeMap<String, usize>,
+    /// Total rule applications.
+    pub applications: usize,
+    /// Full bottom-up passes executed.
+    pub passes: usize,
+}
+
+impl RewriteStats {
+    /// Firing count per rule name.
+    pub fn fired(&self) -> &BTreeMap<String, usize> {
+        &self.fired
+    }
+
+    /// Names of the rules that fired at least once.
+    pub fn fired_rules(&self) -> Vec<&str> {
+        self.fired.keys().map(String::as_str).collect()
+    }
+}
+
+/// A rewriting engine bound to a rule set and a cost model.
+#[derive(Debug)]
+pub struct Rewriter<'a, C> {
+    rules: &'a RuleSet,
+    cost: C,
+    /// Bounds-inference context shared across the run (the §3.3 query
+    /// cache lives in here).
+    pub bounds: BoundsCtx,
+    /// Statistics for the last [`Rewriter::run`].
+    pub stats: RewriteStats,
+    max_passes: usize,
+}
+
+impl<'a, C: CostModel> Rewriter<'a, C> {
+    /// Create a rewriter. `max_passes` bounds the fixpoint loop (cost
+    /// descent already guarantees termination; the bound is defence in
+    /// depth and is generous at 16).
+    pub fn new(rules: &'a RuleSet, cost: C) -> Rewriter<'a, C> {
+        Rewriter {
+            rules,
+            cost,
+            bounds: BoundsCtx::new(),
+            stats: RewriteStats::default(),
+            max_passes: 16,
+        }
+    }
+
+    /// Rewrite to a fixed point.
+    pub fn run(&mut self, expr: &RcExpr) -> RcExpr {
+        self.stats = RewriteStats::default();
+        let mut current = expr.clone();
+        for _ in 0..self.max_passes {
+            self.stats.passes += 1;
+            let before = self.stats.applications;
+            current = self.pass(&current);
+            if self.stats.applications == before {
+                break;
+            }
+        }
+        current
+    }
+
+    /// One bottom-up pass.
+    fn pass(&mut self, expr: &RcExpr) -> RcExpr {
+        let children: Vec<RcExpr> = expr.children().into_iter().map(|c| self.pass(c)).collect();
+        let mut node = expr.with_children(children);
+        // Apply rules repeatedly at this node until none fires. When
+        // several rules match the same node, the lowest-cost output is
+        // preferred (§3.2's ordering criterion), with ties broken by rule
+        // order.
+        loop {
+            let node_cost = self.cost.cost(&node);
+            let mut best: Option<(crate::cost::Cost, &str, fpir::RcExpr)> = None;
+            for rule in self.rules.rules() {
+                if let Some(out) = rule.apply(&node, &mut self.bounds) {
+                    let out_cost = self.cost.cost(&out);
+                    if out_cost < node_cost
+                        && best.as_ref().is_none_or(|(c, _, _)| out_cost < *c)
+                    {
+                        best = Some((out_cost, rule.name.as_str(), out));
+                    }
+                }
+            }
+            let Some((_, name, out)) = best else { break };
+            *self.stats.fired.entry(name.to_string()).or_default() += 1;
+            self.stats.applications += 1;
+            node = out;
+        }
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::AgnosticCost;
+    use crate::dsl::*;
+    use crate::pattern::{Pat, TypePat};
+    use crate::rule::{Rule, RuleClass};
+    use crate::template::{CFn, Template, TyRef};
+    use fpir::build;
+    use fpir::interp::{eval, Env};
+    use fpir::types::{ScalarType as S, VectorType as V};
+    use fpir::FpirOp;
+
+    fn demo_rules() -> RuleSet {
+        let mut rs = RuleSet::new("demo");
+        // u8(min(x_u16, 255)) -> saturating_cast<u8>(x_u16)
+        rs.push(Rule::new(
+            "lift-min-255-to-sat-cast",
+            RuleClass::Lift,
+            Pat::Cast(
+                TypePat::NarrowOf(0),
+                Box::new(pat_min(wild_t(0, TypePat::AnyUnsigned(0)), lit(255))),
+            ),
+            Template::SatCast(TyRef::NarrowOfWild(0), Box::new(Template::Wild(0))),
+        ));
+        // u16(x_u8) + u16(y_u8) -> widening_add(x, y)
+        rs.push(Rule::new(
+            "lift-widening-add",
+            RuleClass::Lift,
+            pat_add(
+                Pat::Cast(TypePat::WidenOf(0), Box::new(wild_t(0, TypePat::Var(0)))),
+                Pat::Cast(TypePat::WidenOf(0), Box::new(wild_t(1, TypePat::Var(0)))),
+            ),
+            Template::Fpir(FpirOp::WideningAdd, vec![Template::Wild(0), Template::Wild(1)]),
+        ));
+        // u16(x_u8) * c0 -> widening_shl(x, log2(c0)) [pow2]
+        rs.push(
+            Rule::new(
+                "lift-mul-pow2",
+                RuleClass::Lift,
+                pat_mul(
+                    Pat::Cast(TypePat::WidenOf(0), Box::new(wild_t(0, TypePat::Var(0)))),
+                    cwild(1),
+                ),
+                Template::Fpir(
+                    FpirOp::WideningShl,
+                    vec![
+                        Template::Wild(0),
+                        Template::Const { f: CFn::Log2, of: 1, ty: TyRef::OfWild(0) },
+                    ],
+                ),
+            )
+            .with_pred(crate::predicate::Predicate::IsPow2(1)),
+        );
+        rs
+    }
+
+    #[test]
+    fn rewrites_nested_redexes_to_fixpoint() {
+        // u8(min(u16(a) + u16(b), 255)) lifts fully to
+        // saturating_cast<u8>(widening_add(a, b)).
+        let t = V::new(S::U8, 16);
+        let (a, b) = (build::var("a", t), build::var("b", t));
+        let sum = build::add(build::widen(a), build::widen(b));
+        let e = build::cast(S::U8, build::min(sum.clone(), build::splat(255, &sum)));
+        let rules = demo_rules();
+        let mut rw = Rewriter::new(&rules, AgnosticCost);
+        let out = rw.run(&e);
+        assert_eq!(out.to_string(), "saturating_cast<u8>(widening_add(a_u8, b_u8))");
+        assert_eq!(rw.stats.applications, 2);
+        assert!(rw.stats.fired().contains_key("lift-widening-add"));
+    }
+
+    #[test]
+    fn rewriting_preserves_semantics() {
+        let t = V::new(S::U8, 16);
+        let (a, b) = (build::var("a", t), build::var("b", t));
+        let sum = build::add(build::widen(a), build::widen(b));
+        let e = build::cast(S::U8, build::min(sum.clone(), build::splat(255, &sum)));
+        let rules = demo_rules();
+        let mut rw = Rewriter::new(&rules, AgnosticCost);
+        let out = rw.run(&e);
+        let mut rng = rand::thread_rng();
+        for _ in 0..20 {
+            let env: Env = fpir::rand_expr::random_env(&mut rng, &e);
+            assert_eq!(eval(&e, &env).unwrap(), eval(&out, &env).unwrap());
+        }
+    }
+
+    #[test]
+    fn no_rules_is_identity() {
+        let t = V::new(S::U8, 16);
+        let e = build::add(build::var("a", t), build::var("b", t));
+        let rules = RuleSet::new("empty");
+        let mut rw = Rewriter::new(&rules, AgnosticCost);
+        assert_eq!(rw.run(&e), e);
+        assert_eq!(rw.stats.applications, 0);
+    }
+
+    #[test]
+    fn priority_order_prefers_earlier_rules() {
+        // Two rules match u16(x) * 2: the pow2-shift rule listed first
+        // must win over a later generic widening-mul rule.
+        let mut rules = demo_rules();
+        rules.push(Rule::new(
+            "lift-widening-mul",
+            RuleClass::Lift,
+            pat_mul(
+                Pat::Cast(TypePat::WidenOf(0), Box::new(wild_t(0, TypePat::Var(0)))),
+                Pat::Cast(TypePat::WidenOf(0), Box::new(wild_t(1, TypePat::Var(0)))),
+            ),
+            Template::Fpir(FpirOp::WideningMul, vec![Template::Wild(0), Template::Wild(1)]),
+        ));
+        let t = V::new(S::U8, 16);
+        let e = build::mul(
+            build::widen(build::var("x", t)),
+            build::constant(2, V::new(S::U16, 16)),
+        );
+        let mut rw = Rewriter::new(&rules, AgnosticCost);
+        let out = rw.run(&e);
+        assert_eq!(out.to_string(), "widening_shl(x_u8, 1)");
+    }
+
+    #[test]
+    fn cost_increase_blocks_application() {
+        // A "rule" that rewrites x + y into a widening round-trip is
+        // blocked by the cost check even though it matches.
+        let mut rs = RuleSet::new("bad");
+        rs.push(Rule::new(
+            "widen-roundtrip",
+            RuleClass::Lift,
+            pat_add(wild_t(0, TypePat::Var(0)), wild_t(1, TypePat::Var(0))),
+            Template::Cast(
+                TyRef::OfWild(0),
+                Box::new(Template::Fpir(
+                    FpirOp::WideningAdd,
+                    vec![Template::Wild(0), Template::Wild(1)],
+                )),
+            ),
+        ));
+        let t = V::new(S::U8, 16);
+        let e = build::add(build::var("a", t), build::var("b", t));
+        let mut rw = Rewriter::new(&rs, AgnosticCost);
+        assert_eq!(rw.run(&e), e);
+    }
+}

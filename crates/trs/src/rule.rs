@@ -1,0 +1,678 @@
+//! Rewrite rules and rule sets.
+//!
+//! A [`Rule`] is `lhs -> rhs [predicate]` plus metadata: its [`RuleClass`]
+//! (the five lowering classes of §3.3, or `Lift`), and its [`Provenance`]
+//! (hand-written, or synthesized from a benchmark's expressions — used by
+//! the leave-one-out protocol of §5 and the ablation of §5.3).
+//!
+//! [`RuleSet::validate`] instantiates each rule generically and checks that
+//! substitution succeeds, that the rule preserves types, and (for lifting
+//! rules) that it strictly reduces the target-agnostic cost — the paper's
+//! convergence requirement.
+
+use crate::cost::{AgnosticCost, CostModel};
+use crate::pattern::{match_pat, Pat, TypePat};
+use crate::predicate::Predicate;
+use crate::template::{substitute, Template};
+use fpir::expr::{Expr, RcExpr};
+use fpir::types::{ScalarType, VectorType};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kind of translation a rule performs (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleClass {
+    /// Integer arithmetic → FPIR (target-agnostic lifting).
+    Lift,
+    /// One-to-one FPIR → target instruction.
+    Direct,
+    /// A combination of FPIR instructions → one target instruction.
+    Fused,
+    /// One FPIR instruction → several target instructions (emulation).
+    Compound,
+    /// Applies only when a compile-time fact (usually a bound) is proven.
+    Predicated,
+    /// Applies only at specific constants.
+    SpecificConst,
+    /// Machine-level peephole (used by the Rake-style selector's swizzle
+    /// optimization).
+    Peephole,
+}
+
+impl fmt::Display for RuleClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RuleClass::Lift => "lift",
+            RuleClass::Direct => "direct",
+            RuleClass::Fused => "fused",
+            RuleClass::Compound => "compound",
+            RuleClass::Predicated => "predicated",
+            RuleClass::SpecificConst => "specific-const",
+            RuleClass::Peephole => "peephole",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Where a rule came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Provenance {
+    /// Written by hand.
+    HandWritten,
+    /// Synthesized offline from corpus expressions; `sources` names every
+    /// benchmark whose expressions produce the rule (leave-one-out drops a
+    /// rule only when the left-out benchmark is its *sole* source — with
+    /// any other source the rule would have been re-synthesized).
+    Synthesized {
+        /// Benchmarks whose corpora produce the rule.
+        sources: Vec<String>,
+    },
+}
+
+/// A rewrite rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Unique, human-readable name (shows up in firing statistics).
+    pub name: String,
+    /// Translation class.
+    pub class: RuleClass,
+    /// Origin (hand-written vs synthesized-from-benchmark).
+    pub provenance: Provenance,
+    /// Left-hand side.
+    pub lhs: Pat,
+    /// Right-hand side.
+    pub rhs: Template,
+    /// Side condition.
+    pub pred: Predicate,
+}
+
+impl Rule {
+    /// A hand-written rule with a trivially-true predicate.
+    pub fn new(name: impl Into<String>, class: RuleClass, lhs: Pat, rhs: Template) -> Rule {
+        Rule {
+            name: name.into(),
+            class,
+            provenance: Provenance::HandWritten,
+            lhs,
+            rhs,
+            pred: Predicate::True,
+        }
+    }
+
+    /// Attach a predicate.
+    pub fn with_pred(mut self, pred: Predicate) -> Rule {
+        self.pred = pred;
+        self
+    }
+
+    /// Mark as synthesized from `source` (callable repeatedly to record
+    /// several source benchmarks).
+    pub fn synthesized_from(mut self, source: impl Into<String>) -> Rule {
+        match &mut self.provenance {
+            Provenance::Synthesized { sources } => sources.push(source.into()),
+            Provenance::HandWritten => {
+                self.provenance = Provenance::Synthesized { sources: vec![source.into()] };
+            }
+        }
+        self
+    }
+
+    /// Try to apply this rule at the root of `expr`.
+    ///
+    /// Checks the pattern, the predicate (through `bounds`), performs the
+    /// substitution, and requires the result type to equal the input type.
+    pub fn apply(&self, expr: &RcExpr, bounds: &mut fpir::bounds::BoundsCtx) -> Option<RcExpr> {
+        let b = match_pat(&self.lhs, expr)?;
+        if !self.pred.eval(&b, bounds) {
+            return None;
+        }
+        let out = substitute(&self.rhs, &b, expr.ty().lanes).ok()?;
+        if out.ty() != expr.ty() {
+            debug_assert!(
+                false,
+                "rule `{}` changed type {} -> {} on {expr}",
+                self.name,
+                expr.ty(),
+                out.ty()
+            );
+            return None;
+        }
+        Some(out)
+    }
+}
+
+/// An ordered collection of rules (order is match priority).
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    /// Descriptive name ("lift", "lower-arm", …).
+    pub name: String,
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// An empty rule set.
+    pub fn new(name: impl Into<String>) -> RuleSet {
+        RuleSet { name: name.into(), rules: Vec::new() }
+    }
+
+    /// Append a rule (lowest priority so far).
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Append many rules.
+    pub fn extend(&mut self, rules: impl IntoIterator<Item = Rule>) {
+        self.rules.extend(rules);
+    }
+
+    /// The rules, in priority order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// A filtered copy without rules synthesized from `benchmark` — the
+    /// paper's leave-one-out evaluation protocol (§5).
+    pub fn leaving_out(&self, benchmark: &str) -> RuleSet {
+        RuleSet {
+            name: format!("{} (without rules from {benchmark})", self.name),
+            rules: self
+                .rules
+                .iter()
+                .filter(|r| {
+                    !matches!(&r.provenance, Provenance::Synthesized { sources }
+                        if sources.iter().all(|s| s == benchmark))
+                })
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// A filtered copy with only the rules of one class.
+    pub fn of_class(&self, class: crate::rule::RuleClass) -> RuleSet {
+        RuleSet {
+            name: format!("{} ({class} only)", self.name),
+            rules: self.rules.iter().filter(|r| r.class == class).cloned().collect(),
+        }
+    }
+
+    /// A filtered copy with only hand-written rules — the §5.3 ablation.
+    pub fn hand_written_only(&self) -> RuleSet {
+        RuleSet {
+            name: format!("{} (hand-written only)", self.name),
+            rules: self
+                .rules
+                .iter()
+                .filter(|r| r.provenance == Provenance::HandWritten)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Validate every rule: generic instantiation must match its own LHS,
+    /// substitute cleanly, preserve types, and — when `check_cost` —
+    /// strictly reduce the target-agnostic cost (the convergence
+    /// requirement of §3.2).
+    pub fn validate(&self, check_cost: bool) -> Vec<RuleIssue> {
+        let mut issues = Vec::new();
+        for rule in &self.rules {
+            match instantiate_lhs(rule) {
+                Some(inst) => {
+                    // Same tight variable bounds as instantiation uses, so
+                    // bounds-predicated rules can fire.
+                    let mut bounds = fpir::bounds::BoundsCtx::new();
+                    for (name, _) in inst.free_vars() {
+                        bounds.set_var_bound(name, fpir::bounds::Interval::new(0, 1));
+                    }
+                    match rule.apply(&inst, &mut bounds) {
+                        Some(out) => {
+                            if check_cost {
+                                let model = AgnosticCost;
+                                if model.cost(&out) >= model.cost(&inst) {
+                                    issues.push(RuleIssue {
+                                        rule: rule.name.clone(),
+                                        problem: format!(
+                                            "does not reduce cost: {inst} -> {out}"
+                                        ),
+                                    });
+                                }
+                            }
+                        }
+                        None => issues.push(RuleIssue {
+                            rule: rule.name.clone(),
+                            problem: format!(
+                                "failed to apply to its own instantiation {inst}"
+                            ),
+                        }),
+                    }
+                }
+                None => issues.push(RuleIssue {
+                    rule: rule.name.clone(),
+                    problem: "could not instantiate the left-hand side".into(),
+                }),
+            }
+        }
+        issues
+    }
+}
+
+/// A problem found by [`RuleSet::validate`].
+#[derive(Debug, Clone)]
+pub struct RuleIssue {
+    /// The offending rule's name.
+    pub rule: String,
+    /// What went wrong.
+    pub problem: String,
+}
+
+impl fmt::Display for RuleIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule `{}`: {}", self.rule, self.problem)
+    }
+}
+
+/// Build a concrete expression matching a rule's LHS, for validation and
+/// verification: wildcards become fresh variables, constant wildcards take
+/// predicate-satisfying values, and type variables are searched over the
+/// 8–32-bit types until the instantiation type-checks.
+pub fn instantiate_lhs(rule: &Rule) -> Option<RcExpr> {
+    instantiate_lhs_with(rule, 4, &BTreeMap::new())
+}
+
+/// [`instantiate_lhs`] with explicit lane count and constant overrides
+/// (`wildcard id -> value`), used by rule verification to sweep constants.
+pub fn instantiate_lhs_with(
+    rule: &Rule,
+    lanes: u32,
+    const_overrides: &BTreeMap<u8, i128>,
+) -> Option<RcExpr> {
+    let vars = collect_type_vars(&rule.lhs);
+    let mut assignment: BTreeMap<u8, ScalarType> = BTreeMap::new();
+    try_assignments(rule, lanes, const_overrides, &vars, 0, &mut assignment)
+}
+
+fn try_assignments(
+    rule: &Rule,
+    lanes: u32,
+    const_overrides: &BTreeMap<u8, i128>,
+    vars: &[u8],
+    idx: usize,
+    assignment: &mut BTreeMap<u8, ScalarType>,
+) -> Option<RcExpr> {
+    const CANDIDATES: [ScalarType; 6] = [
+        ScalarType::U8,
+        ScalarType::U16,
+        ScalarType::U32,
+        ScalarType::I8,
+        ScalarType::I16,
+        ScalarType::I32,
+    ];
+    if idx == vars.len() {
+        // Try coherent combinations of candidate constants: each constant
+        // wildcard gets a small list from the predicate, and we search the
+        // cartesian product (it is tiny in practice).
+        let const_ids = collect_const_wilds(&rule.lhs);
+        let mut combos: Vec<BTreeMap<u8, i128>> = vec![const_overrides.clone()];
+        for &cid in &const_ids {
+            if const_overrides.contains_key(&cid) {
+                continue;
+            }
+            // The element type is unknown until the instance is built;
+            // offer candidates for every plausible width and let the
+            // match/predicate check reject incoherent ones.
+            let mut values: Vec<i128> = Vec::new();
+            for elem in [
+                ScalarType::U8,
+                ScalarType::U16,
+                ScalarType::U32,
+                ScalarType::I16,
+                ScalarType::I32,
+            ] {
+                values.extend(rule.pred.candidate_consts(cid, elem));
+            }
+            values.push(2);
+            values.dedup();
+            values.truncate(12);
+            combos = combos
+                .into_iter()
+                .flat_map(|m| {
+                    values.iter().map(move |&v| {
+                        let mut m2 = m.clone();
+                        m2.insert(cid, v);
+                        m2
+                    })
+                })
+                .take(4096)
+                .collect();
+        }
+        for overrides in combos {
+            let Some(inst) = build_instance(
+                &rule.lhs,
+                assignment,
+                lanes,
+                &overrides,
+                &rule.pred,
+                &mut 0,
+            ) else {
+                continue;
+            };
+            let Some(b) = match_pat(&rule.lhs, &inst) else {
+                continue;
+            };
+            // Bounds-predicated rules cannot be witnessed by unbounded
+            // fresh variables; give every instantiation variable a tight
+            // range so structural validation can proceed (semantic
+            // correctness of bounds predicates is established separately
+            // by differential testing).
+            let mut bounds = fpir::bounds::BoundsCtx::new();
+            for (name, _) in inst.free_vars() {
+                bounds.set_var_bound(name, fpir::bounds::Interval::new(0, 1));
+            }
+            if rule.pred.eval(&b, &mut bounds) {
+                return Some(inst);
+            }
+        }
+        None
+    } else {
+        for t in CANDIDATES {
+            assignment.insert(vars[idx], t);
+            if let Some(e) =
+                try_assignments(rule, lanes, const_overrides, vars, idx + 1, assignment)
+            {
+                return Some(e);
+            }
+        }
+        assignment.remove(&vars[idx]);
+        None
+    }
+}
+
+/// The constant-wildcard ids used in a pattern.
+pub fn collect_const_wilds(pat: &Pat) -> Vec<u8> {
+    fn walk(p: &Pat, out: &mut Vec<u8>) {
+        match p {
+            Pat::ConstWild { id, .. } => {
+                if !out.contains(id) {
+                    out.push(*id);
+                }
+            }
+            Pat::Wild { .. } | Pat::Lit(..) => {}
+            Pat::Bin(_, a, b) | Pat::Cmp(_, a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Pat::Select(a, b, c) => {
+                walk(a, out);
+                walk(b, out);
+                walk(c, out);
+            }
+            Pat::Cast(_, a) | Pat::Reinterpret(_, a) | Pat::SatCast(_, a) => walk(a, out),
+            Pat::Fpir(_, args) | Pat::Mach(_, args) => {
+                for a in args {
+                    walk(a, out);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(pat, &mut out);
+    out
+}
+
+fn collect_type_vars(pat: &Pat) -> Vec<u8> {
+    fn ty_vars(t: &TypePat, out: &mut Vec<u8>) {
+        match t {
+            TypePat::Var(i)
+            | TypePat::WidenOf(i)
+            | TypePat::NarrowOf(i)
+            | TypePat::SignedOf(i)
+            | TypePat::UnsignedOf(i)
+            | TypePat::SameWidthAs(i)
+            | TypePat::Widen2Of(i)
+            | TypePat::WidenSignedOf(i)
+            | TypePat::NarrowUnsignedOf(i)
+            | TypePat::AnyUnsigned(i)
+            | TypePat::AnySigned(i) => {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+            TypePat::Any | TypePat::Exact(_) => {}
+        }
+    }
+    fn walk(p: &Pat, out: &mut Vec<u8>) {
+        match p {
+            Pat::Wild { ty, .. } | Pat::ConstWild { ty, .. } | Pat::Lit(_, ty) => ty_vars(ty, out),
+            Pat::Bin(_, a, b) | Pat::Cmp(_, a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Pat::Select(a, b, c) => {
+                walk(a, out);
+                walk(b, out);
+                walk(c, out);
+            }
+            Pat::Cast(ty, a) | Pat::Reinterpret(ty, a) | Pat::SatCast(ty, a) => {
+                ty_vars(ty, out);
+                walk(a, out);
+            }
+            Pat::Fpir(_, args) | Pat::Mach(_, args) => {
+                for a in args {
+                    walk(a, out);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(pat, &mut out);
+    out
+}
+
+/// Build one expression instance of a pattern under a type-variable
+/// assignment. Returns `None` when the assignment is inconsistent.
+#[allow(clippy::only_used_in_recursion)]
+fn build_instance(
+    pat: &Pat,
+    assignment: &BTreeMap<u8, ScalarType>,
+    lanes: u32,
+    const_overrides: &BTreeMap<u8, i128>,
+    pred: &Predicate,
+    fresh: &mut u32,
+) -> Option<RcExpr> {
+    let resolve = |t: &TypePat| -> Option<ScalarType> {
+        match t {
+            TypePat::Any => Some(ScalarType::U8),
+            TypePat::Exact(s) => Some(*s),
+            TypePat::Var(i) | TypePat::AnyUnsigned(i) | TypePat::AnySigned(i) => {
+                let base = assignment.get(i).copied()?;
+                match t {
+                    TypePat::AnyUnsigned(_) if base.is_signed() => None,
+                    TypePat::AnySigned(_) if !base.is_signed() => None,
+                    _ => Some(base),
+                }
+            }
+            TypePat::WidenOf(i) => assignment.get(i).copied()?.widen(),
+            TypePat::Widen2Of(i) => assignment.get(i).copied()?.widen()?.widen(),
+            TypePat::WidenSignedOf(i) => {
+                Some(assignment.get(i).copied()?.widen()?.with_signed())
+            }
+            TypePat::NarrowUnsignedOf(i) => {
+                Some(assignment.get(i).copied()?.narrow()?.with_unsigned())
+            }
+            TypePat::NarrowOf(i) => assignment.get(i).copied()?.narrow(),
+            TypePat::SignedOf(i) => Some(assignment.get(i).copied()?.with_signed()),
+            TypePat::UnsignedOf(i) => Some(assignment.get(i).copied()?.with_unsigned()),
+            TypePat::SameWidthAs(i) => Some(assignment.get(i).copied()?),
+        }
+    };
+    match pat {
+        Pat::Wild { id, ty } => {
+            let elem = resolve(ty)?;
+            Some(Expr::var(format!("x{id}"), VectorType::new(elem, lanes)))
+        }
+        Pat::ConstWild { id, ty } => {
+            let elem = resolve(ty)?;
+            let v = const_overrides
+                .get(id)
+                .copied()
+                .or_else(|| pred.candidate_const(*id, elem))
+                .unwrap_or(2);
+            Expr::constant(v, VectorType::new(elem, lanes)).ok()
+        }
+        Pat::Lit(v, ty) => {
+            let elem = resolve(ty)?;
+            Expr::constant(*v, VectorType::new(elem, lanes)).ok()
+        }
+        Pat::Bin(op, a, b) => {
+            let a = build_instance(a, assignment, lanes, const_overrides, pred, fresh)?;
+            let b = build_instance(b, assignment, lanes, const_overrides, pred, fresh)?;
+            Expr::bin(*op, a, b).ok()
+        }
+        Pat::Cmp(op, a, b) => {
+            let a = build_instance(a, assignment, lanes, const_overrides, pred, fresh)?;
+            let b = build_instance(b, assignment, lanes, const_overrides, pred, fresh)?;
+            Expr::cmp(*op, a, b).ok()
+        }
+        Pat::Select(c, t, f) => {
+            let c = build_instance(c, assignment, lanes, const_overrides, pred, fresh)?;
+            let t = build_instance(t, assignment, lanes, const_overrides, pred, fresh)?;
+            let f = build_instance(f, assignment, lanes, const_overrides, pred, fresh)?;
+            Expr::select(c, t, f).ok()
+        }
+        Pat::Cast(ty, inner) => {
+            let elem = resolve(ty)?;
+            let inner = build_instance(inner, assignment, lanes, const_overrides, pred, fresh)?;
+            Some(Expr::cast(elem, inner))
+        }
+        Pat::Reinterpret(ty, inner) => {
+            let elem = resolve(ty)?;
+            let inner = build_instance(inner, assignment, lanes, const_overrides, pred, fresh)?;
+            Expr::reinterpret(elem, inner).ok()
+        }
+        Pat::SatCast(ty, inner) => {
+            let elem = resolve(ty)?;
+            let inner = build_instance(inner, assignment, lanes, const_overrides, pred, fresh)?;
+            Expr::fpir(fpir::FpirOp::SaturatingCast(elem), vec![inner]).ok()
+        }
+        Pat::Fpir(op, args) => {
+            let args = args
+                .iter()
+                .map(|a| build_instance(a, assignment, lanes, const_overrides, pred, fresh))
+                .collect::<Option<Vec<_>>>()?;
+            Expr::fpir(*op, args).ok()
+        }
+        Pat::Mach(..) => None,
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}  ->  {}", self.lhs, self.rhs)?;
+        if self.pred != Predicate::True {
+            write!(f, "   [{}]", self.pred)?;
+        }
+        match &self.provenance {
+            Provenance::HandWritten => Ok(()),
+            Provenance::Synthesized { sources } => {
+                write!(f, "   (synthesized: {})", sources.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::template::{CFn, TyRef};
+    use fpir::FpirOp;
+
+    /// u16(x_u8) * c0 -> widening_shl(x, log2(c0)) [is_pow2(c0)]
+    fn mul_pow2_rule() -> Rule {
+        Rule::new(
+            "lift-mul-pow2-to-widening-shl",
+            RuleClass::Lift,
+            pat_mul(
+                Pat::Cast(TypePat::WidenOf(0), Box::new(wild_t(0, TypePat::Var(0)))),
+                cwild_t(1, TypePat::WidenOf(0)),
+            ),
+            Template::Fpir(
+                FpirOp::WideningShl,
+                vec![
+                    Template::Wild(0),
+                    Template::Const { f: CFn::Log2, of: 1, ty: TyRef::OfWild(0) },
+                ],
+            ),
+        )
+        .with_pred(Predicate::IsPow2(1))
+    }
+
+    #[test]
+    fn instantiation_matches_itself() {
+        let rule = mul_pow2_rule();
+        let inst = instantiate_lhs(&rule).expect("instantiable");
+        assert!(match_pat(&rule.lhs, &inst).is_some());
+    }
+
+    #[test]
+    fn validate_passes_good_rule() {
+        let mut rs = RuleSet::new("test");
+        rs.push(mul_pow2_rule());
+        let issues = rs.validate(true);
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn validate_flags_cost_increase() {
+        // A rule rewriting x + y -> (x + y) + 0 inflates cost.
+        let lhs = pat_add(wild(0), wild(1));
+        let rhs = Template::Bin(
+            fpir::BinOp::Add,
+            Box::new(Template::Bin(
+                fpir::BinOp::Add,
+                Box::new(Template::Wild(0)),
+                Box::new(Template::Wild(1)),
+            )),
+            Box::new(Template::Lit { value: 0, ty: TyRef::OfWild(0) }),
+        );
+        let mut rs = RuleSet::new("bad");
+        rs.push(Rule::new("inflate", RuleClass::Lift, lhs, rhs));
+        let issues = rs.validate(true);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].problem.contains("cost"));
+    }
+
+    #[test]
+    fn leave_one_out_filters() {
+        let mut rs = RuleSet::new("test");
+        rs.push(mul_pow2_rule());
+        rs.push(mul_pow2_rule().synthesized_from("sobel3x3"));
+        rs.push(mul_pow2_rule().synthesized_from("matmul"));
+        assert_eq!(rs.leaving_out("sobel3x3").len(), 2);
+        assert_eq!(rs.hand_written_only().len(), 1);
+    }
+
+    #[test]
+    fn apply_rewrites_at_root() {
+        use fpir::build;
+        use fpir::types::{ScalarType as S, VectorType as V};
+        let rule = mul_pow2_rule();
+        let x = build::var("x", V::new(S::U8, 16));
+        let e = build::mul(build::widen(x.clone()), build::constant(2, V::new(S::U16, 16)));
+        let mut bounds = fpir::bounds::BoundsCtx::new();
+        let out = rule.apply(&e, &mut bounds).expect("applies");
+        assert_eq!(out.to_string(), "widening_shl(x_u8, 1)");
+        // Non-power-of-two constants are rejected by the predicate.
+        let e = build::mul(build::widen(x), build::constant(3, V::new(S::U16, 16)));
+        assert!(rule.apply(&e, &mut bounds).is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! Properties of the rewriting engine itself: termination, strict cost
+//! descent, and pattern/match round trips.
+
+use fpir::build;
+use fpir::rand_expr::{gen_expr, GenConfig};
+use fpir::types::{ScalarType, VectorType};
+use fpir::FpirOp;
+use fpir_trs::cost::{AgnosticCost, CostModel};
+use fpir_trs::dsl::*;
+use fpir_trs::pattern::{match_pat, Pat, TypePat};
+use fpir_trs::rewrite::Rewriter;
+use fpir_trs::rule::{Rule, RuleClass, RuleSet};
+use fpir_trs::template::Template;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn demo_rules() -> RuleSet {
+    let mut rs = RuleSet::new("prop-demo");
+    rs.push(Rule::new(
+        "widening-add",
+        RuleClass::Lift,
+        pat_add(widen_cast(0), Pat::Cast(TypePat::WidenOf(0), Box::new(wild_t(1, TypePat::Var(0))))),
+        Template::Fpir(FpirOp::WideningAdd, vec![tw(0), tw(1)]),
+    ));
+    rs.push(Rule::new(
+        "sat-cast",
+        RuleClass::Lift,
+        Pat::Cast(
+            TypePat::NarrowOf(0),
+            Box::new(pat_min(wild_t(0, TypePat::AnyUnsigned(0)), cwild_t(1, TypePat::Var(0)))),
+        ),
+        Template::SatCast(fpir_trs::template::TyRef::NarrowOfWild(0), Box::new(tw(0))),
+    )
+    .with_pred(fpir_trs::predicate::Predicate::ConstEqOwnNarrowMax(1)));
+    rs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The rewriter terminates (bounded passes) and never increases the
+    /// cost, on arbitrary expressions.
+    #[test]
+    fn rewriting_terminates_and_descends(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GenConfig { lanes: 4, fpir_prob: 0.2, ..GenConfig::default() };
+        let e = gen_expr(&mut rng, &cfg, ScalarType::U16);
+        let rules = demo_rules();
+        let mut rw = Rewriter::new(&rules, AgnosticCost);
+        let out = rw.run(&e);
+        let model = AgnosticCost;
+        prop_assert!(model.cost(&out) <= model.cost(&e));
+        prop_assert!(rw.stats.passes <= 16);
+        // Rewriting is idempotent at the fixpoint.
+        let mut rw2 = Rewriter::new(&rules, AgnosticCost);
+        prop_assert_eq!(rw2.run(&out), out);
+    }
+
+    /// A pattern built from an expression's own shape always matches it
+    /// (wildcards at the leaves).
+    #[test]
+    fn wildcards_match_anything(seed in any::<u64>(), bits_i in 0usize..3) {
+        let elem = [ScalarType::U8, ScalarType::U16, ScalarType::I16][bits_i];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GenConfig { lanes: 4, ..GenConfig::default() };
+        let e = gen_expr(&mut rng, &cfg, elem);
+        prop_assert!(match_pat(&wild(0), &e).is_some());
+        // Typed wildcard matches iff the element type agrees.
+        let matches_exact = match_pat(&wild_t(0, TypePat::Exact(elem)), &e).is_some();
+        prop_assert!(matches_exact);
+        let other = if elem == ScalarType::U8 { ScalarType::I32 } else { ScalarType::U8 };
+        prop_assert!(match_pat(&wild_t(0, TypePat::Exact(other)), &e).is_none());
+    }
+
+    /// Nonlinear patterns accept equal subtrees and reject unequal ones.
+    #[test]
+    fn nonlinear_matching(a in any::<u8>(), b in any::<u8>()) {
+        let t = VectorType::new(ScalarType::U8, 4);
+        let p = pat_add(cwild(0), cwild(0));
+        let e = build::add(build::constant(a as i128, t), build::constant(b as i128, t));
+        prop_assert_eq!(match_pat(&p, &e).is_some(), a == b);
+    }
+
+    /// Commutative matching finds the constant on either side.
+    #[test]
+    fn commutative_matching(c in any::<u8>(), flip in any::<bool>()) {
+        let t = VectorType::new(ScalarType::U8, 4);
+        let x = build::var("x", t);
+        let k = build::constant(c as i128, t);
+        let e = if flip { build::mul(k, x) } else { build::mul(x, k) };
+        let p = pat_mul(wild(0), cwild(1));
+        let bindings = match_pat(&p, &e);
+        prop_assert!(bindings.is_some());
+        prop_assert_eq!(bindings.unwrap().const_value(1), Some(c as i128));
+    }
+}

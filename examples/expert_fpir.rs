@@ -1,0 +1,46 @@
+//! Expert mode (§2.3): writing FPIR directly.
+//!
+//! Domain experts who think in fixed-point idioms can skip the lifting
+//! phase and write FPIR instructions themselves — portable code that
+//! still selects each target's native instructions. This example builds a
+//! small quantized-requantization kernel entirely from FPIR and shows the
+//! single-instruction selections on every target.
+//!
+//!     cargo run --release -p fpir-bench --example expert_fpir
+
+use fpir::build::*;
+use fpir::types::{ScalarType, VectorType};
+use fpir::Isa;
+use fpir_isa::target;
+use fpir_sim::{cycle_cost, emit};
+use pitchfork::Pitchfork;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let t16 = VectorType::new(ScalarType::I16, 64);
+    let (x, y) = (var("x", t16), var("y", t16));
+
+    // A Q15 multiply, a rounding rescale, and a saturating narrow — three
+    // lines of FPIR instead of dozens of lines of widening arithmetic.
+    let q15 = rounding_mul_shr(x, y, constant(15, t16));
+    let expr = saturating_cast(
+        ScalarType::U8,
+        rounding_shr(q15, constant(4, t16)),
+    );
+    println!("expert-written FPIR:\n  {expr}\n");
+
+    for isa in [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx] {
+        let out = Pitchfork::new(isa).compile(&expr)?;
+        let tgt = target(isa);
+        let program = emit(&out.lowered, tgt)?;
+        println!("[{isa}] {} cycles", cycle_cost(&program, tgt));
+        for line in program.render().lines() {
+            println!("    {line}");
+        }
+        println!();
+    }
+    println!(
+        "The same three FPIR instructions became vpmulhrsw-, sqrdmulh- and\n\
+         vmpyo-class code — one portable source, three native selections."
+    );
+    Ok(())
+}

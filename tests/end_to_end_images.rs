@@ -1,0 +1,97 @@
+//! End-to-end image tests: the full path from pipeline DSL through
+//! instruction selection, program emission and VM execution must produce
+//! images identical to the reference interpreter, pixel for pixel.
+
+use fpir::Isa;
+use fpir_halide::{Image, Pipeline};
+use fpir_isa::target;
+use fpir_sim::{emit, execute};
+use fpir_workloads::{workload, Workload};
+use pitchfork::Pitchfork;
+use std::collections::BTreeMap;
+
+/// Run a compiled pipeline over images, strip by strip.
+fn run_compiled(
+    pipeline: &Pipeline,
+    inputs: &BTreeMap<String, Image>,
+    isa: Isa,
+) -> Image {
+    let tgt = target(isa);
+    let compiled = Pitchfork::new(isa)
+        .compile(&pipeline.expr)
+        .unwrap_or_else(|e| panic!("{}: {e}", pipeline.name));
+    let program = emit(&compiled.lowered, tgt).expect("emits");
+    let first = inputs.values().next().expect("has inputs");
+    let (w, h) = (first.width(), first.height());
+    let mut out = Image::filled(pipeline.out_elem(), w, h, 0);
+    let lanes = pipeline.lanes() as usize;
+    for y in 0..h {
+        let mut x0 = 0usize;
+        while x0 < w {
+            let env = pipeline.env_at(inputs, x0 as i64, y as i64).expect("binds");
+            let v = execute(&program, &env, tgt).expect("runs");
+            for i in 0..lanes.min(w - x0) {
+                out.set(x0 + i, y, v.lane(i));
+            }
+            x0 += lanes;
+        }
+    }
+    out
+}
+
+fn check_workload(wl: &Workload, seed: u64) {
+    let inputs = wl.random_inputs(256, 4, seed);
+    let reference = wl
+        .pipeline
+        .run_reference(&inputs)
+        .unwrap_or_else(|e| panic!("{}: {e}", wl.name()));
+    for isa in [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx] {
+        let compiled = run_compiled(&wl.pipeline, &inputs, isa);
+        assert_eq!(
+            compiled, reference,
+            "{} diverged from the reference on {isa}",
+            wl.name()
+        );
+    }
+}
+
+#[test]
+fn sobel_matches_pixel_for_pixel() {
+    check_workload(&workload("sobel3x3").expect("known"), 1);
+}
+
+#[test]
+fn camera_pipe_matches_pixel_for_pixel() {
+    check_workload(&workload("camera_pipe").expect("known"), 2);
+}
+
+#[test]
+fn average_pool_matches_pixel_for_pixel() {
+    check_workload(&workload("average_pool").expect("known"), 3);
+}
+
+#[test]
+fn gaussian3x3_matches_pixel_for_pixel() {
+    check_workload(&workload("gaussian3x3").expect("known"), 4);
+}
+
+#[test]
+fn softmax_matches_pixel_for_pixel() {
+    check_workload(&workload("softmax").expect("known"), 5);
+}
+
+#[test]
+fn blur_extra_workload_matches_pixel_for_pixel() {
+    check_workload(&workload("blur3x3").expect("known"), 6);
+}
+
+#[test]
+fn compiled_kernels_are_deterministic() {
+    // Compiling twice yields the same program (rule application is
+    // deterministic), and running twice yields the same image.
+    let wl = workload("sobel3x3").expect("known");
+    let inputs = wl.random_inputs(256, 3, 7);
+    let a = run_compiled(&wl.pipeline, &inputs, Isa::ArmNeon);
+    let b = run_compiled(&wl.pipeline, &inputs, Isa::ArmNeon);
+    assert_eq!(a, b);
+}

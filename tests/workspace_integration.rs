@@ -1,0 +1,156 @@
+//! Workspace integration: every benchmark × every target × every compiler
+//! must produce a machine program that agrees with the reference
+//! interpreter, and the headline performance relations of the paper must
+//! hold on the cycle model.
+
+use fpir::Isa;
+use fpir_bench::{geomean, run, validate, Compiler};
+use fpir_isa::TargetCost;
+use fpir_trs::cost::CostModel;
+use fpir_workloads::{all_workloads, extra_workloads};
+
+const ISAS: [Isa; 3] = [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx];
+
+#[test]
+fn every_workload_compiles_and_validates_everywhere() {
+    for wl in all_workloads().into_iter().chain(extra_workloads()) {
+        for isa in ISAS {
+            for compiler in [Compiler::Llvm, Compiler::Pitchfork, Compiler::PitchforkHandWritten]
+            {
+                let result = run(&wl, isa, &compiler)
+                    .unwrap_or_else(|e| panic!("{compiler} failed on {}/{isa}: {e}", wl.name()));
+                validate(&wl, isa, &result, 6)
+                    .unwrap_or_else(|e| panic!("{compiler} on {}/{isa}: {e}", wl.name()));
+            }
+        }
+    }
+}
+
+#[test]
+fn rake_compiles_and_validates_on_its_targets() {
+    // Rake has no x86 backend (as in the paper); a light workload subset
+    // keeps the search affordable in debug test runs.
+    for name in ["sobel3x3", "average_pool", "mean"] {
+        let wl = fpir_workloads::workload(name).expect("known workload");
+        for isa in [Isa::ArmNeon, Isa::HexagonHvx] {
+            let result = run(&wl, isa, &Compiler::Rake)
+                .unwrap_or_else(|e| panic!("Rake failed on {name}/{isa}: {e}"));
+            validate(&wl, isa, &result, 6)
+                .unwrap_or_else(|e| panic!("Rake on {name}/{isa}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn pitchfork_never_loses_to_the_baseline() {
+    for wl in all_workloads() {
+        for isa in ISAS {
+            let llvm = run(&wl, isa, &Compiler::Llvm).expect("baseline compiles");
+            let pf = run(&wl, isa, &Compiler::Pitchfork).expect("pitchfork compiles");
+            assert!(
+                pf.cycles <= llvm.cycles,
+                "{}/{isa}: pitchfork {} cycles vs LLVM {}",
+                wl.name(),
+                pf.cycles,
+                llvm.cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn geomean_speedups_have_the_papers_shape() {
+    // Every per-target geomean clearly exceeds 1x, with HVX and ARM well
+    // above x86's more modest win — the qualitative shape of Figure 5.
+    let mut per_isa = vec![Vec::new(); 3];
+    for wl in all_workloads() {
+        for (i, isa) in ISAS.iter().enumerate() {
+            let llvm = run(&wl, *isa, &Compiler::Llvm).expect("baseline compiles");
+            let pf = run(&wl, *isa, &Compiler::Pitchfork).expect("pitchfork compiles");
+            per_isa[i].push(llvm.cycles as f64 / pf.cycles as f64);
+        }
+    }
+    let x86 = geomean(&per_isa[0]);
+    let arm = geomean(&per_isa[1]);
+    let hvx = geomean(&per_isa[2]);
+    assert!(x86 > 1.2, "x86 geomean {x86}");
+    assert!(arm > 1.5, "ARM geomean {arm}");
+    assert!(hvx > 1.3, "HVX geomean {hvx}");
+}
+
+#[test]
+fn full_rules_never_lose_to_hand_written() {
+    // The §5.3 ablation is allowed small regressions on individual
+    // benchmarks (the paper saw one on gaussian7x7/HVX) but must win in
+    // aggregate on both ISAs it studies.
+    for isa in [Isa::ArmNeon, Isa::HexagonHvx] {
+        let mut gains = Vec::new();
+        for wl in all_workloads() {
+            let hand = run(&wl, isa, &Compiler::PitchforkHandWritten).expect("compiles");
+            let full = run(&wl, isa, &Compiler::PitchforkFull).expect("compiles");
+            gains.push(hand.cycles as f64 / full.cycles as f64);
+        }
+        let g = geomean(&gains);
+        assert!(g > 1.05, "{isa}: ablation geomean {g}");
+    }
+}
+
+#[test]
+fn rake_never_loses_to_pitchfork_where_it_runs() {
+    for name in ["sobel3x3", "gaussian3x3", "matmul"] {
+        let wl = fpir_workloads::workload(name).expect("known workload");
+        for isa in [Isa::ArmNeon, Isa::HexagonHvx] {
+            let pf = run(&wl, isa, &Compiler::PitchforkFull).expect("compiles");
+            let rk = run(&wl, isa, &Compiler::Rake).expect("compiles");
+            assert!(
+                rk.cycles <= pf.cycles,
+                "{name}/{isa}: rake {} vs pitchfork {}",
+                rk.cycles,
+                pf.cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn hvx_64_bit_story_matches_section_5_1() {
+    // The three benchmarks that need 64-bit intermediates through
+    // primitive integer arithmetic compile via the fallback on HVX (and
+    // nothing else does).
+    let mut fallbacks = Vec::new();
+    for wl in all_workloads() {
+        let llvm = run(&wl, Isa::HexagonHvx, &Compiler::Llvm).expect("compiles with fallback");
+        if llvm.used_rmulshr_fallback {
+            fallbacks.push(wl.name().to_string());
+        }
+        // Pitchfork itself never needs the accommodation.
+        assert!(
+            run(&wl, Isa::HexagonHvx, &Compiler::Pitchfork).is_ok(),
+            "{} must compile with Pitchfork on HVX",
+            wl.name()
+        );
+    }
+    for expected in ["depthwise_conv", "matmul", "mul"] {
+        assert!(
+            fallbacks.iter().any(|n| n == expected),
+            "{expected} should have needed the fallback; got {fallbacks:?}"
+        );
+    }
+}
+
+#[test]
+fn lowered_target_cost_orders_compilers() {
+    // The target cost model agrees with the cycle model's ordering on the
+    // lowered expressions themselves.
+    let wl = fpir_workloads::workload("sobel3x3").expect("known");
+    for isa in ISAS {
+        let model = TargetCost::new(isa);
+        let llvm = fpir_baseline::LlvmBaseline::new(isa)
+            .compile(&wl.pipeline.expr)
+            .expect("compiles");
+        let pf = pitchfork::Pitchfork::new(isa)
+            .compile(&wl.pipeline.expr)
+            .expect("compiles");
+        assert!(model.cost(&pf.lowered) <= model.cost(&llvm.lowered), "{isa}");
+    }
+}
