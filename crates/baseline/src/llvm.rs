@@ -89,15 +89,10 @@ impl LlvmBaseline {
 /// Expand every FPIR instruction except `saturating_add`/`saturating_sub`
 /// into primitive integer arithmetic.
 fn expand_except_sat(expr: &RcExpr) -> Result<RcExpr, fpir::TypeError> {
-    let children: Vec<RcExpr> = expr
-        .children()
-        .into_iter()
-        .map(expand_except_sat)
-        .collect::<Result<_, _>>()?;
+    let children: Vec<RcExpr> =
+        expr.children().into_iter().map(expand_except_sat).collect::<Result<_, _>>()?;
     match expr.kind() {
-        ExprKind::Fpir(op, _)
-            if !matches!(op, FpirOp::SaturatingAdd | FpirOp::SaturatingSub) =>
-        {
+        ExprKind::Fpir(op, _) if !matches!(op, FpirOp::SaturatingAdd | FpirOp::SaturatingSub) => {
             let expanded = expand_fpir(*op, &children)?;
             expand_except_sat(&expanded)
         }
@@ -147,10 +142,7 @@ mod tests {
     #[test]
     fn widening_add_is_matched_like_llvm() {
         let t = V::new(S::U8, 16);
-        let e = build::add(
-            build::widen(build::var("a", t)),
-            build::widen(build::var("b", t)),
-        );
+        let e = build::add(build::widen(build::var("a", t)), build::widen(build::var("b", t)));
         let out = LlvmBaseline::new(Isa::ArmNeon).compile(&e).unwrap();
         assert_eq!(out.lowered.to_string(), "arm.uaddl(a_u8, b_u8)");
     }
@@ -198,11 +190,8 @@ mod tests {
     fn hvx_fails_on_64_bit_intermediates() {
         // rounding_mul_shr on i32 expands through i64 — HVX cannot take it.
         let t = V::new(S::I32, 32);
-        let e = build::rounding_mul_shr(
-            build::var("x", t),
-            build::var("y", t),
-            build::constant(31, t),
-        );
+        let e =
+            build::rounding_mul_shr(build::var("x", t), build::var("y", t), build::constant(31, t));
         let err = LlvmBaseline::new(Isa::HexagonHvx).compile(&e).unwrap_err();
         assert!(err.what.contains("64"), "{err}");
         // x86 and ARM compile it (through 64-bit lanes, expensively).

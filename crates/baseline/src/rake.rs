@@ -76,12 +76,8 @@ impl Rake {
         let predicated = self.rules.of_class(fpir_trs::rule::RuleClass::Predicated);
         let mut pre = Rewriter::new(&predicated, TargetCost::new(self.isa));
         let lifted = pre.run(&lifted);
-        let mut search = Search {
-            rake: self,
-            memo: HashMap::new(),
-            scored: 0,
-            cost: TargetCost::new(self.isa),
-        };
+        let mut search =
+            Search { rake: self, memo: HashMap::new(), scored: 0, cost: TargetCost::new(self.isa) };
         let best = search.best(&lifted, 6);
         let lowered = legalize(&best, target(self.isa))?;
         let lowered = if self.swizzle_opt {
@@ -109,9 +105,8 @@ impl Search<'_> {
         }
         // Optimize children first, then consider every root rewrite of the
         // rebuilt node (and recursively of each rewrite's result).
-        let rebuilt = e.with_children(
-            e.children().into_iter().map(|c| self.best(c, depth)).collect(),
-        );
+        let rebuilt =
+            e.with_children(e.children().into_iter().map(|c| self.best(c, depth)).collect());
         let mut candidates = vec![rebuilt.clone()];
         if depth > 0 {
             let mut bounds = fpir::bounds::BoundsCtx::new();
@@ -137,10 +132,7 @@ impl Search<'_> {
                 self.scored += 1;
                 match legalize(c, target(self.rake.isa)) {
                     Ok(m) => self.cost.cost(&m),
-                    Err(_) => fpir_trs::cost::Cost {
-                        width_sum: u64::MAX,
-                        op_rank: u64::MAX,
-                    },
+                    Err(_) => fpir_trs::cost::Cost { width_sum: u64::MAX, op_rank: u64::MAX },
                 }
             })
             .cloned()
@@ -183,12 +175,7 @@ fn equivalent_on_samples(reference: &RcExpr, candidate: &RcExpr) -> bool {
 fn peephole_rules(isa: Isa) -> RuleSet {
     let t = target(isa);
     let mut rs = RuleSet::new("rake-peepholes");
-    let find = |sem: MachSem| {
-        t.defs()
-            .iter()
-            .filter(move |d| d.sem == sem)
-            .collect::<Vec<_>>()
-    };
+    let find = |sem: MachSem| t.defs().iter().filter(move |d| d.sem == sem).collect::<Vec<_>>();
     let truncs = find(MachSem::TruncTo);
     let extends = find(MachSem::ExtendTo);
     let adds = find(MachSem::Bin(fpir::BinOp::Add));
@@ -205,11 +192,7 @@ fn peephole_rules(isa: Isa) -> RuleSet {
                         format!("peep-narrow-{}-{}", w.op.name, n.op.name),
                         RuleClass::Peephole,
                         Pat::Mach(tr.op, vec![Pat::Mach(w.op, vec![wild(0), wild(1)])]),
-                        Template::Mach {
-                            op: n.op,
-                            ty: TyRef::OfWild(0),
-                            args: vec![tw(0), tw(1)],
-                        },
+                        Template::Mach { op: n.op, ty: TyRef::OfWild(0), args: vec![tw(0), tw(1)] },
                     ));
                 }
             }
@@ -270,10 +253,7 @@ mod tests {
             ),
             build::absd(build::var("x", V::new(S::U16, 16)), build::var("y", V::new(S::U16, 16))),
             // A widen-add-narrow chain only the swizzle peephole collapses.
-            build::cast(
-                S::U8,
-                build::widening_add(build::var("a", t), build::var("b", t)),
-            ),
+            build::cast(S::U8, build::widening_add(build::var("a", t), build::var("b", t))),
         ];
         for isa in fpir::machine::ALL_ISAS {
             let model = TargetCost::new(isa);
@@ -294,10 +274,7 @@ mod tests {
     fn swizzle_peephole_collapses_roundtrips_on_hvx() {
         let t = V::new(S::U8, 128);
         // u8(widening_add(a, b)): a wrapping narrow of a widening add.
-        let e = build::cast(
-            S::U8,
-            build::widening_add(build::var("a", t), build::var("b", t)),
-        );
+        let e = build::cast(S::U8, build::widening_add(build::var("a", t), build::var("b", t)));
         let rk = Rake::new(Isa::HexagonHvx).compile(&e).unwrap();
         // The peephole turns vpacke(vaddubh(a, b)) into vadd(a, b).
         assert_eq!(rk.lowered.to_string(), "hvx.vadd(a_u8, b_u8)");

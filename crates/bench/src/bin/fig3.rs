@@ -27,10 +27,7 @@ const LANES: u32 = 128;
 fn kernel(a: &str, b: &str, c: &str) -> RcExpr {
     let t = V::new(S::U8, LANES);
     add(
-        add(
-            widen(var(a, t)),
-            mul(widen(var(b, t)), constant(2, V::new(S::U16, LANES))),
-        ),
+        add(widen(var(a, t)), mul(widen(var(b, t)), constant(2, V::new(S::U16, LANES)))),
         widen(var(c, t)),
     )
 }
@@ -41,11 +38,7 @@ fn main() {
         ("(b) absd(x_u16, y_u16) via select", {
             let t = V::new(S::U16, LANES);
             let (x, y) = (var("x", t), var("y", t));
-            select(
-                lt(x.clone(), y.clone()),
-                sub(y.clone(), x.clone()),
-                sub(x.clone(), y.clone()),
-            )
+            select(lt(x.clone(), y.clone()), sub(y.clone(), x.clone()), sub(x.clone(), y.clone()))
         }),
         ("(c) u8(min(z_u16, 255)), z = bounded kernel", {
             let z = kernel("a", "b", "c");

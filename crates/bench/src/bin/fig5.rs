@@ -72,14 +72,8 @@ fn main() {
     println!("  HVX  {:.2}x   (paper: 2.44x)", geomean(&speedups[1]));
     println!("  x86  {:.2}x   (paper: 1.31x)", geomean(&speedups[2]));
     println!("\nPitchfork runtime relative to Rake (cycles_pf / cycles_rake):");
-    println!(
-        "  ARM  {:.2}   (paper: Pitchfork within ~2% of Rake)",
-        geomean(&rake_gap[0])
-    );
-    println!(
-        "  HVX  {:.2}   (paper: Pitchfork ~13% behind Rake)",
-        geomean(&rake_gap[1])
-    );
+    println!("  ARM  {:.2}   (paper: Pitchfork within ~2% of Rake)", geomean(&rake_gap[0]));
+    println!("  HVX  {:.2}   (paper: Pitchfork ~13% behind Rake)", geomean(&rake_gap[1]));
     if !fallback_notes.is_empty() {
         println!(
             "\nNote (§5.1): LLVM could not compile these and was given Pitchfork's\n\

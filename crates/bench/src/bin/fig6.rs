@@ -21,9 +21,8 @@ fn median_time(
     compiler: &Compiler,
     reps: usize,
 ) -> Duration {
-    let mut times: Vec<Duration> = (0..reps)
-        .map(|_| run(wl, isa, compiler).expect("compiles").compile_time)
-        .collect();
+    let mut times: Vec<Duration> =
+        (0..reps).map(|_| run(wl, isa, compiler).expect("compiles").compile_time).collect();
     times.sort();
     times[times.len() / 2]
 }
@@ -31,10 +30,7 @@ fn median_time(
 fn main() {
     let isas = [Isa::ArmNeon, Isa::HexagonHvx, Isa::X86Avx2];
     println!("Figure 6: compile-time speedup over LLVM alone (median of 5)\n");
-    println!(
-        "{:<16} {:>9} {:>9} {:>9} {:>16}",
-        "benchmark", "ARM", "HVX", "x86", "Rake slowdown"
-    );
+    println!("{:<16} {:>9} {:>9} {:>9} {:>16}", "benchmark", "ARM", "HVX", "x86", "Rake slowdown");
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 3];
     let mut rake_slowdowns: Vec<f64> = Vec::new();
     for wl in all_workloads() {

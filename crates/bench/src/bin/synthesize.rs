@@ -12,19 +12,11 @@ use fpir_trs::rule::RuleClass;
 use fpir_workloads::all_workloads;
 
 fn main() {
-    let cap: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(120);
+    let cap: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120);
     let workloads = all_workloads();
-    let named: Vec<(String, fpir::RcExpr)> = workloads
-        .iter()
-        .map(|w| (w.name().to_string(), w.pipeline.expr.clone()))
-        .collect();
-    let corpus = build_corpus(
-        named.iter().map(|(n, e)| (n.as_str(), e)),
-        MAX_LHS_NODES,
-    );
+    let named: Vec<(String, fpir::RcExpr)> =
+        workloads.iter().map(|w| (w.name().to_string(), w.pipeline.expr.clone())).collect();
+    let corpus = build_corpus(named.iter().map(|(n, e)| (n.as_str(), e)), MAX_LHS_NODES);
     println!(
         "corpus: {} distinct sub-expressions (≤ {MAX_LHS_NODES} nodes) from {} benchmarks\n",
         corpus.len(),

@@ -120,11 +120,8 @@ pub fn run(workload: &Workload, isa: Isa, compiler: &Compiler) -> Result<RunResu
 /// on HVX) with Pitchfork's machine lowering, leaving everything else for
 /// the baseline to compile — the paper's §5.1 accommodation.
 fn substitute_rmulshr(expr: &RcExpr, isa: Isa) -> RcExpr {
-    let children: Vec<RcExpr> = expr
-        .children()
-        .into_iter()
-        .map(|c| substitute_rmulshr(c, isa))
-        .collect();
+    let children: Vec<RcExpr> =
+        expr.children().into_iter().map(|c| substitute_rmulshr(c, isa)).collect();
     let node = expr.with_children(children);
     if !matches!(node.kind(), ExprKind::Fpir(fpir::FpirOp::RoundingMulShr, _))
         || !node_too_wide(&node, isa)
@@ -180,14 +177,8 @@ pub fn validate(
     rounds: usize,
 ) -> Result<(), String> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xF1D0);
-    fpir_sim::check_program(
-        &workload.pipeline.expr,
-        &result.program,
-        target(isa),
-        &mut rng,
-        rounds,
-    )
-    .map_err(|c| format!("{}: {c}", workload.name()))
+    fpir_sim::check_program(&workload.pipeline.expr, &result.program, target(isa), &mut rng, rounds)
+        .map_err(|c| format!("{}: {c}", workload.name()))
 }
 
 /// Count the machine instructions in a lowered expression (Figure 3's

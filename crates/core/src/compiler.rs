@@ -156,10 +156,7 @@ mod tests {
         let k = |a: &str, b: &str, c: &str| {
             let w = |n: &str| build::widen(build::var(n, t));
             build::add(
-                build::add(
-                    w(a),
-                    build::mul(w(b), build::constant(2, V::new(S::U16, lanes))),
-                ),
+                build::add(w(a), build::mul(w(b), build::constant(2, V::new(S::U16, lanes)))),
                 w(c),
             )
         };
@@ -230,11 +227,7 @@ mod tests {
         let cfg = Config::new(Isa::ArmNeon).leaving_out("matmul");
         let pf = Pitchfork::with_config(cfg);
         // A rule synthesized solely from matmul's corpus disappears...
-        assert!(pf
-            .lift_rule_set()
-            .rules()
-            .iter()
-            .all(|r| r.name != "lift-rounding-mul-shr"));
+        assert!(pf.lift_rule_set().rules().iter().all(|r| r.name != "lift-rounding-mul-shr"));
         // ...while a rule other benchmarks' corpora also produce survives
         // (it would have been re-synthesized without matmul).
         assert!(pf.lower_rule_set().rules().iter().any(|r| r.name == "arm-udot"));
@@ -246,11 +239,9 @@ mod tests {
         // selects the fixed-point instruction.
         let t = V::new(S::U8, 16);
         let e = build::rounding_halving_add(build::var("a", t), build::var("b", t));
-        for (isa, inst) in [
-            (Isa::X86Avx2, "vpavg"),
-            (Isa::ArmNeon, "urhadd"),
-            (Isa::HexagonHvx, "vavg:rnd"),
-        ] {
+        for (isa, inst) in
+            [(Isa::X86Avx2, "vpavg"), (Isa::ArmNeon, "urhadd"), (Isa::HexagonHvx, "vavg:rnd")]
+        {
             let out = Pitchfork::new(isa).compile(&e).unwrap();
             assert!(out.lowered.to_string().contains(inst), "{isa}: {}", out.lowered);
         }

@@ -37,7 +37,9 @@
 pub mod compiler;
 pub mod lift;
 pub mod lower;
+pub mod registry;
 
 pub use compiler::{Compiled, Config, Pitchfork};
 pub use lift::{hand_written_lift_rules, lift_rules};
 pub use lower::lower_rules;
+pub use registry::{all_rule_sets, RegisteredRuleSet, RuleSetKind};

@@ -88,11 +88,7 @@ fn widening_rules() -> Vec<Rule> {
         lift(
             "widening-mul-pow2-to-shl",
             pat_mul(wcast(0, wild_v(0)), cwild_t(1, TypePat::WidenOf(0))),
-            tfpir2(
-                FpirOp::WideningShl,
-                tw(0),
-                tconst_f(CFn::Log2, 1, TyRef::OfWild(0)),
-            ),
+            tfpir2(FpirOp::WideningShl, tw(0), tconst_f(CFn::Log2, 1, TyRef::OfWild(0))),
         )
         .with_pred(Predicate::All(vec![
             Predicate::IsPow2(1),
@@ -145,11 +141,7 @@ fn widening_rules() -> Vec<Rule> {
                 pat_fpir2(FpirOp::ExtendingAdd, wild_t(0, TypePat::WidenOf(1)), wild_v(1)),
                 wild_t(2, TypePat::Var(1)),
             ),
-            tbin(
-                BinOp::Add,
-                tfpir2(FpirOp::WideningAdd, tw(1), tw(2)),
-                tw(0),
-            ),
+            tbin(BinOp::Add, tfpir2(FpirOp::WideningAdd, tw(1), tw(2)), tw(0)),
         ),
     ]
 }
@@ -161,10 +153,7 @@ fn saturating_cast_rules() -> Vec<Rule> {
         // u8(min(x_u16, 255)) -> saturating_cast<u8>(x_u16)   (Figure 4)
         lift(
             "sat-cast-unsigned-narrow",
-            Pat::Cast(
-                TypePat::NarrowOf(0),
-                Box::new(clamp_hi(wild_t(0, TypePat::AnyUnsigned(0)))),
-            ),
+            Pat::Cast(TypePat::NarrowOf(0), Box::new(clamp_hi(wild_t(0, TypePat::AnyUnsigned(0))))),
             Template::SatCast(TyRef::NarrowOfWild(0), boxed(tw(0))),
         )
         .with_pred(Predicate::ConstEqOwnNarrowMax(1)),
@@ -306,49 +295,28 @@ fn absd_rules() -> Vec<Rule> {
     // select(x > y, x - y, y - x) -> reinterpret(absd(x, y)); the
     // reinterpret restores the (possibly signed) source type — absd's
     // output is always unsigned.
-    let rhs = || {
-        Template::Reinterpret(
-            TyRef::OfWild(0),
-            boxed(tfpir2(FpirOp::Absd, tw(0), tw(1))),
-        )
-    };
+    let rhs = || Template::Reinterpret(TyRef::OfWild(0), boxed(tfpir2(FpirOp::Absd, tw(0), tw(1))));
     let x = || wild_v(0);
     let y = || wild_t(1, TypePat::Var(0));
     vec![
         lift(
             "absd-gt",
-            pat_select(
-                pat_cmp(CmpOp::Gt, x(), y()),
-                pat_sub(x(), y()),
-                pat_sub(y(), x()),
-            ),
+            pat_select(pat_cmp(CmpOp::Gt, x(), y()), pat_sub(x(), y()), pat_sub(y(), x())),
             rhs(),
         ),
         lift(
             "absd-lt",
-            pat_select(
-                pat_cmp(CmpOp::Lt, x(), y()),
-                pat_sub(y(), x()),
-                pat_sub(x(), y()),
-            ),
+            pat_select(pat_cmp(CmpOp::Lt, x(), y()), pat_sub(y(), x()), pat_sub(x(), y())),
             rhs(),
         ),
         lift(
             "absd-ge",
-            pat_select(
-                pat_cmp(CmpOp::Ge, x(), y()),
-                pat_sub(x(), y()),
-                pat_sub(y(), x()),
-            ),
+            pat_select(pat_cmp(CmpOp::Ge, x(), y()), pat_sub(x(), y()), pat_sub(y(), x())),
             rhs(),
         ),
         lift(
             "absd-le",
-            pat_select(
-                pat_cmp(CmpOp::Le, x(), y()),
-                pat_sub(y(), x()),
-                pat_sub(x(), y()),
-            ),
+            pat_select(pat_cmp(CmpOp::Le, x(), y()), pat_sub(y(), x()), pat_sub(x(), y())),
             rhs(),
         ),
         // select(x > 0, x, -x) -> reinterpret(abs(x))
@@ -426,7 +394,10 @@ fn synthesized_rules() -> Vec<Rule> {
         // signed-widen-of-unsigned one.
         lift(
             "lift-signed-widen-shl",
-            pat_shl(wscast(0, wild_t(0, TypePat::AnyUnsigned(0))), cwild_t(1, TypePat::WidenSignedOf(0))),
+            pat_shl(
+                wscast(0, wild_t(0, TypePat::AnyUnsigned(0))),
+                cwild_t(1, TypePat::WidenSignedOf(0)),
+            ),
             Template::Reinterpret(
                 TyRef::WidenSignedOfWild(0),
                 boxed(tfpir2(FpirOp::WideningShl, tw(0), tconst(1, 0))),
@@ -437,7 +408,10 @@ fn synthesized_rules() -> Vec<Rule> {
         // u16(a) - u16(b) (unsigned widen) -> reinterpret(widening_sub)
         lift(
             "lift-unsigned-widen-sub",
-            pat_sub(wcast(0, wild_t(0, TypePat::AnyUnsigned(0))), wcast(0, wild_t(1, TypePat::Var(0)))),
+            pat_sub(
+                wcast(0, wild_t(0, TypePat::AnyUnsigned(0))),
+                wcast(0, wild_t(1, TypePat::Var(0))),
+            ),
             Template::Reinterpret(
                 TyRef::WidenOfWild(0),
                 boxed(tfpir2(FpirOp::WideningSub, tw(0), tw(1))),
@@ -583,7 +557,11 @@ mod tests {
     fn all_rules_validate() {
         let rules = lift_rules();
         let issues = rules.validate(true);
-        assert!(issues.is_empty(), "{:#?}", issues.iter().map(ToString::to_string).collect::<Vec<_>>());
+        assert!(
+            issues.is_empty(),
+            "{:#?}",
+            issues.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -607,10 +585,7 @@ mod tests {
         let rules = lift_rules();
         let mut rw = Rewriter::new(&rules, AgnosticCost);
         let out = rw.run(&e);
-        assert_eq!(
-            out.to_string(),
-            "widening_add(a_u8, c_u8) + widening_shl(b_u8, 1)"
-        );
+        assert_eq!(out.to_string(), "widening_add(a_u8, c_u8) + widening_shl(b_u8, 1)");
     }
 
     #[test]
@@ -631,10 +606,7 @@ mod tests {
         let wadd = build::widening_add(a.clone(), b.clone());
         let e = build::cast(
             S::U8,
-            build::shr(
-                build::add(wadd.clone(), build::splat(1, &wadd)),
-                build::splat(1, &wadd),
-            ),
+            build::shr(build::add(wadd.clone(), build::splat(1, &wadd)), build::splat(1, &wadd)),
         );
         let rules = lift_rules();
         let mut rw = Rewriter::new(&rules, AgnosticCost);
@@ -659,10 +631,7 @@ mod tests {
         );
         let rules = lift_rules();
         let mut rw = Rewriter::new(&rules, AgnosticCost);
-        assert_eq!(
-            rw.run(&e).to_string(),
-            "reinterpret<u16>(absd(a_u16, b_u16))"
-        );
+        assert_eq!(rw.run(&e).to_string(), "reinterpret<u16>(absd(a_u16, b_u16))");
     }
 
     #[test]
@@ -684,10 +653,7 @@ mod tests {
         let without = rules.leaving_out("matmul");
         assert!(without.len() < rules.len());
         // The rounding_mul_shr lift must be gone.
-        assert!(!without
-            .rules()
-            .iter()
-            .any(|r| r.name == "lift-rounding-mul-shr"));
+        assert!(!without.rules().iter().any(|r| r.name == "lift-rounding-mul-shr"));
     }
 
     #[test]
@@ -700,10 +666,7 @@ mod tests {
         );
         let rules = lift_rules();
         let mut rw = Rewriter::new(&rules, AgnosticCost);
-        assert_eq!(
-            rw.run(&e).to_string(),
-            "reinterpret<i16>(widening_shl(x_u8, 6))"
-        );
+        assert_eq!(rw.run(&e).to_string(), "reinterpret<i16>(widening_shl(x_u8, 6))");
         // Without synthesized rules it stays unlifted (the §5.3 ablation).
         let hand = hand_written_lift_rules();
         let mut rw = Rewriter::new(&hand, AgnosticCost);

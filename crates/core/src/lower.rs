@@ -22,12 +22,12 @@
 use fpir::expr::FpirOp;
 use fpir::types::ScalarType;
 use fpir::Isa;
+use fpir_isa::{arm, hvx, x86};
 use fpir_trs::dsl::*;
 use fpir_trs::pattern::{Pat, TypePat};
 use fpir_trs::predicate::Predicate;
 use fpir_trs::rule::{Rule, RuleClass, RuleSet};
 use fpir_trs::template::{CFn, Template, TyRef};
-use fpir_isa::{arm, hvx, x86};
 
 fn mach(op: fpir::MachOp, ty: TyRef, args: Vec<Template>) -> Template {
     Template::Mach { op, ty, args }
@@ -73,11 +73,7 @@ fn dot4_pattern() -> Pat {
 }
 
 fn dot4_template(op: fpir::MachOp) -> Template {
-    mach(
-        op,
-        TyRef::OfWild(0),
-        vec![tw(0), tw(1), tw(3), tw(5), tw(7), tw(2), tw(4), tw(6), tw(8)],
-    )
+    mach(op, TyRef::OfWild(0), vec![tw(0), tw(1), tw(3), tw(5), tw(7), tw(2), tw(4), tw(6), tw(8)])
 }
 
 // ---------------------------------------------------------------- ARM --
@@ -137,11 +133,7 @@ fn arm_rules() -> RuleSet {
             RuleClass::Fused,
             Pat::SatCast(
                 TypePat::NarrowOf(0),
-                Box::new(pat_fpir2(
-                    FpirOp::RoundingShr,
-                    wild_v(0),
-                    cwild_t(1, TypePat::Var(0)),
-                )),
+                Box::new(pat_fpir2(FpirOp::RoundingShr, wild_v(0), cwild_t(1, TypePat::Var(0)))),
             ),
             mach(arm::SQRSHRN, TyRef::NarrowOfWild(0), vec![tw(0), tconst(1, 0)]),
         )
@@ -156,11 +148,7 @@ fn arm_rules() -> RuleSet {
             RuleClass::Predicated,
             Pat::Cast(
                 TypePat::NarrowOf(0),
-                Box::new(pat_fpir2(
-                    FpirOp::RoundingShr,
-                    wild_v(0),
-                    cwild_t(1, TypePat::Var(0)),
-                )),
+                Box::new(pat_fpir2(FpirOp::RoundingShr, wild_v(0), cwild_t(1, TypePat::Var(0)))),
             ),
             mach(arm::SQRSHRN, TyRef::NarrowOfWild(0), vec![tw(0), tconst(1, 0)]),
         )
@@ -218,7 +206,11 @@ fn hvx_rules() -> RuleSet {
                     wild_t(0, TypePat::AnyUnsigned(0)),
                     wild_t(1, TypePat::Var(0)),
                 ),
-                pat_fpir2(FpirOp::WideningShl, wild_t(2, TypePat::Var(0)), cwild_t(3, TypePat::Var(0))),
+                pat_fpir2(
+                    FpirOp::WideningShl,
+                    wild_t(2, TypePat::Var(0)),
+                    cwild_t(3, TypePat::Var(0)),
+                ),
             ),
             mach(
                 hvx::VMPAACC,
@@ -287,10 +279,7 @@ fn hvx_rules() -> RuleSet {
     rs.push(Rule::new(
         "hvx-vsat-s2u",
         RuleClass::Direct,
-        Pat::SatCast(
-            TypePat::NarrowUnsignedOf(0),
-            Box::new(wild_t(0, TypePat::AnySigned(0))),
-        ),
+        Pat::SatCast(TypePat::NarrowUnsignedOf(0), Box::new(wild_t(0, TypePat::AnySigned(0)))),
         mach(hvx::VSAT, TyRef::NarrowUnsignedOfWild(0), vec![tw(0)]),
     ));
     // Fused (synthesized): saturating narrow of a rounding shift ->
@@ -330,11 +319,7 @@ fn hvx_rules() -> RuleSet {
             RuleClass::Predicated,
             Pat::Cast(
                 TypePat::NarrowOf(0),
-                Box::new(pat_fpir2(
-                    FpirOp::RoundingShr,
-                    wild_v(0),
-                    cwild_t(1, TypePat::Var(0)),
-                )),
+                Box::new(pat_fpir2(FpirOp::RoundingShr, wild_v(0), cwild_t(1, TypePat::Var(0)))),
             ),
             mach(hvx::VASRRNDSAT, TyRef::NarrowOfWild(0), vec![tw(0), tconst(1, 0)]),
         )
@@ -398,30 +383,34 @@ fn hvx_vmpa_pair_rules() -> Vec<Rule> {
                 Predicate::ConstInRange { id: 2, lo: 0, hi: 63 },
                 Predicate::ConstInRange { id: 4, lo: 0, hi: 63 },
             ]);
-            rules.push(
-                Rule::new(
-                    format!("hvx-vmpa-{n1}-{n2}"),
-                    RuleClass::Fused,
-                    pat_add(p1.clone(), p2.clone()),
-                    mach(
-                        hvx::VMPA,
-                        TyRef::WidenOfWild(1),
-                        vec![a1.clone(), a2.clone(), k1.clone(), k2.clone()],
-                    ),
-                )
-                .with_pred(guard.clone()),
-            );
+            // `+` matches commutatively, so the shl-mul ordering of the
+            // plain pair is already covered by mul-shl and could never
+            // fire (rulecheck's shadowing analysis). The accumulating
+            // variant below is not symmetric — the nested `(acc + t1)`
+            // fixes which term sits on the left — so all four orderings
+            // stay.
+            if !(n1 == "shl" && n2 == "mul") {
+                rules.push(
+                    Rule::new(
+                        format!("hvx-vmpa-{n1}-{n2}"),
+                        RuleClass::Fused,
+                        pat_add(p1.clone(), p2.clone()),
+                        mach(
+                            hvx::VMPA,
+                            TyRef::WidenOfWild(1),
+                            vec![a1.clone(), a2.clone(), k1.clone(), k2.clone()],
+                        ),
+                    )
+                    .with_pred(guard.clone()),
+                );
+            }
             // (acc + term1) + term2 -> vmpa.acc(acc, ...), reassociating.
             rules.push(
                 Rule::new(
                     format!("hvx-vmpa-acc-{n1}-{n2}"),
                     RuleClass::Fused,
                     pat_add(pat_add(wild_t(0, TypePat::WidenOf(1)), p1), p2),
-                    mach(
-                        hvx::VMPAACC,
-                        TyRef::OfWild(0),
-                        vec![tw(0), a1, a2, k1, k2],
-                    ),
+                    mach(hvx::VMPAACC, TyRef::OfWild(0), vec![tw(0), a1, a2, k1, k2]),
                 )
                 .with_pred(guard),
             );
@@ -473,10 +462,7 @@ fn x86_rules() -> RuleSet {
                     mach(
                         x86::VPAND,
                         TyRef::OfWild(0),
-                        vec![
-                            mach(x86::VPXOR, TyRef::OfWild(0), vec![tw(0), tw(1)]),
-                            tlit(1, 0),
-                        ],
+                        vec![mach(x86::VPXOR, TyRef::OfWild(0), vec![tw(0), tw(1)]), tlit(1, 0)],
                     ),
                 ],
             ),
@@ -569,10 +555,7 @@ fn x86_rules() -> RuleSet {
     rs.push(Rule::new(
         "x86-vpackus-s2u",
         RuleClass::Direct,
-        Pat::SatCast(
-            TypePat::NarrowUnsignedOf(0),
-            Box::new(wild_t(0, TypePat::AnySigned(0))),
-        ),
+        Pat::SatCast(TypePat::NarrowUnsignedOf(0), Box::new(wild_t(0, TypePat::AnySigned(0)))),
         mach(x86::VPACKUS, TyRef::NarrowUnsignedOfWild(0), vec![tw(0)]),
     ));
     // Fused: widening_add of two i16 widening_muls -> vpmaddwd.
@@ -683,7 +666,11 @@ mod tests {
             // Lowering rules reduce the *target* cost, not the agnostic
             // one, so only the structural half of validation applies.
             let issues = rules.validate(false);
-            assert!(issues.is_empty(), "{isa}: {:#?}", issues.iter().map(ToString::to_string).collect::<Vec<_>>());
+            assert!(
+                issues.is_empty(),
+                "{isa}: {:#?}",
+                issues.iter().map(ToString::to_string).collect::<Vec<_>>()
+            );
         }
     }
 
@@ -691,10 +678,7 @@ mod tests {
     fn umlal_fuses_on_arm() {
         let t = V::new(S::U8, 16);
         let acc = build::var("acc", V::new(S::U16, 16));
-        let e = build::add(
-            acc,
-            build::widening_mul(build::var("a", t), build::var("b", t)),
-        );
+        let e = build::add(acc, build::widening_mul(build::var("a", t), build::var("b", t)));
         let out = lower_with_rules(&e, Isa::ArmNeon);
         assert_eq!(out.to_string(), "arm.umlal(acc_u16, a_u8, b_u8)");
     }
@@ -704,10 +688,7 @@ mod tests {
         // x_u16 + widening_shl(y_u8, 1) -> umlal x, y, 2.
         let t = V::new(S::U8, 16);
         let x = build::var("x", V::new(S::U16, 16));
-        let e = build::add(
-            x,
-            build::widening_shl(build::var("y", t), build::constant(1, t)),
-        );
+        let e = build::add(x, build::widening_shl(build::var("y", t), build::constant(1, t)));
         let out = lower_with_rules(&e, Isa::ArmNeon);
         assert_eq!(out.to_string(), "arm.umlal(x_u16, y_u8, 2)");
     }
@@ -772,19 +753,13 @@ mod tests {
     #[test]
     fn sqrdmulh_specific_constant() {
         let t = V::new(S::I16, 16);
-        let e = build::rounding_mul_shr(
-            build::var("x", t),
-            build::var("y", t),
-            build::constant(15, t),
-        );
+        let e =
+            build::rounding_mul_shr(build::var("x", t), build::var("y", t), build::constant(15, t));
         let out = lower_with_rules(&e, Isa::ArmNeon);
         assert_eq!(out.to_string(), "arm.sqrdmulh(x_i16, y_i16)");
         // A different shift constant must not match.
-        let e = build::rounding_mul_shr(
-            build::var("x", t),
-            build::var("y", t),
-            build::constant(14, t),
-        );
+        let e =
+            build::rounding_mul_shr(build::var("x", t), build::var("y", t), build::constant(14, t));
         let out = lower_with_rules(&e, Isa::ArmNeon);
         assert!(!out.to_string().contains("sqrdmulh"), "{out}");
     }
@@ -805,7 +780,11 @@ mod tests {
             build::absd(build::var("x", V::new(S::U16, 8)), build::var("y", V::new(S::U16, 8))),
             build::halving_add(build::var("a", t), build::var("b", t)),
             build::rounding_shr(build::var("x", ti16), build::constant(3, ti16)),
-            build::rounding_mul_shr(build::var("x", ti16), build::var("y", ti16), build::constant(15, ti16)),
+            build::rounding_mul_shr(
+                build::var("x", ti16),
+                build::var("y", ti16),
+                build::constant(15, ti16),
+            ),
             build::saturating_cast(
                 S::U8,
                 build::widening_add(build::var("a", t), build::var("b", t)),

@@ -1,0 +1,68 @@
+//! The registry of shipped rule sets.
+//!
+//! Static analyses (and any future tool that wants "every rule the
+//! compiler can fire") need one enumeration point instead of knowing
+//! which module builds which set. [`all_rule_sets`] returns the lifting
+//! TRS plus one lowering TRS per virtual ISA, each tagged with how it is
+//! meant to be checked: lifting rules must strictly descend in
+//! target-agnostic cost, lowering rules descend in *target* cost and are
+//! only checked structurally against `AgnosticCost`.
+
+use fpir::machine::ALL_ISAS;
+use fpir::Isa;
+use fpir_trs::rule::RuleSet;
+
+/// How a registered rule set participates in compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleSetKind {
+    /// The target-agnostic lifting TRS (strict `AgnosticCost` descent).
+    Lift,
+    /// A per-target lowering TRS (descends in that target's cost model).
+    Lower(Isa),
+}
+
+impl std::fmt::Display for RuleSetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuleSetKind::Lift => write!(f, "lift"),
+            RuleSetKind::Lower(isa) => write!(f, "lower-{}", isa.short_name().to_lowercase()),
+        }
+    }
+}
+
+/// A rule set plus its role.
+#[derive(Debug, Clone)]
+pub struct RegisteredRuleSet {
+    /// How this set is used (and therefore which checks apply to it).
+    pub kind: RuleSetKind,
+    /// The rules.
+    pub set: RuleSet,
+}
+
+/// Every rule set the compiler ships: the lifting TRS followed by the
+/// lowering TRS of each virtual ISA, in [`ALL_ISAS`] order.
+pub fn all_rule_sets() -> Vec<RegisteredRuleSet> {
+    let mut out =
+        vec![RegisteredRuleSet { kind: RuleSetKind::Lift, set: crate::lift::lift_rules() }];
+    out.extend(ALL_ISAS.into_iter().map(|isa| RegisteredRuleSet {
+        kind: RuleSetKind::Lower(isa),
+        set: crate::lower::lower_rules(isa),
+    }));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_lift_plus_one_set_per_isa() {
+        let sets = all_rule_sets();
+        assert_eq!(sets.len(), 1 + ALL_ISAS.len());
+        assert_eq!(sets[0].kind, RuleSetKind::Lift);
+        for (reg, isa) in sets[1..].iter().zip(ALL_ISAS) {
+            assert_eq!(reg.kind, RuleSetKind::Lower(isa));
+            assert!(!reg.set.is_empty());
+        }
+    }
+}

@@ -49,10 +49,8 @@ fn maps_to_uqshl_on_arm_and_emulates_elsewhere() {
 fn saturation_actually_engages() {
     let t = V::new(S::I16, 4);
     let e = saturating_shl(var("x", t), constant(8, t));
-    let env = fpir::interp::Env::new().bind(
-        "x",
-        fpir::interp::Value::new(t, vec![1000, -1000, 1, -1]),
-    );
+    let env =
+        fpir::interp::Env::new().bind("x", fpir::interp::Value::new(t, vec![1000, -1000, 1, -1]));
     let v = eval(&e, &env).unwrap();
     assert_eq!(v.lanes(), &[i16::MAX as i128, i16::MIN as i128, 256, -256]);
 }

@@ -160,11 +160,7 @@ impl BoundsCtx {
         // the type range is all we know.
         let checked = |iv: Interval| if iv.fits(ty.elem) { iv } else { full };
         match expr.kind() {
-            ExprKind::Var(name) => self
-                .var_bounds
-                .get(name)
-                .copied()
-                .unwrap_or(full),
+            ExprKind::Var(name) => self.var_bounds.get(name).copied().unwrap_or(full),
             ExprKind::Const(v) => Interval::point(*v),
             ExprKind::Bin(op, a, b) => {
                 let (ia, ib) = (self.interval(a), self.interval(b));
@@ -188,27 +184,18 @@ impl BoundsCtx {
                             full
                         }
                     }
-                    BinOp::Min => Interval {
-                        min: ia.min.min(ib.min),
-                        max: ia.max.min(ib.max),
-                    },
-                    BinOp::Max => Interval {
-                        min: ia.min.max(ib.min),
-                        max: ia.max.max(ib.max),
-                    },
+                    BinOp::Min => Interval { min: ia.min.min(ib.min), max: ia.max.min(ib.max) },
+                    BinOp::Max => Interval { min: ia.min.max(ib.min), max: ia.max.max(ib.max) },
                     BinOp::Shl => match b.as_const() {
-                        Some(c) if (0..=64).contains(&c) => {
-                            checked(ia.map2(Interval::point(c), |x, s| {
-                                x.saturating_mul(1i128 << s)
-                            }))
-                        }
+                        Some(c) if (0..=64).contains(&c) => checked(
+                            ia.map2(Interval::point(c), |x, s| x.saturating_mul(1i128 << s)),
+                        ),
                         _ => full,
                     },
                     BinOp::Shr => match b.as_const() {
-                        Some(c) if (0..=127).contains(&c) => Interval {
-                            min: ia.min >> c,
-                            max: ia.max >> c,
-                        },
+                        Some(c) if (0..=127).contains(&c) => {
+                            Interval { min: ia.min >> c, max: ia.max >> c }
+                        }
                         _ => full,
                     },
                     BinOp::And => {
@@ -441,11 +428,7 @@ mod tests {
     fn select_unions_arms() {
         let mut ctx = BoundsCtx::new();
         let t = t8();
-        let e = select(
-            lt(var("x", t), var("y", t)),
-            constant(3, t),
-            constant(7, t),
-        );
+        let e = select(lt(var("x", t), var("y", t)), constant(3, t), constant(7, t));
         assert_eq!(ctx.interval(&e), Interval::new(3, 7));
     }
 

@@ -221,7 +221,8 @@ pub fn abs(x: RcExpr) -> RcExpr {
 
 /// Clamp-then-convert to the target element type.
 pub fn saturating_cast(elem: ScalarType, x: RcExpr) -> RcExpr {
-    Expr::fpir(FpirOp::SaturatingCast(elem), vec![x]).expect("saturating_cast accepts any lane type")
+    Expr::fpir(FpirOp::SaturatingCast(elem), vec![x])
+        .expect("saturating_cast accepts any lane type")
 }
 
 /// Saturating conversion to the halved-width type.

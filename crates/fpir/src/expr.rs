@@ -380,10 +380,7 @@ impl Expr {
     pub fn constant(value: i128, ty: impl Into<VectorType>) -> Result<RcExpr, TypeError> {
         let ty = ty.into();
         if !ty.elem.contains(value) {
-            return Err(TypeError::new(format!(
-                "constant {value} does not fit in {}",
-                ty.elem
-            )));
+            return Err(TypeError::new(format!("constant {value} does not fit in {}", ty.elem)));
         }
         Ok(Arc::new(Expr { kind: ExprKind::Const(value), ty }))
     }
@@ -547,8 +544,9 @@ impl Expr {
                 Expr::select(c, t, f).expect("rebuild preserves types")
             }
             ExprKind::Cast(_) => Expr::cast(self.elem(), it.next().unwrap()),
-            ExprKind::Reinterpret(_) => Expr::reinterpret(self.elem(), it.next().unwrap())
-                .expect("rebuild preserves types"),
+            ExprKind::Reinterpret(_) => {
+                Expr::reinterpret(self.elem(), it.next().unwrap()).expect("rebuild preserves types")
+            }
             ExprKind::Fpir(op, _) => {
                 Expr::fpir(*op, it.collect()).expect("rebuild preserves types")
             }
@@ -668,9 +666,7 @@ pub(crate) fn fpir_result_type(op: FpirOp, args: &[RcExpr]) -> Result<VectorType
             }
             let signed = args[0].elem().is_signed() || args[1].elem().is_signed();
             let w = widened(&args[0])?;
-            Ok(w.with_elem(
-                ScalarType::from_parts(signed, w.elem.bits()).expect("valid width"),
-            ))
+            Ok(w.with_elem(ScalarType::from_parts(signed, w.elem.bits()).expect("valid width")))
         }
         FpirOp::WideningShl | FpirOp::WideningShr => {
             same_lanes(&[&args[0], &args[1]])?;

@@ -149,10 +149,9 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::UnboundVar(n) => write!(f, "unbound variable `{n}`"),
-            EvalError::VarTypeMismatch { name, declared, bound } => write!(
-                f,
-                "variable `{name}` declared as {declared} but bound to a {bound} value"
-            ),
+            EvalError::VarTypeMismatch { name, declared, bound } => {
+                write!(f, "variable `{name}` declared as {declared} but bound to a {bound} value")
+            }
             EvalError::Machine(m) => write!(f, "machine instruction: {m}"),
         }
     }
@@ -175,17 +174,11 @@ pub fn eval(expr: &Expr, env: &Env) -> Result<Value, EvalError> {
 ///
 /// Fails on unbound variables, mistyped bindings, or machine nodes the hook
 /// rejects.
-pub fn eval_with(
-    expr: &Expr,
-    env: &Env,
-    mach: Option<&dyn MachEval>,
-) -> Result<Value, EvalError> {
+pub fn eval_with(expr: &Expr, env: &Env, mach: Option<&dyn MachEval>) -> Result<Value, EvalError> {
     let ty = expr.ty();
     match expr.kind() {
         ExprKind::Var(name) => {
-            let v = env
-                .get(name)
-                .ok_or_else(|| EvalError::UnboundVar(name.clone()))?;
+            let v = env.get(name).ok_or_else(|| EvalError::UnboundVar(name.clone()))?;
             if v.ty() != ty {
                 return Err(EvalError::VarTypeMismatch {
                     name: name.clone(),
@@ -223,10 +216,8 @@ pub fn eval_with(
             Ok(lanewise1(ty, &a, |x| ty.elem.wrap(x)))
         }
         ExprKind::Fpir(op, args) => {
-            let vals: Vec<Value> = args
-                .iter()
-                .map(|a| eval_with(a, env, mach))
-                .collect::<Result<_, _>>()?;
+            let vals: Vec<Value> =
+                args.iter().map(|a| eval_with(a, env, mach)).collect::<Result<_, _>>()?;
             let arg_tys: Vec<ScalarType> = args.iter().map(|a| a.elem()).collect();
             let lanes = (0..ty.lanes as usize)
                 .map(|i| {
@@ -237,13 +228,10 @@ pub fn eval_with(
             Ok(Value::new(ty, lanes))
         }
         ExprKind::Mach(op, args) => {
-            let hook = mach.ok_or_else(|| {
-                EvalError::Machine(format!("no evaluator provided for `{op}`"))
-            })?;
-            let vals: Vec<Value> = args
-                .iter()
-                .map(|a| eval_with(a, env, mach))
-                .collect::<Result<_, _>>()?;
+            let hook = mach
+                .ok_or_else(|| EvalError::Machine(format!("no evaluator provided for `{op}`")))?;
+            let vals: Vec<Value> =
+                args.iter().map(|a| eval_with(a, env, mach)).collect::<Result<_, _>>()?;
             hook.eval_mach(*op, &vals, ty).map_err(EvalError::Machine)
         }
     }
@@ -254,14 +242,7 @@ fn lanewise1(ty: VectorType, a: &Value, f: impl Fn(i128) -> i128) -> Value {
 }
 
 fn lanewise2(ty: VectorType, a: &Value, b: &Value, f: impl Fn(i128, i128) -> i128) -> Value {
-    Value::new(
-        ty,
-        a.lanes()
-            .iter()
-            .zip(b.lanes())
-            .map(|(&x, &y)| f(x, y))
-            .collect(),
-    )
+    Value::new(ty, a.lanes().iter().zip(b.lanes()).map(|(&x, &y)| f(x, y)).collect())
 }
 
 /// Shift `v` left by `count` bits (`count` already clamped by callers),
@@ -469,9 +450,7 @@ mod tests {
     fn widening_add_is_exact() {
         let t = V::new(S::U8, 2);
         let e = widening_add(var("a", t), var("b", t));
-        let env = Env::new()
-            .bind("a", v8(&[250, 3]))
-            .bind("b", v8(&[250, 4]));
+        let env = Env::new().bind("a", v8(&[250, 3])).bind("b", v8(&[250, 4]));
         let r = eval(&e, &env).unwrap();
         assert_eq!(r.lanes(), &[500, 7]);
         assert_eq!(r.ty(), V::new(S::U16, 2));
@@ -548,9 +527,7 @@ mod tests {
     #[test]
     fn rounding_shl_saturates() {
         let t = V::new(S::U8, 1);
-        let env = Env::new()
-            .bind("x", v8(&[200]))
-            .bind("s", v8(&[1]));
+        let env = Env::new().bind("x", v8(&[200])).bind("s", v8(&[1]));
         let e = rounding_shl(var("x", t), var("s", t));
         assert_eq!(eval(&e, &env).unwrap().lanes(), &[255]);
     }
@@ -612,10 +589,7 @@ mod tests {
     fn unbound_variable_errors() {
         let t = V::new(S::U8, 1);
         let e = var("missing", t);
-        assert_eq!(
-            eval(&e, &Env::new()),
-            Err(EvalError::UnboundVar("missing".into()))
-        );
+        assert_eq!(eval(&e, &Env::new()), Err(EvalError::UnboundVar("missing".into())));
     }
 
     #[test]
@@ -623,10 +597,7 @@ mod tests {
         let t = V::new(S::U8, 1);
         let e = var("x", t);
         let env = Env::new().bind("x", Value::splat(0, V::new(S::U16, 1)));
-        assert!(matches!(
-            eval(&e, &env),
-            Err(EvalError::VarTypeMismatch { .. })
-        ));
+        assert!(matches!(eval(&e, &env), Err(EvalError::VarTypeMismatch { .. })));
     }
 
     #[test]

@@ -84,7 +84,9 @@ fn tokenize(src: &str) -> Result<Vec<Tok>, ParseError> {
         }
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
                 i += 1;
             }
             out.push(Tok::Ident(src[start..i].to_string()));
@@ -101,14 +103,8 @@ fn tokenize(src: &str) -> Result<Vec<Tok>, ParseError> {
             out.push(Tok::Num(n));
             continue;
         }
-        let two: &[(&str, &str)] = &[
-            ("<<", "<<"),
-            (">>", ">>"),
-            ("==", "=="),
-            ("!=", "!="),
-            ("<=", "<="),
-            (">=", ">="),
-        ];
+        let two: &[(&str, &str)] =
+            &[("<<", "<<"), (">>", ">>"), ("==", "=="), ("!=", "!="), ("<=", "<="), (">=", ">=")];
         if i + 1 < bytes.len() {
             let pair = &src[i..i + 2];
             if let Some((_, s)) = two.iter().find(|(t, _)| *t == pair) {
@@ -298,9 +294,7 @@ impl Parser {
                 return Ok(Ast::Var(name[..idx].to_string(), t));
             }
         }
-        Err(ParseError::new(format!(
-            "variable `{name}` needs a type suffix such as `{name}_u8`"
-        )))
+        Err(ParseError::new(format!("variable `{name}` needs a type suffix such as `{name}_u8`")))
     }
 }
 
@@ -326,7 +320,8 @@ fn as_literal(ast: &Ast) -> Option<i128> {
 /// under a wrapping cast).
 fn smallest_containing(n: i128) -> Option<ScalarType> {
     use crate::types::ALL_SCALAR_TYPES;
-    let mut candidates: Vec<ScalarType> = ALL_SCALAR_TYPES.iter().copied().filter(|t| t.contains(n)).collect();
+    let mut candidates: Vec<ScalarType> =
+        ALL_SCALAR_TYPES.iter().copied().filter(|t| t.contains(n)).collect();
     candidates.sort_by_key(|t| (t.bits(), t.is_signed()));
     candidates.first().copied()
 }
@@ -375,7 +370,11 @@ fn fpir_op_by_name(name: &str) -> Option<FpirOp> {
 ///
 /// Returns `Ok(None)` when the node is a literal whose type is still
 /// unknown — the caller retries with a type from a sibling.
-fn resolve(ast: &Ast, expected: Option<VectorType>, lanes: u32) -> Result<Option<RcExpr>, ParseError> {
+fn resolve(
+    ast: &Ast,
+    expected: Option<VectorType>,
+    lanes: u32,
+) -> Result<Option<RcExpr>, ParseError> {
     match ast {
         Ast::Var(name, t) => Ok(Some(Expr::var(name.clone(), VectorType::new(*t, lanes)))),
         Ast::Num(n) => match expected {
@@ -425,9 +424,8 @@ fn resolve(ast: &Ast, expected: Option<VectorType>, lanes: u32) -> Result<Option
                 if t.contains(n) {
                     return Ok(Some(Expr::constant(n, VectorType::new(*t, lanes))?));
                 }
-                let src = smallest_containing(n).ok_or_else(|| {
-                    ParseError::new(format!("literal {n} fits no lane type"))
-                })?;
+                let src = smallest_containing(n)
+                    .ok_or_else(|| ParseError::new(format!("literal {n} fits no lane type")))?;
                 let c = Expr::constant(n, VectorType::new(src, lanes))?;
                 return Ok(Some(Expr::cast(*t, c)));
             }
@@ -468,13 +466,10 @@ fn resolve(ast: &Ast, expected: Option<VectorType>, lanes: u32) -> Result<Option
             // saturating_cast of a bare literal: the saturated value
             // depends only on the literal, so any containing source type
             // is exact — use the smallest.
-            if let (FpirOp::SaturatingCast(_), Some(n)) =
-                (op, args.first().and_then(as_literal))
-            {
+            if let (FpirOp::SaturatingCast(_), Some(n)) = (op, args.first().and_then(as_literal)) {
                 if args.len() == 1 {
-                    let src = smallest_containing(n).ok_or_else(|| {
-                        ParseError::new(format!("literal {n} fits no lane type"))
-                    })?;
+                    let src = smallest_containing(n)
+                        .ok_or_else(|| ParseError::new(format!("literal {n} fits no lane type")))?;
                     let c = Expr::constant(n, VectorType::new(src, lanes))?;
                     return Ok(Some(Expr::fpir(*op, vec![c])?));
                 }
@@ -487,10 +482,8 @@ fn resolve(ast: &Ast, expected: Option<VectorType>, lanes: u32) -> Result<Option
             }
             // Per-slot hint: extending ops relate their operand widths, so
             // a literal first operand takes the *widened* second type.
-            let extending = matches!(
-                op,
-                FpirOp::ExtendingAdd | FpirOp::ExtendingSub | FpirOp::ExtendingMul
-            );
+            let extending =
+                matches!(op, FpirOp::ExtendingAdd | FpirOp::ExtendingSub | FpirOp::ExtendingMul);
             // When no argument resolved at all, fall back to hints derived
             // from the enclosing expected (result) type.
             let widening = matches!(

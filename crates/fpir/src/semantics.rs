@@ -36,16 +36,18 @@ use crate::types::ScalarType;
 /// 64-bit lane).
 pub fn expand_fpir(op: FpirOp, args: &[RcExpr]) -> Result<RcExpr, TypeError> {
     let widen_cast = |x: &RcExpr| -> Result<RcExpr, TypeError> {
-        let elem = x.elem().widen().ok_or_else(|| {
-            TypeError::new(format!("{} has no wider type for expansion", x.ty()))
-        })?;
+        let elem = x
+            .elem()
+            .widen()
+            .ok_or_else(|| TypeError::new(format!("{} has no wider type for expansion", x.ty())))?;
         Ok(Expr::cast(elem, x.clone()))
     };
     // Widen to the double-width *signed* type.
     let widen_signed = |x: &RcExpr| -> Result<RcExpr, TypeError> {
-        let elem = x.elem().widen().ok_or_else(|| {
-            TypeError::new(format!("{} has no wider type for expansion", x.ty()))
-        })?;
+        let elem = x
+            .elem()
+            .widen()
+            .ok_or_else(|| TypeError::new(format!("{} has no wider type for expansion", x.ty())))?;
         Ok(Expr::cast(elem.with_signed(), x.clone()))
     };
     // Clamp a shift count to [-bits, bits] (or [lo, bits] for unsigned
@@ -63,9 +65,7 @@ pub fn expand_fpir(op: FpirOp, args: &[RcExpr]) -> Result<RcExpr, TypeError> {
     };
 
     match op {
-        FpirOp::WideningAdd => {
-            Expr::bin(BinOp::Add, widen_cast(&args[0])?, widen_cast(&args[1])?)
-        }
+        FpirOp::WideningAdd => Expr::bin(BinOp::Add, widen_cast(&args[0])?, widen_cast(&args[1])?),
         FpirOp::WideningSub => {
             Expr::bin(BinOp::Sub, widen_signed(&args[0])?, widen_signed(&args[1])?)
         }
@@ -81,21 +81,11 @@ pub fn expand_fpir(op: FpirOp, args: &[RcExpr]) -> Result<RcExpr, TypeError> {
             };
             Expr::bin(BinOp::Mul, w(&args[0])?, w(&args[1])?)
         }
-        FpirOp::WideningShl => {
-            Expr::bin(BinOp::Shl, widen_cast(&args[0])?, widen_cast(&args[1])?)
-        }
-        FpirOp::WideningShr => {
-            Expr::bin(BinOp::Shr, widen_cast(&args[0])?, widen_cast(&args[1])?)
-        }
-        FpirOp::ExtendingAdd => {
-            Expr::bin(BinOp::Add, args[0].clone(), widen_cast(&args[1])?)
-        }
-        FpirOp::ExtendingSub => {
-            Expr::bin(BinOp::Sub, args[0].clone(), widen_cast(&args[1])?)
-        }
-        FpirOp::ExtendingMul => {
-            Expr::bin(BinOp::Mul, args[0].clone(), widen_cast(&args[1])?)
-        }
+        FpirOp::WideningShl => Expr::bin(BinOp::Shl, widen_cast(&args[0])?, widen_cast(&args[1])?),
+        FpirOp::WideningShr => Expr::bin(BinOp::Shr, widen_cast(&args[0])?, widen_cast(&args[1])?),
+        FpirOp::ExtendingAdd => Expr::bin(BinOp::Add, args[0].clone(), widen_cast(&args[1])?),
+        FpirOp::ExtendingSub => Expr::bin(BinOp::Sub, args[0].clone(), widen_cast(&args[1])?),
+        FpirOp::ExtendingMul => Expr::bin(BinOp::Mul, args[0].clone(), widen_cast(&args[1])?),
         FpirOp::Abs => {
             // select(x > 0, x, -x), reinterpreted unsigned. The wrap of
             // -INT_MIN is harmless: the unsigned reinterpretation of the
@@ -201,19 +191,11 @@ pub fn expand_fpir(op: FpirOp, args: &[RcExpr]) -> Result<RcExpr, TypeError> {
             let shifted = Expr::bin(BinOp::Shr, prod.clone(), count.clone())?;
             let round_bit = Expr::bin(
                 BinOp::And,
-                Expr::bin(
-                    BinOp::Shr,
-                    prod,
-                    Expr::bin(BinOp::Sub, count.clone(), one_c)?,
-                )?,
+                Expr::bin(BinOp::Shr, prod, Expr::bin(BinOp::Sub, count.clone(), one_c)?)?,
                 one_p,
             )?;
             let rounded = Expr::bin(BinOp::Add, shifted.clone(), round_bit)?;
-            let value = Expr::select(
-                Expr::cmp(CmpOp::Gt, count, zero)?,
-                rounded,
-                shifted,
-            )?;
+            let value = Expr::select(Expr::cmp(CmpOp::Gt, count, zero)?, rounded, shifted)?;
             Expr::fpir(FpirOp::SaturatingCast(x.elem()), vec![value])
         }
         FpirOp::SaturatingShl => {
@@ -240,9 +222,10 @@ fn expand_rounding_shift(
     let b = x.elem().bits() as i128;
     let yc = clamp_count(y, -b)?;
     // Work at double width; the count keeps its own signedness.
-    let wide_elem = x.elem().widen().ok_or_else(|| {
-        TypeError::new(format!("{} has no wider type for expansion", x.ty()))
-    })?;
+    let wide_elem = x
+        .elem()
+        .widen()
+        .ok_or_else(|| TypeError::new(format!("{} has no wider type for expansion", x.ty())))?;
     let count_elem = yc.elem().widen().expect("count widens with the operand");
     let xw = Expr::cast(wide_elem, x.clone());
     let cw = Expr::cast(count_elem, yc);
@@ -282,11 +265,8 @@ fn expand_rounding_shift(
 /// Fails when an expansion needs a type that does not exist — notably
 /// 64-bit widening (§5.1 of the paper).
 pub fn expand_fully(expr: &RcExpr) -> Result<RcExpr, TypeError> {
-    let children: Vec<RcExpr> = expr
-        .children()
-        .into_iter()
-        .map(expand_fully)
-        .collect::<Result<_, _>>()?;
+    let children: Vec<RcExpr> =
+        expr.children().into_iter().map(expand_fully).collect::<Result<_, _>>()?;
     match expr.kind() {
         ExprKind::Fpir(op, _) => {
             let expanded = expand_fpir(*op, &children)?;
@@ -317,10 +297,8 @@ pub fn table1_row(op: FpirOp) -> (String, String) {
             (render_call(op, &[x.clone(), y.clone(), z.clone()]), vec![x, y, z])
         }
         _ => {
-            let wide_first = matches!(
-                op,
-                FpirOp::ExtendingAdd | FpirOp::ExtendingSub | FpirOp::ExtendingMul
-            );
+            let wide_first =
+                matches!(op, FpirOp::ExtendingAdd | FpirOp::ExtendingSub | FpirOp::ExtendingMul);
             let x = if wide_first { build::var("x", t16) } else { build::var("x", t8) };
             let y = build::var("y", t8);
             (render_call(op, &[x.clone(), y.clone()]), vec![x, y])
@@ -331,11 +309,7 @@ pub fn table1_row(op: FpirOp) -> (String, String) {
 }
 
 fn render_call(op: FpirOp, args: &[RcExpr]) -> String {
-    let list = args
-        .iter()
-        .map(|a| format!("{a}"))
-        .collect::<Vec<_>>()
-        .join(", ");
+    let list = args.iter().map(|a| format!("{a}")).collect::<Vec<_>>().join(", ");
     match op {
         FpirOp::SaturatingCast(t) => format!("saturating_cast<{t}>({list})"),
         _ => format!("{}({list})", op.name()),

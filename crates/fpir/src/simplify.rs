@@ -28,8 +28,9 @@ pub fn const_fold(expr: &RcExpr) -> RcExpr {
             None => {}
         }
     }
-    let foldable = !matches!(rebuilt.kind(), ExprKind::Var(_) | ExprKind::Const(_) | ExprKind::Mach(..))
-        && rebuilt.children().iter().all(|c| c.as_const().is_some());
+    let foldable =
+        !matches!(rebuilt.kind(), ExprKind::Var(_) | ExprKind::Const(_) | ExprKind::Mach(..))
+            && rebuilt.children().iter().all(|c| c.as_const().is_some());
     if foldable {
         if let Ok(v) = eval(&rebuilt, &Env::new()) {
             return Expr::constant(v.lane(0), rebuilt.ty()).expect("folded value fits its type");

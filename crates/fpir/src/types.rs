@@ -85,10 +85,7 @@ impl ScalarType {
 
     /// Whether the lane is signed (two's complement).
     pub fn is_signed(self) -> bool {
-        matches!(
-            self,
-            ScalarType::I8 | ScalarType::I16 | ScalarType::I32 | ScalarType::I64
-        )
+        matches!(self, ScalarType::I8 | ScalarType::I16 | ScalarType::I32 | ScalarType::I64)
     }
 
     /// The type with double the bits and the same signedness, if it exists.

@@ -47,7 +47,12 @@ fn exhaustive_pairs(tx: ScalarType, ty: ScalarType) -> Vec<(Vec<i128>, Vec<i128>
 }
 
 /// Boundary-biased random pairs for wider types.
-fn sampled_pairs(tx: ScalarType, ty: ScalarType, chunks: usize, seed: u64) -> Vec<(Vec<i128>, Vec<i128>)> {
+fn sampled_pairs(
+    tx: ScalarType,
+    ty: ScalarType,
+    chunks: usize,
+    seed: u64,
+) -> Vec<(Vec<i128>, Vec<i128>)> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..chunks)
         .map(|_| {
@@ -59,7 +64,12 @@ fn sampled_pairs(tx: ScalarType, ty: ScalarType, chunks: usize, seed: u64) -> Ve
 }
 
 /// Check direct-vs-expanded agreement of `make(x, y)` over the given data.
-fn check(make: impl Fn(RcExpr, RcExpr) -> RcExpr, tx: ScalarType, ty: ScalarType, data: &[(Vec<i128>, Vec<i128>)]) {
+fn check(
+    make: impl Fn(RcExpr, RcExpr) -> RcExpr,
+    tx: ScalarType,
+    ty: ScalarType,
+    data: &[(Vec<i128>, Vec<i128>)],
+) {
     let vtx = VectorType::new(tx, LANES);
     let vty = VectorType::new(ty, LANES);
     let direct = make(build::var("x", vtx), build::var("y", vty));
@@ -164,12 +174,7 @@ fn exhaustive_u8_unary() {
         (ScalarType::U8, ScalarType::I16),
     ] {
         let data = exhaustive_pairs(src, src);
-        check(
-            move |x, _| build::saturating_cast(dst, x),
-            src,
-            src,
-            &data,
-        );
+        check(move |x, _| build::saturating_cast(dst, x), src, src, &data);
     }
     let data = exhaustive_pairs(ScalarType::I8, ScalarType::I8);
     check(|x, _| build::abs(x), ScalarType::I8, ScalarType::I8, &data);
@@ -184,21 +189,19 @@ fn exhaustive_u16_extending_ops() {
     // interesting carry boundaries.
     let mut rng = StdRng::seed_from_u64(3);
     for op in [FpirOp::ExtendingAdd, FpirOp::ExtendingSub, FpirOp::ExtendingMul] {
-        for (wide, narrow) in [
-            (ScalarType::U16, ScalarType::U8),
-            (ScalarType::I16, ScalarType::I8),
-        ] {
+        for (wide, narrow) in [(ScalarType::U16, ScalarType::U8), (ScalarType::I16, ScalarType::I8)]
+        {
             let vtw = VectorType::new(wide, LANES);
             let vtn = VectorType::new(narrow, LANES);
             let direct = Expr::fpir(op, vec![build::var("x", vtw), build::var("y", vtn)])
                 .expect("well-typed");
             let expanded = expand_fully(&direct).expect("expansion exists");
             for _ in 0..64 {
-                let xs: Vec<i128> = (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, wide)).collect();
-                let ys: Vec<i128> = (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, narrow)).collect();
-                let env = Env::new()
-                    .bind("x", Value::new(vtw, xs))
-                    .bind("y", Value::new(vtn, ys));
+                let xs: Vec<i128> =
+                    (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, wide)).collect();
+                let ys: Vec<i128> =
+                    (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, narrow)).collect();
+                let env = Env::new().bind("x", Value::new(vtw, xs)).bind("y", Value::new(vtn, ys));
                 assert_eq!(eval(&direct, &env).unwrap(), eval(&expanded, &env).unwrap());
             }
         }
@@ -235,25 +238,25 @@ fn sampled_mul_shr_family() {
             for z in 0..=(2 * t.bits() as i128 + 2) {
                 let direct = Expr::fpir(
                     op,
-                    vec![build::var("x", vt), build::var("y", vt), build::constant(z.min(t.max_value()), vt)],
+                    vec![
+                        build::var("x", vt),
+                        build::var("y", vt),
+                        build::constant(z.min(t.max_value()), vt),
+                    ],
                 )
                 .expect("well-typed");
                 let expanded = expand_fully(&direct).expect("expansion exists");
-                let xs: Vec<i128> = (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, t)).collect();
-                let ys: Vec<i128> = (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, t)).collect();
+                let xs: Vec<i128> =
+                    (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, t)).collect();
+                let ys: Vec<i128> =
+                    (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, t)).collect();
                 let env = Env::new()
                     .bind("x", Value::new(vt, xs.clone()))
                     .bind("y", Value::new(vt, ys.clone()));
                 let a = eval(&direct, &env).unwrap();
                 let b = eval(&expanded, &env).unwrap();
                 for i in 0..LANES as usize {
-                    assert_eq!(
-                        a.lane(i),
-                        b.lane(i),
-                        "{op:?} z={z} x={} y={} on {t}",
-                        xs[i],
-                        ys[i]
-                    );
+                    assert_eq!(a.lane(i), b.lane(i), "{op:?} z={z} x={} y={} on {t}", xs[i], ys[i]);
                 }
             }
         }
@@ -268,17 +271,30 @@ fn sampled_mul_shr_with_signed_negative_counts() {
     let t = ScalarType::I16;
     let vt = VectorType::new(t, LANES);
     for op in [FpirOp::MulShr, FpirOp::RoundingMulShr] {
-        let direct = Expr::fpir(
-            op,
-            vec![build::var("x", vt), build::var("y", vt), build::var("z", vt)],
-        )
-        .expect("well-typed");
+        let direct =
+            Expr::fpir(op, vec![build::var("x", vt), build::var("y", vt), build::var("z", vt)])
+                .expect("well-typed");
         let expanded = expand_fully(&direct).expect("expansion exists");
         for _ in 0..16 {
             let env = Env::new()
-                .bind("x", Value::new(vt, (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, t)).collect()))
-                .bind("y", Value::new(vt, (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, t)).collect()))
-                .bind("z", Value::new(vt, (0..LANES).map(|_| rng.gen_range(-40i128..40)).collect()));
+                .bind(
+                    "x",
+                    Value::new(
+                        vt,
+                        (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, t)).collect(),
+                    ),
+                )
+                .bind(
+                    "y",
+                    Value::new(
+                        vt,
+                        (0..LANES).map(|_| fpir::rand_expr::rand_lane(&mut rng, t)).collect(),
+                    ),
+                )
+                .bind(
+                    "z",
+                    Value::new(vt, (0..LANES).map(|_| rng.gen_range(-40i128..40)).collect()),
+                );
             assert_eq!(eval(&direct, &env).unwrap(), eval(&expanded, &env).unwrap());
         }
     }
@@ -289,17 +305,7 @@ fn saturating_narrow_equals_saturating_cast() {
     // saturating_narrow(x) is defined as saturating_cast to the half-width
     // type; check the pair agree as expressions too.
     let data = sampled_pairs(ScalarType::I16, ScalarType::I16, 16, 7);
-    check(
-        |x, _| build::saturating_narrow(x),
-        ScalarType::I16,
-        ScalarType::I16,
-        &data,
-    );
+    check(|x, _| build::saturating_narrow(x), ScalarType::I16, ScalarType::I16, &data);
     let data = sampled_pairs(ScalarType::U32, ScalarType::U32, 16, 8);
-    check(
-        |x, _| build::saturating_narrow(x),
-        ScalarType::U32,
-        ScalarType::U32,
-        &data,
-    );
+    check(|x, _| build::saturating_narrow(x), ScalarType::U32, ScalarType::U32, &data);
 }

@@ -49,10 +49,7 @@ fn decode_offset(s: &str) -> Option<i32> {
 
 /// The vectorized load `buffer(x + dx, y + dy)` as an expression variable.
 pub fn tap(buffer: &str, dx: i32, dy: i32, elem: ScalarType, lanes: u32) -> RcExpr {
-    assert!(
-        !buffer.contains("__"),
-        "buffer names must not contain the tap separator `__`"
-    );
+    assert!(!buffer.contains("__"), "buffer names must not contain the tap separator `__`");
     let name = format!("{buffer}__{}_{}", encode_offset(dx), encode_offset(dy));
     Expr::var(name, VectorType::new(elem, lanes))
 }
@@ -60,12 +57,7 @@ pub fn tap(buffer: &str, dx: i32, dy: i32, elem: ScalarType, lanes: u32) -> RcEx
 fn parse_tap(name: &str, elem: ScalarType) -> Option<Tap> {
     let (buffer, offsets) = name.split_once("__")?;
     let (xs, ys) = offsets.split_once('_')?;
-    Some(Tap {
-        buffer: buffer.to_string(),
-        dx: decode_offset(xs)?,
-        dy: decode_offset(ys)?,
-        elem,
-    })
+    Some(Tap { buffer: buffer.to_string(), dx: decode_offset(xs)?, dy: decode_offset(ys)?, elem })
 }
 
 /// A named, vectorized stencil pipeline.
@@ -154,9 +146,9 @@ impl Pipeline {
         let mut env = Env::new();
         for (name, ty) in self.expr.free_vars() {
             let t = parse_tap(&name, ty.elem).expect("validated in new");
-            let img = inputs.get(&t.buffer).ok_or_else(|| PipelineError {
-                what: format!("missing input `{}`", t.buffer),
-            })?;
+            let img = inputs
+                .get(&t.buffer)
+                .ok_or_else(|| PipelineError { what: format!("missing input `{}`", t.buffer) })?;
             if img.elem() != t.elem {
                 return Err(PipelineError {
                     what: format!(
@@ -183,10 +175,7 @@ impl Pipeline {
     /// # Errors
     ///
     /// Fails on missing/mistyped inputs or evaluation errors.
-    pub fn run_reference(
-        &self,
-        inputs: &BTreeMap<String, Image>,
-    ) -> Result<Image, PipelineError> {
+    pub fn run_reference(&self, inputs: &BTreeMap<String, Image>) -> Result<Image, PipelineError> {
         let first = self
             .inputs()
             .first()

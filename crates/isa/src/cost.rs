@@ -91,16 +91,12 @@ mod tests {
         let model = TargetCost::new(Isa::ArmNeon);
         let t8 = V::new(S::U8, 16);
         let t16 = V::new(S::U16, 16);
-        let narrow = legalize(
-            &build::add(build::var("a", t8), build::var("b", t8)),
-            target(Isa::ArmNeon),
-        )
-        .unwrap();
-        let wide = legalize(
-            &build::add(build::var("a", t16), build::var("b", t16)),
-            target(Isa::ArmNeon),
-        )
-        .unwrap();
+        let narrow =
+            legalize(&build::add(build::var("a", t8), build::var("b", t8)), target(Isa::ArmNeon))
+                .unwrap();
+        let wide =
+            legalize(&build::add(build::var("a", t16), build::var("b", t16)), target(Isa::ArmNeon))
+                .unwrap();
         assert!(model.cost(&wide) > model.cost(&narrow));
     }
 

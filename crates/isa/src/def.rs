@@ -101,6 +101,13 @@ impl Target {
     }
 }
 
+/// Every registered virtual target, in [`fpir::machine::ALL_ISAS`] order —
+/// the per-ISA enumeration used by coverage analyses that must prove a
+/// property for *all* backends rather than query one.
+pub fn all_targets() -> impl Iterator<Item = &'static Target> {
+    fpir::machine::ALL_ISAS.into_iter().map(target)
+}
+
 /// The registry entry for `isa`.
 pub fn target(isa: Isa) -> &'static Target {
     static REG: OnceLock<[Target; 3]> = OnceLock::new();
@@ -132,9 +139,7 @@ impl fpir::machine::MachEval for MachEvaluator {
         result_ty: VectorType,
     ) -> Result<Value, String> {
         let t = target(op.isa);
-        let def = t
-            .def(op)
-            .ok_or_else(|| format!("unknown {} opcode {}", op.isa, op.code))?;
+        let def = t.def(op).ok_or_else(|| format!("unknown {} opcode {}", op.isa, op.code))?;
         eval_sem(def.sem, args, result_ty)
     }
 }

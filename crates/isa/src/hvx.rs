@@ -117,8 +117,7 @@ pub(crate) fn defs() -> Vec<InstDef> {
         row(VSUBW, MachSem::Fpir(FpirOp::WideningSub), 1, NARROW, "widening subtract"),
         row(VMPY, MachSem::Fpir(FpirOp::WideningMul), 2, NARROW, "widening multiply"),
         row(VMPYACC, MachSem::WideningMulAcc, 2, WIDE, "widening multiply-accumulate"),
-        row(VMPA, MachSem::Mpa, 2, NARROW, "multiply-add with immediates")
-            .const_operands(&[2, 3]),
+        row(VMPA, MachSem::Mpa, 2, NARROW, "multiply-add with immediates").const_operands(&[2, 3]),
         row(VMPAACC, MachSem::MpaAcc, 2, WIDE, "accumulating multiply-add with immediates")
             .const_operands(&[3, 4]),
         row(VDMPY, MachSem::MulPairsAdd, 2, &[16], "paired multiply-add").signed_only(),

@@ -53,11 +53,8 @@ impl std::error::Error for LowerError {}
 /// or contains an operation with no legal implementation (e.g. general
 /// vector division).
 pub fn legalize(expr: &RcExpr, t: &Target) -> Result<RcExpr, LowerError> {
-    let children: Vec<RcExpr> = expr
-        .children()
-        .into_iter()
-        .map(|c| legalize(c, t))
-        .collect::<Result<_, _>>()?;
+    let children: Vec<RcExpr> =
+        expr.children().into_iter().map(|c| legalize(c, t)).collect::<Result<_, _>>()?;
     let isa = t.isa;
     check_width(expr.ty(), isa)?;
 
@@ -65,9 +62,8 @@ pub fn legalize(expr: &RcExpr, t: &Target) -> Result<RcExpr, LowerError> {
         ExprKind::Var(_) | ExprKind::Const(_) => Ok(expr.clone()),
         ExprKind::Mach(op, _) => {
             let node = expr.with_children(children);
-            let def = t
-                .def(*op)
-                .ok_or_else(|| LowerError::new(isa, format!("unknown opcode {op}")))?;
+            let def =
+                t.def(*op).ok_or_else(|| LowerError::new(isa, format!("unknown opcode {op}")))?;
             validate_mach(&node, def, t)?;
             Ok(node)
         }
@@ -80,9 +76,7 @@ pub fn legalize(expr: &RcExpr, t: &Target) -> Result<RcExpr, LowerError> {
             Ok(Expr::mach(def.op, expr.ty(), children))
         }
         ExprKind::Cast(_) => legalize_cast(expr.ty().elem, children.remove_first(), t),
-        ExprKind::Reinterpret(_) =>
-
-            Ok(reinterpret_node(expr.ty(), children.remove_first(), t)),
+        ExprKind::Reinterpret(_) => Ok(reinterpret_node(expr.ty(), children.remove_first(), t)),
         ExprKind::Fpir(op, _) => legalize_fpir(*op, expr.ty(), children, t),
     }
 }
@@ -143,10 +137,7 @@ fn validate_mach(node: &RcExpr, def: &InstDef, t: &Target) -> Result<(), LowerEr
             format!("{} takes {} operands, got {}", def.op, def.sem.arity(), args.len()),
         ));
     }
-    let first = args
-        .first()
-        .map(|a| a.elem())
-        .unwrap_or(node.elem());
+    let first = args.first().map(|a| a.elem()).unwrap_or(node.elem());
     if !def.widths.contains(&first.bits()) {
         return Err(LowerError::new(
             t.isa,
@@ -201,9 +192,8 @@ fn legalize_bin(
         BinOp::Div => {
             if let Some(c) = args[1].as_const() {
                 if fpir::simplify::is_pow2(c) {
-                    let count =
-                        Expr::constant(fpir::simplify::log2(c) as i128, args[1].ty())
-                            .expect("log2 fits");
+                    let count = Expr::constant(fpir::simplify::log2(c) as i128, args[1].ty())
+                        .expect("log2 fits");
                     return legalize_bin(BinOp::Shr, ty, vec![args.remove(0), count], t);
                 }
             }
@@ -257,10 +247,7 @@ fn legalize_bin(
             return legalize_cast(ty.elem, wide, t);
         }
     }
-    Err(LowerError::new(
-        isa,
-        format!("no `{}` instruction at {width} bits", op.symbol()),
-    ))
+    Err(LowerError::new(isa, format!("no `{}` instruction at {width} bits", op.symbol())))
 }
 
 fn legalize_cmp(
@@ -320,18 +307,26 @@ fn legalize_cast(to: ScalarType, arg: RcExpr, t: &Target) -> Result<RcExpr, Lowe
         // One extension step, preserving source signedness (that is what a
         // wrapping cast does), then recurse.
         let step = from.widen().expect("from < to implies widenable");
-        let def = find_usable(t, MachSem::ExtendTo, from.bits(), from.is_signed(), std::slice::from_ref(&arg))
-            .ok_or_else(|| {
-                LowerError::new(isa, format!("no extension from {} bits", from.bits()))
-            })?;
+        let def = find_usable(
+            t,
+            MachSem::ExtendTo,
+            from.bits(),
+            from.is_signed(),
+            std::slice::from_ref(&arg),
+        )
+        .ok_or_else(|| LowerError::new(isa, format!("no extension from {} bits", from.bits())))?;
         let widened = Expr::mach(def.op, arg.ty().with_elem(step), vec![arg]);
         legalize_cast(to, widened, t)
     } else {
         let step = from.narrow().expect("from > to implies narrowable");
-        let def = find_usable(t, MachSem::TruncTo, from.bits(), from.is_signed(), std::slice::from_ref(&arg))
-            .ok_or_else(|| {
-                LowerError::new(isa, format!("no truncation from {} bits", from.bits()))
-            })?;
+        let def = find_usable(
+            t,
+            MachSem::TruncTo,
+            from.bits(),
+            from.is_signed(),
+            std::slice::from_ref(&arg),
+        )
+        .ok_or_else(|| LowerError::new(isa, format!("no truncation from {} bits", from.bits())))?;
         let narrowed = Expr::mach(def.op, arg.ty().with_elem(step), vec![arg]);
         legalize_cast(to, narrowed, t)
     }
@@ -378,8 +373,8 @@ fn legalize_fpir(
     // No native row: fall back to the instruction's primitive definition
     // (folding the expansion's constant subterms — shift counts and
     // rounding terms must be immediates again before selection).
-    let expanded = fpir::semantics::expand_fpir(op, &args)
-        .map_err(|e| LowerError::new(isa, e.to_string()))?;
+    let expanded =
+        fpir::semantics::expand_fpir(op, &args).map_err(|e| LowerError::new(isa, e.to_string()))?;
     legalize(&fpir::simplify::const_fold(&expanded), t)
 }
 
@@ -392,10 +387,7 @@ mod tests {
 
     fn all_mach(e: &RcExpr) -> bool {
         !e.any(&mut |n| {
-            !matches!(
-                n.kind(),
-                ExprKind::Mach(..) | ExprKind::Var(_) | ExprKind::Const(_)
-            )
+            !matches!(n.kind(), ExprKind::Mach(..) | ExprKind::Var(_) | ExprKind::Const(_))
         })
     }
 

@@ -44,6 +44,6 @@ pub mod sem;
 pub mod x86;
 
 pub use cost::TargetCost;
-pub use def::{target, InstDef, MachEvaluator, SignReq, Target};
+pub use def::{all_targets, target, InstDef, MachEvaluator, SignReq, Target};
 pub use legalize::{legalize, LowerError};
 pub use sem::{eval_sem, MachSem};

@@ -114,19 +114,12 @@ impl MachSem {
 /// type inconsistent with the semantics.
 pub fn eval_sem(sem: MachSem, args: &[Value], result_ty: VectorType) -> Result<Value, String> {
     if args.len() != sem.arity() {
-        return Err(format!(
-            "{sem:?} takes {} operands, got {}",
-            sem.arity(),
-            args.len()
-        ));
+        return Err(format!("{sem:?} takes {} operands, got {}", sem.arity(), args.len()));
     }
     let lanes = result_ty.lanes as usize;
     for a in args {
         if a.ty().lanes as usize != lanes {
-            return Err(format!(
-                "operand lanes {} != result lanes {lanes}",
-                a.ty().lanes
-            ));
+            return Err(format!("operand lanes {} != result lanes {lanes}", a.ty().lanes));
         }
     }
     let elem0 = args.first().map(|a| a.ty().elem);
@@ -147,13 +140,9 @@ pub fn eval_sem(sem: MachSem, args: &[Value], result_ty: VectorType) -> Result<V
             let t = elem0.expect("arity >= 1");
             per_lane(&|i| Ok(cmp_op_lane(op, args[0].lane(i), args[1].lane(i), t)))
         }
-        MachSem::Select => per_lane(&|i| {
-            Ok(if args[0].lane(i) != 0 {
-                args[1].lane(i)
-            } else {
-                args[2].lane(i)
-            })
-        }),
+        MachSem::Select => {
+            per_lane(&|i| Ok(if args[0].lane(i) != 0 { args[1].lane(i) } else { args[2].lane(i) }))
+        }
         MachSem::ExtendTo | MachSem::TruncTo | MachSem::Reinterpret | MachSem::Splat => {
             per_lane(&|i| Ok(result_ty.elem.wrap(args[0].lane(i))))
         }
@@ -172,16 +161,10 @@ pub fn eval_sem(sem: MachSem, args: &[Value], result_ty: VectorType) -> Result<V
         MachSem::MulHigh => {
             let t = elem0.expect("arity 2");
             let bits = t.bits();
-            per_lane(&|i| {
-                Ok(result_ty
-                    .elem
-                    .wrap((args[0].lane(i) * args[1].lane(i)) >> bits))
-            })
+            per_lane(&|i| Ok(result_ty.elem.wrap((args[0].lane(i) * args[1].lane(i)) >> bits)))
         }
         MachSem::MulAcc => per_lane(&|i| {
-            Ok(result_ty
-                .elem
-                .wrap(args[0].lane(i) + args[1].lane(i) * args[2].lane(i)))
+            Ok(result_ty.elem.wrap(args[0].lane(i) + args[1].lane(i) * args[2].lane(i)))
         }),
         MachSem::WideningMulAcc => {
             let (aw, ow) = (args[0].ty().elem.bits(), args[1].ty().elem.bits());
@@ -191,15 +174,13 @@ pub fn eval_sem(sem: MachSem, args: &[Value], result_ty: VectorType) -> Result<V
                 ));
             }
             per_lane(&|i| {
-                Ok(result_ty
-                    .elem
-                    .wrap(args[0].lane(i) + args[1].lane(i) * args[2].lane(i)))
+                Ok(result_ty.elem.wrap(args[0].lane(i) + args[1].lane(i) * args[2].lane(i)))
             })
         }
         MachSem::MulPairsAdd => per_lane(&|i| {
-            Ok(result_ty.elem.wrap(
-                args[0].lane(i) * args[1].lane(i) + args[2].lane(i) * args[3].lane(i),
-            ))
+            Ok(result_ty
+                .elem
+                .wrap(args[0].lane(i) * args[1].lane(i) + args[2].lane(i) * args[3].lane(i)))
         }),
         MachSem::Mpa => per_lane(&|i| {
             Ok(result_ty
@@ -233,12 +214,8 @@ pub fn eval_sem(sem: MachSem, args: &[Value], result_ty: VectorType) -> Result<V
             let t = elem0.expect("arity 2");
             let tys = [t, args[1].ty().elem];
             per_lane(&|i| {
-                let shifted = fpir_op_lane(
-                    FpirOp::RoundingShr,
-                    &[args[0].lane(i), args[1].lane(i)],
-                    &tys,
-                    t,
-                );
+                let shifted =
+                    fpir_op_lane(FpirOp::RoundingShr, &[args[0].lane(i), args[1].lane(i)], &tys, t);
                 Ok(result_ty.elem.saturate(shifted))
             })
         }
@@ -314,9 +291,8 @@ mod tests {
     fn dot_acc4_validates_widths() {
         let t16 = V::new(S::U16, 1);
         let t8 = V::new(S::U8, 1);
-        let args: Vec<Value> = std::iter::once(v(t16, &[5]))
-            .chain((0..8).map(|_| v(t8, &[1])))
-            .collect();
+        let args: Vec<Value> =
+            std::iter::once(v(t16, &[5])).chain((0..8).map(|_| v(t8, &[1]))).collect();
         assert!(eval_sem(MachSem::DotAcc4, &args, t16).is_err());
     }
 
@@ -337,12 +313,8 @@ mod tests {
     fn shr_rnd_sat_narrow() {
         let t16 = V::new(S::I16, 2);
         let t8 = V::new(S::I8, 2);
-        let out = eval_sem(
-            MachSem::ShrRndSatNarrow,
-            &[v(t16, &[1000, 255]), v(t16, &[2, 2])],
-            t8,
-        )
-        .unwrap();
+        let out = eval_sem(MachSem::ShrRndSatNarrow, &[v(t16, &[1000, 255]), v(t16, &[2, 2])], t8)
+            .unwrap();
         // round(1000 / 4) = 250 -> saturates to 127; round(255/4) = 64.
         assert_eq!(out.lanes(), &[127, 64]);
     }

@@ -128,8 +128,14 @@ pub(crate) fn defs() -> Vec<InstDef> {
         row(VPACKUS, MachSem::PackSatSignedTo, 1, &[16, 32], "pack, unsigned saturation"),
         row(VPACKSS, MachSem::PackSatSignedTo, 1, &[16, 32], "pack, signed saturation"),
         row(VPABS, MachSem::Fpir(FpirOp::Abs), 1, SMALL, "absolute value"),
-        row(VPSUBUS, MachSem::Fpir(FpirOp::SaturatingSub), 1, &[8, 16], "saturating unsigned subtract")
-            .unsigned_only(),
+        row(
+            VPSUBUS,
+            MachSem::Fpir(FpirOp::SaturatingSub),
+            1,
+            &[8, 16],
+            "saturating unsigned subtract",
+        )
+        .unsigned_only(),
         row(VSPLAT, MachSem::Splat, 1, ALL, "broadcast constant"),
         row(VPMULHRSW, MachSem::QRDMulH, 2, &[16], "rounding multiply high").signed_only(),
         row(VRMULH32, MachSem::QRDMulH, 8, &[32], "32-bit rounding multiply-high sequence")

@@ -1,0 +1,84 @@
+//! `rulecheck` — run the static rule-set analyses over every shipped TRS.
+//!
+//! ```text
+//! rulecheck [--json] [--deny warnings]
+//! ```
+//!
+//! Exits non-zero when any *error* is found, or when `--deny warnings` is
+//! given and any warning is found. Notes never affect the exit code.
+
+use pitchfork_lint::{check_rule_sets, render_json, tally, Severity};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny_warnings = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny" => match args.next().as_deref() {
+                Some("warnings") => deny_warnings = true,
+                Some(other) => {
+                    eprintln!("rulecheck: `--deny` expects `warnings`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("rulecheck: `--deny` expects a value (`--deny warnings`)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: rulecheck [--json] [--deny warnings]");
+                println!();
+                println!("Statically analyzes the shipped lift/lower rule sets:");
+                println!("  termination  strict cost descent + rewrite-cycle detection");
+                println!("  shadowing    rules dead behind earlier, more general rules");
+                println!("  coverage     FPIR ops a backend cannot select");
+                println!("  predicates   malformed or contradictory side conditions");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("rulecheck: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut diags = check_rule_sets(&pitchfork::all_rule_sets());
+    // Most severe first, stable within a severity class.
+    diags.sort_by_key(|d| std::cmp::Reverse(d.severity));
+
+    if json {
+        println!("{}", render_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        let (errors, warnings, notes) = tally(&diags);
+        println!(
+            "rulecheck: {errors} error{}, {warnings} warning{}, {notes} note{}",
+            plural(errors),
+            plural(warnings),
+            plural(notes)
+        );
+    }
+
+    let fatal = diags.iter().any(|d| {
+        d.severity == Severity::Error || (deny_warnings && d.severity == Severity::Warning)
+    });
+    if fatal {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}

@@ -1,0 +1,217 @@
+//! Lowering-coverage analysis: can every FPIR instruction the lifting TRS
+//! can produce actually be selected on every backend?
+//!
+//! The lift rules (plus the public builder API) can put any of the 22
+//! Table-1 FPIR instructions into a program at any of the six 8/16/32-bit
+//! element types. For each `(op, type)` pair this analysis builds a
+//! minimal type-correct witness expression, runs the backend's lowering
+//! TRS over it, and then asks the legalizer to finish the job. A failure
+//! is a *cannot-select* hole.
+//!
+//! Whose fault is a hole? The lowering TRS only ever runs *in front of*
+//! the legalizer, so the analysis compares against a baseline of the
+//! legalizer alone: a witness the legalizer cannot compile either is an
+//! *inherent target limitation* (HVX has no 64-bit lanes, x86 AVX2 has no
+//! 64-bit unsigned compare — the paper's §5.1 compile failures) and is
+//! reported as a *note*; a witness the legalizer alone could handle but
+//! the TRS-rewritten form cannot be selected is a rule-set bug and is an
+//! *error*.
+
+use crate::diagnostic::{Analysis, Diagnostic, Severity};
+use fpir::expr::{Expr, FpirOp, RcExpr, ALL_FPIR_OPS};
+use fpir::types::{ScalarType, VectorType};
+use fpir::Isa;
+use fpir_trs::rule::RuleSet;
+use fpir_trs::Rewriter;
+
+/// The element types a witness sweep covers (the lift TRS instantiates
+/// its rules over the same six).
+pub const WITNESS_ELEMS: [ScalarType; 6] = [
+    ScalarType::U8,
+    ScalarType::I8,
+    ScalarType::U16,
+    ScalarType::I16,
+    ScalarType::U32,
+    ScalarType::I32,
+];
+
+const WITNESS_LANES: u32 = 8;
+
+/// Run the coverage analysis for one backend: its lowering TRS followed by
+/// the legalizer must select every witness.
+pub fn check(isa: Isa, lower: &RuleSet) -> Vec<Diagnostic> {
+    let target = fpir_isa::target(isa);
+    let oracle = |e: &RcExpr| -> Result<(), String> {
+        let mut rw = Rewriter::new(lower, fpir_isa::TargetCost::new(isa));
+        let lowered = rw.run(e);
+        fpir_isa::legalize(&lowered, target).map(|_| ()).map_err(|err| err.to_string())
+    };
+    let inherent = |e: &RcExpr| fpir_isa::legalize(e, target).is_err();
+    let backend = format!("lower-{}", isa.short_name().to_lowercase());
+    check_with_oracle(&backend, &oracle, &inherent)
+}
+
+/// Coverage against an arbitrary selection oracle (exposed so tests can
+/// plant holes without inventing a whole backend). `inherent` decides
+/// blame for a hole: `true` means the target could never compile the
+/// witness no matter what the rule set does (note), `false` pins the hole
+/// on the rule set (error).
+pub fn check_with_oracle(
+    backend: &str,
+    oracle: &dyn Fn(&RcExpr) -> Result<(), String>,
+    inherent: &dyn Fn(&RcExpr) -> bool,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for elem in WITNESS_ELEMS {
+        for op in ops_for(elem) {
+            let Some(witness) = witness_expr(op, elem) else {
+                continue; // no type-correct witness exists (e.g. narrowing u8)
+            };
+            if let Err(why) = oracle(&witness) {
+                let target_limit = inherent(&witness);
+                out.push(Diagnostic {
+                    severity: if target_limit { Severity::Note } else { Severity::Error },
+                    analysis: Analysis::Coverage,
+                    ruleset: backend.to_string(),
+                    rule: None,
+                    detail: if target_limit {
+                        format!(
+                            "{}({}) is not selectable on this target at all (inherent \
+                             limitation, independent of the rule set): {why}",
+                            op.name(),
+                            elem.name(),
+                        )
+                    } else {
+                        format!("cannot select {}({}): {why}", op.name(), elem.name())
+                    },
+                    witness: Some(witness.to_string()),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The instruction family swept for one element type: every Table-1 op,
+/// with the representative `saturating_cast` replaced by a cast the type
+/// system accepts for `elem`.
+fn ops_for(elem: ScalarType) -> Vec<FpirOp> {
+    ALL_FPIR_OPS
+        .into_iter()
+        .map(|op| match op {
+            FpirOp::SaturatingCast(_) => FpirOp::SaturatingCast(sat_cast_target(elem)),
+            op => op,
+        })
+        .collect()
+}
+
+/// A saturating-cast target that genuinely saturates from `elem`:
+/// the narrowed type when one exists, otherwise the other-signedness type
+/// of the same width.
+fn sat_cast_target(elem: ScalarType) -> ScalarType {
+    elem.narrow().unwrap_or_else(|| {
+        if elem.is_signed() {
+            elem.with_unsigned()
+        } else {
+            elem.with_signed()
+        }
+    })
+}
+
+/// A minimal type-correct witness for `op` at element type `elem`, or
+/// `None` when the combination cannot be typed at all (so there is
+/// nothing to cover).
+pub fn witness_expr(op: FpirOp, elem: ScalarType) -> Option<RcExpr> {
+    let vt = VectorType::new(elem, WITNESS_LANES);
+    let v = |name: &str| Expr::var(name, vt);
+    let shift = |count: i128| Expr::constant(count, vt).ok();
+    let args = match op {
+        // Same-type binary operations.
+        FpirOp::WideningAdd
+        | FpirOp::WideningSub
+        | FpirOp::WideningMul
+        | FpirOp::Absd
+        | FpirOp::SaturatingAdd
+        | FpirOp::SaturatingSub
+        | FpirOp::HalvingAdd
+        | FpirOp::HalvingSub
+        | FpirOp::RoundingHalvingAdd => vec![v("a"), v("b")],
+        // Wide accumulator + narrow operand.
+        FpirOp::ExtendingAdd | FpirOp::ExtendingSub | FpirOp::ExtendingMul => {
+            let wide = VectorType::new(elem.widen()?, WITNESS_LANES);
+            vec![Expr::var("acc", wide), v("b")]
+        }
+        // Value + same-width shift count.
+        FpirOp::WideningShl
+        | FpirOp::WideningShr
+        | FpirOp::RoundingShl
+        | FpirOp::RoundingShr
+        | FpirOp::SaturatingShl => vec![v("a"), shift(2)?],
+        FpirOp::Abs | FpirOp::SaturatingCast(_) | FpirOp::SaturatingNarrow => vec![v("a")],
+        // Multiply + same-width scale-back shift.
+        FpirOp::MulShr | FpirOp::RoundingMulShr => {
+            vec![v("a"), v("b"), shift((elem.bits() / 2) as i128)?]
+        }
+    };
+    Expr::fpir(op, args).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn witnesses_exist_for_every_op_at_u8() {
+        let mut built = 0;
+        for op in ops_for(ScalarType::U8) {
+            if witness_expr(op, ScalarType::U8).is_some() {
+                built += 1;
+            }
+        }
+        // saturating_narrow has no u8 witness (nothing to narrow to);
+        // everything else must type-check.
+        assert_eq!(built, ops_for(ScalarType::U8).len() - 1);
+    }
+
+    #[test]
+    fn witnesses_exist_for_every_op_at_i16() {
+        for op in ops_for(ScalarType::I16) {
+            assert!(
+                witness_expr(op, ScalarType::I16).is_some(),
+                "no witness for {} at i16",
+                op.name()
+            );
+        }
+    }
+
+    #[test]
+    fn planted_oracle_hole_is_reported_as_error() {
+        let oracle = |e: &RcExpr| -> Result<(), String> {
+            if e.to_string().contains("absd") {
+                Err("no absd on this fake target".into())
+            } else {
+                Ok(())
+            }
+        };
+        let diags = check_with_oracle("fake", &oracle, &|_| false);
+        assert_eq!(diags.len(), WITNESS_ELEMS.len()); // one absd hole per type
+        assert!(diags.iter().all(|d| d.severity == Severity::Error));
+        assert!(diags.iter().all(|d| d.analysis == Analysis::Coverage));
+    }
+
+    #[test]
+    fn inherent_target_holes_downgrade_to_notes() {
+        // A target that rejects everything 32-bit regardless of rules.
+        let reject = |e: &RcExpr| e.to_string().contains("32");
+        let oracle = |e: &RcExpr| -> Result<(), String> {
+            if reject(e) {
+                Err("lane too wide".into())
+            } else {
+                Ok(())
+            }
+        };
+        let diags = check_with_oracle("narrow-fake", &oracle, &reject);
+        assert!(!diags.is_empty());
+        assert!(diags.iter().all(|d| d.severity == Severity::Note));
+    }
+}

@@ -1,0 +1,84 @@
+//! # pitchfork-lint — static analysis over the lift/lower rule sets
+//!
+//! The compiler's correctness story leans on properties of its term-
+//! rewriting systems that nothing previously checked ahead of time:
+//!
+//! * **[`termination`]** — every lift rule strictly descends in the
+//!   target-agnostic cost on every type instantiation (the paper's §3.2
+//!   convergence requirement), and no family of rules forms a rewrite
+//!   cycle the cost measure fails to break;
+//! * **[`shadowing`]** — no rule is dead because an earlier, more general
+//!   rule always matches first with an implied predicate;
+//! * **[`coverage`]** — every FPIR instruction the lifting TRS can
+//!   produce is selectable on every backend (lowering TRS + legalizer),
+//!   with inherent lane-width limits (HVX's missing 64-bit lanes)
+//!   reported as notes rather than errors;
+//! * **[`predicates`]** — side conditions are well-formed: indices in
+//!   range, references bound, ranges non-empty, conjunctions free of
+//!   contradictions.
+//!
+//! All four analyses are *static*: they inspect rule structure (plus
+//! exhaustive small-type instantiation) without running the compiler on
+//! user programs, so they complement `synth::verify`'s differential
+//! testing — see `docs/rulecheck.md` for the soundness trade-offs.
+//!
+//! The `rulecheck` binary runs everything over the shipped rule sets and
+//! gates CI via `--deny warnings`.
+//!
+//! ```
+//! use pitchfork_lint::{check_rule_sets, Severity};
+//!
+//! let diags = check_rule_sets(&pitchfork::all_rule_sets());
+//! assert!(diags.iter().all(|d| d.severity < Severity::Error));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coverage;
+pub mod diagnostic;
+pub mod predicates;
+pub mod shadowing;
+pub mod skeleton;
+pub mod termination;
+
+pub use diagnostic::{render_json, Analysis, Diagnostic, Severity};
+
+use pitchfork::{RegisteredRuleSet, RuleSetKind};
+
+/// Run every analysis over a collection of registered rule sets.
+///
+/// Shadowing and predicate checks are per-set; termination picks its cost
+/// model from the set's [`RuleSetKind`]; coverage runs once per lowering
+/// backend. Diagnostics come back grouped by analysis in a stable order.
+pub fn check_rule_sets(sets: &[RegisteredRuleSet]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for reg in sets {
+        out.extend(termination::check(reg));
+    }
+    for reg in sets {
+        out.extend(shadowing::check(&reg.set));
+    }
+    for reg in sets {
+        out.extend(predicates::check(&reg.set));
+    }
+    for reg in sets {
+        if let RuleSetKind::Lower(isa) = reg.kind {
+            out.extend(coverage::check(isa, &reg.set));
+        }
+    }
+    out
+}
+
+/// Count diagnostics at each severity: `(errors, warnings, notes)`.
+pub fn tally(diags: &[Diagnostic]) -> (usize, usize, usize) {
+    let mut counts = (0, 0, 0);
+    for d in diags {
+        match d.severity {
+            Severity::Error => counts.0 += 1,
+            Severity::Warning => counts.1 += 1,
+            Severity::Note => counts.2 += 1,
+        }
+    }
+    counts
+}

@@ -1,0 +1,447 @@
+//! Shadowing analysis: rules that can never fire because an earlier rule
+//! always takes precedence.
+//!
+//! The rewriter tries every rule at a node and keeps the cheapest output,
+//! breaking ties by rule order. A later rule is therefore *dead* when some
+//! earlier rule (a) matches every expression the later rule matches —
+//! pattern subsumption — and (b) has a side condition implied by the later
+//! rule's, and (c) produces the same output on everything they both match.
+//! Requirement (c) cannot be decided structurally in general, so this
+//! analysis reports subsumption + implication as a *warning* ("dead unless
+//! its output is strictly cheaper"), which in practice catches the common
+//! authoring mistake: adding a specialised rule *after* the general rule
+//! it specialises, where the general rule has already rewritten the node.
+//!
+//! Subsumption is decided conservatively (it may miss shadowing, it does
+//! not invent it): a general wildcard subsumes any specific subtree, a
+//! general constant wildcard subsumes constant wildcards and literals,
+//! operator nodes must agree (commutative operators try both operand
+//! orders), and type constraints must be equal up to a consistent
+//! renaming of type variables. Non-linear wildcards in the general rule
+//! require syntactically identical specific subtrees.
+
+use crate::diagnostic::{Analysis, Diagnostic, Severity};
+use fpir_trs::rule::RuleSet;
+use fpir_trs::{Pat, Predicate, TypePat};
+use std::collections::BTreeMap;
+
+/// Run the shadowing analysis over one rule set.
+pub fn check(set: &RuleSet) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let rules = set.rules();
+
+    // Duplicate rule names confuse firing statistics and diagnostics.
+    let mut seen_names: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, rule) in rules.iter().enumerate() {
+        if let Some(&first) = seen_names.get(rule.name.as_str()) {
+            out.push(Diagnostic {
+                severity: Severity::Warning,
+                analysis: Analysis::Shadowing,
+                ruleset: set.name.clone(),
+                rule: Some(rule.name.clone()),
+                detail: format!(
+                    "duplicate rule name (also used by rule #{first}); firing statistics \
+                     and diagnostics cannot distinguish them"
+                ),
+                witness: None,
+            });
+        } else {
+            seen_names.insert(rule.name.as_str(), i);
+        }
+    }
+
+    for j in 1..rules.len() {
+        for i in 0..j {
+            let mut m = SubMap::default();
+            if !subsumes(&rules[i].lhs, &rules[j].lhs, &mut m) {
+                continue;
+            }
+            if !pred_implies(&rules[j].pred, &rules[i].pred, &m) {
+                continue;
+            }
+            out.push(Diagnostic {
+                severity: Severity::Warning,
+                analysis: Analysis::Shadowing,
+                ruleset: set.name.clone(),
+                rule: Some(rules[j].name.clone()),
+                detail: format!(
+                    "shadowed by earlier rule `{}`: every expression this rule matches is \
+                     already matched by it (and its predicate is implied), so this rule \
+                     only fires if its output is strictly cheaper",
+                    rules[i].name
+                ),
+                witness: None,
+            });
+            break; // one shadow finding per rule is enough
+        }
+    }
+    out
+}
+
+/// What a general-rule wildcard maps to in the specific rule.
+#[derive(Debug, Clone, PartialEq)]
+enum ConstBind {
+    /// The specific rule's constant wildcard with this id.
+    Wild(u8),
+    /// A literal value in the specific rule.
+    Lit(i128),
+}
+
+/// Mappings accumulated while proving `general` subsumes `specific`.
+#[derive(Debug, Clone, Default)]
+struct SubMap {
+    /// General expression-wildcard id → specific wildcard id when the
+    /// wildcard landed exactly on a specific expression wildcard
+    /// (`None` = landed on a composite subtree or a constant).
+    exprs: BTreeMap<u8, Option<u8>>,
+    /// General constant-wildcard id → specific constant binding.
+    consts: BTreeMap<u8, ConstBind>,
+    /// General type-variable id → (constructor discriminant, specific id).
+    tyvars: BTreeMap<u8, (u8, u8)>,
+    /// Non-linear occurrences: general wildcard id → specific subtree.
+    seen: BTreeMap<u8, Pat>,
+}
+
+impl SubMap {
+    /// Record a non-linear binding; false if the same general wildcard
+    /// already landed on a *different* specific subtree.
+    fn bind_seen(&mut self, id: u8, sub: &Pat) -> bool {
+        match self.seen.get(&id) {
+            Some(prev) => prev == sub,
+            None => {
+                self.seen.insert(id, sub.clone());
+                true
+            }
+        }
+    }
+}
+
+/// Discriminant + variable id of a `TypePat`, when it references one.
+fn ty_ctor(tp: &TypePat) -> Option<(u8, u8)> {
+    Some(match tp {
+        TypePat::Any | TypePat::Exact(_) => return None,
+        TypePat::Var(i) => (0, *i),
+        TypePat::WidenOf(i) => (1, *i),
+        TypePat::Widen2Of(i) => (2, *i),
+        TypePat::NarrowOf(i) => (3, *i),
+        TypePat::SignedOf(i) => (4, *i),
+        TypePat::UnsignedOf(i) => (5, *i),
+        TypePat::SameWidthAs(i) => (6, *i),
+        TypePat::WidenSignedOf(i) => (7, *i),
+        TypePat::NarrowUnsignedOf(i) => (8, *i),
+        TypePat::AnyUnsigned(i) => (9, *i),
+        TypePat::AnySigned(i) => (10, *i),
+    })
+}
+
+/// Does the general type constraint `g` accept every type the specific
+/// constraint `s` accepts (under a consistent variable renaming)?
+fn ty_subsumes(g: &TypePat, s: &TypePat, m: &mut SubMap) -> bool {
+    if *g == TypePat::Any {
+        return true;
+    }
+    if let (TypePat::Exact(a), TypePat::Exact(b)) = (g, s) {
+        return a == b;
+    }
+    let (Some((gc, gi)), Some((sc, si))) = (ty_ctor(g), ty_ctor(s)) else {
+        return false;
+    };
+    // A bare `Var` places no constraint of its own (first occurrence), so
+    // it also subsumes the sign-restricted binders; every other
+    // constructor must match exactly.
+    let ctor_ok =
+        gc == sc || (gc == 0 && matches!(s, TypePat::AnyUnsigned(_) | TypePat::AnySigned(_)));
+    if !ctor_ok {
+        return false;
+    }
+    // Consistency: each general variable must track one specific variable,
+    // otherwise the general rule links occurrences the specific rule
+    // leaves independent.
+    match m.tyvars.get(&gi) {
+        Some(&(_, prev_si)) => prev_si == si,
+        None => {
+            m.tyvars.insert(gi, (sc, si));
+            true
+        }
+    }
+}
+
+/// Does `general` match every concrete expression `specific` matches?
+fn subsumes(general: &Pat, specific: &Pat, m: &mut SubMap) -> bool {
+    match general {
+        Pat::Wild { id, ty } => {
+            if !m.bind_seen(*id, specific) {
+                return false;
+            }
+            let leaf = match specific {
+                Pat::Wild { id: sid, ty: sty } => {
+                    if !ty_subsumes(ty, sty, m) {
+                        return false;
+                    }
+                    Some(*sid)
+                }
+                Pat::ConstWild { ty: sty, .. } | Pat::Lit(_, sty) => {
+                    if !ty_subsumes(ty, sty, m) {
+                        return false;
+                    }
+                    None
+                }
+                // A typed general wildcard over a composite specific
+                // subtree: only the unconstrained case is decidable
+                // without computing the subtree's result type.
+                _ => {
+                    if *ty != TypePat::Any {
+                        return false;
+                    }
+                    None
+                }
+            };
+            m.exprs.insert(*id, leaf);
+            true
+        }
+        Pat::ConstWild { id, ty } => {
+            if !m.bind_seen(*id, specific) {
+                return false;
+            }
+            match specific {
+                Pat::ConstWild { id: sid, ty: sty } => {
+                    if !ty_subsumes(ty, sty, m) {
+                        return false;
+                    }
+                    m.consts.insert(*id, ConstBind::Wild(*sid));
+                    true
+                }
+                Pat::Lit(v, sty) => {
+                    if !ty_subsumes(ty, sty, m) {
+                        return false;
+                    }
+                    m.consts.insert(*id, ConstBind::Lit(*v));
+                    true
+                }
+                _ => false,
+            }
+        }
+        Pat::Lit(v, ty) => {
+            matches!(specific, Pat::Lit(sv, sty) if sv == v && ty_subsumes(ty, sty, m))
+        }
+        Pat::Bin(op, ga, gb) => match specific {
+            Pat::Bin(sop, sa, sb) if sop == op => {
+                let snapshot = m.clone();
+                if subsumes(ga, sa, m) && subsumes(gb, sb, m) {
+                    return true;
+                }
+                *m = snapshot;
+                if op.is_commutative() && subsumes(ga, sb, m) && subsumes(gb, sa, m) {
+                    return true;
+                }
+                false
+            }
+            _ => false,
+        },
+        Pat::Cmp(op, ga, gb) => match specific {
+            Pat::Cmp(sop, sa, sb) if sop == op => subsumes(ga, sa, m) && subsumes(gb, sb, m),
+            _ => false,
+        },
+        Pat::Select(gc, gt, gf) => match specific {
+            Pat::Select(sc, st, sf) => {
+                subsumes(gc, sc, m) && subsumes(gt, st, m) && subsumes(gf, sf, m)
+            }
+            _ => false,
+        },
+        Pat::Cast(gty, ga) => match specific {
+            Pat::Cast(sty, sa) => ty_subsumes(gty, sty, m) && subsumes(ga, sa, m),
+            _ => false,
+        },
+        Pat::Reinterpret(gty, ga) => match specific {
+            Pat::Reinterpret(sty, sa) => ty_subsumes(gty, sty, m) && subsumes(ga, sa, m),
+            _ => false,
+        },
+        Pat::SatCast(gty, ga) => match specific {
+            Pat::SatCast(sty, sa) => ty_subsumes(gty, sty, m) && subsumes(ga, sa, m),
+            _ => false,
+        },
+        Pat::Fpir(op, gargs) => match specific {
+            Pat::Fpir(sop, sargs) if sop == op && sargs.len() == gargs.len() => {
+                let snapshot = m.clone();
+                if gargs.iter().zip(sargs).all(|(g, s)| subsumes(g, s, m)) {
+                    return true;
+                }
+                *m = snapshot;
+                op.is_commutative()
+                    && gargs.len() == 2
+                    && subsumes(&gargs[0], &sargs[1], m)
+                    && subsumes(&gargs[1], &sargs[0], m)
+            }
+            _ => false,
+        },
+        Pat::Mach(op, gargs) => match specific {
+            Pat::Mach(sop, sargs) if sop == op && sargs.len() == gargs.len() => {
+                gargs.iter().zip(sargs).all(|(g, s)| subsumes(g, s, m))
+            }
+            _ => false,
+        },
+    }
+}
+
+/// Does the specific rule's predicate imply the general rule's predicate,
+/// under the wildcard correspondence recorded in `m`?
+///
+/// Conservative: returns `true` only when every conjunct of the general
+/// predicate is provably entailed.
+fn pred_implies(specific: &Predicate, general: &Predicate, m: &SubMap) -> bool {
+    let spec_leaves = specific.conjuncts();
+    general.conjuncts().into_iter().all(|g| leaf_implied(g, &spec_leaves, m))
+}
+
+fn leaf_implied(g: &Predicate, spec: &[&Predicate], m: &SubMap) -> bool {
+    if matches!(g, Predicate::True) {
+        return true;
+    }
+    // Translate the general leaf into the specific rule's wildcard space;
+    // if any referenced wildcard has no direct counterpart, give up.
+    match g {
+        Predicate::IsPow2(id) => match m.consts.get(id) {
+            Some(ConstBind::Lit(v)) => fpir::simplify::is_pow2(*v),
+            Some(ConstBind::Wild(b)) => spec.iter().any(|s| match s {
+                Predicate::IsPow2(sb) => sb == b,
+                Predicate::ConstEq { id: sb, value } => sb == b && fpir::simplify::is_pow2(*value),
+                Predicate::Pow2Link { id: sb, .. } => sb == b,
+                _ => false,
+            }),
+            None => false,
+        },
+        Predicate::ConstInRange { id, lo, hi } => match m.consts.get(id) {
+            Some(ConstBind::Lit(v)) => lo <= v && v <= hi,
+            Some(ConstBind::Wild(b)) => spec.iter().any(|s| match s {
+                Predicate::ConstInRange { id: sb, lo: slo, hi: shi } => {
+                    sb == b && lo <= slo && shi <= hi
+                }
+                Predicate::ConstEq { id: sb, value } => sb == b && lo <= value && value <= hi,
+                _ => false,
+            }),
+            None => false,
+        },
+        Predicate::ConstEq { id, value } => match m.consts.get(id) {
+            Some(ConstBind::Lit(v)) => v == value,
+            Some(ConstBind::Wild(b)) => spec.iter().any(
+                |s| matches!(s, Predicate::ConstEq { id: sb, value: sv } if sb == b && sv == value),
+            ),
+            None => false,
+        },
+        // Every remaining leaf depends on the bound expression or the
+        // constant's own type; require a syntactically identical leaf on
+        // the corresponding specific wildcard.
+        _ => {
+            let Some(translated) = translate_leaf(g, m) else {
+                return false;
+            };
+            spec.iter().any(|s| **s == translated)
+        }
+    }
+}
+
+/// Rewrite the wildcard ids of a general predicate leaf into the specific
+/// rule's id space; `None` when some referenced wildcard has no leaf
+/// counterpart there.
+fn translate_leaf(g: &Predicate, m: &SubMap) -> Option<Predicate> {
+    let const_id = |id: &u8| -> Option<u8> {
+        match m.consts.get(id) {
+            Some(ConstBind::Wild(b)) => Some(*b),
+            _ => None,
+        }
+    };
+    let expr_id = |id: &u8| -> Option<u8> { m.exprs.get(id).copied().flatten() };
+    Some(match g {
+        Predicate::True => Predicate::True,
+        Predicate::All(_) => return None, // conjuncts() never yields All
+        Predicate::IsPow2(id) => Predicate::IsPow2(const_id(id)?),
+        Predicate::ConstInRange { id, lo, hi } => {
+            Predicate::ConstInRange { id: const_id(id)?, lo: *lo, hi: *hi }
+        }
+        Predicate::ConstEq { id, value } => Predicate::ConstEq { id: const_id(id)?, value: *value },
+        Predicate::ConstEqOwnBits(id) => Predicate::ConstEqOwnBits(const_id(id)?),
+        Predicate::ConstEqOwnBitsMinus1(id) => Predicate::ConstEqOwnBitsMinus1(const_id(id)?),
+        Predicate::ConstGeHalfOwnBits(id) => Predicate::ConstGeHalfOwnBits(const_id(id)?),
+        Predicate::ConstLeHalfOwnBits(id) => Predicate::ConstLeHalfOwnBits(const_id(id)?),
+        Predicate::ConstEqHalfOwnBits(id) => Predicate::ConstEqHalfOwnBits(const_id(id)?),
+        Predicate::ConstLeOwnBits(id) => Predicate::ConstLeOwnBits(const_id(id)?),
+        Predicate::ConstEqOwnNarrowMax(id) => Predicate::ConstEqOwnNarrowMax(const_id(id)?),
+        Predicate::ConstEqOwnNarrowMin(id) => Predicate::ConstEqOwnNarrowMin(const_id(id)?),
+        Predicate::ConstEqOwnNarrowUnsignedMax(id) => {
+            Predicate::ConstEqOwnNarrowUnsignedMax(const_id(id)?)
+        }
+        Predicate::Pow2Link { id, of } => {
+            Predicate::Pow2Link { id: const_id(id)?, of: const_id(of)? }
+        }
+        Predicate::FitsSignedSameWidth(id) => Predicate::FitsSignedSameWidth(expr_id(id)?),
+        Predicate::FitsNarrow(id) => Predicate::FitsNarrow(expr_id(id)?),
+        Predicate::IsUnsigned(id) => Predicate::IsUnsigned(expr_id(id)?),
+        Predicate::IsSigned(id) => Predicate::IsSigned(expr_id(id)?),
+        Predicate::UpperBounded { id, bound } => {
+            Predicate::UpperBounded { id: expr_id(id)?, bound: *bound }
+        }
+        Predicate::LowerBounded { id, bound } => {
+            Predicate::LowerBounded { id: expr_id(id)?, bound: *bound }
+        }
+        Predicate::AddConstFits { x, c } => {
+            Predicate::AddConstFits { x: expr_id(x)?, c: const_id(c)? }
+        }
+        Predicate::RoundTermAddFits { x, c } => {
+            Predicate::RoundTermAddFits { x: expr_id(x)?, c: const_id(c)? }
+        }
+        Predicate::FitsNarrowAfterRoundShr { x, c } => {
+            Predicate::FitsNarrowAfterRoundShr { x: expr_id(x)?, c: const_id(c)? }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpir_trs::dsl::*;
+
+    #[test]
+    fn wildcard_subsumes_const_wildcard() {
+        // general: x + y   specific: x + c
+        let g = pat_add(wild(0), wild(1));
+        let s = pat_add(wild(0), cwild(1));
+        assert!(subsumes(&g, &s, &mut SubMap::default()));
+        // and not the other way round
+        assert!(!subsumes(&s, &g, &mut SubMap::default()));
+    }
+
+    #[test]
+    fn nonlinear_general_requires_equal_specific_subtrees() {
+        // general: x0 + x0   specific: x1 + x2 (independent)
+        let g = pat_add(wild(0), wild(0));
+        let s = pat_add(wild(1), wild(2));
+        assert!(!subsumes(&g, &s, &mut SubMap::default()));
+        // specific: x1 + x1 is fine
+        let s2 = pat_add(wild(1), wild(1));
+        assert!(subsumes(&g, &s2, &mut SubMap::default()));
+    }
+
+    #[test]
+    fn commutative_subsumption_tries_both_orders() {
+        // general: c + x   specific: x + c (swapped)
+        let g = pat_add(cwild(0), wild(1));
+        let s = pat_add(wild(1), cwild(0));
+        assert!(subsumes(&g, &s, &mut SubMap::default()));
+    }
+
+    #[test]
+    fn range_predicate_implication() {
+        let g = pat_add(wild(0), cwild(1));
+        let s = pat_add(wild(0), cwild(1));
+        let mut m = SubMap::default();
+        assert!(subsumes(&g, &s, &mut m));
+        // specific 1..=4 implies general 0..=8
+        let gp = Predicate::ConstInRange { id: 1, lo: 0, hi: 8 };
+        let sp = Predicate::ConstInRange { id: 1, lo: 1, hi: 4 };
+        assert!(pred_implies(&sp, &gp, &m));
+        // the reverse does not hold
+        assert!(!pred_implies(&gp, &sp, &m));
+        // anything implies True
+        assert!(pred_implies(&sp, &Predicate::True, &m));
+    }
+}

@@ -1,0 +1,200 @@
+//! Operator skeletons — the abstraction behind rewrite-cycle detection.
+//!
+//! A [`Skel`] keeps only the operator structure of a pattern or template:
+//! wildcards become [`Skel::Any`], constants (constant wildcards, literal
+//! and computed constants) become [`Skel::Const`], and every operator node
+//! keeps its [`Label`] and children. Types and predicates are erased, so
+//! `may_match` over skeletons over-approximates concrete matching: if a
+//! rule's LHS can ever match inside another rule's RHS, the skeletons say
+//! so (the converse may not hold — that is what makes the cycle analysis
+//! sound as a *detector*: no rewrite cycle escapes it).
+
+use fpir::expr::{BinOp, CmpOp, FpirOp};
+use fpir::Isa;
+use fpir_trs::{Pat, Template};
+
+/// The operator at a skeleton node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label {
+    /// A primitive binary operation.
+    Bin(BinOp),
+    /// A comparison.
+    Cmp(CmpOp),
+    /// A select.
+    Select,
+    /// A wrapping cast (target type erased).
+    Cast,
+    /// A reinterpret.
+    Reinterpret,
+    /// Any saturating cast (the type parameter is erased so that
+    /// `SaturatingCast(U8)` and `SatCast`-to-a-type-variable unify).
+    SatCast,
+    /// Any other FPIR instruction.
+    Fpir(FpirOp),
+    /// A machine instruction.
+    Mach(Isa, u16),
+}
+
+impl Label {
+    /// Whether operand order is irrelevant for matching.
+    fn is_commutative(self) -> bool {
+        match self {
+            Label::Bin(op) => op.is_commutative(),
+            Label::Fpir(op) => op.is_commutative(),
+            _ => false,
+        }
+    }
+}
+
+fn fpir_label(op: FpirOp) -> Label {
+    match op {
+        FpirOp::SaturatingCast(_) => Label::SatCast,
+        op => Label::Fpir(op),
+    }
+}
+
+/// An operator skeleton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Skel {
+    /// An expression wildcard — stands for *any* expression.
+    Any,
+    /// A broadcast constant (value erased).
+    Const,
+    /// An operator with children.
+    Node(Label, Vec<Skel>),
+}
+
+/// The skeleton of a pattern.
+pub fn of_pat(p: &Pat) -> Skel {
+    match p {
+        Pat::Wild { .. } => Skel::Any,
+        Pat::ConstWild { .. } | Pat::Lit(..) => Skel::Const,
+        Pat::Bin(op, a, b) => Skel::Node(Label::Bin(*op), vec![of_pat(a), of_pat(b)]),
+        Pat::Cmp(op, a, b) => Skel::Node(Label::Cmp(*op), vec![of_pat(a), of_pat(b)]),
+        Pat::Select(c, t, f) => Skel::Node(Label::Select, vec![of_pat(c), of_pat(t), of_pat(f)]),
+        Pat::Cast(_, a) => Skel::Node(Label::Cast, vec![of_pat(a)]),
+        Pat::Reinterpret(_, a) => Skel::Node(Label::Reinterpret, vec![of_pat(a)]),
+        Pat::SatCast(_, a) => Skel::Node(Label::SatCast, vec![of_pat(a)]),
+        Pat::Fpir(op, args) => Skel::Node(fpir_label(*op), args.iter().map(of_pat).collect()),
+        Pat::Mach(op, args) => {
+            Skel::Node(Label::Mach(op.isa, op.code), args.iter().map(of_pat).collect())
+        }
+    }
+}
+
+/// The skeleton of a template. Wildcard substitutions become [`Skel::Any`]
+/// because the substituted expression is arbitrary.
+pub fn of_template(t: &Template) -> Skel {
+    match t {
+        Template::Wild(_) => Skel::Any,
+        Template::Const { .. } | Template::Lit { .. } => Skel::Const,
+        Template::Bin(op, a, b) => {
+            Skel::Node(Label::Bin(*op), vec![of_template(a), of_template(b)])
+        }
+        Template::Cmp(op, a, b) => {
+            Skel::Node(Label::Cmp(*op), vec![of_template(a), of_template(b)])
+        }
+        Template::Select(c, t, f) => {
+            Skel::Node(Label::Select, vec![of_template(c), of_template(t), of_template(f)])
+        }
+        Template::Cast(_, a) => Skel::Node(Label::Cast, vec![of_template(a)]),
+        Template::Reinterpret(_, a) => Skel::Node(Label::Reinterpret, vec![of_template(a)]),
+        Template::Fpir(op, args) => {
+            Skel::Node(fpir_label(*op), args.iter().map(of_template).collect())
+        }
+        Template::SatCast(_, a) => Skel::Node(Label::SatCast, vec![of_template(a)]),
+        Template::Mach { op, args, .. } => {
+            Skel::Node(Label::Mach(op.isa, op.code), args.iter().map(of_template).collect())
+        }
+    }
+}
+
+/// Can the pattern skeleton `pat` match some concrete expression the
+/// term skeleton `term` can denote?
+///
+/// Over-approximate on both sides: `Any` in the pattern matches anything;
+/// `Any` in the term denotes anything (so any pattern might match it);
+/// `Const` in the term is only matched by `Any`/`Const` patterns, since an
+/// operator node never matches a broadcast constant.
+pub fn may_match(pat: &Skel, term: &Skel) -> bool {
+    match (pat, term) {
+        (Skel::Any, _) => true,
+        (_, Skel::Any) => true,
+        (Skel::Const, Skel::Const) => true,
+        (Skel::Const, Skel::Node(..)) | (Skel::Node(..), Skel::Const) => false,
+        (Skel::Node(lp, ps), Skel::Node(lt, ts)) => {
+            if lp != lt || ps.len() != ts.len() {
+                return false;
+            }
+            let straight = ps.iter().zip(ts).all(|(p, t)| may_match(p, t));
+            if straight {
+                return true;
+            }
+            lp.is_commutative()
+                && ps.len() == 2
+                && may_match(&ps[0], &ts[1])
+                && may_match(&ps[1], &ts[0])
+        }
+    }
+}
+
+/// Every subterm of `s` (including `s` itself) that an operator pattern or
+/// a constant pattern could anchor at — i.e. everything except bare
+/// wildcards, which are already accounted for by the rewriter recursing
+/// into substituted subexpressions that existed before the rewrite.
+pub fn anchored_subterms(s: &Skel) -> Vec<&Skel> {
+    let mut out = Vec::new();
+    fn walk<'a>(s: &'a Skel, out: &mut Vec<&'a Skel>) {
+        match s {
+            Skel::Any => {}
+            Skel::Const => out.push(s),
+            Skel::Node(_, children) => {
+                out.push(s);
+                for c in children {
+                    walk(c, out);
+                }
+            }
+        }
+    }
+    walk(s, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpir_trs::dsl::*;
+
+    #[test]
+    fn commutative_matching_tries_both_orders() {
+        // pattern: x + c   term: const + any
+        let p = of_pat(&pat_add(wild(0), cwild(1)));
+        let t = Skel::Node(Label::Bin(BinOp::Add), vec![Skel::Const, Skel::Any]);
+        assert!(may_match(&p, &t));
+        let t_rev = Skel::Node(Label::Bin(BinOp::Add), vec![Skel::Any, Skel::Const]);
+        assert!(may_match(&p, &t_rev));
+    }
+
+    #[test]
+    fn operator_mismatch_rejects() {
+        let p = of_pat(&pat_add(wild(0), wild(1)));
+        let t = Skel::Node(Label::Bin(BinOp::Mul), vec![Skel::Any, Skel::Any]);
+        assert!(!may_match(&p, &t));
+    }
+
+    #[test]
+    fn const_term_only_matched_by_leaf_patterns() {
+        let p = of_pat(&pat_add(wild(0), wild(1)));
+        assert!(!may_match(&p, &Skel::Const));
+        assert!(may_match(&Skel::Const, &Skel::Const));
+        assert!(may_match(&Skel::Any, &Skel::Const));
+    }
+
+    #[test]
+    fn sat_cast_labels_unify_across_type_parameters() {
+        use fpir::types::ScalarType;
+        let a = fpir_label(FpirOp::SaturatingCast(ScalarType::U8));
+        let b = fpir_label(FpirOp::SaturatingCast(ScalarType::I16));
+        assert_eq!(a, b);
+    }
+}

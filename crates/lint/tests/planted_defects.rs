@@ -1,0 +1,142 @@
+//! Satellite-requirement tests: a fixture set of known-bad rules, each of
+//! which `rulecheck`'s analyses must flag — with the right analysis name.
+
+use fpir::expr::{FpirOp, RcExpr};
+use fpir::Isa;
+use fpir_trs::dsl::*;
+use fpir_trs::{Predicate, Rule, RuleClass, RuleSet, Template};
+use pitchfork::{RegisteredRuleSet, RuleSetKind};
+use pitchfork_lint::{coverage, predicates, shadowing, termination};
+use pitchfork_lint::{Analysis, Severity};
+
+/// A general rule followed by the specific rule it shadows.
+#[test]
+fn shadowed_rule_is_flagged_by_shadowing() {
+    let mut set = RuleSet::new("fixture");
+    // General: x + y -> widening-style rewrite (never mind the output).
+    set.push(Rule::new(
+        "general-add",
+        RuleClass::Lift,
+        pat_add(wild(0), wild(1)),
+        tfpir2(FpirOp::SaturatingAdd, tw(0), tw(1)),
+    ));
+    // Specific: x + c — strictly fewer matches, same (trivial) predicate.
+    set.push(Rule::new(
+        "specific-add-const",
+        RuleClass::Lift,
+        pat_add(wild(0), cwild(1)),
+        tfpir2(FpirOp::SaturatingAdd, tw(0), tw(1)),
+    ));
+    let diags = shadowing::check(&set);
+    let hit = diags
+        .iter()
+        .find(|d| d.rule.as_deref() == Some("specific-add-const"))
+        .expect("the shadowed rule must be reported");
+    assert_eq!(hit.analysis, Analysis::Shadowing);
+    assert_eq!(hit.severity, Severity::Warning);
+    assert!(hit.detail.contains("general-add"));
+}
+
+/// A lift rule whose right-hand side costs more than its left-hand side.
+#[test]
+fn cost_increasing_lift_rule_is_flagged_by_termination() {
+    let mut set = RuleSet::new("fixture");
+    // x + y -> (x + y) + 0: strictly more expensive, can never fire.
+    set.push(Rule::new(
+        "inflate",
+        RuleClass::Lift,
+        pat_add(wild(0), wild(1)),
+        tbin(
+            fpir::expr::BinOp::Add,
+            tbin(fpir::expr::BinOp::Add, tw(0), tw(1)),
+            Template::Lit { value: 0, ty: fpir_trs::TyRef::OfWild(0) },
+        ),
+    ));
+    let reg = RegisteredRuleSet { kind: RuleSetKind::Lift, set };
+    let diags = termination::check(&reg);
+    let hit = diags
+        .iter()
+        .find(|d| d.rule.as_deref() == Some("inflate") && d.severity == Severity::Error)
+        .expect("the cost-increasing rule must be an error");
+    assert_eq!(hit.analysis, Analysis::Termination);
+    assert!(hit.detail.contains("cost"));
+    assert!(hit.witness.is_some(), "descent failures carry a witness rewrite");
+}
+
+/// Two cost-neutral rules that rewrite into each other's left-hand sides.
+#[test]
+fn undischarged_rewrite_cycle_is_flagged_by_termination() {
+    let mut set = RuleSet::new("fixture");
+    // min(x, y) <-> min(y, x): each output matches the other (and itself)
+    // and never descends, so the cycle is not broken by the cost measure.
+    set.push(Rule::new(
+        "swap-min",
+        RuleClass::Lift,
+        pat_min(wild(0), wild(1)),
+        tbin(fpir::expr::BinOp::Min, tw(1), tw(0)),
+    ));
+    let reg = RegisteredRuleSet { kind: RuleSetKind::Lift, set };
+    let diags = termination::check(&reg);
+    assert!(
+        diags.iter().any(|d| d.analysis == Analysis::Termination && d.detail.contains("cycle")),
+        "cycle must be reported: {diags:?}"
+    );
+}
+
+/// A coverage hole: one op/type pair the backend refuses.
+#[test]
+fn coverage_hole_is_flagged_with_witness() {
+    let oracle = |e: &RcExpr| -> Result<(), String> {
+        if e.to_string().contains("halving_add") {
+            Err("planted hole".into())
+        } else {
+            Ok(())
+        }
+    };
+    let diags = coverage::check_with_oracle("fixture-backend", &oracle, &|_| false);
+    assert!(!diags.is_empty());
+    for d in &diags {
+        assert_eq!(d.analysis, Analysis::Coverage);
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.witness.as_deref().unwrap().contains("halving_add"));
+    }
+}
+
+/// An empty lowering rule set produces no *errors* on a real target: every
+/// remaining hole is the target's own limitation, not the (absent) rules'.
+#[test]
+fn empty_lower_set_blames_only_the_target() {
+    let empty = RuleSet::new("empty");
+    let diags = coverage::check(Isa::X86Avx2, &empty);
+    assert!(diags.iter().all(|d| d.severity == Severity::Note), "{diags:?}");
+}
+
+/// A malformed predicate: empty range, unbound reference, contradiction.
+#[test]
+fn malformed_predicates_are_flagged_by_predicates_analysis() {
+    let mut set = RuleSet::new("fixture");
+    set.push(
+        Rule::new("empty-range", RuleClass::Lift, pat_add(wild(0), cwild(1)), tw(0))
+            .with_pred(Predicate::ConstInRange { id: 1, lo: 9, hi: 3 }),
+    );
+    set.push(
+        Rule::new("unbound-ref", RuleClass::Lift, pat_add(wild(0), wild(1)), tw(0))
+            .with_pred(Predicate::IsPow2(9)),
+    );
+    set.push(
+        Rule::new("contradiction", RuleClass::Lift, pat_add(wild(0), cwild(1)), tw(0)).with_pred(
+            Predicate::All(vec![
+                Predicate::ConstEq { id: 1, value: 4 },
+                Predicate::ConstEq { id: 1, value: 5 },
+            ]),
+        ),
+    );
+    let diags = predicates::check(&set);
+    for rule in ["empty-range", "unbound-ref", "contradiction"] {
+        let hit = diags
+            .iter()
+            .find(|d| d.rule.as_deref() == Some(rule) && d.severity == Severity::Error)
+            .unwrap_or_else(|| panic!("rule `{rule}` must produce an error: {diags:?}"));
+        assert_eq!(hit.analysis, Analysis::Predicates);
+    }
+}

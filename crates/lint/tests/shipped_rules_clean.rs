@@ -1,0 +1,24 @@
+//! The acceptance gate: the shipped hand-written lift rules and all three
+//! lowering rule sets must come through `rulecheck` with no errors and no
+//! warnings (notes — inherent target limits like HVX's missing 64-bit
+//! lanes — are expected and allowed).
+
+use pitchfork_lint::{check_rule_sets, tally, Severity};
+
+#[test]
+fn shipped_rule_sets_pass_rulecheck_at_deny_warnings() {
+    let diags = check_rule_sets(&pitchfork::all_rule_sets());
+    let loud: Vec<String> =
+        diags.iter().filter(|d| d.severity >= Severity::Warning).map(ToString::to_string).collect();
+    assert!(loud.is_empty(), "rulecheck is not clean:\n{}", loud.join("\n"));
+}
+
+#[test]
+fn hvx_width_limits_show_up_as_notes() {
+    // The paper's §5.1 compile failures: 32-bit widening ops on HVX. The
+    // analysis must still *see* them — as notes, pinned on the target.
+    let diags = check_rule_sets(&pitchfork::all_rule_sets());
+    let (_, _, notes) = tally(&diags);
+    assert!(notes > 0, "expected inherent HVX/x86 width-limit notes");
+    assert!(diags.iter().any(|d| d.severity == Severity::Note && d.ruleset == "lower-hvx"));
+}

@@ -55,9 +55,8 @@ pub fn check_program(
         })?;
         if want != got {
             // Locate the first differing lane for the report.
-            let lane = (0..want.ty().lanes as usize)
-                .find(|&i| want.lane(i) != got.lane(i))
-                .unwrap_or(0);
+            let lane =
+                (0..want.ty().lanes as usize).find(|&i| want.lane(i) != got.lane(i)).unwrap_or(0);
             return Err(Counterexample {
                 env,
                 detail: format!(
@@ -103,11 +102,9 @@ mod tests {
         // counterexample quickly.
         let t = V::new(S::U8, 16);
         let tgt = target(Isa::ArmNeon);
-        let compiled = emit(
-            &legalize(&build::add(build::var("a", t), build::var("b", t)), tgt).unwrap(),
-            tgt,
-        )
-        .unwrap();
+        let compiled =
+            emit(&legalize(&build::add(build::var("a", t), build::var("b", t)), tgt).unwrap(), tgt)
+                .unwrap();
         let source = build::sub(build::var("a", t), build::var("b", t));
         let mut rng = StdRng::seed_from_u64(2);
         assert!(check_program(&source, &compiled, tgt, &mut rng, 50).is_err());

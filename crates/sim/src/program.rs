@@ -71,10 +71,7 @@ impl Program {
 
     /// Count of `Op` instructions (loads and splats excluded).
     pub fn op_count(&self) -> usize {
-        self.insts
-            .iter()
-            .filter(|i| matches!(i.kind, PKind::Op { .. }))
-            .count()
+        self.insts.iter().filter(|i| matches!(i.kind, PKind::Op { .. })).count()
     }
 
     /// An assembly-like listing (Intel order: `instr dst, operands`).
@@ -87,11 +84,7 @@ impl Program {
                     format!("splat     v{}.{}, #{}", inst.dst, inst.ty, value)
                 }
                 PKind::Op { op, args } => {
-                    let srcs = args
-                        .iter()
-                        .map(|r| format!("v{r}"))
-                        .collect::<Vec<_>>()
-                        .join(", ");
+                    let srcs = args.iter().map(|r| format!("v{r}")).collect::<Vec<_>>().join(", ");
                     format!("{:<9} v{}.{}, {}", op.name, inst.dst, inst.ty, srcs)
                 }
             };
@@ -131,11 +124,7 @@ impl std::error::Error for EmitError {}
 /// (run `fpir_isa::legalize` first) or an instruction violates its
 /// table definition.
 pub fn emit(expr: &RcExpr, target: &Target) -> Result<Program, EmitError> {
-    let mut e = Emitter {
-        target,
-        insts: Vec::new(),
-        cse: HashMap::new(),
-    };
+    let mut e = Emitter { target, insts: Vec::new(), cse: HashMap::new() };
     let output = e.emit(expr)?;
     Ok(Program { isa: target.isa, insts: e.insts, output })
 }
@@ -175,17 +164,10 @@ impl Emitter<'_> {
                         });
                     }
                 }
-                let regs = args
-                    .iter()
-                    .map(|a| self.emit(a))
-                    .collect::<Result<Vec<_>, _>>()?;
+                let regs = args.iter().map(|a| self.emit(a)).collect::<Result<Vec<_>, _>>()?;
                 PKind::Op { op: *op, args: regs }
             }
-            other => {
-                return Err(EmitError {
-                    what: format!("unlowered node {other:?} in {expr}"),
-                })
-            }
+            other => return Err(EmitError { what: format!("unlowered node {other:?} in {expr}") }),
         };
         let dst = self.insts.len();
         self.insts.push(PInst { dst, ty: expr.ty(), kind });
@@ -232,10 +214,7 @@ pub const LOAD_COST: u64 = 2;
 /// packs — everything that shuffles lanes rather than computing).
 pub fn is_swizzle(op: MachOp, target: &Target) -> bool {
     target.def(op).is_some_and(|d| {
-        matches!(
-            d.sem,
-            MachSem::ExtendTo | MachSem::TruncTo | MachSem::PackSatSignedTo
-        )
+        matches!(d.sem, MachSem::ExtendTo | MachSem::TruncTo | MachSem::PackSatSignedTo)
     })
 }
 
@@ -278,10 +257,7 @@ mod tests {
         let t16 = V::new(S::U16, 16);
         let narrow = lower(&build::add(build::var("a", t8), build::var("b", t8)), isa);
         let wide = lower(&build::add(build::var("a", t16), build::var("b", t16)), isa);
-        let (cn, cw) = (
-            cycle_cost(&narrow, target(isa)),
-            cycle_cost(&wide, target(isa)),
-        );
+        let (cn, cw) = (cycle_cost(&narrow, target(isa)), cycle_cost(&wide, target(isa)));
         assert_eq!(cw, 2 * cn, "u16x16 spans two Neon registers");
     }
 

@@ -46,7 +46,11 @@ pub fn execute(p: &Program, env: &Env, target: &Target) -> Result<Value, ExecErr
                     .ok_or_else(|| ExecError { what: format!("unbound input `{name}`") })?;
                 if v.ty() != inst.ty {
                     return Err(ExecError {
-                        what: format!("input `{name}` bound as {} but loaded as {}", v.ty(), inst.ty),
+                        what: format!(
+                            "input `{name}` bound as {} but loaded as {}",
+                            v.ty(),
+                            inst.ty
+                        ),
                     });
                 }
                 v.clone()
@@ -103,9 +107,8 @@ mod tests {
         let e = build::add(build::var("a", t), build::var("b", t));
         let tgt = target(Isa::ArmNeon);
         let p = emit(&legalize(&e, tgt).unwrap(), tgt).unwrap();
-        let env = Env::new()
-            .bind("a", Value::splat(1, t))
-            .bind("b", Value::splat(1, V::new(S::U16, 4)));
+        let env =
+            Env::new().bind("a", Value::splat(1, t)).bind("b", Value::splat(1, V::new(S::U16, 4)));
         assert!(execute(&p, &env, tgt).is_err());
     }
 }

@@ -21,12 +21,7 @@ pub fn subexpressions(expr: &RcExpr, max_nodes: usize) -> Vec<RcExpr> {
     out
 }
 
-fn collect(
-    e: &RcExpr,
-    max_nodes: usize,
-    seen: &mut HashSet<RcExpr>,
-    out: &mut Vec<RcExpr>,
-) {
+fn collect(e: &RcExpr, max_nodes: usize, seen: &mut HashSet<RcExpr>, out: &mut Vec<RcExpr>) {
     let size = e.size();
     let is_leaf = matches!(e.kind(), ExprKind::Var(_) | ExprKind::Const(_));
     if !is_leaf && size <= max_nodes && seen.insert(e.clone()) {
@@ -115,10 +110,8 @@ mod tests {
         let e1 = cast(S::U8, shr(shared.clone(), splat(1, &shared)));
         let e2 = add(shared.clone(), shared.clone());
         let corpus = build_corpus([("bench1", &e1), ("bench2", &e2)], 10);
-        let entry = corpus
-            .iter()
-            .find(|(e, _)| e == &shared)
-            .expect("shared subexpression present");
+        let entry =
+            corpus.iter().find(|(e, _)| e == &shared).expect("shared subexpression present");
         assert_eq!(entry.1, vec!["bench1".to_string(), "bench2".to_string()]);
     }
 }

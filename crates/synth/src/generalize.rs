@@ -86,43 +86,32 @@ fn expr_to_pattern(e: &RcExpr, b: &mut Binder) -> Result<Pat, GeneralizeError> {
             Ok(Pat::Wild { id, ty: TypePat::Exact(e.elem()) })
         }
         ExprKind::Const(v) => {
-            let id = b
-                .const_id(*v, e.elem())
-                .ok_or_else(|| err("too many wildcards"))?;
+            let id = b.const_id(*v, e.elem()).ok_or_else(|| err("too many wildcards"))?;
             Ok(Pat::ConstWild { id, ty: TypePat::Exact(e.elem()) })
         }
-        ExprKind::Bin(op, x, y) => Ok(Pat::Bin(
-            *op,
-            Box::new(expr_to_pattern(x, b)?),
-            Box::new(expr_to_pattern(y, b)?),
-        )),
-        ExprKind::Cmp(op, x, y) => Ok(Pat::Cmp(
-            *op,
-            Box::new(expr_to_pattern(x, b)?),
-            Box::new(expr_to_pattern(y, b)?),
-        )),
+        ExprKind::Bin(op, x, y) => {
+            Ok(Pat::Bin(*op, Box::new(expr_to_pattern(x, b)?), Box::new(expr_to_pattern(y, b)?)))
+        }
+        ExprKind::Cmp(op, x, y) => {
+            Ok(Pat::Cmp(*op, Box::new(expr_to_pattern(x, b)?), Box::new(expr_to_pattern(y, b)?)))
+        }
         ExprKind::Select(c, t, f) => Ok(Pat::Select(
             Box::new(expr_to_pattern(c, b)?),
             Box::new(expr_to_pattern(t, b)?),
             Box::new(expr_to_pattern(f, b)?),
         )),
-        ExprKind::Cast(x) => Ok(Pat::Cast(
-            TypePat::Exact(e.elem()),
-            Box::new(expr_to_pattern(x, b)?),
-        )),
-        ExprKind::Reinterpret(x) => Ok(Pat::Reinterpret(
-            TypePat::Exact(e.elem()),
-            Box::new(expr_to_pattern(x, b)?),
-        )),
-        ExprKind::Fpir(FpirOp::SaturatingCast(t), args) => Ok(Pat::SatCast(
-            TypePat::Exact(*t),
-            Box::new(expr_to_pattern(&args[0], b)?),
-        )),
+        ExprKind::Cast(x) => {
+            Ok(Pat::Cast(TypePat::Exact(e.elem()), Box::new(expr_to_pattern(x, b)?)))
+        }
+        ExprKind::Reinterpret(x) => {
+            Ok(Pat::Reinterpret(TypePat::Exact(e.elem()), Box::new(expr_to_pattern(x, b)?)))
+        }
+        ExprKind::Fpir(FpirOp::SaturatingCast(t), args) => {
+            Ok(Pat::SatCast(TypePat::Exact(*t), Box::new(expr_to_pattern(&args[0], b)?)))
+        }
         ExprKind::Fpir(op, args) => Ok(Pat::Fpir(
             *op,
-            args.iter()
-                .map(|a| expr_to_pattern(a, b))
-                .collect::<Result<_, _>>()?,
+            args.iter().map(|a| expr_to_pattern(a, b)).collect::<Result<_, _>>()?,
         )),
         ExprKind::Mach(..) => Err(err("machine nodes cannot appear in a left-hand side")),
     }
@@ -156,31 +145,23 @@ fn expr_to_template(e: &RcExpr, b: &Binder) -> Result<Template, GeneralizeError>
             Box::new(expr_to_template(t, b)?),
             Box::new(expr_to_template(f, b)?),
         )),
-        ExprKind::Cast(x) => Ok(Template::Cast(
-            TyRef::Exact(e.elem()),
-            Box::new(expr_to_template(x, b)?),
-        )),
-        ExprKind::Reinterpret(x) => Ok(Template::Reinterpret(
-            TyRef::Exact(e.elem()),
-            Box::new(expr_to_template(x, b)?),
-        )),
-        ExprKind::Fpir(FpirOp::SaturatingCast(t), args) => Ok(Template::SatCast(
-            TyRef::Exact(*t),
-            Box::new(expr_to_template(&args[0], b)?),
-        )),
+        ExprKind::Cast(x) => {
+            Ok(Template::Cast(TyRef::Exact(e.elem()), Box::new(expr_to_template(x, b)?)))
+        }
+        ExprKind::Reinterpret(x) => {
+            Ok(Template::Reinterpret(TyRef::Exact(e.elem()), Box::new(expr_to_template(x, b)?)))
+        }
+        ExprKind::Fpir(FpirOp::SaturatingCast(t), args) => {
+            Ok(Template::SatCast(TyRef::Exact(*t), Box::new(expr_to_template(&args[0], b)?)))
+        }
         ExprKind::Fpir(op, args) => Ok(Template::Fpir(
             *op,
-            args.iter()
-                .map(|a| expr_to_template(a, b))
-                .collect::<Result<_, _>>()?,
+            args.iter().map(|a| expr_to_template(a, b)).collect::<Result<_, _>>()?,
         )),
         ExprKind::Mach(op, args) => Ok(Template::Mach {
             op: *op,
             ty: TyRef::Exact(e.elem()),
-            args: args
-                .iter()
-                .map(|a| expr_to_template(a, b))
-                .collect::<Result<_, _>>()?,
+            args: args.iter().map(|a| expr_to_template(a, b)).collect::<Result<_, _>>()?,
         }),
     }
 }
@@ -251,8 +232,7 @@ pub fn generalize_pair(
 
     // The attempt must survive verification (§4.3: "PITCHFORK verifies the
     // attempt at generalization").
-    crate::verify::verify_rule(&rule, opts)
-        .map_err(|e| GeneralizeError { what: e.to_string() })?;
+    crate::verify::verify_rule(&rule, opts).map_err(|e| GeneralizeError { what: e.to_string() })?;
     Ok(rule)
 }
 
@@ -329,10 +309,7 @@ mod tests {
         let t = V::new(S::U8, 64);
         let c16 = V::new(S::I16, 64);
         let lhs = shl(cast(S::I16, var("x", t)), constant(6, c16));
-        let rhs = reinterpret(
-            S::I16,
-            widening_shl(var("x", t), constant(6, t)),
-        );
+        let rhs = reinterpret(S::I16, widening_shl(var("x", t), constant(6, t)));
         let rule = generalize_pair(
             "synth-signed-widen-shl",
             RuleClass::Lift,
@@ -382,8 +359,9 @@ mod tests {
         let t = V::new(S::U8, 64);
         let lhs = add(var("a", t), var("b", t));
         let rhs = add(var("a", t), var("c", t));
-        assert!(generalize_pair("bad", RuleClass::Lift, &lhs, &rhs, &VerifyOptions::default())
-            .is_err());
+        assert!(
+            generalize_pair("bad", RuleClass::Lift, &lhs, &rhs, &VerifyOptions::default()).is_err()
+        );
     }
 
     #[test]

@@ -184,8 +184,7 @@ pub fn synthesize_lift(lhs: &RcExpr, budget: &SynthBudget) -> Option<RcExpr> {
         }
     }
     // The winner must type-match the specification exactly.
-    best.filter(|b| b.ty() == lhs.ty())
-        .map(|b| retarget_lanes(&b, lhs_original_lanes(&vars)))
+    best.filter(|b| b.ty() == lhs.ty()).map(|b| retarget_lanes(&b, lhs_original_lanes(&vars)))
 }
 
 fn lhs_original_lanes(_vars: &[(String, VectorType)]) -> u32 {
@@ -198,16 +197,11 @@ fn lhs_original_lanes(_vars: &[(String, VectorType)]) -> u32 {
 /// unchanged).
 pub fn retarget_lanes(e: &RcExpr, lanes: u32) -> RcExpr {
     use fpir::expr::ExprKind;
-    let children: Vec<RcExpr> = e
-        .children()
-        .into_iter()
-        .map(|c| retarget_lanes(c, lanes))
-        .collect();
+    let children: Vec<RcExpr> =
+        e.children().into_iter().map(|c| retarget_lanes(c, lanes)).collect();
     match e.kind() {
         ExprKind::Var(name) => Expr::var(name.clone(), VectorType::new(e.elem(), lanes)),
-        ExprKind::Const(v) => {
-            build::constant(*v, VectorType::new(e.elem(), lanes))
-        }
+        ExprKind::Const(v) => build::constant(*v, VectorType::new(e.elem(), lanes)),
         _ => e.with_children(children),
     }
 }
@@ -234,10 +228,7 @@ mod tests {
     fn finds_the_papers_example() {
         // i16(x_u8) << 6 lifts to reinterpret(widening_shl(x_u8, 6)).
         let t = V::new(S::U8, 64);
-        let lhs = shl(
-            cast(S::I16, var("x", t)),
-            constant(6, V::new(S::I16, 64)),
-        );
+        let lhs = shl(cast(S::I16, var("x", t)), constant(6, V::new(S::I16, 64)));
         let rhs = synthesize_lift(&lhs, &SynthBudget::default()).expect("synthesizable");
         let printed = rhs.to_string();
         assert!(printed.contains("widening_shl(x_u8, 6)"), "{printed}");
@@ -257,10 +248,7 @@ mod tests {
         let t = V::new(S::U8, 64);
         let (a, b) = (var("a", t), var("b", t));
         let sum = add(widen(a), widen(b));
-        let lhs = cast(
-            S::U8,
-            shr(add(sum.clone(), splat(1, &sum)), splat(1, &sum)),
-        );
+        let lhs = cast(S::U8, shr(add(sum.clone(), splat(1, &sum)), splat(1, &sum)));
         let rhs = synthesize_lift(&lhs, &SynthBudget::default()).expect("synthesizable");
         assert_eq!(rhs.to_string(), "rounding_halving_add(a_u8, b_u8)");
     }

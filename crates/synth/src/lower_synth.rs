@@ -72,10 +72,7 @@ mod tests {
     #[test]
     fn x86_has_no_oracle() {
         let t = V::new(S::U8, 64);
-        let e = add(
-            build_acc(),
-            widening_shl(var("y", t), constant(1, t)),
-        );
+        let e = add(build_acc(), widening_shl(var("y", t), constant(1, t)));
         assert!(generate_lower_pairs(&e, Isa::X86Avx2, 10).is_empty());
     }
 

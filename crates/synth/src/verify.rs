@@ -79,12 +79,11 @@ pub fn verify_rule_at(
     opts: &VerifyOptions,
     const_overrides: &BTreeMap<u8, i128>,
 ) -> Result<(), VerifyError> {
-    let inst = instantiate_lhs_with(rule, opts.lanes, const_overrides).ok_or_else(|| {
-        VerifyError {
+    let inst =
+        instantiate_lhs_with(rule, opts.lanes, const_overrides).ok_or_else(|| VerifyError {
             rule: rule.name.clone(),
             detail: "could not instantiate the left-hand side".into(),
-        }
-    })?;
+        })?;
     // Bounds-predicated rules are sound *given* their bounds; verify them
     // under input ranges that satisfy the predicate (here: the tight
     // instantiation range used during instantiation, [0, 1] per variable,
@@ -137,11 +136,7 @@ fn bound_ctx_for(vars: &[(String, fpir::VectorType)], rule: &Rule, _inst: &RcExp
     ctx
 }
 
-fn env_for(
-    vars: &[(String, fpir::VectorType)],
-    restrict_01: bool,
-    rng: &mut StdRng,
-) -> Env {
+fn env_for(vars: &[(String, fpir::VectorType)], restrict_01: bool, rng: &mut StdRng) -> Env {
     vars.iter()
         .map(|(name, ty)| {
             let lanes = (0..ty.lanes)
@@ -158,12 +153,7 @@ fn env_for(
         .collect()
 }
 
-fn agree(
-    rule: &Rule,
-    lhs: &RcExpr,
-    rhs: &RcExpr,
-    env: &Env,
-) -> Result<(), VerifyError> {
+fn agree(rule: &Rule, lhs: &RcExpr, rhs: &RcExpr, env: &Env) -> Result<(), VerifyError> {
     let evaluator = MachEvaluator;
     let a = eval_with(lhs, env, Some(&evaluator)).map_err(|e| VerifyError {
         rule: rule.name.clone(),
@@ -174,9 +164,7 @@ fn agree(
         detail: format!("RHS evaluation failed: {e}"),
     })?;
     if a != b {
-        let lane = (0..a.ty().lanes as usize)
-            .find(|&i| a.lane(i) != b.lane(i))
-            .unwrap_or(0);
+        let lane = (0..a.ty().lanes as usize).find(|&i| a.lane(i) != b.lane(i)).unwrap_or(0);
         return Err(VerifyError {
             rule: rule.name.clone(),
             detail: format!(
@@ -260,11 +248,7 @@ fn sampled_check(
 
 /// Verify every rule in a set, returning all failures.
 pub fn verify_rule_set(rules: &fpir_trs::rule::RuleSet, opts: &VerifyOptions) -> Vec<VerifyError> {
-    rules
-        .rules()
-        .iter()
-        .filter_map(|r| verify_rule(r, opts).err())
-        .collect()
+    rules.rules().iter().filter_map(|r| verify_rule(r, opts).err()).collect()
 }
 
 #[cfg(test)]
@@ -282,10 +266,13 @@ mod tests {
         let rule = Rule::new(
             "ok",
             RuleClass::Lift,
-            pat_add(widen_cast(0), fpir_trs::pattern::Pat::Cast(
-                TypePat::WidenOf(0),
-                Box::new(wild_t(1, TypePat::Var(0))),
-            )),
+            pat_add(
+                widen_cast(0),
+                fpir_trs::pattern::Pat::Cast(
+                    TypePat::WidenOf(0),
+                    Box::new(wild_t(1, TypePat::Var(0))),
+                ),
+            ),
             tfpir2(FpirOp::WideningAdd, tw(0), tw(1)),
         );
         verify_rule(&rule, &VerifyOptions::default()).unwrap();

@@ -27,10 +27,7 @@ impl Cost {
 
     /// Component-wise addition.
     pub fn plus(self, other: Cost) -> Cost {
-        Cost {
-            width_sum: self.width_sum + other.width_sum,
-            op_rank: self.op_rank + other.op_rank,
-        }
+        Cost { width_sum: self.width_sum + other.width_sum, op_rank: self.op_rank + other.op_rank }
     }
 }
 
@@ -87,11 +84,7 @@ impl CostModel for AgnosticCost {
             if matches!(e.kind(), ExprKind::Var(_) | ExprKind::Const(_)) {
                 return;
             }
-            let input_bits: u64 = e
-                .children()
-                .iter()
-                .map(|c| c.elem().bits() as u64)
-                .sum();
+            let input_bits: u64 = e.children().iter().map(|c| c.elem().bits() as u64).sum();
             total = total.plus(Cost { width_sum: input_bits, op_rank: op_rank(e) });
         });
         total

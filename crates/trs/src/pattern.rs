@@ -97,12 +97,12 @@ impl TypePat {
             // (both signednesses of the base produce the same target), so
             // the base variable must already be bound — cast-like patterns
             // match their operand before their target type to ensure this.
-            TypePat::WidenSignedOf(i) => b
-                .ty(i)
-                .is_some_and(|base| base.widen().map(ScalarType::with_signed) == Some(t)),
-            TypePat::NarrowUnsignedOf(i) => b
-                .ty(i)
-                .is_some_and(|base| base.narrow().map(ScalarType::with_unsigned) == Some(t)),
+            TypePat::WidenSignedOf(i) => {
+                b.ty(i).is_some_and(|base| base.widen().map(ScalarType::with_signed) == Some(t))
+            }
+            TypePat::NarrowUnsignedOf(i) => {
+                b.ty(i).is_some_and(|base| base.narrow().map(ScalarType::with_unsigned) == Some(t))
+            }
             TypePat::AnyUnsigned(i) => !t.is_signed() && b.bind_ty(i, t),
             TypePat::AnySigned(i) => t.is_signed() && b.bind_ty(i, t),
         }

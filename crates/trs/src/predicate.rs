@@ -128,9 +128,7 @@ impl Predicate {
         match self {
             Predicate::True => true,
             Predicate::All(ps) => ps.iter().all(|p| p.eval(b, ctx)),
-            Predicate::IsPow2(id) => {
-                b.const_value(*id).is_some_and(fpir::simplify::is_pow2)
-            }
+            Predicate::IsPow2(id) => b.const_value(*id).is_some_and(fpir::simplify::is_pow2),
             Predicate::ConstInRange { id, lo, hi } => {
                 b.const_value(*id).is_some_and(|c| c >= *lo && c <= *hi)
             }
@@ -157,26 +155,22 @@ impl Predicate {
                 .is_some_and(|(t, c)| t.narrow().is_some_and(|n| c == n.max_value())),
             Predicate::ConstEqOwnNarrowMin(id) => own_const(b, *id)
                 .is_some_and(|(t, c)| t.narrow().is_some_and(|n| c == n.min_value())),
-            Predicate::ConstEqOwnNarrowUnsignedMax(id) => own_const(b, *id).is_some_and(|(t, c)| {
-                t.narrow().is_some_and(|n| c == n.with_unsigned().max_value())
-            }),
-            Predicate::Pow2Link { id, of } => {
-                match (b.const_value(*id), b.const_value(*of)) {
-                    (Some(ci), Some(co)) => (1..=126).contains(&co) && ci == 1i128 << (co - 1),
-                    _ => false,
-                }
+            Predicate::ConstEqOwnNarrowUnsignedMax(id) => {
+                own_const(b, *id).is_some_and(|(t, c)| {
+                    t.narrow().is_some_and(|n| c == n.with_unsigned().max_value())
+                })
             }
-            Predicate::FitsSignedSameWidth(id) => b
-                .expr(*id)
-                .is_some_and(|e| ctx.fits(e, e.elem().with_signed())),
-            Predicate::AddConstFits { x, c } => {
-                match (b.expr(*x).cloned(), b.const_value(*c)) {
-                    (Some(e), Some(cv)) if cv >= 0 => {
-                        ctx.interval(&e).max + cv <= e.elem().max_value()
-                    }
-                    _ => false,
-                }
+            Predicate::Pow2Link { id, of } => match (b.const_value(*id), b.const_value(*of)) {
+                (Some(ci), Some(co)) => (1..=126).contains(&co) && ci == 1i128 << (co - 1),
+                _ => false,
+            },
+            Predicate::FitsSignedSameWidth(id) => {
+                b.expr(*id).is_some_and(|e| ctx.fits(e, e.elem().with_signed()))
             }
+            Predicate::AddConstFits { x, c } => match (b.expr(*x).cloned(), b.const_value(*c)) {
+                (Some(e), Some(cv)) if cv >= 0 => ctx.interval(&e).max + cv <= e.elem().max_value(),
+                _ => false,
+            },
             Predicate::RoundTermAddFits { x, c } => {
                 match (b.expr(*x).cloned(), b.const_value(*c)) {
                     (Some(e), Some(cv)) if (1..=126).contains(&cv) => {
@@ -204,9 +198,9 @@ impl Predicate {
                     _ => false,
                 }
             }
-            Predicate::FitsNarrow(id) => b.expr(*id).is_some_and(|e| {
-                e.elem().narrow().is_some_and(|n| ctx.fits(e, n))
-            }),
+            Predicate::FitsNarrow(id) => {
+                b.expr(*id).is_some_and(|e| e.elem().narrow().is_some_and(|n| ctx.fits(e, n)))
+            }
             Predicate::UpperBounded { id, bound } => {
                 b.expr(*id).is_some_and(|e| ctx.upper_bounded(e, *bound))
             }
@@ -236,12 +230,8 @@ impl Predicate {
             Predicate::ConstLeHalfOwnBits(i) if *i == id => Some(1.max(elem.bits() as i128 / 4)),
             Predicate::ConstEqHalfOwnBits(i) if *i == id => Some((elem.bits() / 2) as i128),
             Predicate::ConstLeOwnBits(i) if *i == id => Some(elem.bits() as i128 / 2),
-            Predicate::ConstEqOwnNarrowMax(i) if *i == id => {
-                elem.narrow().map(|n| n.max_value())
-            }
-            Predicate::ConstEqOwnNarrowMin(i) if *i == id => {
-                elem.narrow().map(|n| n.min_value())
-            }
+            Predicate::ConstEqOwnNarrowMax(i) if *i == id => elem.narrow().map(|n| n.max_value()),
+            Predicate::ConstEqOwnNarrowMin(i) if *i == id => elem.narrow().map(|n| n.min_value()),
             Predicate::ConstEqOwnNarrowUnsignedMax(i) if *i == id => {
                 elem.narrow().map(|n| n.with_unsigned().max_value())
             }
@@ -297,6 +287,80 @@ impl Predicate {
                 out.push(elem.bits() as i128 - 1);
             }
         }
+    }
+
+    /// The flattened leaf conjuncts: nested [`Predicate::All`] nodes are
+    /// expanded recursively; every other variant is itself a leaf.
+    /// `All([])` contributes nothing (it is trivially true).
+    pub fn conjuncts(&self) -> Vec<&Predicate> {
+        fn walk<'a>(p: &'a Predicate, out: &mut Vec<&'a Predicate>) {
+            match p {
+                Predicate::All(ps) => {
+                    for q in ps {
+                        walk(q, out);
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// Wildcard ids this predicate reads as bound *constants*.
+    pub fn const_refs(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for leaf in self.conjuncts() {
+            match leaf {
+                Predicate::IsPow2(id)
+                | Predicate::ConstInRange { id, .. }
+                | Predicate::ConstEq { id, .. }
+                | Predicate::ConstEqOwnBits(id)
+                | Predicate::ConstEqOwnBitsMinus1(id)
+                | Predicate::ConstGeHalfOwnBits(id)
+                | Predicate::ConstLeHalfOwnBits(id)
+                | Predicate::ConstEqHalfOwnBits(id)
+                | Predicate::ConstLeOwnBits(id)
+                | Predicate::ConstEqOwnNarrowMax(id)
+                | Predicate::ConstEqOwnNarrowMin(id)
+                | Predicate::ConstEqOwnNarrowUnsignedMax(id) => out.push(*id),
+                Predicate::Pow2Link { id, of } => {
+                    out.push(*id);
+                    out.push(*of);
+                }
+                Predicate::AddConstFits { c, .. }
+                | Predicate::RoundTermAddFits { c, .. }
+                | Predicate::FitsNarrowAfterRoundShr { c, .. } => out.push(*c),
+                _ => {}
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Wildcard ids this predicate reads as bound *expressions* (bounds
+    /// queries and sign tests).
+    pub fn expr_refs(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for leaf in self.conjuncts() {
+            match leaf {
+                Predicate::FitsSignedSameWidth(id)
+                | Predicate::FitsNarrow(id)
+                | Predicate::UpperBounded { id, .. }
+                | Predicate::LowerBounded { id, .. }
+                | Predicate::IsUnsigned(id)
+                | Predicate::IsSigned(id) => out.push(*id),
+                Predicate::AddConstFits { x, .. }
+                | Predicate::RoundTermAddFits { x, .. }
+                | Predicate::FitsNarrowAfterRoundShr { x, .. } => out.push(*x),
+                _ => {}
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 }
 
@@ -393,6 +457,78 @@ mod tests {
     }
 
     #[test]
+    fn empty_conjunction_is_vacuously_true() {
+        // `All([])` holds even with nothing bound — which is exactly why
+        // the lint's predicate analysis warns about writing one.
+        let b = crate::pattern::Bindings::new();
+        let mut ctx = BoundsCtx::new();
+        assert!(Predicate::All(vec![]).eval(&b, &mut ctx));
+        // Nested empty conjunctions collapse the same way.
+        assert!(Predicate::All(vec![Predicate::All(vec![])]).eval(&b, &mut ctx));
+    }
+
+    #[test]
+    fn degenerate_range_admits_exactly_one_value() {
+        let mut ctx = BoundsCtx::new();
+        let p = Predicate::ConstInRange { id: 0, lo: 5, hi: 5 };
+        let hit = build::constant(5, V::new(S::U8, 4));
+        assert!(p.eval(&match_pat(&cwild(0), &hit).unwrap(), &mut ctx));
+        for miss in [4, 6] {
+            let e = build::constant(miss, V::new(S::U8, 4));
+            assert!(!p.eval(&match_pat(&cwild(0), &e).unwrap(), &mut ctx));
+        }
+        // An inverted (empty) range rejects even its own endpoints.
+        let empty = Predicate::ConstInRange { id: 0, lo: 5, hi: 1 };
+        assert!(!empty.eval(&match_pat(&cwild(0), &hit).unwrap(), &mut ctx));
+    }
+
+    #[test]
+    fn pow2_rejects_zero_and_negatives() {
+        let mut ctx = BoundsCtx::new();
+        for (v, expect) in [(0, false), (-1, false), (-2, false), (-8, false), (1, true), (2, true)]
+        {
+            let e = build::constant(v, V::new(S::I16, 4));
+            let b = match_pat(&cwild(0), &e).unwrap();
+            assert_eq!(Predicate::IsPow2(0).eval(&b, &mut ctx), expect, "is_pow2({v})");
+        }
+    }
+
+    #[test]
+    fn every_leaf_is_false_on_unbound_wildcards() {
+        // Sweep the whole predicate vocabulary against empty bindings:
+        // an unbound index must read as "rule does not apply", never panic.
+        let b = crate::pattern::Bindings::new();
+        let mut ctx = BoundsCtx::new();
+        let leaves = [
+            Predicate::IsPow2(3),
+            Predicate::ConstInRange { id: 3, lo: 0, hi: 10 },
+            Predicate::ConstEq { id: 3, value: 1 },
+            Predicate::ConstEqOwnBits(3),
+            Predicate::ConstEqOwnBitsMinus1(3),
+            Predicate::ConstGeHalfOwnBits(3),
+            Predicate::ConstLeHalfOwnBits(3),
+            Predicate::ConstEqHalfOwnBits(3),
+            Predicate::ConstLeOwnBits(3),
+            Predicate::ConstEqOwnNarrowMax(3),
+            Predicate::ConstEqOwnNarrowMin(3),
+            Predicate::ConstEqOwnNarrowUnsignedMax(3),
+            Predicate::Pow2Link { id: 3, of: 4 },
+            Predicate::FitsSignedSameWidth(3),
+            Predicate::AddConstFits { x: 3, c: 4 },
+            Predicate::RoundTermAddFits { x: 3, c: 4 },
+            Predicate::FitsNarrowAfterRoundShr { x: 3, c: 4 },
+            Predicate::FitsNarrow(3),
+            Predicate::UpperBounded { id: 3, bound: 10 },
+            Predicate::LowerBounded { id: 3, bound: 0 },
+            Predicate::IsUnsigned(3),
+            Predicate::IsSigned(3),
+        ];
+        for p in leaves {
+            assert!(!p.eval(&b, &mut ctx), "{p:?} must be false when x3/c3 is unbound");
+        }
+    }
+
+    #[test]
     fn const_eq_own_bits() {
         let e = build::constant(16, V::new(S::I16, 4));
         let b = match_pat(&cwild(0), &e).unwrap();
@@ -411,10 +547,7 @@ mod tests {
         assert_eq!(Predicate::IsPow2(0).candidate_const(1, S::U8), None);
         assert_eq!(Predicate::ConstEqOwnNarrowMax(0).candidate_const(0, S::U16), Some(255));
         assert_eq!(Predicate::ConstEqOwnNarrowMin(0).candidate_const(0, S::I16), Some(-128));
-        assert_eq!(
-            Predicate::ConstEqOwnNarrowUnsignedMax(0).candidate_const(0, S::I16),
-            Some(255)
-        );
+        assert_eq!(Predicate::ConstEqOwnNarrowUnsignedMax(0).candidate_const(0, S::I16), Some(255));
         assert_eq!(Predicate::ConstEqOwnBits(0).candidate_const(0, S::I16), Some(16));
     }
 

@@ -90,9 +90,7 @@ impl<'a, C: CostModel> Rewriter<'a, C> {
             for rule in self.rules.rules() {
                 if let Some(out) = rule.apply(&node, &mut self.bounds) {
                     let out_cost = self.cost.cost(&out);
-                    if out_cost < node_cost
-                        && best.as_ref().is_none_or(|(c, _, _)| out_cost < *c)
-                    {
+                    if out_cost < node_cost && best.as_ref().is_none_or(|(c, _, _)| out_cost < *c) {
                         best = Some((out_cost, rule.name.as_str(), out));
                     }
                 }
@@ -220,10 +218,8 @@ mod tests {
             Template::Fpir(FpirOp::WideningMul, vec![Template::Wild(0), Template::Wild(1)]),
         ));
         let t = V::new(S::U8, 16);
-        let e = build::mul(
-            build::widen(build::var("x", t)),
-            build::constant(2, V::new(S::U16, 16)),
-        );
+        let e =
+            build::mul(build::widen(build::var("x", t)), build::constant(2, V::new(S::U16, 16)));
         let mut rw = Rewriter::new(&rules, AgnosticCost);
         let out = rw.run(&e);
         assert_eq!(out.to_string(), "widening_shl(x_u8, 1)");

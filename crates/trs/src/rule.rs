@@ -222,43 +222,45 @@ impl RuleSet {
     /// substitute cleanly, preserve types, and — when `check_cost` —
     /// strictly reduce the target-agnostic cost (the convergence
     /// requirement of §3.2).
+    ///
+    /// Every violation across every rule and every type instantiation is
+    /// accumulated and returned, so one pass reports the full damage
+    /// instead of the first problem per rule.
     pub fn validate(&self, check_cost: bool) -> Vec<RuleIssue> {
         let mut issues = Vec::new();
         for rule in &self.rules {
-            match instantiate_lhs(rule) {
-                Some(inst) => {
-                    // Same tight variable bounds as instantiation uses, so
-                    // bounds-predicated rules can fire.
-                    let mut bounds = fpir::bounds::BoundsCtx::new();
-                    for (name, _) in inst.free_vars() {
-                        bounds.set_var_bound(name, fpir::bounds::Interval::new(0, 1));
-                    }
-                    match rule.apply(&inst, &mut bounds) {
-                        Some(out) => {
-                            if check_cost {
-                                let model = AgnosticCost;
-                                if model.cost(&out) >= model.cost(&inst) {
-                                    issues.push(RuleIssue {
-                                        rule: rule.name.clone(),
-                                        problem: format!(
-                                            "does not reduce cost: {inst} -> {out}"
-                                        ),
-                                    });
-                                }
-                            }
-                        }
-                        None => issues.push(RuleIssue {
-                            rule: rule.name.clone(),
-                            problem: format!(
-                                "failed to apply to its own instantiation {inst}"
-                            ),
-                        }),
-                    }
-                }
-                None => issues.push(RuleIssue {
+            let insts = instantiate_lhs_all(rule, 4);
+            if insts.is_empty() {
+                issues.push(RuleIssue {
                     rule: rule.name.clone(),
                     problem: "could not instantiate the left-hand side".into(),
-                }),
+                });
+                continue;
+            }
+            for inst in insts {
+                // Same tight variable bounds as instantiation uses, so
+                // bounds-predicated rules can fire.
+                let mut bounds = fpir::bounds::BoundsCtx::new();
+                for (name, _) in inst.free_vars() {
+                    bounds.set_var_bound(name, fpir::bounds::Interval::new(0, 1));
+                }
+                match rule.apply(&inst, &mut bounds) {
+                    Some(out) => {
+                        if check_cost {
+                            let model = AgnosticCost;
+                            if model.cost(&out) >= model.cost(&inst) {
+                                issues.push(RuleIssue {
+                                    rule: rule.name.clone(),
+                                    problem: format!("does not reduce cost: {inst} -> {out}"),
+                                });
+                            }
+                        }
+                    }
+                    None => issues.push(RuleIssue {
+                        rule: rule.name.clone(),
+                        problem: format!("failed to apply to its own instantiation {inst}"),
+                    }),
+                }
             }
         }
         issues
@@ -300,6 +302,46 @@ pub fn instantiate_lhs_with(
     try_assignments(rule, lanes, const_overrides, &vars, 0, &mut assignment)
 }
 
+/// Every concrete instantiation of a rule's LHS, one per satisfiable
+/// type-variable assignment over the 8–32-bit candidate types.
+///
+/// [`instantiate_lhs`] returns only the first; static analyses (strict
+/// cost descent must hold for *all* type instantiations, not just the
+/// first that happens to type-check) need the whole family.
+pub fn instantiate_lhs_all(rule: &Rule, lanes: u32) -> Vec<RcExpr> {
+    fn walk(
+        rule: &Rule,
+        lanes: u32,
+        vars: &[u8],
+        idx: usize,
+        assignment: &mut BTreeMap<u8, ScalarType>,
+        out: &mut Vec<RcExpr>,
+    ) {
+        if idx == vars.len() {
+            out.extend(instance_for_assignment(rule, lanes, &BTreeMap::new(), assignment));
+        } else {
+            for t in TYPE_CANDIDATES {
+                assignment.insert(vars[idx], t);
+                walk(rule, lanes, vars, idx + 1, assignment, out);
+            }
+            assignment.remove(&vars[idx]);
+        }
+    }
+    let vars = collect_type_vars(&rule.lhs);
+    let mut out = Vec::new();
+    walk(rule, lanes, &vars, 0, &mut BTreeMap::new(), &mut out);
+    out
+}
+
+const TYPE_CANDIDATES: [ScalarType; 6] = [
+    ScalarType::U8,
+    ScalarType::U16,
+    ScalarType::U32,
+    ScalarType::I8,
+    ScalarType::I16,
+    ScalarType::I32,
+];
+
 fn try_assignments(
     rule: &Rule,
     lanes: u32,
@@ -308,82 +350,10 @@ fn try_assignments(
     idx: usize,
     assignment: &mut BTreeMap<u8, ScalarType>,
 ) -> Option<RcExpr> {
-    const CANDIDATES: [ScalarType; 6] = [
-        ScalarType::U8,
-        ScalarType::U16,
-        ScalarType::U32,
-        ScalarType::I8,
-        ScalarType::I16,
-        ScalarType::I32,
-    ];
     if idx == vars.len() {
-        // Try coherent combinations of candidate constants: each constant
-        // wildcard gets a small list from the predicate, and we search the
-        // cartesian product (it is tiny in practice).
-        let const_ids = collect_const_wilds(&rule.lhs);
-        let mut combos: Vec<BTreeMap<u8, i128>> = vec![const_overrides.clone()];
-        for &cid in &const_ids {
-            if const_overrides.contains_key(&cid) {
-                continue;
-            }
-            // The element type is unknown until the instance is built;
-            // offer candidates for every plausible width and let the
-            // match/predicate check reject incoherent ones.
-            let mut values: Vec<i128> = Vec::new();
-            for elem in [
-                ScalarType::U8,
-                ScalarType::U16,
-                ScalarType::U32,
-                ScalarType::I16,
-                ScalarType::I32,
-            ] {
-                values.extend(rule.pred.candidate_consts(cid, elem));
-            }
-            values.push(2);
-            values.dedup();
-            values.truncate(12);
-            combos = combos
-                .into_iter()
-                .flat_map(|m| {
-                    values.iter().map(move |&v| {
-                        let mut m2 = m.clone();
-                        m2.insert(cid, v);
-                        m2
-                    })
-                })
-                .take(4096)
-                .collect();
-        }
-        for overrides in combos {
-            let Some(inst) = build_instance(
-                &rule.lhs,
-                assignment,
-                lanes,
-                &overrides,
-                &rule.pred,
-                &mut 0,
-            ) else {
-                continue;
-            };
-            let Some(b) = match_pat(&rule.lhs, &inst) else {
-                continue;
-            };
-            // Bounds-predicated rules cannot be witnessed by unbounded
-            // fresh variables; give every instantiation variable a tight
-            // range so structural validation can proceed (semantic
-            // correctness of bounds predicates is established separately
-            // by differential testing).
-            let mut bounds = fpir::bounds::BoundsCtx::new();
-            for (name, _) in inst.free_vars() {
-                bounds.set_var_bound(name, fpir::bounds::Interval::new(0, 1));
-            }
-            if rule.pred.eval(&b, &mut bounds) {
-                return Some(inst);
-            }
-        }
-        None
+        instance_for_assignment(rule, lanes, const_overrides, assignment)
     } else {
-        for t in CANDIDATES {
+        for t in TYPE_CANDIDATES {
             assignment.insert(vars[idx], t);
             if let Some(e) =
                 try_assignments(rule, lanes, const_overrides, vars, idx + 1, assignment)
@@ -394,6 +364,72 @@ fn try_assignments(
         assignment.remove(&vars[idx]);
         None
     }
+}
+
+/// The first LHS instance under one fixed type-variable assignment that
+/// matches the pattern and satisfies the predicate, searching coherent
+/// combinations of candidate constants: each constant wildcard gets a
+/// small list from the predicate, and we search the cartesian product
+/// (it is tiny in practice).
+fn instance_for_assignment(
+    rule: &Rule,
+    lanes: u32,
+    const_overrides: &BTreeMap<u8, i128>,
+    assignment: &BTreeMap<u8, ScalarType>,
+) -> Option<RcExpr> {
+    let const_ids = collect_const_wilds(&rule.lhs);
+    let mut combos: Vec<BTreeMap<u8, i128>> = vec![const_overrides.clone()];
+    for &cid in &const_ids {
+        if const_overrides.contains_key(&cid) {
+            continue;
+        }
+        // The element type is unknown until the instance is built;
+        // offer candidates for every plausible width and let the
+        // match/predicate check reject incoherent ones.
+        let mut values: Vec<i128> = Vec::new();
+        for elem in
+            [ScalarType::U8, ScalarType::U16, ScalarType::U32, ScalarType::I16, ScalarType::I32]
+        {
+            values.extend(rule.pred.candidate_consts(cid, elem));
+        }
+        values.push(2);
+        values.dedup();
+        values.truncate(12);
+        combos = combos
+            .into_iter()
+            .flat_map(|m| {
+                values.iter().map(move |&v| {
+                    let mut m2 = m.clone();
+                    m2.insert(cid, v);
+                    m2
+                })
+            })
+            .take(4096)
+            .collect();
+    }
+    for overrides in combos {
+        let Some(inst) =
+            build_instance(&rule.lhs, assignment, lanes, &overrides, &rule.pred, &mut 0)
+        else {
+            continue;
+        };
+        let Some(b) = match_pat(&rule.lhs, &inst) else {
+            continue;
+        };
+        // Bounds-predicated rules cannot be witnessed by unbounded
+        // fresh variables; give every instantiation variable a tight
+        // range so structural validation can proceed (semantic
+        // correctness of bounds predicates is established separately
+        // by differential testing).
+        let mut bounds = fpir::bounds::BoundsCtx::new();
+        for (name, _) in inst.free_vars() {
+            bounds.set_var_bound(name, fpir::bounds::Interval::new(0, 1));
+        }
+        if rule.pred.eval(&b, &mut bounds) {
+            return Some(inst);
+        }
+    }
+    None
 }
 
 /// The constant-wildcard ids used in a pattern.
@@ -428,7 +464,10 @@ pub fn collect_const_wilds(pat: &Pat) -> Vec<u8> {
     out
 }
 
-fn collect_type_vars(pat: &Pat) -> Vec<u8> {
+/// The type-variable ids referenced anywhere in a pattern, in first-use
+/// order (the instantiation search enumerates candidate types per id, and
+/// static analyses use it to bound wildcard indices).
+pub fn collect_type_vars(pat: &Pat) -> Vec<u8> {
     fn ty_vars(t: &TypePat, out: &mut Vec<u8>) {
         match t {
             TypePat::Var(i)
@@ -502,9 +541,7 @@ fn build_instance(
             }
             TypePat::WidenOf(i) => assignment.get(i).copied()?.widen(),
             TypePat::Widen2Of(i) => assignment.get(i).copied()?.widen()?.widen(),
-            TypePat::WidenSignedOf(i) => {
-                Some(assignment.get(i).copied()?.widen()?.with_signed())
-            }
+            TypePat::WidenSignedOf(i) => Some(assignment.get(i).copied()?.widen()?.with_signed()),
             TypePat::NarrowUnsignedOf(i) => {
                 Some(assignment.get(i).copied()?.narrow()?.with_unsigned())
             }

@@ -39,11 +39,7 @@ pub enum TyRef {
 impl TyRef {
     /// Resolve to a concrete element type.
     pub fn resolve(self, b: &Bindings) -> Result<ScalarType, SubstError> {
-        let of = |id: u8| {
-            b.expr(id)
-                .map(|e| e.elem())
-                .ok_or(SubstError::UnboundWild(id))
-        };
+        let of = |id: u8| b.expr(id).map(|e| e.elem()).ok_or(SubstError::UnboundWild(id));
         match self {
             TyRef::OfWild(i) => of(i),
             TyRef::WidenOfWild(i) => of(i)?.widen().ok_or(SubstError::NoSuchType),
@@ -224,17 +220,13 @@ pub fn substitute(t: &Template, b: &Bindings, lanes: u32) -> Result<RcExpr, Subs
             substitute(y, b, lanes)?,
         )
         .map_err(Into::into),
-        Template::Cast(ty, inner) => {
-            Ok(Expr::cast(ty.resolve(b)?, substitute(inner, b, lanes)?))
-        }
+        Template::Cast(ty, inner) => Ok(Expr::cast(ty.resolve(b)?, substitute(inner, b, lanes)?)),
         Template::Reinterpret(ty, inner) => {
             Expr::reinterpret(ty.resolve(b)?, substitute(inner, b, lanes)?).map_err(Into::into)
         }
         Template::Fpir(op, args) => {
-            let args = args
-                .iter()
-                .map(|a| substitute(a, b, lanes))
-                .collect::<Result<Vec<_>, _>>()?;
+            let args =
+                args.iter().map(|a| substitute(a, b, lanes)).collect::<Result<Vec<_>, _>>()?;
             Expr::fpir(*op, args).map_err(Into::into)
         }
         Template::SatCast(ty, inner) => {
@@ -244,10 +236,8 @@ pub fn substitute(t: &Template, b: &Bindings, lanes: u32) -> Result<RcExpr, Subs
         }
         Template::Mach { op, ty, args } => {
             let elem = ty.resolve(b)?;
-            let args = args
-                .iter()
-                .map(|a| substitute(a, b, lanes))
-                .collect::<Result<Vec<_>, _>>()?;
+            let args =
+                args.iter().map(|a| substitute(a, b, lanes)).collect::<Result<Vec<_>, _>>()?;
             Ok(Expr::mach(*op, VectorType::new(elem, lanes), args))
         }
     }
@@ -334,10 +324,7 @@ mod tests {
         );
         let tmpl = Template::Fpir(
             FpirOp::WideningShl,
-            vec![
-                Template::Wild(0),
-                Template::Const { f: CFn::Log2, of: 1, ty: TyRef::OfWild(0) },
-            ],
+            vec![Template::Wild(0), Template::Const { f: CFn::Log2, of: 1, ty: TyRef::OfWild(0) }],
         );
         let t = V::new(S::U8, 8);
         let x = build::var("x", t);
@@ -360,10 +347,7 @@ mod tests {
     #[test]
     fn unbound_wildcard_fails() {
         let b = Bindings::new();
-        assert_eq!(
-            substitute(&Template::Wild(3), &b, 4),
-            Err(SubstError::UnboundWild(3))
-        );
+        assert_eq!(substitute(&Template::Wild(3), &b, 4), Err(SubstError::UnboundWild(3)));
     }
 
     #[test]

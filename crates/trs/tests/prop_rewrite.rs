@@ -20,19 +20,24 @@ fn demo_rules() -> RuleSet {
     rs.push(Rule::new(
         "widening-add",
         RuleClass::Lift,
-        pat_add(widen_cast(0), Pat::Cast(TypePat::WidenOf(0), Box::new(wild_t(1, TypePat::Var(0))))),
+        pat_add(
+            widen_cast(0),
+            Pat::Cast(TypePat::WidenOf(0), Box::new(wild_t(1, TypePat::Var(0)))),
+        ),
         Template::Fpir(FpirOp::WideningAdd, vec![tw(0), tw(1)]),
     ));
-    rs.push(Rule::new(
-        "sat-cast",
-        RuleClass::Lift,
-        Pat::Cast(
-            TypePat::NarrowOf(0),
-            Box::new(pat_min(wild_t(0, TypePat::AnyUnsigned(0)), cwild_t(1, TypePat::Var(0)))),
-        ),
-        Template::SatCast(fpir_trs::template::TyRef::NarrowOfWild(0), Box::new(tw(0))),
-    )
-    .with_pred(fpir_trs::predicate::Predicate::ConstEqOwnNarrowMax(1)));
+    rs.push(
+        Rule::new(
+            "sat-cast",
+            RuleClass::Lift,
+            Pat::Cast(
+                TypePat::NarrowOf(0),
+                Box::new(pat_min(wild_t(0, TypePat::AnyUnsigned(0)), cwild_t(1, TypePat::Var(0)))),
+            ),
+            Template::SatCast(fpir_trs::template::TyRef::NarrowOfWild(0), Box::new(tw(0))),
+        )
+        .with_pred(fpir_trs::predicate::Predicate::ConstEqOwnNarrowMax(1)),
+    );
     rs
 }
 

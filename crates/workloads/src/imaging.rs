@@ -27,19 +27,13 @@ fn u16c(v: i128) -> RcExpr {
 pub fn sobel3x3() -> Pipeline {
     let k = |dx: i32, dy: i32| {
         add(
-            add(
-                wide(u8_tap("in", dx - 1, dy)),
-                mul(wide(u8_tap("in", dx, dy)), u16c(2)),
-            ),
+            add(wide(u8_tap("in", dx - 1, dy)), mul(wide(u8_tap("in", dx, dy)), u16c(2))),
             wide(u8_tap("in", dx + 1, dy)),
         )
     };
     let kv = |dx: i32, dy: i32| {
         add(
-            add(
-                wide(u8_tap("in", dx, dy - 1)),
-                mul(wide(u8_tap("in", dx, dy)), u16c(2)),
-            ),
+            add(wide(u8_tap("in", dx, dy - 1)), mul(wide(u8_tap("in", dx, dy)), u16c(2))),
             wide(u8_tap("in", dx, dy + 1)),
         )
     };
@@ -137,13 +131,7 @@ pub fn median3x3() -> Pipeline {
         // med(a,b,c) = max(min(a,b), min(max(a,b), c))
         max(min(a.clone(), b.clone()), min(max(a, b), c))
     };
-    let row = |dy: i32| {
-        med3(
-            u8_tap("in", -1, dy),
-            u8_tap("in", 0, dy),
-            u8_tap("in", 1, dy),
-        )
-    };
+    let row = |dy: i32| med3(u8_tap("in", -1, dy), u8_tap("in", 0, dy), u8_tap("in", 1, dy));
     Pipeline::new("median3x3", med3(row(-1), row(0), row(1)))
 }
 

@@ -93,9 +93,21 @@ pub fn all_workloads() -> Vec<Workload> {
         w(ml::average_pool(), QuantizedMl, "2x2 average pooling via branch-free magic averages"),
         w(camera::camera_pipe(), Photography, "white balance, demosaic averages, tone shift"),
         w(ml::conv3x3a16(), QuantizedMl, "3x3 convolution, i16 data, paired multiply-adds"),
-        w(ml::depthwise_conv(), QuantizedMl, "depthwise conv with Q31 requantization (64-bit through integers)"),
-        w(ml::fully_connected(), QuantizedMl, "quantized fully-connected: dot product + Q15 requant"),
-        w(imaging::gaussian3x3(), ImageProcessing, "separable [1 2 1]^2 Gaussian with rounding shift"),
+        w(
+            ml::depthwise_conv(),
+            QuantizedMl,
+            "depthwise conv with Q31 requantization (64-bit through integers)",
+        ),
+        w(
+            ml::fully_connected(),
+            QuantizedMl,
+            "quantized fully-connected: dot product + Q15 requant",
+        ),
+        w(
+            imaging::gaussian3x3(),
+            ImageProcessing,
+            "separable [1 2 1]^2 Gaussian with rounding shift",
+        ),
         w(imaging::gaussian5x5(), ImageProcessing, "5-tap Gaussian"),
         w(imaging::gaussian7x7(), ImageProcessing, "7-tap Gaussian with non-pow2 weights"),
         w(ml::l2norm(), QuantizedMl, "sum of squares + Q31 normalization"),
@@ -121,10 +133,7 @@ pub fn extra_workloads() -> Vec<Workload> {
 
 /// Look up one benchmark by name (searching the extra workloads too).
 pub fn workload(name: &str) -> Option<Workload> {
-    all_workloads()
-        .into_iter()
-        .chain(extra_workloads())
-        .find(|w| w.name() == name)
+    all_workloads().into_iter().chain(extra_workloads()).find(|w| w.name() == name)
 }
 
 #[cfg(test)]
@@ -138,10 +147,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let mut names: Vec<String> = all_workloads()
-            .iter()
-            .map(|w| w.name().to_string())
-            .collect();
+        let mut names: Vec<String> = all_workloads().iter().map(|w| w.name().to_string()).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 16);
@@ -151,8 +157,8 @@ mod tests {
     fn every_workload_runs_on_random_inputs() {
         for wl in all_workloads().into_iter().chain(extra_workloads()) {
             let inputs = wl.random_inputs(256, 3, 42);
-            let out = wl.pipeline.run_reference(&inputs)
-                .unwrap_or_else(|e| panic!("{}: {e}", wl.name()));
+            let out =
+                wl.pipeline.run_reference(&inputs).unwrap_or_else(|e| panic!("{}: {e}", wl.name()));
             assert_eq!(out.width(), 256, "{}", wl.name());
         }
     }

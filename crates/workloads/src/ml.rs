@@ -21,10 +21,7 @@ fn u8_tap(b: &str, dx: i32) -> RcExpr {
 /// round-to-nearest shift, `u8((u16(a) + u16(b)*2 + 2) >> 2)`.
 pub fn add_bench() -> Pipeline {
     let t16 = V::new(S::U16, LANES);
-    let sum = add(
-        widen(u8_tap("a", 0)),
-        mul(widen(u8_tap("b", 0)), constant(2, t16)),
-    );
+    let sum = add(widen(u8_tap("a", 0)), mul(widen(u8_tap("b", 0)), constant(2, t16)));
     let rounded = shr(add(sum.clone(), splat(2, &sum)), splat(2, &sum));
     Pipeline::new("add", cast(S::U8, rounded))
 }
@@ -101,16 +98,10 @@ pub fn depthwise_conv() -> Pipeline {
 /// delta, 4.99× on HVX).
 pub fn average_pool() -> Pipeline {
     let floor_avg = |x: RcExpr, y: RcExpr| {
-        add(
-            bit_and(x.clone(), y.clone()),
-            shr(bit_xor(x.clone(), y), splat(1, &x)),
-        )
+        add(bit_and(x.clone(), y.clone()), shr(bit_xor(x.clone(), y), splat(1, &x)))
     };
     let ceil_avg = |x: RcExpr, y: RcExpr| {
-        sub(
-            bit_or(x.clone(), y.clone()),
-            shr(bit_xor(x.clone(), y), splat(1, &x)),
-        )
+        sub(bit_or(x.clone(), y.clone()), shr(bit_xor(x.clone(), y), splat(1, &x)))
     };
     let r0 = floor_avg(u8_tap("in", 0), u8_tap("in", 1));
     let r1 = floor_avg(tap("in", 0, 1, S::U8, LANES), tap("in", 1, 1, S::U8, LANES));
@@ -121,10 +112,7 @@ pub fn average_pool() -> Pipeline {
 pub fn max_pool() -> Pipeline {
     let m = max(
         max(u8_tap("in", 0), u8_tap("in", 1)),
-        max(
-            tap("in", 0, 1, S::U8, LANES),
-            tap("in", 1, 1, S::U8, LANES),
-        ),
+        max(tap("in", 0, 1, S::U8, LANES), tap("in", 1, 1, S::U8, LANES)),
     );
     Pipeline::new("max_pool", min(m.clone(), splat(250, &m)))
 }
@@ -193,16 +181,10 @@ pub fn softmax() -> Pipeline {
         let lin = shl(d.clone(), constant(4, t16));
         let dq = shl(d, constant(2, t16));
         let quad = mul_shr(dq.clone(), dq, constant(8, t16));
-        saturating_sub(
-            saturating_add(constant(4096, t16), quad),
-            lin,
-        )
+        saturating_sub(saturating_add(constant(4096, t16), quad), lin)
     };
     let e0 = expi(0);
-    let sum = saturating_add(
-        saturating_add(e0.clone(), expi(1)),
-        saturating_add(expi(2), expi(3)),
-    );
+    let sum = saturating_add(saturating_add(e0.clone(), expi(1)), saturating_add(expi(2), expi(3)));
     // Normalize: out = sat_u8(rounding_mul_shr(e0 * recip(sum)...)) with a
     // fixed Q15 reciprocal estimate refined by one multiply.
     let recip = sub(constant(32767, t16), shr(sum, constant(2, t16)));
@@ -268,9 +250,6 @@ mod tests {
             .map(|w| (w.pipeline.name.clone(), w.pipeline.expr.size()))
             .collect();
         let softmax_size = sizes.iter().find(|(n, _)| n == "softmax").unwrap().1;
-        assert!(
-            sizes.iter().all(|(n, s)| n == "softmax" || *s <= softmax_size),
-            "{sizes:?}"
-        );
+        assert!(sizes.iter().all(|(n, s)| n == "softmax" || *s <= softmax_size), "{sizes:?}");
     }
 }

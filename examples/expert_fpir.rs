@@ -22,10 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A Q15 multiply, a rounding rescale, and a saturating narrow — three
     // lines of FPIR instead of dozens of lines of widening arithmetic.
     let q15 = rounding_mul_shr(x, y, constant(15, t16));
-    let expr = saturating_cast(
-        ScalarType::U8,
-        rounding_shr(q15, constant(4, t16)),
-    );
+    let expr = saturating_cast(ScalarType::U8, rounding_shr(q15, constant(4, t16)));
     println!("expert-written FPIR:\n  {expr}\n");
 
     for isa in [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx] {

@@ -11,11 +11,7 @@ use pitchfork::Pitchfork;
 use std::collections::BTreeMap;
 
 /// Run a compiled pipeline over images, strip by strip.
-fn run_compiled(
-    pipeline: &Pipeline,
-    inputs: &BTreeMap<String, Image>,
-    isa: Isa,
-) -> Image {
+fn run_compiled(pipeline: &Pipeline, inputs: &BTreeMap<String, Image>, isa: Isa) -> Image {
     let tgt = target(isa);
     let compiled = Pitchfork::new(isa)
         .compile(&pipeline.expr)
@@ -41,17 +37,11 @@ fn run_compiled(
 
 fn check_workload(wl: &Workload, seed: u64) {
     let inputs = wl.random_inputs(256, 4, seed);
-    let reference = wl
-        .pipeline
-        .run_reference(&inputs)
-        .unwrap_or_else(|e| panic!("{}: {e}", wl.name()));
+    let reference =
+        wl.pipeline.run_reference(&inputs).unwrap_or_else(|e| panic!("{}: {e}", wl.name()));
     for isa in [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx] {
         let compiled = run_compiled(&wl.pipeline, &inputs, isa);
-        assert_eq!(
-            compiled, reference,
-            "{} diverged from the reference on {isa}",
-            wl.name()
-        );
+        assert_eq!(compiled, reference, "{} diverged from the reference on {isa}", wl.name());
     }
 }
 

@@ -15,8 +15,7 @@ const ISAS: [Isa; 3] = [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx];
 fn every_workload_compiles_and_validates_everywhere() {
     for wl in all_workloads().into_iter().chain(extra_workloads()) {
         for isa in ISAS {
-            for compiler in [Compiler::Llvm, Compiler::Pitchfork, Compiler::PitchforkHandWritten]
-            {
+            for compiler in [Compiler::Llvm, Compiler::Pitchfork, Compiler::PitchforkHandWritten] {
                 let result = run(&wl, isa, &compiler)
                     .unwrap_or_else(|e| panic!("{compiler} failed on {}/{isa}: {e}", wl.name()));
                 validate(&wl, isa, &result, 6)
@@ -35,8 +34,7 @@ fn rake_compiles_and_validates_on_its_targets() {
         for isa in [Isa::ArmNeon, Isa::HexagonHvx] {
             let result = run(&wl, isa, &Compiler::Rake)
                 .unwrap_or_else(|e| panic!("Rake failed on {name}/{isa}: {e}"));
-            validate(&wl, isa, &result, 6)
-                .unwrap_or_else(|e| panic!("Rake on {name}/{isa}: {e}"));
+            validate(&wl, isa, &result, 6).unwrap_or_else(|e| panic!("Rake on {name}/{isa}: {e}"));
         }
     }
 }
@@ -145,12 +143,9 @@ fn lowered_target_cost_orders_compilers() {
     let wl = fpir_workloads::workload("sobel3x3").expect("known");
     for isa in ISAS {
         let model = TargetCost::new(isa);
-        let llvm = fpir_baseline::LlvmBaseline::new(isa)
-            .compile(&wl.pipeline.expr)
-            .expect("compiles");
-        let pf = pitchfork::Pitchfork::new(isa)
-            .compile(&wl.pipeline.expr)
-            .expect("compiles");
+        let llvm =
+            fpir_baseline::LlvmBaseline::new(isa).compile(&wl.pipeline.expr).expect("compiles");
+        let pf = pitchfork::Pitchfork::new(isa).compile(&wl.pipeline.expr).expect("compiles");
         assert!(model.cost(&pf.lowered) <= model.cost(&llvm.lowered), "{isa}");
     }
 }

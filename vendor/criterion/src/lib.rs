@@ -1,0 +1,172 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! The build environment for this repository has no network access to a
+//! crates registry, so the workspace vendors the slice of criterion its
+//! benches use: [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_with_input`, [`Bencher::iter`], [`BenchmarkId::new`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Statistics are deliberately simple — each benchmark runs a short
+//! warm-up, then `sample_size` timed samples, and prints the median
+//! per-iteration time. There is no outlier analysis, plotting, or saved
+//! baseline; the point is that `cargo bench` compiles, runs, and emits
+//! comparable numbers in this sealed environment.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Hide a value from the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver, passed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup { _crit: self, name, sample_size: 10 }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _crit: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample_size must be >= 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One warm-up pass, then the timed samples.
+        for timed in [false, true] {
+            let reps = if timed { self.sample_size } else { 1 };
+            for _ in 0..reps {
+                let mut b = Bencher { per_iter: Duration::ZERO, iters: 0 };
+                f(&mut b, input);
+                if timed && b.iters > 0 {
+                    samples.push(b.per_iter);
+                }
+            }
+        }
+        samples.sort();
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(Duration::ZERO);
+        eprintln!("  {}/{}  median {:?}", self.name, id.0, median);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark's identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter into one id.
+    pub fn new(function_id: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        let mut s = String::new();
+        let _ = write!(s, "{function_id}/{parameter}");
+        BenchmarkId(s)
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    per_iter: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time repeated runs of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Size the batch so one sample takes roughly a millisecond,
+        // bounded to keep total bench time sane in CI.
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        self.per_iter = start.elapsed() / batch as u32;
+        self.iters = batch;
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a.wrapping_add(black_box(b)))
+    }
+
+    fn bench_sum(c: &mut Criterion) {
+        let mut group = c.benchmark_group("test");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| sum_to(n));
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_sum);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

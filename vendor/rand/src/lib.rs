@@ -1,0 +1,290 @@
+//! Offline drop-in subset of the `rand` crate.
+//!
+//! The build environment for this repository has no network access to a
+//! crates registry, so the workspace vendors the minimal slice of the
+//! `rand 0.8` API it actually uses: [`rngs::StdRng`] (seedable,
+//! deterministic), [`thread_rng`], the [`Rng`] extension methods
+//! `gen_range` / `gen_bool` / `gen`, and [`seq::SliceRandom::choose`].
+//!
+//! The generator is SplitMix64: deterministic, fast, and of ample quality
+//! for the differential-testing and input-fuzzing uses in this workspace.
+//! It is **not** the real `StdRng` (ChaCha12) — sequences differ from
+//! upstream `rand`, which only matters if exact upstream streams were ever
+//! baked into test expectations (they are not; tests here assert semantic
+//! properties of whatever inputs come out).
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number source: 64 random bits per call.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed. Deterministic.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Build a generator from OS-provided entropy (here: the clock).
+    fn from_entropy() -> Self {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E3779B97F4A7C15);
+        Self::seed_from_u64(t)
+    }
+}
+
+/// Named generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (public domain, Sebastiano Vigna).
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// A per-call generator seeded from the clock (see [`super::thread_rng`]).
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng(pub(crate) StdRng);
+
+    impl RngCore for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// A non-deterministically seeded generator.
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng(rngs::StdRng::from_entropy())
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy {
+    /// Uniform sample from `[lo, hi]` (inclusive).
+    fn sample_inclusive(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty sample range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128;
+                if span == u128::MAX {
+                    // Full i128 domain: just take 128 random bits.
+                    let bits =
+                        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    return bits as i128 as $t;
+                }
+                let span = span + 1;
+                // Rejection-free modulo with 128-bit state; the modulo bias
+                // is at most 2^-64 for every span used in this workspace.
+                let bits = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                let off = (bits % span) as i128;
+                ((lo as i128).wrapping_add(off)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize, isize);
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Uniform sample from the range.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + Dec> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        assert!(self.start < self.end, "empty gen_range");
+        T::sample_inclusive(rng, self.start, self.end.dec())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Decrement helper for half-open ranges.
+pub trait Dec {
+    /// `self - 1`.
+    fn dec(self) -> Self;
+}
+
+macro_rules! impl_dec {
+    ($($t:ty),*) => {$(impl Dec for $t { fn dec(self) -> Self { self - 1 } })*};
+}
+
+impl_dec!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize, isize);
+
+/// Uniformly random values of a whole type, for [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Sample one value.
+    fn standard(rng: &mut impl RngCore) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn standard(rng: &mut impl RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Standard for bool {
+    fn standard(rng: &mut impl RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The user-facing extension methods (`rand`'s `Rng` trait).
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        // 53 high-quality mantissa bits.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// A uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice extensions (`rand`'s `SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, or `None` for an empty slice.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Shuffle in place (Fisher–Yates).
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (rng.next_u64() % self.len() as u64) as usize;
+                Some(&self[i])
+            }
+        }
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+/// The glob-import surface (`use rand::prelude::*`).
+pub mod prelude {
+    pub use crate::rngs::{StdRng, ThreadRng};
+    pub use crate::seq::SliceRandom;
+    pub use crate::{thread_rng, Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: i128 = rng.gen_range(-40i128..40);
+            assert!((-40..40).contains(&v));
+            let u: usize = rng.gen_range(0..7usize);
+            assert!(u < 7);
+            let w: i128 = rng.gen_range(-128i128..=127);
+            assert!((-128..=127).contains(&w));
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // u64::MAX-wide inclusive range must not overflow.
+        let _: u64 = rng.gen_range(0u64..=u64::MAX);
+        let _: i128 = rng.gen_range(i128::MIN..=i128::MAX);
+    }
+
+    #[test]
+    fn choose_and_bool() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs = [1, 2, 3];
+        assert!(xs.contains(xs.as_slice().choose(&mut rng).unwrap()));
+        let empty: [u8; 0] = [];
+        assert!(empty.as_slice().choose(&mut rng).is_none());
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}
