@@ -13,7 +13,7 @@ use fpir::expr::RcExpr;
 use fpir::Isa;
 use fpir_isa::{legalize, target, LowerError, TargetCost};
 use fpir_trs::cost::AgnosticCost;
-use fpir_trs::rewrite::{RewriteStats, Rewriter};
+use fpir_trs::rewrite::{EngineConfig, RewriteStats, Rewriter};
 use fpir_trs::rule::RuleSet;
 
 /// Compiler configuration.
@@ -27,12 +27,21 @@ pub struct Config {
     /// Exclude rules synthesized from this benchmark (the leave-one-out
     /// protocol of §5).
     pub leave_out: Option<String>,
+    /// Rewrite-engine acceleration structures (fast by default; the
+    /// reference engine exists for differential testing and benchmarking).
+    pub engine: EngineConfig,
 }
 
 impl Config {
     /// Default configuration for a target: full rule set.
     pub fn new(isa: Isa) -> Config {
-        Config { isa, synthesized_rules: true, leave_out: None }
+        Config { isa, synthesized_rules: true, leave_out: None, engine: EngineConfig::FAST }
+    }
+
+    /// Select the rewrite-engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Config {
+        self.engine = engine;
+        self
     }
 
     /// Disable synthesized rules (hand-written only).
@@ -67,6 +76,10 @@ pub struct Pitchfork {
     config: Config,
     lift: RuleSet,
     lower: RuleSet,
+    /// The bounds-predicated subset of `lower`, precomputed — phase one of
+    /// every `compile` uses it, and filtering per call would clone the
+    /// rules each time.
+    predicated: RuleSet,
 }
 
 impl Pitchfork {
@@ -87,7 +100,8 @@ impl Pitchfork {
             lift = lift.leaving_out(bench);
             lower = lower.leaving_out(bench);
         }
-        Pitchfork { config, lift, lower }
+        let predicated = lower.of_class(fpir_trs::rule::RuleClass::Predicated);
+        Pitchfork { config, lift, lower, predicated }
     }
 
     /// The configuration in use.
@@ -107,7 +121,7 @@ impl Pitchfork {
 
     /// Lift only (the target-agnostic phase — Figure 2b to Figure 2c).
     pub fn lift(&self, expr: &RcExpr) -> (RcExpr, RewriteStats) {
-        let mut rw = Rewriter::new(&self.lift, AgnosticCost);
+        let mut rw = Rewriter::with_engine(&self.lift, AgnosticCost, self.config.engine);
         let lifted = rw.run(expr);
         (lifted, rw.stats)
     }
@@ -124,19 +138,44 @@ impl Pitchfork {
     /// Fails when the target cannot implement the expression at all —
     /// e.g. 64-bit lanes on Hexagon HVX (§5.1).
     pub fn compile(&self, expr: &RcExpr) -> Result<Compiled, LowerError> {
-        let (lifted, lift_stats) = self.lift(expr);
-        let predicated = self.lower.of_class(fpir_trs::rule::RuleClass::Predicated);
-        let mut rw1 = Rewriter::new(&predicated, TargetCost::new(self.config.isa));
-        let after_predicated = rw1.run(&lifted);
-        let mut rw = Rewriter::new(&self.lower, TargetCost::new(self.config.isa));
-        let partially_lowered = rw.run(&after_predicated);
-        let mut lower_stats = rw.stats.clone();
-        for (name, n) in rw1.stats.fired() {
-            lower_stats.applications += n;
-            // Merge phase-1 firings into the reported statistics.
-            let _ = name;
+        let engine = self.config.engine;
+        let mut rw0 = Rewriter::with_engine(&self.lift, AgnosticCost, self.config.engine);
+        let lifted = rw0.run(expr);
+        let lift_stats = rw0.stats.clone();
+        // The reference engine reproduces the pre-optimization compile
+        // path, which filtered the predicated subset out of the lowering
+        // rules on every call; the fast engine uses the precomputed set.
+        let predicated_owned;
+        let predicated = if engine == EngineConfig::REFERENCE {
+            predicated_owned = self.lower.of_class(fpir_trs::rule::RuleClass::Predicated);
+            &predicated_owned
+        } else {
+            &self.predicated
+        };
+        let mut rw1 = Rewriter::with_engine(predicated, TargetCost::new(self.config.isa), engine);
+        if engine.memo {
+            // Bounds inference is a pure per-node analysis and the phases
+            // share `Arc` identities (lifting preserves converged subtrees),
+            // so the fast engine threads one §3.3 query cache through all
+            // three rewriting phases. The reference engine keeps the
+            // original fresh-context-per-phase behaviour.
+            rw1.bounds = std::mem::take(&mut rw0.bounds);
         }
-        let lowered = legalize(&partially_lowered, target(self.config.isa))?;
+        let after_predicated = rw1.run(&lifted);
+        let mut rw = Rewriter::with_engine(&self.lower, TargetCost::new(self.config.isa), engine);
+        if engine.memo {
+            rw.bounds = std::mem::take(&mut rw1.bounds);
+        }
+        let partially_lowered = rw.run(&after_predicated);
+        let mut lower_stats = rw1.stats.clone();
+        lower_stats.merge(&rw.stats);
+        // The DAG-memoized legalizer belongs to the fast engine; reference
+        // mode keeps the original tree-walking pass.
+        let lowered = if engine.memo {
+            legalize(&partially_lowered, target(self.config.isa))?
+        } else {
+            fpir_isa::legalize_uncached(&partially_lowered, target(self.config.isa))?
+        };
         Ok(Compiled { lifted, lowered, lift_stats, lower_stats })
     }
 }

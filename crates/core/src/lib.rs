@@ -40,6 +40,7 @@ pub mod lower;
 pub mod registry;
 
 pub use compiler::{Compiled, Config, Pitchfork};
+pub use fpir_trs::rewrite::EngineConfig;
 pub use lift::{hand_written_lift_rules, lift_rules};
 pub use lower::lower_rules;
 pub use registry::{all_rule_sets, RegisteredRuleSet, RuleSetKind};

@@ -13,6 +13,7 @@
 //! back to the full type range whenever wrapping could occur.
 
 use crate::expr::{BinOp, Expr, ExprKind, FpirOp, RcExpr};
+use crate::identity::IdMap;
 use crate::types::{ScalarType, VectorType};
 use std::collections::HashMap;
 
@@ -105,7 +106,9 @@ pub struct BoundsCtx {
     var_bounds: HashMap<String, Interval>,
     // Keyed by node address; the stored `RcExpr` keeps the allocation alive
     // so addresses cannot be recycled while cached.
-    cache: HashMap<usize, (RcExpr, Interval)>,
+    cache: IdMap<(RcExpr, Interval)>,
+    hits: u64,
+    misses: u64,
 }
 
 impl BoundsCtx {
@@ -125,12 +128,20 @@ impl BoundsCtx {
         self.cache.len()
     }
 
+    /// Memo-cache hits and misses since construction, for cache-effect
+    /// reporting (the §3.3 cache would otherwise be unobservable).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
     /// The inferred interval of `expr`.
     pub fn interval(&mut self, expr: &RcExpr) -> Interval {
-        let key = Expr::as_ptr(expr);
+        let key = Expr::ptr_id(expr);
         if let Some((_, iv)) = self.cache.get(&key) {
+            self.hits += 1;
             return *iv;
         }
+        self.misses += 1;
         let iv = self.compute(expr);
         self.cache.insert(key, (expr.clone(), iv));
         iv
@@ -349,14 +360,6 @@ impl BoundsCtx {
             // Shift-by-vector forms: fall back to the saturated type range.
             FpirOp::RoundingShl | FpirOp::SaturatingShl => None,
         }
-    }
-}
-
-impl Expr {
-    /// Stable address of a node, used as a cache key while the `RcExpr` is
-    /// kept alive by the cache itself.
-    fn as_ptr(e: &RcExpr) -> usize {
-        std::sync::Arc::as_ptr(e) as usize
     }
 }
 

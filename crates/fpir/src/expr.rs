@@ -507,6 +507,35 @@ impl Expr {
         Arc::new(Expr { kind: ExprKind::Mach(op, args), ty })
     }
 
+    /// Number of children, without allocating.
+    pub fn arity(&self) -> usize {
+        match &self.kind {
+            ExprKind::Var(_) | ExprKind::Const(_) => 0,
+            ExprKind::Cast(_) | ExprKind::Reinterpret(_) => 1,
+            ExprKind::Bin(..) | ExprKind::Cmp(..) => 2,
+            ExprKind::Select(..) => 3,
+            ExprKind::Fpir(_, args) | ExprKind::Mach(_, args) => args.len(),
+        }
+    }
+
+    /// The `i`-th child (operand order), without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.arity()`.
+    pub fn child(&self, i: usize) -> &RcExpr {
+        match (&self.kind, i) {
+            (ExprKind::Bin(_, a, _) | ExprKind::Cmp(_, a, _), 0) => a,
+            (ExprKind::Bin(_, _, b) | ExprKind::Cmp(_, _, b), 1) => b,
+            (ExprKind::Select(c, _, _), 0) => c,
+            (ExprKind::Select(_, t, _), 1) => t,
+            (ExprKind::Select(_, _, f), 2) => f,
+            (ExprKind::Cast(a) | ExprKind::Reinterpret(a), 0) => a,
+            (ExprKind::Fpir(_, args) | ExprKind::Mach(_, args), i) => &args[i],
+            _ => panic!("child index {i} out of range"),
+        }
+    }
+
     /// The node's children, in operand order.
     pub fn children(&self) -> Vec<&RcExpr> {
         match &self.kind {
@@ -583,6 +612,48 @@ impl Expr {
         for c in self.children() {
             c.visit(f);
         }
+    }
+
+    /// Stable identity of a node: the address of its shared allocation.
+    ///
+    /// Valid as a cache key only while some owner keeps the `Arc` alive —
+    /// callers that memoize by `ptr_id` must hold a clone of the handle in
+    /// the cache (as [`crate::bounds::BoundsCtx`] does) so the address
+    /// cannot be recycled.
+    pub fn ptr_id(e: &RcExpr) -> usize {
+        Arc::as_ptr(e) as usize
+    }
+
+    /// Pre-order visit of every *unique* node (by allocation identity).
+    ///
+    /// Where [`Expr::visit`] walks the expression as a tree — re-visiting a
+    /// shared subexpression once per occurrence — this walks it as a DAG,
+    /// calling `f` exactly once per distinct `Arc` allocation.
+    pub fn visit_unique(e: &RcExpr, f: &mut impl FnMut(&RcExpr)) {
+        fn walk(
+            e: &RcExpr,
+            seen: &mut std::collections::HashSet<usize>,
+            f: &mut impl FnMut(&RcExpr),
+        ) {
+            if !seen.insert(Expr::ptr_id(e)) {
+                return;
+            }
+            f(e);
+            for c in e.children() {
+                walk(c, seen, f);
+            }
+        }
+        walk(e, &mut std::collections::HashSet::new(), f);
+    }
+
+    /// Number of unique nodes (by allocation identity) in the DAG.
+    ///
+    /// For a fully-shared expression this can be exponentially smaller
+    /// than [`Expr::size`], which counts tree occurrences.
+    pub fn unique_count(e: &RcExpr) -> usize {
+        let mut n = 0;
+        Expr::visit_unique(e, &mut |_| n += 1);
+        n
     }
 
     /// True if any node satisfies the predicate.

@@ -43,6 +43,7 @@
 pub mod bounds;
 pub mod build;
 pub mod expr;
+pub mod identity;
 pub mod interp;
 pub mod machine;
 pub mod parser;

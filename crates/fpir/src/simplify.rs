@@ -19,7 +19,38 @@ use crate::interp::{eval, Env};
 /// this crate).
 pub fn const_fold(expr: &RcExpr) -> RcExpr {
     let children: Vec<RcExpr> = expr.children().into_iter().map(const_fold).collect();
-    let rebuilt = expr.with_children(children);
+    fold_node(expr, children)
+}
+
+/// [`const_fold`] with a caller-held identity memo, so shared `Arc`
+/// subtrees fold once instead of once per tree occurrence — and, when the
+/// caller folds many expressions over the same DAG (the legalizer folds
+/// every FPIR expansion it makes), once per *run* rather than per call.
+///
+/// Folding is a pure function of the node, so any memo keyed by allocation
+/// identity (key held alive in the value) is sound to reuse.
+pub fn const_fold_shared(
+    expr: &RcExpr,
+    memo: &mut crate::identity::IdMap<(RcExpr, RcExpr)>,
+) -> RcExpr {
+    if let Some((_, out)) = memo.get(&Expr::ptr_id(expr)) {
+        return out.clone();
+    }
+    let children: Vec<RcExpr> =
+        expr.children().into_iter().map(|c| const_fold_shared(c, memo)).collect();
+    let out = fold_node(expr, children);
+    memo.insert(Expr::ptr_id(expr), (expr.clone(), out.clone()));
+    out
+}
+
+/// Rebuild one node from folded children and fold it if constant.
+fn fold_node(expr: &RcExpr, children: Vec<RcExpr>) -> RcExpr {
+    // Preserve node identity when nothing folded below: downstream passes
+    // (the legalizer's DAG memo in particular) key caches on `Arc`
+    // identity, so a gratuitous rebuild here would defeat them.
+    let unchanged =
+        expr.children().iter().zip(&children).all(|(a, b)| std::sync::Arc::ptr_eq(a, b));
+    let rebuilt = if unchanged { expr.clone() } else { expr.with_children(children) };
     // A select whose condition folded to a constant takes that arm.
     if let ExprKind::Select(c, t, f) = rebuilt.kind() {
         match c.as_const() {

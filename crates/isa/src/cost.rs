@@ -9,7 +9,7 @@
 //! over unchanged.
 
 use crate::def::{target, Target};
-use fpir::expr::{ExprKind, RcExpr};
+use fpir::expr::{Expr, ExprKind};
 use fpir::Isa;
 use fpir_trs::cost::{Cost, CostModel};
 
@@ -31,7 +31,7 @@ impl TargetCost {
     /// Cost units of a single machine node (instruction cost × native
     /// registers processed). Unknown opcodes price like the penalty so
     /// mis-authored rules never look attractive.
-    pub fn mach_node_cost(&self, e: &RcExpr) -> u64 {
+    pub fn mach_node_cost(&self, e: &Expr) -> u64 {
         let ExprKind::Mach(op, _) = e.kind() else {
             return UNLOWERED_PENALTY;
         };
@@ -50,22 +50,12 @@ impl TargetCost {
 }
 
 impl CostModel for TargetCost {
-    fn cost(&self, expr: &RcExpr) -> Cost {
-        let mut total = 0u64;
-        expr.visit(&mut |e| {
-            match e.kind() {
-                ExprKind::Var(_) | ExprKind::Const(_) => {}
-                ExprKind::Mach(..) => {
-                    // `visit` passes `&Expr`; rebuild a cheap handle for
-                    // typed helpers.
-                    let rc: RcExpr = std::sync::Arc::new(e.clone());
-                    total += self.mach_node_cost(&rc);
-                }
-                _ => {
-                    total += UNLOWERED_PENALTY * self.t.reg_factor(e.ty());
-                }
-            }
-        });
+    fn node_cost(&self, e: &Expr) -> Cost {
+        let total = match e.kind() {
+            ExprKind::Var(_) | ExprKind::Const(_) => 0,
+            ExprKind::Mach(..) => self.mach_node_cost(e),
+            _ => UNLOWERED_PENALTY * self.t.reg_factor(e.ty()),
+        };
         Cost { width_sum: total, op_rank: 0 }
     }
 }

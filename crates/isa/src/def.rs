@@ -49,6 +49,11 @@ pub struct Target {
     /// Which ISA this is.
     pub isa: Isa,
     defs: Vec<InstDef>,
+    /// Semantics index: for each distinct [`MachSem`] in the table, the
+    /// row indices implementing it, sorted by (cost, table order). Built
+    /// once at registration so per-node instruction lookup during
+    /// legalization scans a handful of rows instead of the whole table.
+    by_sem: Vec<(MachSem, Vec<u16>)>,
 }
 
 impl Target {
@@ -61,7 +66,20 @@ impl Target {
                 d.op, d.op.code
             );
         }
-        Target { isa, defs }
+        let mut by_sem: Vec<(MachSem, Vec<u16>)> = Vec::new();
+        for (i, d) in defs.iter().enumerate() {
+            match by_sem.iter_mut().find(|(s, _)| *s == d.sem) {
+                Some((_, rows)) => rows.push(i as u16),
+                None => by_sem.push((d.sem, vec![i as u16])),
+            }
+        }
+        for (_, rows) in &mut by_sem {
+            // Stable by construction (rows start in table order), so equal
+            // costs keep table order — the same row a full-table
+            // `min_by_key` on cost would pick.
+            rows.sort_by_key(|&i| defs[i as usize].cost);
+        }
+        Target { isa, defs, by_sem }
     }
 
     /// All instructions.
@@ -80,18 +98,27 @@ impl Target {
     /// Find the cheapest instruction with the given semantics that is
     /// legal at `width` bits and `signed`ness.
     pub fn find(&self, sem: MachSem, width: u32, signed: bool) -> Option<&InstDef> {
-        self.defs
+        self.defs_with_sem(sem).find(|d| {
+            d.widths.contains(&width)
+                && match d.sign {
+                    SignReq::Any => true,
+                    SignReq::Signed => signed,
+                    SignReq::Unsigned => !signed,
+                }
+        })
+    }
+
+    /// The rows implementing `sem`, cheapest first (ties in table order).
+    /// The first row passing a legality filter is therefore the row a
+    /// cost-minimizing scan of the full table would select.
+    pub fn defs_with_sem(&self, sem: MachSem) -> impl Iterator<Item = &InstDef> {
+        self.by_sem
             .iter()
-            .filter(|d| {
-                d.sem == sem
-                    && d.widths.contains(&width)
-                    && match d.sign {
-                        SignReq::Any => true,
-                        SignReq::Signed => signed,
-                        SignReq::Unsigned => !signed,
-                    }
-            })
-            .min_by_key(|d| d.cost)
+            .find(|(s, _)| *s == sem)
+            .map(|(_, rows)| rows.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(|&i| &self.defs[i as usize])
     }
 
     /// Number of native registers a logical vector occupies (≥ 1).

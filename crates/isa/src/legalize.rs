@@ -17,9 +17,83 @@
 use crate::def::{InstDef, SignReq, Target};
 use crate::sem::MachSem;
 use fpir::expr::{BinOp, CmpOp, Expr, ExprKind, FpirOp, RcExpr};
+use fpir::identity::IdMap;
 use fpir::types::{ScalarType, VectorType};
 use fpir::Isa;
 use std::fmt;
+use std::sync::Arc;
+
+/// Legalization memo: input node identity → (input kept alive, output).
+///
+/// Legalization is a pure function of the node for a fixed target, and its
+/// output is a fixed point (machine/leaf nodes legalize to themselves), so
+/// results are cached by `Arc` identity — the same discipline as the
+/// rewriter's DAG memo. This matters twice over: workload pipelines share
+/// subexpressions, and the FPIR fallback path *re-legalizes* expansions
+/// whose operands were already legalized, which without the memo re-walks
+/// those subtrees once per enclosing expansion.
+///
+/// A disabled memo ([`legalize_uncached`]) reproduces the original
+/// tree-walking legalizer for differential testing and benchmarking.
+#[derive(Debug, Default)]
+struct Memo {
+    map: Option<IdMap<(RcExpr, RcExpr)>>,
+    /// Constant-folding memo shared across every FPIR expansion of the
+    /// run (folding is pure, see [`fpir::simplify::const_fold_shared`]).
+    folds: IdMap<(RcExpr, RcExpr)>,
+}
+
+/// What an FPIR expansion's legalization can depend on, besides the
+/// target: the operator, and per operand its vector type plus the literal
+/// value when the operand *is* a constant.
+type ExpansionKey = (Isa, FpirOp, Vec<(VectorType, Option<i128>)>);
+
+/// FPIR expansion skeletons: `(isa, op, operand shapes)` → the fully
+/// legalized expansion over placeholder variables.
+///
+/// Like a rule set's `RuleIndex`, this is a
+/// fixed per-target table computed lazily: the set of reachable keys is
+/// bounded by operator × type combinations, and the skeleton for a key
+/// never changes. Caching it process-wide amortizes the table across
+/// every compilation against the target, not just within one legalize
+/// run. See [`expand_legalized`] for the soundness argument.
+static SKELETONS: std::sync::OnceLock<
+    std::sync::Mutex<std::collections::HashMap<ExpansionKey, RcExpr>>,
+> = std::sync::OnceLock::new();
+
+impl Memo {
+    fn enabled() -> Memo {
+        Memo { map: Some(IdMap::default()), ..Memo::default() }
+    }
+
+    fn disabled() -> Memo {
+        Memo::default()
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.map.is_some()
+    }
+
+    fn get(&self, e: &RcExpr) -> Option<RcExpr> {
+        self.map.as_ref()?.get(&Expr::ptr_id(e)).map(|(_, out)| out.clone())
+    }
+
+    fn insert(&mut self, key: &RcExpr, out: &RcExpr) {
+        if let Some(map) = &mut self.map {
+            map.insert(Expr::ptr_id(key), (key.clone(), out.clone()));
+        }
+    }
+
+    /// Fold constants in an expansion: DAG-shared when the memo is on,
+    /// the original whole-tree walk when it is off.
+    fn const_fold(&mut self, e: &RcExpr) -> RcExpr {
+        if self.is_enabled() {
+            fpir::simplify::const_fold_shared(e, &mut self.folds)
+        } else {
+            fpir::simplify::const_fold(e)
+        }
+    }
+}
 
 /// Why an expression could not be lowered for a target.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,32 +127,69 @@ impl std::error::Error for LowerError {}
 /// or contains an operation with no legal implementation (e.g. general
 /// vector division).
 pub fn legalize(expr: &RcExpr, t: &Target) -> Result<RcExpr, LowerError> {
+    legalize_memo(expr, t, &mut Memo::enabled())
+}
+
+/// [`legalize`] without the identity memo — the original tree-walking
+/// legalizer, preserved as the pre-optimization baseline for differential
+/// tests and the `selection-bench` reference engine.
+///
+/// # Errors
+///
+/// Fails exactly when [`legalize`] fails.
+pub fn legalize_uncached(expr: &RcExpr, t: &Target) -> Result<RcExpr, LowerError> {
+    legalize_memo(expr, t, &mut Memo::disabled())
+}
+
+fn legalize_memo(expr: &RcExpr, t: &Target, memo: &mut Memo) -> Result<RcExpr, LowerError> {
+    // Leaves are their own fixed point: answer directly instead of paying a
+    // memo lookup and insert per visit. (Identical observable behaviour —
+    // the general path below would clone the node after the same width
+    // check.)
+    if matches!(expr.kind(), ExprKind::Var(_) | ExprKind::Const(_)) {
+        check_width(expr.ty(), t.isa)?;
+        return Ok(expr.clone());
+    }
+    if let Some(out) = memo.get(expr) {
+        return Ok(out);
+    }
     let children: Vec<RcExpr> =
-        expr.children().into_iter().map(|c| legalize(c, t)).collect::<Result<_, _>>()?;
+        expr.children().into_iter().map(|c| legalize_memo(c, t, memo)).collect::<Result<_, _>>()?;
     let isa = t.isa;
     check_width(expr.ty(), isa)?;
 
-    match expr.kind() {
-        ExprKind::Var(_) | ExprKind::Const(_) => Ok(expr.clone()),
+    let out = match expr.kind() {
+        ExprKind::Var(_) | ExprKind::Const(_) => expr.clone(),
         ExprKind::Mach(op, _) => {
-            let node = expr.with_children(children);
+            let unchanged = memo.is_enabled()
+                && expr.children().iter().zip(&children).all(|(a, b)| Arc::ptr_eq(a, b));
+            let node = if unchanged { expr.clone() } else { expr.with_children(children) };
             let def =
                 t.def(*op).ok_or_else(|| LowerError::new(isa, format!("unknown opcode {op}")))?;
             validate_mach(&node, def, t)?;
-            Ok(node)
+            node
         }
-        ExprKind::Bin(op, ..) => legalize_bin(*op, expr.ty(), children, t),
-        ExprKind::Cmp(op, ..) => legalize_cmp(*op, expr.ty(), children, t),
+        ExprKind::Bin(op, ..) => legalize_bin(*op, expr.ty(), children, t, memo)?,
+        ExprKind::Cmp(op, ..) => legalize_cmp(*op, expr.ty(), children, t, memo)?,
         ExprKind::Select(..) => {
             let width = children[1].elem().bits();
-            let def = find_usable(t, MachSem::Select, width, false, &children)
+            let def = find_usable(t, MachSem::Select, width, false, &children, memo)
                 .ok_or_else(|| LowerError::new(isa, format!("no select at {width} bits")))?;
-            Ok(Expr::mach(def.op, expr.ty(), children))
+            Expr::mach(def.op, expr.ty(), children)
         }
-        ExprKind::Cast(_) => legalize_cast(expr.ty().elem, children.remove_first(), t),
-        ExprKind::Reinterpret(_) => Ok(reinterpret_node(expr.ty(), children.remove_first(), t)),
-        ExprKind::Fpir(op, _) => legalize_fpir(*op, expr.ty(), children, t),
+        ExprKind::Cast(_) => legalize_cast(expr.ty().elem, children.remove_first(), t, memo)?,
+        ExprKind::Reinterpret(_) => reinterpret_node(expr.ty(), children.remove_first(), t, memo),
+        ExprKind::Fpir(op, _) => legalize_fpir(*op, expr.ty(), children, t, memo)?,
+    };
+    memo.insert(expr, &out);
+    // The output is already legal, so it is its own fixed point: keying it
+    // lets the FPIR fallback's re-legalization of expansions stop at
+    // operand subtrees that were legalized moments ago. (When the node was
+    // already legal the first insert is that entry.)
+    if !Arc::ptr_eq(expr, &out) {
+        memo.insert(&out, &out);
     }
+    Ok(out)
 }
 
 trait RemoveFirst<T> {
@@ -105,28 +216,35 @@ fn check_width(ty: VectorType, isa: Isa) -> Result<(), LowerError> {
 /// Find the cheapest row with this semantics that is legal at the width,
 /// signedness, *and* whose const-operand requirements are satisfied by
 /// the actual operands.
+///
+/// The memoized legalizer resolves rows through the target's
+/// per-semantics index ([`Target::defs_with_sem`], cheapest first);
+/// [`legalize_uncached`] keeps the original full-table scan so the
+/// benchmark baseline stays faithful to the pre-optimization pass. Both
+/// select the same row.
 fn find_usable<'t>(
     t: &'t Target,
     sem: MachSem,
     width: u32,
     signed: bool,
     args: &[RcExpr],
+    memo: &Memo,
 ) -> Option<&'t InstDef> {
-    t.defs()
-        .iter()
-        .filter(|d| {
-            d.sem == sem
-                && d.widths.contains(&width)
-                && match d.sign {
-                    SignReq::Any => true,
-                    SignReq::Signed => signed,
-                    SignReq::Unsigned => !signed,
-                }
-                && d.needs_const
-                    .iter()
-                    .all(|&i| args.get(i).is_some_and(|a| a.as_const().is_some()))
-        })
-        .min_by_key(|d| d.cost)
+    let legal = |d: &InstDef| {
+        d.widths.contains(&width)
+            && match d.sign {
+                SignReq::Any => true,
+                SignReq::Signed => signed,
+                SignReq::Unsigned => !signed,
+            }
+            && d.needs_const.iter().all(|&i| args.get(i).is_some_and(|a| a.as_const().is_some()))
+    };
+    if memo.is_enabled() {
+        // Rows arrive cheapest-first: the first legal one wins.
+        t.defs_with_sem(sem).find(|d| legal(d))
+    } else {
+        t.defs().iter().filter(|d| d.sem == sem && legal(d)).min_by_key(|d| d.cost)
+    }
 }
 
 fn validate_mach(node: &RcExpr, def: &InstDef, t: &Target) -> Result<(), LowerError> {
@@ -164,15 +282,16 @@ fn validate_mach(node: &RcExpr, def: &InstDef, t: &Target) -> Result<(), LowerEr
     Ok(())
 }
 
-fn reinterpret_node(ty: VectorType, arg: RcExpr, t: &Target) -> RcExpr {
+fn reinterpret_node(ty: VectorType, arg: RcExpr, t: &Target, memo: &Memo) -> RcExpr {
     if arg.ty() == ty {
         return arg;
     }
-    let def = t
-        .defs()
-        .iter()
-        .find(|d| d.sem == MachSem::Reinterpret)
-        .expect("every target has a reinterpret alias");
+    let def = if memo.is_enabled() {
+        t.defs_with_sem(MachSem::Reinterpret).next()
+    } else {
+        t.defs().iter().find(|d| d.sem == MachSem::Reinterpret)
+    }
+    .expect("every target has a reinterpret alias");
     Expr::mach(def.op, ty, vec![arg])
 }
 
@@ -181,6 +300,7 @@ fn legalize_bin(
     ty: VectorType,
     mut args: Vec<RcExpr>,
     t: &Target,
+    memo: &mut Memo,
 ) -> Result<RcExpr, LowerError> {
     let isa = t.isa;
     let width = ty.elem.bits();
@@ -194,7 +314,7 @@ fn legalize_bin(
                 if fpir::simplify::is_pow2(c) {
                     let count = Expr::constant(fpir::simplify::log2(c) as i128, args[1].ty())
                         .expect("log2 fits");
-                    return legalize_bin(BinOp::Shr, ty, vec![args.remove(0), count], t);
+                    return legalize_bin(BinOp::Shr, ty, vec![args.remove(0), count], t, memo);
                 }
             }
             return Err(LowerError::new(isa, "no vector division instruction".to_string()));
@@ -203,7 +323,7 @@ fn legalize_bin(
             if let (Some(c), false) = (args[1].as_const(), signed) {
                 if fpir::simplify::is_pow2(c) {
                     let mask = Expr::constant(c - 1, args[1].ty()).expect("mask fits");
-                    return legalize_bin(BinOp::And, ty, vec![args.remove(0), mask], t);
+                    return legalize_bin(BinOp::And, ty, vec![args.remove(0), mask], t, memo);
                 }
             }
             return Err(LowerError::new(isa, "no vector remainder instruction".to_string()));
@@ -214,14 +334,14 @@ fn legalize_bin(
                 if c < 0 {
                     let flipped = if op == BinOp::Shl { BinOp::Shr } else { BinOp::Shl };
                     let count = Expr::constant(-c, args[1].ty()).expect("negated count fits");
-                    return legalize_bin(flipped, ty, vec![args.remove(0), count], t);
+                    return legalize_bin(flipped, ty, vec![args.remove(0), count], t, memo);
                 }
             }
         }
         _ => {}
     }
 
-    if let Some(def) = find_usable(t, MachSem::Bin(op), width, signed, &args) {
+    if let Some(def) = find_usable(t, MachSem::Bin(op), width, signed, &args, memo) {
         return Ok(Expr::mach(def.op, ty, args));
     }
 
@@ -230,9 +350,9 @@ fn legalize_bin(
     if matches!(op, BinOp::Min | BinOp::Max) {
         let (a, b) = (args[0].clone(), args[1].clone());
         let cmp_op = if op == BinOp::Min { CmpOp::Lt } else { CmpOp::Gt };
-        let cond = legalize_cmp(cmp_op, ty, vec![a.clone(), b.clone()], t)?;
+        let cond = legalize_cmp(cmp_op, ty, vec![a.clone(), b.clone()], t, memo)?;
         let node = Expr::select(cond, a, b).expect("select of like-typed operands");
-        return legalize(&node, t);
+        return legalize_memo(&node, t, memo);
     }
 
     // Width promotion: run at double width and truncate back (the costly
@@ -241,10 +361,10 @@ fn legalize_bin(
         if check_width(ty.with_elem(wider), isa).is_ok() {
             let wide_args = args
                 .into_iter()
-                .map(|a| legalize_cast(wider, a, t))
+                .map(|a| legalize_cast(wider, a, t, memo))
                 .collect::<Result<Vec<_>, _>>()?;
-            let wide = legalize_bin(op, ty.with_elem(wider), wide_args, t)?;
-            return legalize_cast(ty.elem, wide, t);
+            let wide = legalize_bin(op, ty.with_elem(wider), wide_args, t, memo)?;
+            return legalize_cast(ty.elem, wide, t, memo);
         }
     }
     Err(LowerError::new(isa, format!("no `{}` instruction at {width} bits", op.symbol())))
@@ -255,35 +375,36 @@ fn legalize_cmp(
     ty: VectorType,
     mut args: Vec<RcExpr>,
     t: &Target,
+    memo: &mut Memo,
 ) -> Result<RcExpr, LowerError> {
     let isa = t.isa;
     let width = args[0].elem().bits();
     let signed = args[0].elem().is_signed();
-    let not = |e: RcExpr, t: &Target| -> Result<RcExpr, LowerError> {
+    let not = |e: RcExpr, t: &Target, memo: &mut Memo| -> Result<RcExpr, LowerError> {
         // Comparisons produce 0/1 lanes; `not` is xor with 1.
         let one = Expr::constant(1, e.ty()).expect("1 fits");
-        legalize_bin(BinOp::Xor, e.ty(), vec![e, one], t)
+        legalize_bin(BinOp::Xor, e.ty(), vec![e, one], t, memo)
     };
     match op {
         CmpOp::Lt => {
             args.swap(0, 1);
-            legalize_cmp(CmpOp::Gt, ty, args, t)
+            legalize_cmp(CmpOp::Gt, ty, args, t, memo)
         }
         CmpOp::Le => {
             // a <= b  ==  !(a > b)
-            let gt = legalize_cmp(CmpOp::Gt, ty, args, t)?;
-            not(gt, t)
+            let gt = legalize_cmp(CmpOp::Gt, ty, args, t, memo)?;
+            not(gt, t, memo)
         }
         CmpOp::Ge => {
             args.swap(0, 1);
-            legalize_cmp(CmpOp::Le, ty, args, t)
+            legalize_cmp(CmpOp::Le, ty, args, t, memo)
         }
         CmpOp::Ne => {
-            let eq = legalize_cmp(CmpOp::Eq, ty, args, t)?;
-            not(eq, t)
+            let eq = legalize_cmp(CmpOp::Eq, ty, args, t, memo)?;
+            not(eq, t, memo)
         }
         CmpOp::Gt | CmpOp::Eq => {
-            if let Some(def) = find_usable(t, MachSem::Cmp(op), width, signed, &args) {
+            if let Some(def) = find_usable(t, MachSem::Cmp(op), width, signed, &args, memo) {
                 Ok(Expr::mach(def.op, ty, args))
             } else {
                 Err(LowerError::new(
@@ -296,12 +417,17 @@ fn legalize_cmp(
 }
 
 /// Legalize a wrapping cast by chaining single-step extends / truncations.
-fn legalize_cast(to: ScalarType, arg: RcExpr, t: &Target) -> Result<RcExpr, LowerError> {
+fn legalize_cast(
+    to: ScalarType,
+    arg: RcExpr,
+    t: &Target,
+    memo: &mut Memo,
+) -> Result<RcExpr, LowerError> {
     let isa = t.isa;
     let from = arg.elem();
     check_width(arg.ty().with_elem(to), isa)?;
     if from.bits() == to.bits() {
-        return Ok(reinterpret_node(arg.ty().with_elem(to), arg, t));
+        return Ok(reinterpret_node(arg.ty().with_elem(to), arg, t, memo));
     }
     if from.bits() < to.bits() {
         // One extension step, preserving source signedness (that is what a
@@ -313,10 +439,11 @@ fn legalize_cast(to: ScalarType, arg: RcExpr, t: &Target) -> Result<RcExpr, Lowe
             from.bits(),
             from.is_signed(),
             std::slice::from_ref(&arg),
+            memo,
         )
         .ok_or_else(|| LowerError::new(isa, format!("no extension from {} bits", from.bits())))?;
         let widened = Expr::mach(def.op, arg.ty().with_elem(step), vec![arg]);
-        legalize_cast(to, widened, t)
+        legalize_cast(to, widened, t, memo)
     } else {
         let step = from.narrow().expect("from > to implies narrowable");
         let def = find_usable(
@@ -325,11 +452,110 @@ fn legalize_cast(to: ScalarType, arg: RcExpr, t: &Target) -> Result<RcExpr, Lowe
             from.bits(),
             from.is_signed(),
             std::slice::from_ref(&arg),
+            memo,
         )
         .ok_or_else(|| LowerError::new(isa, format!("no truncation from {} bits", from.bits())))?;
         let narrowed = Expr::mach(def.op, arg.ty().with_elem(step), vec![arg]);
-        legalize_cast(to, narrowed, t)
+        legalize_cast(to, narrowed, t, memo)
     }
+}
+
+/// Expand an FPIR instruction with no native row into its primitive
+/// definition, fold its constant subterms, and legalize the result —
+/// caching the whole pipeline per *operand shape* when the memo is on.
+///
+/// The expensive part of the fallback path is not any one operand: it is
+/// re-deriving the expansion's scaffolding (hundreds of nodes for e.g.
+/// `rounding_mul_shr`) every time the same instruction appears at the same
+/// types. But `expand_fpir` builds that scaffolding purely from the
+/// operator and the operand *types* (it never inspects operand structure),
+/// and every later decision is equally shape-blind:
+///
+/// * `const_fold` folds a node only when all children are literal `Const`s,
+///   and leaves `Var`/`Mach` roots alone — so an already-legalized operand
+///   (all machine/leaf nodes) is a folding fixed point, and whether a
+///   skeleton node folds depends only on which operand slots hold literals;
+/// * the legalizer's instruction choices depend on node kinds, types, and
+///   `as_const()` of immediate children — identical for a placeholder
+///   variable and any non-constant legalized operand of the same type.
+///
+/// So the legalized expansion is a *template*: compute it once over
+/// placeholder variables (keeping literal operands literal, since those
+/// do steer folding and immediate-operand selection), cache it under
+/// `(op, [(type, literal?)])`, and instantiate by substituting the real
+/// operands for the placeholders. The instantiation is structurally
+/// identical to what the uncached path produces.
+fn expand_legalized(
+    op: FpirOp,
+    args: &[RcExpr],
+    t: &Target,
+    memo: &mut Memo,
+) -> Result<RcExpr, LowerError> {
+    let isa = t.isa;
+    if !memo.is_enabled() {
+        let expanded = fpir::semantics::expand_fpir(op, args)
+            .map_err(|e| LowerError::new(isa, e.to_string()))?;
+        let folded = memo.const_fold(&expanded);
+        return legalize_memo(&folded, t, memo);
+    }
+    let key: ExpansionKey = (isa, op, args.iter().map(|a| (a.ty(), a.as_const())).collect());
+    let cache = SKELETONS.get_or_init(Default::default);
+    let cached = cache.lock().expect("skeleton cache lock").get(&key).cloned();
+    let skeleton = match cached {
+        Some(s) => s,
+        None => {
+            let placeholders: Vec<RcExpr> = args
+                .iter()
+                .enumerate()
+                .map(|(i, a)| match a.as_const() {
+                    Some(v) => Expr::constant(v, a.ty()).expect("literal re-types"),
+                    None => Expr::var(placeholder_name(i), a.ty()),
+                })
+                .collect();
+            let expanded = fpir::semantics::expand_fpir(op, &placeholders)
+                .map_err(|e| LowerError::new(isa, e.to_string()))?;
+            let folded = memo.const_fold(&expanded);
+            let skeleton = legalize_memo(&folded, t, memo)?;
+            cache.lock().expect("skeleton cache lock").insert(key, skeleton.clone());
+            skeleton
+        }
+    };
+    Ok(instantiate_skeleton(&skeleton, args))
+}
+
+/// Reserved variable name for operand slot `i` of an expansion skeleton
+/// (the `\u{1}` prefix cannot appear in user programs).
+fn placeholder_name(i: usize) -> String {
+    format!("\u{1}arg{i}")
+}
+
+/// Substitute the real operands for a skeleton's placeholder variables,
+/// sharing every subtree that contains no placeholder (identity-memoized,
+/// so DAG-shared skeleton nodes substitute once).
+fn instantiate_skeleton(skeleton: &RcExpr, args: &[RcExpr]) -> RcExpr {
+    fn go(e: &RcExpr, args: &[RcExpr], memo: &mut IdMap<RcExpr>) -> RcExpr {
+        if let Some(out) = memo.get(&Expr::ptr_id(e)) {
+            return out.clone();
+        }
+        let out = if let ExprKind::Var(name) = e.kind() {
+            match name.strip_prefix('\u{1}').and_then(|s| s.strip_prefix("arg")) {
+                Some(i) => args[i.parse::<usize>().expect("placeholder index")].clone(),
+                None => e.clone(),
+            }
+        } else {
+            let children: Vec<RcExpr> =
+                (0..e.arity()).map(|i| go(e.child(i), args, memo)).collect();
+            let unchanged = (0..e.arity()).all(|i| Arc::ptr_eq(e.child(i), &children[i]));
+            if unchanged {
+                e.clone()
+            } else {
+                e.with_children(children)
+            }
+        };
+        memo.insert(Expr::ptr_id(e), out.clone());
+        out
+    }
+    go(skeleton, args, &mut IdMap::default())
 }
 
 fn legalize_fpir(
@@ -337,8 +563,8 @@ fn legalize_fpir(
     ty: VectorType,
     args: Vec<RcExpr>,
     t: &Target,
+    memo: &mut Memo,
 ) -> Result<RcExpr, LowerError> {
-    let isa = t.isa;
     let width = args[0].elem().bits();
     let signed = args[0].elem().is_signed();
 
@@ -348,34 +574,30 @@ fn legalize_fpir(
         let src = args[0].elem();
         if src.narrow() == Some(target_elem) {
             if let Some(def) =
-                find_usable(t, MachSem::Fpir(FpirOp::SaturatingNarrow), width, signed, &args)
+                find_usable(t, MachSem::Fpir(FpirOp::SaturatingNarrow), width, signed, &args, memo)
             {
                 return Ok(Expr::mach(def.op, ty, args));
             }
             // Signed-to-unsigned narrow (sqxtun).
             if src.is_signed() && !target_elem.is_signed() {
-                if let Some(def) = find_usable(t, MachSem::SatCastTo, width, signed, &args) {
+                if let Some(def) = find_usable(t, MachSem::SatCastTo, width, signed, &args, memo) {
                     return Ok(Expr::mach(def.op, ty, args));
                 }
             }
         }
-        let expanded = fpir::semantics::expand_fpir(op, &args)
-            .map_err(|e| LowerError::new(isa, e.to_string()))?;
-        return legalize(&fpir::simplify::const_fold(&expanded), t);
+        return expand_legalized(op, &args, t, memo);
     }
 
     // `saturating_narrow` reaches here only as its own node.
     let lookup_op = if op == FpirOp::SaturatingNarrow { FpirOp::SaturatingNarrow } else { op };
-    if let Some(def) = find_usable(t, MachSem::Fpir(lookup_op), width, signed, &args) {
+    if let Some(def) = find_usable(t, MachSem::Fpir(lookup_op), width, signed, &args, memo) {
         return Ok(Expr::mach(def.op, ty, args));
     }
 
     // No native row: fall back to the instruction's primitive definition
     // (folding the expansion's constant subterms — shift counts and
     // rounding terms must be immediates again before selection).
-    let expanded =
-        fpir::semantics::expand_fpir(op, &args).map_err(|e| LowerError::new(isa, e.to_string()))?;
-    legalize(&fpir::simplify::const_fold(&expanded), t)
+    expand_legalized(op, &args, t, memo)
 }
 
 #[cfg(test)]

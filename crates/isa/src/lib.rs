@@ -45,5 +45,5 @@ pub mod x86;
 
 pub use cost::TargetCost;
 pub use def::{all_targets, target, InstDef, MachEvaluator, SignReq, Target};
-pub use legalize::{legalize, LowerError};
+pub use legalize::{legalize, legalize_uncached, LowerError};
 pub use sem::{eval_sem, MachSem};

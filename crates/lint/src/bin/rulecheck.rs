@@ -37,6 +37,7 @@ fn main() -> ExitCode {
                 println!("  shadowing    rules dead behind earlier, more general rules");
                 println!("  coverage     FPIR ops a backend cannot select");
                 println!("  predicates   malformed or contradictory side conditions");
+                println!("  index        rules the root-operator rule index would mis-dispatch");
                 return ExitCode::SUCCESS;
             }
             other => {

@@ -39,6 +39,8 @@ pub enum Analysis {
     Coverage,
     /// Malformed or contradictory side conditions.
     Predicates,
+    /// Rules the root-operator discrimination index would mis-dispatch.
+    Index,
 }
 
 impl fmt::Display for Analysis {
@@ -48,6 +50,7 @@ impl fmt::Display for Analysis {
             Analysis::Shadowing => "shadowing",
             Analysis::Coverage => "coverage",
             Analysis::Predicates => "predicates",
+            Analysis::Index => "index",
         })
     }
 }

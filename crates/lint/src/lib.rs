@@ -15,9 +15,12 @@
 //!   reported as notes rather than errors;
 //! * **[`predicates`]** — side conditions are well-formed: indices in
 //!   range, references bound, ranges non-empty, conjunctions free of
-//!   contradictions.
+//!   contradictions;
+//! * **[`indexcheck`]** — the fast rewriter's root-operator rule index
+//!   never hides a rule from an expression it matches (every LHS
+//!   instantiation keys back to the rule's own bucket).
 //!
-//! All four analyses are *static*: they inspect rule structure (plus
+//! All five analyses are *static*: they inspect rule structure (plus
 //! exhaustive small-type instantiation) without running the compiler on
 //! user programs, so they complement `synth::verify`'s differential
 //! testing — see `docs/rulecheck.md` for the soundness trade-offs.
@@ -37,6 +40,7 @@
 
 pub mod coverage;
 pub mod diagnostic;
+pub mod indexcheck;
 pub mod predicates;
 pub mod shadowing;
 pub mod skeleton;
@@ -61,6 +65,9 @@ pub fn check_rule_sets(sets: &[RegisteredRuleSet]) -> Vec<Diagnostic> {
     }
     for reg in sets {
         out.extend(predicates::check(&reg.set));
+    }
+    for reg in sets {
+        out.extend(indexcheck::check(&reg.set));
     }
     for reg in sets {
         if let RuleSetKind::Lower(isa) = reg.kind {

@@ -25,16 +25,38 @@ impl Cost {
     /// The zero cost (a bare leaf).
     pub const ZERO: Cost = Cost { width_sum: 0, op_rank: 0 };
 
-    /// Component-wise addition.
+    /// Component-wise addition. Saturating: tree costs count every
+    /// occurrence of a shared subexpression, so a deeply shared DAG can
+    /// have a nominal tree cost beyond `u64` — such expressions pin at the
+    /// maximum (and no rewrite there can claim a strict descent) instead
+    /// of overflowing.
     pub fn plus(self, other: Cost) -> Cost {
-        Cost { width_sum: self.width_sum + other.width_sum, op_rank: self.op_rank + other.op_rank }
+        Cost {
+            width_sum: self.width_sum.saturating_add(other.width_sum),
+            op_rank: self.op_rank.saturating_add(other.op_rank),
+        }
     }
 }
 
 /// Anything that can price an expression.
+///
+/// Implementors provide the *local* price of one node via
+/// [`CostModel::node_cost`]; the whole-tree [`CostModel::cost`] is the sum
+/// of node costs over every tree occurrence. The split lets the rewriter
+/// cache subtree costs by node identity and price a rewrite candidate in
+/// time proportional to its *new* nodes rather than its whole subtree.
 pub trait CostModel {
-    /// The cost of the whole expression tree.
-    fn cost(&self, expr: &RcExpr) -> Cost;
+    /// The local cost of a single node, excluding its children.
+    fn node_cost(&self, expr: &Expr) -> Cost;
+
+    /// The cost of the whole expression tree (every occurrence of a shared
+    /// subexpression counts — the models price the tree the selector
+    /// emits, not the DAG).
+    fn cost(&self, expr: &RcExpr) -> Cost {
+        let mut total = Cost::ZERO;
+        expr.visit(&mut |e| total = total.plus(self.node_cost(e)));
+        total
+    }
 }
 
 /// The paper's target-agnostic cost model (§3.2).
@@ -78,16 +100,12 @@ pub fn op_rank(expr: &Expr) -> u64 {
 }
 
 impl CostModel for AgnosticCost {
-    fn cost(&self, expr: &RcExpr) -> Cost {
-        let mut total = Cost::ZERO;
-        expr.visit(&mut |e| {
-            if matches!(e.kind(), ExprKind::Var(_) | ExprKind::Const(_)) {
-                return;
-            }
-            let input_bits: u64 = e.children().iter().map(|c| c.elem().bits() as u64).sum();
-            total = total.plus(Cost { width_sum: input_bits, op_rank: op_rank(e) });
-        });
-        total
+    fn node_cost(&self, e: &Expr) -> Cost {
+        if matches!(e.kind(), ExprKind::Var(_) | ExprKind::Const(_)) {
+            return Cost::ZERO;
+        }
+        let input_bits: u64 = e.children().iter().map(|c| c.elem().bits() as u64).sum();
+        Cost { width_sum: input_bits, op_rank: op_rank(e) }
     }
 }
 

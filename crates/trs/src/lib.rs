@@ -49,6 +49,7 @@
 
 pub mod cost;
 pub mod dsl;
+pub mod index;
 pub mod pattern;
 pub mod predicate;
 pub mod rewrite;
@@ -56,8 +57,9 @@ pub mod rule;
 pub mod template;
 
 pub use cost::{AgnosticCost, Cost, CostModel};
+pub use index::{OpKey, RuleIndex};
 pub use pattern::{match_pat, Bindings, Pat, TypePat};
 pub use predicate::Predicate;
-pub use rewrite::{RewriteStats, Rewriter};
+pub use rewrite::{EngineConfig, RewriteStats, Rewriter};
 pub use rule::{instantiate_lhs, Provenance, Rule, RuleClass, RuleSet};
 pub use template::{substitute, CFn, SubstError, Template, TyRef};

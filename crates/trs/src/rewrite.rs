@@ -1,25 +1,97 @@
 //! The greedy bottom-up fixpoint rewriter (§3.2).
 //!
-//! The rewriter traverses the expression tree bottom-up, greedily applying
-//! the first rule (in priority order) whose pattern matches, whose
-//! predicate holds, and whose output strictly reduces the active cost
-//! model. It repeats until the expression converges to a fixed point —
-//! termination is guaranteed by the strict cost descent.
+//! The rewriter traverses the expression bottom-up, greedily applying the
+//! rule whose output has the lowest cost among all that match (ties broken
+//! by rule order), and repeats until the expression converges to a fixed
+//! point — termination is guaranteed by the strict cost descent.
+//!
+//! # The fast engine
+//!
+//! Selection cost is kept linear in *unique* DAG nodes — not tree nodes
+//! times rules — by three coordinated mechanisms, each independently
+//! toggleable through [`EngineConfig`]:
+//!
+//! * **DAG memoization** — stencil workloads share subexpressions
+//!   pervasively (`Arc<Expr>` handles are aliased, and tree size can be
+//!   exponential in unique-node count). Rewritten results are memoized by
+//!   allocation identity ([`fpir::expr::Expr::ptr_id`], holding the key
+//!   alive like `BoundsCtx` does), so each unique node is processed once
+//!   per pass; converged subtrees also keep their identity across passes,
+//!   making later passes near-free.
+//! * **Root-operator rule indexing** — instead of trying every rule at
+//!   every node, candidates come from a [`RuleIndex`] keyed on the
+//!   pattern's head operator, with a wildcard bucket merged in ascending
+//!   rule order so the §3.2 ordering criterion is preserved exactly.
+//! * **Cached subtree costs** — cost models price whole trees; caching
+//!   per-node subtree costs by identity makes each candidate comparison
+//!   O(new template nodes) instead of O(subtree).
+//!
+//! [`EngineConfig::REFERENCE`] disables all three, reproducing the
+//! original tree-walking engine — differential tests assert the two
+//! engines produce bit-identical output.
 
-use crate::cost::CostModel;
+use crate::cost::{Cost, CostModel};
+use crate::index::{OpKey, RuleIndex};
 use crate::rule::RuleSet;
 use fpir::bounds::BoundsCtx;
-use fpir::expr::RcExpr;
+use fpir::expr::{Expr, RcExpr};
+use fpir::identity::IdMap;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-/// Per-run statistics: how many times each rule fired.
+/// Which of the engine's acceleration structures are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Memoize rewritten results by node identity (DAG-aware rewriting).
+    pub memo: bool,
+    /// Dispatch rules through the root-operator [`RuleIndex`].
+    pub index: bool,
+    /// Cache subtree costs by node identity.
+    pub cost_cache: bool,
+}
+
+impl EngineConfig {
+    /// Everything on — the production engine.
+    pub const FAST: EngineConfig = EngineConfig { memo: true, index: true, cost_cache: true };
+
+    /// Everything off — the original tree-walking, linear-scan engine,
+    /// kept as the differential-testing and benchmarking baseline.
+    pub const REFERENCE: EngineConfig =
+        EngineConfig { memo: false, index: false, cost_cache: false };
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig::FAST
+    }
+}
+
+/// Per-run statistics: work done and cache effectiveness.
 #[derive(Debug, Clone, Default)]
 pub struct RewriteStats {
+    /// Firing count per rule name (resolved once, at the end of a run).
     fired: BTreeMap<String, usize>,
+    /// Firing count per rule index — the hot-path representation (no
+    /// string allocation per application).
+    fired_counts: Vec<usize>,
+    /// Rule indices in firing order (for differential order checks).
+    fired_seq: Vec<u32>,
     /// Total rule applications.
     pub applications: usize,
     /// Full bottom-up passes executed.
     pub passes: usize,
+    /// Unique nodes actually processed (rewrite-memo misses).
+    pub nodes_visited: usize,
+    /// Nodes answered from the rewrite memo instead of being re-rewritten.
+    pub memo_hits: usize,
+    /// Subtree-cost queries answered from the cost cache.
+    pub cost_cache_hits: usize,
+    /// Subtree-cost queries that had to compute.
+    pub cost_cache_misses: usize,
+    /// Bounds-query memo hits during this run (the §3.3 cache).
+    pub bounds_cache_hits: u64,
+    /// Bounds-query memo misses during this run.
+    pub bounds_cache_misses: u64,
 }
 
 impl RewriteStats {
@@ -32,6 +104,31 @@ impl RewriteStats {
     pub fn fired_rules(&self) -> Vec<&str> {
         self.fired.keys().map(String::as_str).collect()
     }
+
+    /// Rule indices (into the run's rule set) in the order they fired.
+    pub fn fired_seq(&self) -> &[u32] {
+        &self.fired_seq
+    }
+
+    /// Fold another run's statistics into this one (used when one logical
+    /// phase runs the rewriter more than once). Aggregate counters and the
+    /// per-name firing map merge; the index-based firing sequence does not
+    /// carry across rule sets and is cleared.
+    pub fn merge(&mut self, other: &RewriteStats) {
+        self.applications += other.applications;
+        self.passes += other.passes;
+        self.nodes_visited += other.nodes_visited;
+        self.memo_hits += other.memo_hits;
+        self.cost_cache_hits += other.cost_cache_hits;
+        self.cost_cache_misses += other.cost_cache_misses;
+        self.bounds_cache_hits += other.bounds_cache_hits;
+        self.bounds_cache_misses += other.bounds_cache_misses;
+        for (name, n) in &other.fired {
+            *self.fired.entry(name.clone()).or_default() += n;
+        }
+        self.fired_seq.clear();
+        self.fired_counts.clear();
+    }
 }
 
 /// A rewriting engine bound to a rule set and a cost model.
@@ -39,31 +136,61 @@ impl RewriteStats {
 pub struct Rewriter<'a, C> {
     rules: &'a RuleSet,
     cost: C,
+    engine: EngineConfig,
+    /// The rule set's root-operator index — borrowed from the set's lazy
+    /// cache so constructing a rewriter never rebuilds it. `None` when
+    /// indexed dispatch is disabled (the reference engine neither builds
+    /// nor consults an index, exactly like the pre-index code).
+    index: Option<&'a RuleIndex>,
     /// Bounds-inference context shared across the run (the §3.3 query
     /// cache lives in here).
     pub bounds: BoundsCtx,
     /// Statistics for the last [`Rewriter::run`].
     pub stats: RewriteStats,
     max_passes: usize,
+    // Rewrite memo: input node identity -> (input kept alive, one-pass
+    // result). Sound across passes because `pass` is a pure function of
+    // the input subtree for a fixed rule set / cost model / bounds.
+    memo: IdMap<(RcExpr, RcExpr)>,
+    // Subtree-cost memo, same keying discipline.
+    cost_memo: IdMap<(RcExpr, Cost)>,
 }
 
 impl<'a, C: CostModel> Rewriter<'a, C> {
-    /// Create a rewriter. `max_passes` bounds the fixpoint loop (cost
-    /// descent already guarantees termination; the bound is defence in
-    /// depth and is generous at 16).
+    /// Create a rewriter with the fast engine. `max_passes` bounds the
+    /// fixpoint loop (cost descent already guarantees termination; the
+    /// bound is defence in depth and is generous at 16).
     pub fn new(rules: &'a RuleSet, cost: C) -> Rewriter<'a, C> {
+        Rewriter::with_engine(rules, cost, EngineConfig::FAST)
+    }
+
+    /// Create a rewriter with an explicit engine configuration.
+    pub fn with_engine(rules: &'a RuleSet, cost: C, engine: EngineConfig) -> Rewriter<'a, C> {
         Rewriter {
             rules,
             cost,
+            engine,
+            index: engine.index.then(|| rules.index()),
             bounds: BoundsCtx::new(),
             stats: RewriteStats::default(),
             max_passes: 16,
+            memo: IdMap::default(),
+            cost_memo: IdMap::default(),
         }
+    }
+
+    /// The engine configuration in use.
+    pub fn engine(&self) -> EngineConfig {
+        self.engine
     }
 
     /// Rewrite to a fixed point.
     pub fn run(&mut self, expr: &RcExpr) -> RcExpr {
         self.stats = RewriteStats::default();
+        self.stats.fired_counts = vec![0; self.rules.len()];
+        self.memo.clear();
+        self.cost_memo.clear();
+        let (bh0, bm0) = self.bounds.cache_stats();
         let mut current = expr.clone();
         for _ in 0..self.max_passes {
             self.stats.passes += 1;
@@ -73,34 +200,129 @@ impl<'a, C: CostModel> Rewriter<'a, C> {
                 break;
             }
         }
+        self.finalize_stats(bh0, bm0);
         current
+    }
+
+    /// Resolve index-based counters to reportable form, once per run.
+    fn finalize_stats(&mut self, bh0: u64, bm0: u64) {
+        for i in 0..self.stats.fired_counts.len() {
+            let n = self.stats.fired_counts[i];
+            if n > 0 {
+                self.stats.fired.insert(self.rules.rules()[i].name.clone(), n);
+            }
+        }
+        let (bh, bm) = self.bounds.cache_stats();
+        self.stats.bounds_cache_hits = bh - bh0;
+        self.stats.bounds_cache_misses = bm - bm0;
     }
 
     /// One bottom-up pass.
     fn pass(&mut self, expr: &RcExpr) -> RcExpr {
-        let children: Vec<RcExpr> = expr.children().into_iter().map(|c| self.pass(c)).collect();
-        let mut node = expr.with_children(children);
+        // `self.index` is a borrow of the rule set's lazily-built index
+        // (lifetime `'a`, independent of `&mut self`), so candidate
+        // iterators can be consumed while rules mutate the bounds context.
+        let index = self.index;
+        // Leaves with no leaf- or wildcard-bucket rule cannot change: skip
+        // the memo and the match loop outright. Leaves are roughly half of
+        // any expression, so this halves per-pass bookkeeping.
+        if self.engine.memo
+            && expr.arity() == 0
+            && index.is_some_and(|ix| !ix.has_candidates(OpKey::Leaf))
+        {
+            self.stats.nodes_visited += 1;
+            return expr.clone();
+        }
+        if self.engine.memo {
+            if let Some((_, out)) = self.memo.get(&Expr::ptr_id(expr)) {
+                self.stats.memo_hits += 1;
+                return out.clone();
+            }
+        }
+        self.stats.nodes_visited += 1;
+        let children = expr.children();
+        let new_children: Vec<RcExpr> = children.iter().map(|c| self.pass(c)).collect();
+        // Preserve node identity when nothing below changed, so converged
+        // subtrees stay memo/cache hits in later passes. The reference
+        // engine rebuilds unconditionally, as the original code did.
+        let unchanged =
+            self.engine.memo && children.iter().zip(&new_children).all(|(a, b)| Arc::ptr_eq(a, b));
+        let mut node = if unchanged { expr.clone() } else { expr.with_children(new_children) };
         // Apply rules repeatedly at this node until none fires. When
         // several rules match the same node, the lowest-cost output is
         // preferred (§3.2's ordering criterion), with ties broken by rule
-        // order.
+        // order — candidates are tried in ascending rule order, so the
+        // strict `<` below implements the tie-break in both dispatch
+        // modes.
+        let rules = self.rules;
         loop {
-            let node_cost = self.cost.cost(&node);
-            let mut best: Option<(crate::cost::Cost, &str, fpir::RcExpr)> = None;
-            for rule in self.rules.rules() {
+            // With the cost cache on, the node is priced lazily, on the
+            // first candidate that matches — an empty bucket prices
+            // nothing. The reference engine keeps the original behaviour:
+            // a full (uncached) subtree pricing at every iteration.
+            let mut node_cost: Option<Cost> =
+                if self.engine.cost_cache { None } else { Some(self.cost_of(&node)) };
+            let mut best: Option<(Cost, u32, RcExpr)> = None;
+            let mut indexed;
+            let mut linear;
+            let candidates: &mut dyn Iterator<Item = u32> = match index {
+                Some(ix) => {
+                    indexed = ix.candidates(OpKey::of_expr(&node));
+                    &mut indexed
+                }
+                None => {
+                    linear = 0..rules.len() as u32;
+                    &mut linear
+                }
+            };
+            for ri in candidates {
+                // The depth-1 operand prefilter refuses only candidates
+                // whose full match is guaranteed to fail, so skipping them
+                // cannot change which rule fires.
+                if index.is_some_and(|ix| !ix.admits(ri, &node)) {
+                    continue;
+                }
+                let rule = &rules.rules()[ri as usize];
                 if let Some(out) = rule.apply(&node, &mut self.bounds) {
-                    let out_cost = self.cost.cost(&out);
-                    if out_cost < node_cost && best.as_ref().is_none_or(|(c, _, _)| out_cost < *c) {
-                        best = Some((out_cost, rule.name.as_str(), out));
+                    let nc = match node_cost {
+                        Some(c) => c,
+                        None => *node_cost.insert(self.cost_of(&node)),
+                    };
+                    let out_cost = self.cost_of(&out);
+                    if out_cost < nc && best.as_ref().is_none_or(|(c, _, _)| out_cost < *c) {
+                        best = Some((out_cost, ri, out));
                     }
                 }
             }
-            let Some((_, name, out)) = best else { break };
-            *self.stats.fired.entry(name.to_string()).or_default() += 1;
+            let Some((_, ri, out)) = best else { break };
+            self.stats.fired_counts[ri as usize] += 1;
+            self.stats.fired_seq.push(ri);
             self.stats.applications += 1;
             node = out;
         }
+        if self.engine.memo {
+            self.memo.insert(Expr::ptr_id(expr), (expr.clone(), node.clone()));
+        }
         node
+    }
+
+    /// The cost of `e`'s subtree, memoized by node identity when the cost
+    /// cache is enabled.
+    fn cost_of(&mut self, e: &RcExpr) -> Cost {
+        if !self.engine.cost_cache {
+            return self.cost.cost(e);
+        }
+        if let Some((_, c)) = self.cost_memo.get(&Expr::ptr_id(e)) {
+            self.stats.cost_cache_hits += 1;
+            return *c;
+        }
+        self.stats.cost_cache_misses += 1;
+        let mut total = self.cost.node_cost(e);
+        for i in 0..e.arity() {
+            total = total.plus(self.cost_of(e.child(i)));
+        }
+        self.cost_memo.insert(Expr::ptr_id(e), (e.clone(), total));
+        total
     }
 }
 
@@ -246,5 +468,71 @@ mod tests {
         let e = build::add(build::var("a", t), build::var("b", t));
         let mut rw = Rewriter::new(&rs, AgnosticCost);
         assert_eq!(rw.run(&e), e);
+    }
+
+    #[test]
+    fn shared_subtrees_are_rewritten_once() {
+        // The same Arc appears as both operands of `min`: the lift of the
+        // shared redex must be computed once and reused, with the memo
+        // reporting the second occurrence as a hit.
+        let t = V::new(S::U8, 16);
+        let (a, b) = (build::var("a", t), build::var("b", t));
+        let sum = build::add(build::widen(a), build::widen(b)); // one redex
+        let e = build::min(sum.clone(), sum);
+        let rules = demo_rules();
+        let mut rw = Rewriter::new(&rules, AgnosticCost);
+        let out = rw.run(&e);
+        assert_eq!(out.to_string(), "min(widening_add(a_u8, b_u8), widening_add(a_u8, b_u8))");
+        // One application, not two: the second occurrence was a memo hit,
+        // and the rewritten children remain a shared Arc.
+        assert_eq!(rw.stats.applications, 1);
+        assert!(rw.stats.memo_hits >= 1);
+        assert!(Arc::ptr_eq(out.children()[0], out.children()[1]));
+    }
+
+    #[test]
+    fn engines_agree_and_reference_repeats_work() {
+        let t = V::new(S::U8, 16);
+        let (a, b) = (build::var("a", t), build::var("b", t));
+        let sum = build::add(build::widen(a), build::widen(b));
+        let e = build::min(sum.clone(), sum);
+        let rules = demo_rules();
+        let mut fast = Rewriter::new(&rules, AgnosticCost);
+        let mut reference = Rewriter::with_engine(&rules, AgnosticCost, EngineConfig::REFERENCE);
+        assert_eq!(fast.run(&e).to_string(), reference.run(&e).to_string());
+        // The reference engine rewrites the shared redex once per
+        // occurrence; the fast engine once in total.
+        assert_eq!(reference.stats.applications, 2);
+        assert_eq!(fast.stats.applications, 1);
+    }
+
+    #[test]
+    fn stats_expose_cache_counters() {
+        let t = V::new(S::U8, 16);
+        let (a, b) = (build::var("a", t), build::var("b", t));
+        let sum = build::add(build::widen(a), build::widen(b));
+        let e = build::cast(S::U8, build::min(sum.clone(), build::splat(255, &sum)));
+        let rules = demo_rules();
+        let mut rw = Rewriter::new(&rules, AgnosticCost);
+        let _ = rw.run(&e);
+        assert!(rw.stats.nodes_visited > 0);
+        assert!(rw.stats.cost_cache_misses > 0);
+        assert_eq!(rw.stats.fired_seq().len(), rw.stats.applications);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let t = V::new(S::U8, 16);
+        let (a, b) = (build::var("a", t), build::var("b", t));
+        let e = build::add(build::widen(a), build::widen(b));
+        let rules = demo_rules();
+        let mut rw1 = Rewriter::new(&rules, AgnosticCost);
+        let _ = rw1.run(&e);
+        let mut rw2 = Rewriter::new(&rules, AgnosticCost);
+        let _ = rw2.run(&e);
+        let mut merged = rw1.stats.clone();
+        merged.merge(&rw2.stats);
+        assert_eq!(merged.applications, 2);
+        assert_eq!(merged.fired()["lift-widening-add"], 2);
     }
 }

@@ -147,22 +147,28 @@ pub struct RuleSet {
     /// Descriptive name ("lift", "lower-arm", …).
     pub name: String,
     rules: Vec<Rule>,
+    /// Root-operator discrimination index, built on first use (and rebuilt
+    /// after any mutation). Sharing it across rewriter instances keeps the
+    /// per-compile cost of indexed dispatch at zero.
+    index: std::sync::OnceLock<crate::index::RuleIndex>,
 }
 
 impl RuleSet {
     /// An empty rule set.
     pub fn new(name: impl Into<String>) -> RuleSet {
-        RuleSet { name: name.into(), rules: Vec::new() }
+        RuleSet { name: name.into(), rules: Vec::new(), index: std::sync::OnceLock::new() }
     }
 
     /// Append a rule (lowest priority so far).
     pub fn push(&mut self, rule: Rule) {
         self.rules.push(rule);
+        self.index = std::sync::OnceLock::new();
     }
 
     /// Append many rules.
     pub fn extend(&mut self, rules: impl IntoIterator<Item = Rule>) {
         self.rules.extend(rules);
+        self.index = std::sync::OnceLock::new();
     }
 
     /// The rules, in priority order.
@@ -180,6 +186,12 @@ impl RuleSet {
         self.rules.is_empty()
     }
 
+    /// The root-operator discrimination index over this set (see
+    /// [`crate::index::RuleIndex`]), built lazily and cached.
+    pub fn index(&self) -> &crate::index::RuleIndex {
+        self.index.get_or_init(|| crate::index::RuleIndex::build(self))
+    }
+
     /// A filtered copy without rules synthesized from `benchmark` — the
     /// paper's leave-one-out evaluation protocol (§5).
     pub fn leaving_out(&self, benchmark: &str) -> RuleSet {
@@ -194,6 +206,7 @@ impl RuleSet {
                 })
                 .cloned()
                 .collect(),
+            index: std::sync::OnceLock::new(),
         }
     }
 
@@ -202,6 +215,7 @@ impl RuleSet {
         RuleSet {
             name: format!("{} ({class} only)", self.name),
             rules: self.rules.iter().filter(|r| r.class == class).cloned().collect(),
+            index: std::sync::OnceLock::new(),
         }
     }
 
@@ -215,6 +229,7 @@ impl RuleSet {
                 .filter(|r| r.provenance == Provenance::HandWritten)
                 .cloned()
                 .collect(),
+            index: std::sync::OnceLock::new(),
         }
     }
 

@@ -15,6 +15,7 @@
 pub mod camera;
 pub mod imaging;
 pub mod ml;
+pub mod unrolled;
 
 use fpir_halide::{Image, Pipeline};
 use rand::rngs::StdRng;
@@ -131,9 +132,49 @@ pub fn extra_workloads() -> Vec<Workload> {
     ]
 }
 
-/// Look up one benchmark by name (searching the extra workloads too).
+/// The unrolled stencil variants (see [`unrolled`]): the DAG-shaped
+/// expressions a vectorize-and-unroll Halide schedule hands the selector.
+/// Benchmarked by `selection-bench` alongside the figure suite; kept out
+/// of [`all_workloads`] so the figure reproductions stay the paper's 16.
+pub fn unrolled_workloads() -> Vec<Workload> {
+    use Family::*;
+    vec![
+        w(
+            unrolled::gaussian5x5_u4(),
+            ImageProcessing,
+            "5x5 Gaussian pyramid step, unrolled x4 with shared column sums",
+        ),
+        w(
+            unrolled::sobel3x3_u4(),
+            Vision,
+            "Sobel magnitude unrolled x4, shared smoothing kernels, max-pooled",
+        ),
+        w(
+            unrolled::box4x4_u8(),
+            ImageProcessing,
+            "4x4 box filter unrolled x8 with shared column sums, decimated 8:1",
+        ),
+        w(
+            unrolled::cascade121_u4(),
+            ImageProcessing,
+            "six cascaded [1 2 1] smoothing passes (13-tap binomial), unrolled x4",
+        ),
+        w(
+            unrolled::dilate13_u4(),
+            Vision,
+            "13-wide dilation as six cascaded 3-wide maxima, unrolled x4",
+        ),
+        w(unrolled::fir16(), ImageProcessing, "16-tap symmetric FIR low-pass with rounding"),
+    ]
+}
+
+/// Look up one benchmark by name (searching every group).
 pub fn workload(name: &str) -> Option<Workload> {
-    all_workloads().into_iter().chain(extra_workloads()).find(|w| w.name() == name)
+    all_workloads()
+        .into_iter()
+        .chain(extra_workloads())
+        .chain(unrolled_workloads())
+        .find(|w| w.name() == name)
 }
 
 #[cfg(test)]
@@ -155,7 +196,7 @@ mod tests {
 
     #[test]
     fn every_workload_runs_on_random_inputs() {
-        for wl in all_workloads().into_iter().chain(extra_workloads()) {
+        for wl in all_workloads().into_iter().chain(extra_workloads()).chain(unrolled_workloads()) {
             let inputs = wl.random_inputs(256, 3, 42);
             let out =
                 wl.pipeline.run_reference(&inputs).unwrap_or_else(|e| panic!("{}: {e}", wl.name()));
@@ -165,9 +206,23 @@ mod tests {
 
     #[test]
     fn lanes_are_uniform() {
-        for wl in all_workloads() {
+        for wl in all_workloads().into_iter().chain(unrolled_workloads()) {
             assert_eq!(wl.pipeline.lanes(), LANES, "{}", wl.name());
         }
+    }
+
+    #[test]
+    fn names_are_unique_across_groups() {
+        let mut names: Vec<String> = all_workloads()
+            .iter()
+            .chain(extra_workloads().iter())
+            .chain(unrolled_workloads().iter())
+            .map(|w| w.name().to_string())
+            .collect();
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), total);
     }
 
     #[test]
