@@ -15,9 +15,12 @@
 //!   boundary-biased random inputs.
 //!
 //! Usage: `cargo run --release -p fpir-bench --bin selection-bench --
-//!         [--smoke] [--out PATH]`
+//!         [--smoke] [--out PATH] [--jobs N]`
 //!
 //! `--smoke` cuts workloads, repetitions and validation rounds for CI.
+//! `--jobs` (default: `PITCHFORK_JOBS` or the machine's parallelism) fans
+//! the gate-2 simulator validation out over a worker pool; the timing
+//! loops always run sequentially on the main thread.
 
 use fpir::expr::Expr;
 use fpir::Isa;
@@ -59,6 +62,7 @@ struct Row {
 fn main() -> ExitCode {
     let mut smoke = false;
     let mut out_path = String::from("BENCH_selection.json");
+    let mut jobs = fpir_pool::default_jobs();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -70,8 +74,15 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--jobs" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => {
+                    eprintln!("selection-bench: `--jobs` expects a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: selection-bench [--smoke] [--out PATH]");
+                println!("usage: selection-bench [--smoke] [--out PATH] [--jobs N]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -102,6 +113,9 @@ fn main() -> ExitCode {
 
     let mut rows: Vec<Row> = Vec::new();
     let mut diverged = false;
+    // Gate-2 validation work, deferred and fanned out after the (strictly
+    // sequential) timing loop: (workload, isa, source expr, machine code).
+    let mut validations: Vec<(String, Isa, fpir::RcExpr, fpir::RcExpr)> = Vec::new();
 
     for wl in &workloads {
         for isa in isas {
@@ -149,14 +163,9 @@ fn main() -> ExitCode {
                 diverged = true;
             }
 
-            // Gate 2: output must match the reference interpreter.
-            let tgt = fpir_isa::target(isa);
-            let program = fpir_sim::emit(&fast_out.lowered, tgt).expect("emit");
-            let mut rng = StdRng::seed_from_u64(0x5E1E);
-            if let Err(c) = check_program(expr, &program, tgt, &mut rng, validate_rounds) {
-                eprintln!("MISCOMPILE {}/{isa}: {c}", wl.name());
-                diverged = true;
-            }
+            // Gate 2: output must match the reference interpreter —
+            // queued for the parallel validation pass below.
+            validations.push((wl.name().to_string(), isa, expr.clone(), fast_out.lowered.clone()));
 
             // Baselines (their own engines; timed for context).
             let llvm_ns = (0..reps)
@@ -201,6 +210,21 @@ fn main() -> ExitCode {
                 rake_ns,
             });
         }
+    }
+
+    // Gate 2, fanned out: each item seeds its own RNG (0x5E1E, as the
+    // sequential loop did), so the verdicts are identical at any --jobs.
+    let failures = fpir_pool::Pool::new(jobs).map(&validations, |(name, isa, expr, lowered)| {
+        let tgt = fpir_isa::target(*isa);
+        let program = fpir_sim::emit(lowered, tgt).expect("emit");
+        let mut rng = StdRng::seed_from_u64(0x5E1E);
+        check_program(expr, &program, tgt, &mut rng, validate_rounds)
+            .err()
+            .map(|c| format!("MISCOMPILE {name}/{isa}: {c}"))
+    });
+    for f in failures.into_iter().flatten() {
+        eprintln!("{f}");
+        diverged = true;
     }
 
     let speedups: Vec<f64> = rows

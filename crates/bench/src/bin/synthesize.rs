@@ -3,20 +3,25 @@
 //! verified rules, and generate lowering pairs against the Rake oracle.
 //!
 //! Usage: `cargo run --release -p fpir-bench --bin synthesize [max-exprs]`
+//!
+//! Corpus entries (and Rake-oracle candidates) are fanned out over a
+//! worker pool sized by `PITCHFORK_JOBS` / the machine's parallelism; the
+//! output is identical for any worker count.
 
+use fpir_pool::Pool;
 use fpir_synth::{
-    build_corpus, generalize_pair, generate_lower_pairs, synthesize_lift, SynthBudget,
-    VerifyOptions, MAX_LHS_NODES,
+    generate_lower_pairs_jobs, harvest_corpus, synthesize_corpus_rules, PipelineConfig,
+    MAX_LHS_NODES,
 };
-use fpir_trs::rule::RuleClass;
 use fpir_workloads::all_workloads;
 
 fn main() {
     let cap: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120);
+    let pool = Pool::with_default_jobs();
     let workloads = all_workloads();
     let named: Vec<(String, fpir::RcExpr)> =
         workloads.iter().map(|w| (w.name().to_string(), w.pipeline.expr.clone())).collect();
-    let corpus = build_corpus(named.iter().map(|(n, e)| (n.as_str(), e)), MAX_LHS_NODES);
+    let corpus = harvest_corpus(named.iter().map(|(n, e)| (n.as_str(), e)));
     println!(
         "corpus: {} distinct sub-expressions (≤ {MAX_LHS_NODES} nodes) from {} benchmarks\n",
         corpus.len(),
@@ -24,42 +29,29 @@ fn main() {
     );
 
     // ---- Lifting-rule synthesis (§4.1) + generalization (§4.3). ----
-    let budget = SynthBudget::default();
-    let opts = VerifyOptions { samples: 10, lanes: 64, exhaustive_8bit: false };
-    let mut found = 0usize;
+    // Generalization attempts that fail verification are dropped inside
+    // the pipeline, as §4.3 specifies.
+    let cfg = PipelineConfig { cap, ..PipelineConfig::default() };
     println!("== synthesized lifting rules ==");
-    for (i, (sub, sources)) in corpus.iter().take(cap).enumerate() {
-        if sub.contains_fpir() {
-            continue; // already fixed-point
-        }
-        let Some(rhs) = synthesize_lift(sub, &budget) else { continue };
-        let lhs = fpir_synth::lift_synth::retarget_lanes(sub, 64);
-        match generalize_pair(&format!("synth-{i}"), RuleClass::Lift, &lhs, &rhs, &opts) {
-            Ok(rule) => {
-                found += 1;
-                println!(
-                    "  [{}] {}  ->  {}   [{}]   (from: {})",
-                    found,
-                    lhs,
-                    rhs,
-                    rule.pred,
-                    sources.join(", ")
-                );
-            }
-            Err(_) => {
-                // Generalization attempt failed verification — dropped, as
-                // §4.3 specifies.
-            }
-        }
+    let rules = synthesize_corpus_rules(&corpus, &cfg, &pool);
+    for (n, r) in rules.iter().enumerate() {
+        println!(
+            "  [{}] {}  ->  {}   [{}]   (from: {})",
+            n + 1,
+            r.lhs,
+            r.rhs,
+            r.rule.pred,
+            r.sources.join(", ")
+        );
     }
-    println!("  {found} generalized, verified lifting rules\n");
+    println!("  {} generalized, verified lifting rules\n", rules.len());
 
     // ---- Lowering-pair generation against the Rake oracle (§4.2). ----
     println!("== lowering pairs found by the Rake oracle (ARM, HVX) ==");
     for isa in [fpir::Isa::ArmNeon, fpir::Isa::HexagonHvx] {
         let mut n = 0usize;
         for wl in workloads.iter().filter(|w| ["add", "sobel3x3"].contains(&w.name())) {
-            for pair in generate_lower_pairs(&wl.pipeline.expr, isa, 7) {
+            for pair in generate_lower_pairs_jobs(&wl.pipeline.expr, isa, 7, &pool) {
                 n += 1;
                 if n <= 6 {
                     println!(

@@ -170,11 +170,71 @@ pub fn eval(expr: &Expr, env: &Env) -> Result<Value, EvalError> {
 
 /// Evaluate an expression, executing machine nodes through `mach`.
 ///
+/// Each node is evaluated by recursing into the children and then applying
+/// the root operation via [`apply_root`] — the same single-op entry point
+/// incremental callers (the synthesis bank) use, so the two can never
+/// disagree.
+///
 /// # Errors
 ///
 /// Fails on unbound variables, mistyped bindings, or machine nodes the hook
 /// rejects.
 pub fn eval_with(expr: &Expr, env: &Env, mach: Option<&dyn MachEval>) -> Result<Value, EvalError> {
+    match expr.kind() {
+        ExprKind::Var(_) | ExprKind::Const(_) => apply_root(expr, &[], env, mach),
+        // Machine nodes are handled here rather than through `apply_root`
+        // so the evaluator hook receives the owned child values without a
+        // re-clone (rule verification evaluates machine code heavily).
+        ExprKind::Mach(op, args) => {
+            let hook = mach
+                .ok_or_else(|| EvalError::Machine(format!("no evaluator provided for `{op}`")))?;
+            let vals: Vec<Value> =
+                args.iter().map(|a| eval_with(a, env, mach)).collect::<Result<_, _>>()?;
+            hook.eval_mach(*op, &vals, expr.ty()).map_err(EvalError::Machine)
+        }
+        _ => {
+            let vals: Vec<Value> = expr
+                .children()
+                .into_iter()
+                .map(|c| eval_with(c, env, mach))
+                .collect::<Result<_, _>>()?;
+            let refs: Vec<&Value> = vals.iter().collect();
+            apply_root(expr, &refs, env, mach)
+        }
+    }
+}
+
+/// Apply only the *root* operation of `expr` to already-evaluated child
+/// values, in child order.
+///
+/// This is the single-op-over-values entry point that makes evaluation
+/// *incremental*: a caller holding the outputs of an expression's children
+/// (for instance the synthesis candidate bank, which caches one output
+/// [`Value`] per sample environment for every enumerated sub-candidate)
+/// can price a newly-combined candidate in O(lanes) instead of re-walking
+/// the whole tree through [`eval`]. [`eval_with`] itself is implemented on
+/// top of this function, so the incremental and whole-tree semantics are
+/// one code path.
+///
+/// Leaves take no child values: a `Var` reads `env`, a `Const` splats.
+///
+/// # Errors
+///
+/// As [`eval_with`]; additionally any machine node is rejected when no
+/// hook is supplied.
+///
+/// # Panics
+///
+/// Panics if `args.len()` differs from the node's arity, or if a child
+/// value's lane count disagrees with the node's type — caller invariants,
+/// not input validation.
+pub fn apply_root(
+    expr: &Expr,
+    args: &[&Value],
+    env: &Env,
+    mach: Option<&dyn MachEval>,
+) -> Result<Value, EvalError> {
+    assert_eq!(args.len(), expr.arity(), "apply_root needs one value per operand");
     let ty = expr.ty();
     match expr.kind() {
         ExprKind::Var(name) => {
@@ -189,49 +249,37 @@ pub fn eval_with(expr: &Expr, env: &Env, mach: Option<&dyn MachEval>) -> Result<
             Ok(v.clone())
         }
         ExprKind::Const(v) => Ok(Value::splat(*v, ty)),
-        ExprKind::Bin(op, a, b) => {
-            let (a, b) = (eval_with(a, env, mach)?, eval_with(b, env, mach)?);
-            Ok(lanewise2(ty, &a, &b, |x, y| bin_op_lane(*op, x, y, ty.elem)))
+        ExprKind::Bin(op, ..) => {
+            Ok(lanewise2(ty, args[0], args[1], |x, y| bin_op_lane(*op, x, y, ty.elem)))
         }
-        ExprKind::Cmp(op, a, b) => {
+        ExprKind::Cmp(op, a, _) => {
             let elem = a.elem();
-            let (a, b) = (eval_with(a, env, mach)?, eval_with(b, env, mach)?);
-            Ok(lanewise2(ty, &a, &b, |x, y| cmp_op_lane(*op, x, y, elem)))
+            Ok(lanewise2(ty, args[0], args[1], |x, y| cmp_op_lane(*op, x, y, elem)))
         }
-        ExprKind::Select(c, t, f) => {
-            let c = eval_with(c, env, mach)?;
-            let t = eval_with(t, env, mach)?;
-            let f = eval_with(f, env, mach)?;
+        ExprKind::Select(..) => {
+            let (c, t, f) = (args[0], args[1], args[2]);
             let lanes = (0..ty.lanes as usize)
                 .map(|i| if c.lane(i) != 0 { t.lane(i) } else { f.lane(i) })
                 .collect();
             Ok(Value::new(ty, lanes))
         }
-        ExprKind::Cast(a) => {
-            let a = eval_with(a, env, mach)?;
-            Ok(lanewise1(ty, &a, |x| ty.elem.wrap(x)))
+        ExprKind::Cast(_) | ExprKind::Reinterpret(_) => {
+            Ok(lanewise1(ty, args[0], |x| ty.elem.wrap(x)))
         }
-        ExprKind::Reinterpret(a) => {
-            let a = eval_with(a, env, mach)?;
-            Ok(lanewise1(ty, &a, |x| ty.elem.wrap(x)))
-        }
-        ExprKind::Fpir(op, args) => {
-            let vals: Vec<Value> =
-                args.iter().map(|a| eval_with(a, env, mach)).collect::<Result<_, _>>()?;
-            let arg_tys: Vec<ScalarType> = args.iter().map(|a| a.elem()).collect();
+        ExprKind::Fpir(op, fargs) => {
+            let arg_tys: Vec<ScalarType> = fargs.iter().map(|a| a.elem()).collect();
             let lanes = (0..ty.lanes as usize)
                 .map(|i| {
-                    let xs: Vec<i128> = vals.iter().map(|v| v.lane(i)).collect();
+                    let xs: Vec<i128> = args.iter().map(|v| v.lane(i)).collect();
                     fpir_op_lane(*op, &xs, &arg_tys, ty.elem)
                 })
                 .collect();
             Ok(Value::new(ty, lanes))
         }
-        ExprKind::Mach(op, args) => {
+        ExprKind::Mach(op, _) => {
             let hook = mach
                 .ok_or_else(|| EvalError::Machine(format!("no evaluator provided for `{op}`")))?;
-            let vals: Vec<Value> =
-                args.iter().map(|a| eval_with(a, env, mach)).collect::<Result<_, _>>()?;
+            let vals: Vec<Value> = args.iter().map(|&v| v.clone()).collect();
             hook.eval_mach(*op, &vals, ty).map_err(EvalError::Machine)
         }
     }

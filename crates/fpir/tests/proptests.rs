@@ -6,7 +6,7 @@
 
 use fpir::bounds::BoundsCtx;
 use fpir::build;
-use fpir::interp::{eval, Env, Value};
+use fpir::interp::{apply_root, eval, Env, EvalError, Value};
 use fpir::rand_expr::{gen_expr, random_env, GenConfig};
 use fpir::simplify::{const_fold, strength_reduce};
 use fpir::types::{ScalarType, VectorType};
@@ -26,6 +26,16 @@ const TYPES: [ScalarType; 6] = [
 fn gen_from_seed(seed: u64, elem: ScalarType) -> fpir::RcExpr {
     let mut rng = StdRng::seed_from_u64(seed);
     gen_expr(&mut rng, &GenConfig { lanes: 4, ..GenConfig::default() }, elem)
+}
+
+/// Evaluate bottom-up, one [`apply_root`] call per node over the
+/// already-evaluated children — the fast synthesizer's incremental
+/// signature evaluation, folded over a whole tree.
+fn eval_incremental(e: &fpir::RcExpr, env: &Env) -> Result<Value, EvalError> {
+    let kids: Vec<Value> =
+        e.children().into_iter().map(|c| eval_incremental(c, env)).collect::<Result<_, _>>()?;
+    let refs: Vec<&Value> = kids.iter().collect();
+    apply_root(e, &refs, env, None)
 }
 
 proptest! {
@@ -78,6 +88,19 @@ proptest! {
         for _ in 0..4 {
             let env = random_env(&mut rng, &e);
             prop_assert_eq!(eval(&e, &env).unwrap(), eval(&expanded, &env).unwrap());
+        }
+    }
+
+    /// Root-only application over pre-evaluated children (the fast
+    /// synthesizer's incremental signature evaluation) agrees with the
+    /// whole-tree interpreter on arbitrary expressions.
+    #[test]
+    fn apply_root_folds_to_whole_tree_eval(seed in any::<u64>(), ti in 0usize..TYPES.len()) {
+        let e = gen_from_seed(seed, TYPES[ti]);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(5));
+        for _ in 0..4 {
+            let env = random_env(&mut rng, &e);
+            prop_assert_eq!(eval_incremental(&e, &env).unwrap(), eval(&e, &env).unwrap());
         }
     }
 

@@ -19,31 +19,33 @@ use rand::{Rng, SeedableRng};
 const LANES: u32 = 1024;
 
 /// Every (x, y) pair of 8-bit values for the given types, batched into
-/// `LANES`-wide chunks: (xs, ys) lane vectors.
-fn exhaustive_pairs(tx: ScalarType, ty: ScalarType) -> Vec<(Vec<i128>, Vec<i128>)> {
+/// `LANES`-wide chunks: (xs, ys) lane vectors. Lazy — one chunk lives at
+/// a time, never the full 65 536-pair sweep.
+fn exhaustive_pairs(
+    tx: ScalarType,
+    ty: ScalarType,
+) -> impl Iterator<Item = (Vec<i128>, Vec<i128>)> {
     assert_eq!(tx.bits(), 8);
     assert_eq!(ty.bits(), 8);
-    let mut xs = Vec::new();
-    let mut ys = Vec::new();
-    let mut out = Vec::new();
-    for x in tx.min_value()..=tx.max_value() {
-        for y in ty.min_value()..=ty.max_value() {
+    let mut pairs = (tx.min_value()..=tx.max_value())
+        .flat_map(move |x| (ty.min_value()..=ty.max_value()).map(move |y| (x, y)));
+    std::iter::from_fn(move || {
+        let mut xs = Vec::with_capacity(LANES as usize);
+        let mut ys = Vec::with_capacity(LANES as usize);
+        for (x, y) in pairs.by_ref().take(LANES as usize) {
             xs.push(x);
             ys.push(y);
-            if xs.len() == LANES as usize {
-                out.push((std::mem::take(&mut xs), std::mem::take(&mut ys)));
-            }
         }
-    }
-    if !xs.is_empty() {
-        // Pad the tail chunk by repeating the last pair.
+        if xs.is_empty() {
+            return None;
+        }
+        // Pad a tail chunk by repeating the last pair.
         while xs.len() < LANES as usize {
             xs.push(*xs.last().unwrap());
             ys.push(*ys.last().unwrap());
         }
-        out.push((xs, ys));
-    }
-    out
+        Some((xs, ys))
+    })
 }
 
 /// Boundary-biased random pairs for wider types.
@@ -63,12 +65,13 @@ fn sampled_pairs(
         .collect()
 }
 
-/// Check direct-vs-expanded agreement of `make(x, y)` over the given data.
+/// Check direct-vs-expanded agreement of `make(x, y)` over the given
+/// data (any chunk stream — a materialized `Vec` or a lazy sweep).
 fn check(
     make: impl Fn(RcExpr, RcExpr) -> RcExpr,
     tx: ScalarType,
     ty: ScalarType,
-    data: &[(Vec<i128>, Vec<i128>)],
+    data: impl IntoIterator<Item = (Vec<i128>, Vec<i128>)>,
 ) {
     let vtx = VectorType::new(tx, LANES);
     let vty = VectorType::new(ty, LANES);
@@ -121,17 +124,25 @@ const SHIFT_BINARY: [FpirOp; 3] = [FpirOp::RoundingShl, FpirOp::RoundingShr, Fpi
 
 #[test]
 fn exhaustive_u8_same_type_binary() {
-    let data = exhaustive_pairs(ScalarType::U8, ScalarType::U8);
     for op in SAME_TYPE_BINARY {
-        check(binary_op(op), ScalarType::U8, ScalarType::U8, &data);
+        check(
+            binary_op(op),
+            ScalarType::U8,
+            ScalarType::U8,
+            exhaustive_pairs(ScalarType::U8, ScalarType::U8),
+        );
     }
 }
 
 #[test]
 fn exhaustive_i8_same_type_binary() {
-    let data = exhaustive_pairs(ScalarType::I8, ScalarType::I8);
     for op in SAME_TYPE_BINARY {
-        check(binary_op(op), ScalarType::I8, ScalarType::I8, &data);
+        check(
+            binary_op(op),
+            ScalarType::I8,
+            ScalarType::I8,
+            exhaustive_pairs(ScalarType::I8, ScalarType::I8),
+        );
     }
 }
 
@@ -139,26 +150,34 @@ fn exhaustive_i8_same_type_binary() {
 fn exhaustive_u8_shift_ops_with_signed_counts() {
     // Counts sweep all of i8, including negative (reverse-direction) and
     // out-of-range magnitudes.
-    let data = exhaustive_pairs(ScalarType::U8, ScalarType::I8);
     for op in SHIFT_BINARY {
-        check(binary_op(op), ScalarType::U8, ScalarType::I8, &data);
+        check(
+            binary_op(op),
+            ScalarType::U8,
+            ScalarType::I8,
+            exhaustive_pairs(ScalarType::U8, ScalarType::I8),
+        );
     }
 }
 
 #[test]
 fn exhaustive_i8_shift_ops_with_signed_counts() {
-    let data = exhaustive_pairs(ScalarType::I8, ScalarType::I8);
     for op in SHIFT_BINARY {
-        check(binary_op(op), ScalarType::I8, ScalarType::I8, &data);
+        check(
+            binary_op(op),
+            ScalarType::I8,
+            ScalarType::I8,
+            exhaustive_pairs(ScalarType::I8, ScalarType::I8),
+        );
     }
 }
 
 #[test]
 fn exhaustive_mixed_sign_widening_mul() {
     let data = exhaustive_pairs(ScalarType::U8, ScalarType::I8);
-    check(binary_op(FpirOp::WideningMul), ScalarType::U8, ScalarType::I8, &data);
+    check(binary_op(FpirOp::WideningMul), ScalarType::U8, ScalarType::I8, data);
     let data = exhaustive_pairs(ScalarType::I8, ScalarType::U8);
-    check(binary_op(FpirOp::WideningMul), ScalarType::I8, ScalarType::U8, &data);
+    check(binary_op(FpirOp::WideningMul), ScalarType::I8, ScalarType::U8, data);
 }
 
 #[test]
@@ -173,13 +192,20 @@ fn exhaustive_u8_unary() {
         (ScalarType::I8, ScalarType::U16),
         (ScalarType::U8, ScalarType::I16),
     ] {
-        let data = exhaustive_pairs(src, src);
-        check(move |x, _| build::saturating_cast(dst, x), src, src, &data);
+        check(move |x, _| build::saturating_cast(dst, x), src, src, exhaustive_pairs(src, src));
     }
-    let data = exhaustive_pairs(ScalarType::I8, ScalarType::I8);
-    check(|x, _| build::abs(x), ScalarType::I8, ScalarType::I8, &data);
-    let data = exhaustive_pairs(ScalarType::U8, ScalarType::U8);
-    check(|x, _| build::abs(x), ScalarType::U8, ScalarType::U8, &data);
+    check(
+        |x, _| build::abs(x),
+        ScalarType::I8,
+        ScalarType::I8,
+        exhaustive_pairs(ScalarType::I8, ScalarType::I8),
+    );
+    check(
+        |x, _| build::abs(x),
+        ScalarType::U8,
+        ScalarType::U8,
+        exhaustive_pairs(ScalarType::U8, ScalarType::U8),
+    );
 }
 
 #[test]
@@ -218,12 +244,12 @@ fn sampled_wide_types_binary() {
     ] {
         let data = sampled_pairs(tx, tx, 48, seed);
         for op in SAME_TYPE_BINARY {
-            check(binary_op(op), tx, tx, &data);
+            check(binary_op(op), tx, tx, data.iter().cloned());
         }
         let signed = tx.with_signed();
         let shift_data = sampled_pairs(tx, signed, 24, seed + 1000);
         for op in SHIFT_BINARY {
-            check(binary_op(op), tx, signed, &shift_data);
+            check(binary_op(op), tx, signed, shift_data.iter().cloned());
         }
     }
 }
@@ -305,7 +331,7 @@ fn saturating_narrow_equals_saturating_cast() {
     // saturating_narrow(x) is defined as saturating_cast to the half-width
     // type; check the pair agree as expressions too.
     let data = sampled_pairs(ScalarType::I16, ScalarType::I16, 16, 7);
-    check(|x, _| build::saturating_narrow(x), ScalarType::I16, ScalarType::I16, &data);
+    check(|x, _| build::saturating_narrow(x), ScalarType::I16, ScalarType::I16, data);
     let data = sampled_pairs(ScalarType::U32, ScalarType::U32, 16, 8);
-    check(|x, _| build::saturating_narrow(x), ScalarType::U32, ScalarType::U32, &data);
+    check(|x, _| build::saturating_narrow(x), ScalarType::U32, ScalarType::U32, data);
 }

@@ -1,18 +1,22 @@
 //! `rulecheck` — run the static rule-set analyses over every shipped TRS.
 //!
 //! ```text
-//! rulecheck [--json] [--deny warnings]
+//! rulecheck [--json] [--deny warnings] [--jobs N]
 //! ```
 //!
 //! Exits non-zero when any *error* is found, or when `--deny warnings` is
 //! given and any warning is found. Notes never affect the exit code.
+//! `--jobs` (default: `PITCHFORK_JOBS` or the machine's parallelism) fans
+//! the independent analysis × rule-set units out over a worker pool; the
+//! diagnostic list is identical for any worker count.
 
-use pitchfork_lint::{check_rule_sets, render_json, tally, Severity};
+use pitchfork_lint::{check_rule_sets_jobs, render_json, tally, Severity};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut deny_warnings = false;
+    let mut jobs = fpir_pool::default_jobs();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -29,8 +33,15 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--jobs" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => {
+                    eprintln!("rulecheck: `--jobs` expects a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: rulecheck [--json] [--deny warnings]");
+                println!("usage: rulecheck [--json] [--deny warnings] [--jobs N]");
                 println!();
                 println!("Statically analyzes the shipped lift/lower rule sets:");
                 println!("  termination  strict cost descent + rewrite-cycle detection");
@@ -47,7 +58,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut diags = check_rule_sets(&pitchfork::all_rule_sets());
+    let mut diags = check_rule_sets_jobs(&pitchfork::all_rule_sets(), &fpir_pool::Pool::new(jobs));
     // Most severe first, stable within a severity class.
     diags.sort_by_key(|d| std::cmp::Reverse(d.severity));
 

@@ -56,25 +56,39 @@ use pitchfork::{RegisteredRuleSet, RuleSetKind};
 /// model from the set's [`RuleSetKind`]; coverage runs once per lowering
 /// backend. Diagnostics come back grouped by analysis in a stable order.
 pub fn check_rule_sets(sets: &[RegisteredRuleSet]) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    for reg in sets {
-        out.extend(termination::check(reg));
-    }
-    for reg in sets {
-        out.extend(shadowing::check(&reg.set));
-    }
-    for reg in sets {
-        out.extend(predicates::check(&reg.set));
-    }
-    for reg in sets {
-        out.extend(indexcheck::check(&reg.set));
-    }
-    for reg in sets {
-        if let RuleSetKind::Lower(isa) = reg.kind {
-            out.extend(coverage::check(isa, &reg.set));
+    check_rule_sets_jobs(sets, &fpir_pool::Pool::sequential())
+}
+
+/// [`check_rule_sets`] with the independent (analysis × rule-set) units
+/// fanned out over `pool`. The work list is built in the sequential
+/// order and the pool's map preserves it, so the diagnostic list is
+/// identical for any worker count.
+pub fn check_rule_sets_jobs(sets: &[RegisteredRuleSet], pool: &fpir_pool::Pool) -> Vec<Diagnostic> {
+    const N_ANALYSES: usize = 5;
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for analysis in 0..N_ANALYSES {
+        for (i, reg) in sets.iter().enumerate() {
+            if analysis + 1 < N_ANALYSES || matches!(reg.kind, RuleSetKind::Lower(_)) {
+                work.push((analysis, i));
+            }
         }
     }
-    out
+    pool.map(&work, |&(analysis, i)| {
+        let reg = &sets[i];
+        match analysis {
+            0 => termination::check(reg),
+            1 => shadowing::check(&reg.set),
+            2 => predicates::check(&reg.set),
+            3 => indexcheck::check(&reg.set),
+            _ => match reg.kind {
+                RuleSetKind::Lower(isa) => coverage::check(isa, &reg.set),
+                _ => unreachable!("coverage work items are lowering sets only"),
+            },
+        }
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Count diagnostics at each severity: `(errors, warnings, notes)`.

@@ -22,10 +22,16 @@ pub mod corpus;
 pub mod generalize;
 pub mod lift_synth;
 pub mod lower_synth;
+pub mod pipeline;
 pub mod verify;
 
 pub use corpus::{build_corpus, subexpressions, MAX_LHS_NODES};
 pub use generalize::{generalize_pair, GeneralizeError};
-pub use lift_synth::{synthesize_lift, SynthBudget};
-pub use lower_synth::{generate_lower_pairs, LowerPair};
-pub use verify::{verify_rule, verify_rule_set, VerifyError, VerifyOptions};
+pub use lift_synth::{
+    synthesize_lift, synthesize_lift_jobs, synthesize_lift_reference, SynthBudget,
+};
+pub use lower_synth::{generate_lower_pairs, generate_lower_pairs_jobs, LowerPair};
+pub use pipeline::{
+    harvest_corpus, synthesize_corpus_rules, LiftEngine, PipelineConfig, SynthesizedRule,
+};
+pub use verify::{verify_rule, verify_rule_set, verify_rule_set_jobs, VerifyError, VerifyOptions};

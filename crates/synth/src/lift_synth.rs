@@ -8,16 +8,75 @@
 //! lifting rewrite pair. Where Rosette posed SMT queries, this module
 //! uses dense concrete evaluation — candidates are *verified* after
 //! generalization by `crate::verify` before being accepted as rules.
+//!
+//! ## The fast enumerator
+//!
+//! The production entry points ([`synthesize_lift`],
+//! [`synthesize_lift_jobs`]) are *signature-incremental*: every bank
+//! entry caches its output [`Value`] per sample environment, and a newly
+//! combined candidate is priced by applying only its **root operation**
+//! over the cached child outputs ([`fpir::interp::apply_root`]) — O(lanes)
+//! per candidate instead of an O(size · lanes) whole-tree re-walk. Each
+//! round also enumerates only combinations that involve at least one
+//! entry added in the previous round: pairs of older entries were already
+//! tried, are observationally deduplicated, and provably cannot change
+//! the bank or the winner. Sharding the per-round combination by
+//! left-operand index over an [`fpir_pool::Pool`] and merging shard
+//! results in index order keeps the parallel run **bit-identical** to the
+//! sequential one.
+//!
+//! [`synthesize_lift_reference`] preserves the pre-optimization
+//! enumerator verbatim (whole-tree signatures, re-evaluated once for the
+//! specification test and once for deduplication; full bank snapshot
+//! cloned and recombined every round). It exists as the differential
+//! baseline: `synth-bench` gates on the fast enumerator reproducing its
+//! results exactly, and times the two against each other.
 
 use fpir::build;
 use fpir::expr::{Expr, FpirOp, RcExpr};
-use fpir::interp::{eval, Env, Value};
+use fpir::interp::{apply_root, eval, Env, Value};
 use fpir::rand_expr::rand_lane;
 use fpir::types::{ScalarType, VectorType};
+use fpir_pool::Pool;
 use fpir_trs::cost::{AgnosticCost, CostModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiply-xor hasher (the rustc-hash construction) for the fast
+/// enumerator's dedup set. Signature keys are ~3 KB of lane data and the
+/// set sees one insert per enumerated candidate, so SipHash is measurable
+/// overhead. Dedup stays *exact* — `HashSet` compares full keys on
+/// collision; only the hash function changes.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(K);
+        }
+        let mut tail = 0u64;
+        for (i, b) in chunks.remainder().iter().enumerate() {
+            tail |= (*b as u64) << (8 * i);
+        }
+        if !chunks.remainder().is_empty() {
+            self.hash = (self.hash.rotate_left(5) ^ tail).wrapping_mul(K);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
 
 /// Enumeration limits.
 #[derive(Debug, Clone, Copy)]
@@ -38,9 +97,40 @@ impl Default for SynthBudget {
     }
 }
 
+/// A bank entry: an enumerated candidate plus its cached output value in
+/// every sample environment (the incremental half of its signature) and
+/// its tree size (so combinations over the node budget are skipped
+/// before the combined expression is even constructed — tree size is
+/// additive, `size(op(a, b)) = 1 + size(a) + size(b)`).
+struct BankEntry {
+    expr: RcExpr,
+    outs: Vec<Value>,
+    size: usize,
+}
+
+/// A freshly combined candidate, evaluated but not yet merged: its
+/// signature key plus the per-environment outputs future rounds will
+/// combine from.
+struct Candidate {
+    expr: RcExpr,
+    key: Vec<i128>,
+    outs: Vec<Value>,
+    size: usize,
+}
+
 /// Synthesize an FPIR right-hand side for `lhs`, if one exists that is
-/// strictly cheaper under the target-agnostic cost model.
+/// strictly cheaper under the target-agnostic cost model. Sequential
+/// (single worker); see [`synthesize_lift_jobs`] for the sharded variant
+/// with identical output.
 pub fn synthesize_lift(lhs: &RcExpr, budget: &SynthBudget) -> Option<RcExpr> {
+    synthesize_lift_jobs(lhs, budget, &Pool::sequential())
+}
+
+/// [`synthesize_lift`] with the per-round candidate combination sharded
+/// across `pool`'s workers. Shards are merged in a fixed order, so the
+/// result — and every intermediate bank state — is bit-identical to the
+/// sequential run for any worker count.
+pub fn synthesize_lift_jobs(lhs: &RcExpr, budget: &SynthBudget, pool: &Pool) -> Option<RcExpr> {
     let vars = lhs.free_vars();
     if vars.is_empty() || vars.len() > 3 {
         return None;
@@ -48,9 +138,222 @@ pub fn synthesize_lift(lhs: &RcExpr, budget: &SynthBudget) -> Option<RcExpr> {
     // The lhs must be re-instantiated at the synthesis lane width.
     let lhs = retarget_lanes(lhs, budget.lanes);
     let vars: Vec<(String, VectorType)> = lhs.free_vars();
+    let envs = sample_envs(&vars, budget);
+    let spec = signature(&lhs, &envs)?;
+    let cost = AgnosticCost;
+    let lhs_cost = cost.cost(&lhs);
 
+    let mut bank: Vec<BankEntry> = Vec::new();
+    let mut seen: FxHashSet<Vec<i128>> = FxHashSet::default();
+
+    // Terminals: the free variables and the constants appearing in lhs —
+    // same construction order as the reference enumerator. Terminal
+    // signatures are whole-tree evaluations (the trees are single nodes).
+    for e in terminal_candidates(&lhs, &vars, budget) {
+        if bank.len() >= budget.max_bank {
+            continue;
+        }
+        let Some(outs) = eval_all(&e, &envs) else { continue };
+        let key = signature_key(e.elem(), &outs);
+        if seen.insert(key) {
+            let size = e.size();
+            bank.push(BankEntry { expr: e, outs, size });
+        }
+    }
+
+    // Grow the bank by size. Each round combines bank entries with FPIR
+    // instructions (and the few primitives lifted code still contains),
+    // restricted to combinations that involve at least one entry the
+    // previous round added — older pairs were already enumerated and are
+    // observationally deduplicated, so replaying them cannot change the
+    // bank, the specification matches, or the winner.
+    let mut best: Option<RcExpr> = None;
+    let mut prev_hi = 0usize;
+    for _round in 0..budget.max_nodes {
+        let hi = bank.len();
+        if hi == prev_hi {
+            // No new entries: every further round would enumerate nothing.
+            break;
+        }
+        let a_indices: Vec<usize> = (0..hi).collect();
+        let shards: Vec<Vec<Candidate>> = pool.map(&a_indices, |&a_idx| {
+            let mut out = Vec::new();
+            combine_for(&bank, a_idx, prev_hi, hi, budget, &mut out);
+            out
+        });
+        prev_hi = hi;
+        // Deterministic merge: shards arrive in left-operand order, and
+        // within a shard in generation order — the exact sequential order.
+        for cand in shards.into_iter().flatten() {
+            if cand.key == spec {
+                let c = cost.cost(&cand.expr);
+                if c < lhs_cost && best.as_ref().is_none_or(|b| c < cost.cost(b)) {
+                    best = Some(cand.expr.clone());
+                }
+            }
+            if bank.len() < budget.max_bank && seen.insert(cand.key) {
+                bank.push(BankEntry { expr: cand.expr, outs: cand.outs, size: cand.size });
+            }
+        }
+        if best.is_some() {
+            break;
+        }
+    }
+    // The winner must type-match the specification exactly.
+    best.filter(|b| b.ty() == lhs.ty()).map(|b| retarget_lanes(&b, lhs_original_lanes(&vars)))
+}
+
+/// Enumerate every combination rooted at `bank[a_idx]` (as left operand)
+/// for one round, evaluating each candidate incrementally from cached
+/// child outputs. `prev_hi` is the bank length before the previous round's
+/// merge and `hi` the length at this round's start; combinations where
+/// both operands predate `prev_hi` are skipped (already enumerated).
+fn combine_for(
+    bank: &[BankEntry],
+    a_idx: usize,
+    prev_hi: usize,
+    hi: usize,
+    budget: &SynthBudget,
+    out: &mut Vec<Candidate>,
+) {
+    let empty_env = Env::new();
+    let a = &bank[a_idx];
+    let a_new = a_idx >= prev_hi;
+    let max_size = budget.max_nodes + 2;
+    let mut emit = |e: RcExpr, size: usize, children: &[&BankEntry]| {
+        debug_assert_eq!(size, e.size());
+        let n_envs = children[0].outs.len();
+        let mut outs = Vec::with_capacity(n_envs);
+        for i in 0..n_envs {
+            // Arity is at most 2 here; dispatching on it keeps the
+            // argument slice on the stack (no per-env allocation).
+            let r = match children {
+                [a] => apply_root(&e, &[&a.outs[i]], &empty_env, None),
+                [a, b] => apply_root(&e, &[&a.outs[i], &b.outs[i]], &empty_env, None),
+                _ => unreachable!("enumerated forms are unary or binary"),
+            };
+            match r {
+                Ok(v) => outs.push(v),
+                Err(_) => return,
+            }
+        }
+        out.push(Candidate { key: signature_key(e.elem(), &outs), expr: e, outs, size });
+    };
+
+    // Unary forms (only when `a` itself is new; otherwise they were
+    // emitted the round `a` entered the bank). Combinations over the size
+    // budget are dropped *before* construction — the reference enumerator
+    // constructs them and filters on `size()` afterwards, with the same
+    // outcome.
+    if a_new && a.size < max_size {
+        for t in [
+            a.expr.elem().narrow(),
+            a.expr.elem().widen(),
+            Some(a.expr.elem().with_signed()),
+            Some(a.expr.elem().with_unsigned()),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            if let Ok(e) = Expr::fpir(FpirOp::SaturatingCast(t), vec![a.expr.clone()]) {
+                emit(e, 1 + a.size, &[a]);
+            }
+            if t.bits() == a.expr.elem().bits() {
+                if let Ok(e) = Expr::reinterpret(t, a.expr.clone()) {
+                    emit(e, 1 + a.size, &[a]);
+                }
+            } else {
+                emit(Expr::cast(t, a.expr.clone()), 1 + a.size, &[a]);
+            }
+        }
+        if let Ok(e) = Expr::fpir(FpirOp::Abs, vec![a.expr.clone()]) {
+            emit(e, 1 + a.size, &[a]);
+        }
+    }
+    for (b_idx, b) in bank.iter().enumerate().take(hi) {
+        if !a_new && b_idx < prev_hi {
+            continue;
+        }
+        if 1 + a.size + b.size > max_size {
+            continue;
+        }
+        for op in [
+            FpirOp::WideningAdd,
+            FpirOp::WideningSub,
+            FpirOp::WideningMul,
+            FpirOp::WideningShl,
+            FpirOp::ExtendingAdd,
+            FpirOp::ExtendingSub,
+            FpirOp::Absd,
+            FpirOp::SaturatingAdd,
+            FpirOp::SaturatingSub,
+            FpirOp::HalvingAdd,
+            FpirOp::HalvingSub,
+            FpirOp::RoundingHalvingAdd,
+            FpirOp::RoundingShr,
+            FpirOp::SaturatingShl,
+        ] {
+            if let Ok(e) = Expr::fpir(op, vec![a.expr.clone(), b.expr.clone()]) {
+                emit(e, 1 + a.size + b.size, &[a, b]);
+            }
+        }
+        if a.expr.ty() == b.expr.ty() {
+            for op in [fpir::BinOp::Add, fpir::BinOp::Sub] {
+                if let Ok(e) = Expr::bin(op, a.expr.clone(), b.expr.clone()) {
+                    emit(e, 1 + a.size + b.size, &[a, b]);
+                }
+            }
+        }
+    }
+}
+
+/// The terminal expressions seeding the bank, in the reference
+/// enumerator's order: free variables first, then the lhs's constants
+/// (plus log2 of power-of-two constants) offered at every variable's
+/// element type and their own.
+fn terminal_candidates(
+    lhs: &RcExpr,
+    vars: &[(String, VectorType)],
+    budget: &SynthBudget,
+) -> Vec<RcExpr> {
+    let mut out: Vec<RcExpr> = Vec::new();
+    for (n, t) in vars {
+        out.push(Expr::var(n.clone(), *t));
+    }
+    let mut const_pool: Vec<(i128, ScalarType)> = Vec::new();
+    lhs.visit(&mut |e: &Expr| {
+        if let Some(c) = e.as_const() {
+            const_pool.push((c, e.elem()));
+            if fpir::simplify::is_pow2(c) && c > 1 {
+                const_pool.push((fpir::simplify::log2(c) as i128, e.elem()));
+            }
+        }
+    });
+    let var_elems: Vec<ScalarType> = vars.iter().map(|(_, t)| t.elem).collect();
+    for (c, t) in const_pool {
+        for elem in var_elems.iter().copied().chain(std::iter::once(t)) {
+            if elem.contains(c) {
+                if let Ok(e) = Expr::constant(c, VectorType::new(elem, budget.lanes)) {
+                    out.push(e);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Evaluate `e` whole-tree in every environment (terminal seeding only —
+/// interior candidates are evaluated incrementally).
+fn eval_all(e: &RcExpr, envs: &[Env]) -> Option<Vec<Value>> {
+    envs.iter().map(|env| eval(e, env).ok()).collect()
+}
+
+/// The sample environments used for observational equivalence, derived
+/// deterministically from the variable list (one fixed seed, so the
+/// reference and fast enumerators — and every worker — agree on them).
+pub fn sample_envs(vars: &[(String, VectorType)], budget: &SynthBudget) -> Vec<Env> {
     let mut rng = StdRng::seed_from_u64(0x11F7);
-    let envs: Vec<Env> = (0..budget.sample_envs)
+    (0..budget.sample_envs)
         .map(|_| {
             vars.iter()
                 .map(|(n, t)| {
@@ -59,7 +362,25 @@ pub fn synthesize_lift(lhs: &RcExpr, budget: &SynthBudget) -> Option<RcExpr> {
                 })
                 .collect()
         })
-        .collect();
+        .collect()
+}
+
+/// The reference enumerator: the faithful pre-optimization implementation
+/// (whole-tree signature evaluation — twice per candidate, once for the
+/// specification test and once for deduplication — with the full bank
+/// snapshot cloned and recombined every round). Kept as the differential
+/// baseline for the fast enumerator; `synth-bench` gates on the two
+/// producing identical results.
+pub fn synthesize_lift_reference(lhs: &RcExpr, budget: &SynthBudget) -> Option<RcExpr> {
+    let vars = lhs.free_vars();
+    if vars.is_empty() || vars.len() > 3 {
+        return None;
+    }
+    // The lhs must be re-instantiated at the synthesis lane width.
+    let lhs = retarget_lanes(lhs, budget.lanes);
+    let vars: Vec<(String, VectorType)> = lhs.free_vars();
+
+    let envs = sample_envs(&vars, budget);
     let spec = signature(&lhs, &envs)?;
     let cost = AgnosticCost;
     let lhs_cost = cost.cost(&lhs);
@@ -79,29 +400,8 @@ pub fn synthesize_lift(lhs: &RcExpr, budget: &SynthBudget) -> Option<RcExpr> {
             }
         }
     };
-    for (n, t) in &vars {
-        push(Expr::var(n.clone(), *t), &mut bank);
-    }
-    let mut const_pool: Vec<(i128, ScalarType)> = Vec::new();
-    lhs.visit(&mut |e: &Expr| {
-        if let Some(c) = e.as_const() {
-            const_pool.push((c, e.elem()));
-            if fpir::simplify::is_pow2(c) && c > 1 {
-                const_pool.push((fpir::simplify::log2(c) as i128, e.elem()));
-            }
-        }
-    });
-    // Constants are also offered at every variable's element type (shift
-    // counts live at the narrow type after lifting).
-    let var_elems: Vec<ScalarType> = vars.iter().map(|(_, t)| t.elem).collect();
-    for (c, t) in const_pool.clone() {
-        for elem in var_elems.iter().copied().chain(std::iter::once(t)) {
-            if elem.contains(c) {
-                if let Ok(e) = Expr::constant(c, VectorType::new(elem, budget.lanes)) {
-                    push(e, &mut bank);
-                }
-            }
-        }
+    for e in terminal_candidates(&lhs, &vars, budget) {
+        push(e, &mut bank);
     }
 
     // Grow the bank by size, combining existing candidates with FPIR
@@ -206,7 +506,10 @@ pub fn retarget_lanes(e: &RcExpr, lanes: u32) -> RcExpr {
     }
 }
 
-fn signature(e: &RcExpr, envs: &[Env]) -> Option<Vec<i128>> {
+/// The observational signature of `e` over `envs`: element type (so
+/// differently-typed but bit-equal values differ) followed by every lane
+/// of every environment's output. `None` when evaluation fails.
+pub fn signature(e: &RcExpr, envs: &[Env]) -> Option<Vec<i128>> {
     let mut out = Vec::new();
     // Include the type so differently-typed but bit-equal values differ.
     out.push(e.elem().bits() as i128);
@@ -216,6 +519,19 @@ fn signature(e: &RcExpr, envs: &[Env]) -> Option<Vec<i128>> {
         out.extend_from_slice(v.lanes());
     }
     Some(out)
+}
+
+/// The signature key of already-computed per-environment outputs — the
+/// incremental counterpart of [`signature`], byte-identical to it.
+fn signature_key(elem: ScalarType, outs: &[Value]) -> Vec<i128> {
+    let lanes: usize = outs.iter().map(|v| v.lanes().len()).sum();
+    let mut key = Vec::with_capacity(2 + lanes);
+    key.push(elem.bits() as i128);
+    key.push(elem.is_signed() as i128);
+    for v in outs {
+        key.extend_from_slice(v.lanes());
+    }
+    key
 }
 
 #[cfg(test)]
@@ -259,5 +575,25 @@ mod tests {
         let t = V::new(S::U8, 64);
         let lhs = add(var("a", t), var("b", t));
         assert!(synthesize_lift(&lhs, &SynthBudget::default()).is_none());
+    }
+
+    #[test]
+    fn fast_agrees_with_reference_on_the_examples() {
+        let budget = SynthBudget { max_nodes: 3, sample_envs: 4, lanes: 16, max_bank: 96 };
+        let t = V::new(S::U8, 16);
+        let w = V::new(S::U16, 16);
+        let cases = [
+            shl(cast(S::I16, var("x", t)), constant(6, V::new(S::I16, 16))),
+            mul(widen(var("x", t)), constant(4, w)),
+            add(var("a", t), var("b", t)),
+            sub(widen(var("a", t)), widen(var("b", t))),
+        ];
+        for lhs in cases {
+            let reference = synthesize_lift_reference(&lhs, &budget).map(|e| e.to_string());
+            let fast = synthesize_lift(&lhs, &budget).map(|e| e.to_string());
+            let sharded = synthesize_lift_jobs(&lhs, &budget, &Pool::new(4)).map(|e| e.to_string());
+            assert_eq!(fast, reference, "fast vs reference diverged on {lhs}");
+            assert_eq!(sharded, fast, "sharded vs sequential diverged on {lhs}");
+        }
     }
 }

@@ -33,6 +33,20 @@ pub struct LowerPair {
 /// Rake has no x86 backend in the paper, and the same restriction is
 /// modelled here: x86 requests return no pairs.
 pub fn generate_lower_pairs(expr: &RcExpr, isa: Isa, max_lhs_nodes: usize) -> Vec<LowerPair> {
+    generate_lower_pairs_jobs(expr, isa, max_lhs_nodes, &fpir_pool::Pool::sequential())
+}
+
+/// [`generate_lower_pairs`] with the candidate left-hand sides compiled
+/// (greedy and oracle) in parallel over `pool`. One compiler, oracle and
+/// cost model are built and shared by every worker; the pool's map
+/// preserves candidate order, so the pair list is identical to the
+/// sequential run.
+pub fn generate_lower_pairs_jobs(
+    expr: &RcExpr,
+    isa: Isa,
+    max_lhs_nodes: usize,
+    pool: &fpir_pool::Pool,
+) -> Vec<LowerPair> {
     if isa == Isa::X86Avx2 {
         return Vec::new();
     }
@@ -42,25 +56,25 @@ pub fn generate_lower_pairs(expr: &RcExpr, isa: Isa, max_lhs_nodes: usize) -> Ve
     let rake = Rake::new(isa);
     let cost = TargetCost::new(isa);
     let (lifted, _) = pf.lift(expr);
-    let mut out = Vec::new();
     // Search cost is dominated by Rake's per-candidate verification; the
     // synthesis lane width need not match the source pipeline's.
     let lifted = crate::lift_synth::retarget_lanes(&lifted, 32);
-    for sub in subexpressions(&lifted, max_lhs_nodes).into_iter().take(24) {
-        let Ok(greedy) = pf.compile(&sub) else { continue };
-        let Ok(oracle) = rake.compile(&sub) else { continue };
+    let subs: Vec<RcExpr> = subexpressions(&lifted, max_lhs_nodes).into_iter().take(24).collect();
+    pool.map(&subs, |sub| {
+        let greedy = pf.compile(sub).ok()?;
+        let oracle = rake.compile(sub).ok()?;
         let before = cost.cost(&greedy.lowered).width_sum;
         let after = cost.cost(&oracle.lowered).width_sum;
-        if after < before {
-            out.push(LowerPair {
-                isa,
-                lhs: sub,
-                rhs: oracle.lowered,
-                improvement: (before, after),
-            });
-        }
-    }
-    out
+        (after < before).then(|| LowerPair {
+            isa,
+            lhs: sub.clone(),
+            rhs: oracle.lowered,
+            improvement: (before, after),
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

@@ -185,11 +185,23 @@ fn exhaustive_check(rule: &Rule, lhs: &RcExpr, rhs: &RcExpr) -> Result<(), Verif
         0 => Ok(()),
         1 => {
             let (name, ty) = &vars[0];
-            let all: Vec<i128> = (ty.elem.min_value()..=ty.elem.max_value()).collect();
-            for chunk in all.chunks(ty.lanes as usize) {
-                let mut data = chunk.to_vec();
-                while data.len() < ty.lanes as usize {
-                    data.push(chunk[0]);
+            // Stream the operand range lane-chunk by lane-chunk instead of
+            // materializing it: the range itself is the iterator.
+            let lanes = ty.lanes as usize;
+            let mut data: Vec<i128> = Vec::with_capacity(lanes);
+            for x in ty.elem.min_value()..=ty.elem.max_value() {
+                data.push(x);
+                if data.len() == lanes {
+                    let env =
+                        Env::new().bind(name.clone(), Value::new(*ty, std::mem::take(&mut data)));
+                    agree(rule, lhs, rhs, &env)?;
+                    data.reserve(lanes);
+                }
+            }
+            if !data.is_empty() {
+                let pad = data[0];
+                while data.len() < lanes {
+                    data.push(pad);
                 }
                 let env = Env::new().bind(name.clone(), Value::new(*ty, data));
                 agree(rule, lhs, rhs, &env)?;
@@ -246,9 +258,21 @@ fn sampled_check(
     Ok(())
 }
 
-/// Verify every rule in a set, returning all failures.
+/// Verify every rule in a set, returning all failures (in rule order).
 pub fn verify_rule_set(rules: &fpir_trs::rule::RuleSet, opts: &VerifyOptions) -> Vec<VerifyError> {
     rules.rules().iter().filter_map(|r| verify_rule(r, opts).err()).collect()
+}
+
+/// [`verify_rule_set`] with per-rule verification fanned out over `pool`.
+/// Failures come back in rule order, exactly as the sequential call
+/// reports them: rules are independent, and the pool's map preserves
+/// input order.
+pub fn verify_rule_set_jobs(
+    rules: &fpir_trs::rule::RuleSet,
+    opts: &VerifyOptions,
+    pool: &fpir_pool::Pool,
+) -> Vec<VerifyError> {
+    pool.map(rules.rules(), |r| verify_rule(r, opts).err()).into_iter().flatten().collect()
 }
 
 #[cfg(test)]
