@@ -1,0 +1,270 @@
+//! `exec-bench` — whole-image *execution* benchmark.
+//!
+//! Compiles every workload for every target with every selector flow
+//! (LLVM-like baseline, Rake, Pitchfork), then executes each compiled
+//! program over whole images with both engines:
+//!
+//! * REFERENCE — [`fpir_halide::run_program_reference`]: a string-keyed
+//!   environment rebuilt per vector strip, interpreted by the table-lookup
+//!   VM (`fpir_sim::vm::execute`);
+//! * FAST — [`fpir_halide::run_tiled`]: the program linked once into an
+//!   [`fpir_sim::Executable`] (slot-resolved inputs, direct semantics
+//!   dispatch, shared constants, recycled register file), rows fanned out
+//!   over an `fpir-pool` worker pool.
+//!
+//! Equality gate, fatal (exit 1): on every workload × target × compiler
+//! the reference image, the tiled image at 1 worker and the tiled image
+//! at `--jobs` workers must be bit-identical.
+//!
+//! Writes `BENCH_exec.json` with per-row timings, cycle-model cost, the
+//! linked executable's peak physical register count, and the geomean
+//! wall-clock speedups (linked single-worker, and tiled at `--jobs`).
+//!
+//! Usage: `cargo run --release -p fpir-bench --bin exec-bench --
+//!         [--smoke] [--out PATH] [--jobs N]`
+//!
+//! `--smoke` cuts workloads, image size and repetitions for CI.
+//! `--jobs` (default: `PITCHFORK_JOBS` or the machine's parallelism) sets
+//! the tiled runner's worker count.
+
+use fpir::Isa;
+use fpir_bench::{geomean, run, Compiler};
+use fpir_halide::{run_program_reference, run_tiled};
+use fpir_isa::target;
+use fpir_sim::Executable;
+use fpir_workloads::{all_workloads, extra_workloads, unrolled_workloads};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One workload × target × compiler measurement.
+struct Row {
+    workload: String,
+    isa: Isa,
+    compiler: &'static str,
+    cycles: u64,
+    peak_regs: usize,
+    ops: usize,
+    reference_ns: u128,
+    fast1_ns: u128,
+    fastn_ns: u128,
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_exec.json");
+    let mut jobs = fpir_pool::default_jobs();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("exec-bench: `--out` expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--jobs" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => {
+                    eprintln!("exec-bench: `--jobs` expects a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: exec-bench [--smoke] [--out PATH] [--jobs N]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("exec-bench: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let reps = if smoke { 1 } else { 3 };
+    let (img_w, img_h) = if smoke { (128, 16) } else { (256, 64) };
+    let mut workloads = all_workloads();
+    if smoke {
+        workloads.truncate(3);
+    } else {
+        workloads.extend(extra_workloads());
+        workloads.extend(unrolled_workloads());
+    }
+    let isas = [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx];
+    let compilers: [(&'static str, Compiler); 3] =
+        [("llvm", Compiler::Llvm), ("rake", Compiler::Rake), ("pitchfork", Compiler::Pitchfork)];
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut diverged = false;
+
+    for wl in &workloads {
+        let inputs = wl.random_inputs(img_w, img_h, 0xE7EC);
+        for isa in isas {
+            let tgt = target(isa);
+            for (tag, compiler) in &compilers {
+                // The Rake reproduction models the paper's ARM/HVX
+                // backends only.
+                if *compiler == Compiler::Rake && isa == Isa::X86Avx2 {
+                    continue;
+                }
+                let result = match run(wl, isa, compiler) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("exec-bench: {}/{isa}/{tag} failed to compile: {e}", wl.name());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let program = &result.program;
+                let exe = match Executable::link(program, tgt) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        eprintln!("exec-bench: {}/{isa}/{tag} failed to link: {e}", wl.name());
+                        return ExitCode::FAILURE;
+                    }
+                };
+
+                let time = |f: &dyn Fn() -> fpir_halide::Image| -> (fpir_halide::Image, u128) {
+                    let img = f(); // warm-up; also the gated output
+                    let ns = (0..reps)
+                        .map(|_| {
+                            let t0 = Instant::now();
+                            let _ = f();
+                            t0.elapsed().as_nanos()
+                        })
+                        .min()
+                        .unwrap();
+                    (img, ns)
+                };
+                let (ref_img, reference_ns) = time(&|| {
+                    run_program_reference(&wl.pipeline, program, tgt, &inputs).expect("runs")
+                });
+                let (fast1_img, fast1_ns) =
+                    time(&|| run_tiled(&wl.pipeline, program, tgt, &inputs, 1).expect("runs"));
+                let (fastn_img, fastn_ns) =
+                    time(&|| run_tiled(&wl.pipeline, program, tgt, &inputs, jobs).expect("runs"));
+
+                // The equality gate: one program, three execution paths,
+                // one image.
+                if fast1_img != ref_img || fastn_img != ref_img {
+                    eprintln!(
+                        "DIVERGENCE {}/{isa}/{tag}: engines disagree (fast(1)=={}, fast({jobs})=={})",
+                        wl.name(),
+                        fast1_img == ref_img,
+                        fastn_img == ref_img,
+                    );
+                    diverged = true;
+                }
+
+                rows.push(Row {
+                    workload: wl.name().to_string(),
+                    isa,
+                    compiler: tag,
+                    cycles: result.cycles,
+                    peak_regs: exe.peak_regs(),
+                    ops: exe.op_count(),
+                    reference_ns,
+                    fast1_ns,
+                    fastn_ns,
+                });
+            }
+        }
+    }
+
+    let speedups1: Vec<f64> =
+        rows.iter().map(|r| r.reference_ns as f64 / r.fast1_ns.max(1) as f64).collect();
+    let speedups_n: Vec<f64> =
+        rows.iter().map(|r| r.reference_ns as f64 / r.fastn_ns.max(1) as f64).collect();
+    let (geo1, geo_n) = (geomean(&speedups1), geomean(&speedups_n));
+
+    println!(
+        "{:<18} {:>4} {:>10} {:>5} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "workload", "isa", "compiler", "regs", "reference", "fast(1)", "fast(n)", "x1", "xN"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:>4} {:>10} {:>5} {:>8}us {:>8}us {:>8}us {:>7.1}x {:>7.1}x",
+            r.workload,
+            isa_tag(r.isa),
+            r.compiler,
+            r.peak_regs,
+            r.reference_ns / 1_000,
+            r.fast1_ns / 1_000,
+            r.fastn_ns / 1_000,
+            r.reference_ns as f64 / r.fast1_ns.max(1) as f64,
+            r.reference_ns as f64 / r.fastn_ns.max(1) as f64,
+        );
+    }
+    println!("\ngeomean speedup, linked engine (1 worker) vs reference runner: {geo1:.2}x");
+    println!("geomean speedup, tiled ({jobs} workers) vs reference runner:     {geo_n:.2}x");
+
+    let json = render_json(&rows, geo1, geo_n, smoke, reps, jobs, img_w, img_h);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("exec-bench: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+
+    if diverged {
+        eprintln!("exec-bench: FAILED — execution engines diverged (see above)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn isa_tag(isa: Isa) -> &'static str {
+    match isa {
+        Isa::X86Avx2 => "x86",
+        Isa::ArmNeon => "arm",
+        Isa::HexagonHvx => "hvx",
+    }
+}
+
+/// Hand-built JSON (the environment has no serde; the shape is flat).
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    rows: &[Row],
+    geo1: f64,
+    geo_n: f64,
+    smoke: bool,
+    reps: usize,
+    jobs: usize,
+    img_w: usize,
+    img_h: usize,
+) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema\": \"pitchfork-exec-bench/v1\",");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"reps\": {reps},");
+    let _ = writeln!(s, "  \"jobs\": {jobs},");
+    let _ = writeln!(s, "  \"image\": [{img_w}, {img_h}],");
+    let _ = writeln!(s, "  \"geomean_speedup_linked_vs_reference\": {geo1:.4},");
+    let _ = writeln!(s, "  \"geomean_speedup_tiled_vs_reference\": {geo_n:.4},");
+    let _ = writeln!(s, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"workload\": \"{}\",", r.workload);
+        let _ = writeln!(s, "      \"isa\": \"{}\",", isa_tag(r.isa));
+        let _ = writeln!(s, "      \"compiler\": \"{}\",", r.compiler);
+        let _ = writeln!(s, "      \"cycles\": {},", r.cycles);
+        let _ = writeln!(s, "      \"peak_regs\": {},", r.peak_regs);
+        let _ = writeln!(s, "      \"ops\": {},", r.ops);
+        let _ = writeln!(s, "      \"reference_ns\": {},", r.reference_ns);
+        let _ = writeln!(s, "      \"fast1_ns\": {},", r.fast1_ns);
+        let _ = writeln!(s, "      \"fastn_ns\": {},", r.fastn_ns);
+        let _ = writeln!(
+            s,
+            "      \"speedup_linked\": {:.4},",
+            r.reference_ns as f64 / r.fast1_ns.max(1) as f64
+        );
+        let _ = writeln!(
+            s,
+            "      \"speedup_tiled\": {:.4}",
+            r.reference_ns as f64 / r.fastn_ns.max(1) as f64
+        );
+        let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

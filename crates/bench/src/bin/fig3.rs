@@ -19,7 +19,7 @@ use fpir::types::{ScalarType as S, VectorType as V};
 use fpir::{Isa, RcExpr};
 use fpir_baseline::LlvmBaseline;
 use fpir_isa::target;
-use fpir_sim::{cycle_cost, emit};
+use fpir_sim::{cycle_cost, emit, Executable};
 use pitchfork::Pitchfork;
 
 const LANES: u32 = 128;
@@ -56,8 +56,11 @@ fn main() {
             let p_pf = emit(&pf.lowered, t).expect("emits");
             let p_bl = emit(&bl.lowered, t).expect("emits");
             let (c_pf, c_bl) = (cycle_cost(&p_pf, t), cycle_cost(&p_bl, t));
+            let r_pf = Executable::link(&p_pf, t).expect("links").peak_regs();
+            let r_bl = Executable::link(&p_bl, t).expect("links").peak_regs();
             println!(
-                "--- {isa}: Pitchfork {} ops / {c_pf} cycles vs LLVM {} ops / {c_bl} cycles ({:.2}x)",
+                "--- {isa}: Pitchfork {} ops / {c_pf} cycles / {r_pf} regs \
+                 vs LLVM {} ops / {c_bl} cycles / {r_bl} regs ({:.2}x)",
                 p_pf.op_count(),
                 p_bl.op_count(),
                 c_bl as f64 / c_pf as f64

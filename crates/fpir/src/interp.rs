@@ -76,6 +76,32 @@ impl Value {
     pub fn lane(&self, i: usize) -> i128 {
         self.lanes[i]
     }
+
+    /// Build a value from lanes already known to satisfy the invariant
+    /// (verified in debug builds only).
+    ///
+    /// The linked execution engine (`fpir-sim`) uses this on its hot
+    /// paths, where the lanes come from sources that uphold the invariant
+    /// by construction: instruction semantics wrap or saturate into the
+    /// result type, and image samples are range-checked when written.
+    pub fn trusted(ty: VectorType, lanes: Vec<i128>) -> Value {
+        debug_assert_eq!(lanes.len(), ty.lanes as usize, "lane count must match {ty}");
+        debug_assert!(
+            lanes.iter().all(|&v| ty.elem.contains(v)),
+            "lane value out of range for {ty}"
+        );
+        Value { ty, lanes }
+    }
+
+    /// Consume the value, returning its lane buffer for reuse.
+    ///
+    /// This is the recycling hook of the linked execution engine
+    /// (`fpir-sim`): a dead register's backing allocation is handed back
+    /// and refilled by a later instruction instead of being freed and
+    /// reallocated.
+    pub fn into_lanes(self) -> Vec<i128> {
+        self.lanes
+    }
 }
 
 impl fmt::Display for Value {
@@ -334,6 +360,7 @@ pub fn floor_mod(x: i128, y: i128) -> i128 {
 ///
 /// Exposed so the `fpir-isa` crate can define machine-instruction semantics
 /// in terms of the very same lane arithmetic.
+#[inline]
 pub fn bin_op_lane(op: BinOp, x: i128, y: i128, elem: ScalarType) -> i128 {
     let b = elem.bits();
     let wrapped = |v: i128| elem.wrap(v);
@@ -366,6 +393,7 @@ fn shift_lane(x: i128, count: i128, bits: i128) -> i128 {
 
 /// One lane of a comparison, producing 0 or 1. `elem` is the operand type
 /// (unused for the comparison itself — lane values already carry sign).
+#[inline]
 pub fn cmp_op_lane(op: CmpOp, x: i128, y: i128, _elem: ScalarType) -> i128 {
     let r = match op {
         CmpOp::Eq => x == y,
@@ -385,6 +413,7 @@ pub fn cmp_op_lane(op: CmpOp, x: i128, y: i128, _elem: ScalarType) -> i128 {
 /// computation is exact in `i128` and then wrapped or saturated per the
 /// instruction's documented semantics. Exposed for reuse by the `fpir-isa`
 /// instruction tables.
+#[inline]
 pub fn fpir_op_lane(op: FpirOp, xs: &[i128], arg_tys: &[ScalarType], result: ScalarType) -> i128 {
     let bits = arg_tys[0].bits() as i128;
     match op {

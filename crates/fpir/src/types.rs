@@ -74,6 +74,7 @@ impl ScalarType {
     }
 
     /// Bit width of the lane.
+    #[inline]
     pub fn bits(self) -> u32 {
         match self {
             ScalarType::U8 | ScalarType::I8 => 8,
@@ -84,6 +85,7 @@ impl ScalarType {
     }
 
     /// Whether the lane is signed (two's complement).
+    #[inline]
     pub fn is_signed(self) -> bool {
         matches!(self, ScalarType::I8 | ScalarType::I16 | ScalarType::I32 | ScalarType::I64)
     }
@@ -146,6 +148,7 @@ impl ScalarType {
     /// assert_eq!(ScalarType::U8.wrap(256), 0);
     /// assert_eq!(ScalarType::I8.wrap(130), -126);
     /// ```
+    #[inline]
     pub fn wrap(self, v: i128) -> i128 {
         let b = self.bits();
         let mask = if b == 128 { u128::MAX } else { (1u128 << b) - 1 };
@@ -166,6 +169,7 @@ impl ScalarType {
     /// assert_eq!(ScalarType::U8.saturate(300), 255);
     /// assert_eq!(ScalarType::I8.saturate(-300), -128);
     /// ```
+    #[inline]
     pub fn saturate(self, v: i128) -> i128 {
         v.clamp(self.min_value(), self.max_value())
     }

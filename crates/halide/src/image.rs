@@ -52,6 +52,22 @@ impl Image {
         img
     }
 
+    /// Build directly from a row-major sample buffer whose values are
+    /// already known to be in range (verified in debug builds only) —
+    /// the tiled runner's merge path, where every sample was produced by
+    /// range-preserving instruction semantics.
+    pub(crate) fn from_data(
+        elem: ScalarType,
+        width: usize,
+        height: usize,
+        data: Vec<i128>,
+    ) -> Image {
+        assert!(width > 0 && height > 0, "images must be non-empty");
+        assert_eq!(data.len(), width * height, "sample count must match the dimensions");
+        debug_assert!(data.iter().all(|&v| elem.contains(v)), "sample out of range for {elem}");
+        Image { elem, width, height, data }
+    }
+
     /// Lane type of the samples.
     pub fn elem(&self) -> ScalarType {
         self.elem

@@ -11,13 +11,19 @@
 //!   encoded as an expression variable (`in__p1_m1` is `in(x+1, y-1)`);
 //! * [`Pipeline`] — a named output expression over taps, with a reference
 //!   executor (the "run the algorithm in Halide's interpreter" ground
-//!   truth) and per-row environments for driving compiled kernels.
+//!   truth) and per-row environments for driving compiled kernels;
+//! * [`runner`] — whole-image execution of compiled programs: the
+//!   strip-by-strip reference path ([`run_program_reference`]) and the
+//!   linked, parallel tiled path ([`run_tiled`]), bit-identical to each
+//!   other at any worker count.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod image;
 pub mod pipeline;
+pub mod runner;
 
 pub use image::Image;
 pub use pipeline::{tap, Pipeline, Tap};
+pub use runner::{run_program_reference, run_tiled};

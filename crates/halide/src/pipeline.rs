@@ -54,7 +54,7 @@ pub fn tap(buffer: &str, dx: i32, dy: i32, elem: ScalarType, lanes: u32) -> RcEx
     Expr::var(name, VectorType::new(elem, lanes))
 }
 
-fn parse_tap(name: &str, elem: ScalarType) -> Option<Tap> {
+pub(crate) fn parse_tap(name: &str, elem: ScalarType) -> Option<Tap> {
     let (buffer, offsets) = name.split_once("__")?;
     let (xs, ys) = offsets.split_once('_')?;
     Some(Tap { buffer: buffer.to_string(), dx: decode_offset(xs)?, dy: decode_offset(ys)?, elem })

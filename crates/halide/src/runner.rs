@@ -1,0 +1,282 @@
+//! Whole-image execution of compiled pipelines.
+//!
+//! Two runners over the same compiled [`Program`]:
+//!
+//! * [`run_program_reference`] — the REFERENCE path: per vector strip it
+//!   rebuilds a string-keyed environment ([`Pipeline::env_at`]) and
+//!   interprets the program with the reference VM
+//!   ([`fpir_sim::vm::execute`]), table lookups and all. Faithful and
+//!   slow: it repays name resolution and constant materialization on
+//!   every strip.
+//! * [`run_tiled`] — the FAST path: the program is
+//!   [linked once](fpir_sim::exec::Executable), the taps behind each
+//!   input slot are parsed once, and the image rows are split into chunks
+//!   fanned out on an [`fpir_pool::Pool`]. Each chunk reuses one
+//!   execution context — steady-state strips allocate nothing — and the
+//!   chunk results merge in row order, so the output is **bit-identical
+//!   for any worker count** (and to the reference runner; the end-to-end
+//!   and differential tests pin both).
+
+use crate::image::Image;
+use crate::pipeline::{parse_tap, Pipeline, PipelineError};
+use fpir::interp::Value;
+use fpir_isa::Target;
+use fpir_pool::Pool;
+use fpir_sim::program::Program;
+use fpir_sim::vm::execute;
+use fpir_sim::Executable;
+use std::collections::BTreeMap;
+
+/// Output dimensions: those of the pipeline's first input.
+fn output_shape(
+    pipe: &Pipeline,
+    inputs: &BTreeMap<String, Image>,
+) -> Result<(usize, usize), PipelineError> {
+    let first = pipe
+        .inputs()
+        .first()
+        .and_then(|n| inputs.get(n))
+        .ok_or_else(|| PipelineError { what: "pipeline reads no inputs".into() })?;
+    Ok((first.width(), first.height()))
+}
+
+/// Execute a compiled pipeline over whole images with the reference VM,
+/// one string-keyed environment per vector strip.
+///
+/// # Errors
+///
+/// Fails on missing or mistyped inputs, or execution errors.
+pub fn run_program_reference(
+    pipe: &Pipeline,
+    program: &Program,
+    target: &Target,
+    inputs: &BTreeMap<String, Image>,
+) -> Result<Image, PipelineError> {
+    let (w, h) = output_shape(pipe, inputs)?;
+    let mut out = Image::filled(pipe.out_elem(), w, h, 0);
+    let lanes = pipe.lanes() as usize;
+    for y in 0..h {
+        let mut x0 = 0usize;
+        while x0 < w {
+            let env = pipe.env_at(inputs, x0 as i64, y as i64)?;
+            let v = execute(program, &env, target)
+                .map_err(|e| PipelineError { what: e.to_string() })?;
+            for i in 0..lanes.min(w - x0) {
+                out.set(x0 + i, y, v.lane(i));
+            }
+            x0 += lanes;
+        }
+    }
+    Ok(out)
+}
+
+/// One linked input slot, fully resolved: which image, at what offset.
+struct SlotSource<'a> {
+    img: &'a Image,
+    dx: i64,
+    dy: i64,
+}
+
+/// Fill `buf` with `lanes` samples of `row` starting at `start`, with
+/// x-coordinates clamped to the row — the bulk interior is one slice
+/// copy; only the clamped edges go lane by lane. Produces exactly what
+/// `lanes` calls of [`Image::get_clamped`] would.
+fn gather_row(buf: &mut Vec<i128>, row: &[i128], start: i64, lanes: usize) {
+    let iw = row.len() as i64;
+    let end = start + lanes as i64;
+    let left = (-start).clamp(0, lanes as i64) as usize;
+    let in_lo = start.clamp(0, iw) as usize;
+    let in_hi = end.clamp(0, iw) as usize;
+    let right = lanes - left - (in_hi - in_lo);
+    for _ in 0..left {
+        buf.push(row[0]);
+    }
+    buf.extend_from_slice(&row[in_lo..in_hi]);
+    for _ in 0..right {
+        buf.push(row[iw as usize - 1]);
+    }
+}
+
+/// Execute a compiled pipeline over whole images on the linked engine,
+/// rows fanned out over `jobs` workers.
+///
+/// The program is linked once; each worker owns one execution context
+/// whose register file and lane buffers are recycled across every strip
+/// of its chunks. Rows are pure functions of the inputs, and chunks merge
+/// in ascending row order, so the output is bit-identical for any `jobs`
+/// — `run_tiled(.., 1)` equals `run_tiled(.., n)` equals
+/// [`run_program_reference`].
+///
+/// # Errors
+///
+/// Fails on missing or mistyped inputs, linking or execution errors.
+pub fn run_tiled(
+    pipe: &Pipeline,
+    program: &Program,
+    target: &Target,
+    inputs: &BTreeMap<String, Image>,
+    jobs: usize,
+) -> Result<Image, PipelineError> {
+    let (w, h) = output_shape(pipe, inputs)?;
+    let exe = Executable::link(program, target)
+        .map_err(|e| PipelineError { what: format!("linking failed: {e}") })?;
+
+    // Resolve each input slot to (image, offset) once, for every strip.
+    let mut sources: Vec<SlotSource<'_>> = Vec::with_capacity(exe.inputs().len());
+    for slot in exe.inputs() {
+        let t = parse_tap(&slot.name, slot.ty.elem)
+            .ok_or_else(|| PipelineError { what: format!("`{}` is not a tap", slot.name) })?;
+        let img = inputs
+            .get(&t.buffer)
+            .ok_or_else(|| PipelineError { what: format!("missing input `{}`", t.buffer) })?;
+        if img.elem() != t.elem {
+            return Err(PipelineError {
+                what: format!("input `{}` is {}, pipeline reads {}", t.buffer, img.elem(), t.elem),
+            });
+        }
+        sources.push(SlotSource { img, dx: t.dx as i64, dy: t.dy as i64 });
+    }
+
+    let lanes = pipe.lanes() as usize;
+    let out_elem = pipe.out_elem();
+
+    // Several chunks per worker for load balancing; the merge below is
+    // in chunk (= row) order, so the split never affects the output.
+    let jobs = jobs.max(1);
+    let n_chunks = (jobs * 4).min(h).max(1);
+    let rows_per = h.div_ceil(n_chunks);
+    let chunks: Vec<(usize, usize)> = (0..n_chunks)
+        .map(|c| ((c * rows_per).min(h), ((c + 1) * rows_per).min(h)))
+        .filter(|&(y0, y1)| y0 < y1)
+        .collect();
+
+    let results: Vec<Result<Vec<i128>, PipelineError>> =
+        Pool::new(jobs).map(&chunks, |&(y0, y1)| {
+            let mut ctx = exe.new_ctx();
+            let mut rows: Vec<i128> = Vec::with_capacity(w * (y1 - y0));
+            let mut slots: Vec<Value> = Vec::with_capacity(sources.len());
+            for y in y0..y1 {
+                let mut x0 = 0usize;
+                while x0 < w {
+                    for (src, slot) in sources.iter().zip(exe.inputs()) {
+                        let mut buf = ctx.take_buffer();
+                        let iw = src.img.width();
+                        let ry = (y as i64 + src.dy).clamp(0, src.img.height() as i64 - 1) as usize;
+                        let row = &src.img.data()[ry * iw..(ry + 1) * iw];
+                        gather_row(&mut buf, row, x0 as i64 + src.dx, lanes);
+                        // Image samples are range-checked on write, so
+                        // the gathered lanes satisfy the `Value`
+                        // invariant by construction.
+                        slots.push(Value::trusted(slot.ty, buf));
+                    }
+                    let v = exe
+                        .run_slots(&mut ctx, &slots)
+                        .map_err(|e| PipelineError { what: e.to_string() })?;
+                    for s in slots.drain(..) {
+                        ctx.recycle(s);
+                    }
+                    rows.extend_from_slice(&v.lanes()[..lanes.min(w - x0)]);
+                    ctx.recycle(v);
+                    x0 += lanes;
+                }
+            }
+            Ok(rows)
+        });
+
+    let mut data: Vec<i128> = Vec::with_capacity(w * h);
+    for chunk in results {
+        data.extend_from_slice(&chunk?);
+    }
+    Ok(Image::from_data(out_elem, w, h, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::tap;
+    use fpir::build;
+    use fpir::types::ScalarType as S;
+    use fpir::Isa;
+    use fpir_isa::{legalize, target};
+    use fpir_sim::emit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blur_pipeline(lanes: u32) -> Pipeline {
+        let a = tap("in", -1, 0, S::U8, lanes);
+        let b = tap("in", 0, 0, S::U8, lanes);
+        Pipeline::new("blur", build::rounding_halving_add(a, b))
+    }
+
+    fn compile(pipe: &Pipeline, isa: Isa) -> Program {
+        let t = target(isa);
+        emit(&legalize(&pipe.expr, t).unwrap(), t).unwrap()
+    }
+
+    #[test]
+    fn tiled_matches_reference_runner_and_interpreter() {
+        let pipe = blur_pipeline(8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let img = Image::random(&mut rng, S::U8, 37, 19);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("in".to_string(), img);
+        let interp = pipe.run_reference(&inputs).unwrap();
+        for isa in fpir::machine::ALL_ISAS {
+            let p = compile(&pipe, isa);
+            let reference = run_program_reference(&pipe, &p, target(isa), &inputs).unwrap();
+            let fast = run_tiled(&pipe, &p, target(isa), &inputs, 3).unwrap();
+            assert_eq!(reference, interp, "{isa}");
+            assert_eq!(fast, reference, "{isa}");
+        }
+    }
+
+    #[test]
+    fn tiled_output_is_worker_count_invariant() {
+        let pipe = blur_pipeline(16);
+        let mut rng = StdRng::seed_from_u64(8);
+        let img = Image::random(&mut rng, S::U8, 64, 33);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("in".to_string(), img);
+        let p = compile(&pipe, Isa::ArmNeon);
+        let tgt = target(Isa::ArmNeon);
+        let one = run_tiled(&pipe, &p, tgt, &inputs, 1).unwrap();
+        for jobs in [2, 4, 7, 64] {
+            assert_eq!(run_tiled(&pipe, &p, tgt, &inputs, jobs).unwrap(), one, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn missing_input_errors_in_both_runners() {
+        let pipe = blur_pipeline(8);
+        let p = compile(&pipe, Isa::X86Avx2);
+        let tgt = target(Isa::X86Avx2);
+        let empty = BTreeMap::new();
+        assert!(run_program_reference(&pipe, &p, tgt, &empty).is_err());
+        assert!(run_tiled(&pipe, &p, tgt, &empty, 2).is_err());
+    }
+
+    #[test]
+    fn mistyped_input_errors_in_both_runners() {
+        let pipe = blur_pipeline(8);
+        let p = compile(&pipe, Isa::X86Avx2);
+        let tgt = target(Isa::X86Avx2);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("in".to_string(), Image::filled(S::U16, 8, 8, 0));
+        let r = run_program_reference(&pipe, &p, tgt, &inputs);
+        let t = run_tiled(&pipe, &p, tgt, &inputs, 2);
+        assert!(r.is_err() && t.is_err());
+        assert_eq!(r.unwrap_err().what, t.unwrap_err().what);
+    }
+
+    #[test]
+    fn image_smaller_than_a_vector_strip() {
+        let pipe = blur_pipeline(16);
+        let img = Image::from_rows(S::U8, &[vec![10, 200, 30]]);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("in".to_string(), img);
+        let p = compile(&pipe, Isa::HexagonHvx);
+        let tgt = target(Isa::HexagonHvx);
+        let fast = run_tiled(&pipe, &p, tgt, &inputs, 4).unwrap();
+        assert_eq!(fast, pipe.run_reference(&inputs).unwrap());
+    }
+}

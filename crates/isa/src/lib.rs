@@ -46,4 +46,4 @@ pub mod x86;
 pub use cost::TargetCost;
 pub use def::{all_targets, target, InstDef, MachEvaluator, SignReq, Target};
 pub use legalize::{legalize, legalize_uncached, LowerError};
-pub use sem::{eval_sem, MachSem};
+pub use sem::{eval_sem, eval_sem_into, MachSem};

@@ -113,6 +113,30 @@ impl MachSem {
 /// Returns a message on arity mismatch, lane-count mismatch, or a result
 /// type inconsistent with the semantics.
 pub fn eval_sem(sem: MachSem, args: &[Value], result_ty: VectorType) -> Result<Value, String> {
+    let refs: Vec<&Value> = args.iter().collect();
+    let mut out = Vec::with_capacity(result_ty.lanes as usize);
+    eval_sem_into(sem, &refs, result_ty, &mut out)?;
+    Ok(Value::new(result_ty, out))
+}
+
+/// Execute one instruction, writing the result lanes into `out`.
+///
+/// This is the allocation-free core of [`eval_sem`]: operands are read
+/// through references and the result is produced into a caller-supplied
+/// buffer (cleared first), so a hot loop — the linked execution engine in
+/// `fpir-sim` — can recycle lane buffers across instructions instead of
+/// allocating a fresh `Value` per step. [`eval_sem`] is a thin wrapper,
+/// so the two entry points can never disagree on semantics.
+///
+/// # Errors
+///
+/// As [`eval_sem`].
+pub fn eval_sem_into(
+    sem: MachSem,
+    args: &[&Value],
+    result_ty: VectorType,
+    out: &mut Vec<i128>,
+) -> Result<(), String> {
     if args.len() != sem.arity() {
         return Err(format!("{sem:?} takes {} operands, got {}", sem.arity(), args.len()));
     }
@@ -123,49 +147,145 @@ pub fn eval_sem(sem: MachSem, args: &[Value], result_ty: VectorType) -> Result<V
         }
     }
     let elem0 = args.first().map(|a| a.ty().elem);
-    let per_lane = |f: &dyn Fn(usize) -> Result<i128, String>| -> Result<Value, String> {
-        let mut out = Vec::with_capacity(lanes);
-        for i in 0..lanes {
-            out.push(f(i)?);
-        }
-        Ok(Value::new(result_ty, out))
-    };
-
+    out.clear();
+    out.reserve(lanes);
+    // Hot path: every arm iterates the operand lane *slices* directly
+    // (zips are bounds-check-free; `extend` over an exact-size iterator
+    // writes without per-element capacity checks), because this core runs
+    // once per instruction per image strip in the linked engine.
     match sem {
         MachSem::Bin(op) => {
             let t = elem0.expect("arity >= 1");
-            per_lane(&|i| Ok(bin_op_lane(op, args[0].lane(i), args[1].lane(i), t)))
+            let (a, b) = (args[0].lanes(), args[1].lanes());
+            // Dispatch on the op once per instruction, not once per lane:
+            // each arm hands the *literal* op to the single-source lane
+            // helper, whose internal match then folds away under inlining.
+            macro_rules! bin_lanes {
+                ($($v:ident),*) => {
+                    match op {
+                        $(BinOp::$v => out
+                            .extend(a.iter().zip(b).map(|(&x, &y)| bin_op_lane(BinOp::$v, x, y, t))),)*
+                    }
+                };
+            }
+            bin_lanes!(Add, Sub, Mul, Div, Mod, Min, Max, Shl, Shr, And, Or, Xor);
+            Ok(())
         }
         MachSem::Cmp(op) => {
             let t = elem0.expect("arity >= 1");
-            per_lane(&|i| Ok(cmp_op_lane(op, args[0].lane(i), args[1].lane(i), t)))
+            let (a, b) = (args[0].lanes(), args[1].lanes());
+            macro_rules! cmp_lanes {
+                ($($v:ident),*) => {
+                    match op {
+                        $(CmpOp::$v => out
+                            .extend(a.iter().zip(b).map(|(&x, &y)| cmp_op_lane(CmpOp::$v, x, y, t))),)*
+                    }
+                };
+            }
+            cmp_lanes!(Eq, Ne, Lt, Le, Gt, Ge);
+            Ok(())
         }
         MachSem::Select => {
-            per_lane(&|i| Ok(if args[0].lane(i) != 0 { args[1].lane(i) } else { args[2].lane(i) }))
+            let (m, a, b) = (args[0].lanes(), args[1].lanes(), args[2].lanes());
+            out.extend(m.iter().zip(a).zip(b).map(|((&m, &x), &y)| if m != 0 { x } else { y }));
+            Ok(())
         }
         MachSem::ExtendTo | MachSem::TruncTo | MachSem::Reinterpret | MachSem::Splat => {
-            per_lane(&|i| Ok(result_ty.elem.wrap(args[0].lane(i))))
+            out.extend(args[0].lanes().iter().map(|&x| result_ty.elem.wrap(x)));
+            Ok(())
         }
-        MachSem::SatCastTo => per_lane(&|i| Ok(result_ty.elem.saturate(args[0].lane(i)))),
+        MachSem::SatCastTo => {
+            out.extend(args[0].lanes().iter().map(|&x| result_ty.elem.saturate(x)));
+            Ok(())
+        }
         MachSem::PackSatSignedTo => {
             let signed = elem0.expect("arity 1").with_signed();
-            per_lane(&|i| Ok(result_ty.elem.saturate(signed.wrap(args[0].lane(i)))))
+            out.extend(args[0].lanes().iter().map(|&x| result_ty.elem.saturate(signed.wrap(x))));
+            Ok(())
         }
         MachSem::Fpir(op) => {
-            let tys: Vec<ScalarType> = args.iter().map(|a| a.ty().elem).collect();
-            per_lane(&|i| {
-                let xs: Vec<i128> = args.iter().map(|a| a.lane(i)).collect();
-                Ok(fpir_op_lane(op, &xs, &tys, result_ty.elem))
-            })
+            // Specialized by arity: fixed-size lane tuples on the stack
+            // for the overwhelmingly common 1/2/3-operand instructions.
+            match args {
+                [a] => {
+                    let tys = [a.ty().elem];
+                    out.extend(
+                        a.lanes().iter().map(|&x| fpir_op_lane(op, &[x], &tys, result_ty.elem)),
+                    );
+                }
+                [a, b] => {
+                    let tys = [a.ty().elem, b.ty().elem];
+                    // As for `Bin` above: pick the op once, outside the
+                    // lane loop, passing a literal to the lane helper so
+                    // its match folds. The wildcard arm covers the ops
+                    // that never reach here with two operands.
+                    macro_rules! lanes2 {
+                        ($v:expr) => {
+                            out.extend(
+                                a.lanes().iter().zip(b.lanes()).map(|(&x, &y)| {
+                                    fpir_op_lane($v, &[x, y], &tys, result_ty.elem)
+                                }),
+                            )
+                        };
+                    }
+                    match op {
+                        FpirOp::WideningAdd => lanes2!(FpirOp::WideningAdd),
+                        FpirOp::WideningSub => lanes2!(FpirOp::WideningSub),
+                        FpirOp::WideningMul => lanes2!(FpirOp::WideningMul),
+                        FpirOp::ExtendingAdd => lanes2!(FpirOp::ExtendingAdd),
+                        FpirOp::ExtendingSub => lanes2!(FpirOp::ExtendingSub),
+                        FpirOp::ExtendingMul => lanes2!(FpirOp::ExtendingMul),
+                        FpirOp::SaturatingAdd => lanes2!(FpirOp::SaturatingAdd),
+                        FpirOp::SaturatingSub => lanes2!(FpirOp::SaturatingSub),
+                        FpirOp::HalvingAdd => lanes2!(FpirOp::HalvingAdd),
+                        FpirOp::HalvingSub => lanes2!(FpirOp::HalvingSub),
+                        FpirOp::RoundingHalvingAdd => lanes2!(FpirOp::RoundingHalvingAdd),
+                        FpirOp::Absd => lanes2!(FpirOp::Absd),
+                        _ => lanes2!(op),
+                    }
+                }
+                [a, b, c] => {
+                    let tys = [a.ty().elem, b.ty().elem, c.ty().elem];
+                    macro_rules! lanes3 {
+                        ($v:expr) => {
+                            out.extend(a.lanes().iter().zip(b.lanes()).zip(c.lanes()).map(
+                                |((&x, &y), &z)| fpir_op_lane($v, &[x, y, z], &tys, result_ty.elem),
+                            ))
+                        };
+                    }
+                    match op {
+                        FpirOp::MulShr => lanes3!(FpirOp::MulShr),
+                        FpirOp::RoundingMulShr => lanes3!(FpirOp::RoundingMulShr),
+                        _ => lanes3!(op),
+                    }
+                }
+                _ => {
+                    let tys: Vec<ScalarType> = args.iter().map(|a| a.ty().elem).collect();
+                    let mut xs: Vec<i128> = vec![0; args.len()];
+                    out.extend((0..lanes).map(|i| {
+                        for (x, a) in xs.iter_mut().zip(args) {
+                            *x = a.lane(i);
+                        }
+                        fpir_op_lane(op, &xs, &tys, result_ty.elem)
+                    }));
+                }
+            }
+            Ok(())
         }
         MachSem::MulHigh => {
             let t = elem0.expect("arity 2");
             let bits = t.bits();
-            per_lane(&|i| Ok(result_ty.elem.wrap((args[0].lane(i) * args[1].lane(i)) >> bits)))
+            let (a, b) = (args[0].lanes(), args[1].lanes());
+            out.extend(a.iter().zip(b).map(|(&x, &y)| result_ty.elem.wrap((x * y) >> bits)));
+            Ok(())
         }
-        MachSem::MulAcc => per_lane(&|i| {
-            Ok(result_ty.elem.wrap(args[0].lane(i) + args[1].lane(i) * args[2].lane(i)))
-        }),
+        MachSem::MulAcc => {
+            let (acc, a, b) = (args[0].lanes(), args[1].lanes(), args[2].lanes());
+            out.extend(
+                acc.iter().zip(a).zip(b).map(|((&c, &x), &y)| result_ty.elem.wrap(c + x * y)),
+            );
+            Ok(())
+        }
         MachSem::WideningMulAcc => {
             let (aw, ow) = (args[0].ty().elem.bits(), args[1].ty().elem.bits());
             if aw != ow * 2 {
@@ -173,27 +293,36 @@ pub fn eval_sem(sem: MachSem, args: &[Value], result_ty: VectorType) -> Result<V
                     "widening mul-acc accumulator must be 2x the operand width ({aw} vs {ow})"
                 ));
             }
-            per_lane(&|i| {
-                Ok(result_ty.elem.wrap(args[0].lane(i) + args[1].lane(i) * args[2].lane(i)))
-            })
+            let (acc, a, b) = (args[0].lanes(), args[1].lanes(), args[2].lanes());
+            out.extend(
+                acc.iter().zip(a).zip(b).map(|((&c, &x), &y)| result_ty.elem.wrap(c + x * y)),
+            );
+            Ok(())
         }
-        MachSem::MulPairsAdd => per_lane(&|i| {
-            Ok(result_ty
-                .elem
-                .wrap(args[0].lane(i) * args[1].lane(i) + args[2].lane(i) * args[3].lane(i)))
-        }),
-        MachSem::Mpa => per_lane(&|i| {
-            Ok(result_ty
-                .elem
-                .wrap(args[0].lane(i) * args[2].lane(i) + args[1].lane(i) * args[3].lane(i)))
-        }),
-        MachSem::MpaAcc => per_lane(&|i| {
-            Ok(result_ty.elem.wrap(
-                args[0].lane(i)
-                    + args[1].lane(i) * args[3].lane(i)
-                    + args[2].lane(i) * args[4].lane(i),
-            ))
-        }),
+        MachSem::MulPairsAdd => {
+            let (a, b, c, d) = (args[0].lanes(), args[1].lanes(), args[2].lanes(), args[3].lanes());
+            out.extend((0..lanes).map(|i| result_ty.elem.wrap(a[i] * b[i] + c[i] * d[i])));
+            Ok(())
+        }
+        MachSem::Mpa => {
+            let (a, b, c0, c1) =
+                (args[0].lanes(), args[1].lanes(), args[2].lanes(), args[3].lanes());
+            out.extend((0..lanes).map(|i| result_ty.elem.wrap(a[i] * c0[i] + b[i] * c1[i])));
+            Ok(())
+        }
+        MachSem::MpaAcc => {
+            let (acc, a, b, c0, c1) = (
+                args[0].lanes(),
+                args[1].lanes(),
+                args[2].lanes(),
+                args[3].lanes(),
+                args[4].lanes(),
+            );
+            out.extend(
+                (0..lanes).map(|i| result_ty.elem.wrap(acc[i] + a[i] * c0[i] + b[i] * c1[i])),
+            );
+            Ok(())
+        }
         MachSem::DotAcc4 => {
             let aw = args[0].ty().elem.bits();
             let ow = args[1].ty().elem.bits();
@@ -202,41 +331,48 @@ pub fn eval_sem(sem: MachSem, args: &[Value], result_ty: VectorType) -> Result<V
                     "dot-product accumulator must be 4x the operand width ({aw} vs {ow})"
                 ));
             }
-            per_lane(&|i| {
+            out.extend((0..lanes).map(|i| {
                 let mut acc = args[0].lane(i);
                 for k in 0..4 {
                     acc += args[1 + k].lane(i) * args[5 + k].lane(i);
                 }
-                Ok(result_ty.elem.wrap(acc))
-            })
+                result_ty.elem.wrap(acc)
+            }));
+            Ok(())
         }
         MachSem::ShrRndSatNarrow => {
             let t = elem0.expect("arity 2");
             let tys = [t, args[1].ty().elem];
-            per_lane(&|i| {
-                let shifted =
-                    fpir_op_lane(FpirOp::RoundingShr, &[args[0].lane(i), args[1].lane(i)], &tys, t);
-                Ok(result_ty.elem.saturate(shifted))
-            })
+            let (a, b) = (args[0].lanes(), args[1].lanes());
+            out.extend(a.iter().zip(b).map(|(&x, &y)| {
+                let shifted = fpir_op_lane(FpirOp::RoundingShr, &[x, y], &tys, t);
+                result_ty.elem.saturate(shifted)
+            }));
+            Ok(())
         }
         MachSem::ShrNarrow => {
             let t = elem0.expect("arity 2");
-            per_lane(&|i| {
-                let shifted = bin_op_lane(BinOp::Shr, args[0].lane(i), args[1].lane(i), t);
-                Ok(result_ty.elem.wrap(shifted))
-            })
+            let (a, b) = (args[0].lanes(), args[1].lanes());
+            out.extend(
+                a.iter()
+                    .zip(b)
+                    .map(|(&x, &y)| result_ty.elem.wrap(bin_op_lane(BinOp::Shr, x, y, t))),
+            );
+            Ok(())
         }
         MachSem::QRDMulH => {
             let t = elem0.expect("arity 2");
             let tys = [t, t, t];
-            per_lane(&|i| {
-                Ok(fpir_op_lane(
+            let (a, b) = (args[0].lanes(), args[1].lanes());
+            out.extend(a.iter().zip(b).map(|(&x, &y)| {
+                fpir_op_lane(
                     FpirOp::RoundingMulShr,
-                    &[args[0].lane(i), args[1].lane(i), t.bits() as i128 - 1],
+                    &[x, y, t.bits() as i128 - 1],
                     &tys,
                     result_ty.elem,
-                ))
-            })
+                )
+            }));
+            Ok(())
         }
     }
 }

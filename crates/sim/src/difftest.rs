@@ -5,7 +5,13 @@
 //! LLVM-like baseline, the Rake-like searcher) is validated through this
 //! harness. It plays the role that running on real hardware played for
 //! the paper's authors.
+//!
+//! The harness checks **both execution engines** on every round: the
+//! REFERENCE VM ([`crate::vm::execute`]) against the source expression's
+//! semantics, and the linked FAST engine ([`crate::exec::Executable`])
+//! against the reference VM — the two must return identical `Result`s.
 
+use crate::exec::Executable;
 use crate::program::Program;
 use crate::vm::execute;
 use fpir::expr::RcExpr;
@@ -43,16 +49,34 @@ pub fn check_program(
     rng: &mut impl Rng,
     rounds: usize,
 ) -> Result<(), Counterexample> {
+    let exe = Executable::link(program, target).map_err(|e| Counterexample {
+        env: Env::new(),
+        detail: format!("linking failed: {e}\n{program}"),
+    })?;
+    let mut ctx = exe.new_ctx();
     for _ in 0..rounds {
         let env = random_env(rng, source);
         let want = eval(source, &env).map_err(|e| Counterexample {
             env: env.clone(),
             detail: format!("reference evaluation failed: {e}"),
         })?;
-        let got = execute(program, &env, target).map_err(|e| Counterexample {
+        let reference = execute(program, &env, target);
+        let fast = exe.run(&mut ctx, &env);
+        if reference != fast {
+            return Err(Counterexample {
+                env,
+                detail: format!(
+                    "engines disagree: reference {reference:?} vs linked {fast:?}\n{program}"
+                ),
+            });
+        }
+        let got = reference.map_err(|e| Counterexample {
             env: env.clone(),
             detail: format!("program execution failed: {e}\n{program}"),
         })?;
+        if let Ok(fast_out) = fast {
+            ctx.recycle(fast_out);
+        }
         if want != got {
             // Locate the first differing lane for the report.
             let lane =

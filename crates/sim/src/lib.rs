@@ -16,9 +16,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod difftest;
+pub mod exec;
 pub mod program;
 pub mod vm;
 
 pub use difftest::{check_program, Counterexample};
+pub use exec::{ExecCtx, Executable, InputSlot};
 pub use program::{cycle_cost, emit, EmitError, PInst, PKind, Program, LOAD_COST};
 pub use vm::{execute, ExecError};

@@ -7,21 +7,95 @@
 //! (see [`crate::difftest`]), and relative performance from
 //! [`crate::program::cycle_cost`].
 
-use crate::program::{PKind, Program};
+use crate::program::{PKind, Program, Reg};
 use fpir::interp::{Env, Value};
+use fpir::types::VectorType;
+use fpir::{Isa, MachOp};
 use fpir_isa::{eval_sem, Target};
 use std::fmt;
 
-/// Execution failure.
+/// Execution failure. Every variant that concerns one instruction carries
+/// the instruction's position in the program (`pos`, 0-based) and its
+/// destination register (`reg`), so a failing run can be pinned to a line
+/// of [`Program::render`] output.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ExecError {
-    /// What went wrong.
-    pub what: String,
+pub enum ExecError {
+    /// The program was compiled for a different ISA than the target (or
+    /// executable) it was run against.
+    IsaMismatch {
+        /// ISA the program was compiled for.
+        program: Isa,
+        /// ISA it was executed on.
+        target: Isa,
+    },
+    /// A `Load` instruction's input name had no binding.
+    UnboundInput {
+        /// The missing input name.
+        name: String,
+        /// Position of the load in the program.
+        pos: usize,
+        /// Destination register of the load.
+        reg: Reg,
+    },
+    /// A binding's type differed from the load's declared type.
+    InputTypeMismatch {
+        /// Input name.
+        name: String,
+        /// Position of the load in the program.
+        pos: usize,
+        /// Destination register of the load.
+        reg: Reg,
+        /// Type the program loads the input as.
+        declared: VectorType,
+        /// Type of the value actually bound.
+        bound: VectorType,
+    },
+    /// An opcode not present in the target's instruction table.
+    UnknownOp {
+        /// The unknown opcode.
+        op: MachOp,
+        /// Position of the instruction.
+        pos: usize,
+        /// Destination register.
+        reg: Reg,
+    },
+    /// The instruction's semantics rejected its operands.
+    Sem {
+        /// The opcode that failed.
+        op: MachOp,
+        /// Position of the instruction.
+        pos: usize,
+        /// Destination register.
+        reg: Reg,
+        /// The semantic error.
+        what: String,
+    },
 }
 
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "execution failed: {}", self.what)
+        write!(f, "execution failed: ")?;
+        match self {
+            ExecError::IsaMismatch { program, target } => {
+                write!(f, "program is for {program}, not {target}")
+            }
+            ExecError::UnboundInput { name, pos, reg } => {
+                write!(f, "unbound input `{name}` (load at #{pos} into v{reg})")
+            }
+            ExecError::InputTypeMismatch { name, pos, reg, declared, bound } => {
+                write!(
+                    f,
+                    "input `{name}` bound as {bound} but loaded as {declared} \
+                     (load at #{pos} into v{reg})"
+                )
+            }
+            ExecError::UnknownOp { op, pos, reg } => {
+                write!(f, "unknown opcode {op} (at #{pos} into v{reg})")
+            }
+            ExecError::Sem { op, pos, reg, what } => {
+                write!(f, "{op} at #{pos} into v{reg}: {what}")
+            }
+        }
     }
 }
 
@@ -29,39 +103,50 @@ impl std::error::Error for ExecError {}
 
 /// Run a program on bound inputs, returning the output vector.
 ///
+/// This is the REFERENCE execution engine: a direct, tree-of-clones
+/// interpretation of the program against the instruction tables. The
+/// linked engine ([`crate::exec::Executable`]) is differentially gated
+/// against it.
+///
 /// # Errors
 ///
 /// Fails on unbound inputs, type-mismatched bindings, or instructions
 /// whose operands violate their semantics.
 pub fn execute(p: &Program, env: &Env, target: &Target) -> Result<Value, ExecError> {
     if p.isa != target.isa {
-        return Err(ExecError { what: format!("program is for {}, not {}", p.isa, target.isa) });
+        return Err(ExecError::IsaMismatch { program: p.isa, target: target.isa });
     }
     let mut regs: Vec<Value> = Vec::with_capacity(p.insts().len());
-    for inst in p.insts() {
+    for (pos, inst) in p.insts().iter().enumerate() {
         let value = match &inst.kind {
             PKind::Load { name } => {
-                let v = env
-                    .get(name)
-                    .ok_or_else(|| ExecError { what: format!("unbound input `{name}`") })?;
+                let v = env.get(name).ok_or_else(|| ExecError::UnboundInput {
+                    name: name.clone(),
+                    pos,
+                    reg: inst.dst,
+                })?;
                 if v.ty() != inst.ty {
-                    return Err(ExecError {
-                        what: format!(
-                            "input `{name}` bound as {} but loaded as {}",
-                            v.ty(),
-                            inst.ty
-                        ),
+                    return Err(ExecError::InputTypeMismatch {
+                        name: name.clone(),
+                        pos,
+                        reg: inst.dst,
+                        declared: inst.ty,
+                        bound: v.ty(),
                     });
                 }
                 v.clone()
             }
             PKind::Splat { value } => Value::splat(*value, inst.ty),
             PKind::Op { op, args } => {
-                let def = target
-                    .def(*op)
-                    .ok_or_else(|| ExecError { what: format!("unknown opcode {op}") })?;
+                let def =
+                    target.def(*op).ok_or(ExecError::UnknownOp { op: *op, pos, reg: inst.dst })?;
                 let operands: Vec<Value> = args.iter().map(|&r| regs[r].clone()).collect();
-                eval_sem(def.sem, &operands, inst.ty).map_err(|what| ExecError { what })?
+                eval_sem(def.sem, &operands, inst.ty).map_err(|what| ExecError::Sem {
+                    op: *op,
+                    pos,
+                    reg: inst.dst,
+                    what,
+                })?
             }
         };
         regs.push(value);

@@ -1,38 +1,29 @@
 //! End-to-end image tests: the full path from pipeline DSL through
 //! instruction selection, program emission and VM execution must produce
-//! images identical to the reference interpreter, pixel for pixel.
+//! images identical to the reference interpreter, pixel for pixel — on
+//! both execution engines (the strip-by-strip reference runner and the
+//! linked, tiled parallel runner) at every worker count.
 
 use fpir::Isa;
+use fpir_halide::runner::{run_program_reference, run_tiled};
 use fpir_halide::{Image, Pipeline};
 use fpir_isa::target;
-use fpir_sim::{emit, execute};
+use fpir_sim::{emit, Program};
 use fpir_workloads::{workload, Workload};
 use pitchfork::Pitchfork;
 use std::collections::BTreeMap;
 
-/// Run a compiled pipeline over images, strip by strip.
-fn run_compiled(pipeline: &Pipeline, inputs: &BTreeMap<String, Image>, isa: Isa) -> Image {
-    let tgt = target(isa);
+fn compile(pipeline: &Pipeline, isa: Isa) -> Program {
     let compiled = Pitchfork::new(isa)
         .compile(&pipeline.expr)
         .unwrap_or_else(|e| panic!("{}: {e}", pipeline.name));
-    let program = emit(&compiled.lowered, tgt).expect("emits");
-    let first = inputs.values().next().expect("has inputs");
-    let (w, h) = (first.width(), first.height());
-    let mut out = Image::filled(pipeline.out_elem(), w, h, 0);
-    let lanes = pipeline.lanes() as usize;
-    for y in 0..h {
-        let mut x0 = 0usize;
-        while x0 < w {
-            let env = pipeline.env_at(inputs, x0 as i64, y as i64).expect("binds");
-            let v = execute(&program, &env, tgt).expect("runs");
-            for i in 0..lanes.min(w - x0) {
-                out.set(x0 + i, y, v.lane(i));
-            }
-            x0 += lanes;
-        }
-    }
-    out
+    emit(&compiled.lowered, target(isa)).expect("emits")
+}
+
+/// Run a compiled pipeline over images through the reference VM runner.
+fn run_compiled(pipeline: &Pipeline, inputs: &BTreeMap<String, Image>, isa: Isa) -> Image {
+    let program = compile(pipeline, isa);
+    run_program_reference(pipeline, &program, target(isa), inputs).expect("runs")
 }
 
 fn check_workload(wl: &Workload, seed: u64) {
@@ -40,8 +31,19 @@ fn check_workload(wl: &Workload, seed: u64) {
     let reference =
         wl.pipeline.run_reference(&inputs).unwrap_or_else(|e| panic!("{}: {e}", wl.name()));
     for isa in [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx] {
-        let compiled = run_compiled(&wl.pipeline, &inputs, isa);
+        let program = compile(&wl.pipeline, isa);
+        let tgt = target(isa);
+        let compiled = run_program_reference(&wl.pipeline, &program, tgt, &inputs).expect("runs");
         assert_eq!(compiled, reference, "{} diverged from the reference on {isa}", wl.name());
+        for jobs in [1, 3] {
+            let tiled = run_tiled(&wl.pipeline, &program, tgt, &inputs, jobs).expect("runs");
+            assert_eq!(
+                tiled,
+                reference,
+                "{} tiled({jobs}) diverged from the reference on {isa}",
+                wl.name()
+            );
+        }
     }
 }
 
