@@ -24,7 +24,7 @@ fn bench_ablation(c: &mut Criterion) {
                 let result = run(&wl, isa, &compiler).expect("compiles");
                 group.bench_with_input(
                     BenchmarkId::new(format!("{name}/{isa}"), compiler.to_string()),
-                    &result.program,
+                    &result.artifact.program,
                     |b, program| {
                         b.iter(|| execute(program, &env, target(isa)).expect("runs"));
                     },

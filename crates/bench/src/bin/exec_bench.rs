@@ -31,7 +31,6 @@ use fpir::Isa;
 use fpir_bench::{geomean, run, Compiler};
 use fpir_halide::{run_program_reference, run_tiled};
 use fpir_isa::target;
-use fpir_sim::Executable;
 use fpir_workloads::{all_workloads, extra_workloads, unrolled_workloads};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -109,6 +108,9 @@ fn main() -> ExitCode {
                 if *compiler == Compiler::Rake && isa == Isa::X86Avx2 {
                     continue;
                 }
+                // `run` finishes the compilation through the shared
+                // `pitchfork::Artifact` pipeline: program, cycle price,
+                // and linked executable arrive together.
                 let result = match run(wl, isa, compiler) {
                     Ok(r) => r,
                     Err(e) => {
@@ -116,14 +118,8 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
-                let program = &result.program;
-                let exe = match Executable::link(program, tgt) {
-                    Ok(e) => e,
-                    Err(e) => {
-                        eprintln!("exec-bench: {}/{isa}/{tag} failed to link: {e}", wl.name());
-                        return ExitCode::FAILURE;
-                    }
-                };
+                let program = &result.artifact.program;
+                let exe = &result.artifact.exe;
 
                 let time = |f: &dyn Fn() -> fpir_halide::Image| -> (fpir_halide::Image, u128) {
                     let img = f(); // warm-up; also the gated output
@@ -161,7 +157,7 @@ fn main() -> ExitCode {
                     workload: wl.name().to_string(),
                     isa,
                     compiler: tag,
-                    cycles: result.cycles,
+                    cycles: result.artifact.cycles,
                     peak_regs: exe.peak_regs(),
                     ops: exe.op_count(),
                     reference_ns,

@@ -18,9 +18,7 @@ use fpir::build::*;
 use fpir::types::{ScalarType as S, VectorType as V};
 use fpir::{Isa, RcExpr};
 use fpir_baseline::LlvmBaseline;
-use fpir_isa::target;
-use fpir_sim::{cycle_cost, emit, Executable};
-use pitchfork::Pitchfork;
+use pitchfork::{compile_to_executable, Artifact, Pitchfork};
 
 const LANES: u32 = 128;
 
@@ -50,27 +48,26 @@ fn main() {
         println!("==============================================================");
         println!("{title}\n");
         for isa in [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx] {
-            let t = target(isa);
-            let pf = Pitchfork::new(isa).compile(e).expect("pitchfork compiles");
+            let a_pf = compile_to_executable(&Pitchfork::new(isa), e).expect("pitchfork compiles");
             let bl = LlvmBaseline::new(isa).compile(e).expect("baseline compiles");
-            let p_pf = emit(&pf.lowered, t).expect("emits");
-            let p_bl = emit(&bl.lowered, t).expect("emits");
-            let (c_pf, c_bl) = (cycle_cost(&p_pf, t), cycle_cost(&p_bl, t));
-            let r_pf = Executable::link(&p_pf, t).expect("links").peak_regs();
-            let r_bl = Executable::link(&p_bl, t).expect("links").peak_regs();
+            let a_bl = Artifact::from_lowered(bl.lowered, isa).expect("baseline finishes");
             println!(
-                "--- {isa}: Pitchfork {} ops / {c_pf} cycles / {r_pf} regs \
-                 vs LLVM {} ops / {c_bl} cycles / {r_bl} regs ({:.2}x)",
-                p_pf.op_count(),
-                p_bl.op_count(),
-                c_bl as f64 / c_pf as f64
+                "--- {isa}: Pitchfork {} ops / {} cycles / {} regs \
+                 vs LLVM {} ops / {} cycles / {} regs ({:.2}x)",
+                a_pf.program.op_count(),
+                a_pf.cycles,
+                a_pf.exe.peak_regs(),
+                a_bl.program.op_count(),
+                a_bl.cycles,
+                a_bl.exe.peak_regs(),
+                a_bl.cycles as f64 / a_pf.cycles as f64
             );
             println!("  Pitchfork:");
-            for line in p_pf.render().lines() {
+            for line in a_pf.program.render().lines() {
                 println!("    {line}");
             }
             println!("  LLVM:");
-            for line in p_bl.render().lines() {
+            for line in a_bl.program.render().lines() {
                 println!("    {line}");
             }
         }

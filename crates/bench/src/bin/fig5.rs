@@ -41,7 +41,7 @@ fn main() {
             if llvm.used_rmulshr_fallback {
                 fallback_notes.push(format!("{} on {isa}", wl.name()));
             }
-            let speedup = llvm.cycles as f64 / pf.cycles as f64;
+            let speedup = llvm.artifact.cycles as f64 / pf.artifact.cycles as f64;
             row[i] = speedup;
             speedups[i].push(speedup);
             // Rake comparison on ARM and HVX.
@@ -51,9 +51,9 @@ fn main() {
                 if !no_validate {
                     validate(&wl, *isa, &rk, 8).expect("rake must be correct");
                 }
-                let rk_speedup = llvm.cycles as f64 / rk.cycles as f64;
+                let rk_speedup = llvm.artifact.cycles as f64 / rk.artifact.cycles as f64;
                 row[3 + i] = rk_speedup;
-                rake_gap[i].push(pf.cycles as f64 / rk.cycles as f64);
+                rake_gap[i].push(pf.artifact.cycles as f64 / rk.artifact.cycles as f64);
             }
         }
         println!(

@@ -27,7 +27,7 @@ fn main() {
                 .unwrap_or_else(|e| panic!("full failed on {}/{isa}: {e}", wl.name()));
             validate(&wl, *isa, &hand, 4).expect("hand-written must be correct");
             validate(&wl, *isa, &full, 4).expect("full must be correct");
-            row[i] = hand.cycles as f64 / full.cycles as f64;
+            row[i] = hand.artifact.cycles as f64 / full.artifact.cycles as f64;
             gains[i].push(row[i]);
         }
         println!("{:<16} {:>8.2}x {:>8.2}x", wl.name(), row[0], row[1]);

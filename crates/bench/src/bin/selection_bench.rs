@@ -216,9 +216,9 @@ fn main() -> ExitCode {
     // sequential loop did), so the verdicts are identical at any --jobs.
     let failures = fpir_pool::Pool::new(jobs).map(&validations, |(name, isa, expr, lowered)| {
         let tgt = fpir_isa::target(*isa);
-        let program = fpir_sim::emit(lowered, tgt).expect("emit");
+        let art = pitchfork::Artifact::from_lowered(lowered.clone(), *isa).expect("emit");
         let mut rng = StdRng::seed_from_u64(0x5E1E);
-        check_program(expr, &program, tgt, &mut rng, validate_rounds)
+        check_program(expr, &art.program, tgt, &mut rng, validate_rounds)
             .err()
             .map(|c| format!("MISCOMPILE {name}/{isa}: {c}"))
     });

@@ -14,9 +14,8 @@ use fpir::expr::{Expr, ExprKind, RcExpr};
 use fpir::Isa;
 use fpir_baseline::{LlvmBaseline, Rake};
 use fpir_isa::target;
-use fpir_sim::{cycle_cost, emit, Program};
 use fpir_workloads::Workload;
-use pitchfork::{Config, Pitchfork};
+use pitchfork::{Artifact, Config, Pitchfork};
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
 
@@ -54,10 +53,10 @@ impl std::fmt::Display for Compiler {
 /// Outcome of compiling one workload for one target.
 #[derive(Debug)]
 pub struct RunResult {
-    /// The emitted machine program.
-    pub program: Program,
-    /// Cycle-model cost of one vector of output.
-    pub cycles: u64,
+    /// The finished compilation — lowered expression, emitted program,
+    /// cycle-model cost, and linked executable — produced through the
+    /// same `pitchfork::Artifact` pipeline the service serves from.
+    pub artifact: Artifact,
     /// Wall-clock instruction-selection time.
     pub compile_time: Duration,
     /// True when the baseline could not compile the expression itself and
@@ -109,10 +108,8 @@ pub fn run(workload: &Workload, isa: Isa, compiler: &Compiler) -> Result<RunResu
         }
     };
     let compile_time = start.elapsed();
-    let t = target(isa);
-    let program = emit(&lowered, t).map_err(|e| e.to_string())?;
-    let cycles = cycle_cost(&program, t);
-    Ok(RunResult { program, cycles, compile_time, used_rmulshr_fallback: fallback })
+    let artifact = Artifact::from_lowered(lowered, isa).map_err(|e| e.to_string())?;
+    Ok(RunResult { artifact, compile_time, used_rmulshr_fallback: fallback })
 }
 
 /// Replace FPIR nodes whose primitive expansion needs lanes wider than
@@ -177,8 +174,14 @@ pub fn validate(
     rounds: usize,
 ) -> Result<(), String> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xF1D0);
-    fpir_sim::check_program(&workload.pipeline.expr, &result.program, target(isa), &mut rng, rounds)
-        .map_err(|c| format!("{}: {c}", workload.name()))
+    fpir_sim::check_program(
+        &workload.pipeline.expr,
+        &result.artifact.program,
+        target(isa),
+        &mut rng,
+        rounds,
+    )
+    .map_err(|c| format!("{}: {c}", workload.name()))
 }
 
 /// Count the machine instructions in a lowered expression (Figure 3's

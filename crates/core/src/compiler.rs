@@ -70,6 +70,58 @@ pub struct Compiled {
     pub lower_stats: RewriteStats,
 }
 
+/// One phase of the selection pipeline, in execution order — the
+/// granularity at which a served compilation checks its deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompilePhase {
+    /// Target-agnostic lifting into FPIR.
+    Lift,
+    /// Lowering, bounds-predicated rules (pristine-FPIR interval queries).
+    LowerPredicated,
+    /// Lowering, the full rule set.
+    Lower,
+    /// The `fpir-isa` legalizer (direct mappings + generic fallback).
+    Legalize,
+}
+
+impl std::fmt::Display for CompilePhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CompilePhase::Lift => "lift",
+            CompilePhase::LowerPredicated => "lower-predicated",
+            CompilePhase::Lower => "lower",
+            CompilePhase::Legalize => "legalize",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why [`Pitchfork::compile_phased`] stopped.
+#[derive(Debug, Clone)]
+pub enum CompileInterrupt {
+    /// The target genuinely cannot implement the expression.
+    Lower(LowerError),
+    /// The cancellation hook said stop before this phase started.
+    Cancelled(CompilePhase),
+}
+
+impl From<LowerError> for CompileInterrupt {
+    fn from(e: LowerError) -> CompileInterrupt {
+        CompileInterrupt::Lower(e)
+    }
+}
+
+impl std::fmt::Display for CompileInterrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileInterrupt::Lower(e) => e.fmt(f),
+            CompileInterrupt::Cancelled(p) => write!(f, "cancelled before the {p} phase"),
+        }
+    }
+}
+
+impl std::error::Error for CompileInterrupt {}
+
 /// The Pitchfork instruction selector for one target.
 #[derive(Debug)]
 pub struct Pitchfork {
@@ -138,10 +190,44 @@ impl Pitchfork {
     /// Fails when the target cannot implement the expression at all —
     /// e.g. 64-bit lanes on Hexagon HVX (§5.1).
     pub fn compile(&self, expr: &RcExpr) -> Result<Compiled, LowerError> {
+        match self.compile_phased(expr, &mut |_| true) {
+            Ok(out) => Ok(out),
+            Err(CompileInterrupt::Lower(e)) => Err(e),
+            Err(CompileInterrupt::Cancelled(_)) => {
+                unreachable!("the always-true checker never cancels")
+            }
+        }
+    }
+
+    /// [`Pitchfork::compile`] with a cancellation hook.
+    ///
+    /// `keep_going` is consulted **between** pipeline phases (before
+    /// lifting, each lowering half, and legalization); returning `false`
+    /// aborts the compilation with [`CompileInterrupt::Cancelled`] naming
+    /// the phase that was about to start. A served compile uses this to
+    /// enforce a per-request deadline without a hang mid-pipeline; the
+    /// plain [`Pitchfork::compile`] passes an always-true checker, so the
+    /// two paths run the identical phase sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileInterrupt::Lower`] exactly as [`Pitchfork::compile`];
+    /// [`CompileInterrupt::Cancelled`] when `keep_going` said stop.
+    pub fn compile_phased(
+        &self,
+        expr: &RcExpr,
+        keep_going: &mut dyn FnMut(CompilePhase) -> bool,
+    ) -> Result<Compiled, CompileInterrupt> {
         let engine = self.config.engine;
+        if !keep_going(CompilePhase::Lift) {
+            return Err(CompileInterrupt::Cancelled(CompilePhase::Lift));
+        }
         let mut rw0 = Rewriter::with_engine(&self.lift, AgnosticCost, self.config.engine);
         let lifted = rw0.run(expr);
         let lift_stats = rw0.stats.clone();
+        if !keep_going(CompilePhase::LowerPredicated) {
+            return Err(CompileInterrupt::Cancelled(CompilePhase::LowerPredicated));
+        }
         // The reference engine reproduces the pre-optimization compile
         // path, which filtered the predicated subset out of the lowering
         // rules on every call; the fast engine uses the precomputed set.
@@ -162,6 +248,9 @@ impl Pitchfork {
             rw1.bounds = std::mem::take(&mut rw0.bounds);
         }
         let after_predicated = rw1.run(&lifted);
+        if !keep_going(CompilePhase::Lower) {
+            return Err(CompileInterrupt::Cancelled(CompilePhase::Lower));
+        }
         let mut rw = Rewriter::with_engine(&self.lower, TargetCost::new(self.config.isa), engine);
         if engine.memo {
             rw.bounds = std::mem::take(&mut rw1.bounds);
@@ -169,6 +258,9 @@ impl Pitchfork {
         let partially_lowered = rw.run(&after_predicated);
         let mut lower_stats = rw1.stats.clone();
         lower_stats.merge(&rw.stats);
+        if !keep_going(CompilePhase::Legalize) {
+            return Err(CompileInterrupt::Cancelled(CompilePhase::Legalize));
+        }
         // The DAG-memoized legalizer belongs to the fast engine; reference
         // mode keeps the original tree-walking pass.
         let lowered = if engine.memo {

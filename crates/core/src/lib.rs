@@ -35,11 +35,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod compiler;
+pub mod driver;
 pub mod lift;
 pub mod lower;
 pub mod registry;
 
-pub use compiler::{Compiled, Config, Pitchfork};
+pub use compiler::{CompileInterrupt, CompilePhase, Compiled, Config, Pitchfork};
+pub use driver::{compile_to_executable, compile_to_executable_with, Artifact, DriverError, Phase};
 pub use fpir_trs::rewrite::EngineConfig;
 pub use lift::{hand_written_lift_rules, lift_rules};
 pub use lower::lower_rules;

@@ -26,4 +26,4 @@ pub mod runner;
 
 pub use image::Image;
 pub use pipeline::{tap, Pipeline, Tap};
-pub use runner::{run_program_reference, run_tiled};
+pub use runner::{run_program_reference, run_tiled, run_tiled_exe};

@@ -91,14 +91,29 @@ impl Pipeline {
     ///
     /// Panics if any free variable of `expr` is not a well-formed tap.
     pub fn new(name: impl Into<String>, expr: RcExpr) -> Pipeline {
+        match Pipeline::try_new(name, expr) {
+            Ok(p) => p,
+            Err(e) => panic!("{}", e.what),
+        }
+    }
+
+    /// Fallible [`Pipeline::new`] — the validation path for pipelines
+    /// built from *untrusted* expressions (a served request), where a
+    /// malformed tap must become an error response, not a panic.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any free variable of `expr` is not a well-formed tap.
+    pub fn try_new(name: impl Into<String>, expr: RcExpr) -> Result<Pipeline, PipelineError> {
         let p = Pipeline { name: name.into(), expr };
         for (name, ty) in p.expr.free_vars() {
-            assert!(
-                parse_tap(&name, ty.elem).is_some(),
-                "`{name}` is not a tap (expected `buffer__pX_mY`)"
-            );
+            if parse_tap(&name, ty.elem).is_none() {
+                return Err(PipelineError {
+                    what: format!("`{name}` is not a tap (expected `buffer__pX_mY`)"),
+                });
+            }
         }
-        p
+        Ok(p)
     }
 
     /// Vector width of the pipeline.

@@ -117,9 +117,30 @@ pub fn run_tiled(
     inputs: &BTreeMap<String, Image>,
     jobs: usize,
 ) -> Result<Image, PipelineError> {
-    let (w, h) = output_shape(pipe, inputs)?;
     let exe = Executable::link(program, target)
         .map_err(|e| PipelineError { what: format!("linking failed: {e}") })?;
+    run_tiled_exe(pipe, &exe, inputs, jobs)
+}
+
+/// [`run_tiled`] over an **already-linked** executable.
+///
+/// Linking is pure per-program work; a serving layer that caches one
+/// [`Executable`] per compiled pipeline calls this to fan every request
+/// out over the shared artifact (the executable is `Send + Sync`; each
+/// worker gets its own context) without re-linking per request. The
+/// output is bit-identical to [`run_tiled`] on the program the
+/// executable was linked from, for any worker count.
+///
+/// # Errors
+///
+/// Fails on missing or mistyped inputs, or execution errors.
+pub fn run_tiled_exe(
+    pipe: &Pipeline,
+    exe: &Executable,
+    inputs: &BTreeMap<String, Image>,
+    jobs: usize,
+) -> Result<Image, PipelineError> {
+    let (w, h) = output_shape(pipe, inputs)?;
 
     // Resolve each input slot to (image, offset) once, for every strip.
     let mut sources: Vec<SlotSource<'_>> = Vec::with_capacity(exe.inputs().len());
@@ -243,6 +264,30 @@ mod tests {
         for jobs in [2, 4, 7, 64] {
             assert_eq!(run_tiled(&pipe, &p, tgt, &inputs, jobs).unwrap(), one, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn prelinked_runner_matches_and_shares_across_threads() {
+        // One linked executable served to several "request" threads by
+        // reference — the cache's sharing pattern — each produces the
+        // same image as the link-per-call runner.
+        let pipe = blur_pipeline(8);
+        let mut rng = StdRng::seed_from_u64(11);
+        let img = Image::random(&mut rng, S::U8, 41, 13);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("in".to_string(), img);
+        let p = compile(&pipe, Isa::ArmNeon);
+        let tgt = target(Isa::ArmNeon);
+        let exe = fpir_sim::Executable::link(&p, tgt).unwrap();
+        let want = run_tiled(&pipe, &p, tgt, &inputs, 2).unwrap();
+        std::thread::scope(|s| {
+            for jobs in [1, 2, 3] {
+                let (exe, pipe, inputs, want) = (&exe, &pipe, &inputs, &want);
+                s.spawn(move || {
+                    assert_eq!(run_tiled_exe(pipe, exe, inputs, jobs).unwrap(), *want);
+                });
+            }
+        });
     }
 
     #[test]

@@ -32,6 +32,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod queue;
+
+pub use queue::{QueueFull, Task, TaskQueue};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How many worker threads CLI tools should use by default: the

@@ -1,0 +1,108 @@
+//! `pitchforkd` — the compile-and-run daemon.
+//!
+//! ```text
+//! pitchforkd --socket /tmp/pitchforkd.sock
+//! pitchforkd --tcp 127.0.0.1:7737 --workers 4 --cache-mb 128 --timeout-ms 5000
+//! ```
+//!
+//! Listens until `SIGTERM`/`SIGINT` or a `{"op":"shutdown"}` frame,
+//! then drains connections and (for Unix sockets) unlinks the path.
+
+use pitchfork_service::{install_signal_handlers, serve, Endpoint, Service, ServiceConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+pitchforkd — serve Pitchfork compilations over a socket
+
+USAGE:
+    pitchforkd (--socket PATH | --tcp ADDR) [OPTIONS]
+
+OPTIONS:
+    --socket PATH       listen on a Unix socket at PATH
+    --tcp ADDR          listen on a TCP address, e.g. 127.0.0.1:7737
+    --workers N         compile worker threads   [default: #cores, max 8]
+    --queue N           compile queue capacity   [default: workers * 8]
+    --cache-mb N        artifact cache budget    [default: 64]
+    --timeout-ms N      default per-request deadline [default: none]
+    -h, --help          print this help
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("pitchforkd: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut endpoint: Option<Endpoint> = None;
+    let mut config = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{what} needs a value"))
+        };
+        let parsed: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--socket" => endpoint = Some(Endpoint::Unix(PathBuf::from(take("--socket")?))),
+                "--tcp" => endpoint = Some(Endpoint::Tcp(take("--tcp")?)),
+                "--workers" => {
+                    config.workers = take("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers must be an integer".to_string())?;
+                    config.queue_capacity = config.workers.max(1) * 8;
+                }
+                "--queue" => {
+                    config.queue_capacity = take("--queue")?
+                        .parse()
+                        .map_err(|_| "--queue must be an integer".to_string())?;
+                }
+                "--cache-mb" => {
+                    let mb: usize = take("--cache-mb")?
+                        .parse()
+                        .map_err(|_| "--cache-mb must be an integer".to_string())?;
+                    config.cache_bytes = mb << 20;
+                }
+                "--timeout-ms" => {
+                    config.default_timeout_ms = Some(
+                        take("--timeout-ms")?
+                            .parse()
+                            .map_err(|_| "--timeout-ms must be an integer".to_string())?,
+                    );
+                }
+                "-h" | "--help" => {
+                    println!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(m) = parsed {
+            return fail(&m);
+        }
+    }
+    let Some(endpoint) = endpoint else {
+        return fail("one of --socket or --tcp is required");
+    };
+
+    install_signal_handlers();
+    eprintln!(
+        "pitchforkd: listening on {endpoint} ({} workers, queue {}, cache {} MiB)",
+        config.workers,
+        config.queue_capacity,
+        config.cache_bytes >> 20
+    );
+    let service = Arc::new(Service::new(config));
+    match serve(service, &endpoint) {
+        Ok(()) => {
+            eprintln!("pitchforkd: shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pitchforkd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! `service-bench` — serving-layer latency and throughput benchmark.
+//!
+//! Drives an in-process [`Service`] (the same object `pitchforkd` wraps
+//! in sockets — measuring here keeps transport noise out of the cache
+//! numbers) over the 16-workload figure suite and reports:
+//!
+//! * **cold** compile latency — the first request for each
+//!   workload × target, a guaranteed cache miss that runs the full
+//!   lift → lower → legalize → emit → link pipeline on a worker;
+//! * **warm** compile latency — the same request repeated, a cache hit
+//!   served straight from the content-addressed artifact cache
+//!   (min over `--warm-reps` probes);
+//! * **sustained throughput** — requests/sec at 1, 2 and 4 client
+//!   threads hammering the warmed service round-robin.
+//!
+//! Two gates, both fatal (exit 1):
+//!
+//! * every served response must be **bit-identical** (lowered
+//!   expression, rendered program, cycle price) to a direct
+//!   [`pitchfork::compile_to_executable`] call — the served path may
+//!   never change what the compiler produces;
+//! * warm latency must beat cold by ≥10x on the suite geomean — the
+//!   cache has to actually pay for itself (full runs only; the truncated
+//!   `--smoke` geomean is reported but not gated).
+//!
+//! Writes `BENCH_service.json`.
+//!
+//! Usage: `cargo run --release -p pitchfork-service --bin service-bench
+//!         -- [--smoke] [--out PATH]`
+
+use fpir::Isa;
+use fpir_workloads::{all_workloads, LANES};
+use pitchfork::{compile_to_executable, EngineConfig, Pitchfork};
+use pitchfork_service::protocol::CompileSpec;
+use pitchfork_service::{Json, Request, Service, ServiceConfig, Stats};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One workload × target measurement.
+struct Row {
+    workload: String,
+    isa: Isa,
+    cold_ns: u128,
+    warm_ns: u128,
+}
+
+fn spec(expr: &str, isa: Isa) -> CompileSpec {
+    CompileSpec {
+        expr: expr.to_string(),
+        lanes: LANES,
+        isa,
+        engine: EngineConfig::FAST,
+        synthesized_rules: true,
+        leave_out: None,
+        timeout_ms: None,
+    }
+}
+
+fn get<'a>(v: &'a Json, k: &str) -> Option<&'a Json> {
+    v.get(k)
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_service.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("service-bench: `--out` expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: service-bench [--smoke] [--out PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("service-bench: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let warm_reps = if smoke { 5 } else { 25 };
+    let rps_requests_per_thread = if smoke { 50 } else { 400 };
+    let mut workloads = all_workloads();
+    if smoke {
+        workloads.truncate(3);
+    }
+
+    // The suite: every figure workload on x86 and ARM. (HVX is excluded
+    // for the same reason as the stress tests: several pipelines widen
+    // through 64-bit lanes internally, which HVX does not have.)
+    let combos: Vec<(String, String, Isa)> = workloads
+        .iter()
+        .flat_map(|wl| {
+            [Isa::X86Avx2, Isa::ArmNeon]
+                .into_iter()
+                .map(|isa| (wl.name().to_string(), wl.pipeline.expr.to_string(), isa))
+        })
+        .collect();
+
+    let svc = Arc::new(Service::new(ServiceConfig {
+        cache_bytes: 256 << 20,
+        workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+        queue_capacity: 256,
+        default_timeout_ms: None,
+    }));
+
+    // Ground truth for the equality gate, computed before any serving.
+    let truth: Vec<(String, String, u64)> = combos
+        .iter()
+        .map(|(name, expr, isa)| {
+            let pf = Pitchfork::new(*isa);
+            let e = fpir::parser::parse_expr(expr, LANES)
+                .unwrap_or_else(|e| panic!("{name}: workload expr must parse: {e}"));
+            let art = compile_to_executable(&pf, &e)
+                .unwrap_or_else(|e| panic!("{name}/{isa}: direct compile must succeed: {e}"));
+            (art.lowered.to_string(), art.program.render(), art.cycles)
+        })
+        .collect();
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut gate_failed = false;
+
+    for ((name, expr, isa), (lowered, program, cycles)) in combos.iter().zip(&truth) {
+        let req = Request::Compile(spec(expr, *isa));
+
+        // Cold: the first request for this key is a guaranteed miss.
+        let t0 = Instant::now();
+        let v = svc.handle(&req);
+        let cold_ns = t0.elapsed().as_nanos();
+        if get(&v, "ok").and_then(Json::as_bool) != Some(true) {
+            eprintln!("service-bench: {name}/{isa} cold request failed: {v:?}");
+            return ExitCode::FAILURE;
+        }
+        if get(&v, "source").and_then(Json::as_str) != Some("computed") {
+            eprintln!("service-bench: {name}/{isa} first request was not a miss: {v:?}");
+            return ExitCode::FAILURE;
+        }
+
+        // The equality gate on the cold (freshly computed) response.
+        let same = get(&v, "lowered").and_then(Json::as_str) == Some(lowered.as_str())
+            && get(&v, "program").and_then(Json::as_str) == Some(program.as_str())
+            && get(&v, "cycles").and_then(Json::as_int) == Some(i128::from(*cycles));
+        if !same {
+            eprintln!("DIVERGENCE {name}/{isa}: served response differs from the direct compiler");
+            gate_failed = true;
+        }
+
+        // Warm: the same request again, min over `warm_reps` probes; each
+        // must be a cache hit and identical to the cold response.
+        let mut warm_ns = u128::MAX;
+        for _ in 0..warm_reps {
+            let t0 = Instant::now();
+            let w = svc.handle(&req);
+            warm_ns = warm_ns.min(t0.elapsed().as_nanos());
+            if get(&w, "source").and_then(Json::as_str) != Some("hit") {
+                eprintln!("service-bench: {name}/{isa} warm request was not a hit: {w:?}");
+                return ExitCode::FAILURE;
+            }
+            if get(&w, "lowered").and_then(Json::as_str) != Some(lowered.as_str())
+                || get(&w, "program").and_then(Json::as_str) != Some(program.as_str())
+            {
+                eprintln!(
+                    "DIVERGENCE {name}/{isa}: warm response differs from the direct compiler"
+                );
+                gate_failed = true;
+            }
+        }
+
+        rows.push(Row { workload: name.clone(), isa: *isa, cold_ns, warm_ns });
+    }
+
+    // Sustained throughput against the warmed cache, T client threads
+    // issuing requests round-robin over the whole suite.
+    let thread_counts = [1usize, 2, 4];
+    let mut rps: Vec<(usize, f64)> = Vec::new();
+    for &threads in &thread_counts {
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let svc = svc.clone();
+                let combos = combos.clone();
+                std::thread::spawn(move || {
+                    for i in 0..rps_requests_per_thread {
+                        let (_, expr, isa) = &combos[(i + t) % combos.len()];
+                        let v = svc.handle(&Request::Compile(spec(expr, *isa)));
+                        assert_eq!(
+                            v.get("ok").and_then(Json::as_bool),
+                            Some(true),
+                            "sustained request failed: {v:?}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        rps.push((threads, (threads * rps_requests_per_thread) as f64 / secs.max(1e-9)));
+    }
+
+    let speedups: Vec<f64> =
+        rows.iter().map(|r| r.cold_ns as f64 / r.warm_ns.max(1) as f64).collect();
+    let geo = geomean(&speedups);
+
+    println!("{:<18} {:>4} {:>12} {:>12} {:>9}", "workload", "isa", "cold", "warm", "speedup");
+    for r in &rows {
+        println!(
+            "{:<18} {:>4} {:>10}us {:>10}us {:>8.1}x",
+            r.workload,
+            isa_tag(r.isa),
+            r.cold_ns / 1_000,
+            r.warm_ns / 1_000,
+            r.cold_ns as f64 / r.warm_ns.max(1) as f64,
+        );
+    }
+    println!("\ngeomean warm speedup (cold / warm): {geo:.1}x");
+    for (threads, r) in &rps {
+        println!("sustained, {threads} client thread(s): {r:.0} req/s");
+    }
+    let lat = svc.stats().latency_summary();
+    println!(
+        "service latency over {} requests: p50 {}us, p99 {}us",
+        lat.count, lat.p50_us, lat.p99_us
+    );
+
+    let json = render_json(&svc, &rows, &rps, geo, smoke, warm_reps, rps_requests_per_thread);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("service-bench: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+
+    if gate_failed {
+        eprintln!("service-bench: FAILED — served responses diverged from the direct compiler");
+        return ExitCode::FAILURE;
+    }
+    // The latency bar is judged on the full suite; the 3-workload smoke
+    // geomean is too noise-sensitive to gate on (equality stays fatal above).
+    if !smoke && geo < 10.0 {
+        eprintln!("service-bench: FAILED — warm speedup {geo:.1}x is below the 10x acceptance bar");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn isa_tag(isa: Isa) -> &'static str {
+    match isa {
+        Isa::X86Avx2 => "x86",
+        Isa::ArmNeon => "arm",
+        Isa::HexagonHvx => "hvx",
+    }
+}
+
+/// Geometric mean (the bench crate's helper, duplicated locally so the
+/// service crate does not grow a dependency on the figure harness).
+fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Hand-built JSON (the environment has no serde; the shape is flat).
+fn render_json(
+    svc: &Service,
+    rows: &[Row],
+    rps: &[(usize, f64)],
+    geo: f64,
+    smoke: bool,
+    warm_reps: usize,
+    rps_requests_per_thread: usize,
+) -> String {
+    let stats = svc.stats();
+    let lat = stats.latency_summary();
+    let cache = svc.cache_stats();
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema\": \"pitchfork-service-bench/v1\",");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"warm_reps\": {warm_reps},");
+    let _ = writeln!(s, "  \"rps_requests_per_thread\": {rps_requests_per_thread},");
+    let _ = writeln!(s, "  \"geomean_warm_speedup\": {geo:.4},");
+    let _ = writeln!(s, "  \"throughput\": {{");
+    for (i, (threads, r)) in rps.iter().enumerate() {
+        let _ =
+            writeln!(s, "    \"{threads}\": {r:.1}{}", if i + 1 < rps.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"stats\": {{");
+    let _ = writeln!(s, "    \"requests\": {},", Stats::read(&stats.requests));
+    let _ = writeln!(s, "    \"cache_hits\": {},", Stats::read(&stats.cache_hits));
+    let _ = writeln!(s, "    \"cache_misses\": {},", Stats::read(&stats.cache_misses));
+    let _ = writeln!(s, "    \"compiles\": {},", Stats::read(&stats.compiles));
+    let _ = writeln!(s, "    \"flight_joins\": {},", Stats::read(&stats.flight_joins));
+    let _ = writeln!(s, "    \"evictions\": {},", cache.evictions);
+    let _ = writeln!(s, "    \"resident_bytes\": {},", cache.resident_bytes);
+    let _ = writeln!(s, "    \"p50_us\": {},", lat.p50_us);
+    let _ = writeln!(s, "    \"p99_us\": {}", lat.p99_us);
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"workload\": \"{}\",", r.workload);
+        let _ = writeln!(s, "      \"isa\": \"{}\",", isa_tag(r.isa));
+        let _ = writeln!(s, "      \"cold_ns\": {},", r.cold_ns);
+        let _ = writeln!(s, "      \"warm_ns\": {},", r.warm_ns);
+        let _ = writeln!(s, "      \"speedup\": {:.4}", r.cold_ns as f64 / r.warm_ns.max(1) as f64);
+        let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

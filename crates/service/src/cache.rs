@@ -1,0 +1,473 @@
+//! A content-addressed artifact cache: byte-bounded LRU with
+//! single-flight deduplication.
+//!
+//! * **Exact keys** — the cache is generic over a structured `Eq + Hash`
+//!   key; it never compares by hash digest, so two different
+//!   compilations can never alias.
+//! * **Byte budget** — each resident value carries a charged size;
+//!   inserting past the budget evicts least-recently-used values first
+//!   (an over-budget value is still *returned*, it just doesn't stay
+//!   resident).
+//! * **Single flight** — N concurrent requests for the same absent key
+//!   produce exactly one compute; the leader publishes the result and
+//!   every waiter shares the same `Arc`. Waiters carry their own
+//!   deadlines: a waiter can time out and leave while the flight
+//!   continues for the others.
+//! * **Panic safety** — if the leader's compute panics, a drop guard
+//!   marks the flight abandoned and clears the key; waiters wake and
+//!   retry (one of them becomes the new leader) instead of hanging.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// How a value was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Already resident.
+    Hit,
+    /// This request led the compute.
+    Computed,
+    /// Another request led the compute; this one waited and shared it.
+    Joined,
+}
+
+/// Why [`Cache::get_or_compute`] failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError<E> {
+    /// The compute itself failed (the error is shared with all waiters).
+    Compute(E),
+    /// This request's deadline expired while waiting on the flight.
+    TimedOut,
+}
+
+/// A point-in-time view of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served from a resident value.
+    pub hits: u64,
+    /// Requests that led a compute.
+    pub misses: u64,
+    /// Requests that joined another request's flight.
+    pub joins: u64,
+    /// Values evicted to stay within budget.
+    pub evictions: u64,
+    /// Bytes currently charged.
+    pub resident_bytes: usize,
+    /// Values currently resident.
+    pub resident_count: usize,
+}
+
+enum FlightState<V, E> {
+    /// The leader is still computing.
+    Pending,
+    /// The leader finished (either way).
+    Done(Result<Arc<V>, E>),
+    /// The leader's compute panicked; waiters should retry the key.
+    Abandoned,
+}
+
+struct Flight<V, E> {
+    state: Mutex<FlightState<V, E>>,
+    cv: Condvar,
+}
+
+enum Entry<V, E> {
+    Resident { value: Arc<V>, bytes: usize, last_used: u64 },
+    InFlight(Arc<Flight<V, E>>),
+}
+
+struct Inner<K, V, E> {
+    map: HashMap<K, Entry<V, E>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// The cache. `K` is the exact content address, `V` the artifact, `E`
+/// the (cloneable) compute error shared with flight waiters.
+pub struct Cache<K, V, E> {
+    inner: Mutex<Inner<K, V, E>>,
+    budget_bytes: usize,
+}
+
+impl<K, V, E> std::fmt::Debug for Cache<K, V, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cache").field("budget_bytes", &self.budget_bytes).finish_non_exhaustive()
+    }
+}
+
+enum JoinOutcome<V, E> {
+    Value(Arc<V>),
+    Failed(E),
+    Abandoned,
+    TimedOut,
+}
+
+impl<K: Eq + Hash + Clone, V, E: Clone> Cache<K, V, E> {
+    /// A cache that holds at most `budget_bytes` of charged value bytes.
+    pub fn new(budget_bytes: usize) -> Cache<K, V, E> {
+        Cache {
+            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0, stats: CacheStats::default() }),
+            budget_bytes,
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("cache lock").stats
+    }
+
+    /// Resident-only lookup (no flight join, no compute). Counts as a
+    /// hit when it returns `Some`; counts nothing otherwise.
+    pub fn try_get(&self, key: &K) -> Option<Arc<V>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let v = match inner.map.get_mut(key) {
+            Some(Entry::Resident { value, last_used, .. }) => {
+                *last_used = tick;
+                value.clone()
+            }
+            _ => return None,
+        };
+        inner.stats.hits += 1;
+        Some(v)
+    }
+
+    /// Look up `key`; on a miss, run `compute` exactly once across all
+    /// concurrent callers and share the result.
+    ///
+    /// `deadline` bounds only the *waiting*: a joiner whose deadline
+    /// passes gets [`CacheError::TimedOut`] while the flight continues.
+    /// (The leader's own compute is expected to watch the deadline
+    /// itself — e.g. via the phase-cancellation hook — and return an `E`
+    /// if it gives up.)
+    ///
+    /// `compute` returns the value and its charged size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Compute`] if the compute failed (leader and all
+    /// waiters see the same error; the key is cleared so a retry
+    /// recomputes), or [`CacheError::TimedOut`] if this caller's
+    /// deadline expired while waiting.
+    pub fn get_or_compute(
+        &self,
+        key: &K,
+        deadline: Option<Instant>,
+        compute: impl FnOnce() -> Result<(V, usize), E>,
+    ) -> Result<(Arc<V>, Source), CacheError<E>> {
+        enum Action<V, E> {
+            Hit(Arc<V>),
+            Join(Arc<Flight<V, E>>),
+            Lead(Arc<Flight<V, E>>),
+        }
+        let mut compute = Some(compute);
+        loop {
+            let flight = {
+                let mut inner = self.inner.lock().expect("cache lock");
+                inner.tick += 1;
+                let tick = inner.tick;
+                let action = match inner.map.get_mut(key) {
+                    Some(Entry::Resident { value, last_used, .. }) => {
+                        *last_used = tick;
+                        Action::Hit(value.clone())
+                    }
+                    Some(Entry::InFlight(f)) => Action::Join(f.clone()),
+                    None => {
+                        let f = Arc::new(Flight {
+                            state: Mutex::new(FlightState::Pending),
+                            cv: Condvar::new(),
+                        });
+                        inner.map.insert(key.clone(), Entry::InFlight(f.clone()));
+                        Action::Lead(f)
+                    }
+                };
+                match action {
+                    Action::Hit(v) => {
+                        inner.stats.hits += 1;
+                        return Ok((v, Source::Hit));
+                    }
+                    Action::Join(f) => {
+                        inner.stats.joins += 1;
+                        f
+                    }
+                    Action::Lead(f) => {
+                        inner.stats.misses += 1;
+                        drop(inner);
+                        let compute = compute.take().expect("compute consumed only as leader");
+                        return self.lead(key, f, compute);
+                    }
+                }
+            };
+            match self.join(flight, deadline) {
+                JoinOutcome::Value(v) => return Ok((v, Source::Joined)),
+                JoinOutcome::Failed(e) => return Err(CacheError::Compute(e)),
+                JoinOutcome::TimedOut => return Err(CacheError::TimedOut),
+                // The leader panicked; the key is clear — go around and
+                // either find a new flight or lead one ourselves.
+                JoinOutcome::Abandoned => continue,
+            }
+        }
+    }
+
+    /// Leader path: run the compute, publish, wake waiters.
+    fn lead(
+        &self,
+        key: &K,
+        flight: Arc<Flight<V, E>>,
+        compute: impl FnOnce() -> Result<(V, usize), E>,
+    ) -> Result<(Arc<V>, Source), CacheError<E>> {
+        // If `compute` panics, this guard clears the key and marks the
+        // flight abandoned so waiters wake and retry instead of
+        // sleeping until their deadlines.
+        struct Guard<'a, K: Eq + Hash, V, E> {
+            cache: &'a Cache<K, V, E>,
+            key: &'a K,
+            flight: &'a Flight<V, E>,
+            armed: bool,
+        }
+        impl<K: Eq + Hash, V, E> Drop for Guard<'_, K, V, E> {
+            fn drop(&mut self) {
+                if !self.armed {
+                    return;
+                }
+                if let Ok(mut inner) = self.cache.inner.lock() {
+                    inner.map.remove(self.key);
+                }
+                if let Ok(mut state) = self.flight.state.lock() {
+                    *state = FlightState::Abandoned;
+                }
+                self.flight.cv.notify_all();
+            }
+        }
+        let mut guard = Guard { cache: self, key, flight: &flight, armed: true };
+
+        let result = compute();
+        guard.armed = false;
+        drop(guard);
+
+        match result {
+            Ok((value, bytes)) => {
+                let value = Arc::new(value);
+                {
+                    let mut inner = self.inner.lock().expect("cache lock");
+                    inner.tick += 1;
+                    let tick = inner.tick;
+                    inner.map.insert(
+                        key.clone(),
+                        Entry::Resident { value: value.clone(), bytes, last_used: tick },
+                    );
+                    inner.stats.resident_bytes += bytes;
+                    inner.stats.resident_count += 1;
+                    self.evict_to_budget(&mut inner);
+                }
+                let mut state = flight.state.lock().expect("flight lock");
+                *state = FlightState::Done(Ok(value.clone()));
+                drop(state);
+                flight.cv.notify_all();
+                Ok((value, Source::Computed))
+            }
+            Err(e) => {
+                {
+                    let mut inner = self.inner.lock().expect("cache lock");
+                    inner.map.remove(key);
+                }
+                let mut state = flight.state.lock().expect("flight lock");
+                *state = FlightState::Done(Err(e.clone()));
+                drop(state);
+                flight.cv.notify_all();
+                Err(CacheError::Compute(e))
+            }
+        }
+    }
+
+    /// Waiter path: block on the flight until it resolves, is
+    /// abandoned, or the deadline passes.
+    fn join(&self, flight: Arc<Flight<V, E>>, deadline: Option<Instant>) -> JoinOutcome<V, E> {
+        let mut state = flight.state.lock().expect("flight lock");
+        loop {
+            match &*state {
+                FlightState::Done(Ok(v)) => return JoinOutcome::Value(v.clone()),
+                FlightState::Done(Err(e)) => return JoinOutcome::Failed(e.clone()),
+                FlightState::Abandoned => return JoinOutcome::Abandoned,
+                FlightState::Pending => {}
+            }
+            match deadline {
+                None => state = flight.cv.wait(state).expect("flight lock"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return JoinOutcome::TimedOut;
+                    }
+                    let (g, _timeout) =
+                        flight.cv.wait_timeout(state, d - now).expect("flight lock");
+                    state = g;
+                }
+            }
+        }
+    }
+
+    /// Evict least-recently-used residents until within budget. Runs
+    /// with the cache lock held; in-flight entries are never evicted.
+    fn evict_to_budget(&self, inner: &mut Inner<K, V, E>) {
+        while inner.stats.resident_bytes > self.budget_bytes {
+            let victim = inner
+                .map
+                .iter()
+                .filter_map(|(k, e)| match e {
+                    Entry::Resident { last_used, .. } => Some((*last_used, k.clone())),
+                    Entry::InFlight(_) => None,
+                })
+                .min_by_key(|(tick, _)| *tick);
+            let Some((_, key)) = victim else { break };
+            if let Some(Entry::Resident { bytes, .. }) = inner.map.remove(&key) {
+                inner.stats.resident_bytes -= bytes;
+                inner.stats.resident_count -= 1;
+                inner.stats.evictions += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    type C = Cache<String, u64, String>;
+
+    #[test]
+    fn hit_after_compute() {
+        let c: C = Cache::new(1 << 20);
+        let (v, src) = c.get_or_compute(&"k".to_string(), None, || Ok((7, 100))).unwrap();
+        assert_eq!((*v, src), (7, Source::Computed));
+        let (v, src) =
+            c.get_or_compute(&"k".to_string(), None, || panic!("must not recompute")).unwrap();
+        assert_eq!((*v, src), (7, Source::Hit));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.resident_count, s.resident_bytes), (1, 1, 1, 100));
+    }
+
+    #[test]
+    fn compute_error_clears_the_key() {
+        let c: C = Cache::new(1 << 20);
+        let err = c.get_or_compute(&"k".to_string(), None, || Err("boom".to_string())).unwrap_err();
+        assert_eq!(err, CacheError::Compute("boom".into()));
+        // Retry recomputes (the key was cleared).
+        let (v, src) = c.get_or_compute(&"k".to_string(), None, || Ok((1, 1))).unwrap();
+        assert_eq!((*v, src), (1, Source::Computed));
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency_and_budget() {
+        let c: C = Cache::new(250);
+        c.get_or_compute(&"a".to_string(), None, || Ok((1, 100))).unwrap();
+        c.get_or_compute(&"b".to_string(), None, || Ok((2, 100))).unwrap();
+        // Touch `a` so `b` is the LRU.
+        assert!(c.try_get(&"a".to_string()).is_some());
+        c.get_or_compute(&"c".to_string(), None, || Ok((3, 100))).unwrap();
+        assert!(c.try_get(&"b".to_string()).is_none(), "LRU entry should be evicted");
+        assert!(c.try_get(&"a".to_string()).is_some());
+        assert!(c.try_get(&"c".to_string()).is_some());
+        let s = c.stats();
+        assert_eq!((s.evictions, s.resident_count, s.resident_bytes), (1, 2, 200));
+    }
+
+    #[test]
+    fn over_budget_value_is_served_but_not_retained() {
+        let c: C = Cache::new(50);
+        let (v, src) = c.get_or_compute(&"big".to_string(), None, || Ok((9, 1000))).unwrap();
+        assert_eq!((*v, src), (9, Source::Computed));
+        assert!(c.try_get(&"big".to_string()).is_none());
+        assert_eq!(c.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn single_flight_deduplicates_concurrent_computes() {
+        let c: Arc<C> = Arc::new(Cache::new(1 << 20));
+        let computes = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = c.clone();
+            let computes = computes.clone();
+            handles.push(std::thread::spawn(move || {
+                c.get_or_compute(&"k".to_string(), None, || {
+                    computes.fetch_add(1, Ordering::SeqCst);
+                    // Widen the race window so joiners actually wait.
+                    std::thread::sleep(Duration::from_millis(30));
+                    Ok((42, 10))
+                })
+                .unwrap()
+            }));
+        }
+        let results: Vec<(Arc<u64>, Source)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "exactly one compute");
+        assert!(results.iter().all(|(v, _)| **v == 42));
+        assert_eq!(
+            results.iter().filter(|(_, s)| *s == Source::Computed).count(),
+            1,
+            "exactly one leader"
+        );
+    }
+
+    #[test]
+    fn waiter_deadline_expires_while_flight_continues() {
+        let c: Arc<C> = Arc::new(Cache::new(1 << 20));
+        let leader = {
+            let c = c.clone();
+            std::thread::spawn(move || {
+                c.get_or_compute(&"slow".to_string(), None, || {
+                    std::thread::sleep(Duration::from_millis(200));
+                    Ok((5, 10))
+                })
+                .unwrap()
+            })
+        };
+        // Give the leader time to claim the flight.
+        std::thread::sleep(Duration::from_millis(50));
+        let deadline = Some(Instant::now() + Duration::from_millis(20));
+        let err = c
+            .get_or_compute(&"slow".to_string(), deadline, || panic!("joiner must not compute"))
+            .unwrap_err();
+        assert_eq!(err, CacheError::TimedOut);
+        // The flight itself completes and the value lands in the cache.
+        let (v, src) = leader.join().unwrap();
+        assert_eq!((*v, src), (5, Source::Computed));
+        assert!(c.try_get(&"slow".to_string()).is_some());
+    }
+
+    #[test]
+    fn leader_panic_lets_a_waiter_take_over() {
+        let c: Arc<C> = Arc::new(Cache::new(1 << 20));
+        let leader = {
+            let c = c.clone();
+            std::thread::spawn(move || {
+                let _ =
+                    c.get_or_compute(&"k".to_string(), None, || -> Result<(u64, usize), String> {
+                        std::thread::sleep(Duration::from_millis(50));
+                        panic!("leader dies")
+                    });
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        // The waiter survives the abandoned flight by leading a fresh
+        // compute itself.
+        let (v, src) = c
+            .get_or_compute(&"k".to_string(), Some(Instant::now() + Duration::from_secs(5)), || {
+                Ok((3, 1))
+            })
+            .unwrap();
+        assert_eq!((*v, src), (3, Source::Computed));
+        assert!(leader.join().is_err(), "leader thread panicked");
+        assert!(c.try_get(&"k".to_string()).is_some());
+    }
+}

@@ -1,0 +1,202 @@
+//! Content-addressed cache keys.
+//!
+//! An artifact is addressed by *everything that determines its bytes*:
+//! the expression (printed structural form — two structurally equal
+//! expressions print identically), its lane count, the target ISA, the
+//! rewrite-engine configuration, the rule-provenance toggles, and a
+//! fingerprint of the loaded rule sets. The key is an exact structured
+//! value (`Eq + Hash`), so the cache can never confuse two different
+//! compilations — the 64-bit FNV fingerprint is only a *display* handle
+//! and a cheap way to invalidate across rule-set changes, never the
+//! identity itself.
+
+use fpir::expr::RcExpr;
+use fpir::Isa;
+use fpir_trs::rewrite::EngineConfig;
+use pitchfork::Pitchfork;
+
+/// The exact identity of one compilation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The expression, printed (structural — not a pointer identity).
+    pub expr: String,
+    /// Vector width of the expression.
+    pub lanes: u32,
+    /// Target ISA.
+    pub isa: Isa,
+    /// Rewrite-engine acceleration flags `(memo, index, cost_cache)`.
+    pub engine: (bool, bool, bool),
+    /// Whether synthesized rules were loaded.
+    pub synthesized_rules: bool,
+    /// Leave-one-out benchmark, if any.
+    pub leave_out: Option<String>,
+    /// Fingerprint of the lift+lower rule sets actually loaded.
+    pub rules_fp: u64,
+}
+
+impl CacheKey {
+    /// Build the key for compiling `expr` with `pf`.
+    pub fn for_compile(pf: &Pitchfork, expr: &RcExpr) -> CacheKey {
+        let cfg = pf.config();
+        CacheKey {
+            expr: expr.to_string(),
+            lanes: expr.ty().lanes,
+            isa: cfg.isa,
+            engine: engine_bits(cfg.engine),
+            synthesized_rules: cfg.synthesized_rules,
+            leave_out: cfg.leave_out.clone(),
+            rules_fp: ruleset_fingerprint(pf),
+        }
+    }
+
+    /// A short printable handle for logs and `/stats` (not the identity).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write(self.expr.as_bytes());
+        h.write(&self.lanes.to_le_bytes());
+        h.write(self.isa.short_name().as_bytes());
+        h.write(&[
+            self.engine.0 as u8,
+            self.engine.1 as u8,
+            self.engine.2 as u8,
+            self.synthesized_rules as u8,
+        ]);
+        if let Some(l) = &self.leave_out {
+            h.write(l.as_bytes());
+        }
+        h.write(&self.rules_fp.to_le_bytes());
+        h.finish()
+    }
+}
+
+/// `EngineConfig` as a hashable tuple.
+pub fn engine_bits(e: EngineConfig) -> (bool, bool, bool) {
+    (e.memo, e.index, e.cost_cache)
+}
+
+/// Fingerprint of the rule sets a selector actually loaded: every rule's
+/// printed form (the `Display` of a rule is its full lhs → rhs syntax),
+/// in set order, lift then lower. Changes whenever a rule is added,
+/// removed, reordered, or edited.
+pub fn ruleset_fingerprint(pf: &Pitchfork) -> u64 {
+    let mut h = Fnv::new();
+    for (tag, set) in [("lift", pf.lift_rule_set()), ("lower", pf.lower_rule_set())] {
+        h.write(tag.as_bytes());
+        h.write(&(set.rules().len() as u64).to_le_bytes());
+        for r in set.rules() {
+            h.write(r.to_string().as_bytes());
+            h.write(&[0]);
+        }
+    }
+    h.finish()
+}
+
+/// FNV-1a, 64-bit. Not cryptographic — a display/fingerprint hash only;
+/// correctness never depends on it (the structured key is the identity).
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// The offset-basis state.
+    pub fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorb bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv::new()
+    }
+}
+
+impl std::fmt::Debug for Fnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Fnv({:016x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpir::build;
+    use fpir::types::{ScalarType as S, VectorType as V};
+    use pitchfork::Config;
+
+    fn sat_add(lanes: u32) -> RcExpr {
+        let t = V::new(S::U8, lanes);
+        let sum = build::add(build::widen(build::var("a", t)), build::widen(build::var("b", t)));
+        build::cast(S::U8, build::min(sum.clone(), build::splat(255, &sum)))
+    }
+
+    #[test]
+    fn structurally_equal_expressions_share_a_key() {
+        let pf = Pitchfork::new(Isa::ArmNeon);
+        let a = CacheKey::for_compile(&pf, &sat_add(16));
+        let b = CacheKey::for_compile(&pf, &sat_add(16));
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn every_config_axis_changes_the_key() {
+        let base = CacheKey::for_compile(&Pitchfork::new(Isa::ArmNeon), &sat_add(16));
+        let variants = [
+            CacheKey::for_compile(&Pitchfork::new(Isa::ArmNeon), &sat_add(32)),
+            CacheKey::for_compile(&Pitchfork::new(Isa::X86Avx2), &sat_add(16)),
+            CacheKey::for_compile(
+                &Pitchfork::with_config(
+                    Config::new(Isa::ArmNeon).with_engine(EngineConfig::REFERENCE),
+                ),
+                &sat_add(16),
+            ),
+            CacheKey::for_compile(
+                &Pitchfork::with_config(Config::new(Isa::ArmNeon).hand_written_only()),
+                &sat_add(16),
+            ),
+            CacheKey::for_compile(
+                &Pitchfork::with_config(Config::new(Isa::ArmNeon).leaving_out("blur")),
+                &sat_add(16),
+            ),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(base, *v, "variant {i} must not collide with the base key");
+        }
+    }
+
+    #[test]
+    fn rule_provenance_toggles_change_the_ruleset_fingerprint() {
+        let full = ruleset_fingerprint(&Pitchfork::new(Isa::ArmNeon));
+        let hand = ruleset_fingerprint(&Pitchfork::with_config(
+            Config::new(Isa::ArmNeon).hand_written_only(),
+        ));
+        assert_ne!(full, hand);
+        // Deterministic across selector instances.
+        assert_eq!(full, ruleset_fingerprint(&Pitchfork::new(Isa::ArmNeon)));
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        let mut h = Fnv::new();
+        h.write(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,54 @@
+//! # pitchfork-service — a concurrent compile-and-run daemon
+//!
+//! The paper's instruction selector is fast enough to sit inside a
+//! compiler's inner loop; this crate makes it fast enough to sit behind
+//! one socket for *many* compilers. `pitchforkd` keeps one warm
+//! selector per configuration (rule sets loaded and indexed once) and
+//! serves `compile` and `run` requests over a dependency-free,
+//! length-prefixed JSON protocol, backed by:
+//!
+//! * a **content-addressed artifact cache** ([`cache`]) — keyed by the
+//!   expression's structural print, the target ISA, the engine
+//!   configuration, and a fingerprint of the loaded rule sets; bounded
+//!   in bytes with LRU eviction;
+//! * **single-flight deduplication** — N concurrent identical requests
+//!   cost one compile, and everyone shares the same `Arc<Artifact>`;
+//! * **admission control and deadlines** ([`service`]) — compiles run
+//!   on a bounded worker queue (full queue ⇒ `overloaded`), and a
+//!   request's `timeout_ms` is checked between compiler phases, so an
+//!   expired request stops selecting instructions instead of finishing
+//!   pointlessly;
+//! * a **`stats` endpoint** — hit/miss/shed/timeout counters, queue
+//!   depth, and p50/p99 service latencies.
+//!
+//! Served results are bit-identical to calling
+//! [`pitchfork::compile_to_executable`] directly: the daemon is a cache
+//! and a transport, never a different compiler.
+//!
+//! ## Wire format
+//!
+//! One request or response per frame; a frame is a 4-byte big-endian
+//! byte length followed by that many bytes of UTF-8 JSON. See
+//! [`protocol`] for the request vocabulary and `docs/service.md` for
+//! the full protocol reference.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod error;
+pub mod json;
+pub mod key;
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod stats;
+
+pub use cache::{Cache, CacheError, CacheStats, Source};
+pub use error::ServiceError;
+pub use json::Json;
+pub use key::CacheKey;
+pub use protocol::{parse_request, read_frame, write_frame, CompileSpec, Request};
+pub use server::{install_signal_handlers, serve, Client, Endpoint};
+pub use service::{Service, ServiceConfig};
+pub use stats::{LatencySummary, Stats};

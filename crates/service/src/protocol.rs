@@ -1,0 +1,440 @@
+//! The wire protocol: length-prefixed JSON frames and the typed request
+//! vocabulary.
+//!
+//! A frame is a 4-byte big-endian length followed by that many bytes of
+//! UTF-8 JSON — one value per frame, no delimiters to escape, trivially
+//! parseable from any language. Requests are objects with an `"op"`
+//! member; responses are objects with `"ok": true/false` (the failure
+//! shape carries the [`ServiceError`] code and message).
+//!
+//! ```text
+//! → {"op":"compile","expr":"saturating_add(a_u8, b_u8)","lanes":16,"isa":"arm"}
+//! ← {"ok":true,"cached":false,"lowered":"arm.uqadd(a_u8, b_u8)", ...}
+//! ```
+
+use crate::error::ServiceError;
+use crate::json::{parse, Json};
+use fpir::types::ScalarType;
+use fpir::Isa;
+use fpir_trs::rewrite::EngineConfig;
+use std::io::{self, Read, Write};
+
+/// Largest accepted frame (16 MiB) — a denial-of-service guard, far
+/// above any legitimate request or response.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Write one value as a frame.
+///
+/// # Errors
+///
+/// I/O errors from `w`; `InvalidData` if the rendering exceeds
+/// [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, v: &Json) -> io::Result<()> {
+    let body = v.render();
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` on clean end-of-stream (the peer closed
+/// between frames).
+///
+/// # Errors
+///
+/// I/O errors from `r`; `InvalidData` on an oversized length, a
+/// truncated body, non-UTF-8 bytes, or malformed JSON.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let text = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
+    parse(&text).map(Some).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Everything that identifies one compilation: the compile half of
+/// every `compile` / `run` / `run_pipeline` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileSpec {
+    /// The expression, in the printed syntax `fpir::parser` accepts.
+    pub expr: String,
+    /// Vector width.
+    pub lanes: u32,
+    /// Target ISA.
+    pub isa: Isa,
+    /// Rewrite-engine configuration.
+    pub engine: EngineConfig,
+    /// Include synthesized rules.
+    pub synthesized_rules: bool,
+    /// Leave-one-out benchmark.
+    pub leave_out: Option<String>,
+    /// Per-request deadline, if any.
+    pub timeout_ms: Option<u64>,
+}
+
+/// One input image for a pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageSpec {
+    /// Lane type of the pixels.
+    pub elem: ScalarType,
+    /// Row-major pixel rows (equal lengths, validated).
+    pub rows: Vec<Vec<i128>>,
+}
+
+/// A parsed, validated request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Server counters and latency percentiles.
+    Stats,
+    /// Graceful shutdown.
+    Shutdown,
+    /// Compile an expression to a selected program.
+    Compile(CompileSpec),
+    /// Compile (or fetch) and execute over one environment of vectors.
+    Run {
+        /// What to compile.
+        spec: CompileSpec,
+        /// Variable name → lane values, one vector per free variable.
+        inputs: Vec<(String, Vec<i128>)>,
+    },
+    /// Compile (or fetch) a stencil pipeline and run it over whole
+    /// images with the tiled parallel runner.
+    RunPipeline {
+        /// What to compile (the expression must be over taps).
+        spec: CompileSpec,
+        /// Buffer name → image.
+        inputs: Vec<(String, ImageSpec)>,
+        /// Worker threads for the tiled runner.
+        jobs: usize,
+    },
+}
+
+fn bad(msg: impl Into<String>) -> ServiceError {
+    ServiceError::BadRequest(msg.into())
+}
+
+/// Parse `"x86" | "arm" | "hvx"` (the `Isa::short_name` vocabulary,
+/// case-insensitive).
+pub fn parse_isa(s: &str) -> Result<Isa, ServiceError> {
+    fpir::machine::ALL_ISAS
+        .into_iter()
+        .find(|i| i.short_name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| bad(format!("unknown isa `{s}` (expected x86, arm, or hvx)")))
+}
+
+/// Parse `"u8" | "i16" | ...` (the `ScalarType` display vocabulary).
+pub fn parse_elem(s: &str) -> Result<ScalarType, ServiceError> {
+    ScalarType::from_name(s).ok_or_else(|| bad(format!("unknown element type `{s}`")))
+}
+
+fn parse_spec(v: &Json) -> Result<CompileSpec, ServiceError> {
+    let expr = v
+        .get("expr")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing string field `expr`"))?
+        .to_string();
+    let lanes = v
+        .get("lanes")
+        .and_then(Json::as_int)
+        .ok_or_else(|| bad("missing integer field `lanes`"))?;
+    let lanes = u32::try_from(lanes)
+        .ok()
+        .filter(|l| (1..=4096).contains(l))
+        .ok_or_else(|| bad("`lanes` must be an integer in 1..=4096"))?;
+    let isa = parse_isa(
+        v.get("isa").and_then(Json::as_str).ok_or_else(|| bad("missing string field `isa`"))?,
+    )?;
+    let engine =
+        match v.get("engine").map(|e| e.as_str().ok_or_else(|| bad("`engine` must be a string"))) {
+            None => EngineConfig::FAST,
+            Some(Ok("fast")) => EngineConfig::FAST,
+            Some(Ok("reference")) => EngineConfig::REFERENCE,
+            Some(Ok(other)) => {
+                return Err(bad(format!("unknown engine `{other}` (expected fast or reference)")))
+            }
+            Some(Err(e)) => return Err(e),
+        };
+    let synthesized_rules = match v.get("synthesized_rules") {
+        None => true,
+        Some(b) => b.as_bool().ok_or_else(|| bad("`synthesized_rules` must be a boolean"))?,
+    };
+    let leave_out = match v.get("leave_out") {
+        None | Some(Json::Null) => None,
+        Some(s) => Some(s.as_str().ok_or_else(|| bad("`leave_out` must be a string"))?.to_string()),
+    };
+    let timeout_ms = match v.get("timeout_ms") {
+        None | Some(Json::Null) => None,
+        Some(n) => Some(
+            n.as_int()
+                .and_then(|n| u64::try_from(n).ok())
+                .filter(|&n| n > 0)
+                .ok_or_else(|| bad("`timeout_ms` must be a positive integer"))?,
+        ),
+    };
+    Ok(CompileSpec { expr, lanes, isa, engine, synthesized_rules, leave_out, timeout_ms })
+}
+
+fn parse_lane_list(v: &Json) -> Result<Vec<i128>, ServiceError> {
+    v.as_array()
+        .ok_or_else(|| bad("input vector must be an array of integers"))?
+        .iter()
+        .map(|x| x.as_int().ok_or_else(|| bad("input lanes must be integers")))
+        .collect()
+}
+
+fn parse_run_inputs(v: &Json) -> Result<Vec<(String, Vec<i128>)>, ServiceError> {
+    let obj = v
+        .get("inputs")
+        .and_then(Json::as_object)
+        .ok_or_else(|| bad("missing object field `inputs`"))?;
+    obj.iter().map(|(name, lanes)| Ok((name.clone(), parse_lane_list(lanes)?))).collect()
+}
+
+fn parse_image(name: &str, v: &Json) -> Result<ImageSpec, ServiceError> {
+    let elem = parse_elem(
+        v.get("elem")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad(format!("input `{name}`: missing string field `elem`")))?,
+    )?;
+    let rows_json = v
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad(format!("input `{name}`: missing array field `rows`")))?;
+    if rows_json.is_empty() {
+        return Err(bad(format!("input `{name}`: image has no rows")));
+    }
+    let mut rows = Vec::with_capacity(rows_json.len());
+    for row in rows_json {
+        rows.push(
+            parse_lane_list(row)
+                .map_err(|_| bad(format!("input `{name}`: rows must be arrays of integers")))?,
+        );
+    }
+    let width = rows[0].len();
+    if width == 0 {
+        return Err(bad(format!("input `{name}`: image has zero width")));
+    }
+    if rows.iter().any(|r| r.len() != width) {
+        return Err(bad(format!("input `{name}`: rows have unequal lengths")));
+    }
+    for &px in rows.iter().flatten() {
+        if !elem.contains(px) {
+            return Err(bad(format!("input `{name}`: pixel {px} does not fit in {elem}")));
+        }
+    }
+    Ok(ImageSpec { elem, rows })
+}
+
+/// Parse and validate one request frame.
+///
+/// # Errors
+///
+/// [`ServiceError::BadRequest`] describing the first problem found.
+pub fn parse_request(v: &Json) -> Result<Request, ServiceError> {
+    let op = v.get("op").and_then(Json::as_str).ok_or_else(|| bad("missing string field `op`"))?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "compile" => Ok(Request::Compile(parse_spec(v)?)),
+        "run" => Ok(Request::Run { spec: parse_spec(v)?, inputs: parse_run_inputs(v)? }),
+        "run_pipeline" => {
+            let spec = parse_spec(v)?;
+            let obj = v
+                .get("inputs")
+                .and_then(Json::as_object)
+                .ok_or_else(|| bad("missing object field `inputs`"))?;
+            let mut inputs = Vec::with_capacity(obj.len());
+            for (name, img) in obj {
+                inputs.push((name.clone(), parse_image(name, img)?));
+            }
+            let jobs = match v.get("jobs") {
+                None => 1,
+                Some(n) => n
+                    .as_int()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .filter(|&n| (1..=256).contains(&n))
+                    .ok_or_else(|| bad("`jobs` must be an integer in 1..=256"))?,
+            };
+            Ok(Request::RunPipeline { spec, inputs, jobs })
+        }
+        other => Err(bad(format!("unknown op `{other}`"))),
+    }
+}
+
+/// The `{"ok": false, ...}` response for an error.
+pub fn error_response(e: &ServiceError) -> Json {
+    Json::Object(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("code".into(), Json::str(e.code())),
+        ("error".into(), Json::str(e.to_string())),
+    ])
+}
+
+/// Start an `{"ok": true, ...}` response with `rest` appended.
+pub fn ok_response(rest: Vec<(String, Json)>) -> Json {
+    let mut members = vec![("ok".into(), Json::Bool(true))];
+    members.extend(rest);
+    Json::Object(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(src: &str) -> Result<Request, ServiceError> {
+        parse_request(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let v = parse(r#"{"op":"ping","payload":[1,2,3]}"#).unwrap();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &v).unwrap();
+        write_frame(&mut buf, &Json::Null).unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), Some(v));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Json::Null));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let v = Json::str("hello");
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &v).unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut buf = Vec::from(u32::MAX.to_be_bytes());
+        buf.extend_from_slice(b"xxxx");
+        let mut r = io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn simple_ops_parse() {
+        assert_eq!(req(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(req(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(req(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn compile_request_parses_with_defaults() {
+        let r = req(r#"{"op":"compile","expr":"a_u8 + b_u8","lanes":16,"isa":"arm"}"#).unwrap();
+        match r {
+            Request::Compile(spec) => {
+                assert_eq!(spec.expr, "a_u8 + b_u8");
+                assert_eq!(spec.lanes, 16);
+                assert_eq!(spec.isa, Isa::ArmNeon);
+                assert_eq!(spec.engine, EngineConfig::FAST);
+                assert!(spec.synthesized_rules);
+                assert_eq!(spec.leave_out, None);
+                assert_eq!(spec.timeout_ms, None);
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compile_request_honors_every_knob() {
+        let r = req(r#"{"op":"compile","expr":"x_u8","lanes":8,"isa":"hvx","engine":"reference",
+                "synthesized_rules":false,"leave_out":"blur","timeout_ms":250}"#)
+        .unwrap();
+        match r {
+            Request::Compile(spec) => {
+                assert_eq!(spec.isa, Isa::HexagonHvx);
+                assert_eq!(spec.engine, EngineConfig::REFERENCE);
+                assert!(!spec.synthesized_rules);
+                assert_eq!(spec.leave_out.as_deref(), Some("blur"));
+                assert_eq!(spec.timeout_ms, Some(250));
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_request_parses_inputs() {
+        let r = req(r#"{"op":"run","expr":"a_u8 + b_u8","lanes":4,"isa":"x86",
+                "inputs":{"a_u8":[1,2,3,4],"b_u8":[5,6,7,8]}}"#)
+        .unwrap();
+        match r {
+            Request::Run { inputs, .. } => {
+                assert_eq!(inputs.len(), 2);
+                assert_eq!(inputs[0], ("a_u8".to_string(), vec![1, 2, 3, 4]));
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipeline_request_validates_images() {
+        let good = req(r#"{"op":"run_pipeline","expr":"in__p0_p0_u8","lanes":4,"isa":"arm",
+                "inputs":{"in":{"elem":"u8","rows":[[1,2],[3,4]]}},"jobs":2}"#)
+        .unwrap();
+        match good {
+            Request::RunPipeline { inputs, jobs, .. } => {
+                assert_eq!(jobs, 2);
+                assert_eq!(inputs[0].1.elem, ScalarType::U8);
+                assert_eq!(inputs[0].1.rows, vec![vec![1, 2], vec![3, 4]]);
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+        // Ragged rows, out-of-range pixels, empty images: all rejected.
+        for bad in [
+            r#"{"op":"run_pipeline","expr":"x_u8","lanes":4,"isa":"arm",
+                "inputs":{"in":{"elem":"u8","rows":[[1,2],[3]]}}}"#,
+            r#"{"op":"run_pipeline","expr":"x_u8","lanes":4,"isa":"arm",
+                "inputs":{"in":{"elem":"u8","rows":[[1,256]]}}}"#,
+            r#"{"op":"run_pipeline","expr":"x_u8","lanes":4,"isa":"arm",
+                "inputs":{"in":{"elem":"u8","rows":[]}}}"#,
+        ] {
+            assert!(req(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_name_the_problem() {
+        for (src, needle) in [
+            (r#"{}"#, "op"),
+            (r#"{"op":"warp"}"#, "unknown op"),
+            (r#"{"op":"compile","lanes":4,"isa":"arm"}"#, "expr"),
+            (r#"{"op":"compile","expr":"x_u8","isa":"arm"}"#, "lanes"),
+            (r#"{"op":"compile","expr":"x_u8","lanes":0,"isa":"arm"}"#, "lanes"),
+            (r#"{"op":"compile","expr":"x_u8","lanes":4}"#, "isa"),
+            (r#"{"op":"compile","expr":"x_u8","lanes":4,"isa":"mips"}"#, "unknown isa"),
+            (r#"{"op":"compile","expr":"x_u8","lanes":4,"isa":"arm","engine":"warp"}"#, "engine"),
+            (r#"{"op":"compile","expr":"x_u8","lanes":4,"isa":"arm","timeout_ms":0}"#, "timeout"),
+            (r#"{"op":"run","expr":"x_u8","lanes":4,"isa":"arm"}"#, "inputs"),
+        ] {
+            let err = req(src).unwrap_err();
+            assert!(err.to_string().contains(needle), "{src}: error {err} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let e = ServiceError::Overloaded;
+        let v = error_response(&e);
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("code").unwrap().as_str(), Some("overloaded"));
+    }
+}

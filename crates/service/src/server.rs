@@ -1,0 +1,364 @@
+//! The transport layer of `pitchforkd`: socket accept loop, connection
+//! threads, graceful shutdown.
+//!
+//! The server listens on a Unix socket or a TCP address, spawns one
+//! thread per connection, and runs frames through
+//! [`Service::handle`](crate::service::Service::handle). Shutdown is
+//! cooperative and comes from two places — a `{"op":"shutdown"}` frame,
+//! or `SIGTERM`/`SIGINT` — and both funnel into one stop flag that the
+//! accept loop and every connection loop poll. On the way out the
+//! server stops accepting, joins the connection threads (socket read
+//! timeouts keep them responsive), and unlinks the Unix socket path.
+
+use crate::json::Json;
+use crate::protocol::{error_response, parse_request, read_frame, write_frame, Request};
+use crate::service::Service;
+use std::io::{self, Read, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Where the server listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket at this path (created on bind, unlinked on
+    /// shutdown).
+    Unix(PathBuf),
+    /// A TCP address such as `127.0.0.1:7737`.
+    Tcp(String),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(p) => write!(f, "unix:{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// How often idle loops re-check the stop flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Process-wide stop flag; set by signals and by `shutdown` requests.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+/// Install handlers so `SIGTERM` and `SIGINT` request a graceful stop.
+///
+/// Uses the raw libc `signal` entry point (no `libc` crate in this
+/// build environment); the handler only stores to an atomic, which is
+/// async-signal-safe.
+pub fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+/// Ask any running server in this process to stop (what the signal
+/// handlers and `shutdown` frames call).
+pub fn request_stop() {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// Reset the stop flag (start of `serve`; also lets tests reuse the
+/// process).
+fn clear_stop() {
+    STOP.store(false, Ordering::SeqCst);
+}
+
+fn stopping() -> bool {
+    STOP.load(Ordering::SeqCst)
+}
+
+enum Listener {
+    Unix(UnixListener, PathBuf),
+    Tcp(TcpListener),
+}
+
+enum Conn {
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(std::net::TcpStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+impl Conn {
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_read_timeout(d),
+            Conn::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+}
+
+/// Run the serve loop on `endpoint` until a shutdown request or signal.
+///
+/// # Errors
+///
+/// Binding errors; accept errors are per-connection and logged to
+/// stderr instead of aborting the server.
+pub fn serve(service: Arc<Service>, endpoint: &Endpoint) -> io::Result<()> {
+    clear_stop();
+    let listener = match endpoint {
+        Endpoint::Unix(path) => {
+            // A stale socket file from a crashed predecessor would make
+            // bind fail; remove it if nothing is listening.
+            if path.exists() && std::os::unix::net::UnixStream::connect(path).is_err() {
+                let _ = std::fs::remove_file(path);
+            }
+            let l = UnixListener::bind(path)?;
+            l.set_nonblocking(true)?;
+            Listener::Unix(l, path.clone())
+        }
+        Endpoint::Tcp(addr) => {
+            let l = TcpListener::bind(addr.as_str())?;
+            l.set_nonblocking(true)?;
+            Listener::Tcp(l)
+        }
+    };
+
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stopping() {
+        let conn = match &listener {
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+        };
+        match conn {
+            Ok(conn) => {
+                let service = service.clone();
+                workers.push(std::thread::spawn(move || serve_connection(service, conn)));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) => eprintln!("pitchforkd: accept failed: {e}"),
+        }
+        // Reap finished connection threads so the vec doesn't grow
+        // without bound on long-lived servers.
+        workers.retain(|h| !h.is_finished());
+    }
+
+    for h in workers {
+        let _ = h.join();
+    }
+    if let Listener::Unix(l, path) = listener {
+        drop(l);
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(())
+}
+
+/// One connection: frames in, frames out, until EOF, error, or stop.
+fn serve_connection(service: Arc<Service>, mut conn: Conn) {
+    // The timeout keeps this thread polling the stop flag while the
+    // peer is idle, so shutdown can join it.
+    let _ = conn.set_read_timeout(Some(POLL));
+    loop {
+        let frame = match read_frame(&mut conn) {
+            Ok(Some(v)) => v,
+            Ok(None) => return, // peer closed
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stopping() {
+                    return;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Malformed frame: answer with a structured error, then
+                // drop the connection (framing may be out of sync).
+                let err = crate::error::ServiceError::BadRequest(e.to_string());
+                let _ = write_frame(&mut conn, &error_response(&err));
+                return;
+            }
+            Err(_) => return,
+        };
+        let response = match parse_request(&frame) {
+            Ok(req) => {
+                let v = service.handle(&req);
+                if req == Request::Shutdown {
+                    let _ = write_frame(&mut conn, &v);
+                    request_stop();
+                    return;
+                }
+                v
+            }
+            Err(e) => error_response(&e),
+        };
+        if write_frame(&mut conn, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// A blocking client for the frame protocol.
+#[derive(Debug)]
+pub struct Client {
+    conn: ClientConn,
+}
+
+#[derive(Debug)]
+enum ClientConn {
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(std::net::TcpStream),
+}
+
+impl Client {
+    /// Connect to a serving endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        let conn = match endpoint {
+            Endpoint::Unix(path) => {
+                ClientConn::Unix(std::os::unix::net::UnixStream::connect(path)?)
+            }
+            Endpoint::Tcp(addr) => ClientConn::Tcp(std::net::TcpStream::connect(addr.as_str())?),
+        };
+        Ok(Client { conn })
+    }
+
+    /// Send one request frame and read one response frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; `UnexpectedEof` if the server closed without
+    /// answering.
+    pub fn request(&mut self, v: &Json) -> io::Result<Json> {
+        match &mut self.conn {
+            ClientConn::Unix(s) => {
+                write_frame(s, v)?;
+                read_frame(s)
+            }
+            ClientConn::Tcp(s) => {
+                write_frame(s, v)?;
+                read_frame(s)
+            }
+        }?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::service::ServiceConfig;
+
+    /// `STOP` is process-global, so tests that stop a server must not
+    /// overlap tests that run one.
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn start(endpoint: Endpoint) -> std::thread::JoinHandle<io::Result<()>> {
+        let svc = Arc::new(Service::new(ServiceConfig {
+            cache_bytes: 8 << 20,
+            workers: 2,
+            queue_capacity: 8,
+            default_timeout_ms: None,
+        }));
+        let ep = endpoint.clone();
+        std::thread::spawn(move || serve(svc, &ep))
+    }
+
+    fn connect_with_retry(ep: &Endpoint) -> Client {
+        for _ in 0..100 {
+            if let Ok(c) = Client::connect(ep) {
+                return c;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        panic!("server at {ep} never came up");
+    }
+
+    #[test]
+    fn unix_round_trip_and_shutdown() {
+        let _serial = SERIAL.lock().unwrap();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("pitchforkd-test-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let ep = Endpoint::Unix(path.clone());
+        let server = start(ep.clone());
+        let mut client = connect_with_retry(&ep);
+
+        let pong = client.request(&parse(r#"{"op":"ping"}"#).unwrap()).unwrap();
+        assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+
+        let compiled = client
+            .request(
+                &parse(
+                    r#"{"op":"compile","expr":"u8(min(u16(a_u8) + u16(b_u8), 255))",
+                        "lanes":16,"isa":"arm"}"#,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(compiled.get("ok").unwrap().as_bool(), Some(true), "{compiled:?}");
+        assert_eq!(compiled.get("lowered").unwrap().as_str(), Some("arm.uqadd(a_u8, b_u8)"));
+
+        let bye = client.request(&parse(r#"{"op":"shutdown"}"#).unwrap()).unwrap();
+        assert_eq!(bye.get("stopping").unwrap().as_bool(), Some(true));
+        server.join().unwrap().unwrap();
+        assert!(!path.exists(), "socket file should be unlinked on shutdown");
+    }
+
+    #[test]
+    fn tcp_round_trip_and_signal_stop() {
+        let _serial = SERIAL.lock().unwrap();
+        // Port 0 would need the bound address back; pick an uncommon
+        // fixed port and tolerate a busy environment by trying a few.
+        let mut server = None;
+        let mut ep = None;
+        for port in [47731u16, 47741, 47751, 47761] {
+            let candidate = Endpoint::Tcp(format!("127.0.0.1:{port}"));
+            let h = start(candidate.clone());
+            std::thread::sleep(Duration::from_millis(50));
+            if !h.is_finished() {
+                server = Some(h);
+                ep = Some(candidate);
+                break;
+            }
+        }
+        let (server, ep) = (server.expect("no free port"), ep.unwrap());
+        let mut client = connect_with_retry(&ep);
+        let pong = client.request(&parse(r#"{"op":"ping"}"#).unwrap()).unwrap();
+        assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+        // Stop via the same path the signal handler uses.
+        request_stop();
+        server.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,648 @@
+//! The service core: everything `pitchforkd` does, minus the sockets.
+//!
+//! [`Service::handle`] maps one parsed [`Request`] to one JSON
+//! response, and is safe to call from any number of threads at once.
+//! The pieces:
+//!
+//! * a **selector registry** — one warm [`Pitchfork`] (rule sets loaded
+//!   and indexed) per distinct compiler configuration, built on first
+//!   use and kept for the life of the server;
+//! * the **artifact cache** — content-addressed, byte-bounded LRU with
+//!   single-flight deduplication ([`crate::cache`]);
+//! * **admission control** — cache-missing compilations run on a
+//!   bounded [`TaskQueue`]; when the queue is full the request is shed
+//!   with [`ServiceError::Overloaded`] instead of piling on;
+//! * **deadlines** — a request's `timeout_ms` covers queueing and
+//!   compiling; the compile checks it between pipeline phases via the
+//!   driver's cancellation hook, and flight waiters time out
+//!   independently while the flight continues for the others.
+//!
+//! Served results are **bit-identical** to a direct
+//! [`pitchfork::compile_to_executable`] call with the same
+//! configuration — the cache stores exactly what the driver produced,
+//! and execution uses the same linked executable.
+
+use crate::cache::{Cache, CacheError, CacheStats, Source};
+use crate::error::ServiceError;
+use crate::json::Json;
+use crate::key::{engine_bits, ruleset_fingerprint, CacheKey};
+use crate::protocol::{error_response, ok_response, CompileSpec, ImageSpec, Request};
+use crate::stats::Stats;
+use fpir::expr::RcExpr;
+use fpir::interp::{Env, Value};
+use fpir_halide::{run_tiled_exe, Image, Pipeline};
+use fpir_pool::TaskQueue;
+use pitchfork::{compile_to_executable_with, Artifact, Config, DriverError, Pitchfork};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables for one [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Artifact-cache byte budget.
+    pub cache_bytes: usize,
+    /// Compile worker threads.
+    pub workers: usize,
+    /// Bounded compile-queue capacity (admission control).
+    pub queue_capacity: usize,
+    /// Deadline applied when a request doesn't carry its own.
+    pub default_timeout_ms: Option<u64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(8);
+        ServiceConfig {
+            cache_bytes: 64 << 20,
+            workers,
+            queue_capacity: workers * 8,
+            default_timeout_ms: None,
+        }
+    }
+}
+
+/// One warm selector: the `Pitchfork` instance plus its precomputed
+/// rule-set fingerprint (hashing every rule per request would defeat
+/// the point of keeping the selector warm).
+#[derive(Debug)]
+struct Selector {
+    pf: Pitchfork,
+    rules_fp: u64,
+}
+
+/// The part of a [`CompileSpec`] that picks a selector (everything but
+/// the expression and the deadline).
+type SelectorKey = (fpir::Isa, (bool, bool, bool), bool, Option<String>);
+
+/// What the cache stores for one key: the driver's artifact plus the
+/// response strings rendered once at insert time, so a cache hit clones
+/// bytes instead of re-rendering the program on every request.
+#[derive(Debug)]
+struct Served {
+    art: Artifact,
+    lowered: String,
+    program: String,
+}
+
+impl Served {
+    fn new(art: Artifact) -> Served {
+        let lowered = art.lowered.to_string();
+        let program = art.program.render();
+        Served { art, lowered, program }
+    }
+
+    /// Bytes charged against the cache budget: the artifact's estimate
+    /// plus the rendered strings kept alongside it.
+    fn approx_bytes(&self) -> usize {
+        self.art.approx_bytes() + self.lowered.len() + self.program.len()
+    }
+}
+
+/// The concurrent compile-and-run service.
+#[derive(Debug)]
+pub struct Service {
+    config: ServiceConfig,
+    selectors: Mutex<HashMap<SelectorKey, Arc<Selector>>>,
+    cache: Cache<CacheKey, Served, ServiceError>,
+    queue: TaskQueue,
+    stats: Stats,
+}
+
+impl Service {
+    /// Build a service and warm the default selector for every ISA, so
+    /// the first request doesn't pay rule-set construction.
+    pub fn new(config: ServiceConfig) -> Service {
+        let svc = Service {
+            cache: Cache::new(config.cache_bytes),
+            queue: TaskQueue::new(config.workers, config.queue_capacity),
+            stats: Stats::new(),
+            selectors: Mutex::new(HashMap::new()),
+            config,
+        };
+        for isa in fpir::machine::ALL_ISAS {
+            let spec = CompileSpec {
+                expr: String::new(),
+                lanes: 1,
+                isa,
+                engine: pitchfork::EngineConfig::FAST,
+                synthesized_rules: true,
+                leave_out: None,
+                timeout_ms: None,
+            };
+            let _ = svc.selector(&spec);
+        }
+        svc
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The request counters (shared with the server's `/stats`).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Compile tasks currently queued (admission-control depth).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// The warm selector for a spec's compiler configuration.
+    fn selector(&self, spec: &CompileSpec) -> Arc<Selector> {
+        let key: SelectorKey =
+            (spec.isa, engine_bits(spec.engine), spec.synthesized_rules, spec.leave_out.clone());
+        let mut map = self.selectors.lock().expect("selector lock");
+        if let Some(s) = map.get(&key) {
+            return s.clone();
+        }
+        let mut cfg = Config::new(spec.isa).with_engine(spec.engine);
+        if !spec.synthesized_rules {
+            cfg = cfg.hand_written_only();
+        }
+        if let Some(l) = &spec.leave_out {
+            cfg = cfg.leaving_out(l.clone());
+        }
+        let pf = Pitchfork::with_config(cfg);
+        let s = Arc::new(Selector { rules_fp: ruleset_fingerprint(&pf), pf });
+        map.insert(key, s.clone());
+        s
+    }
+
+    /// Handle one request, returning the response frame. Never panics
+    /// on request content; all failures become `{"ok": false}` frames.
+    pub fn handle(&self, req: &Request) -> Json {
+        Stats::bump(&self.stats.requests);
+        let started = Instant::now();
+        let out = match req {
+            Request::Ping => Ok(ok_response(vec![("pong".into(), Json::Bool(true))])),
+            Request::Stats => Ok(self.stats_response()),
+            Request::Shutdown => {
+                // The transport layer watches for this op; the core just
+                // acknowledges it.
+                Ok(ok_response(vec![("stopping".into(), Json::Bool(true))]))
+            }
+            Request::Compile(spec) => self.handle_compile(spec),
+            Request::Run { spec, inputs } => self.handle_run(spec, inputs),
+            Request::RunPipeline { spec, inputs, jobs } => {
+                self.handle_run_pipeline(spec, inputs, *jobs)
+            }
+        };
+        match out {
+            Ok(v) => {
+                self.stats.record_latency_us(started.elapsed().as_micros() as u64);
+                v
+            }
+            Err(e) => {
+                match e {
+                    ServiceError::Overloaded => Stats::bump(&self.stats.sheds),
+                    ServiceError::Timeout { .. } => Stats::bump(&self.stats.timeouts),
+                    _ => Stats::bump(&self.stats.errors),
+                }
+                error_response(&e)
+            }
+        }
+    }
+
+    /// Parse the expression and fetch-or-compile its artifact. Also
+    /// returns the cache key's fingerprint (computed once here; the
+    /// response members echo it).
+    fn artifact(
+        &self,
+        spec: &CompileSpec,
+    ) -> Result<(RcExpr, u64, Arc<Served>, Source), ServiceError> {
+        let expr = fpir::parser::parse_expr(&spec.expr, spec.lanes)
+            .map_err(|e| ServiceError::BadRequest(format!("expression: {e}")))?;
+        let selector = self.selector(spec);
+        let key = CacheKey {
+            expr: expr.to_string(),
+            lanes: spec.lanes,
+            isa: spec.isa,
+            engine: engine_bits(spec.engine),
+            synthesized_rules: spec.synthesized_rules,
+            leave_out: spec.leave_out.clone(),
+            rules_fp: selector.rules_fp,
+        };
+        let key_fp = key.fingerprint();
+        let timeout_ms = spec.timeout_ms.or(self.config.default_timeout_ms);
+        let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+
+        let computed = self.cache.get_or_compute(&key, deadline, || {
+            self.compile_on_queue(&selector, &expr, deadline, timeout_ms)
+        });
+        match computed {
+            Ok((art, source)) => {
+                match source {
+                    Source::Hit => Stats::bump(&self.stats.cache_hits),
+                    Source::Computed => Stats::bump(&self.stats.cache_misses),
+                    Source::Joined => Stats::bump(&self.stats.flight_joins),
+                }
+                Ok((expr, key_fp, art, source))
+            }
+            Err(CacheError::Compute(e)) => Err(e),
+            Err(CacheError::TimedOut) => {
+                Err(ServiceError::Timeout { budget_ms: timeout_ms.unwrap_or(0) })
+            }
+        }
+    }
+
+    /// The single-flight leader's compute: run the driver on a bounded
+    /// worker, enforcing admission control and the deadline.
+    fn compile_on_queue(
+        &self,
+        selector: &Arc<Selector>,
+        expr: &RcExpr,
+        deadline: Option<Instant>,
+        timeout_ms: Option<u64>,
+    ) -> Result<(Served, usize), ServiceError> {
+        let (tx, rx) = mpsc::channel();
+        let selector = selector.clone();
+        let expr = expr.clone();
+        self.queue
+            .try_submit(Box::new(move || {
+                // The deadline covers time spent queued: if the task
+                // starts too late, the first phase check cancels it.
+                let mut keep_going = |_p| deadline.is_none_or(|d| Instant::now() < d);
+                let r = compile_to_executable_with(&selector.pf, &expr, &mut keep_going);
+                let _ = tx.send(r.map(|(art, _)| art));
+            }))
+            .map_err(|_| ServiceError::Overloaded)?;
+        // The worker always sends (cancellation happens inside the
+        // compile), so this blocks at most until the task's next
+        // deadline check.
+        match rx.recv() {
+            Ok(Ok(art)) => {
+                Stats::bump(&self.stats.compiles);
+                let served = Served::new(art);
+                let bytes = served.approx_bytes();
+                Ok((served, bytes))
+            }
+            Ok(Err(DriverError::Cancelled(_))) => {
+                Err(ServiceError::Timeout { budget_ms: timeout_ms.unwrap_or(0) })
+            }
+            Ok(Err(e)) => Err(ServiceError::Compile(e.to_string())),
+            Err(_) => Err(ServiceError::Internal("compile worker disappeared".into())),
+        }
+    }
+
+    fn compile_members(key_fp: u64, served: &Served, source: Source) -> Vec<(String, Json)> {
+        vec![
+            ("cached".into(), Json::Bool(source == Source::Hit)),
+            (
+                "source".into(),
+                Json::str(match source {
+                    Source::Hit => "hit",
+                    Source::Computed => "computed",
+                    Source::Joined => "joined",
+                }),
+            ),
+            ("key".into(), Json::str(format!("{key_fp:016x}"))),
+            ("isa".into(), Json::str(served.art.isa.short_name())),
+            ("lowered".into(), Json::str(served.lowered.clone())),
+            ("program".into(), Json::str(served.program.clone())),
+            ("cycles".into(), Json::Int(served.art.cycles.into())),
+            ("ops".into(), Json::Int(served.art.exe.op_count() as i128)),
+            ("artifact_bytes".into(), Json::Int(served.approx_bytes() as i128)),
+        ]
+    }
+
+    fn handle_compile(&self, spec: &CompileSpec) -> Result<Json, ServiceError> {
+        let (_, key_fp, served, source) = self.artifact(spec)?;
+        Ok(ok_response(Self::compile_members(key_fp, &served, source)))
+    }
+
+    fn handle_run(
+        &self,
+        spec: &CompileSpec,
+        inputs: &[(String, Vec<i128>)],
+    ) -> Result<Json, ServiceError> {
+        let (expr, key_fp, served, source) = self.artifact(spec)?;
+        // Bind every free variable, validating counts and ranges before
+        // constructing `Value`s (whose constructors panic on bad data).
+        // Inputs may be keyed either by the bare variable name (`a`) or
+        // by its printed, type-suffixed form (`a_u8`).
+        let mut env = Env::new();
+        for (name, ty) in expr.free_vars() {
+            let printed = format!("{name}_{}", ty.elem);
+            let lanes = inputs
+                .iter()
+                .find(|(n, _)| *n == name || *n == printed)
+                .map(|(_, v)| v)
+                .ok_or_else(|| ServiceError::BadRequest(format!("missing input `{name}`")))?;
+            if lanes.len() != ty.lanes as usize {
+                return Err(ServiceError::BadRequest(format!(
+                    "input `{name}` has {} lanes, expected {}",
+                    lanes.len(),
+                    ty.lanes
+                )));
+            }
+            if let Some(&v) = lanes.iter().find(|&&v| !ty.elem.contains(v)) {
+                return Err(ServiceError::BadRequest(format!(
+                    "input `{name}`: {v} does not fit in {}",
+                    ty.elem
+                )));
+            }
+            env.insert(name, Value::new(ty, lanes.clone()));
+        }
+        let mut ctx = served.art.exe.new_ctx();
+        let out = served
+            .art
+            .exe
+            .run(&mut ctx, &env)
+            .map_err(|e| ServiceError::Internal(format!("execution failed: {e}")))?;
+        let mut members = Self::compile_members(key_fp, &served, source);
+        members.push(("elem".into(), Json::str(out.ty().elem.to_string())));
+        members.push((
+            "output".into(),
+            Json::Array(out.lanes().iter().map(|&v| Json::Int(v)).collect()),
+        ));
+        Ok(ok_response(members))
+    }
+
+    fn handle_run_pipeline(
+        &self,
+        spec: &CompileSpec,
+        inputs: &[(String, ImageSpec)],
+        jobs: usize,
+    ) -> Result<Json, ServiceError> {
+        let (expr, key_fp, served, source) = self.artifact(spec)?;
+        let pipe = Pipeline::try_new("served", expr.clone())
+            .map_err(|e| ServiceError::BadRequest(e.what))?;
+        let mut images = BTreeMap::new();
+        for (name, img) in inputs {
+            // `ImageSpec` is validated at parse time (rectangular,
+            // in-range for its element type), which is exactly what
+            // `Image::from_rows` requires.
+            images.insert(name.clone(), Image::from_rows(img.elem, &img.rows));
+        }
+        let out = run_tiled_exe(&pipe, &served.art.exe, &images, jobs)
+            .map_err(|e| ServiceError::BadRequest(e.what))?;
+        let mut members = Self::compile_members(key_fp, &served, source);
+        members.push(("elem".into(), Json::str(out.elem().to_string())));
+        members.push(("width".into(), Json::Int(out.width() as i128)));
+        members.push(("height".into(), Json::Int(out.height() as i128)));
+        let rows: Vec<Json> = (0..out.height())
+            .map(|y| {
+                Json::Array(
+                    (0..out.width())
+                        .map(|x| Json::Int(out.get_clamped(x as i64, y as i64)))
+                        .collect(),
+                )
+            })
+            .collect();
+        members.push(("rows".into(), Json::Array(rows)));
+        Ok(ok_response(members))
+    }
+
+    /// The `/stats` payload.
+    fn stats_response(&self) -> Json {
+        let c = self.cache.stats();
+        let l = self.stats.latency_summary();
+        ok_response(vec![
+            ("requests".into(), Json::Int(Stats::read(&self.stats.requests).into())),
+            ("cache_hits".into(), Json::Int(Stats::read(&self.stats.cache_hits).into())),
+            ("cache_misses".into(), Json::Int(Stats::read(&self.stats.cache_misses).into())),
+            ("flight_joins".into(), Json::Int(Stats::read(&self.stats.flight_joins).into())),
+            ("compiles".into(), Json::Int(Stats::read(&self.stats.compiles).into())),
+            ("sheds".into(), Json::Int(Stats::read(&self.stats.sheds).into())),
+            ("timeouts".into(), Json::Int(Stats::read(&self.stats.timeouts).into())),
+            ("errors".into(), Json::Int(Stats::read(&self.stats.errors).into())),
+            ("cache_resident_bytes".into(), Json::Int(c.resident_bytes as i128)),
+            ("cache_resident_count".into(), Json::Int(c.resident_count as i128)),
+            ("cache_evictions".into(), Json::Int(c.evictions as i128)),
+            ("cache_budget_bytes".into(), Json::Int(self.cache.budget_bytes() as i128)),
+            ("queue_depth".into(), Json::Int(self.queue.depth() as i128)),
+            ("queue_capacity".into(), Json::Int(self.queue.capacity() as i128)),
+            ("workers".into(), Json::Int(self.queue.workers() as i128)),
+            ("latency_count".into(), Json::Int(l.count as i128)),
+            ("latency_p50_us".into(), Json::Int(l.p50_us.into())),
+            ("latency_p99_us".into(), Json::Int(l.p99_us.into())),
+            ("latency_max_us".into(), Json::Int(l.max_us.into())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_request;
+
+    fn service() -> Service {
+        Service::new(ServiceConfig {
+            cache_bytes: 16 << 20,
+            workers: 2,
+            queue_capacity: 8,
+            default_timeout_ms: None,
+        })
+    }
+
+    fn handle_src(svc: &Service, src: &str) -> Json {
+        let frame = crate::json::parse(src).unwrap();
+        match parse_request(&frame) {
+            Ok(req) => svc.handle(&req),
+            Err(e) => error_response(&e),
+        }
+    }
+
+    const SAT_ADD: &str = "u8(min(u16(a_u8) + u16(b_u8), 255))";
+
+    #[test]
+    fn ping_pongs() {
+        let svc = service();
+        let v = handle_src(&svc, r#"{"op":"ping"}"#);
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("pong").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn compile_then_hit() {
+        let svc = service();
+        let req = format!(r#"{{"op":"compile","expr":"{SAT_ADD}","lanes":16,"isa":"arm"}}"#);
+        let first = handle_src(&svc, &req);
+        assert_eq!(first.get("ok").unwrap().as_bool(), Some(true), "{first:?}");
+        assert_eq!(first.get("cached").unwrap().as_bool(), Some(false));
+        assert_eq!(first.get("lowered").unwrap().as_str(), Some("arm.uqadd(a_u8, b_u8)"));
+
+        let second = handle_src(&svc, &req);
+        assert_eq!(second.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(second.get("source").unwrap().as_str(), Some("hit"));
+        // Identical payload either way.
+        assert_eq!(first.get("program"), second.get("program"));
+        assert_eq!(first.get("key"), second.get("key"));
+        assert_eq!(Stats::read(&svc.stats().compiles), 1);
+    }
+
+    #[test]
+    fn served_compile_matches_direct_driver_call() {
+        let svc = service();
+        let req = format!(r#"{{"op":"compile","expr":"{SAT_ADD}","lanes":16,"isa":"x86"}}"#);
+        let v = handle_src(&svc, &req);
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{v:?}");
+        let pf = Pitchfork::new(fpir::Isa::X86Avx2);
+        let e = fpir::parser::parse_expr(SAT_ADD, 16).unwrap();
+        let direct = pitchfork::compile_to_executable(&pf, &e).unwrap();
+        assert_eq!(v.get("lowered").unwrap().as_str(), Some(direct.lowered.to_string().as_str()));
+        assert_eq!(v.get("program").unwrap().as_str(), Some(direct.program.render().as_str()));
+        assert_eq!(v.get("cycles").unwrap().as_int(), Some(direct.cycles.into()));
+    }
+
+    #[test]
+    fn run_executes_and_matches_the_interpreter() {
+        let svc = service();
+        let v = handle_src(
+            &svc,
+            &format!(
+                r#"{{"op":"run","expr":"{SAT_ADD}","lanes":4,"isa":"arm",
+                    "inputs":{{"a_u8":[250,1,128,255],"b_u8":[10,2,128,255]}}}}"#
+            ),
+        );
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{v:?}");
+        let out: Vec<i128> = v
+            .get("output")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_int().unwrap())
+            .collect();
+        assert_eq!(out, vec![255, 3, 255, 255]);
+        assert_eq!(v.get("elem").unwrap().as_str(), Some("u8"));
+    }
+
+    #[test]
+    fn run_pipeline_matches_reference() {
+        let svc = service();
+        // Rounding average of in(x,y) and in(x+1,y).
+        let expr = "rounding_halving_add(in__p0_p0_u8, in__p1_p0_u8)";
+        let v = handle_src(
+            &svc,
+            &format!(
+                r#"{{"op":"run_pipeline","expr":"{expr}","lanes":4,"isa":"hvx",
+                    "inputs":{{"in":{{"elem":"u8","rows":[[10,20,30,40]]}}}},"jobs":2}}"#
+            ),
+        );
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{v:?}");
+        let rows = v.get("rows").unwrap().as_array().unwrap();
+        let row0: Vec<i128> =
+            rows[0].as_array().unwrap().iter().map(|x| x.as_int().unwrap()).collect();
+        assert_eq!(row0, vec![15, 25, 35, 40]);
+    }
+
+    #[test]
+    fn bad_requests_are_structured_errors() {
+        let svc = service();
+        // Unparseable expression.
+        let v = handle_src(&svc, r#"{"op":"compile","expr":"][","lanes":4,"isa":"arm"}"#);
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("code").unwrap().as_str(), Some("bad_request"));
+        // Missing run input.
+        let v = handle_src(
+            &svc,
+            &format!(r#"{{"op":"run","expr":"{SAT_ADD}","lanes":4,"isa":"arm","inputs":{{}}}}"#),
+        );
+        assert_eq!(v.get("code").unwrap().as_str(), Some("bad_request"));
+        // Out-of-range lane.
+        let v = handle_src(
+            &svc,
+            &format!(
+                r#"{{"op":"run","expr":"{SAT_ADD}","lanes":4,"isa":"arm",
+                    "inputs":{{"a_u8":[300,0,0,0],"b_u8":[0,0,0,0]}}}}"#
+            ),
+        );
+        assert_eq!(v.get("code").unwrap().as_str(), Some("bad_request"));
+        // Non-tap variables can't be served as a pipeline.
+        let v = handle_src(
+            &svc,
+            &format!(
+                r#"{{"op":"run_pipeline","expr":"{SAT_ADD}","lanes":4,"isa":"arm",
+                    "inputs":{{"a":{{"elem":"u8","rows":[[1]]}}}}}}"#
+            ),
+        );
+        assert_eq!(v.get("code").unwrap().as_str(), Some("bad_request"));
+        // The error path leaves the service healthy.
+        assert_eq!(handle_src(&svc, r#"{"op":"ping"}"#).get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn uncompilable_expression_is_a_compile_error() {
+        let svc = service();
+        // 64-bit lanes don't exist on HVX.
+        let v =
+            handle_src(&svc, r#"{"op":"compile","expr":"a_i64 + b_i64","lanes":4,"isa":"hvx"}"#);
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("code").unwrap().as_str(), Some("compile_error"));
+    }
+
+    #[test]
+    fn stats_reflect_traffic() {
+        let svc = service();
+        let req = format!(r#"{{"op":"compile","expr":"{SAT_ADD}","lanes":16,"isa":"arm"}}"#);
+        handle_src(&svc, &req);
+        handle_src(&svc, &req);
+        let v = handle_src(&svc, r#"{"op":"stats"}"#);
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("cache_hits").unwrap().as_int(), Some(1));
+        assert_eq!(v.get("cache_misses").unwrap().as_int(), Some(1));
+        assert_eq!(v.get("compiles").unwrap().as_int(), Some(1));
+        assert_eq!(v.get("requests").unwrap().as_int(), Some(3));
+        assert!(v.get("latency_p50_us").unwrap().as_int().is_some());
+        assert!(v.get("cache_resident_bytes").unwrap().as_int().unwrap() > 0);
+    }
+
+    #[test]
+    fn distinct_configs_do_not_share_artifacts() {
+        let svc = service();
+        let a = handle_src(
+            &svc,
+            &format!(r#"{{"op":"compile","expr":"{SAT_ADD}","lanes":16,"isa":"arm"}}"#),
+        );
+        let b = handle_src(
+            &svc,
+            &format!(
+                r#"{{"op":"compile","expr":"{SAT_ADD}","lanes":16,"isa":"arm","synthesized_rules":false}}"#
+            ),
+        );
+        assert_ne!(a.get("key"), b.get("key"));
+        assert_eq!(Stats::read(&svc.stats().compiles), 2, "no false sharing");
+    }
+
+    #[test]
+    fn tiny_deadline_times_out_and_cache_stays_consistent() {
+        let svc = service();
+        // A 1 ms budget that is already spent by the time the compile
+        // task reaches its first phase check. (The queue wait plus
+        // selector lookup comfortably exceeds it.)
+        let req = format!(
+            r#"{{"op":"compile","expr":"{SAT_ADD}","lanes":16,"isa":"x86","timeout_ms":1}}"#
+        );
+        // Burn the budget deterministically: the deadline is computed at
+        // admission, so sleeping 2 ms inside the phase hook isn't
+        // possible from here — instead rely on the first check seeing an
+        // expired deadline only if the machine is slow. Accept either
+        // outcome, but in both cases the cache must stay consistent.
+        let v = handle_src(&svc, &req);
+        let ok = v.get("ok").unwrap().as_bool() == Some(true);
+        if !ok {
+            assert_eq!(v.get("code").unwrap().as_str(), Some("timeout"));
+        }
+        // Either way, a follow-up request with a sane budget succeeds
+        // and matches the direct compiler.
+        let v2 = handle_src(
+            &svc,
+            &format!(r#"{{"op":"compile","expr":"{SAT_ADD}","lanes":16,"isa":"x86"}}"#),
+        );
+        assert_eq!(v2.get("ok").unwrap().as_bool(), Some(true), "{v2:?}");
+        let pf = Pitchfork::new(fpir::Isa::X86Avx2);
+        let e = fpir::parser::parse_expr(SAT_ADD, 16).unwrap();
+        let direct = pitchfork::compile_to_executable(&pf, &e).unwrap();
+        assert_eq!(v2.get("program").unwrap().as_str(), Some(direct.program.render().as_str()));
+    }
+}

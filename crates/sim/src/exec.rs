@@ -107,6 +107,30 @@ enum OutLoc {
 
 /// A [`Program`] linked for repeated execution. See the [module
 /// docs](self) for what linking resolves.
+///
+/// # Thread safety
+///
+/// An `Executable` is **immutable after [`Executable::link`]** and is
+/// `Send + Sync` by construction, so one linked artifact can be shared
+/// by reference (or `Arc`) across any number of worker threads — the
+/// tiled runner and the `pitchfork-service` cache both rely on this.
+/// The audit, pinned by a compile-time assertion in the tests:
+///
+/// * `code` ([`LInst`]) holds only plain data — [`MachOp`], a `Copy`
+///   [`MachSem`] (an enum of opcodes and constants, no function
+///   pointers or interior mutability), a [`VectorType`], and index
+///   operands;
+/// * the **splat constant pool** (`consts`, [`Value`]) is materialized
+///   once at link time and only ever read afterwards — every execution
+///   path takes `&self.consts[..]`, so concurrent invocations share the
+///   pool without copies or locks;
+/// * `inputs` and `zero` are owned, never-mutated `String`/`Value` data.
+///
+/// All *mutable* execution state lives in the per-thread [`ExecCtx`]
+/// (which is `Send` but deliberately not shared): the register file and
+/// the recycled buffer pool. Sharing the `Executable` is free; sharing a
+/// context would be a data race, which the `&mut ExecCtx` receiver on
+/// [`Executable::run`] rules out at compile time.
 #[derive(Debug, Clone)]
 pub struct Executable {
     isa: Isa,
@@ -737,6 +761,48 @@ mod tests {
             exe.run_slots(&mut ctx, &slots[..1]).unwrap_err(),
             ExecError::UnboundInput { .. }
         ));
+    }
+
+    /// Compile-time pin of the thread-safety audit (see the
+    /// [`Executable`] docs): a cached executable — constant pool
+    /// included — must stay shareable by reference across service
+    /// workers, and a context must stay movable into one. If a future
+    /// change smuggles in `Rc`, `Cell`, or a raw pointer, this stops
+    /// compiling rather than racing at run time.
+    #[test]
+    fn executable_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<Executable>();
+        assert_send_sync::<Program>();
+        assert_send_sync::<Value>();
+        assert_send_sync::<InputSlot>();
+        assert_send_sync::<ExecError>();
+        // Per-thread mutable state: movable to a worker, not shared.
+        assert_send::<ExecCtx>();
+
+        // And exercise the claim: two threads sharing one executable by
+        // reference, each with its own context, agree with a sequential
+        // run.
+        let t = V::new(S::U8, 8);
+        let e = build::rounding_halving_add(
+            build::add(build::var("a", t), build::constant(3, t)),
+            build::var("b", t),
+        );
+        let (_, exe) = link_expr(&e, Isa::ArmNeon);
+        let env = Env::new().bind("a", Value::splat(10, t)).bind("b", Value::splat(20, t));
+        let mut ctx = exe.new_ctx();
+        let want = exe.run(&mut ctx, &env).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let mut ctx = exe.new_ctx();
+                    for _ in 0..16 {
+                        assert_eq!(exe.run(&mut ctx, &env).unwrap(), want);
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -23,11 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             validate(&wl, isa, &result, 10).map_err(std::io::Error::other)?;
             println!(
                 "  {compiler:<12} {:>4} ops, {:>4} cycles, compiled in {:?}",
-                result.program.op_count(),
-                result.cycles,
+                result.artifact.program.op_count(),
+                result.artifact.cycles,
                 result.compile_time
             );
-            cycles.insert(compiler.to_string(), result.cycles);
+            cycles.insert(compiler.to_string(), result.artifact.cycles);
         }
         let llvm = cycles["LLVM"] as f64;
         println!(
@@ -40,6 +40,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Show the actual machine code Pitchfork picked on HVX — the fused
     // fixed-point instructions are visible by name.
     let result = run(&wl, Isa::HexagonHvx, &Compiler::Pitchfork).map_err(std::io::Error::other)?;
-    println!("Pitchfork's HVX program:\n{}", result.program.render());
+    println!("Pitchfork's HVX program:\n{}", result.artifact.program.render());
     Ok(())
 }

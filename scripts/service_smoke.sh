@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Service smoke test: start pitchforkd on a Unix socket, drive a
+# compile + run + stats round-trip with pitchfork-cli, verify the
+# second compile of the same key is a cache hit, then assert a clean
+# shutdown on SIGTERM (exit 0, socket unlinked).
+#
+# Usage: scripts/service_smoke.sh [path-to-target-dir]
+# Expects `pitchforkd` and `pitchfork-cli` already built (release).
+
+set -euo pipefail
+
+TARGET="${1:-target/release}"
+SOCK="${TMPDIR:-/tmp}/pitchforkd-smoke-$$.sock"
+EXPR='u8(min(u16(a_u8) + u16(b_u8), 255))'
+
+fail() {
+    echo "service_smoke: FAIL — $1" >&2
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    exit 1
+}
+
+"$TARGET/pitchforkd" --socket "$SOCK" --workers 2 --timeout-ms 30000 &
+PID=$!
+trap '[ -e "/proc/$PID" ] && kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for the socket to appear.
+for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && break
+    kill -0 "$PID" 2>/dev/null || fail "daemon died before binding"
+    sleep 0.1
+done
+[ -S "$SOCK" ] || fail "socket $SOCK never appeared"
+
+CLI="$TARGET/pitchfork-cli"
+
+echo "== ping"
+"$CLI" --socket "$SOCK" ping | grep -q '"pong":true' || fail "ping"
+
+echo "== compile (cold)"
+OUT=$("$CLI" --socket "$SOCK" compile --expr "$EXPR" --lanes 16 --isa arm)
+echo "$OUT" | grep -q '"source":"computed"' || fail "first compile was not a miss: $OUT"
+echo "$OUT" | grep -q '"lowered":"arm.uqadd(a_u8, b_u8)"' || fail "unexpected lowering: $OUT"
+
+echo "== compile (warm)"
+OUT=$("$CLI" --socket "$SOCK" compile --expr "$EXPR" --lanes 16 --isa arm)
+echo "$OUT" | grep -q '"source":"hit"' || fail "second compile was not a cache hit: $OUT"
+
+echo "== run"
+OUT=$("$CLI" --socket "$SOCK" run --expr "$EXPR" --lanes 4 --isa arm \
+    --input a=250,1,128,255 --input b=10,2,128,255)
+echo "$OUT" | grep -q '"output":\[255,3,255,255\]' || fail "wrong run output: $OUT"
+
+echo "== stats"
+OUT=$("$CLI" --socket "$SOCK" stats)
+# Two distinct keys were compiled (the lanes=16 compile and the
+# lanes=4 run); the repeated lanes=16 compile must have been a hit.
+echo "$OUT" | grep -q '"cache_hits":[1-9]' || fail "stats show no cache hit: $OUT"
+echo "$OUT" | grep -q '"compiles":2' || fail "stats show duplicate compiles: $OUT"
+
+echo "== SIGTERM"
+kill -TERM "$PID"
+WAITED=0
+while kill -0 "$PID" 2>/dev/null; do
+    sleep 0.1
+    WAITED=$((WAITED + 1))
+    [ "$WAITED" -gt 100 ] && fail "daemon ignored SIGTERM for 10s"
+done
+wait "$PID" && STATUS=0 || STATUS=$?
+[ "$STATUS" -eq 0 ] || fail "daemon exited with status $STATUS on SIGTERM"
+[ ! -e "$SOCK" ] || fail "socket file survived shutdown"
+
+echo "service_smoke: PASS"

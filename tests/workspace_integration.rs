@@ -46,11 +46,11 @@ fn pitchfork_never_loses_to_the_baseline() {
             let llvm = run(&wl, isa, &Compiler::Llvm).expect("baseline compiles");
             let pf = run(&wl, isa, &Compiler::Pitchfork).expect("pitchfork compiles");
             assert!(
-                pf.cycles <= llvm.cycles,
+                pf.artifact.cycles <= llvm.artifact.cycles,
                 "{}/{isa}: pitchfork {} cycles vs LLVM {}",
                 wl.name(),
-                pf.cycles,
-                llvm.cycles
+                pf.artifact.cycles,
+                llvm.artifact.cycles
             );
         }
     }
@@ -65,7 +65,7 @@ fn geomean_speedups_have_the_papers_shape() {
         for (i, isa) in ISAS.iter().enumerate() {
             let llvm = run(&wl, *isa, &Compiler::Llvm).expect("baseline compiles");
             let pf = run(&wl, *isa, &Compiler::Pitchfork).expect("pitchfork compiles");
-            per_isa[i].push(llvm.cycles as f64 / pf.cycles as f64);
+            per_isa[i].push(llvm.artifact.cycles as f64 / pf.artifact.cycles as f64);
         }
     }
     let x86 = geomean(&per_isa[0]);
@@ -86,7 +86,7 @@ fn full_rules_never_lose_to_hand_written() {
         for wl in all_workloads() {
             let hand = run(&wl, isa, &Compiler::PitchforkHandWritten).expect("compiles");
             let full = run(&wl, isa, &Compiler::PitchforkFull).expect("compiles");
-            gains.push(hand.cycles as f64 / full.cycles as f64);
+            gains.push(hand.artifact.cycles as f64 / full.artifact.cycles as f64);
         }
         let g = geomean(&gains);
         assert!(g > 1.05, "{isa}: ablation geomean {g}");
@@ -101,10 +101,10 @@ fn rake_never_loses_to_pitchfork_where_it_runs() {
             let pf = run(&wl, isa, &Compiler::PitchforkFull).expect("compiles");
             let rk = run(&wl, isa, &Compiler::Rake).expect("compiles");
             assert!(
-                rk.cycles <= pf.cycles,
+                rk.artifact.cycles <= pf.artifact.cycles,
                 "{name}/{isa}: rake {} vs pitchfork {}",
-                rk.cycles,
-                pf.cycles
+                rk.artifact.cycles,
+                pf.artifact.cycles
             );
         }
     }
