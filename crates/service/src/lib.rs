@@ -48,7 +48,9 @@ pub use cache::{Cache, CacheError, CacheStats, Source};
 pub use error::ServiceError;
 pub use json::Json;
 pub use key::CacheKey;
-pub use protocol::{parse_request, read_frame, write_frame, CompileSpec, Request};
-pub use server::{install_signal_handlers, serve, Client, Endpoint};
+pub use protocol::{parse_request, read_frame, write_frame, CompileSpec, FrameReader, Request};
+pub use server::{
+    install_signal_handlers, request_stop, reset_signal_stop, serve, Client, Endpoint,
+};
 pub use service::{Service, ServiceConfig};
 pub use stats::{LatencySummary, Stats};

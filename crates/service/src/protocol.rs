@@ -39,8 +39,14 @@ pub fn write_frame(w: &mut impl Write, v: &Json) -> io::Result<()> {
     w.flush()
 }
 
-/// Read one frame. `Ok(None)` on clean end-of-stream (the peer closed
-/// between frames).
+/// Read one frame from a reader with no read timeout. `Ok(None)` on
+/// clean end-of-stream (the peer closed between frames).
+///
+/// Uses `read_exact`, which drops already-consumed bytes if a read
+/// fails mid-frame — only safe on blocking streams where the sole
+/// failure modes are EOF and connection errors. Readers with a read
+/// timeout (the server's connection loops) must use [`FrameReader`],
+/// which retains partial bytes across timed-out reads.
 ///
 /// # Errors
 ///
@@ -59,9 +65,83 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
+    decode_body(body).map(Some)
+}
+
+fn decode_body(body: Vec<u8>) -> io::Result<Json> {
     let text = String::from_utf8(body)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
-    parse(&text).map(Some).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// An incremental, timeout-safe frame decoder.
+///
+/// Unlike [`read_frame`], this never loses bytes when a read fails:
+/// everything consumed so far stays in an internal buffer, and a
+/// `WouldBlock`/`TimedOut` read mid-frame simply surfaces as an error
+/// the caller can retry — the next [`next_frame`](Self::next_frame)
+/// call resumes exactly where the stream left off. This is what keeps
+/// the server's 50ms-read-timeout connection loops from desynchronizing
+/// when a header or a multi-MiB body arrives split across reads.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader (no buffered bytes).
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Read until one complete frame is buffered, then decode it.
+    /// `Ok(None)` on clean end-of-stream at a frame boundary.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock`/`TimedOut` from `r` when no complete frame has
+    /// arrived yet — retryable, no bytes are lost; `UnexpectedEof` if
+    /// the stream ends mid-frame; `InvalidData` on an oversized length,
+    /// non-UTF-8 bytes, or malformed JSON.
+    pub fn next_frame(&mut self, r: &mut impl Read) -> io::Result<Option<Json>> {
+        loop {
+            if let Some(body) = self.take_buffered_frame()? {
+                return decode_body(body).map(Some);
+            }
+            let mut chunk = [0u8; 8192];
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(io::Error::new(io::ErrorKind::UnexpectedEof, "stream ended mid-frame"))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// If the buffer holds a complete `4 + len` frame, drain and return
+    /// its body.
+    fn take_buffered_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let rest = self.buf.split_off(4 + len);
+        let mut frame = std::mem::replace(&mut self.buf, rest);
+        frame.drain(..4);
+        Ok(Some(frame))
+    }
 }
 
 /// Everything that identifies one compilation: the compile half of
@@ -310,6 +390,73 @@ mod tests {
         assert_eq!(read_frame(&mut r).unwrap(), Some(v));
         assert_eq!(read_frame(&mut r).unwrap(), Some(Json::Null));
         assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    /// Yields a stream one byte at a time, interleaving a `TimedOut`
+    /// error before every byte — the worst case a 50ms read timeout can
+    /// produce on a slow peer.
+    struct DribbleReader {
+        data: Vec<u8>,
+        pos: usize,
+        ready: bool,
+    }
+
+    impl Read for DribbleReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::new(io::ErrorKind::TimedOut, "simulated timeout"));
+            }
+            self.ready = false;
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_mid_frame() {
+        let a = parse(r#"{"op":"ping","payload":[1,2,3]}"#).unwrap();
+        let b = parse(r#"{"op":"stats"}"#).unwrap();
+        let mut data = Vec::new();
+        write_frame(&mut data, &a).unwrap();
+        write_frame(&mut data, &b).unwrap();
+        let mut r = DribbleReader { data, pos: 0, ready: false };
+        let mut fr = FrameReader::new();
+        let mut frames = Vec::new();
+        loop {
+            match fr.next_frame(&mut r) {
+                Ok(Some(v)) => frames.push(v),
+                Ok(None) => break,
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => continue,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(frames, vec![a, b], "frames must decode intact despite per-byte timeouts");
+    }
+
+    #[test]
+    fn frame_reader_reports_eof_mid_frame() {
+        let mut data = Vec::new();
+        write_frame(&mut data, &Json::str("hello")).unwrap();
+        data.truncate(data.len() - 2);
+        let mut r = io::Cursor::new(data);
+        let mut fr = FrameReader::new();
+        let err = fr.next_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_length_without_reading_body() {
+        let mut data = Vec::from(u32::MAX.to_be_bytes());
+        data.extend_from_slice(b"xxxx");
+        let mut r = io::Cursor::new(data);
+        let mut fr = FrameReader::new();
+        let err = fr.next_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

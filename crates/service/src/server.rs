@@ -2,16 +2,20 @@
 //! threads, graceful shutdown.
 //!
 //! The server listens on a Unix socket or a TCP address, spawns one
-//! thread per connection, and runs frames through
-//! [`Service::handle`](crate::service::Service::handle). Shutdown is
-//! cooperative and comes from two places — a `{"op":"shutdown"}` frame,
-//! or `SIGTERM`/`SIGINT` — and both funnel into one stop flag that the
-//! accept loop and every connection loop poll. On the way out the
-//! server stops accepting, joins the connection threads (socket read
-//! timeouts keep them responsive), and unlinks the Unix socket path.
+//! thread per connection (capped at [`MAX_CONNECTIONS`]), and runs
+//! frames through [`Service::handle`](crate::service::Service::handle).
+//! Shutdown is cooperative and comes from two places — a
+//! `{"op":"shutdown"}` frame, which stops only the server that received
+//! it via a per-`serve()` stop flag, or `SIGTERM`/`SIGINT`, which set a
+//! process-wide flag every server also polls. On the way out the server
+//! stops accepting, joins the connection threads (socket read timeouts
+//! plus the buffering [`FrameReader`] keep them responsive without
+//! losing partial frames), and unlinks the Unix socket path.
 
 use crate::json::Json;
-use crate::protocol::{error_response, parse_request, read_frame, write_frame, Request};
+use crate::protocol::{
+    error_response, parse_request, read_frame, write_frame, FrameReader, Request,
+};
 use crate::service::Service;
 use std::io::{self, Read, Write};
 use std::net::TcpListener;
@@ -40,11 +44,21 @@ impl std::fmt::Display for Endpoint {
     }
 }
 
-/// How often idle loops re-check the stop flag.
+/// How often idle loops re-check the stop flags.
 const POLL: Duration = Duration::from_millis(50);
 
-/// Process-wide stop flag; set by signals and by `shutdown` requests.
-static STOP: AtomicBool = AtomicBool::new(false);
+/// Most connection threads allowed at once per server. Admission
+/// control on the compile queue bounds work, not sockets; this bounds
+/// sockets, so a connection flood (especially on TCP) cannot exhaust
+/// threads or memory. Connections past the cap get an `overloaded`
+/// error frame and are closed.
+pub const MAX_CONNECTIONS: usize = 128;
+
+/// Process-wide stop flag; set only by signals (and [`request_stop`],
+/// which models one). Each `serve()` call additionally has its own stop
+/// flag for `shutdown` frames, so stopping one server never stops
+/// another in the same process.
+static SIGNAL_STOP: AtomicBool = AtomicBool::new(false);
 
 /// Install handlers so `SIGTERM` and `SIGINT` request a graceful stop.
 ///
@@ -53,7 +67,7 @@ static STOP: AtomicBool = AtomicBool::new(false);
 /// async-signal-safe.
 pub fn install_signal_handlers() {
     extern "C" fn on_signal(_sig: i32) {
-        STOP.store(true, Ordering::SeqCst);
+        SIGNAL_STOP.store(true, Ordering::SeqCst);
     }
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
@@ -67,20 +81,37 @@ pub fn install_signal_handlers() {
     }
 }
 
-/// Ask any running server in this process to stop (what the signal
-/// handlers and `shutdown` frames call).
+/// Ask every running server in this process to stop — the same path
+/// the signal handlers take.
 pub fn request_stop() {
-    STOP.store(true, Ordering::SeqCst);
+    SIGNAL_STOP.store(true, Ordering::SeqCst);
 }
 
-/// Reset the stop flag (start of `serve`; also lets tests reuse the
-/// process).
-fn clear_stop() {
-    STOP.store(false, Ordering::SeqCst);
+/// Clear the process-wide signal stop flag so a new `serve()` can run
+/// after a signal-driven (or [`request_stop`]-driven) stop. Never
+/// called implicitly: a `serve()` entry must not cancel a stop
+/// requested while it was starting.
+pub fn reset_signal_stop() {
+    SIGNAL_STOP.store(false, Ordering::SeqCst);
 }
 
-fn stopping() -> bool {
-    STOP.load(Ordering::SeqCst)
+/// One `serve()` call's stop state: its own flag plus the signal flag.
+#[derive(Clone)]
+struct StopFlag(Arc<AtomicBool>);
+
+impl StopFlag {
+    fn new() -> StopFlag {
+        StopFlag(Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Stop this server only (what a `shutdown` frame requests).
+    fn request(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    fn stopping(&self) -> bool {
+        self.0.load(Ordering::SeqCst) || SIGNAL_STOP.load(Ordering::SeqCst)
+    }
 }
 
 enum Listener {
@@ -128,16 +159,28 @@ impl Conn {
 
 /// Run the serve loop on `endpoint` until a shutdown request or signal.
 ///
+/// A `shutdown` frame stops only this server; a signal (or
+/// [`request_stop`]) stops every server in the process. Starting with
+/// the signal flag already set returns immediately — call
+/// [`reset_signal_stop`] first to reuse the process after a stop.
+///
+/// Concurrent daemons on one Unix-socket path are unsupported: the
+/// stale-socket cleanup (remove a path nothing answers on, then bind)
+/// is check-then-act, and two servers racing through it can unlink each
+/// other. Give each daemon its own path.
+///
 /// # Errors
 ///
 /// Binding errors; accept errors are per-connection and logged to
 /// stderr instead of aborting the server.
 pub fn serve(service: Arc<Service>, endpoint: &Endpoint) -> io::Result<()> {
-    clear_stop();
+    let stop = StopFlag::new();
     let listener = match endpoint {
         Endpoint::Unix(path) => {
             // A stale socket file from a crashed predecessor would make
-            // bind fail; remove it if nothing is listening.
+            // bind fail; remove it if nothing is listening. Racy by
+            // construction (see above) — fine for the supported
+            // one-daemon-per-path deployment.
             if path.exists() && std::os::unix::net::UnixStream::connect(path).is_err() {
                 let _ = std::fs::remove_file(path);
             }
@@ -153,22 +196,32 @@ pub fn serve(service: Arc<Service>, endpoint: &Endpoint) -> io::Result<()> {
     };
 
     let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    while !stopping() {
+    while !stop.stopping() {
         let conn = match &listener {
             Listener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
             Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
         };
         match conn {
-            Ok(conn) => {
+            Ok(mut conn) => {
+                // Reap finished threads before counting live ones.
+                workers.retain(|h| !h.is_finished());
+                if workers.len() >= MAX_CONNECTIONS {
+                    let err = crate::error::ServiceError::Overloaded;
+                    let _ = write_frame(&mut conn, &error_response(&err));
+                    continue; // drops (closes) the connection
+                }
                 let service = service.clone();
-                workers.push(std::thread::spawn(move || serve_connection(service, conn)));
+                let stop = stop.clone();
+                workers.push(std::thread::spawn(move || serve_connection(service, conn, stop)));
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+                // Reap here too so the vec doesn't grow without bound
+                // on long-lived servers.
+                workers.retain(|h| !h.is_finished());
+            }
             Err(e) => eprintln!("pitchforkd: accept failed: {e}"),
         }
-        // Reap finished connection threads so the vec doesn't grow
-        // without bound on long-lived servers.
-        workers.retain(|h| !h.is_finished());
     }
 
     for h in workers {
@@ -182,18 +235,21 @@ pub fn serve(service: Arc<Service>, endpoint: &Endpoint) -> io::Result<()> {
 }
 
 /// One connection: frames in, frames out, until EOF, error, or stop.
-fn serve_connection(service: Arc<Service>, mut conn: Conn) {
-    // The timeout keeps this thread polling the stop flag while the
-    // peer is idle, so shutdown can join it.
+fn serve_connection(service: Arc<Service>, mut conn: Conn, stop: StopFlag) {
+    // The timeout keeps this thread polling the stop flags while the
+    // peer is idle, so shutdown can join it. The FrameReader buffers
+    // partial frames across timed-out reads, so a slow peer can never
+    // desynchronize the stream.
     let _ = conn.set_read_timeout(Some(POLL));
+    let mut frames = FrameReader::new();
     loop {
-        let frame = match read_frame(&mut conn) {
+        let frame = match frames.next_frame(&mut conn) {
             Ok(Some(v)) => v,
             Ok(None) => return, // peer closed
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                if stopping() {
+                if stop.stopping() {
                     return;
                 }
                 continue;
@@ -212,7 +268,7 @@ fn serve_connection(service: Arc<Service>, mut conn: Conn) {
                 let v = service.handle(&req);
                 if req == Request::Shutdown {
                     let _ = write_frame(&mut conn, &v);
-                    request_stop();
+                    stop.request();
                     return;
                 }
                 v
@@ -280,8 +336,8 @@ mod tests {
     use crate::json::parse;
     use crate::service::ServiceConfig;
 
-    /// `STOP` is process-global, so tests that stop a server must not
-    /// overlap tests that run one.
+    /// The signal stop flag is process-global, so tests that exercise
+    /// it must not overlap tests that run a server.
     static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn start(endpoint: Endpoint) -> std::thread::JoinHandle<io::Result<()>> {
@@ -359,6 +415,80 @@ mod tests {
         assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
         // Stop via the same path the signal handler uses.
         request_stop();
+        server.join().unwrap().unwrap();
+        reset_signal_stop();
+    }
+
+    #[test]
+    fn shutdown_frame_stops_only_its_own_server() {
+        let _serial = SERIAL.lock().unwrap();
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let path_a = dir.join(format!("pitchforkd-test-{pid}-a.sock"));
+        let path_b = dir.join(format!("pitchforkd-test-{pid}-b.sock"));
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+        let ep_a = Endpoint::Unix(path_a);
+        let ep_b = Endpoint::Unix(path_b);
+        let server_a = start(ep_a.clone());
+        let server_b = start(ep_b.clone());
+        let mut client_a = connect_with_retry(&ep_a);
+        let mut client_b = connect_with_retry(&ep_b);
+
+        let bye = client_a.request(&parse(r#"{"op":"shutdown"}"#).unwrap()).unwrap();
+        assert_eq!(bye.get("stopping").unwrap().as_bool(), Some(true));
+        server_a.join().unwrap().unwrap();
+
+        // Server B is unaffected and still answers.
+        let pong = client_b.request(&parse(r#"{"op":"ping"}"#).unwrap()).unwrap();
+        assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+        let bye = client_b.request(&parse(r#"{"op":"shutdown"}"#).unwrap()).unwrap();
+        assert_eq!(bye.get("stopping").unwrap().as_bool(), Some(true));
+        server_b.join().unwrap().unwrap();
+    }
+
+    /// A request whose frame arrives one byte at a time — every chunk
+    /// separated by more than the server's 50ms read timeout window
+    /// would be too slow for CI, so this just splits the frame into
+    /// many small writes with pauses long enough that the server's
+    /// timed reads interleave with the arrival.
+    #[test]
+    fn slow_partial_writes_do_not_desync_framing() {
+        let _serial = SERIAL.lock().unwrap();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("pitchforkd-test-{}-slow.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let ep = Endpoint::Unix(path);
+        let server = start(ep.clone());
+        connect_with_retry(&ep); // wait until the server is up
+
+        let mut raw = std::os::unix::net::UnixStream::connect(match &ep {
+            Endpoint::Unix(p) => p,
+            Endpoint::Tcp(_) => unreachable!(),
+        })
+        .unwrap();
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &parse(r#"{"op":"ping"}"#).unwrap()).unwrap();
+        // Dribble the frame: split inside the 4-byte header and inside
+        // the body, pausing past the server's POLL timeout each time so
+        // reads time out mid-frame.
+        for chunk in frame.chunks(3) {
+            raw.write_all(chunk).unwrap();
+            raw.flush().unwrap();
+            std::thread::sleep(POLL + Duration::from_millis(20));
+        }
+        let pong = read_frame(&mut raw).unwrap().expect("server closed without answering");
+        assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true), "{pong:?}");
+
+        // And the connection is still in sync for a normal request.
+        write_frame(&mut raw, &parse(r#"{"op":"stats"}"#).unwrap()).unwrap();
+        let stats = read_frame(&mut raw).unwrap().expect("server closed without answering");
+        assert_eq!(stats.get("ok").unwrap().as_bool(), Some(true));
+        drop(raw);
+
+        let mut client = connect_with_retry(&ep);
+        let bye = client.request(&parse(r#"{"op":"shutdown"}"#).unwrap()).unwrap();
+        assert_eq!(bye.get("stopping").unwrap().as_bool(), Some(true));
         server.join().unwrap().unwrap();
     }
 }
