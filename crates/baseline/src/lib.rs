@@ -10,6 +10,7 @@
 //!   swizzle peephole pass on Hexagon. Orders of magnitude slower to
 //!   compile; also the oracle for offline lowering-rule synthesis (§4.2).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

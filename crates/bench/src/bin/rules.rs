@@ -36,7 +36,12 @@ fn main() {
     }
     println!("structural validation: all rules instantiate, apply, and descend in cost");
     if verify {
-        let opts = VerifyOptions { samples: 12, lanes: 128, exhaustive_8bit: true };
+        let opts = VerifyOptions {
+            samples: 12,
+            lanes: 128,
+            exhaustive_8bit: true,
+            exhaustive_points: 1 << 16,
+        };
         for rs in &sets {
             let failures = verify_rule_set(rs, &opts);
             assert!(

@@ -1,0 +1,156 @@
+//! `verify-smoke` — static artifact verification over the whole suite.
+//!
+//! Compiles every workload for every target through the shared
+//! `pitchfork::Artifact` pipeline and runs the static artifact verifier
+//! ([`fpir_sim::verify_executable`]) over each linked executable: every
+//! register read dominated by a live write, no destination aliasing a
+//! live operand, all pool/slot indices in range, slot order matching
+//! first-load program order, and per-instruction signatures the ISA's
+//! semantics cannot reject. Nothing is executed — this is the audit a
+//! release build skips inside `Executable::link` (the in-link gate is
+//! debug-only), run explicitly over the full workload matrix.
+//!
+//! Writes a JSON report (`--out`, default `BENCH_verify.json`) with one
+//! row per workload × target and exits non-zero if any artifact fails
+//! verification.
+//!
+//! Usage: `cargo run -p fpir-bench --bin verify-smoke -- [--out PATH]`
+
+use fpir::Isa;
+use fpir_bench::{run, Compiler};
+use fpir_sim::verify_executable;
+use fpir_workloads::all_workloads;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+struct Row {
+    workload: String,
+    isa: Isa,
+    ops: usize,
+    peak_regs: usize,
+    consts: usize,
+    inputs: usize,
+    violation: Option<String>,
+}
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("BENCH_verify.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("verify-smoke: `--out` expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: verify-smoke [--out PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("verify-smoke: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let workloads = all_workloads();
+    let isas = [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx];
+    let mut rows: Vec<Row> = Vec::new();
+    for wl in &workloads {
+        for isa in isas {
+            let result = match run(wl, isa, &Compiler::Pitchfork) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("verify-smoke: {}/{isa} failed to compile: {e}", wl.name());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let exe = &result.artifact.exe;
+            let violation = verify_executable(exe).err().map(|v| v.to_string());
+            rows.push(Row {
+                workload: wl.name().to_string(),
+                isa,
+                ops: exe.op_count(),
+                peak_regs: exe.peak_regs(),
+                consts: exe.const_count(),
+                inputs: exe.inputs().len(),
+                violation,
+            });
+        }
+    }
+
+    let bad = rows.iter().filter(|r| r.violation.is_some()).count();
+    println!(
+        "{:<18} {:>4} {:>5} {:>5} {:>7} {:>7}  verdict",
+        "workload", "isa", "ops", "regs", "consts", "inputs"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:>4} {:>5} {:>5} {:>7} {:>7}  {}",
+            r.workload,
+            isa_tag(r.isa),
+            r.ops,
+            r.peak_regs,
+            r.consts,
+            r.inputs,
+            match &r.violation {
+                None => "ok".to_string(),
+                Some(v) => format!("FAIL: {v}"),
+            }
+        );
+    }
+    println!("\nverify-smoke: {} artifacts, {} violations", rows.len(), bad);
+
+    if let Err(e) = std::fs::write(&out_path, render_json(&rows, bad)) {
+        eprintln!("verify-smoke: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+
+    if bad > 0 {
+        eprintln!("verify-smoke: FAILED — {bad} artifacts did not verify");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn isa_tag(isa: Isa) -> &'static str {
+    match isa {
+        Isa::X86Avx2 => "x86",
+        Isa::ArmNeon => "arm",
+        Isa::HexagonHvx => "hvx",
+    }
+}
+
+/// Hand-built JSON (the environment has no serde; the shape is flat).
+fn render_json(rows: &[Row], bad: usize) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema\": \"pitchfork-verify-smoke/v1\",");
+    let _ = writeln!(s, "  \"artifacts\": {},", rows.len());
+    let _ = writeln!(s, "  \"violations\": {bad},");
+    let _ = writeln!(s, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"workload\": \"{}\",", r.workload);
+        let _ = writeln!(s, "      \"isa\": \"{}\",", isa_tag(r.isa));
+        let _ = writeln!(s, "      \"ops\": {},", r.ops);
+        let _ = writeln!(s, "      \"peak_regs\": {},", r.peak_regs);
+        let _ = writeln!(s, "      \"consts\": {},", r.consts);
+        let _ = writeln!(s, "      \"inputs\": {},", r.inputs);
+        match &r.violation {
+            None => {
+                let _ = writeln!(s, "      \"verified\": true");
+            }
+            Some(v) => {
+                let _ = writeln!(s, "      \"verified\": false,");
+                let _ = writeln!(s, "      \"violation\": \"{}\"", v.replace('"', "\\\""));
+            }
+        }
+        let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -5,6 +5,7 @@
 //! reference interpreter, and reports compile time — everything the
 //! `fig3`/`fig5`/`fig6`/`fig7` binaries and the Criterion benches share.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

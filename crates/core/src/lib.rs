@@ -31,6 +31,7 @@
 //! # Ok::<(), fpir_isa::LowerError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

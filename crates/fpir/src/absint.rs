@@ -1,0 +1,516 @@
+//! Known-bits / parity abstract interpretation over fixed-point expressions.
+//!
+//! The interval domain in [`crate::bounds`] answers *magnitude* questions
+//! ("is this expression ≤ 32767?"). This module adds the complementary
+//! *bit-pattern* domain: for every expression it computes which bits of the
+//! two's-complement lane representation are known to be `0` and which are
+//! known to be `1`, independent of the inputs. Parity — the knownness of
+//! the least-significant bit — falls out as a special case and is what
+//! licenses rounding-term reasoning (`x << c` has `c` known-zero low bits,
+//! so adding `2^(c-1)` before a shift cannot carry into the kept bits).
+//!
+//! Both domains feed the rule-soundness checker in `fpir-synth`: intervals
+//! discharge saturation clamps, known bits discharge masks and rounding
+//! terms. Like [`crate::bounds::BoundsCtx`], the interpreter here is a
+//! per-context memoized walk with per-variable refinement hooks.
+//!
+//! FPIR instructions are handled *compositionally*: each one is expanded a
+//! step at a time through [`crate::semantics::expand_fpir`] — the semantic
+//! specification — so the transfer functions can never drift from the
+//! reference semantics; only the primitive integer operations have
+//! hand-written transfer functions.
+
+use crate::expr::{BinOp, Expr, ExprKind, RcExpr};
+use crate::identity::IdMap;
+use crate::semantics::expand_fpir;
+use crate::types::ScalarType;
+use std::collections::HashMap;
+
+/// Which bits of a lane's two's-complement representation are known.
+///
+/// The domain tracks the low `elem.bits()` bits (the *window*): `zeros`
+/// marks bits known to be `0`, `ones` marks bits known to be `1`, and a bit
+/// in neither mask is unknown. The invariant `zeros & ones == 0` always
+/// holds for reachable values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnownBits {
+    /// Element type whose bit window this fact describes.
+    pub elem: ScalarType,
+    /// Mask of bits known to be zero.
+    pub zeros: u128,
+    /// Mask of bits known to be one.
+    pub ones: u128,
+}
+
+impl KnownBits {
+    /// The all-unknown fact for `elem`.
+    pub fn top(elem: ScalarType) -> KnownBits {
+        KnownBits { elem, zeros: 0, ones: 0 }
+    }
+
+    /// The exact fact for the single value `v` (wrapped into `elem`).
+    pub fn exact(v: i128, elem: ScalarType) -> KnownBits {
+        let m = mask(elem);
+        let p = (elem.wrap(v) as u128) & m;
+        KnownBits { elem, zeros: !p & m, ones: p }
+    }
+
+    /// The window mask `2^bits - 1`.
+    pub fn mask(self) -> u128 {
+        mask(self.elem)
+    }
+
+    /// Whether the concrete value `v` is compatible with this fact.
+    pub fn contains(self, v: i128) -> bool {
+        let p = (self.elem.wrap(v) as u128) & self.mask();
+        (p & self.zeros) == 0 && (p & self.ones) == self.ones
+    }
+
+    /// The join (union of possibilities): keep only what both sides know.
+    pub fn join(self, other: KnownBits) -> KnownBits {
+        debug_assert_eq!(self.elem.bits(), other.elem.bits());
+        KnownBits { elem: self.elem, zeros: self.zeros & other.zeros, ones: self.ones & other.ones }
+    }
+
+    /// Number of bits known (either polarity).
+    pub fn known_count(self) -> u32 {
+        ((self.zeros | self.ones) & self.mask()).count_ones()
+    }
+
+    /// The parity of the value, when the least-significant bit is known:
+    /// `Some(true)` for odd, `Some(false)` for even.
+    pub fn parity(self) -> Option<bool> {
+        if self.ones & 1 != 0 {
+            Some(true)
+        } else if self.zeros & 1 != 0 {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Number of consecutive low bits known to be zero (the largest `k`
+    /// such that the value is provably a multiple of `2^k`).
+    pub fn trailing_zeros(self) -> u32 {
+        let m = self.mask();
+        (!(self.zeros & m) & m).trailing_zeros().min(self.elem.bits())
+    }
+
+    /// The single concrete value this fact pins down, if every window bit
+    /// is known. The value is decoded with `elem`'s signedness.
+    pub fn singleton(self) -> Option<i128> {
+        let m = self.mask();
+        if (self.zeros | self.ones) & m != m {
+            return None;
+        }
+        let p = self.ones & m;
+        let b = self.elem.bits();
+        let v = if self.elem.is_signed() && b < 128 && (p >> (b - 1)) & 1 == 1 {
+            (p as i128) - (1i128 << b)
+        } else {
+            p as i128
+        };
+        Some(v)
+    }
+
+    /// Whether the window sign bit (bit `bits - 1`) is known, and its value.
+    fn sign_bit(self) -> Option<bool> {
+        let b = self.elem.bits();
+        let top = 1u128 << (b - 1);
+        if self.ones & top != 0 {
+            Some(true)
+        } else if self.zeros & top != 0 {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+fn mask(elem: ScalarType) -> u128 {
+    let b = elem.bits();
+    if b >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << b) - 1
+    }
+}
+
+/// Known-bits inference context: optional per-variable facts plus a memo
+/// cache, mirroring [`crate::bounds::BoundsCtx`].
+#[derive(Debug, Default)]
+pub struct KnownBitsCtx {
+    var_bits: HashMap<String, KnownBits>,
+    // Keyed by node address; the stored `RcExpr` keeps the allocation alive
+    // so addresses cannot be recycled while cached.
+    cache: IdMap<(RcExpr, KnownBits)>,
+}
+
+impl KnownBitsCtx {
+    /// An empty context (variables are fully unknown).
+    pub fn new() -> KnownBitsCtx {
+        KnownBitsCtx::default()
+    }
+
+    /// Register a bit-level fact for a variable. Clears the memo cache.
+    pub fn set_var_bits(&mut self, name: impl Into<String>, kb: KnownBits) {
+        self.var_bits.insert(name.into(), kb);
+        self.cache.clear();
+    }
+
+    /// Number of memoized entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The known bits of `expr`.
+    pub fn known_bits(&mut self, expr: &RcExpr) -> KnownBits {
+        let key = Expr::ptr_id(expr);
+        if let Some((_, kb)) = self.cache.get(&key) {
+            return *kb;
+        }
+        let kb = self.compute(expr);
+        debug_assert_eq!(kb.zeros & kb.ones, 0, "contradictory known bits for {expr}");
+        self.cache.insert(key, (expr.clone(), kb));
+        kb
+    }
+
+    fn compute(&mut self, expr: &RcExpr) -> KnownBits {
+        let elem = expr.elem();
+        let top = KnownBits::top(elem);
+        match expr.kind() {
+            ExprKind::Var(name) => self.var_bits.get(name).copied().unwrap_or(top),
+            ExprKind::Const(v) => KnownBits::exact(*v, elem),
+            ExprKind::Bin(op, a, b) => {
+                let (ka, kb) = (self.known_bits(a), self.known_bits(b));
+                match op {
+                    BinOp::Add => add_bits(ka, kb, false, elem),
+                    BinOp::Sub => add_bits(ka, not_bits(kb), true, elem),
+                    BinOp::Mul => mul_bits(ka, kb, elem),
+                    BinOp::And => KnownBits {
+                        elem,
+                        zeros: (ka.zeros | kb.zeros) & mask(elem),
+                        ones: ka.ones & kb.ones,
+                    },
+                    BinOp::Or => KnownBits {
+                        elem,
+                        zeros: ka.zeros & kb.zeros,
+                        ones: (ka.ones | kb.ones) & mask(elem),
+                    },
+                    BinOp::Xor => xor_bits(ka, kb, elem),
+                    // Shift counts need not be literal constants: the
+                    // abstract value of the count operand (e.g. a cast of a
+                    // constant, as Table-1 expansions produce) suffices.
+                    BinOp::Shl => match kb.singleton() {
+                        Some(c) if c >= 0 => shl_bits(ka, c.min(128) as u32, elem),
+                        _ => top,
+                    },
+                    BinOp::Shr => match kb.singleton() {
+                        Some(c) if c >= 0 => shr_bits(ka, c.min(128) as u32, elem),
+                        _ => top,
+                    },
+                    // Floor division/modulo by a power of two are shifts /
+                    // low-bit extractions in two's complement.
+                    BinOp::Div => match kb.singleton() {
+                        Some(c) if crate::simplify::is_pow2(c) => {
+                            shr_bits(ka, crate::simplify::log2(c), elem)
+                        }
+                        _ => top,
+                    },
+                    BinOp::Mod => match kb.singleton() {
+                        Some(c) if crate::simplify::is_pow2(c) => {
+                            let low = (c - 1) as u128;
+                            KnownBits {
+                                elem,
+                                zeros: (ka.zeros & low) | (mask(elem) & !low),
+                                ones: ka.ones & low,
+                            }
+                        }
+                        _ => top,
+                    },
+                    // Order statistics mix both operands' bit patterns.
+                    BinOp::Min | BinOp::Max => ka.join(kb),
+                }
+            }
+            // Comparisons produce exactly 0 or 1: every bit above the LSB
+            // is known zero.
+            ExprKind::Cmp(..) => KnownBits { elem, zeros: mask(elem) & !1, ones: 0 },
+            ExprKind::Select(_, t, f) => {
+                let kt = self.known_bits(t);
+                let kf = self.known_bits(f);
+                kt.join(kf)
+            }
+            ExprKind::Cast(a) | ExprKind::Reinterpret(a) => {
+                // Both convert by wrapping: keep the low window, extend with
+                // zero bits (unsigned source) or the source sign bit.
+                let ka = self.known_bits(a);
+                convert_bits(ka, elem)
+            }
+            ExprKind::Fpir(op, args) => {
+                // Compositional: one Table-1 expansion step, then recurse.
+                // The expansion references the same argument `Arc`s, so the
+                // memo prevents re-walking shared subtrees.
+                match expand_fpir(*op, args) {
+                    Ok(e) => {
+                        let kb = self.known_bits(&e);
+                        KnownBits { elem, ..kb }
+                    }
+                    Err(_) => top,
+                }
+            }
+            // Machine instructions are opaque to this crate.
+            ExprKind::Mach(..) => top,
+        }
+    }
+}
+
+/// Bitwise NOT within the operand's window.
+fn not_bits(k: KnownBits) -> KnownBits {
+    KnownBits { elem: k.elem, zeros: k.ones, ones: k.zeros }
+}
+
+fn xor_bits(a: KnownBits, b: KnownBits, elem: ScalarType) -> KnownBits {
+    let known = (a.zeros | a.ones) & (b.zeros | b.ones);
+    let val = (a.ones ^ b.ones) & known;
+    KnownBits { elem, zeros: known & !val & mask(elem), ones: val }
+}
+
+/// Ripple-carry known-bits addition (`carry_in` models the `+1` of a
+/// two's-complement subtraction).
+fn add_bits(a: KnownBits, b: KnownBits, carry_in: bool, elem: ScalarType) -> KnownBits {
+    let bits = elem.bits();
+    let (mut zeros, mut ones) = (0u128, 0u128);
+    // Carry knownness: `Some(v)` when the carry into the current bit is
+    // known to be `v`.
+    let mut carry = Some(carry_in);
+    for i in 0..bits {
+        let bit = |k: KnownBits| -> Option<bool> {
+            if k.ones >> i & 1 == 1 {
+                Some(true)
+            } else if k.zeros >> i & 1 == 1 {
+                Some(false)
+            } else {
+                None
+            }
+        };
+        let (x, y) = (bit(a), bit(b));
+        if let (Some(x), Some(y), Some(c)) = (x, y, carry) {
+            let s = x ^ y ^ c;
+            if s {
+                ones |= 1 << i;
+            } else {
+                zeros |= 1 << i;
+            }
+            carry = Some((x && y) || (c && (x || y)));
+        } else {
+            // The sum bit is unknown; the carry out is still known when at
+            // least two of the three inputs share a known value.
+            let known_true = [x, y, carry].iter().filter(|v| **v == Some(true)).count();
+            let known_false = [x, y, carry].iter().filter(|v| **v == Some(false)).count();
+            carry = if known_true >= 2 {
+                Some(true)
+            } else if known_false >= 2 {
+                Some(false)
+            } else {
+                None
+            };
+        }
+    }
+    KnownBits { elem, zeros, ones }
+}
+
+/// Multiplication: the product inherits the operands' combined trailing
+/// zeros, and collapses exactly when both operands are pinned down.
+fn mul_bits(a: KnownBits, b: KnownBits, elem: ScalarType) -> KnownBits {
+    if let (Some(x), Some(y)) = (a.singleton(), b.singleton()) {
+        return KnownBits::exact(x * y, elem);
+    }
+    if a.singleton() == Some(0) || b.singleton() == Some(0) {
+        return KnownBits::exact(0, elem);
+    }
+    let tz = (a.trailing_zeros() + b.trailing_zeros()).min(elem.bits());
+    let low = if tz >= 128 { u128::MAX } else { (1u128 << tz) - 1 };
+    KnownBits { elem, zeros: low & mask(elem), ones: 0 }
+}
+
+fn shl_bits(a: KnownBits, c: u32, elem: ScalarType) -> KnownBits {
+    let m = mask(elem);
+    if c >= elem.bits() {
+        // The interpreter clamps the shift magnitude at twice the width;
+        // every such shift leaves only zeros in the window.
+        return KnownBits::exact(0, elem);
+    }
+    let low = (1u128 << c) - 1;
+    KnownBits { elem, zeros: ((a.zeros << c) | low) & m, ones: (a.ones << c) & m }
+}
+
+fn shr_bits(a: KnownBits, c: u32, elem: ScalarType) -> KnownBits {
+    let m = mask(elem);
+    let bits = elem.bits();
+    let c = c.min(2 * bits);
+    // Bits shifted in at the top: zero for unsigned lanes (the i128 value
+    // is non-negative), the window sign bit for signed lanes.
+    let fill = if elem.is_signed() { a.sign_bit() } else { Some(false) };
+    let kept = bits.saturating_sub(c);
+    let high = m & !if kept >= 128 { u128::MAX } else { (1u128 << kept) - 1 };
+    let mut out =
+        KnownBits { elem, zeros: (a.zeros >> c) & m & !high, ones: (a.ones >> c) & m & !high };
+    match fill {
+        Some(true) => out.ones |= high,
+        Some(false) => out.zeros |= high,
+        None => {}
+    }
+    out
+}
+
+/// Wrap-convert a fact into a (possibly differently sized) window.
+fn convert_bits(a: KnownBits, to: ScalarType) -> KnownBits {
+    let m = mask(to);
+    let src_bits = a.elem.bits();
+    if to.bits() <= src_bits {
+        return KnownBits { elem: to, zeros: a.zeros & m, ones: a.ones & m };
+    }
+    // Widening: the new high bits replicate the source sign bit (zero for
+    // unsigned sources).
+    let high = m & !mask(a.elem);
+    let fill = if a.elem.is_signed() { a.sign_bit() } else { Some(false) };
+    let mut out =
+        KnownBits { elem: to, zeros: a.zeros & mask(a.elem), ones: a.ones & mask(a.elem) };
+    match fill {
+        Some(true) => out.ones |= high,
+        Some(false) => out.zeros |= high,
+        None => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::types::{ScalarType as S, VectorType as V};
+
+    fn t8() -> V {
+        V::new(S::U8, 4)
+    }
+
+    #[test]
+    fn constants_are_exact() {
+        let mut ctx = KnownBitsCtx::new();
+        let kb = ctx.known_bits(&constant(0b1010, t8()));
+        assert_eq!(kb.singleton(), Some(10));
+        assert_eq!(kb.parity(), Some(false));
+    }
+
+    #[test]
+    fn vars_are_top() {
+        let mut ctx = KnownBitsCtx::new();
+        let kb = ctx.known_bits(&var("x", t8()));
+        assert_eq!(kb.known_count(), 0);
+        assert_eq!(kb.parity(), None);
+    }
+
+    #[test]
+    fn shl_pins_low_bits() {
+        let mut ctx = KnownBitsCtx::new();
+        let e = shl(var("x", t8()), constant(3, t8()));
+        let kb = ctx.known_bits(&e);
+        assert_eq!(kb.trailing_zeros(), 3);
+        assert_eq!(kb.parity(), Some(false));
+    }
+
+    #[test]
+    fn and_mask_pins_high_bits() {
+        let mut ctx = KnownBitsCtx::new();
+        let e = bit_and(var("x", t8()), constant(0x0F, t8()));
+        let kb = ctx.known_bits(&e);
+        assert_eq!(kb.zeros & 0xF0, 0xF0);
+    }
+
+    #[test]
+    fn or_one_makes_odd() {
+        let mut ctx = KnownBitsCtx::new();
+        let e = bit_or(var("x", t8()), constant(1, t8()));
+        assert_eq!(ctx.known_bits(&e).parity(), Some(true));
+    }
+
+    #[test]
+    fn add_of_even_terms_is_even() {
+        let mut ctx = KnownBitsCtx::new();
+        let two = |n: &str| shl(var(n, t8()), constant(1, t8()));
+        let e = add(two("x"), two("y"));
+        assert_eq!(ctx.known_bits(&e).parity(), Some(false));
+    }
+
+    #[test]
+    fn mul_accumulates_trailing_zeros() {
+        let mut ctx = KnownBitsCtx::new();
+        let e = mul(shl(var("x", t8()), constant(2, t8())), constant(2, t8()));
+        assert!(ctx.known_bits(&e).trailing_zeros() >= 3);
+    }
+
+    #[test]
+    fn signed_shr_keeps_unknown_sign() {
+        let mut ctx = KnownBitsCtx::new();
+        let t = V::new(S::I8, 4);
+        let e = shr(var("x", t), constant(2, t));
+        // The sign of x is unknown, so the filled top bits are unknown.
+        let kb = ctx.known_bits(&e);
+        assert_eq!(kb.sign_bit(), None);
+    }
+
+    #[test]
+    fn unsigned_shr_fills_zeros() {
+        let mut ctx = KnownBitsCtx::new();
+        let e = shr(var("x", t8()), constant(2, t8()));
+        let kb = ctx.known_bits(&e);
+        assert_eq!(kb.zeros & 0xC0, 0xC0);
+    }
+
+    #[test]
+    fn widening_cast_of_unsigned_pins_high_bits() {
+        let mut ctx = KnownBitsCtx::new();
+        let e = widen(var("x", t8()));
+        let kb = ctx.known_bits(&e);
+        assert_eq!(kb.elem, S::U16);
+        assert_eq!(kb.zeros & 0xFF00, 0xFF00);
+    }
+
+    #[test]
+    fn fpir_ops_are_compositional() {
+        let mut ctx = KnownBitsCtx::new();
+        // widening_shl(x, 1): u16 result, even, top 7 bits zero.
+        let e = widening_shl(var("x", t8()), constant(1, t8()));
+        let kb = ctx.known_bits(&e);
+        assert_eq!(kb.parity(), Some(false));
+        assert!(kb.zeros & 0xFE00 == 0xFE00);
+    }
+
+    #[test]
+    fn var_facts_refine() {
+        let mut ctx = KnownBitsCtx::new();
+        ctx.set_var_bits("x", KnownBits::exact(6, S::U8));
+        let e = add(var("x", t8()), constant(1, t8()));
+        assert_eq!(ctx.known_bits(&e).singleton(), Some(7));
+    }
+
+    #[test]
+    fn exact_covers_negative_values() {
+        let kb = KnownBits::exact(-1, S::I8);
+        assert_eq!(kb.ones, 0xFF);
+        assert_eq!(kb.singleton(), Some(-1));
+        assert!(kb.contains(-1));
+        assert!(!kb.contains(0));
+    }
+
+    #[test]
+    fn join_keeps_agreement() {
+        let a = KnownBits::exact(0b0110, S::U8);
+        let b = KnownBits::exact(0b0100, S::U8);
+        let j = a.join(b);
+        assert!(j.contains(0b0110));
+        assert!(j.contains(0b0100));
+        assert_eq!(j.zeros & 0b1000, 0b1000);
+        assert_eq!(j.ones & 0b0100, 0b0100);
+    }
+}

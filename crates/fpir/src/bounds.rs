@@ -37,6 +37,13 @@ impl Interval {
         Interval { min, max }
     }
 
+    /// The interval `[min, max]`, or `None` when the range is degenerate
+    /// (`min > max`). The non-panicking counterpart of [`Interval::new`]
+    /// for bounds computed from untrusted or derived endpoints.
+    pub fn checked(min: i128, max: i128) -> Option<Interval> {
+        (min <= max).then_some(Interval { min, max })
+    }
+
     /// The single-point interval `[v, v]`.
     pub fn point(v: i128) -> Interval {
         Interval { min: v, max: v }

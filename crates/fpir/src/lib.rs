@@ -37,9 +37,11 @@
 //! # Ok::<(), fpir::interp::EvalError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod absint;
 pub mod bounds;
 pub mod build;
 pub mod expr;

@@ -4,6 +4,7 @@
 //! expressions come from the seeded well-typed generator in
 //! `fpir::rand_expr` (proptest shrinking then operates on the seed).
 
+use fpir::absint::{KnownBits, KnownBitsCtx};
 use fpir::bounds::BoundsCtx;
 use fpir::build;
 use fpir::interp::{apply_root, eval, Env, EvalError, Value};
@@ -57,6 +58,99 @@ proptest! {
                     iv.contains(v.lane(i)),
                     "value {} outside inferred [{}, {}] for {e}",
                     v.lane(i), iv.min, iv.max
+                );
+            }
+        }
+    }
+
+    /// With every variable restricted to a small interval, the bounds
+    /// engine's inference stays sound on values drawn from inside the
+    /// restriction — the configuration the rule-soundness prover leans
+    /// on when a predicate narrows a rule's input domain.
+    #[test]
+    fn restricted_bounds_inference_is_sound(
+        seed in any::<u64>(),
+        ti in 0usize..TYPES.len(),
+        hi in 0i128..4,
+    ) {
+        let e = gen_from_seed(seed, TYPES[ti]);
+        let mut ctx = BoundsCtx::new();
+        for (name, _) in e.free_vars() {
+            ctx.set_var_bound(name, fpir::bounds::Interval::new(0, hi));
+        }
+        let iv = ctx.interval(&e);
+        for round in 0..4u64 {
+            // Draw every variable from inside the declared restriction.
+            let mut env = Env::new();
+            for (name, ty) in e.free_vars() {
+                let lanes: Vec<i128> = (0..ty.lanes as i128)
+                    .map(|i| ((seed.wrapping_add(round) as i128).wrapping_add(i)).rem_euclid(hi + 1))
+                    .collect();
+                env = env.bind(name, Value::new(ty, lanes));
+            }
+            let v = eval(&e, &env).unwrap();
+            for i in 0..v.ty().lanes as usize {
+                prop_assert!(
+                    iv.contains(v.lane(i)),
+                    "value {} outside restricted [{}, {}] for {e}",
+                    v.lane(i), iv.min, iv.max
+                );
+            }
+        }
+    }
+
+    /// Every lane an expression produces is consistent with the
+    /// known-bits pattern the abstract interpreter infers for it: a bit
+    /// claimed zero is never set, a bit claimed one is never clear.
+    #[test]
+    fn known_bits_inference_is_sound(seed in any::<u64>(), ti in 0usize..TYPES.len()) {
+        let e = gen_from_seed(seed, TYPES[ti]);
+        let mut ctx = KnownBitsCtx::new();
+        let kb = ctx.known_bits(&e);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(7));
+        for _ in 0..4 {
+            let env = random_env(&mut rng, &e);
+            let v = eval(&e, &env).unwrap();
+            for i in 0..v.ty().lanes as usize {
+                prop_assert!(
+                    kb.contains(v.lane(i)),
+                    "value {} contradicts known bits (zeros {:#x}, ones {:#x}) for {e}",
+                    v.lane(i), kb.zeros, kb.ones
+                );
+            }
+        }
+    }
+
+    /// Known-bits with restricted [0, 1] variables — the exact
+    /// configuration the soundness prover uses to discharge predicated
+    /// rules — stays sound on 0/1 inputs.
+    #[test]
+    fn restricted_known_bits_inference_is_sound(seed in any::<u64>(), ti in 0usize..TYPES.len()) {
+        let e = gen_from_seed(seed, TYPES[ti]);
+        let mut ctx = KnownBitsCtx::new();
+        for (name, ty) in e.free_vars() {
+            let t = ty.elem;
+            ctx.set_var_bits(name, KnownBits {
+                elem: t,
+                zeros: KnownBits::top(t).mask() & !1,
+                ones: 0,
+            });
+        }
+        let kb = ctx.known_bits(&e);
+        for round in 0..4u64 {
+            let mut env = Env::new();
+            for (name, ty) in e.free_vars() {
+                let lanes: Vec<i128> = (0..ty.lanes as u64)
+                    .map(|i| ((seed.wrapping_add(round).wrapping_add(i)) % 2) as i128)
+                    .collect();
+                env = env.bind(name, Value::new(ty, lanes));
+            }
+            let v = eval(&e, &env).unwrap();
+            for i in 0..v.ty().lanes as usize {
+                prop_assert!(
+                    kb.contains(v.lane(i)),
+                    "value {} contradicts known bits (zeros {:#x}, ones {:#x}) for {e}",
+                    v.lane(i), kb.zeros, kb.ones
                 );
             }
         }

@@ -17,6 +17,7 @@
 //!   linked, parallel tiled path ([`run_tiled`]), bit-identical to each
 //!   other at any worker count.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -32,6 +32,7 @@
 //! # Ok::<(), fpir_isa::legalize::LowerError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -72,6 +72,7 @@ pub fn check_with_oracle(
                 out.push(Diagnostic {
                     severity: if target_limit { Severity::Note } else { Severity::Error },
                     analysis: Analysis::Coverage,
+                    code: if target_limit { "COV001" } else { "COV002" },
                     ruleset: backend.to_string(),
                     rule: None,
                     detail: if target_limit {

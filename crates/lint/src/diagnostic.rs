@@ -41,17 +41,42 @@ pub enum Analysis {
     Predicates,
     /// Rules the root-operator discrimination index would mis-dispatch.
     Index,
+    /// Per-rule semantic soundness verdicts (proved/exhausted/sampled).
+    Soundness,
 }
 
-impl fmt::Display for Analysis {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl Analysis {
+    /// Every analysis, in the order `rulecheck` runs them.
+    pub const ALL: [Analysis; 6] = [
+        Analysis::Termination,
+        Analysis::Shadowing,
+        Analysis::Predicates,
+        Analysis::Index,
+        Analysis::Soundness,
+        Analysis::Coverage,
+    ];
+
+    /// The CLI name (`rulecheck --analysis <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
             Analysis::Termination => "termination",
             Analysis::Shadowing => "shadowing",
             Analysis::Coverage => "coverage",
             Analysis::Predicates => "predicates",
             Analysis::Index => "index",
-        })
+            Analysis::Soundness => "soundness",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn from_name(name: &str) -> Option<Analysis> {
+        Analysis::ALL.into_iter().find(|a| a.name() == name)
+    }
+}
+
+impl fmt::Display for Analysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -62,6 +87,9 @@ pub struct Diagnostic {
     pub severity: Severity,
     /// Which analysis found it.
     pub analysis: Analysis,
+    /// Stable machine-readable code (e.g. `SOUND001`): CI greps and
+    /// downstream tooling key on this, never on `detail` text.
+    pub code: &'static str,
     /// The rule set (e.g. `lift`, `lower-arm`) it concerns.
     pub ruleset: String,
     /// The offending rule, when the finding is rule-specific.
@@ -74,7 +102,7 @@ pub struct Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{}] {}", self.severity, self.analysis, self.ruleset)?;
+        write!(f, "{}[{}:{}] {}", self.severity, self.analysis, self.code, self.ruleset)?;
         if let Some(rule) = &self.rule {
             write!(f, " · rule `{rule}`")?;
         }
@@ -93,6 +121,7 @@ impl Diagnostic {
         let mut s = String::from("{");
         s.push_str(&format!("\"severity\":\"{}\"", self.severity));
         s.push_str(&format!(",\"analysis\":\"{}\"", self.analysis));
+        s.push_str(&format!(",\"code\":\"{}\"", self.code));
         s.push_str(&format!(",\"ruleset\":\"{}\"", json_escape(&self.ruleset)));
         match &self.rule {
             Some(r) => s.push_str(&format!(",\"rule\":\"{}\"", json_escape(r))),
@@ -157,6 +186,7 @@ mod tests {
         let d = Diagnostic {
             severity: Severity::Error,
             analysis: Analysis::Predicates,
+            code: "PRED000",
             ruleset: "lift".into(),
             rule: Some("has \"quotes\"".into()),
             detail: "line\nbreak".into(),

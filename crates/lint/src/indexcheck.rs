@@ -38,6 +38,7 @@ pub fn check(set: &RuleSet) -> Vec<Diagnostic> {
             out.push(Diagnostic {
                 severity: Severity::Note,
                 analysis: Analysis::Index,
+                code: "IDX001",
                 ruleset: set.name.clone(),
                 rule: Some(rule.name.clone()),
                 detail: "pattern is rooted at a wildcard, so the rule lands in the \
@@ -53,6 +54,7 @@ pub fn check(set: &RuleSet) -> Vec<Diagnostic> {
                 out.push(Diagnostic {
                     severity: Severity::Error,
                     analysis: Analysis::Index,
+                    code: "IDX002",
                     ruleset: set.name.clone(),
                     rule: Some(rule.name.clone()),
                     detail: format!(
@@ -70,6 +72,7 @@ pub fn check(set: &RuleSet) -> Vec<Diagnostic> {
                 out.push(Diagnostic {
                     severity: Severity::Error,
                     analysis: Analysis::Index,
+                    code: "IDX003",
                     ruleset: set.name.clone(),
                     rule: Some(rule.name.clone()),
                     detail: "the depth-1 operand prefilter refuses an instantiation of \

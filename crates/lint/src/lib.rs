@@ -18,12 +18,17 @@
 //!   contradictions;
 //! * **[`indexcheck`]** — the fast rewriter's root-operator rule index
 //!   never hides a rule from an expression it matches (every LHS
-//!   instantiation keys back to the rule's own bucket).
+//!   instantiation keys back to the rule's own bucket);
+//! * **[`soundness`]** — every rule carries a semantic verdict
+//!   (`proved` / `exhausted` / `sampled`) from `fpir-synth`'s
+//!   abstract-interpretation checker, and a rule with a concrete
+//!   counterexample is an error.
 //!
-//! All five analyses are *static*: they inspect rule structure (plus
-//! exhaustive small-type instantiation) without running the compiler on
-//! user programs, so they complement `synth::verify`'s differential
-//! testing — see `docs/rulecheck.md` for the soundness trade-offs.
+//! The first five analyses are *static*: they inspect rule structure
+//! (plus exhaustive small-type instantiation) without running the
+//! compiler on user programs. Soundness additionally evaluates rule
+//! semantics through `fpir-synth` — see `docs/verify.md` and
+//! `docs/rulecheck.md` for the trade-offs.
 //!
 //! The `rulecheck` binary runs everything over the shipped rule sets and
 //! gates CI via `--deny warnings`.
@@ -35,6 +40,7 @@
 //! assert!(diags.iter().all(|d| d.severity < Severity::Error));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -44,6 +50,7 @@ pub mod indexcheck;
 pub mod predicates;
 pub mod shadowing;
 pub mod skeleton;
+pub mod soundness;
 pub mod termination;
 
 pub use diagnostic::{render_json, Analysis, Diagnostic, Severity};
@@ -52,9 +59,10 @@ use pitchfork::{RegisteredRuleSet, RuleSetKind};
 
 /// Run every analysis over a collection of registered rule sets.
 ///
-/// Shadowing and predicate checks are per-set; termination picks its cost
-/// model from the set's [`RuleSetKind`]; coverage runs once per lowering
-/// backend. Diagnostics come back grouped by analysis in a stable order.
+/// Shadowing, predicate, and soundness checks are per-set; termination
+/// picks its cost model from the set's [`RuleSetKind`]; coverage runs
+/// once per lowering backend. Diagnostics come back grouped by analysis
+/// in a stable order.
 pub fn check_rule_sets(sets: &[RegisteredRuleSet]) -> Vec<Diagnostic> {
     check_rule_sets_jobs(sets, &fpir_pool::Pool::sequential())
 }
@@ -64,11 +72,23 @@ pub fn check_rule_sets(sets: &[RegisteredRuleSet]) -> Vec<Diagnostic> {
 /// order and the pool's map preserves it, so the diagnostic list is
 /// identical for any worker count.
 pub fn check_rule_sets_jobs(sets: &[RegisteredRuleSet], pool: &fpir_pool::Pool) -> Vec<Diagnostic> {
-    const N_ANALYSES: usize = 5;
-    let mut work: Vec<(usize, usize)> = Vec::new();
-    for analysis in 0..N_ANALYSES {
+    check_selected_jobs(sets, &Analysis::ALL, pool)
+}
+
+/// Run only the `selected` analyses (the `rulecheck --analysis` filter),
+/// fanned out over `pool` with the same ordering guarantee as
+/// [`check_rule_sets_jobs`].
+pub fn check_selected_jobs(
+    sets: &[RegisteredRuleSet],
+    selected: &[Analysis],
+    pool: &fpir_pool::Pool,
+) -> Vec<Diagnostic> {
+    let mut work: Vec<(Analysis, usize)> = Vec::new();
+    for &analysis in Analysis::ALL.iter().filter(|a| selected.contains(a)) {
         for (i, reg) in sets.iter().enumerate() {
-            if analysis + 1 < N_ANALYSES || matches!(reg.kind, RuleSetKind::Lower(_)) {
+            // Coverage is a per-backend analysis: it exercises the
+            // lowering TRS + legalizer, so only lowering sets apply.
+            if analysis != Analysis::Coverage || matches!(reg.kind, RuleSetKind::Lower(_)) {
                 work.push((analysis, i));
             }
         }
@@ -76,11 +96,12 @@ pub fn check_rule_sets_jobs(sets: &[RegisteredRuleSet], pool: &fpir_pool::Pool) 
     pool.map(&work, |&(analysis, i)| {
         let reg = &sets[i];
         match analysis {
-            0 => termination::check(reg),
-            1 => shadowing::check(&reg.set),
-            2 => predicates::check(&reg.set),
-            3 => indexcheck::check(&reg.set),
-            _ => match reg.kind {
+            Analysis::Termination => termination::check(reg),
+            Analysis::Shadowing => shadowing::check(&reg.set),
+            Analysis::Predicates => predicates::check(&reg.set),
+            Analysis::Index => indexcheck::check(&reg.set),
+            Analysis::Soundness => soundness::check(&reg.set),
+            Analysis::Coverage => match reg.kind {
                 RuleSetKind::Lower(isa) => coverage::check(isa, &reg.set),
                 _ => unreachable!("coverage work items are lowering sets only"),
             },

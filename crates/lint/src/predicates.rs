@@ -30,10 +30,11 @@ pub fn check(set: &RuleSet) -> Vec<Diagnostic> {
 }
 
 fn check_rule(rule: &Rule, ruleset: &str, out: &mut Vec<Diagnostic>) {
-    let mut diag = |severity: Severity, detail: String| {
+    let mut diag = |code: &'static str, severity: Severity, detail: String| {
         out.push(Diagnostic {
             severity,
             analysis: Analysis::Predicates,
+            code,
             ruleset: ruleset.to_string(),
             rule: Some(rule.name.clone()),
             detail,
@@ -49,6 +50,7 @@ fn check_rule(rule: &Rule, ruleset: &str, out: &mut Vec<Diagnostic>) {
     for &id in expr_wilds.iter().chain(&const_wilds) {
         if id as usize >= MAX_WILDS {
             diag(
+                "PRED001",
                 Severity::Error,
                 format!("pattern wildcard index {id} is out of range (max {})", MAX_WILDS - 1),
             );
@@ -57,6 +59,7 @@ fn check_rule(rule: &Rule, ruleset: &str, out: &mut Vec<Diagnostic>) {
     for &id in &type_vars {
         if id as usize >= MAX_WILDS {
             diag(
+                "PRED001",
                 Severity::Error,
                 format!("type variable index {id} is out of range (max {})", MAX_WILDS - 1),
             );
@@ -65,6 +68,7 @@ fn check_rule(rule: &Rule, ruleset: &str, out: &mut Vec<Diagnostic>) {
     for id in rule.pred.const_refs().into_iter().chain(rule.pred.expr_refs()) {
         if id as usize >= MAX_WILDS {
             diag(
+                "PRED001",
                 Severity::Error,
                 format!("predicate wildcard index {id} is out of range (max {})", MAX_WILDS - 1),
             );
@@ -78,6 +82,7 @@ fn check_rule(rule: &Rule, ruleset: &str, out: &mut Vec<Diagnostic>) {
         }
         if expr_wilds.contains(&id) {
             diag(
+                "PRED002",
                 Severity::Warning,
                 format!(
                     "constant predicate reads wildcard x{id}, which the pattern binds as an \
@@ -87,6 +92,7 @@ fn check_rule(rule: &Rule, ruleset: &str, out: &mut Vec<Diagnostic>) {
             );
         } else {
             diag(
+                "PRED003",
                 Severity::Error,
                 format!(
                     "constant predicate reads wildcard c{id}, which the pattern never binds \
@@ -98,6 +104,7 @@ fn check_rule(rule: &Rule, ruleset: &str, out: &mut Vec<Diagnostic>) {
     for id in rule.pred.expr_refs() {
         if !expr_wilds.contains(&id) && !const_wilds.contains(&id) {
             diag(
+                "PRED004",
                 Severity::Error,
                 format!(
                     "predicate reads wildcard x{id}, which the pattern never binds — the \
@@ -114,11 +121,13 @@ fn check_rule(rule: &Rule, ruleset: &str, out: &mut Vec<Diagnostic>) {
     for id in t_exprs {
         if id as usize >= MAX_WILDS {
             diag(
+                "PRED001",
                 Severity::Error,
                 format!("template wildcard index {id} is out of range (max {})", MAX_WILDS - 1),
             );
         } else if !expr_wilds.contains(&id) && !const_wilds.contains(&id) {
             diag(
+                "PRED005",
                 Severity::Error,
                 format!(
                     "template references wildcard x{id}, which the pattern never binds — \
@@ -130,6 +139,7 @@ fn check_rule(rule: &Rule, ruleset: &str, out: &mut Vec<Diagnostic>) {
     for id in t_tyvars {
         if !type_vars.contains(&id) {
             diag(
+                "PRED006",
                 Severity::Error,
                 format!("template references type variable t{id}, which the pattern never binds"),
             );
@@ -139,6 +149,7 @@ fn check_rule(rule: &Rule, ruleset: &str, out: &mut Vec<Diagnostic>) {
     // --- conjunction structure --------------------------------------------
     if has_empty_all(&rule.pred) {
         diag(
+            "PRED007",
             Severity::Warning,
             "predicate contains an empty conjunction `All([])`, which is trivially true — \
              probably an unfinished side condition"
@@ -148,7 +159,7 @@ fn check_rule(rule: &Rule, ruleset: &str, out: &mut Vec<Diagnostic>) {
     let leaves = rule.pred.conjuncts();
     for (i, a) in leaves.iter().enumerate() {
         if leaves[..i].contains(a) && !matches!(a, Predicate::True) {
-            diag(Severity::Warning, format!("duplicate conjunct {a:?}"));
+            diag("PRED008", Severity::Warning, format!("duplicate conjunct {a:?}"));
         }
     }
 
@@ -157,11 +168,13 @@ fn check_rule(rule: &Rule, ruleset: &str, out: &mut Vec<Diagnostic>) {
         if let Predicate::ConstInRange { id, lo, hi } = leaf {
             if lo > hi {
                 diag(
+                    "PRED009",
                     Severity::Error,
                     format!("`ConstInRange` on c{id} is empty ({lo}..={hi}) — the rule is dead"),
                 );
             } else if lo == hi {
                 diag(
+                    "PRED010",
                     Severity::Note,
                     format!(
                         "`ConstInRange` on c{id} admits the single value {lo}; `ConstEq` says \
@@ -176,7 +189,11 @@ fn check_rule(rule: &Rule, ruleset: &str, out: &mut Vec<Diagnostic>) {
     for (i, a) in leaves.iter().enumerate() {
         for b in &leaves[i + 1..] {
             if let Some(why) = contradicts(a, b) {
-                diag(Severity::Error, format!("contradictory conjuncts — {why}; the rule is dead"));
+                diag(
+                    "PRED011",
+                    Severity::Error,
+                    format!("contradictory conjuncts — {why}; the rule is dead"),
+                );
             }
         }
     }

@@ -37,6 +37,7 @@ pub fn check(set: &RuleSet) -> Vec<Diagnostic> {
             out.push(Diagnostic {
                 severity: Severity::Warning,
                 analysis: Analysis::Shadowing,
+                code: "SHAD001",
                 ruleset: set.name.clone(),
                 rule: Some(rule.name.clone()),
                 detail: format!(
@@ -62,6 +63,7 @@ pub fn check(set: &RuleSet) -> Vec<Diagnostic> {
             out.push(Diagnostic {
                 severity: Severity::Warning,
                 analysis: Analysis::Shadowing,
+                code: "SHAD002",
                 ruleset: set.name.clone(),
                 rule: Some(rules[j].name.clone()),
                 detail: format!(

@@ -80,6 +80,7 @@ pub fn check(reg: &RegisteredRuleSet) -> Vec<Diagnostic> {
                 out.push(Diagnostic {
                     severity,
                     analysis: Analysis::Termination,
+                    code: "TERM001",
                     ruleset: ruleset.clone(),
                     rule: Some(rule.name.clone()),
                     detail,
@@ -89,6 +90,7 @@ pub fn check(reg: &RegisteredRuleSet) -> Vec<Diagnostic> {
             Descent::Unknown => out.push(Diagnostic {
                 severity: Severity::Warning,
                 analysis: Analysis::Termination,
+                code: "TERM002",
                 ruleset: ruleset.clone(),
                 rule: Some(rule.name.clone()),
                 detail: "left-hand side could not be instantiated; cost descent is unverified"
@@ -167,6 +169,7 @@ fn cycle_diagnostics(set: &RuleSet, ruleset: &str, statuses: &[Descent]) -> Vec<
         out.push(Diagnostic {
             severity: Severity::Error,
             analysis: Analysis::Termination,
+            code: "TERM003",
             ruleset: ruleset.to_string(),
             rule: Some(rules[unproven[0]].name.clone()),
             detail: format!(

@@ -1,12 +1,14 @@
 //! Satellite-requirement tests: a fixture set of known-bad rules, each of
 //! which `rulecheck`'s analyses must flag — with the right analysis name.
 
-use fpir::expr::{FpirOp, RcExpr};
+use fpir::expr::{BinOp, CmpOp, FpirOp, RcExpr};
 use fpir::Isa;
+use fpir_synth::VerifyOptions;
 use fpir_trs::dsl::*;
+use fpir_trs::pattern::TypePat;
 use fpir_trs::{Predicate, Rule, RuleClass, RuleSet, Template};
 use pitchfork::{RegisteredRuleSet, RuleSetKind};
-use pitchfork_lint::{coverage, predicates, shadowing, termination};
+use pitchfork_lint::{coverage, predicates, shadowing, soundness, termination};
 use pitchfork_lint::{Analysis, Severity};
 
 /// A general rule followed by the specific rule it shadows.
@@ -109,6 +111,75 @@ fn empty_lower_set_blames_only_the_target() {
     let empty = RuleSet::new("empty");
     let diags = coverage::check(Isa::X86Avx2, &empty);
     assert!(diags.iter().all(|d| d.severity == Severity::Note), "{diags:?}");
+}
+
+/// A wrap-vs-saturate mismatch: `saturating_add(x, y)` rewritten to the
+/// plain wrapping add. The abstract domains refuse to prove the two
+/// equal, and the concrete check produces a counterexample (any pair
+/// whose true sum overflows), so the rule is a `SOUND001` error.
+#[test]
+fn wrap_vs_saturate_rule_is_flagged_by_soundness() {
+    let mut set = RuleSet::new("fixture");
+    set.push(Rule::new(
+        "planted-wrap-vs-saturate",
+        RuleClass::Lift,
+        pat_fpir2(FpirOp::SaturatingAdd, wild_v(0), wild_t(1, TypePat::Var(0))),
+        tbin(BinOp::Add, tw(0), tw(1)),
+    ));
+    let diags = soundness::check(&set);
+    let hit = diags
+        .iter()
+        .find(|d| d.rule.as_deref() == Some("planted-wrap-vs-saturate"))
+        .expect("the unsound rule must be reported");
+    assert_eq!(hit.analysis, Analysis::Soundness);
+    assert_eq!(hit.code, "SOUND001");
+    assert_eq!(hit.severity, Severity::Error);
+    assert!(hit.witness.as_deref().unwrap_or("").contains("counterexample"), "{hit:?}");
+}
+
+/// A rule that is wrong at exactly one interior input pair — `x * y`
+/// rewritten to something that sneaks in `x + y` when `(x, y) ==
+/// (77, 123)`. Boundary-biased sampling never lands on that needle, so
+/// with exhaustion disabled the rule passes as `sampled`; the 2^16-point
+/// exhaustive sweep over the 8-bit instantiations finds it.
+#[test]
+fn needle_rule_is_caught_only_by_exhaustion() {
+    let needle = Template::Select(
+        Box::new(Template::Bin(
+            BinOp::And,
+            Box::new(Template::Cmp(CmpOp::Eq, Box::new(tw(0)), Box::new(tlit(77, 0)))),
+            Box::new(Template::Cmp(CmpOp::Eq, Box::new(tw(1)), Box::new(tlit(123, 0)))),
+        )),
+        Box::new(tbin(BinOp::Add, tw(0), tw(1))),
+        Box::new(tbin(BinOp::Mul, tw(0), tw(1))),
+    );
+    let mut set = RuleSet::new("fixture");
+    set.push(Rule::new(
+        "planted-needle",
+        RuleClass::Lift,
+        pat_mul(wild_v(0), wild_t(1, TypePat::Var(0))),
+        needle,
+    ));
+
+    // Sampling alone (exhaustion off) misses the single bad point and
+    // records an honest `sampled` verdict...
+    let sampled_only =
+        VerifyOptions { samples: 8, lanes: 64, exhaustive_8bit: false, exhaustive_points: 0 };
+    let diags = soundness::check_with(&set, &sampled_only);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, "SOUND003", "sampling must miss the needle: {:?}", diags[0]);
+    assert!(diags[0].detail.contains("sampled"), "{:?}", diags[0]);
+
+    // ...while the exhaustive 8-bit sweep pins it as unsound.
+    let exhaustive =
+        VerifyOptions { samples: 8, lanes: 64, exhaustive_8bit: true, exhaustive_points: 1 << 16 };
+    let diags = soundness::check_with(&set, &exhaustive);
+    assert_eq!(diags.len(), 1);
+    let hit = &diags[0];
+    assert_eq!(hit.rule.as_deref(), Some("planted-needle"));
+    assert_eq!(hit.code, "SOUND001");
+    assert_eq!(hit.severity, Severity::Error);
+    assert!(hit.witness.as_deref().unwrap_or("").contains("counterexample"), "{hit:?}");
 }
 
 /// A malformed predicate: empty range, unbound reference, contradiction.

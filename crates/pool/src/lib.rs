@@ -29,6 +29,7 @@
 //! The job count for CLI tools is resolved by [`default_jobs`]:
 //! `PITCHFORK_JOBS` overrides `std::thread::available_parallelism()`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -281,6 +281,15 @@ impl Service {
         match rx.recv() {
             Ok(Ok(art)) => {
                 Stats::bump(&self.stats.compiles);
+                // Debug builds audit every artifact entering the cache
+                // with the static verifier; a cached artifact is served
+                // to every later hit, so a malformed one must never get
+                // in. Mirrors the gate inside `Executable::link` and
+                // catches corruption between compile and insert.
+                #[cfg(debug_assertions)]
+                if let Err(v) = fpir_sim::verify_executable(&art.exe) {
+                    panic!("refusing to cache an unverifiable artifact: {v}");
+                }
                 let served = Served::new(art);
                 let bytes = served.approx_bytes();
                 Ok((served, bytes))

@@ -53,6 +53,13 @@ pub fn check_program(
         env: Env::new(),
         detail: format!("linking failed: {e}\n{program}"),
     })?;
+    // Static artifact audit before anything runs: a malformed link is a
+    // counterexample in its own right, caught here even in release
+    // builds (the in-link gate is debug-only).
+    crate::verify::verify_executable(&exe).map_err(|v| Counterexample {
+        env: Env::new(),
+        detail: format!("artifact verification failed: {v}\n{program}"),
+    })?;
     let mut ctx = exe.new_ctx();
     for _ in 0..rounds {
         let env = random_env(rng, source);

@@ -48,7 +48,7 @@ const MAX_OPERANDS: usize = 16;
 
 /// Where a linked operand reads from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Operand {
+pub(crate) enum Operand {
     /// A physical register (defined by an earlier linked instruction).
     Reg(u16),
     /// An input slot bound at invocation time.
@@ -60,24 +60,24 @@ enum Operand {
 /// One linked instruction: semantics resolved, operands resolved,
 /// destination a physical register.
 #[derive(Debug, Clone)]
-struct LInst {
+pub(crate) struct LInst {
     /// Opcode (kept for error reports and rendering).
-    op: MachOp,
+    pub(crate) op: MachOp,
     /// Direct-dispatch semantics, resolved from the table at link time.
-    sem: MachSem,
+    pub(crate) sem: MachSem,
     /// Result type.
-    ty: VectorType,
+    pub(crate) ty: VectorType,
     /// Destination physical register.
-    dst: u16,
+    pub(crate) dst: u16,
     /// Resolved operands.
-    args: Box<[Operand]>,
+    pub(crate) args: Box<[Operand]>,
     /// Position of the instruction in the source program.
-    pos: u32,
+    pub(crate) pos: u32,
     /// Destination virtual register in the source program.
-    reg: Reg,
+    pub(crate) reg: Reg,
     /// True when the result has no consumer (the value is computed for
     /// its error semantics and its buffer reclaimed immediately).
-    dst_dead: bool,
+    pub(crate) dst_dead: bool,
 }
 
 /// One input slot: a distinct `Load` name with its declared type and the
@@ -96,7 +96,7 @@ pub struct InputSlot {
 
 /// Where the executable's result lives after the last instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum OutLoc {
+pub(crate) enum OutLoc {
     /// A physical register (moved out, not cloned).
     Reg(u16),
     /// An input slot (the program is a plain load).
@@ -133,14 +133,14 @@ enum OutLoc {
 /// [`Executable::run`] rules out at compile time.
 #[derive(Debug, Clone)]
 pub struct Executable {
-    isa: Isa,
-    inputs: Vec<InputSlot>,
-    consts: Vec<Value>,
-    code: Vec<LInst>,
-    phys_regs: usize,
-    output: OutLoc,
+    pub(crate) isa: Isa,
+    pub(crate) inputs: Vec<InputSlot>,
+    pub(crate) consts: Vec<Value>,
+    pub(crate) code: Vec<LInst>,
+    pub(crate) phys_regs: usize,
+    pub(crate) output: OutLoc,
     /// Placeholder the operand staging array is initialized with.
-    zero: Value,
+    pub(crate) zero: Value,
 }
 
 /// Reusable per-thread execution state: the physical register file and a
@@ -351,7 +351,7 @@ impl Executable {
             Def::Const(c) => OutLoc::Const(c),
             Def::Op => OutLoc::Reg(phys_of[out].expect("the output register stays live")),
         };
-        Ok(Executable {
+        let exe = Executable {
             isa: target.isa,
             inputs,
             consts,
@@ -359,7 +359,15 @@ impl Executable {
             phys_regs: next_phys as usize,
             output,
             zero: Value::splat(0, VectorType::new(ScalarType::U8, 1)),
-        })
+        };
+        // Debug builds audit every artifact leaving the linker against
+        // the static verifier: a linker bug is an internal invariant
+        // violation (panic), never a user-visible ExecError.
+        #[cfg(debug_assertions)]
+        if let Err(v) = crate::verify::verify_executable(&exe) {
+            panic!("link produced an unverifiable executable: {v}\n{exe}");
+        }
+        Ok(exe)
     }
 
     /// The ISA this executable was linked for.

@@ -12,15 +12,18 @@
 //! *relative* performance (speedup ratios), where a consistent constant
 //! factor cancels.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod difftest;
 pub mod exec;
 pub mod program;
+pub mod verify;
 pub mod vm;
 
 pub use difftest::{check_program, Counterexample};
 pub use exec::{ExecCtx, Executable, InputSlot};
 pub use program::{cycle_cost, emit, EmitError, PInst, PKind, Program, LOAD_COST};
+pub use verify::{verify_executable, ArtifactCheck, ArtifactError};
 pub use vm::{execute, ExecError};

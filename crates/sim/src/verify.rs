@@ -1,0 +1,561 @@
+//! Static verification of linked [`Executable`]s — an independent audit
+//! of what [`Executable::link`] produced, without running anything.
+//!
+//! The linked engine trades the reference VM's per-step checks for raw
+//! speed: operands are raw indices, dispatch is direct, and the hot loop
+//! `expect`s invariants the linker is supposed to have established. A
+//! linker bug therefore shows up as a panic deep in the hot loop (or,
+//! worse, as silently wrong lanes when a recycled register is read). The
+//! verifier re-derives those invariants from the artifact alone:
+//!
+//! * **`def-before-use`** — every physical-register read is dominated by
+//!   a live (non-recycled) write in program order, and every input-slot
+//!   read happens after the slot's load position; the final output
+//!   location is defined;
+//! * **`dst-aliasing`** — no instruction's destination register is also
+//!   one of its own register operands (the engine reclaims the
+//!   destination's buffer *before* reading operands);
+//! * **`operand-index`** — register / input-slot / constant-pool indices
+//!   are in range, including the output location;
+//! * **`slot-order`** — input slots are in strictly increasing first-load
+//!   program order and instruction positions strictly increase, so blame
+//!   reports (`pos`, `reg`) point at real, ordered program points;
+//! * **`const-pool`** — every pool entry is a genuine splat (all lanes
+//!   equal), matching what linking is allowed to materialize;
+//! * **`sem-table`** — each instruction's resolved [`MachSem`] agrees
+//!   with what the ISA's table currently maps its opcode to;
+//! * **`sem-signature`** — operand count matches the semantics' arity,
+//!   every operand has the result's lane count, and the widening
+//!   accumulator shapes hold (`WideningMulAcc` 2×, `DotAcc4` 4×), so
+//!   [`fpir_isa::eval_sem_into`] cannot reject the instruction at run
+//!   time.
+//!
+//! [`Executable::link`] runs this in debug builds on everything it
+//! produces, [`crate::difftest`] runs it on every artifact it tests, and
+//! `pitchforkd` audits every artifact entering its cache — so a linker
+//! regression is caught at the artifact boundary, with a named check and
+//! a program position, not as a scrambled image three layers up.
+
+use crate::exec::{Executable, Operand, OutLoc};
+use fpir_isa::MachSem;
+use std::fmt;
+
+/// Which artifact invariant a violation broke. [`ArtifactCheck::name`]
+/// is the stable identifier fixtures and reports key on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactCheck {
+    /// A register or input slot read before it is written/loaded.
+    DefBeforeUse,
+    /// An instruction's destination aliases one of its own operands.
+    DstAliasing,
+    /// A register, input-slot, or constant-pool index out of range.
+    OperandIndex,
+    /// Input slots or instruction positions out of program order.
+    SlotOrder,
+    /// A constant-pool entry that is not a splat.
+    ConstPool,
+    /// An instruction's semantics disagree with the ISA table.
+    SemTable,
+    /// Operand shape the semantics would reject at run time.
+    SemSignature,
+}
+
+impl ArtifactCheck {
+    /// Stable check name (used in reports and fixture assertions).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactCheck::DefBeforeUse => "def-before-use",
+            ArtifactCheck::DstAliasing => "dst-aliasing",
+            ArtifactCheck::OperandIndex => "operand-index",
+            ArtifactCheck::SlotOrder => "slot-order",
+            ArtifactCheck::ConstPool => "const-pool",
+            ArtifactCheck::SemTable => "sem-table",
+            ArtifactCheck::SemSignature => "sem-signature",
+        }
+    }
+}
+
+impl fmt::Display for ArtifactCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A broken artifact invariant.
+#[derive(Debug, Clone)]
+pub struct ArtifactError {
+    /// Which invariant.
+    pub check: ArtifactCheck,
+    /// Source-program position of the offending instruction, when the
+    /// violation is instruction-specific.
+    pub pos: Option<usize>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "artifact check `{}` failed", self.check)?;
+        if let Some(p) = self.pos {
+            write!(f, " at #{p}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+fn err(check: ArtifactCheck, pos: Option<usize>, detail: String) -> ArtifactError {
+    ArtifactError { check, pos, detail }
+}
+
+/// Verify every artifact invariant of a linked executable.
+///
+/// Pure and read-only: no instruction is executed, so the cost is linear
+/// in the artifact size and safe to run on untrusted/corrupted artifacts.
+///
+/// # Errors
+///
+/// The first violation in check-then-program order.
+pub fn verify_executable(exe: &Executable) -> Result<(), ArtifactError> {
+    use ArtifactCheck as C;
+
+    // Constant pool: splats only (that is all linking materializes, and
+    // the cycle model prices them as loop-invariant and free).
+    for (i, c) in exe.consts.iter().enumerate() {
+        let lanes = c.lanes();
+        if lanes.is_empty() || lanes.iter().any(|&x| x != lanes[0]) {
+            return Err(err(C::ConstPool, None, format!("constant c{i} is not a splat: {c:?}")));
+        }
+    }
+
+    // Slot/blame order: inputs in strictly increasing first-load
+    // position, no duplicate names, instructions in strictly increasing
+    // program position.
+    for w in exe.inputs.windows(2) {
+        if w[1].pos <= w[0].pos {
+            return Err(err(
+                C::SlotOrder,
+                Some(w[1].pos),
+                format!(
+                    "input slots out of first-load order: `{}` at #{} after `{}` at #{}",
+                    w[1].name, w[1].pos, w[0].name, w[0].pos
+                ),
+            ));
+        }
+    }
+    for (i, s) in exe.inputs.iter().enumerate() {
+        if exe.inputs[..i].iter().any(|t| t.name == s.name) {
+            return Err(err(
+                C::SlotOrder,
+                Some(s.pos),
+                format!("input `{}` has two slots", s.name),
+            ));
+        }
+    }
+    for w in exe.code.windows(2) {
+        if w[1].pos <= w[0].pos {
+            return Err(err(
+                C::SlotOrder,
+                Some(w[1].pos as usize),
+                format!("instruction positions out of order: #{} after #{}", w[1].pos, w[0].pos),
+            ));
+        }
+    }
+
+    // Per-instruction checks, simulating definedness in program order.
+    // `defined[r]` is the type of the live value in physical register
+    // `r`, or `None` when it was never written or its last write was
+    // immediately recycled (`dst_dead`) — exactly the states in which
+    // the engine's `regs[r].as_ref().expect(..)` would panic.
+    let table = fpir_isa::target(exe.isa);
+    let mut defined = vec![None; exe.phys_regs];
+    for inst in &exe.code {
+        let pos = inst.pos as usize;
+
+        if (inst.dst as usize) >= exe.phys_regs {
+            return Err(err(
+                C::OperandIndex,
+                Some(pos),
+                format!("destination r{} outside the register file of {}", inst.dst, exe.phys_regs),
+            ));
+        }
+        let mut operand_tys = Vec::with_capacity(inst.args.len());
+        for a in inst.args.iter() {
+            let ty = match *a {
+                Operand::Reg(r) => {
+                    if (r as usize) >= exe.phys_regs {
+                        return Err(err(
+                            C::OperandIndex,
+                            Some(pos),
+                            format!("operand r{r} outside the register file of {}", exe.phys_regs),
+                        ));
+                    }
+                    if r == inst.dst {
+                        return Err(err(
+                            C::DstAliasing,
+                            Some(pos),
+                            format!(
+                                "{} reads r{r} while also writing it; the engine reclaims the \
+                                 destination before reading operands",
+                                inst.op
+                            ),
+                        ));
+                    }
+                    match defined[r as usize] {
+                        Some(ty) => ty,
+                        None => {
+                            return Err(err(
+                                C::DefBeforeUse,
+                                Some(pos),
+                                format!("r{r} read by {} before any live write", inst.op),
+                            ));
+                        }
+                    }
+                }
+                Operand::In(s) => {
+                    let slot = exe.inputs.get(s as usize).ok_or_else(|| {
+                        err(
+                            C::OperandIndex,
+                            Some(pos),
+                            format!("input slot s{s} out of range ({} slots)", exe.inputs.len()),
+                        )
+                    })?;
+                    if slot.pos >= pos {
+                        return Err(err(
+                            C::DefBeforeUse,
+                            Some(pos),
+                            format!(
+                                "slot s{s} (`{}`) loads at #{}, after its use",
+                                slot.name, slot.pos
+                            ),
+                        ));
+                    }
+                    slot.ty
+                }
+                Operand::Const(c) => exe
+                    .consts
+                    .get(c as usize)
+                    .ok_or_else(|| {
+                        err(
+                            C::OperandIndex,
+                            Some(pos),
+                            format!("constant c{c} out of range ({} entries)", exe.consts.len()),
+                        )
+                    })?
+                    .ty(),
+            };
+            operand_tys.push(ty);
+        }
+
+        // The semantics the table resolves the opcode to today must be
+        // the semantics baked into the instruction at link time.
+        match table.def(inst.op) {
+            Some(def) if def.sem == inst.sem => {}
+            Some(def) => {
+                return Err(err(
+                    C::SemTable,
+                    Some(pos),
+                    format!(
+                        "{} linked as {:?} but the {} table says {:?}",
+                        inst.op, inst.sem, exe.isa, def.sem
+                    ),
+                ));
+            }
+            None => {
+                return Err(err(
+                    C::SemTable,
+                    Some(pos),
+                    format!("{} is not in the {} table", inst.op, exe.isa),
+                ));
+            }
+        }
+
+        // Shape checks mirroring everything `eval_sem_into` rejects, so
+        // a verified artifact cannot fail at dispatch time.
+        if inst.args.len() != inst.sem.arity() {
+            return Err(err(
+                C::SemSignature,
+                Some(pos),
+                format!(
+                    "{:?} takes {} operands, instruction has {}",
+                    inst.sem,
+                    inst.sem.arity(),
+                    inst.args.len()
+                ),
+            ));
+        }
+        for (k, ty) in operand_tys.iter().enumerate() {
+            if ty.lanes != inst.ty.lanes {
+                return Err(err(
+                    C::SemSignature,
+                    Some(pos),
+                    format!(
+                        "operand {k} has {} lanes, result type {} has {}",
+                        ty.lanes, inst.ty, inst.ty.lanes
+                    ),
+                ));
+            }
+        }
+        match inst.sem {
+            MachSem::WideningMulAcc => {
+                let (aw, ow) = (operand_tys[0].elem.bits(), operand_tys[1].elem.bits());
+                if aw != ow * 2 {
+                    return Err(err(
+                        C::SemSignature,
+                        Some(pos),
+                        format!("widening mul-acc accumulator is {aw}-bit over {ow}-bit operands"),
+                    ));
+                }
+            }
+            MachSem::DotAcc4 => {
+                let (aw, ow) = (operand_tys[0].elem.bits(), operand_tys[1].elem.bits());
+                if aw != ow * 4 {
+                    return Err(err(
+                        C::SemSignature,
+                        Some(pos),
+                        format!("dot-product accumulator is {aw}-bit over {ow}-bit operands"),
+                    ));
+                }
+            }
+            _ => {}
+        }
+
+        defined[inst.dst as usize] = if inst.dst_dead { None } else { Some(inst.ty) };
+    }
+
+    // The output location must be defined at the end of the program.
+    match exe.output {
+        OutLoc::Reg(r) => {
+            if (r as usize) >= exe.phys_regs {
+                return Err(err(
+                    C::OperandIndex,
+                    None,
+                    format!("output r{r} outside the register file of {}", exe.phys_regs),
+                ));
+            }
+            if defined[r as usize].is_none() {
+                return Err(err(
+                    C::DefBeforeUse,
+                    None,
+                    format!("output register r{r} holds no live value at the end of the program"),
+                ));
+            }
+        }
+        OutLoc::In(s) => {
+            if (s as usize) >= exe.inputs.len() {
+                return Err(err(
+                    C::OperandIndex,
+                    None,
+                    format!("output slot s{s} out of range ({} slots)", exe.inputs.len()),
+                ));
+            }
+        }
+        OutLoc::Const(c) => {
+            if (c as usize) >= exe.consts.len() {
+                return Err(err(
+                    C::OperandIndex,
+                    None,
+                    format!("output constant c{c} out of range ({} entries)", exe.consts.len()),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Operand, OutLoc};
+    use crate::program::emit;
+    use fpir::build;
+    use fpir::interp::Value;
+    use fpir::types::{ScalarType as S, VectorType as V};
+    use fpir::Isa;
+    use fpir_isa::{legalize, target};
+
+    fn linked(e: &fpir::RcExpr, isa: Isa) -> Executable {
+        let t = target(isa);
+        let p = emit(&legalize(e, t).unwrap(), t).unwrap();
+        Executable::link(&p, t).unwrap()
+    }
+
+    fn sample() -> Executable {
+        let t = V::new(S::U8, 16);
+        let e = build::saturating_cast(
+            S::U8,
+            build::widening_add(
+                build::rounding_halving_add(build::var("a", t), build::var("b", t)),
+                build::constant(3, t),
+            ),
+        );
+        linked(&e, Isa::ArmNeon)
+    }
+
+    #[test]
+    fn linked_workload_style_artifacts_verify_clean() {
+        let t = V::new(S::U8, 16);
+        let exprs = [
+            build::rounding_halving_add(build::var("a", t), build::var("b", t)),
+            build::saturating_cast(
+                S::U8,
+                build::widening_add(build::var("a", t), build::var("b", t)),
+            ),
+            build::var("a", t),
+            build::constant(7, t),
+        ];
+        for e in &exprs {
+            for isa in fpir::machine::ALL_ISAS {
+                let exe = linked(e, isa);
+                verify_executable(&exe).unwrap_or_else(|v| panic!("{isa}: {v}\n{exe}"));
+            }
+        }
+    }
+
+    // One hand-corrupted executable per artifact check, each flagged by
+    // the check's stable name: the planted-defect suite for the verifier
+    // itself.
+
+    fn assert_flags(exe: &Executable, name: &str) {
+        let e = verify_executable(exe).expect_err("corruption must be flagged");
+        assert_eq!(e.check.name(), name, "{e}");
+        // The rendered report names the check too.
+        assert!(e.to_string().contains(name), "{e}");
+    }
+
+    #[test]
+    fn corrupt_register_read_fails_def_before_use() {
+        let mut exe = sample();
+        // Point the first instruction's first register operand (if any)
+        // at a register nothing has written yet; otherwise retarget an
+        // input operand to a fresh register.
+        let grow = exe.phys_regs as u16;
+        exe.phys_regs += 1;
+        let inst = &mut exe.code[0];
+        inst.args[0] = Operand::Reg(grow);
+        assert_flags(&exe, "def-before-use");
+    }
+
+    #[test]
+    fn corrupt_dead_destination_fails_def_before_use() {
+        let mut exe = sample();
+        // Mark an intermediate destination dead: the engine recycles the
+        // value immediately, so the later consumer reads a vacant slot.
+        // Pick a write whose register is read again before being
+        // rewritten, so the corruption is observable.
+        let victim = (0..exe.code.len())
+            .find(|&i| {
+                let r = exe.code[i].dst;
+                exe.code[i + 1..]
+                    .iter()
+                    .take_while(|j| j.dst != r)
+                    .any(|j| j.args.contains(&Operand::Reg(r)))
+            })
+            .expect("some intermediate value is consumed");
+        exe.code[victim].dst_dead = true;
+        assert_flags(&exe, "def-before-use");
+    }
+
+    #[test]
+    fn corrupt_self_referential_destination_fails_dst_aliasing() {
+        let mut exe = sample();
+        let pos = exe
+            .code
+            .iter()
+            .position(|i| i.args.iter().any(|a| matches!(a, Operand::Reg(_))))
+            .expect("some instruction reads a register");
+        let inst = &mut exe.code[pos];
+        let Operand::Reg(r) = *inst.args.iter().find(|a| matches!(a, Operand::Reg(_))).unwrap()
+        else {
+            unreachable!()
+        };
+        inst.dst = r;
+        assert_flags(&exe, "dst-aliasing");
+    }
+
+    #[test]
+    fn corrupt_constant_index_fails_operand_index() {
+        let mut exe = sample();
+        let pos = exe
+            .code
+            .iter()
+            .position(|i| i.args.iter().any(|a| matches!(a, Operand::Const(_))))
+            .expect("some instruction reads the pool");
+        let inst = &mut exe.code[pos];
+        let k = inst.args.iter().position(|a| matches!(a, Operand::Const(_))).unwrap();
+        inst.args[k] = Operand::Const(u16::MAX);
+        assert_flags(&exe, "operand-index");
+    }
+
+    #[test]
+    fn corrupt_slot_positions_fail_slot_order() {
+        let mut exe = sample();
+        assert!(exe.inputs.len() >= 2, "need two input slots");
+        exe.inputs.swap(0, 1);
+        // Swapping breaks first-load order but leaves indices valid.
+        assert_flags(&exe, "slot-order");
+    }
+
+    #[test]
+    fn corrupt_pool_entry_fails_const_pool() {
+        let mut exe = sample();
+        assert!(!exe.consts.is_empty(), "sample has a splat constant");
+        let ty = exe.consts[0].ty();
+        let mut lanes: Vec<i128> = exe.consts[0].lanes().to_vec();
+        lanes[0] = lanes[0].wrapping_add(1) & 0x7f;
+        exe.consts[0] = Value::new(ty, lanes);
+        assert_flags(&exe, "const-pool");
+    }
+
+    #[test]
+    fn corrupt_semantics_fail_sem_table() {
+        let mut exe = sample();
+        // Claim the first instruction computes something other than what
+        // the table says its opcode means.
+        let sem = exe.code[0].sem;
+        exe.code[0].sem = if sem == fpir_isa::MachSem::Select {
+            fpir_isa::MachSem::SatCastTo
+        } else {
+            fpir_isa::MachSem::Select
+        };
+        assert_flags(&exe, "sem-table");
+    }
+
+    #[test]
+    fn corrupt_operand_count_fails_sem_signature() {
+        let mut exe = sample();
+        let inst = &mut exe.code[0];
+        // Duplicate the first operand: sem-table still matches (the
+        // opcode and sem are untouched) but the arity no longer does.
+        let mut args = inst.args.to_vec();
+        args.push(args[0]);
+        inst.args = args.into_boxed_slice();
+        assert_flags(&exe, "sem-signature");
+    }
+
+    #[test]
+    fn corrupt_lane_count_fails_sem_signature() {
+        let mut exe = sample();
+        // Halve the result lane count of the first instruction; its
+        // operands keep the full vector width.
+        let ty = exe.code[0].ty;
+        exe.code[0].ty = V::new(ty.elem, ty.lanes / 2);
+        assert_flags(&exe, "sem-signature");
+    }
+
+    #[test]
+    fn corrupt_output_register_is_flagged() {
+        let mut exe = sample();
+        exe.output = OutLoc::Reg(u16::MAX);
+        assert_flags(&exe, "operand-index");
+    }
+
+    #[test]
+    fn verifier_rejects_instructions_reordered_by_position() {
+        let mut exe = sample();
+        assert!(exe.code.len() >= 2);
+        let p0 = exe.code[0].pos;
+        exe.code[0].pos = exe.code[1].pos;
+        exe.code[1].pos = p0;
+        assert_flags(&exe, "slot-order");
+    }
+}

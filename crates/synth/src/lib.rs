@@ -13,8 +13,14 @@
 //! * [`generalize`] — symbolic constants, pow2 links, binary-searched
 //!   range predicates, with every attempt re-verified (§4.3);
 //! * [`verify`] — the rule verifier that also checks the shipped
-//!   hand-written TRSs (§2.4's "unearthed a handful of subtle bugs").
+//!   hand-written TRSs (§2.4's "unearthed a handful of subtle bugs");
+//! * [`soundness`] — the verdict-producing checker behind
+//!   `pitchfork-verify`: abstract-equivalence proofs (interval +
+//!   known-bits domains), full-space enumeration up to 2^16 points, and
+//!   the sampled fallback, recording `proved`/`exhausted`/`sampled` per
+//!   rule.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -23,6 +29,7 @@ pub mod generalize;
 pub mod lift_synth;
 pub mod lower_synth;
 pub mod pipeline;
+pub mod soundness;
 pub mod verify;
 
 pub use corpus::{build_corpus, subexpressions, MAX_LHS_NODES};
@@ -34,4 +41,5 @@ pub use lower_synth::{generate_lower_pairs, generate_lower_pairs_jobs, LowerPair
 pub use pipeline::{
     harvest_corpus, synthesize_corpus_rules, LiftEngine, PipelineConfig, SynthesizedRule,
 };
+pub use soundness::{check_rule, check_rule_set, check_rule_set_jobs, RuleVerdict, Verdict};
 pub use verify::{verify_rule, verify_rule_set, verify_rule_set_jobs, VerifyError, VerifyOptions};

@@ -48,13 +48,37 @@ pub struct VerifyOptions {
     /// Random environments per instantiation.
     pub samples: usize,
     /// Exhaustive 8-bit checking when the instantiation has at most two
-    /// value wildcards.
+    /// value wildcards (kept as a named switch for the historical 8-bit
+    /// sweep; implies an enumeration budget of at least `2^16` points).
     pub exhaustive_8bit: bool,
+    /// Enumerate *every* point of the instantiated input space when it
+    /// has at most this many points (the `exhausted` verdict in
+    /// [`crate::soundness`]). `0` disables enumeration.
+    pub exhaustive_points: u64,
 }
 
 impl Default for VerifyOptions {
     fn default() -> VerifyOptions {
-        VerifyOptions { lanes: 256, samples: 24, exhaustive_8bit: true }
+        VerifyOptions { lanes: 256, samples: 24, exhaustive_8bit: true, exhaustive_points: 1 << 16 }
+    }
+}
+
+impl VerifyOptions {
+    /// The effort the shipped-rule test suites and `rulecheck` use: debug
+    /// builds sample (plus small-space enumeration) so the suite stays
+    /// fast under an interpreted engine; release builds (and CI's bench
+    /// smoke jobs) run the full exhaustive sweep.
+    pub fn shipped() -> VerifyOptions {
+        if cfg!(debug_assertions) {
+            VerifyOptions { samples: 8, lanes: 64, exhaustive_8bit: false, exhaustive_points: 512 }
+        } else {
+            VerifyOptions {
+                samples: 12,
+                lanes: 128,
+                exhaustive_8bit: true,
+                exhaustive_points: 1 << 16,
+            }
+        }
     }
 }
 
@@ -85,50 +109,16 @@ pub fn verify_rule_at(
             detail: "could not instantiate the left-hand side".into(),
         })?;
     // Bounds-predicated rules are sound *given* their bounds; verify them
-    // under input ranges that satisfy the predicate (here: the tight
-    // instantiation range used during instantiation, [0, 1] per variable,
-    // is widened as far as the predicate still holds).
-    let vars = inst.free_vars();
-    let rhs = {
-        let mut bounds = bound_ctx_for(&vars, rule, &inst);
-        rule.apply(&inst, &mut bounds).ok_or_else(|| VerifyError {
-            rule: rule.name.clone(),
-            detail: format!("does not apply to its own instantiation {inst}"),
-        })?
-    };
-
-    let n_value_vars = vars.len();
-    let all_u8 = vars.iter().all(|(_, t)| t.elem.bits() == 8);
-    if opts.exhaustive_8bit && all_u8 && n_value_vars <= 2 && uses_full_range(rule) {
-        exhaustive_check(rule, &inst, &rhs)?;
-    }
-    sampled_check(rule, &inst, &rhs, opts)
+    // under input ranges that satisfy the predicate ([0, 1] per variable,
+    // the same region instantiation used). The checking core is shared
+    // with the verdict API in [`crate::soundness`]: prove, else
+    // enumerate, else sample.
+    crate::soundness::check_instantiation(rule, &inst, opts).map(|_| ())
 }
 
-/// Whether the rule's predicate leaves variables unconstrained (bounds
-/// predicates restrict the valid input region, so exhaustive full-range
-/// checking does not apply).
-fn uses_full_range(rule: &Rule) -> bool {
-    use fpir_trs::predicate::Predicate as P;
-    fn bounds_free(p: &P) -> bool {
-        match p {
-            P::All(ps) => ps.iter().all(bounds_free),
-            P::FitsSignedSameWidth(_)
-            | P::FitsNarrow(_)
-            | P::AddConstFits { .. }
-            | P::RoundTermAddFits { .. }
-            | P::FitsNarrowAfterRoundShr { .. }
-            | P::UpperBounded { .. }
-            | P::LowerBounded { .. } => false,
-            _ => true,
-        }
-    }
-    bounds_free(&rule.pred)
-}
-
-fn bound_ctx_for(vars: &[(String, fpir::VectorType)], rule: &Rule, _inst: &RcExpr) -> BoundsCtx {
+pub(crate) fn bound_ctx_for(vars: &[(String, fpir::VectorType)], rule: &Rule) -> BoundsCtx {
     let mut ctx = BoundsCtx::new();
-    if !uses_full_range(rule) {
+    if rule.pred.restricts_domain() {
         for (name, _) in vars {
             ctx.set_var_bound(name.clone(), Interval::new(0, 1));
         }
@@ -153,7 +143,7 @@ fn env_for(vars: &[(String, fpir::VectorType)], restrict_01: bool, rng: &mut Std
         .collect()
 }
 
-fn agree(rule: &Rule, lhs: &RcExpr, rhs: &RcExpr, env: &Env) -> Result<(), VerifyError> {
+pub(crate) fn agree(rule: &Rule, lhs: &RcExpr, rhs: &RcExpr, env: &Env) -> Result<(), VerifyError> {
     let evaluator = MachEvaluator;
     let a = eval_with(lhs, env, Some(&evaluator)).map_err(|e| VerifyError {
         rule: rule.name.clone(),
@@ -177,79 +167,14 @@ fn agree(rule: &Rule, lhs: &RcExpr, rhs: &RcExpr, env: &Env) -> Result<(), Verif
     Ok(())
 }
 
-fn exhaustive_check(rule: &Rule, lhs: &RcExpr, rhs: &RcExpr) -> Result<(), VerifyError> {
-    let vars = lhs.free_vars();
-    // Re-instantiate at a lane width that tiles the full 8-bit square.
-    const CHUNK: usize = 4096;
-    match vars.len() {
-        0 => Ok(()),
-        1 => {
-            let (name, ty) = &vars[0];
-            // Stream the operand range lane-chunk by lane-chunk instead of
-            // materializing it: the range itself is the iterator.
-            let lanes = ty.lanes as usize;
-            let mut data: Vec<i128> = Vec::with_capacity(lanes);
-            for x in ty.elem.min_value()..=ty.elem.max_value() {
-                data.push(x);
-                if data.len() == lanes {
-                    let env =
-                        Env::new().bind(name.clone(), Value::new(*ty, std::mem::take(&mut data)));
-                    agree(rule, lhs, rhs, &env)?;
-                    data.reserve(lanes);
-                }
-            }
-            if !data.is_empty() {
-                let pad = data[0];
-                while data.len() < lanes {
-                    data.push(pad);
-                }
-                let env = Env::new().bind(name.clone(), Value::new(*ty, data));
-                agree(rule, lhs, rhs, &env)?;
-            }
-            Ok(())
-        }
-        2 => {
-            let (n0, t0) = &vars[0];
-            let (n1, t1) = &vars[1];
-            let mut xs = Vec::with_capacity(CHUNK);
-            let mut ys = Vec::with_capacity(CHUNK);
-            let lanes = t0.lanes as usize;
-            for x in t0.elem.min_value()..=t0.elem.max_value() {
-                for y in t1.elem.min_value()..=t1.elem.max_value() {
-                    xs.push(x);
-                    ys.push(y);
-                    if xs.len() == lanes {
-                        let env = Env::new()
-                            .bind(n0.clone(), Value::new(*t0, std::mem::take(&mut xs)))
-                            .bind(n1.clone(), Value::new(*t1, std::mem::take(&mut ys)));
-                        agree(rule, lhs, rhs, &env)?;
-                    }
-                }
-            }
-            if !xs.is_empty() {
-                while xs.len() < lanes {
-                    xs.push(*xs.last().expect("nonempty"));
-                    ys.push(*ys.last().expect("nonempty"));
-                }
-                let env = Env::new()
-                    .bind(n0.clone(), Value::new(*t0, xs))
-                    .bind(n1.clone(), Value::new(*t1, ys));
-                agree(rule, lhs, rhs, &env)?;
-            }
-            Ok(())
-        }
-        _ => Ok(()),
-    }
-}
-
-fn sampled_check(
+pub(crate) fn sampled_check(
     rule: &Rule,
     lhs: &RcExpr,
     rhs: &RcExpr,
     opts: &VerifyOptions,
 ) -> Result<(), VerifyError> {
     let vars = lhs.free_vars();
-    let restrict = !uses_full_range(rule);
+    let restrict = rule.pred.restricts_domain();
     let mut rng = StdRng::seed_from_u64(0x5EED);
     for _ in 0..opts.samples {
         let env = env_for(&vars, restrict, &mut rng);
@@ -367,19 +292,9 @@ mod tests {
         assert!(verify_rule_at(&rule, &VerifyOptions::default(), &overrides).is_err());
     }
 
-    /// Debug builds use sampled checking only; release builds (and CI)
-    /// run the exhaustive 8-bit sweep.
-    fn shipped_opts() -> VerifyOptions {
-        if cfg!(debug_assertions) {
-            VerifyOptions { samples: 8, lanes: 64, exhaustive_8bit: false }
-        } else {
-            VerifyOptions { samples: 12, lanes: 128, exhaustive_8bit: true }
-        }
-    }
-
     #[test]
     fn shipped_lift_rules_all_verify() {
-        let opts = shipped_opts();
+        let opts = VerifyOptions::shipped();
         let failures = verify_rule_set(&pitchfork::lift_rules(), &opts);
         assert!(
             failures.is_empty(),
@@ -390,7 +305,7 @@ mod tests {
 
     #[test]
     fn shipped_lowering_rules_all_verify() {
-        let opts = shipped_opts();
+        let opts = VerifyOptions::shipped();
         for isa in fpir::machine::ALL_ISAS {
             let failures = verify_rule_set(&pitchfork::lower_rules(isa), &opts);
             assert!(

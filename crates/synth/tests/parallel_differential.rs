@@ -72,7 +72,12 @@ fn lift_enumerators_agree_bit_for_bit() {
 fn pipeline_is_deterministic_across_workers_and_engines() {
     let cfg = PipelineConfig {
         budget: small_budget(),
-        verify: VerifyOptions { samples: 4, lanes: 16, exhaustive_8bit: false },
+        verify: VerifyOptions {
+            samples: 4,
+            lanes: 16,
+            exhaustive_8bit: false,
+            exhaustive_points: 0,
+        },
         cap: 64,
         engine: LiftEngine::Fast,
     };
@@ -105,7 +110,8 @@ fn pipeline_is_deterministic_across_workers_and_engines() {
 /// sweep reports, in the same order.
 #[test]
 fn verify_rule_set_jobs_matches_sequential() {
-    let opts = VerifyOptions { samples: 6, lanes: 32, exhaustive_8bit: false };
+    let opts =
+        VerifyOptions { samples: 6, lanes: 32, exhaustive_8bit: false, exhaustive_points: 0 };
     for set in [pitchfork::lift_rules(), pitchfork::lower_rules(fpir::Isa::ArmNeon)] {
         let seq: Vec<String> =
             verify_rule_set(&set, &opts).iter().map(ToString::to_string).collect();

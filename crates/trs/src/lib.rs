@@ -44,6 +44,7 @@
 //! assert_eq!(rw.run(&e).to_string(), "widening_add(a_u8, b_u8)");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -308,6 +308,28 @@ impl Predicate {
         out
     }
 
+    /// Whether this predicate restricts the rule's *value* inputs to a
+    /// sub-range of their types (a bounds query over an expression
+    /// wildcard). A rule with a domain-restricting predicate is only
+    /// claimed sound over the restricted region, so full-range
+    /// exhaustive checking does not apply to it; constant-only
+    /// predicates (`IsPow2`, `ConstEq`, …) pick the instantiation but
+    /// leave the value inputs unconstrained.
+    pub fn restricts_domain(&self) -> bool {
+        self.conjuncts().iter().any(|p| {
+            matches!(
+                p,
+                Predicate::FitsSignedSameWidth(_)
+                    | Predicate::FitsNarrow(_)
+                    | Predicate::AddConstFits { .. }
+                    | Predicate::RoundTermAddFits { .. }
+                    | Predicate::FitsNarrowAfterRoundShr { .. }
+                    | Predicate::UpperBounded { .. }
+                    | Predicate::LowerBounded { .. }
+            )
+        })
+    }
+
     /// Wildcard ids this predicate reads as bound *constants*.
     pub fn const_refs(&self) -> Vec<u8> {
         let mut out = Vec::new();

@@ -9,6 +9,7 @@
 //! Each [`Workload`] carries its family tag and the input images a
 //! benchmark run needs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
