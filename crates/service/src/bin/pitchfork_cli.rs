@@ -5,12 +5,16 @@
 //! pitchfork-cli --socket S compile --expr 'u8(min(u16(a_u8) + u16(b_u8), 255))' --lanes 16 --isa arm
 //! pitchfork-cli --tcp 127.0.0.1:7737 run --expr 'a_u8 + b_u8' --lanes 4 --isa x86 \
 //!     --input a=1,2,3,4 --input b=5,6,7,8
-//! pitchfork-cli --socket S stats
+//! pitchfork-cli --socket S stats [--text]
+//! pitchfork-cli --socket S pipeline --expr 'a_u8 + b_u8' --lanes 4 --isa arm
 //! pitchfork-cli --socket S shutdown
 //! ```
 //!
 //! Prints the raw JSON response; exits non-zero when the server answers
-//! `"ok": false` (or can't be reached).
+//! `"ok": false` (or can't be reached). `pipeline` exercises protocol
+//! v2: it writes three tagged copies of the request back-to-back before
+//! reading anything, then collects the three responses (in whatever
+//! order the server answers) and matches them back up by tag.
 
 use pitchfork_service::{Client, Endpoint, Json};
 use std::path::PathBuf;
@@ -28,8 +32,14 @@ COMMANDS:
     shutdown                   ask the server to stop
     compile                    compile an expression
     run                        compile and execute over input vectors
+    pipeline                   send 3 tagged compile requests back-to-back
+                               before reading any response (protocol v2)
+
+STATS OPTIONS:
+    --text                     Prometheus-style `name value` lines
 
 COMPILE/RUN OPTIONS:
+    --tag TAG                  opaque tag echoed in the response
     --expr EXPR                the expression (printed syntax)
     --lanes N                  vector width
     --isa x86|arm|hvx          target
@@ -85,6 +95,8 @@ fn main() -> ExitCode {
                     members.push(("lanes".into(), Json::Int(n)));
                 }
                 "--isa" => members.push(("isa".into(), Json::str(args.take("--isa")?))),
+                "--tag" => members.push(("tag".into(), Json::str(args.take("--tag")?))),
+                "--text" => members.push(("format".into(), Json::str("text"))),
                 "--engine" => members.push(("engine".into(), Json::str(args.take("--engine")?))),
                 "--no-synthesized" => {
                     members.push(("synthesized_rules".into(), Json::Bool(false)));
@@ -134,11 +146,12 @@ fn main() -> ExitCode {
         return fail("a command is required");
     };
     match command.as_str() {
-        "ping" | "stats" | "shutdown" | "compile" | "run" => {}
+        "ping" | "stats" | "shutdown" | "compile" | "run" | "pipeline" => {}
         other => return fail(&format!("unknown command `{other}`")),
     }
 
-    let mut frame = vec![("op".to_string(), Json::str(command.clone()))];
+    let op = if command == "pipeline" { "compile".to_string() } else { command.clone() };
+    let mut frame = vec![("op".to_string(), Json::str(op))];
     frame.extend(members);
     if command == "run" || !inputs.is_empty() {
         frame.push(("inputs".into(), Json::Object(inputs)));
@@ -151,6 +164,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if command == "pipeline" {
+        return pipeline(&mut client, frame);
+    }
     match client.request(&Json::Object(frame)) {
         Ok(response) => {
             println!("{}", response.render());
@@ -165,4 +181,49 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Protocol v2 demo: three tagged copies of one compile request on the
+/// wire before any read; responses may come back in any order and are
+/// matched up by their echoed tags.
+fn pipeline(client: &mut pitchfork_service::Client, frame: Vec<(String, Json)>) -> ExitCode {
+    let tags = ["p1", "p2", "p3"];
+    for tag in tags {
+        let mut tagged = frame.clone();
+        tagged.retain(|(k, _)| k != "tag");
+        tagged.push(("tag".into(), Json::str(tag)));
+        if let Err(e) = client.send(&Json::Object(tagged)) {
+            eprintln!("pitchfork-cli: pipelined send failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut unseen: Vec<&str> = tags.to_vec();
+    for _ in tags {
+        let response = match client.recv() {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("pitchfork-cli: pipelined receive failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+            eprintln!("pitchfork-cli: pipelined request failed: {}", response.render());
+            return ExitCode::FAILURE;
+        }
+        let Some(tag) = response.get("tag").and_then(Json::as_str) else {
+            eprintln!("pitchfork-cli: response carries no tag: {}", response.render());
+            return ExitCode::FAILURE;
+        };
+        let Some(at) = unseen.iter().position(|t| *t == tag) else {
+            eprintln!("pitchfork-cli: unexpected or duplicate tag `{tag}`");
+            return ExitCode::FAILURE;
+        };
+        unseen.remove(at);
+    }
+    println!(
+        "{}",
+        Json::Object(vec![("ok".into(), Json::Bool(true)), ("pipelined".into(), Json::Int(3)),])
+            .render()
+    );
+    ExitCode::SUCCESS
 }

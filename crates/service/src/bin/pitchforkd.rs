@@ -8,7 +8,9 @@
 //! Listens until `SIGTERM`/`SIGINT` or a `{"op":"shutdown"}` frame,
 //! then drains connections and (for Unix sockets) unlinks the path.
 
-use pitchfork_service::{install_signal_handlers, serve, Endpoint, Service, ServiceConfig};
+use pitchfork_service::{
+    install_signal_handlers, serve_with, Endpoint, ServeOptions, Service, ServiceConfig,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -26,6 +28,9 @@ OPTIONS:
     --queue N           compile queue capacity   [default: workers * 8]
     --cache-mb N        artifact cache budget    [default: 64]
     --timeout-ms N      default per-request deadline [default: none]
+    --max-conns N       concurrent connection cap [default: 128]
+    --outq-mb N         per-connection response queue budget [default: 8]
+    --max-pipeline N    parsed frames in flight per connection [default: 128]
     -h, --help          print this help
 ";
 
@@ -38,6 +43,7 @@ fn fail(msg: &str) -> ExitCode {
 fn main() -> ExitCode {
     let mut endpoint: Option<Endpoint> = None;
     let mut config = ServiceConfig::default();
+    let mut opts = ServeOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |what: &str| -> Result<String, String> {
@@ -71,6 +77,22 @@ fn main() -> ExitCode {
                             .map_err(|_| "--timeout-ms must be an integer".to_string())?,
                     );
                 }
+                "--max-conns" => {
+                    opts.max_connections = take("--max-conns")?
+                        .parse()
+                        .map_err(|_| "--max-conns must be an integer".to_string())?;
+                }
+                "--outq-mb" => {
+                    let mb: usize = take("--outq-mb")?
+                        .parse()
+                        .map_err(|_| "--outq-mb must be an integer".to_string())?;
+                    opts.outq_bytes = mb << 20;
+                }
+                "--max-pipeline" => {
+                    opts.max_pipeline = take("--max-pipeline")?
+                        .parse()
+                        .map_err(|_| "--max-pipeline must be an integer".to_string())?;
+                }
                 "-h" | "--help" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -89,13 +111,14 @@ fn main() -> ExitCode {
 
     install_signal_handlers();
     eprintln!(
-        "pitchforkd: listening on {endpoint} ({} workers, queue {}, cache {} MiB)",
+        "pitchforkd: listening on {endpoint} ({} workers, queue {}, cache {} MiB, {} conns)",
         config.workers,
         config.queue_capacity,
-        config.cache_bytes >> 20
+        config.cache_bytes >> 20,
+        opts.max_connections
     );
     let service = Arc::new(Service::new(config));
-    match serve(service, &endpoint) {
+    match serve_with(service, &endpoint, &opts) {
         Ok(()) => {
             eprintln!("pitchforkd: shut down cleanly");
             ExitCode::SUCCESS

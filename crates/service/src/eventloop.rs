@@ -1,0 +1,751 @@
+//! The readiness-driven server core: one thread, many connections,
+//! zero blocking syscalls on the request path.
+//!
+//! ```text
+//!                  ┌──────────────────────────────────────────────┐
+//!                  │                 event loop                   │
+//!   listener ──▶ accept                                           │
+//!                  │   readable conns ──▶ FrameReader ──▶ pending │
+//!                  │   pending ──▶ pump ──┬─▶ fast reply (inline) │
+//!                  │                      └─▶ dispatch batch      │
+//!                  │   FrameWriter ◀── replies ◀── completions    │
+//!                  └───────▲──────────────────────────┬───────────┘
+//!                          │ wakeup pipe              │ submit_batch
+//!                  ┌───────┴──────────────────────────▼───────────┐
+//!                  │        dispatch workers (TaskQueue)          │
+//!                  │   Service::handle_local — compile inline     │
+//!                  └──────────────────────────────────────────────┘
+//! ```
+//!
+//! Every iteration `poll(2)`s the listener, the wakeup pipe, and every
+//! connection; readable connections feed a buffering [`FrameReader`],
+//! complete frames queue per-connection as *pending* work, and a pump
+//! either answers them inline ([`Service::handle_cached`] — control
+//! ops and cache hits) or collects them into one **dispatch batch**
+//! submitted to the worker queue under a single lock. Workers push
+//! completions and write one coalesced byte into the wakeup pipe, so a
+//! slow compile never blocks the loop and a cache hit on any
+//! connection is answered in the iteration it arrives.
+//!
+//! **Ordering.** Tagged requests (protocol v2) may be answered out of
+//! order — the tag is the correlation. An untagged request is a full
+//! barrier on its connection: it is dispatched only when nothing else
+//! is in flight and blocks later frames until answered, which
+//! preserves the exact serial request→response ordering v1 clients
+//! assume.
+//!
+//! **Backpressure.** Reads pause while a connection's pending frames
+//! or output backlog are over budget; a connection whose output queue
+//! overflows (a client that pipelines but never reads) is sealed with
+//! a final `overloaded` frame and closed once that frame drains.
+
+use crate::error::ServiceError;
+use crate::json::Json;
+use crate::poll::{poll_fds, wake_pipe, PollFd, Waker, POLLIN, POLLOUT};
+use crate::protocol::{
+    attach_tag, attach_tag_rendered, decode_frame, error_response, parse_request, request_tag,
+    write_frame, FrameReader, FrameWriter, Request, MAX_FRAME,
+};
+use crate::server::StopFlag;
+use crate::service::{FastReply, Service};
+use crate::stats::Stats;
+use fpir_pool::{Task, TaskQueue};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long the loop sleeps in `poll` when nothing is ready. Purely a
+/// stop-flag re-check cadence: readiness and wakeups cut it short.
+const POLL_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// How long a stopping server waits for in-flight work and unflushed
+/// responses before giving up on stragglers.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// Tunables for one serve loop — [`Default`] matches the daemon.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Most concurrent connections; extras get an `overloaded` frame.
+    pub max_connections: usize,
+    /// Per-connection output-queue byte budget; a client that exceeds
+    /// it (pipelining without reading) is closed with a final
+    /// `overloaded` frame.
+    pub outq_bytes: usize,
+    /// Most parsed-but-unanswered frames per connection; reads pause at
+    /// the cap (backpressure, not an error).
+    pub max_pipeline: usize,
+    /// Dispatch worker threads (0 = derive from the service config).
+    pub dispatch_workers: usize,
+    /// Dispatch queue bound; ready requests past it are shed with
+    /// `overloaded` responses (0 = default).
+    pub dispatch_queue: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            max_connections: crate::server::MAX_CONNECTIONS,
+            outq_bytes: 8 << 20,
+            max_pipeline: 128,
+            dispatch_workers: 0,
+            dispatch_queue: 0,
+        }
+    }
+}
+
+/// A bound, non-blocking listening socket.
+pub(crate) enum Listener {
+    /// Unix-domain listener plus the path to unlink on shutdown.
+    Unix(UnixListener, PathBuf),
+    /// TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn fd(&self) -> RawFd {
+        match self {
+            Listener::Unix(l, _) => l.as_raw_fd(),
+            Listener::Tcp(l) => l.as_raw_fd(),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+}
+
+/// One accepted connection's socket.
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn fd(&self) -> RawFd {
+        match self {
+            Stream::Unix(s) => s.as_raw_fd(),
+            Stream::Tcp(s) => s.as_raw_fd(),
+        }
+    }
+
+    fn set_nonblocking(&self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_nonblocking(true),
+            Stream::Tcp(s) => s.set_nonblocking(true),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Largest request or response the hot memo will hold (per entry).
+const HOT_MAX_BYTES: usize = 64 * 1024;
+/// Entry cap for the hot memo; crossing it clears the map wholesale
+/// (cheap, rare, and self-correcting — the working set refills in one
+/// round of traffic).
+const HOT_MAX_ENTRIES: usize = 2048;
+
+/// A memo of raw compile-request bytes → the exact rendered response,
+/// shared by every connection on one loop.
+///
+/// Compilation is deterministic and the rule sets are fixed for the
+/// life of the service, so byte-identical compile requests (tag
+/// included — the tag is part of the key and of the stored body) get
+/// byte-identical responses. A memo hit skips the JSON parse, the
+/// expression parse, and the cache-key construction — the entire
+/// per-request CPU cost of a warm compile — leaving a hash lookup and
+/// a buffer clone. Entries are seeded only from artifact-cache hits,
+/// so the stored body is exactly what [`Service::handle_cached`] would
+/// have produced.
+struct HotCache {
+    map: HashMap<Vec<u8>, HotEntry>,
+}
+
+struct HotEntry {
+    body: String,
+    untagged: bool,
+}
+
+impl HotCache {
+    fn new() -> HotCache {
+        HotCache { map: HashMap::new() }
+    }
+
+    fn get(&self, raw: &[u8]) -> Option<&HotEntry> {
+        self.map.get(raw)
+    }
+
+    fn insert(&mut self, raw: Vec<u8>, body: String, untagged: bool) {
+        if body.len() > HOT_MAX_BYTES {
+            return;
+        }
+        if self.map.len() >= HOT_MAX_ENTRIES {
+            self.map.clear();
+        }
+        self.map.insert(raw, HotEntry { body, untagged });
+    }
+}
+
+/// What one pending frame still needs.
+enum Work {
+    /// A hot-memo hit: the finished response body (tag already
+    /// embedded) and the arrival instant for the latency ring.
+    Hot(String, Instant),
+    /// A decoded request, or the transport-level error to answer with.
+    Parsed(Result<Request, ServiceError>),
+}
+
+/// One frame waiting its turn on a connection.
+struct PendingFrame {
+    /// No `tag` member: v1 serial ordering applies (full barrier).
+    untagged: bool,
+    tag: Option<Json>,
+    work: Work,
+    /// Close (drain) the connection after answering — set for framing
+    /// errors, where the byte stream can no longer be trusted.
+    close_after: bool,
+    /// The frame's raw bytes, kept for compile requests so a
+    /// cache-hit response can seed the hot memo.
+    raw: Option<Vec<u8>>,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: Stream,
+    reader: FrameReader,
+    writer: FrameWriter,
+    /// Parsed frames not yet answered or dispatched, in arrival order.
+    pending: VecDeque<PendingFrame>,
+    /// Frames dispatched to workers and not yet completed.
+    inflight: usize,
+    /// An untagged (v1) request is in flight: nothing later may
+    /// dispatch until it completes (strict serial ordering).
+    serial_block: bool,
+    /// Stop reading; close once every response has drained.
+    draining: bool,
+    /// Output overflow: late completions are discarded, only the
+    /// sealed `overloaded` frame goes out.
+    poisoned: bool,
+    /// The socket died; tear down without flushing.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: Stream, opts: &ServeOptions) -> Conn {
+        Conn {
+            stream,
+            reader: FrameReader::new(),
+            writer: FrameWriter::new(opts.outq_bytes),
+            pending: VecDeque::new(),
+            inflight: 0,
+            serial_block: false,
+            draining: false,
+            poisoned: false,
+            dead: false,
+        }
+    }
+
+    fn wants_read(&self, opts: &ServeOptions) -> bool {
+        !self.draining
+            && !self.dead
+            && self.pending.len() < opts.max_pipeline
+            && self.writer.queued_bytes() < opts.outq_bytes / 2
+    }
+
+    /// Nothing queued, in flight, or unflushed.
+    fn idle(&self) -> bool {
+        self.writer.is_empty() && self.inflight == 0 && self.pending.is_empty()
+    }
+
+    fn should_close(&self) -> bool {
+        self.dead || (self.draining && self.idle())
+    }
+
+    /// Queue one transport-level error reply, optionally fatal to the
+    /// connection's framing.
+    fn ingest_error(&mut self, e: ServiceError, fatal: bool) {
+        self.pending.push_back(PendingFrame {
+            untagged: true,
+            tag: None,
+            work: Work::Parsed(Err(e)),
+            close_after: fatal,
+            raw: None,
+        });
+        if fatal {
+            self.draining = true;
+        }
+    }
+
+    /// Turn one arrived frame's raw bytes into pending work: a hot-memo
+    /// hit carries its finished response, anything else gets decoded
+    /// (tag errors become an inline error reply; the framing itself is
+    /// still intact, while undecodable bytes are fatal).
+    fn ingest(&mut self, raw: Vec<u8>, hot: &HotCache) {
+        if let Some(entry) = hot.get(&raw) {
+            self.pending.push_back(PendingFrame {
+                untagged: entry.untagged,
+                tag: None,
+                work: Work::Hot(entry.body.clone(), Instant::now()),
+                close_after: false,
+                raw: None,
+            });
+            return;
+        }
+        let frame = match decode_frame(raw.clone()) {
+            Ok(frame) => frame,
+            Err(e) => return self.ingest_error(ServiceError::BadRequest(e.to_string()), true),
+        };
+        match request_tag(&frame) {
+            Ok(tag) => {
+                let work = parse_request(&frame);
+                let memoizable =
+                    matches!(&work, Ok(Request::Compile(_))) && raw.len() <= HOT_MAX_BYTES;
+                self.pending.push_back(PendingFrame {
+                    untagged: tag.is_none(),
+                    tag,
+                    work: Work::Parsed(work),
+                    close_after: false,
+                    raw: memoizable.then_some(raw),
+                });
+            }
+            Err(e) => self.ingest_error(e, false),
+        }
+    }
+
+    /// Move complete frames from the reader's buffer into `pending`, up
+    /// to the pipeline cap. A malformed frame queues a final error
+    /// reply and puts the connection into draining (the stream can no
+    /// longer be framed).
+    fn drain_buffered(&mut self, opts: &ServeOptions, hot: &HotCache) -> bool {
+        let mut any = false;
+        while self.pending.len() < opts.max_pipeline && !self.draining {
+            match self.reader.buffered_frame_raw() {
+                Ok(Some(raw)) => {
+                    self.ingest(raw, hot);
+                    any = true;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.ingest_error(ServiceError::BadRequest(e.to_string()), true);
+                    any = true;
+                }
+            }
+        }
+        any
+    }
+
+    /// Pull whatever the readable socket has, decoding as we go.
+    fn fill(&mut self, opts: &ServeOptions, hot: &HotCache) {
+        loop {
+            self.drain_buffered(opts, hot);
+            if self.pending.len() >= opts.max_pipeline || self.draining {
+                return;
+            }
+            match self.reader.fill_from(&mut self.stream) {
+                Ok(0) => {
+                    // Peer closed its write half: answer what already
+                    // arrived, then close.
+                    self.draining = true;
+                    return;
+                }
+                Ok(n) => {
+                    // A short read drained the socket buffer: decode
+                    // what arrived and skip the read that would return
+                    // WouldBlock — level-triggered poll re-arms if more
+                    // bytes land in the meantime.
+                    if n < crate::protocol::FILL_CHUNK {
+                        self.drain_buffered(opts, hot);
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Queue one response, echoing the tag. Overflow seals the
+    /// connection with a final untagged `overloaded` frame.
+    fn queue_reply(&mut self, reply: FastReply, tag: Option<&Json>) {
+        if self.poisoned || self.dead {
+            return;
+        }
+        let queued = match reply {
+            FastReply::Raw(mut body) => {
+                if let Some(t) = tag {
+                    attach_tag_rendered(&mut body, t);
+                }
+                self.writer.queue_rendered(body)
+            }
+            FastReply::Json(mut v) => {
+                if let Some(t) = tag {
+                    attach_tag(&mut v, t);
+                }
+                let body = v.render();
+                if body.len() > MAX_FRAME {
+                    // An oversized response (a huge pipeline output)
+                    // must not become a malformed frame; substitute a
+                    // structured error.
+                    let e =
+                        ServiceError::Internal("response exceeds the 16 MiB frame limit".into());
+                    let mut err = error_response(&e);
+                    if let Some(t) = tag {
+                        attach_tag(&mut err, t);
+                    }
+                    self.writer.queue_rendered(err.render())
+                } else {
+                    self.writer.queue_rendered(body)
+                }
+            }
+        };
+        if queued.is_err() {
+            self.poisoned = true;
+            self.draining = true;
+            self.pending.clear();
+            self.writer.seal(&error_response(&ServiceError::Overloaded));
+        }
+    }
+
+    /// Push queued response bytes to the socket (non-blocking).
+    fn flush(&mut self) {
+        if self.dead || self.writer.is_empty() {
+            return;
+        }
+        if self.writer.write_some(&mut self.stream).is_err() {
+            self.dead = true;
+        }
+    }
+}
+
+/// One ready request bound for a dispatch worker.
+struct DispatchItem {
+    conn: u64,
+    tag: Option<Json>,
+    untagged: bool,
+    req: Request,
+}
+
+/// A finished dispatched request on its way back to the loop.
+struct Completion {
+    conn: u64,
+    tag: Option<Json>,
+    untagged: bool,
+    reply: Json,
+}
+
+/// What the loop and the dispatch workers share.
+struct DispatchShared {
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+/// Answer and dispatch everything answerable on one connection. Ready
+/// requests that need a worker go into `batch`; inline-answerable ones
+/// are queued on the writer immediately.
+fn pump(
+    id: u64,
+    conn: &mut Conn,
+    service: &Arc<Service>,
+    stop: &StopFlag,
+    opts: &ServeOptions,
+    hot: &mut HotCache,
+    batch: &mut Vec<DispatchItem>,
+) {
+    loop {
+        let Some(front) = conn.pending.front() else {
+            // Pending drained; frames may still sit undecoded in the
+            // reader's buffer from a capped earlier read.
+            if conn.drain_buffered(opts, hot) {
+                continue;
+            }
+            return;
+        };
+        if conn.serial_block {
+            return;
+        }
+        let untagged = front.untagged;
+        if untagged && conn.inflight > 0 {
+            return;
+        }
+        let f = conn.pending.pop_front().expect("front exists");
+        match f.work {
+            Work::Hot(body, arrived) => {
+                // Same accounting as the handle_cached hit this entry
+                // was seeded from.
+                let stats = service.stats();
+                Stats::bump(&stats.requests);
+                Stats::bump(&stats.cache_hits);
+                conn.queue_reply(FastReply::Raw(body), None);
+                stats.record_latency_us(u64::try_from(arrived.elapsed().as_micros()).unwrap_or(0));
+            }
+            Work::Parsed(Err(e)) => {
+                // Transport-level rejects (unparseable request or tag):
+                // answered inline, not counted as service traffic —
+                // same as the v1 per-connection loop.
+                conn.queue_reply(FastReply::Json(error_response(&e)), f.tag.as_ref());
+                if f.close_after {
+                    conn.draining = true;
+                    conn.pending.clear();
+                    return;
+                }
+            }
+            Work::Parsed(Ok(req)) => {
+                if matches!(req, Request::Shutdown) {
+                    let reply = service.handle(&req);
+                    conn.queue_reply(FastReply::Json(reply), f.tag.as_ref());
+                    stop.request();
+                    continue;
+                }
+                match service.handle_cached(&req) {
+                    Some(FastReply::Raw(mut body)) => {
+                        // A compile served from the artifact cache:
+                        // splice the tag, then memoize the finished
+                        // bytes under the frame's raw bytes.
+                        if let Some(t) = &f.tag {
+                            attach_tag_rendered(&mut body, t);
+                        }
+                        if let Some(raw) = f.raw {
+                            hot.insert(raw, body.clone(), untagged);
+                        }
+                        conn.queue_reply(FastReply::Raw(body), None);
+                    }
+                    Some(fast) => conn.queue_reply(fast, f.tag.as_ref()),
+                    None => {
+                        conn.inflight += 1;
+                        if untagged {
+                            conn.serial_block = true;
+                        }
+                        batch.push(DispatchItem { conn: id, tag: f.tag, untagged, req });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run the readiness loop until the stop flag trips, then drain.
+pub(crate) fn run(
+    service: &Arc<Service>,
+    listener: &Listener,
+    stop: &StopFlag,
+    opts: &ServeOptions,
+) -> io::Result<()> {
+    let (mut wake_rx, waker) = wake_pipe()?;
+    let shared = Arc::new(DispatchShared { completions: Mutex::new(Vec::new()), waker });
+    let workers = match opts.dispatch_workers {
+        0 => service.config().workers.max(2),
+        n => n,
+    };
+    let queue_bound = match opts.dispatch_queue {
+        0 => (opts.max_connections * 2).max(256),
+        n => n,
+    };
+    let dispatch = TaskQueue::new(workers, queue_bound);
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut hot = HotCache::new();
+    let mut next_id: u64 = 0;
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        // ── stop / drain ────────────────────────────────────────────
+        let stopping = stop.stopping();
+        if stopping {
+            if drain_deadline.is_none() {
+                drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+                for c in conns.values_mut() {
+                    c.draining = true;
+                }
+            }
+            let expired = drain_deadline.is_some_and(|d| Instant::now() >= d);
+            if conns.is_empty() || expired {
+                break;
+            }
+        }
+
+        // ── build the poll set ──────────────────────────────────────
+        let mut fds = Vec::with_capacity(2 + conns.len());
+        fds.push(PollFd::new(wake_rx.fd(), POLLIN));
+        let listener_idx = if stopping {
+            None
+        } else {
+            fds.push(PollFd::new(listener.fd(), POLLIN));
+            Some(fds.len() - 1)
+        };
+        let base = fds.len();
+        let order: Vec<u64> = conns.keys().copied().collect();
+        for id in &order {
+            let c = &conns[id];
+            let mut interest = 0i16;
+            if c.wants_read(opts) {
+                interest |= POLLIN;
+            }
+            if !c.writer.is_empty() {
+                interest |= POLLOUT;
+            }
+            fds.push(PollFd::new(c.stream.fd(), interest));
+        }
+
+        poll_fds(&mut fds, POLL_TIMEOUT)?;
+
+        // ── drain completions (every iteration: the waker's pending
+        // flag makes a missed byte harmless) ────────────────────────
+        shared.waker.reset();
+        wake_rx.drain();
+        let done: Vec<Completion> = std::mem::take(&mut *shared.completions.lock().expect("lock"));
+        for c in done {
+            if let Some(conn) = conns.get_mut(&c.conn) {
+                conn.inflight -= 1;
+                if c.untagged {
+                    conn.serial_block = false;
+                }
+                conn.queue_reply(FastReply::Json(c.reply), c.tag.as_ref());
+            }
+        }
+
+        // ── accept ──────────────────────────────────────────────────
+        if let Some(i) = listener_idx {
+            if fds[i].readable() {
+                loop {
+                    match listener.accept() {
+                        Ok(mut stream) => {
+                            if conns.len() >= opts.max_connections
+                                || stream.set_nonblocking().is_err()
+                            {
+                                // Refuse politely; the frame fits in a
+                                // fresh socket buffer without blocking.
+                                let _ = write_frame(
+                                    &mut stream,
+                                    &error_response(&ServiceError::Overloaded),
+                                );
+                                continue;
+                            }
+                            conns.insert(next_id, Conn::new(stream, opts));
+                            next_id += 1;
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) => {
+                            eprintln!("pitchforkd: accept failed: {e}");
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // ── read ────────────────────────────────────────────────────
+        for (i, id) in order.iter().enumerate() {
+            let pf = &fds[base + i];
+            let conn = conns.get_mut(id).expect("registered");
+            if pf.failed() {
+                conn.dead = true;
+                continue;
+            }
+            if pf.readable() && conn.wants_read(opts) {
+                conn.fill(opts, &hot);
+            }
+        }
+
+        // ── pump: inline replies + collect the dispatch batch ───────
+        let mut batch: Vec<DispatchItem> = Vec::new();
+        for (&id, conn) in conns.iter_mut() {
+            if !conn.dead {
+                pump(id, conn, service, stop, opts, &mut hot, &mut batch);
+            }
+        }
+
+        // ── dispatch the batch under one queue lock ─────────────────
+        if !batch.is_empty() {
+            Stats::record_max(&service.stats().dispatch_batch_max, batch.len() as u64);
+            let meta: Vec<(u64, Option<Json>, bool)> =
+                batch.iter().map(|it| (it.conn, it.tag.clone(), it.untagged)).collect();
+            let tasks: Vec<Task> = batch
+                .into_iter()
+                .map(|it| {
+                    let service = Arc::clone(service);
+                    let shared = Arc::clone(&shared);
+                    Box::new(move || {
+                        let reply = service.handle_local(&it.req);
+                        shared.completions.lock().expect("completion lock").push(Completion {
+                            conn: it.conn,
+                            tag: it.tag,
+                            untagged: it.untagged,
+                            reply,
+                        });
+                        shared.waker.wake();
+                    }) as Task
+                })
+                .collect();
+            let admitted = dispatch.submit_batch(tasks);
+            // Whatever the bounded queue refused is shed right here,
+            // with the same accounting `Service::handle` would use.
+            for (conn_id, tag, untagged) in meta.into_iter().skip(admitted) {
+                if let Some(conn) = conns.get_mut(&conn_id) {
+                    conn.inflight -= 1;
+                    if untagged {
+                        conn.serial_block = false;
+                    }
+                    Stats::bump(&service.stats().requests);
+                    Stats::bump(&service.stats().sheds);
+                    conn.queue_reply(
+                        FastReply::Json(error_response(&ServiceError::Overloaded)),
+                        tag.as_ref(),
+                    );
+                }
+            }
+        }
+
+        // ── write: opportunistic flush of everything queued ─────────
+        for conn in conns.values_mut() {
+            conn.flush();
+        }
+
+        // ── close finished connections, refresh gauges ──────────────
+        conns.retain(|_, c| !c.should_close());
+        let stats = service.stats();
+        Stats::set(&stats.open_connections, conns.len() as u64);
+        Stats::set(&stats.inflight_frames, conns.values().map(|c| c.inflight as u64).sum());
+        Stats::set(&stats.dispatch_queue_depth, dispatch.depth() as u64);
+    }
+
+    // Late completions after the drain window are dropped with the
+    // queue (its Drop runs admitted tasks to completion first).
+    drop(dispatch);
+    Stats::set(&service.stats().open_connections, 0);
+    Stats::set(&service.stats().inflight_frames, 0);
+    Stats::set(&service.stats().dispatch_queue_depth, 0);
+    Ok(())
+}

@@ -28,7 +28,11 @@
 //! ## Wire format
 //!
 //! One request or response per frame; a frame is a 4-byte big-endian
-//! byte length followed by that many bytes of UTF-8 JSON. See
+//! byte length followed by that many bytes of UTF-8 JSON. Protocol v2
+//! adds an optional `tag` echoed in the response, letting one
+//! connection keep many frames in flight and receive responses out of
+//! order ([`eventloop`] answers cache hits inline while compiles run on
+//! workers). Untagged v1 traffic keeps its strict serial ordering. See
 //! [`protocol`] for the request vocabulary and `docs/service.md` for
 //! the full protocol reference.
 
@@ -37,8 +41,10 @@
 
 pub mod cache;
 pub mod error;
+pub mod eventloop;
 pub mod json;
 pub mod key;
+pub mod poll;
 pub mod protocol;
 pub mod server;
 pub mod service;
@@ -46,11 +52,15 @@ pub mod stats;
 
 pub use cache::{Cache, CacheError, CacheStats, Source};
 pub use error::ServiceError;
+pub use eventloop::ServeOptions;
 pub use json::Json;
 pub use key::CacheKey;
-pub use protocol::{parse_request, read_frame, write_frame, CompileSpec, FrameReader, Request};
-pub use server::{
-    install_signal_handlers, request_stop, reset_signal_stop, serve, Client, Endpoint,
+pub use protocol::{
+    attach_tag, attach_tag_rendered, parse_request, read_frame, request_tag, write_frame,
+    CompileSpec, FrameReader, FrameWriter, Request, StatsFormat, WriteOverflow,
 };
-pub use service::{Service, ServiceConfig};
+pub use server::{
+    install_signal_handlers, request_stop, reset_signal_stop, serve, serve_with, Client, Endpoint,
+};
+pub use service::{FastReply, Service, ServiceConfig};
 pub use stats::{LatencySummary, Stats};

@@ -17,11 +17,18 @@ use crate::json::{parse, Json};
 use fpir::types::ScalarType;
 use fpir::Isa;
 use fpir_trs::rewrite::EngineConfig;
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 
 /// Largest accepted frame (16 MiB) — a denial-of-service guard, far
 /// above any legitimate request or response.
 pub const MAX_FRAME: usize = 16 << 20;
+
+/// Bytes one [`FrameReader::fill_from`] call asks the OS for. A read
+/// shorter than this almost always means the socket buffer is empty —
+/// non-blocking callers can skip the follow-up read that would return
+/// `WouldBlock` and let level-triggered readiness re-arm instead.
+pub const FILL_CHUNK: usize = 16384;
 
 /// Write one value as a frame.
 ///
@@ -74,6 +81,17 @@ fn decode_body(body: Vec<u8>) -> io::Result<Json> {
     parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
+/// Decode a frame body drained with
+/// [`FrameReader::buffered_frame_raw`].
+///
+/// # Errors
+///
+/// `InvalidData` on non-UTF-8 bytes or malformed JSON — the same
+/// errors (and messages) the decoding readers produce.
+pub fn decode_frame(body: Vec<u8>) -> io::Result<Json> {
+    decode_body(body)
+}
+
 /// An incremental, timeout-safe frame decoder.
 ///
 /// Unlike [`read_frame`], this never loses bytes when a read fails:
@@ -105,23 +123,74 @@ impl FrameReader {
     /// non-UTF-8 bytes, or malformed JSON.
     pub fn next_frame(&mut self, r: &mut impl Read) -> io::Result<Option<Json>> {
         loop {
-            if let Some(body) = self.take_buffered_frame()? {
-                return decode_body(body).map(Some);
+            if let Some(frame) = self.buffered_frame()? {
+                return Ok(Some(frame));
             }
-            let mut chunk = [0u8; 8192];
-            match r.read(&mut chunk) {
-                Ok(0) => {
+            match self.fill_from(r)? {
+                0 => {
                     return if self.buf.is_empty() {
                         Ok(None)
                     } else {
                         Err(io::Error::new(io::ErrorKind::UnexpectedEof, "stream ended mid-frame"))
                     };
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Append one `read` call's worth of bytes to the buffer without
+    /// decoding anything. Returns the byte count (0 = end of stream).
+    /// The event loop uses this to pull whatever a readable socket has,
+    /// then decodes with [`buffered_frame`](Self::buffered_frame) until
+    /// its per-connection pipeline cap is reached.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from `r` (`Interrupted` is retried internally).
+    pub fn fill_from(&mut self, r: &mut impl Read) -> io::Result<usize> {
+        let mut chunk = [0u8; FILL_CHUNK];
+        loop {
+            match r.read(&mut chunk) {
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(n);
+                }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Decode one complete frame already in the buffer, if any — never
+    /// reads from a stream.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on an oversized length, non-UTF-8 bytes, or
+    /// malformed JSON.
+    pub fn buffered_frame(&mut self) -> io::Result<Option<Json>> {
+        match self.take_buffered_frame()? {
+            Some(body) => decode_body(body).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Drain one complete frame's raw body bytes without decoding the
+    /// JSON — the event loop uses this to look frames up in its
+    /// hot-request memo before paying for a parse. Decode the result
+    /// with [`decode_frame`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on an oversized length.
+    pub fn buffered_frame_raw(&mut self) -> io::Result<Option<Vec<u8>>> {
+        self.take_buffered_frame()
+    }
+
+    /// Bytes buffered but not yet decoded (partial input).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
     }
 
     /// If the buffer holds a complete `4 + len` frame, drain and return
@@ -142,6 +211,206 @@ impl FrameReader {
         frame.drain(..4);
         Ok(Some(frame))
     }
+}
+
+/// The per-connection output queue is over its byte budget: the peer
+/// pipelines requests but is not reading responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOverflow;
+
+impl std::fmt::Display for WriteOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("connection output queue over budget")
+    }
+}
+
+impl std::error::Error for WriteOverflow {}
+
+/// The sending counterpart of [`FrameReader`]: an incremental frame
+/// encoder with a bounded backlog and partial-write tracking.
+///
+/// Responses are queued as encoded frames and pushed to a non-blocking
+/// socket with [`write_some`](Self::write_some), which writes as much
+/// as the kernel accepts and keeps its position across `WouldBlock` —
+/// the event loop never blocks in `write` and framing never
+/// desynchronizes on short writes. The backlog is bounded in bytes:
+/// one response is always admitted (a single frame may exceed a small
+/// budget), but queueing *behind* unread responses past the budget
+/// returns [`WriteOverflow`], which the server converts into a final
+/// `overloaded` frame via [`seal`](Self::seal). A client that pipelines
+/// requests without ever reading therefore cannot grow server memory
+/// without bound.
+#[derive(Debug)]
+pub struct FrameWriter {
+    frames: VecDeque<Vec<u8>>,
+    front_written: usize,
+    queued: usize,
+    budget: usize,
+    sealed: bool,
+}
+
+impl FrameWriter {
+    /// An empty writer whose backlog is bounded at `budget` bytes.
+    pub fn new(budget: usize) -> FrameWriter {
+        FrameWriter {
+            frames: VecDeque::new(),
+            front_written: 0,
+            queued: 0,
+            budget: budget.max(1),
+            sealed: false,
+        }
+    }
+
+    /// Unwritten bytes currently queued.
+    pub fn queued_bytes(&self) -> usize {
+        self.queued
+    }
+
+    /// Nothing left to write.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Whole frames queued (the partially-written front counts).
+    pub fn queued_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// A [`seal`](Self::seal) has been applied: no further frames are
+    /// accepted and the connection should close once drained.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Queue one value as a frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WriteOverflow`] if the backlog is over budget or the writer is
+    /// sealed.
+    pub fn queue(&mut self, v: &Json) -> Result<(), WriteOverflow> {
+        self.queue_rendered(v.render())
+    }
+
+    /// Queue one already-rendered JSON body as a frame — the cache-hit
+    /// fast path renders a response once at insert time and replays the
+    /// bytes here without re-rendering.
+    ///
+    /// # Errors
+    ///
+    /// [`WriteOverflow`] as for [`queue`](Self::queue). A body over
+    /// [`MAX_FRAME`] is also refused (the caller substitutes an error
+    /// response; it must never be split into a malformed frame).
+    pub fn queue_rendered(&mut self, body: String) -> Result<(), WriteOverflow> {
+        if self.sealed || body.len() > MAX_FRAME {
+            return Err(WriteOverflow);
+        }
+        if !self.frames.is_empty() && self.queued + 4 + body.len() > self.budget {
+            return Err(WriteOverflow);
+        }
+        let mut frame = Vec::with_capacity(4 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        frame.extend_from_slice(body.as_bytes());
+        self.queued += frame.len();
+        self.frames.push_back(frame);
+        Ok(())
+    }
+
+    /// Replace every frame not yet on the wire with a final `v` frame
+    /// and refuse all further queueing. A partially-written front frame
+    /// is kept (truncating it would corrupt the peer's framing); whole
+    /// undelivered frames are dropped.
+    pub fn seal(&mut self, v: &Json) {
+        if self.front_written == 0 {
+            self.frames.clear();
+        } else {
+            self.frames.truncate(1);
+        }
+        self.queued =
+            self.frames.iter().map(Vec::len).sum::<usize>().saturating_sub(self.front_written);
+        let body = v.render();
+        debug_assert!(body.len() <= MAX_FRAME);
+        let mut frame = Vec::with_capacity(4 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        frame.extend_from_slice(body.as_bytes());
+        self.queued += frame.len();
+        self.frames.push_back(frame);
+        self.sealed = true;
+    }
+
+    /// Write as much of the backlog as the sink accepts right now.
+    /// `WouldBlock` stops the pass (not an error); the position is kept
+    /// and the next call resumes mid-frame. Returns bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors from `w` (the caller drops the connection).
+    pub fn write_some(&mut self, w: &mut impl Write) -> io::Result<usize> {
+        let mut total = 0;
+        loop {
+            let (len, res) = match self.frames.front() {
+                None => break,
+                Some(front) => (front.len(), w.write(&front[self.front_written..])),
+            };
+            match res {
+                Ok(0) => {
+                    return Err(io::Error::new(io::ErrorKind::WriteZero, "peer accepted 0 bytes"))
+                }
+                Ok(n) => {
+                    self.front_written += n;
+                    self.queued -= n;
+                    total += n;
+                    if self.front_written == len {
+                        self.frames.pop_front();
+                        self.front_written = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// Largest accepted `tag` string. The tag is echoed verbatim into the
+/// response, so it is bounded like any other attacker-controlled field.
+pub const MAX_TAG_STRING: usize = 128;
+
+/// Extract the optional protocol-v2 `tag` from a request frame.
+/// `Ok(None)` for untagged (v1) requests.
+///
+/// # Errors
+///
+/// [`ServiceError::BadRequest`] for a tag that is neither an integer
+/// nor a string, or a string over [`MAX_TAG_STRING`] bytes.
+pub fn request_tag(frame: &Json) -> Result<Option<Json>, ServiceError> {
+    match frame.get("tag") {
+        None | Some(Json::Null) => Ok(None),
+        Some(t @ Json::Int(_)) => Ok(Some(t.clone())),
+        Some(Json::Str(s)) if s.len() <= MAX_TAG_STRING => Ok(Some(Json::str(s.clone()))),
+        Some(Json::Str(_)) => Err(bad(format!("`tag` string exceeds {MAX_TAG_STRING} bytes"))),
+        Some(_) => Err(bad("`tag` must be an integer or a string")),
+    }
+}
+
+/// Echo `tag` as the final member of a response object.
+pub fn attach_tag(resp: &mut Json, tag: &Json) {
+    if let Json::Object(members) = resp {
+        members.push(("tag".into(), tag.clone()));
+    }
+}
+
+/// Echo `tag` into an already-rendered response object by splicing
+/// `,"tag":<tag>` before the closing brace — the cache-hit fast path
+/// tags its pre-rendered bytes without reparsing them.
+pub fn attach_tag_rendered(body: &mut String, tag: &Json) {
+    debug_assert!(body.starts_with('{') && body.ends_with('}'), "rendered response object");
+    body.pop();
+    body.push_str(",\"tag\":");
+    body.push_str(&tag.render());
+    body.push('}');
 }
 
 /// Everything that identifies one compilation: the compile half of
@@ -173,13 +442,27 @@ pub struct ImageSpec {
     pub rows: Vec<Vec<i128>>,
 }
 
+/// How a `stats` response should be rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsFormat {
+    /// The structured JSON members (the default).
+    #[default]
+    Json,
+    /// Prometheus-style plaintext `name value` lines, carried in the
+    /// response's `text` member.
+    Text,
+}
+
 /// A parsed, validated request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Liveness check.
     Ping,
     /// Server counters and latency percentiles.
-    Stats,
+    Stats {
+        /// Requested rendering (`"format":"text"` for the scrape form).
+        format: StatsFormat,
+    },
     /// Graceful shutdown.
     Shutdown,
     /// Compile an expression to a selected program.
@@ -328,7 +611,17 @@ pub fn parse_request(v: &Json) -> Result<Request, ServiceError> {
     let op = v.get("op").and_then(Json::as_str).ok_or_else(|| bad("missing string field `op`"))?;
     match op {
         "ping" => Ok(Request::Ping),
-        "stats" => Ok(Request::Stats),
+        "stats" => {
+            let format = match v.get("format") {
+                None | Some(Json::Null) => StatsFormat::Json,
+                Some(f) => match f.as_str() {
+                    Some("json") => StatsFormat::Json,
+                    Some("text") => StatsFormat::Text,
+                    _ => return Err(bad("`format` must be \"json\" or \"text\"")),
+                },
+            };
+            Ok(Request::Stats { format })
+        }
         "shutdown" => Ok(Request::Shutdown),
         "compile" => Ok(Request::Compile(parse_spec(v)?)),
         "run" => Ok(Request::Run { spec: parse_spec(v)?, inputs: parse_run_inputs(v)? }),
@@ -480,8 +773,158 @@ mod tests {
     #[test]
     fn simple_ops_parse() {
         assert_eq!(req(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
-        assert_eq!(req(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(req(r#"{"op":"stats"}"#).unwrap(), Request::Stats { format: StatsFormat::Json });
+        assert_eq!(
+            req(r#"{"op":"stats","format":"text"}"#).unwrap(),
+            Request::Stats { format: StatsFormat::Text }
+        );
+        assert!(req(r#"{"op":"stats","format":"xml"}"#).is_err());
         assert_eq!(req(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn tags_extract_and_attach() {
+        let f = parse(r#"{"op":"ping","tag":7}"#).unwrap();
+        assert_eq!(request_tag(&f).unwrap(), Some(Json::Int(7)));
+        let f = parse(r#"{"op":"ping","tag":"req-1"}"#).unwrap();
+        assert_eq!(request_tag(&f).unwrap(), Some(Json::str("req-1")));
+        let f = parse(r#"{"op":"ping"}"#).unwrap();
+        assert_eq!(request_tag(&f).unwrap(), None);
+        let f = parse(r#"{"op":"ping","tag":null}"#).unwrap();
+        assert_eq!(request_tag(&f).unwrap(), None);
+        let f = parse(r#"{"op":"ping","tag":[1]}"#).unwrap();
+        assert!(request_tag(&f).is_err());
+        let long = format!(r#"{{"op":"ping","tag":"{}"}}"#, "x".repeat(MAX_TAG_STRING + 1));
+        assert!(request_tag(&parse(&long).unwrap()).is_err());
+
+        // Attaching to a value and splicing into its rendering agree.
+        let mut resp = ok_response(vec![("pong".into(), Json::Bool(true))]);
+        let mut rendered = resp.render();
+        attach_tag(&mut resp, &Json::Int(7));
+        attach_tag_rendered(&mut rendered, &Json::Int(7));
+        assert_eq!(resp.render(), rendered);
+        assert_eq!(resp.get("tag"), Some(&Json::Int(7)));
+    }
+
+    #[test]
+    fn frame_writer_round_trips_through_partial_writes() {
+        /// Accepts at most `cap` bytes per call, interleaving a
+        /// `WouldBlock` before every acceptance.
+        struct ChokedSink {
+            out: Vec<u8>,
+            cap: usize,
+            ready: bool,
+        }
+        impl Write for ChokedSink {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if !self.ready {
+                    self.ready = true;
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+                }
+                self.ready = false;
+                let n = buf.len().min(self.cap);
+                self.out.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let frames: Vec<Json> = vec![
+            parse(r#"{"ok":true,"pong":true}"#).unwrap(),
+            Json::str("x".repeat(100)),
+            parse(r#"{"ok":false,"code":"overloaded"}"#).unwrap(),
+        ];
+        for cap in [1, 3, 7, 64] {
+            let mut w = FrameWriter::new(1 << 20);
+            for f in &frames {
+                w.queue(f).unwrap();
+            }
+            let mut sink = ChokedSink { out: Vec::new(), cap, ready: false };
+            while !w.is_empty() {
+                w.write_some(&mut sink).unwrap();
+            }
+            assert_eq!(w.queued_bytes(), 0);
+            let mut r = io::Cursor::new(sink.out);
+            for f in &frames {
+                assert_eq!(read_frame(&mut r).unwrap().as_ref(), Some(f), "cap={cap}");
+            }
+            assert_eq!(read_frame(&mut r).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn frame_writer_bounds_backlog_but_admits_one_frame() {
+        let mut w = FrameWriter::new(16);
+        // First frame always admitted, even over budget.
+        w.queue(&Json::str("a".repeat(64))).unwrap();
+        // Second refused: backlog over 16 bytes.
+        assert_eq!(w.queue(&Json::Bool(true)), Err(WriteOverflow));
+        // Drain, then small frames fit again.
+        let mut out = Vec::new();
+        w.write_some(&mut out).unwrap();
+        assert!(w.is_empty());
+        w.queue(&Json::Bool(true)).unwrap();
+    }
+
+    #[test]
+    fn seal_drops_undelivered_frames_and_keeps_partial_front() {
+        struct OneByte(Vec<u8>, bool);
+        impl Write for OneByte {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.1 {
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+                }
+                self.1 = true;
+                self.0.push(buf[0]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let a = Json::str("first");
+        let b = Json::str("second-never-delivered");
+        let sealed_with = parse(r#"{"ok":false,"code":"overloaded"}"#).unwrap();
+
+        let mut w = FrameWriter::new(1 << 20);
+        w.queue(&a).unwrap();
+        w.queue(&b).unwrap();
+        // One byte of `a` reaches the wire, then the socket jams.
+        let mut sink = OneByte(Vec::new(), false);
+        w.write_some(&mut sink).unwrap();
+        assert_eq!(sink.0.len(), 1);
+
+        w.seal(&sealed_with);
+        assert!(w.is_sealed());
+        assert_eq!(w.queue(&Json::Null), Err(WriteOverflow), "sealed writers refuse frames");
+        // Finish the stream: the partial front frame completes, `b` is
+        // gone, the seal frame is last.
+        let mut rest = Vec::new();
+        while !w.is_empty() {
+            w.write_some(&mut rest).unwrap();
+        }
+        let mut bytes = sink.0;
+        bytes.extend_from_slice(&rest);
+        let mut r = io::Cursor::new(bytes);
+        assert_eq!(read_frame(&mut r).unwrap(), Some(a));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(sealed_with));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn seal_with_nothing_written_sends_only_the_seal() {
+        let mut w = FrameWriter::new(1 << 20);
+        w.queue(&Json::str("undelivered")).unwrap();
+        let sealed_with = parse(r#"{"ok":false,"code":"overloaded"}"#).unwrap();
+        w.seal(&sealed_with);
+        let mut out = Vec::new();
+        w.write_some(&mut out).unwrap();
+        let mut r = io::Cursor::new(out);
+        assert_eq!(read_frame(&mut r).unwrap(), Some(sealed_with));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
     }
 
     #[test]

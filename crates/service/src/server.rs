@@ -1,29 +1,27 @@
-//! The transport layer of `pitchforkd`: socket accept loop, connection
-//! threads, graceful shutdown.
+//! The transport layer of `pitchforkd`: binding, graceful shutdown,
+//! and the blocking [`Client`].
 //!
-//! The server listens on a Unix socket or a TCP address, spawns one
-//! thread per connection (capped at [`MAX_CONNECTIONS`]), and runs
-//! frames through [`Service::handle`](crate::service::Service::handle).
-//! Shutdown is cooperative and comes from two places — a
+//! The server listens on a Unix socket or a TCP address and runs every
+//! connection on the readiness-driven loop in
+//! [`eventloop`](crate::eventloop) — one thread multiplexing all
+//! sockets with `poll(2)`, dispatching ready requests to a worker pool
+//! in batches. Shutdown is cooperative and comes from two places — a
 //! `{"op":"shutdown"}` frame, which stops only the server that received
 //! it via a per-`serve()` stop flag, or `SIGTERM`/`SIGINT`, which set a
 //! process-wide flag every server also polls. On the way out the server
-//! stops accepting, joins the connection threads (socket read timeouts
-//! plus the buffering [`FrameReader`] keep them responsive without
-//! losing partial frames), and unlinks the Unix socket path.
+//! stops accepting, drains in-flight work and unflushed responses, and
+//! unlinks the Unix socket path.
 
+use crate::eventloop::{self, Listener, ServeOptions};
 use crate::json::Json;
-use crate::protocol::{
-    error_response, parse_request, read_frame, write_frame, FrameReader, Request,
-};
+use crate::protocol::{read_frame, write_frame};
 use crate::service::Service;
-use std::io::{self, Read, Write};
+use std::io::{self};
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Where the server listens.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,14 +42,11 @@ impl std::fmt::Display for Endpoint {
     }
 }
 
-/// How often idle loops re-check the stop flags.
-const POLL: Duration = Duration::from_millis(50);
-
-/// Most connection threads allowed at once per server. Admission
-/// control on the compile queue bounds work, not sockets; this bounds
-/// sockets, so a connection flood (especially on TCP) cannot exhaust
-/// threads or memory. Connections past the cap get an `overloaded`
-/// error frame and are closed.
+/// Default cap on concurrently open connections. Admission control on
+/// the compile queue bounds work, not sockets; this bounds sockets, so
+/// a connection flood (especially on TCP) cannot exhaust fds or
+/// memory. Connections past the cap get an `overloaded` error frame
+/// and are closed. Override via [`ServeOptions::max_connections`].
 pub const MAX_CONNECTIONS: usize = 128;
 
 /// Process-wide stop flag; set only by signals (and [`request_stop`],
@@ -97,7 +92,7 @@ pub fn reset_signal_stop() {
 
 /// One `serve()` call's stop state: its own flag plus the signal flag.
 #[derive(Clone)]
-struct StopFlag(Arc<AtomicBool>);
+pub(crate) struct StopFlag(Arc<AtomicBool>);
 
 impl StopFlag {
     fn new() -> StopFlag {
@@ -105,63 +100,31 @@ impl StopFlag {
     }
 
     /// Stop this server only (what a `shutdown` frame requests).
-    fn request(&self) {
+    pub(crate) fn request(&self) {
         self.0.store(true, Ordering::SeqCst);
     }
 
-    fn stopping(&self) -> bool {
+    pub(crate) fn stopping(&self) -> bool {
         self.0.load(Ordering::SeqCst) || SIGNAL_STOP.load(Ordering::SeqCst)
     }
 }
 
-enum Listener {
-    Unix(UnixListener, PathBuf),
-    Tcp(TcpListener),
-}
-
-enum Conn {
-    Unix(std::os::unix::net::UnixStream),
-    Tcp(std::net::TcpStream),
-}
-
-impl Read for Conn {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        match self {
-            Conn::Unix(s) => s.read(buf),
-            Conn::Tcp(s) => s.read(buf),
-        }
-    }
-}
-
-impl Write for Conn {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        match self {
-            Conn::Unix(s) => s.write(buf),
-            Conn::Tcp(s) => s.write(buf),
-        }
-    }
-    fn flush(&mut self) -> io::Result<()> {
-        match self {
-            Conn::Unix(s) => s.flush(),
-            Conn::Tcp(s) => s.flush(),
-        }
-    }
-}
-
-impl Conn {
-    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
-        match self {
-            Conn::Unix(s) => s.set_read_timeout(d),
-            Conn::Tcp(s) => s.set_read_timeout(d),
-        }
-    }
+/// Run the serve loop on `endpoint` with default [`ServeOptions`] until
+/// a shutdown request or signal. See [`serve_with`].
+///
+/// # Errors
+///
+/// Binding errors and fatal `poll` errors; accept errors are
+/// per-connection and logged to stderr instead of aborting the server.
+pub fn serve(service: Arc<Service>, endpoint: &Endpoint) -> io::Result<()> {
+    serve_with(service, endpoint, &ServeOptions::default())
 }
 
 /// Run the serve loop on `endpoint` until a shutdown request or signal.
 ///
 /// A `shutdown` frame stops only this server; a signal (or
 /// [`request_stop`]) stops every server in the process. Starting with
-/// the signal flag already set returns immediately — call
+/// the signal flag already set drains immediately — call
 /// [`reset_signal_stop`] first to reuse the process after a stop.
 ///
 /// Concurrent daemons on one Unix-socket path are unsupported: the
@@ -171,9 +134,13 @@ impl Conn {
 ///
 /// # Errors
 ///
-/// Binding errors; accept errors are per-connection and logged to
-/// stderr instead of aborting the server.
-pub fn serve(service: Arc<Service>, endpoint: &Endpoint) -> io::Result<()> {
+/// Binding errors and fatal `poll` errors; accept errors are
+/// per-connection and logged to stderr instead of aborting the server.
+pub fn serve_with(
+    service: Arc<Service>,
+    endpoint: &Endpoint,
+    opts: &ServeOptions,
+) -> io::Result<()> {
     let stop = StopFlag::new();
     let listener = match endpoint {
         Endpoint::Unix(path) => {
@@ -195,93 +162,20 @@ pub fn serve(service: Arc<Service>, endpoint: &Endpoint) -> io::Result<()> {
         }
     };
 
-    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    while !stop.stopping() {
-        let conn = match &listener {
-            Listener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
-            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
-        };
-        match conn {
-            Ok(mut conn) => {
-                // Reap finished threads before counting live ones.
-                workers.retain(|h| !h.is_finished());
-                if workers.len() >= MAX_CONNECTIONS {
-                    let err = crate::error::ServiceError::Overloaded;
-                    let _ = write_frame(&mut conn, &error_response(&err));
-                    continue; // drops (closes) the connection
-                }
-                let service = service.clone();
-                let stop = stop.clone();
-                workers.push(std::thread::spawn(move || serve_connection(service, conn, stop)));
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL);
-                // Reap here too so the vec doesn't grow without bound
-                // on long-lived servers.
-                workers.retain(|h| !h.is_finished());
-            }
-            Err(e) => eprintln!("pitchforkd: accept failed: {e}"),
-        }
-    }
-
-    for h in workers {
-        let _ = h.join();
-    }
+    let result = eventloop::run(&service, &listener, &stop, opts);
     if let Listener::Unix(l, path) = listener {
         drop(l);
         let _ = std::fs::remove_file(path);
     }
-    Ok(())
-}
-
-/// One connection: frames in, frames out, until EOF, error, or stop.
-fn serve_connection(service: Arc<Service>, mut conn: Conn, stop: StopFlag) {
-    // The timeout keeps this thread polling the stop flags while the
-    // peer is idle, so shutdown can join it. The FrameReader buffers
-    // partial frames across timed-out reads, so a slow peer can never
-    // desynchronize the stream.
-    let _ = conn.set_read_timeout(Some(POLL));
-    let mut frames = FrameReader::new();
-    loop {
-        let frame = match frames.next_frame(&mut conn) {
-            Ok(Some(v)) => v,
-            Ok(None) => return, // peer closed
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if stop.stopping() {
-                    return;
-                }
-                continue;
-            }
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Malformed frame: answer with a structured error, then
-                // drop the connection (framing may be out of sync).
-                let err = crate::error::ServiceError::BadRequest(e.to_string());
-                let _ = write_frame(&mut conn, &error_response(&err));
-                return;
-            }
-            Err(_) => return,
-        };
-        let response = match parse_request(&frame) {
-            Ok(req) => {
-                let v = service.handle(&req);
-                if req == Request::Shutdown {
-                    let _ = write_frame(&mut conn, &v);
-                    stop.request();
-                    return;
-                }
-                v
-            }
-            Err(e) => error_response(&e),
-        };
-        if write_frame(&mut conn, &response).is_err() {
-            return;
-        }
-    }
+    result
 }
 
 /// A blocking client for the frame protocol.
+///
+/// [`request`](Client::request) is the classic serial call;
+/// [`send`](Client::send) / [`recv`](Client::recv) split the two halves
+/// so a pipelining client can put many tagged frames on the wire before
+/// reading any response.
 #[derive(Debug)]
 pub struct Client {
     conn: ClientConn,
@@ -309,6 +203,32 @@ impl Client {
         Ok(Client { conn })
     }
 
+    /// Send one request frame without waiting for the response.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn send(&mut self, v: &Json) -> io::Result<()> {
+        match &mut self.conn {
+            ClientConn::Unix(s) => write_frame(s, v),
+            ClientConn::Tcp(s) => write_frame(s, v),
+        }
+    }
+
+    /// Read one response frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; `UnexpectedEof` if the server closed without
+    /// answering.
+    pub fn recv(&mut self) -> io::Result<Json> {
+        match &mut self.conn {
+            ClientConn::Unix(s) => read_frame(s),
+            ClientConn::Tcp(s) => read_frame(s),
+        }?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+    }
+
     /// Send one request frame and read one response frame.
     ///
     /// # Errors
@@ -316,17 +236,8 @@ impl Client {
     /// I/O errors; `UnexpectedEof` if the server closed without
     /// answering.
     pub fn request(&mut self, v: &Json) -> io::Result<Json> {
-        match &mut self.conn {
-            ClientConn::Unix(s) => {
-                write_frame(s, v)?;
-                read_frame(s)
-            }
-            ClientConn::Tcp(s) => {
-                write_frame(s, v)?;
-                read_frame(s)
-            }
-        }?
-        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))
+        self.send(v)?;
+        self.recv()
     }
 }
 
@@ -335,6 +246,11 @@ mod tests {
     use super::*;
     use crate::json::parse;
     use crate::service::ServiceConfig;
+    use std::io::Write;
+    use std::time::Duration;
+
+    /// The loop's idle poll timeout — partial-write tests pause past it.
+    const POLL: Duration = Duration::from_millis(50);
 
     /// The signal stop flag is process-global, so tests that exercise
     /// it must not overlap tests that run a server.
@@ -448,10 +364,10 @@ mod tests {
     }
 
     /// A request whose frame arrives one byte at a time — every chunk
-    /// separated by more than the server's 50ms read timeout window
-    /// would be too slow for CI, so this just splits the frame into
-    /// many small writes with pauses long enough that the server's
-    /// timed reads interleave with the arrival.
+    /// separated by more than the server's poll timeout window would be
+    /// too slow for CI, so this just splits the frame into many small
+    /// writes with pauses long enough that the loop's timed polls
+    /// interleave with the arrival.
     #[test]
     fn slow_partial_writes_do_not_desync_framing() {
         let _serial = SERIAL.lock().unwrap();
@@ -470,8 +386,8 @@ mod tests {
         let mut frame = Vec::new();
         write_frame(&mut frame, &parse(r#"{"op":"ping"}"#).unwrap()).unwrap();
         // Dribble the frame: split inside the 4-byte header and inside
-        // the body, pausing past the server's POLL timeout each time so
-        // reads time out mid-frame.
+        // the body, pausing past the poll timeout each time so the loop
+        // sees the connection readable mid-frame many times.
         for chunk in frame.chunks(3) {
             raw.write_all(chunk).unwrap();
             raw.flush().unwrap();

@@ -26,7 +26,7 @@ use crate::cache::{Cache, CacheError, CacheStats, Source};
 use crate::error::ServiceError;
 use crate::json::Json;
 use crate::key::{engine_bits, ruleset_fingerprint, CacheKey};
-use crate::protocol::{error_response, ok_response, CompileSpec, ImageSpec, Request};
+use crate::protocol::{error_response, ok_response, CompileSpec, ImageSpec, Request, StatsFormat};
 use crate::stats::Stats;
 use fpir::expr::RcExpr;
 use fpir::interp::{Env, Value};
@@ -76,6 +76,15 @@ struct Selector {
 /// the expression and the deadline).
 type SelectorKey = (fpir::Isa, (bool, bool, bool), bool, Option<String>);
 
+/// Where a cache-missing compilation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Compiler {
+    /// On the service's internal bounded queue (direct callers).
+    Queued,
+    /// On the calling thread (the event loop's dispatch workers).
+    Inline,
+}
+
 /// What the cache stores for one key: the driver's artifact plus the
 /// response strings rendered once at insert time, so a cache hit clones
 /// bytes instead of re-rendering the program on every request.
@@ -84,20 +93,42 @@ struct Served {
     art: Artifact,
     lowered: String,
     program: String,
+    /// The complete `compile`-hit response, rendered once at insert
+    /// time. The event loop answers a warm `compile` by splicing a tag
+    /// into a clone of these bytes — no JSON tree is built or rendered
+    /// on the hot path.
+    hit_body: String,
 }
 
 impl Served {
-    fn new(art: Artifact) -> Served {
+    fn new(art: Artifact, key_fp: u64) -> Served {
         let lowered = art.lowered.to_string();
         let program = art.program.render();
-        Served { art, lowered, program }
+        let mut served = Served { art, lowered, program, hit_body: String::new() };
+        served.hit_body =
+            ok_response(Service::compile_members(key_fp, &served, Source::Hit)).render();
+        served
     }
 
     /// Bytes charged against the cache budget: the artifact's estimate
-    /// plus the rendered strings kept alongside it.
+    /// plus the rendered strings kept alongside it. The pre-rendered
+    /// hit body is excluded so the echoed `artifact_bytes` member is
+    /// identical for hits and misses; it is the same order of magnitude
+    /// as `program`, which is charged.
     fn approx_bytes(&self) -> usize {
         self.art.approx_bytes() + self.lowered.len() + self.program.len()
     }
+}
+
+/// How the event loop answers a request that did not need a worker:
+/// either a JSON value to render, or response bytes pre-rendered at
+/// cache-insert time (a warm `compile`).
+#[derive(Debug)]
+pub enum FastReply {
+    /// Render-and-send.
+    Json(Json),
+    /// Already-rendered response object; send the bytes verbatim.
+    Raw(String),
 }
 
 /// The concurrent compile-and-run service.
@@ -179,23 +210,100 @@ impl Service {
 
     /// Handle one request, returning the response frame. Never panics
     /// on request content; all failures become `{"ok": false}` frames.
+    /// Cache-missing compilations run on the service's internal bounded
+    /// worker queue (admission control for direct in-process callers).
     pub fn handle(&self, req: &Request) -> Json {
+        self.handle_on(req, Compiler::Queued)
+    }
+
+    /// Like [`handle`](Self::handle), but cache-missing compilations run
+    /// inline on the calling thread. The event loop's dispatch workers
+    /// use this: the request already sits on a bounded worker, and
+    /// hopping through the internal compile queue again would only add
+    /// latency (and a second admission gate). Single-flight
+    /// deduplication still applies — concurrent identical requests share
+    /// one inline compile.
+    pub fn handle_local(&self, req: &Request) -> Json {
+        self.handle_on(req, Compiler::Inline)
+    }
+
+    fn handle_on(&self, req: &Request, compiler: Compiler) -> Json {
         Stats::bump(&self.stats.requests);
         let started = Instant::now();
         let out = match req {
             Request::Ping => Ok(ok_response(vec![("pong".into(), Json::Bool(true))])),
-            Request::Stats => Ok(self.stats_response()),
+            Request::Stats { format } => Ok(match format {
+                StatsFormat::Json => self.stats_response(),
+                StatsFormat::Text => ok_response(vec![
+                    ("format".into(), Json::str("text")),
+                    ("text".into(), Json::str(self.stats_text())),
+                ]),
+            }),
             Request::Shutdown => {
                 // The transport layer watches for this op; the core just
                 // acknowledges it.
                 Ok(ok_response(vec![("stopping".into(), Json::Bool(true))]))
             }
-            Request::Compile(spec) => self.handle_compile(spec),
-            Request::Run { spec, inputs } => self.handle_run(spec, inputs),
+            Request::Compile(spec) => self.handle_compile(spec, compiler),
+            Request::Run { spec, inputs } => self.handle_run(spec, inputs, compiler),
             Request::RunPipeline { spec, inputs, jobs } => {
-                self.handle_run_pipeline(spec, inputs, *jobs)
+                self.handle_run_pipeline(spec, inputs, *jobs, compiler)
             }
         };
+        self.finish(started, out)
+    }
+
+    /// Answer a request from warm state only, without ever blocking on
+    /// a compile: `None` means "dispatch this to a worker". The event
+    /// loop calls this inline for every ready frame, so cache hits and
+    /// control ops are answered in the same loop iteration they arrive
+    /// in and never wait behind a slow compile.
+    pub fn handle_cached(&self, req: &Request) -> Option<FastReply> {
+        let spec = match req {
+            // Control ops never compile; answer inline.
+            Request::Ping | Request::Stats { .. } | Request::Shutdown => {
+                return Some(FastReply::Json(self.handle(req)));
+            }
+            Request::Compile(spec) | Request::Run { spec, .. } => spec,
+            // Whole-image runs are real work even when the artifact is
+            // warm; always dispatch.
+            Request::RunPipeline { .. } => return None,
+        };
+        let started = Instant::now();
+        let Ok(expr) = fpir::parser::parse_expr(&spec.expr, spec.lanes) else {
+            // Malformed expressions are cheap to reject inline.
+            return Some(FastReply::Json(self.handle(req)));
+        };
+        let selector = self.selector(spec);
+        let key = CacheKey {
+            expr: expr.to_string(),
+            lanes: spec.lanes,
+            isa: spec.isa,
+            engine: engine_bits(spec.engine),
+            synthesized_rules: spec.synthesized_rules,
+            leave_out: spec.leave_out.clone(),
+            rules_fp: selector.rules_fp,
+        };
+        let served = self.cache.try_get(&key)?;
+        Stats::bump(&self.stats.requests);
+        Stats::bump(&self.stats.cache_hits);
+        match req {
+            Request::Compile(_) => {
+                let body = served.hit_body.clone();
+                self.stats.record_latency_us(started.elapsed().as_micros() as u64);
+                Some(FastReply::Raw(body))
+            }
+            Request::Run { inputs, .. } => {
+                let out = self.run_response(&expr, key.fingerprint(), &served, Source::Hit, inputs);
+                Some(FastReply::Json(self.finish(started, out)))
+            }
+            _ => unreachable!("filtered above"),
+        }
+    }
+
+    /// Success records a latency sample; failure maps onto the shed /
+    /// timeout / error counters and the structured error frame.
+    fn finish(&self, started: Instant, out: Result<Json, ServiceError>) -> Json {
         match out {
             Ok(v) => {
                 self.stats.record_latency_us(started.elapsed().as_micros() as u64);
@@ -218,6 +326,7 @@ impl Service {
     fn artifact(
         &self,
         spec: &CompileSpec,
+        compiler: Compiler,
     ) -> Result<(RcExpr, u64, Arc<Served>, Source), ServiceError> {
         let expr = fpir::parser::parse_expr(&spec.expr, spec.lanes)
             .map_err(|e| ServiceError::BadRequest(format!("expression: {e}")))?;
@@ -235,8 +344,11 @@ impl Service {
         let timeout_ms = spec.timeout_ms.or(self.config.default_timeout_ms);
         let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
 
-        let computed = self.cache.get_or_compute(&key, deadline, || {
-            self.compile_on_queue(&selector, &expr, deadline, timeout_ms)
+        let computed = self.cache.get_or_compute(&key, deadline, || match compiler {
+            Compiler::Queued => {
+                self.compile_on_queue(&selector, &expr, key_fp, deadline, timeout_ms)
+            }
+            Compiler::Inline => self.compile_now(&selector, &expr, key_fp, deadline, timeout_ms),
         });
         match computed {
             Ok((art, source)) => {
@@ -260,6 +372,7 @@ impl Service {
         &self,
         selector: &Arc<Selector>,
         expr: &RcExpr,
+        key_fp: u64,
         deadline: Option<Instant>,
         timeout_ms: Option<u64>,
     ) -> Result<(Served, usize), ServiceError> {
@@ -279,7 +392,36 @@ impl Service {
         // compile), so this blocks at most until the task's next
         // deadline check.
         match rx.recv() {
-            Ok(Ok(art)) => {
+            Ok(r) => self.admit_artifact(r, key_fp, timeout_ms),
+            Err(_) => Err(ServiceError::Internal("compile worker disappeared".into())),
+        }
+    }
+
+    /// The single-flight leader's compute on the calling thread (the
+    /// event loop's dispatch workers — already bounded, no second hop).
+    fn compile_now(
+        &self,
+        selector: &Arc<Selector>,
+        expr: &RcExpr,
+        key_fp: u64,
+        deadline: Option<Instant>,
+        timeout_ms: Option<u64>,
+    ) -> Result<(Served, usize), ServiceError> {
+        let mut keep_going = |_p| deadline.is_none_or(|d| Instant::now() < d);
+        let r = compile_to_executable_with(&selector.pf, expr, &mut keep_going);
+        self.admit_artifact(r.map(|(art, _)| art), key_fp, timeout_ms)
+    }
+
+    /// Map a driver result onto cache-insertable state, auditing the
+    /// artifact in debug builds.
+    fn admit_artifact(
+        &self,
+        r: Result<Artifact, DriverError>,
+        key_fp: u64,
+        timeout_ms: Option<u64>,
+    ) -> Result<(Served, usize), ServiceError> {
+        match r {
+            Ok(art) => {
                 Stats::bump(&self.stats.compiles);
                 // Debug builds audit every artifact entering the cache
                 // with the static verifier; a cached artifact is served
@@ -290,15 +432,14 @@ impl Service {
                 if let Err(v) = fpir_sim::verify_executable(&art.exe) {
                     panic!("refusing to cache an unverifiable artifact: {v}");
                 }
-                let served = Served::new(art);
+                let served = Served::new(art, key_fp);
                 let bytes = served.approx_bytes();
                 Ok((served, bytes))
             }
-            Ok(Err(DriverError::Cancelled(_))) => {
+            Err(DriverError::Cancelled(_)) => {
                 Err(ServiceError::Timeout { budget_ms: timeout_ms.unwrap_or(0) })
             }
-            Ok(Err(e)) => Err(ServiceError::Compile(e.to_string())),
-            Err(_) => Err(ServiceError::Internal("compile worker disappeared".into())),
+            Err(e) => Err(ServiceError::Compile(e.to_string())),
         }
     }
 
@@ -323,8 +464,8 @@ impl Service {
         ]
     }
 
-    fn handle_compile(&self, spec: &CompileSpec) -> Result<Json, ServiceError> {
-        let (_, key_fp, served, source) = self.artifact(spec)?;
+    fn handle_compile(&self, spec: &CompileSpec, compiler: Compiler) -> Result<Json, ServiceError> {
+        let (_, key_fp, served, source) = self.artifact(spec, compiler)?;
         Ok(ok_response(Self::compile_members(key_fp, &served, source)))
     }
 
@@ -332,8 +473,21 @@ impl Service {
         &self,
         spec: &CompileSpec,
         inputs: &[(String, Vec<i128>)],
+        compiler: Compiler,
     ) -> Result<Json, ServiceError> {
-        let (expr, key_fp, served, source) = self.artifact(spec)?;
+        let (expr, key_fp, served, source) = self.artifact(spec, compiler)?;
+        self.run_response(&expr, key_fp, &served, source, inputs)
+    }
+
+    /// Execute a warm artifact over one environment of vectors.
+    fn run_response(
+        &self,
+        expr: &RcExpr,
+        key_fp: u64,
+        served: &Served,
+        source: Source,
+        inputs: &[(String, Vec<i128>)],
+    ) -> Result<Json, ServiceError> {
         // Bind every free variable, validating counts and ranges before
         // constructing `Value`s (whose constructors panic on bad data).
         // Inputs may be keyed either by the bare variable name (`a`) or
@@ -367,7 +521,7 @@ impl Service {
             .exe
             .run(&mut ctx, &env)
             .map_err(|e| ServiceError::Internal(format!("execution failed: {e}")))?;
-        let mut members = Self::compile_members(key_fp, &served, source);
+        let mut members = Self::compile_members(key_fp, served, source);
         members.push(("elem".into(), Json::str(out.ty().elem.to_string())));
         members.push((
             "output".into(),
@@ -381,8 +535,9 @@ impl Service {
         spec: &CompileSpec,
         inputs: &[(String, ImageSpec)],
         jobs: usize,
+        compiler: Compiler,
     ) -> Result<Json, ServiceError> {
-        let (expr, key_fp, served, source) = self.artifact(spec)?;
+        let (expr, key_fp, served, source) = self.artifact(spec, compiler)?;
         let pipe = Pipeline::try_new("served", expr.clone())
             .map_err(|e| ServiceError::BadRequest(e.what))?;
         let mut images = BTreeMap::new();
@@ -411,11 +566,12 @@ impl Service {
         Ok(ok_response(members))
     }
 
-    /// The `/stats` payload.
-    fn stats_response(&self) -> Json {
+    /// Every stat as `(name, integer)` — the shared source for both the
+    /// JSON `stats` payload and the plaintext scrape format.
+    fn stat_members(&self) -> Vec<(String, Json)> {
         let c = self.cache.stats();
         let l = self.stats.latency_summary();
-        ok_response(vec![
+        vec![
             ("requests".into(), Json::Int(Stats::read(&self.stats.requests).into())),
             ("cache_hits".into(), Json::Int(Stats::read(&self.stats.cache_hits).into())),
             ("cache_misses".into(), Json::Int(Stats::read(&self.stats.cache_misses).into())),
@@ -431,11 +587,45 @@ impl Service {
             ("queue_depth".into(), Json::Int(self.queue.depth() as i128)),
             ("queue_capacity".into(), Json::Int(self.queue.capacity() as i128)),
             ("workers".into(), Json::Int(self.queue.workers() as i128)),
+            (
+                "open_connections".into(),
+                Json::Int(Stats::read(&self.stats.open_connections).into()),
+            ),
+            ("inflight_frames".into(), Json::Int(Stats::read(&self.stats.inflight_frames).into())),
+            (
+                "dispatch_queue_depth".into(),
+                Json::Int(Stats::read(&self.stats.dispatch_queue_depth).into()),
+            ),
+            (
+                "dispatch_batch_max".into(),
+                Json::Int(Stats::read(&self.stats.dispatch_batch_max).into()),
+            ),
             ("latency_count".into(), Json::Int(l.count as i128)),
             ("latency_p50_us".into(), Json::Int(l.p50_us.into())),
             ("latency_p99_us".into(), Json::Int(l.p99_us.into())),
             ("latency_max_us".into(), Json::Int(l.max_us.into())),
-        ])
+        ]
+    }
+
+    /// The `/stats` payload.
+    fn stats_response(&self) -> Json {
+        ok_response(self.stat_members())
+    }
+
+    /// The Prometheus-style plaintext scrape: one `pitchforkd_<name>
+    /// <value>` line per stat, same names and order as the JSON form.
+    pub fn stats_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.stat_members() {
+            if let Json::Int(n) = value {
+                out.push_str("pitchforkd_");
+                out.push_str(&name);
+                out.push(' ');
+                out.push_str(&n.to_string());
+                out.push('\n');
+            }
+        }
+        out
     }
 }
 

@@ -30,6 +30,16 @@ pub struct Stats {
     pub timeouts: AtomicU64,
     /// Malformed / uncompilable requests.
     pub errors: AtomicU64,
+    /// Connections currently open on the event-loop server (gauge).
+    pub open_connections: AtomicU64,
+    /// Frames dispatched to workers but not yet answered (gauge).
+    pub inflight_frames: AtomicU64,
+    /// Depth of the event loop's dispatch queue (gauge, sampled once
+    /// per loop iteration).
+    pub dispatch_queue_depth: AtomicU64,
+    /// Largest batch of ready requests dispatched in one loop
+    /// iteration (high-water mark).
+    pub dispatch_batch_max: AtomicU64,
     latencies: Mutex<Ring>,
 }
 
@@ -99,6 +109,16 @@ impl Stats {
     pub fn read(counter: &AtomicU64) -> u64 {
         counter.load(Ordering::Relaxed)
     }
+
+    /// Overwrite a gauge (relaxed, same rationale as [`bump`](Self::bump)).
+    pub fn set(gauge: &AtomicU64, value: u64) {
+        gauge.store(value, Ordering::Relaxed);
+    }
+
+    /// Raise a high-water-mark gauge to at least `value`.
+    pub fn record_max(gauge: &AtomicU64, value: u64) {
+        gauge.fetch_max(value, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +165,16 @@ mod tests {
         assert_eq!(Stats::read(&s.requests), 2);
         assert_eq!(Stats::read(&s.sheds), 1);
         assert_eq!(Stats::read(&s.timeouts), 0);
+    }
+
+    #[test]
+    fn gauges_set_and_high_water() {
+        let s = Stats::new();
+        Stats::set(&s.open_connections, 5);
+        Stats::set(&s.open_connections, 3);
+        assert_eq!(Stats::read(&s.open_connections), 3);
+        Stats::record_max(&s.dispatch_batch_max, 4);
+        Stats::record_max(&s.dispatch_batch_max, 2);
+        assert_eq!(Stats::read(&s.dispatch_batch_max), 4);
     }
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Service smoke test: start pitchforkd on a Unix socket, drive a
 # compile + run + stats round-trip with pitchfork-cli, verify the
-# second compile of the same key is a cache hit, then assert a clean
-# shutdown on SIGTERM (exit 0, socket unlinked).
+# second compile of the same key is a cache hit, exercise protocol v2
+# (a tagged compile, a pipelined three-request exchange, and the
+# Prometheus-style stats rendering), then assert a clean shutdown on
+# SIGTERM (exit 0, socket unlinked).
 #
 # Usage: scripts/service_smoke.sh [path-to-target-dir]
 # Expects `pitchforkd` and `pitchfork-cli` already built (release).
@@ -50,12 +52,25 @@ OUT=$("$CLI" --socket "$SOCK" run --expr "$EXPR" --lanes 4 --isa arm \
     --input a=250,1,128,255 --input b=10,2,128,255)
 echo "$OUT" | grep -q '"output":\[255,3,255,255\]' || fail "wrong run output: $OUT"
 
+echo "== tagged compile (protocol v2)"
+OUT=$("$CLI" --socket "$SOCK" compile --expr "$EXPR" --lanes 16 --isa arm --tag smoke-1)
+echo "$OUT" | grep -q '"tag":"smoke-1"' || fail "tag was not echoed: $OUT"
+
+echo "== pipelined exchange (3 tagged requests before any read)"
+OUT=$("$CLI" --socket "$SOCK" pipeline --expr "$EXPR" --lanes 16 --isa arm)
+echo "$OUT" | grep -q '"pipelined":3' || fail "pipelined exchange: $OUT"
+
 echo "== stats"
 OUT=$("$CLI" --socket "$SOCK" stats)
 # Two distinct keys were compiled (the lanes=16 compile and the
-# lanes=4 run); the repeated lanes=16 compile must have been a hit.
+# lanes=4 run); every repeated lanes=16 compile must have been a hit.
 echo "$OUT" | grep -q '"cache_hits":[1-9]' || fail "stats show no cache hit: $OUT"
 echo "$OUT" | grep -q '"compiles":2' || fail "stats show duplicate compiles: $OUT"
+
+echo "== stats --text"
+OUT=$("$CLI" --socket "$SOCK" stats --text)
+echo "$OUT" | grep -q 'pitchforkd_requests' || fail "no text-format counters: $OUT"
+echo "$OUT" | grep -q 'pitchforkd_open_connections' || fail "no event-loop gauges: $OUT"
 
 echo "== SIGTERM"
 kill -TERM "$PID"
