@@ -31,6 +31,13 @@ OPTIONS:
     --max-conns N       concurrent connection cap [default: 128]
     --outq-mb N         per-connection response queue budget [default: 8]
     --max-pipeline N    parsed frames in flight per connection [default: 128]
+    --cache-dir PATH    spill served artifacts to PATH and re-admit them
+                        on startup (restart-warm) [default: off]
+    --peer ADDR         a sibling daemon (unix:PATH, tcp:ADDR, or bare;
+                        repeatable); on a miss the key's owner is asked
+                        before compiling locally
+    --peer-timeout-ms N how long a peer fetch may stall before the
+                        request compiles locally [default: 1500]
     -h, --help          print this help
 ";
 
@@ -93,6 +100,15 @@ fn main() -> ExitCode {
                         .parse()
                         .map_err(|_| "--max-pipeline must be an integer".to_string())?;
                 }
+                "--cache-dir" => {
+                    config.cache_dir = Some(PathBuf::from(take("--cache-dir")?));
+                }
+                "--peer" => opts.peers.push(Endpoint::parse(&take("--peer")?)),
+                "--peer-timeout-ms" => {
+                    opts.peer_timeout_ms = take("--peer-timeout-ms")?
+                        .parse()
+                        .map_err(|_| "--peer-timeout-ms must be an integer".to_string())?;
+                }
                 "-h" | "--help" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -117,6 +133,13 @@ fn main() -> ExitCode {
         config.cache_bytes >> 20,
         opts.max_connections
     );
+    if let Some(dir) = &config.cache_dir {
+        eprintln!("pitchforkd: spilling artifacts to {}", dir.display());
+    }
+    if !opts.peers.is_empty() {
+        let fleet: Vec<String> = opts.peers.iter().map(|p| p.to_string()).collect();
+        eprintln!("pitchforkd: fleet peers: {}", fleet.join(", "));
+    }
     let service = Arc::new(Service::new(config));
     match serve_with(service, &endpoint, &opts) {
         Ok(()) => {

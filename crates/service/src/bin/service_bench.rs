@@ -38,24 +38,36 @@
 
 use fpir::Isa;
 use fpir_workloads::{all_workloads, LANES};
-use pitchfork::{compile_to_executable, EngineConfig, Pitchfork};
+use pitchfork::{compile_to_executable, Config, EngineConfig, Pitchfork};
 use pitchfork_service::protocol::CompileSpec;
 use pitchfork_service::{
-    serve_with, write_frame, Endpoint, Json, Request, ServeOptions, Service, ServiceConfig, Stats,
+    serve_with, write_frame, Client, Endpoint, Json, Request, ServeOptions, Service, ServiceConfig,
+    Stats,
 };
 use std::fmt::Write as _;
 use std::io::{Read, Write};
 use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The thread-per-connection server's best sweep point (2 threads,
 /// previous `BENCH_service.json`); the event loop must beat it at 4.
 const OLD_PEAK_RPS: f64 = 43_300.0;
 
-/// In-flight tagged frames per connection in pipelined mode.
-const PIPELINE_DEPTH: usize = 8;
+/// The pipelined sweep's window depths (tagged frames in flight per
+/// connection). 128 is the server's default `max_pipeline` cap.
+const PIPELINE_DEPTHS: &[usize] = &[1, 2, 8, 32, 64, 128];
+
+/// How much faster a restart-warm cold start must be (p99, seen keys)
+/// than a genuinely cold daemon on an empty cache dir.
+const RESTART_WARM_SPEEDUP: f64 = 5.0;
+
+/// Fleet gate: total compiles across the fleet may exceed the unique
+/// key count only by this factor (rendezvous forwarding should make it
+/// exactly 1.0; the slack absorbs a lost race, not a design failure).
+const FLEET_COMPILE_SLACK: f64 = 1.25;
 
 /// One workload × target measurement.
 struct Row {
@@ -175,16 +187,17 @@ fn sweep_point(path: &std::path::Path, frames: &[Vec<u8>], threads: usize, total
     (threads * per_thread) as f64 / t0.elapsed().as_secs_f64().max(1e-9)
 }
 
-/// Pipelined throughput: `threads` connections, each writing
-/// [`PIPELINE_DEPTH`] tagged requests back-to-back (one `write`), then
-/// reading the window of responses.
+/// Pipelined throughput: `threads` connections, each writing `depth`
+/// tagged requests back-to-back (one `write`), then reading the window
+/// of responses.
 fn pipelined_point(
     path: &std::path::Path,
     batches: &[Vec<u8>],
     threads: usize,
     total: usize,
+    depth: usize,
 ) -> f64 {
-    let windows_per_thread = total / threads / PIPELINE_DEPTH;
+    let windows_per_thread = (total / threads / depth).max(1);
     let gate = Arc::new(Barrier::new(threads + 1));
     let handles: Vec<_> = (0..threads)
         .map(|t| {
@@ -197,7 +210,7 @@ fn pipelined_point(
                 gate.wait();
                 for i in 0..windows_per_thread {
                     stream.write_all(&batches[(i + t) % batches.len()]).expect("batch write");
-                    for _ in 0..PIPELINE_DEPTH {
+                    for _ in 0..depth {
                         read_ok(&mut stream, &mut body);
                     }
                 }
@@ -209,7 +222,271 @@ fn pipelined_point(
     for h in handles {
         h.join().expect("client thread");
     }
-    (threads * windows_per_thread * PIPELINE_DEPTH) as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    (threads * windows_per_thread * depth) as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// p99 over raw nanosecond samples (the max for fewer than 100).
+fn p99_ns(samples: &[u128]) -> u128 {
+    let mut xs = samples.to_vec();
+    xs.sort_unstable();
+    let idx = (xs.len().saturating_mul(99)).div_ceil(100).saturating_sub(1);
+    xs.get(idx.min(xs.len() - 1)).copied().unwrap_or(0)
+}
+
+/// One untagged compile request as a [`Json`] value (for the blocking
+/// [`Client`] used by the scenario drivers).
+fn compile_json(expr: &str, isa: Isa, synthesized_rules: bool) -> Json {
+    let mut members = vec![
+        ("op".to_string(), Json::str("compile")),
+        ("expr".to_string(), Json::str(expr)),
+        ("lanes".to_string(), Json::Int(i128::from(LANES))),
+        ("isa".to_string(), Json::str(isa_tag(isa))),
+    ];
+    if !synthesized_rules {
+        members.push(("synthesized_rules".to_string(), Json::Bool(false)));
+    }
+    Json::Object(members)
+}
+
+/// `true` when the response's lowered expression, rendered program, and
+/// cycle price all match the direct compiler's.
+fn matches_truth(v: &Json, truth: &(String, String, u64)) -> bool {
+    v.get("lowered").and_then(Json::as_str) == Some(truth.0.as_str())
+        && v.get("program").and_then(Json::as_str) == Some(truth.1.as_str())
+        && v.get("cycles").and_then(Json::as_int) == Some(i128::from(truth.2))
+}
+
+/// What the restart-warm scenario measured.
+struct RestartWarm {
+    cold_p99_ns: u128,
+    warm_p99_ns: u128,
+    disk_loaded: u64,
+    disk_spills: u64,
+}
+
+/// Restart-warm: a daemon with an empty `--cache-dir` compiles the
+/// whole suite (true cold starts, spilling each artifact), is dropped,
+/// and a second daemon on the same directory re-admits the spill store
+/// at startup — every request it then sees must be a cache hit,
+/// bit-identical to the direct compiler, and its cold-start p99 must
+/// beat the empty-dir p99 by [`RESTART_WARM_SPEEDUP`].
+fn restart_warm_scenario(
+    combos: &[(String, String, Isa)],
+    truth: &[(String, String, u64)],
+    gate_failed: &mut bool,
+) -> RestartWarm {
+    let dir = std::env::temp_dir().join(format!("service-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServiceConfig {
+        cache_bytes: 256 << 20,
+        workers: 2,
+        queue_capacity: 64,
+        default_timeout_ms: None,
+        cache_dir: Some(dir.clone()),
+    };
+
+    // Generation A: an empty cache dir, so every first compile pays the
+    // full pipeline. These timings are the "cold daemon" baseline.
+    let a = Service::new(config.clone());
+    let mut cold_ns: Vec<u128> = Vec::with_capacity(combos.len());
+    for ((name, expr, isa), t) in combos.iter().zip(truth) {
+        let req = Request::Compile(spec(expr, *isa));
+        let t0 = Instant::now();
+        let v = a.handle(&req);
+        cold_ns.push(t0.elapsed().as_nanos());
+        if get(&v, "source").and_then(Json::as_str) != Some("computed") || !matches_truth(&v, t) {
+            eprintln!("DIVERGENCE {name}/{isa}: cold spill-store response is wrong: {v:?}");
+            *gate_failed = true;
+        }
+    }
+    let disk_spills = Stats::read(&a.stats().disk_spills);
+    drop(a);
+
+    // Generation B: the same directory. Startup re-admits every spilled
+    // artifact, so the first request for every seen key is already a
+    // hit — the restart-warm promise.
+    let b = Service::new(config);
+    let disk_loaded = Stats::read(&b.stats().disk_loaded);
+    let mut warm_ns: Vec<u128> = Vec::with_capacity(combos.len());
+    for ((name, expr, isa), t) in combos.iter().zip(truth) {
+        let req = Request::Compile(spec(expr, *isa));
+        let t0 = Instant::now();
+        let v = b.handle(&req);
+        warm_ns.push(t0.elapsed().as_nanos());
+        if get(&v, "source").and_then(Json::as_str) != Some("hit") {
+            eprintln!(
+                "service-bench: {name}/{isa} was not restart-warm (source {:?})",
+                get(&v, "source")
+            );
+            *gate_failed = true;
+        }
+        if !matches_truth(&v, t) {
+            eprintln!("DIVERGENCE {name}/{isa}: restart-warm response differs from the compiler");
+            *gate_failed = true;
+        }
+    }
+    if disk_loaded != combos.len() as u64 {
+        eprintln!(
+            "service-bench: restart loaded {disk_loaded} of {} spilled artifacts",
+            combos.len()
+        );
+        *gate_failed = true;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    RestartWarm {
+        cold_p99_ns: p99_ns(&cold_ns),
+        warm_p99_ns: p99_ns(&warm_ns),
+        disk_loaded,
+        disk_spills,
+    }
+}
+
+/// What the fleet scenario measured.
+struct FleetReport {
+    daemons: usize,
+    unique_keys: usize,
+    total_compiles: u64,
+    peer_hits: u64,
+    peer_misses: u64,
+    peer_timeouts: u64,
+    peer_errors: u64,
+    fallback_keys: usize,
+}
+
+/// Fleet: three daemons on Unix sockets, each configured with the other
+/// two as peers. Phase 1 sends every suite key to every daemon — each
+/// key must compile exactly once fleet-wide (at its rendezvous owner),
+/// the other daemons serving it via `peer_get`, all responses
+/// bit-identical to the direct compiler. Phase 2 shuts one daemon down
+/// and sweeps fresh keys (hand-written rules only) through the
+/// survivors: keys owned by the dead daemon must degrade to local
+/// compiles, never errors.
+fn fleet_scenario(
+    combos: &[(String, String, Isa)],
+    truth: &[(String, String, u64)],
+    gate_failed: &mut bool,
+) -> FleetReport {
+    const N: usize = 3;
+    let pid = std::process::id();
+    let socks: Vec<PathBuf> = (0..N)
+        .map(|i| std::env::temp_dir().join(format!("service-bench-fleet-{pid}-{i}.sock")))
+        .collect();
+    for s in &socks {
+        let _ = std::fs::remove_file(s);
+    }
+    let eps: Vec<Endpoint> = socks.iter().map(|s| Endpoint::Unix(s.clone())).collect();
+    let svcs: Vec<Arc<Service>> = (0..N)
+        .map(|_| {
+            Arc::new(Service::new(ServiceConfig {
+                cache_bytes: 256 << 20,
+                workers: 2,
+                queue_capacity: 64,
+                default_timeout_ms: None,
+                cache_dir: None,
+            }))
+        })
+        .collect();
+    let mut servers: Vec<_> = (0..N)
+        .map(|i| {
+            let svc = Arc::clone(&svcs[i]);
+            let ep = eps[i].clone();
+            let opts = ServeOptions {
+                peers: eps
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, e)| e.clone())
+                    .collect(),
+                peer_timeout_ms: 3000,
+                ..ServeOptions::default()
+            };
+            std::thread::spawn(move || serve_with(svc, &ep, &opts))
+        })
+        .collect();
+    for s in &socks {
+        for _ in 0..100 {
+            if s.exists() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    // Phase 1: every daemon sees every key; the fleet compiles each
+    // once.
+    let mut clients: Vec<Client> =
+        eps.iter().map(|e| Client::connect(e).expect("fleet connect")).collect();
+    for ((name, expr, isa), t) in combos.iter().zip(truth) {
+        let req = compile_json(expr, *isa, true);
+        for (d, client) in clients.iter_mut().enumerate() {
+            let v = client.request(&req).expect("fleet request");
+            if get(&v, "ok").and_then(Json::as_bool) != Some(true) || !matches_truth(&v, t) {
+                eprintln!("DIVERGENCE {name}/{isa} via daemon {d}: fleet response is wrong: {v:?}");
+                *gate_failed = true;
+            }
+        }
+    }
+    let total_compiles: u64 = svcs.iter().map(|s| Stats::read(&s.stats().compiles)).sum();
+    let peer_hits: u64 = svcs.iter().map(|s| Stats::read(&s.stats().peer_hits)).sum();
+    let peer_misses: u64 = svcs.iter().map(|s| Stats::read(&s.stats().peer_misses)).sum();
+
+    // Phase 2: kill daemon 0, then sweep fresh keys (hand-written rules
+    // only — a configuration nothing has cached) through the survivors.
+    // Keys owned by the dead daemon must fall back to local compiles.
+    let bye = clients[0]
+        .request(&Json::Object(vec![("op".into(), Json::str("shutdown"))]))
+        .expect("fleet shutdown");
+    assert_eq!(get(&bye, "stopping").and_then(Json::as_bool), Some(true), "daemon 0 shutdown");
+    drop(clients);
+    servers.remove(0).join().expect("daemon 0 thread").expect("daemon 0 result");
+
+    let mut fallback_keys = 0usize;
+    for (name, expr, isa) in combos {
+        // Hand-only truth; a workload that needs synthesized rules to
+        // lower is skipped (the service would refuse it identically).
+        let cfg = Config::new(*isa).with_engine(EngineConfig::FAST).hand_written_only();
+        let pf = Pitchfork::with_config(cfg);
+        let e = fpir::parser::parse_expr(expr, LANES).expect("suite expr parses");
+        let Ok(art) = compile_to_executable(&pf, &e) else {
+            continue;
+        };
+        let hand_truth = (art.lowered.to_string(), art.program.render(), art.cycles);
+        fallback_keys += 1;
+        let req = compile_json(expr, *isa, false);
+        for (d, ep) in eps.iter().enumerate().skip(1) {
+            let mut client = Client::connect(ep).expect("survivor connect");
+            let v = client.request(&req).expect("survivor request");
+            if get(&v, "ok").and_then(Json::as_bool) != Some(true)
+                || !matches_truth(&v, &hand_truth)
+            {
+                eprintln!(
+                    "DIVERGENCE {name}/{isa} via surviving daemon {d}: \
+                     degraded response is wrong: {v:?}"
+                );
+                *gate_failed = true;
+            }
+        }
+    }
+    let peer_timeouts: u64 = svcs.iter().map(|s| Stats::read(&s.stats().peer_timeouts)).sum();
+    let peer_errors: u64 = svcs.iter().map(|s| Stats::read(&s.stats().peer_errors)).sum();
+
+    for ep in eps.iter().skip(1) {
+        let mut client = Client::connect(ep).expect("shutdown connect");
+        let _ = client.request(&Json::Object(vec![("op".into(), Json::str("shutdown"))]));
+    }
+    for h in servers {
+        h.join().expect("fleet server thread").expect("fleet server result");
+    }
+    FleetReport {
+        daemons: N,
+        unique_keys: combos.len(),
+        total_compiles,
+        peer_hits,
+        peer_misses,
+        peer_timeouts,
+        peer_errors,
+        fallback_keys,
+    }
 }
 
 fn main() -> ExitCode {
@@ -282,6 +559,7 @@ fn main() -> ExitCode {
         workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
         queue_capacity: 256,
         default_timeout_ms: None,
+        cache_dir: None,
     }));
 
     let mut rows: Vec<Row> = Vec::new();
@@ -357,20 +635,6 @@ fn main() -> ExitCode {
 
     let frames: Vec<Vec<u8>> =
         combos.iter().map(|(_, expr, isa)| encode_compile(expr, *isa, None)).collect();
-    // Pipelined batches: PIPELINE_DEPTH tagged requests concatenated so
-    // each window costs the client one `write`.
-    let batches: Vec<Vec<u8>> = combos
-        .iter()
-        .enumerate()
-        .map(|(i, _)| {
-            let mut batch = Vec::new();
-            for d in 0..PIPELINE_DEPTH {
-                let (_, expr, isa) = &combos[(i + d) % combos.len()];
-                batch.extend_from_slice(&encode_compile(expr, *isa, Some(&format!("w{d}"))));
-            }
-            batch
-        })
-        .collect();
 
     let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8, 16] };
     // Trials run as interleaved ladders (1..16, then again) and each
@@ -385,11 +649,31 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    // Pipelined depth sweep: windows of `depth` tagged requests
+    // concatenated so each window costs the client one `write`.
     let pipelined_threads = if smoke { 2 } else { 4 };
-    let mut pipelined_rps = 0.0f64;
-    for _ in 0..sweep_trials {
-        pipelined_rps =
-            pipelined_rps.max(pipelined_point(&sock, &batches, pipelined_threads, sweep_total));
+    let depths: &[usize] = if smoke { &[1, 8] } else { PIPELINE_DEPTHS };
+    let mut pipelined: Vec<(usize, f64)> = Vec::with_capacity(depths.len());
+    for &depth in depths {
+        let batches: Vec<Vec<u8>> = combos
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let mut batch = Vec::new();
+                for d in 0..depth {
+                    let (_, expr, isa) = &combos[(i + d) % combos.len()];
+                    batch.extend_from_slice(&encode_compile(expr, *isa, Some(&format!("w{d}"))));
+                }
+                batch
+            })
+            .collect();
+        let mut best = 0.0f64;
+        for _ in 0..sweep_trials {
+            best =
+                best.max(pipelined_point(&sock, &batches, pipelined_threads, sweep_total, depth));
+        }
+        pipelined.push((depth, best));
     }
 
     // Stop the server the way a client would.
@@ -403,6 +687,10 @@ fn main() -> ExitCode {
         read_ok(&mut stream, &mut body);
     }
     server.join().expect("server thread").expect("server result");
+
+    // ── persistence & fleet scenarios ───────────────────────────────
+    let restart = restart_warm_scenario(&combos, &truth, &mut gate_failed);
+    let fleet = fleet_scenario(&combos, &truth, &mut gate_failed);
 
     let speedups: Vec<f64> =
         rows.iter().map(|r| r.cold_ns as f64 / r.warm_ns.max(1) as f64).collect();
@@ -426,22 +714,44 @@ fn main() -> ExitCode {
     for (threads, r) in &rps {
         println!("sustained (socket), {threads} client thread(s): {r:.0} req/s");
     }
-    println!(
-        "pipelined (socket), {pipelined_threads} conns x depth {PIPELINE_DEPTH}: \
-         {pipelined_rps:.0} req/s"
-    );
+    for (depth, r) in &pipelined {
+        println!("pipelined (socket), {pipelined_threads} conns x depth {depth}: {r:.0} req/s");
+    }
     let lat = svc.stats().latency_summary();
     println!(
         "service latency over {} requests: p50 {}us, p99 {}us",
         lat.count, lat.p50_us, lat.p99_us
+    );
+    let restart_speedup = restart.cold_p99_ns as f64 / restart.warm_p99_ns.max(1) as f64;
+    println!(
+        "restart-warm: cold p99 {}us -> warm p99 {}us ({restart_speedup:.1}x, \
+         {} spilled / {} loaded)",
+        restart.cold_p99_ns / 1_000,
+        restart.warm_p99_ns / 1_000,
+        restart.disk_spills,
+        restart.disk_loaded
+    );
+    println!(
+        "fleet of {}: {} unique keys, {} compiles, {} peer hits, {} misses, \
+         {} timeouts, {} errors, {} fallback keys after daemon death",
+        fleet.daemons,
+        fleet.unique_keys,
+        fleet.total_compiles,
+        fleet.peer_hits,
+        fleet.peer_misses,
+        fleet.peer_timeouts,
+        fleet.peer_errors,
+        fleet.fallback_keys
     );
 
     let json = render_json(&RenderInputs {
         svc: &svc,
         rows: &rows,
         rps: &rps,
-        pipelined_rps,
+        pipelined: &pipelined,
         pipelined_threads,
+        restart: &restart,
+        fleet: &fleet,
         hvx_served: &hvx_served,
         hvx_skipped: &hvx_skipped,
         geo,
@@ -487,6 +797,30 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
+        if restart_speedup < RESTART_WARM_SPEEDUP {
+            eprintln!(
+                "service-bench: FAILED — restart-warm cold-start p99 improved only \
+                 {restart_speedup:.1}x (needs {RESTART_WARM_SPEEDUP}x)"
+            );
+            return ExitCode::FAILURE;
+        }
+        let compile_budget = (fleet.unique_keys as f64 * FLEET_COMPILE_SLACK).ceil() as u64;
+        if fleet.total_compiles > compile_budget {
+            eprintln!(
+                "service-bench: FAILED — fleet compiled {} times for {} unique keys \
+                 (budget {compile_budget})",
+                fleet.total_compiles, fleet.unique_keys
+            );
+            return ExitCode::FAILURE;
+        }
+        if fleet.peer_hits < fleet.unique_keys as u64 {
+            eprintln!(
+                "service-bench: FAILED — only {} peer hits for {} unique keys; \
+                 forwarding is not carrying the fleet",
+                fleet.peer_hits, fleet.unique_keys
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -512,8 +846,10 @@ struct RenderInputs<'a> {
     svc: &'a Service,
     rows: &'a [Row],
     rps: &'a [(usize, f64)],
-    pipelined_rps: f64,
+    pipelined: &'a [(usize, f64)],
     pipelined_threads: usize,
+    restart: &'a RestartWarm,
+    fleet: &'a FleetReport,
     hvx_served: &'a [String],
     hvx_skipped: &'a [String],
     geo: f64,
@@ -530,7 +866,7 @@ fn render_json(r: &RenderInputs<'_>) -> String {
     let names =
         |xs: &[String]| xs.iter().map(|n| format!("\"{n}\"")).collect::<Vec<_>>().join(", ");
     let mut s = String::from("{\n");
-    let _ = writeln!(s, "  \"schema\": \"pitchfork-service-bench/v2\",");
+    let _ = writeln!(s, "  \"schema\": \"pitchfork-service-bench/v3\",");
     let _ = writeln!(s, "  \"smoke\": {},", r.smoke);
     let _ = writeln!(s, "  \"transport\": \"unix-socket-eventloop\",");
     let _ = writeln!(s, "  \"warm_reps\": {},", r.warm_reps);
@@ -547,8 +883,36 @@ fn render_json(r: &RenderInputs<'_>) -> String {
     let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"throughput_pipelined\": {{");
     let _ = writeln!(s, "    \"threads\": {},", r.pipelined_threads);
-    let _ = writeln!(s, "    \"depth\": {PIPELINE_DEPTH},");
-    let _ = writeln!(s, "    \"rps\": {:.1}", r.pipelined_rps);
+    let _ = writeln!(s, "    \"by_depth\": {{");
+    for (i, (depth, rate)) in r.pipelined.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "      \"{depth}\": {rate:.1}{}",
+            if i + 1 < r.pipelined.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"restart_warm\": {{");
+    let _ = writeln!(s, "    \"cold_p99_ns\": {},", r.restart.cold_p99_ns);
+    let _ = writeln!(s, "    \"warm_p99_ns\": {},", r.restart.warm_p99_ns);
+    let _ = writeln!(
+        s,
+        "    \"speedup\": {:.4},",
+        r.restart.cold_p99_ns as f64 / r.restart.warm_p99_ns.max(1) as f64
+    );
+    let _ = writeln!(s, "    \"disk_spills\": {},", r.restart.disk_spills);
+    let _ = writeln!(s, "    \"disk_loaded\": {}", r.restart.disk_loaded);
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"fleet\": {{");
+    let _ = writeln!(s, "    \"daemons\": {},", r.fleet.daemons);
+    let _ = writeln!(s, "    \"unique_keys\": {},", r.fleet.unique_keys);
+    let _ = writeln!(s, "    \"total_compiles\": {},", r.fleet.total_compiles);
+    let _ = writeln!(s, "    \"peer_hits\": {},", r.fleet.peer_hits);
+    let _ = writeln!(s, "    \"peer_misses\": {},", r.fleet.peer_misses);
+    let _ = writeln!(s, "    \"peer_timeouts\": {},", r.fleet.peer_timeouts);
+    let _ = writeln!(s, "    \"peer_errors\": {},", r.fleet.peer_errors);
+    let _ = writeln!(s, "    \"fallback_keys\": {}", r.fleet.fallback_keys);
     let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"hvx_served\": [{}],", names(r.hvx_served));
     let _ = writeln!(s, "  \"hvx_skipped\": [{}],", names(r.hvx_skipped));

@@ -140,6 +140,33 @@ impl<K: Eq + Hash + Clone, V, E: Clone> Cache<K, V, E> {
         Some(v)
     }
 
+    /// Admit an already-computed value without running a flight — the
+    /// spill store's startup re-admission and peer fills use this.
+    ///
+    /// An in-flight key is left alone (the leader is about to publish
+    /// the same content; replacing the entry under it would strand its
+    /// waiters) and a resident value is replaced. The admitted value is
+    /// returned either way, and the usual LRU eviction applies — counts
+    /// nothing (the caller tracks its own hit/refill stats).
+    pub fn insert(&self, key: K, value: V, bytes: usize) -> Arc<V> {
+        let value = Arc::new(value);
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(Entry::InFlight(_)) = inner.map.get(&key) {
+            return value;
+        }
+        let entry = Entry::Resident { value: value.clone(), bytes, last_used: tick };
+        if let Some(Entry::Resident { bytes: old, .. }) = inner.map.insert(key, entry) {
+            inner.stats.resident_bytes -= old;
+            inner.stats.resident_count -= 1;
+        }
+        inner.stats.resident_bytes += bytes;
+        inner.stats.resident_count += 1;
+        self.evict_to_budget(&mut inner);
+        value
+    }
+
     /// Look up `key`; on a miss, run `compute` exactly once across all
     /// concurrent callers and share the result.
     ///
@@ -388,6 +415,43 @@ mod tests {
         assert_eq!((*v, src), (9, Source::Computed));
         assert!(c.try_get(&"big".to_string()).is_none());
         assert_eq!(c.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn insert_admits_and_replaces() {
+        let c: C = Cache::new(250);
+        c.insert("a".to_string(), 1, 100);
+        let (v, src) = c.get_or_compute(&"a".to_string(), None, || panic!("resident")).unwrap();
+        assert_eq!((*v, src), (1, Source::Hit));
+        // Replacement adjusts the charged bytes instead of double-counting.
+        c.insert("a".to_string(), 2, 120);
+        assert_eq!(c.stats().resident_bytes, 120);
+        assert_eq!(*c.try_get(&"a".to_string()).unwrap(), 2);
+        // Inserting past the budget evicts, same as a computed value.
+        c.insert("b".to_string(), 3, 200);
+        assert_eq!(c.stats().resident_count, 1);
+    }
+
+    #[test]
+    fn insert_never_stomps_an_inflight_key() {
+        let c: Arc<C> = Arc::new(Cache::new(1 << 20));
+        let leader = {
+            let c = c.clone();
+            std::thread::spawn(move || {
+                c.get_or_compute(&"k".to_string(), None, || {
+                    std::thread::sleep(Duration::from_millis(80));
+                    Ok((7, 10))
+                })
+                .unwrap()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        // The flight is pending; the insert must not replace it.
+        let v = c.insert("k".to_string(), 99, 10);
+        assert_eq!(*v, 99, "caller still gets its value back");
+        let (v, src) = leader.join().unwrap();
+        assert_eq!((*v, src), (7, Source::Computed));
+        assert_eq!(*c.try_get(&"k".to_string()).unwrap(), 7, "leader's publish won");
     }
 
     #[test]

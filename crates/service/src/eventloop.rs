@@ -41,13 +41,15 @@
 
 use crate::error::ServiceError;
 use crate::json::Json;
+use crate::key::CacheKey;
+use crate::peer;
 use crate::poll::{poll_fds, wake_pipe, PollFd, Waker, POLLIN, POLLOUT};
 use crate::protocol::{
-    attach_tag, attach_tag_rendered, decode_frame, error_response, parse_request, request_tag,
-    write_frame, FrameReader, FrameWriter, Request, MAX_FRAME,
+    attach_tag, attach_tag_rendered, decode_frame, error_response, parse_request, peer_get_frame,
+    request_tag, write_frame, FrameReader, FrameWriter, Request, FILL_CHUNK, MAX_FRAME,
 };
-use crate::server::StopFlag;
-use crate::service::{FastReply, Service};
+use crate::server::{Endpoint, StopFlag};
+use crate::service::{CacheDecision, FastReply, Service};
 use crate::stats::Stats;
 use fpir_pool::{Task, TaskQueue};
 use std::collections::{HashMap, VecDeque};
@@ -84,6 +86,14 @@ pub struct ServeOptions {
     /// Dispatch queue bound; ready requests past it are shed with
     /// `overloaded` responses (0 = default).
     pub dispatch_queue: usize,
+    /// Sibling daemons sharing the key space. On a local+disk miss the
+    /// key's rendezvous owner is asked for its artifact (`peer_get`)
+    /// before compiling locally; every daemon must list the same fleet
+    /// (its own serving address excluded), spelled identically.
+    pub peers: Vec<Endpoint>,
+    /// How long a forwarded fetch may wait for the owning peer before
+    /// the request degrades to a local compile.
+    pub peer_timeout_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -94,6 +104,8 @@ impl Default for ServeOptions {
             max_pipeline: 128,
             dispatch_workers: 0,
             dispatch_queue: 0,
+            peers: Vec::new(),
+            peer_timeout_ms: 1500,
         }
     }
 }
@@ -129,6 +141,19 @@ enum Stream {
 }
 
 impl Stream {
+    /// Dial a peer daemon. The connect itself may block briefly —
+    /// peers are co-located and either accept immediately or refuse —
+    /// after which the socket joins the poll set non-blocking like any
+    /// accepted connection.
+    fn connect(ep: &Endpoint) -> io::Result<Stream> {
+        let s = match ep {
+            Endpoint::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            Endpoint::Tcp(addr) => Stream::Tcp(TcpStream::connect(addr.as_str())?),
+        };
+        s.set_nonblocking()?;
+        Ok(s)
+    }
+
     fn fd(&self) -> RawFd {
         match self {
             Stream::Unix(s) => s.as_raw_fd(),
@@ -178,31 +203,41 @@ const HOT_MAX_ENTRIES: usize = 2048;
 /// A memo of raw compile-request bytes → the exact rendered response,
 /// shared by every connection on one loop.
 ///
-/// Compilation is deterministic and the rule sets are fixed for the
-/// life of the service, so byte-identical compile requests (tag
-/// included — the tag is part of the key and of the stored body) get
-/// byte-identical responses. A memo hit skips the JSON parse, the
-/// expression parse, and the cache-key construction — the entire
-/// per-request CPU cost of a warm compile — leaving a hash lookup and
-/// a buffer clone. Entries are seeded only from artifact-cache hits,
-/// so the stored body is exactly what [`Service::handle_cached`] would
-/// have produced.
+/// Compilation is deterministic, so byte-identical compile requests
+/// (tag included — the tag is part of the key and of the stored body)
+/// get byte-identical responses *for one rule-set generation*. A memo
+/// hit skips the JSON parse, the expression parse, and the cache-key
+/// construction — the entire per-request CPU cost of a warm compile —
+/// leaving a hash lookup and a buffer clone. Entries are seeded only
+/// from artifact-cache hits, so the stored body is exactly what
+/// [`Service::handle_cached`] would have produced.
+///
+/// Every entry is stamped with the service's rule-set generation
+/// ([`Service::rules_generation`]); the loop refreshes `gen` each
+/// iteration and a stale-generation entry reads as a miss, so the memo
+/// can never serve a response rendered under a superseded rule set —
+/// the raw request bytes alone don't encode which rules were loaded.
 struct HotCache {
     map: HashMap<Vec<u8>, HotEntry>,
+    /// The current rule-set generation; entries from any other
+    /// generation are dead.
+    gen: u64,
 }
 
 struct HotEntry {
     body: String,
     untagged: bool,
+    /// The rule-set generation the body was rendered under.
+    rules_gen: u64,
 }
 
 impl HotCache {
-    fn new() -> HotCache {
-        HotCache { map: HashMap::new() }
+    fn new(gen: u64) -> HotCache {
+        HotCache { map: HashMap::new(), gen }
     }
 
     fn get(&self, raw: &[u8]) -> Option<&HotEntry> {
-        self.map.get(raw)
+        self.map.get(raw).filter(|e| e.rules_gen == self.gen)
     }
 
     fn insert(&mut self, raw: Vec<u8>, body: String, untagged: bool) {
@@ -212,7 +247,7 @@ impl HotCache {
         if self.map.len() >= HOT_MAX_ENTRIES {
             self.map.clear();
         }
-        self.map.insert(raw, HotEntry { body, untagged });
+        self.map.insert(raw, HotEntry { body, untagged, rules_gen: self.gen });
     }
 }
 
@@ -472,9 +507,233 @@ struct DispatchShared {
     waker: Waker,
 }
 
+/// Reconnect backoff after a failed peer dial or a dead peer socket —
+/// a down daemon costs at most one connect attempt per second, and
+/// misses routed to it in between degrade to local compiles instantly.
+const PEER_RETRY: Duration = Duration::from_secs(1);
+
+/// One live multiplexed connection to a sibling daemon. Requests and
+/// responses are correlated by tag, exactly like a v2 client.
+struct PeerConn {
+    stream: Stream,
+    reader: FrameReader,
+    writer: FrameWriter,
+}
+
+/// One configured sibling daemon, connected or not.
+struct PeerState {
+    /// The rendezvous node id — the peer's [`Endpoint`] display form.
+    id: String,
+    endpoint: Endpoint,
+    conn: Option<PeerConn>,
+    /// Don't redial before this instant.
+    retry_at: Instant,
+}
+
+/// One in-flight `peer_get`: every local request for `key` that
+/// arrived while the fetch was out joins `items` (loop-level
+/// single-flight), and all of them dispatch together when the response
+/// lands, times out, or the peer dies.
+struct PeerWait {
+    key: CacheKey,
+    /// Index into [`PeerSet::peers`] of the owner asked.
+    peer: usize,
+    deadline: Instant,
+    items: Vec<DispatchItem>,
+}
+
+/// The loop's view of the fleet: the address book, live connections,
+/// and outstanding fetches.
+struct PeerSet {
+    self_id: String,
+    peers: Vec<PeerState>,
+    /// `peers[i].id`, pre-collected for [`peer::owner_index`].
+    ids: Vec<String>,
+    waits: HashMap<i128, PeerWait>,
+    /// Key → outstanding wait tag, for single-flight joins.
+    by_key: HashMap<CacheKey, i128>,
+    next_tag: i128,
+    timeout: Duration,
+    outq_bytes: usize,
+}
+
+impl PeerSet {
+    fn new(self_id: &str, opts: &ServeOptions) -> PeerSet {
+        let now = Instant::now();
+        let peers: Vec<PeerState> = opts
+            .peers
+            .iter()
+            .map(|ep| PeerState {
+                id: ep.to_string(),
+                endpoint: ep.clone(),
+                conn: None,
+                retry_at: now,
+            })
+            .collect();
+        let ids = peers.iter().map(|p| p.id.clone()).collect();
+        PeerSet {
+            self_id: self_id.to_string(),
+            peers,
+            ids,
+            waits: HashMap::new(),
+            by_key: HashMap::new(),
+            next_tag: 1,
+            timeout: Duration::from_millis(opts.peer_timeout_ms.max(1)),
+            outq_bytes: opts.outq_bytes,
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        !self.peers.is_empty()
+    }
+
+    /// A live connection to `peers[i]`, dialing if the backoff allows.
+    fn ensure_conn(&mut self, i: usize, now: Instant) -> bool {
+        let p = &mut self.peers[i];
+        if p.conn.is_some() {
+            return true;
+        }
+        if now < p.retry_at {
+            return false;
+        }
+        match Stream::connect(&p.endpoint) {
+            Ok(stream) => {
+                p.conn = Some(PeerConn {
+                    stream,
+                    reader: FrameReader::new(),
+                    writer: FrameWriter::new(self.outq_bytes),
+                });
+                true
+            }
+            Err(e) => {
+                p.retry_at = now + PEER_RETRY;
+                eprintln!("pitchforkd: peer {} unreachable: {e}", p.id);
+                false
+            }
+        }
+    }
+
+    /// Route one local+disk miss: the key's rendezvous owner is asked
+    /// for its artifact, anything else (we own it, the owner is down,
+    /// its queue is full) compiles locally via `batch`.
+    fn route(
+        &mut self,
+        key: CacheKey,
+        item: DispatchItem,
+        batch: &mut Vec<DispatchItem>,
+        stats: &Stats,
+        now: Instant,
+    ) {
+        let Some(owner) = peer::owner_index(&self.self_id, &self.ids, key.fingerprint()) else {
+            // Our key: compile here. Peers asking for it take the
+            // `peer_get` path and find it in the warm cache.
+            batch.push(item);
+            return;
+        };
+        if let Some(&tag) = self.by_key.get(&key) {
+            // A fetch for this key is already out: join it.
+            self.waits.get_mut(&tag).expect("by_key wait exists").items.push(item);
+            return;
+        }
+        if !self.ensure_conn(owner, now) {
+            Stats::bump(&stats.peer_errors);
+            batch.push(item);
+            return;
+        }
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let frame = peer_get_frame(&key, tag);
+        let pc = self.peers[owner].conn.as_mut().expect("ensured above");
+        if pc.writer.queue(&frame).is_err() {
+            Stats::bump(&stats.peer_errors);
+            batch.push(item);
+            return;
+        }
+        self.by_key.insert(key.clone(), tag);
+        self.waits.insert(
+            tag,
+            PeerWait { key, peer: owner, deadline: now + self.timeout, items: vec![item] },
+        );
+    }
+
+    /// A peer connection died: drop it, back off, and fail every wait
+    /// parked on it so the requests compile locally this iteration.
+    fn fail_peer(&mut self, i: usize, ready: &mut Vec<DispatchItem>, stats: &Stats, now: Instant) {
+        self.peers[i].conn = None;
+        self.peers[i].retry_at = now + PEER_RETRY;
+        let tags: Vec<i128> =
+            self.waits.iter().filter(|(_, w)| w.peer == i).map(|(t, _)| *t).collect();
+        for t in tags {
+            let w = self.waits.remove(&t).expect("collected above");
+            self.by_key.remove(&w.key);
+            Stats::bump(&stats.peer_errors);
+            ready.extend(w.items);
+        }
+    }
+
+    /// Expire overdue fetches (all of them when `force` — a stopping
+    /// server must answer everything inside the drain grace).
+    fn sweep(&mut self, now: Instant, force: bool, ready: &mut Vec<DispatchItem>, stats: &Stats) {
+        if self.waits.is_empty() {
+            return;
+        }
+        let tags: Vec<i128> = self
+            .waits
+            .iter()
+            .filter(|(_, w)| force || now >= w.deadline)
+            .map(|(t, _)| *t)
+            .collect();
+        for t in tags {
+            let w = self.waits.remove(&t).expect("collected above");
+            self.by_key.remove(&w.key);
+            Stats::bump(&stats.peer_timeouts);
+            ready.extend(w.items);
+        }
+    }
+
+    /// One response frame from a peer. A matching wait resolves — on a
+    /// verified artifact the cache is now warm and the waiting requests
+    /// will hit it — and an unknown tag (a fetch that already timed
+    /// out) is ignored. Either way the waiting items go to `ready` for
+    /// normal dispatch.
+    fn handle_response(
+        &mut self,
+        frame: &Json,
+        service: &Service,
+        ready: &mut Vec<DispatchItem>,
+        stats: &Stats,
+    ) {
+        let Some(tag) = frame.get("tag").and_then(|t| t.as_int()) else {
+            return;
+        };
+        let Some(w) = self.waits.remove(&tag) else {
+            return;
+        };
+        self.by_key.remove(&w.key);
+        let ok = frame.get("ok").and_then(|v| v.as_bool()) == Some(true);
+        let found = frame.get("found").and_then(|v| v.as_bool()) == Some(true);
+        match frame.get("artifact") {
+            Some(art) if ok && found => match service.admit_peer_artifact(&w.key, art) {
+                Ok(()) => Stats::bump(&stats.peer_hits),
+                Err(e) => {
+                    eprintln!(
+                        "pitchforkd: peer {} sent an unusable artifact: {e}",
+                        self.peers[w.peer].id
+                    );
+                    Stats::bump(&stats.peer_errors);
+                }
+            },
+            _ => Stats::bump(&stats.peer_misses),
+        }
+        ready.extend(w.items);
+    }
+}
+
 /// Answer and dispatch everything answerable on one connection. Ready
-/// requests that need a worker go into `batch`; inline-answerable ones
-/// are queued on the writer immediately.
+/// requests that need a worker go into `batch`, local+disk misses
+/// eligible for peer forwarding go into `remote` (when enabled), and
+/// inline-answerable ones are queued on the writer immediately.
+#[allow(clippy::too_many_arguments)]
 fn pump(
     id: u64,
     conn: &mut Conn,
@@ -483,6 +742,8 @@ fn pump(
     opts: &ServeOptions,
     hot: &mut HotCache,
     batch: &mut Vec<DispatchItem>,
+    remote: &mut Vec<(CacheKey, DispatchItem)>,
+    forward: bool,
 ) {
     loop {
         let Some(front) = conn.pending.front() else {
@@ -504,10 +765,11 @@ fn pump(
         match f.work {
             Work::Hot(body, arrived) => {
                 // Same accounting as the handle_cached hit this entry
-                // was seeded from.
+                // was seeded from, plus the memo's own counter.
                 let stats = service.stats();
                 Stats::bump(&stats.requests);
                 Stats::bump(&stats.cache_hits);
+                Stats::bump(&stats.hot_hits);
                 conn.queue_reply(FastReply::Raw(body), None);
                 stats.record_latency_us(u64::try_from(arrived.elapsed().as_micros()).unwrap_or(0));
             }
@@ -529,8 +791,8 @@ fn pump(
                     stop.request();
                     continue;
                 }
-                match service.handle_cached(&req) {
-                    Some(FastReply::Raw(mut body)) => {
+                match service.classify(&req) {
+                    CacheDecision::Reply(FastReply::Raw(mut body)) => {
                         // A compile served from the artifact cache:
                         // splice the tag, then memoize the finished
                         // bytes under the frame's raw bytes.
@@ -542,13 +804,19 @@ fn pump(
                         }
                         conn.queue_reply(FastReply::Raw(body), None);
                     }
-                    Some(fast) => conn.queue_reply(fast, f.tag.as_ref()),
-                    None => {
+                    CacheDecision::Reply(fast) => conn.queue_reply(fast, f.tag.as_ref()),
+                    decision => {
                         conn.inflight += 1;
                         if untagged {
                             conn.serial_block = true;
                         }
-                        batch.push(DispatchItem { conn: id, tag: f.tag, untagged, req });
+                        let item = DispatchItem { conn: id, tag: f.tag, untagged, req };
+                        match decision {
+                            CacheDecision::MissRemote(key) if forward => {
+                                remote.push((key, item));
+                            }
+                            _ => batch.push(item),
+                        }
                     }
                 }
             }
@@ -557,11 +825,14 @@ fn pump(
 }
 
 /// Run the readiness loop until the stop flag trips, then drain.
+/// `self_id` is this daemon's own serving address in [`Endpoint`]
+/// display form — its rendezvous node id within the fleet.
 pub(crate) fn run(
     service: &Arc<Service>,
     listener: &Listener,
     stop: &StopFlag,
     opts: &ServeOptions,
+    self_id: &str,
 ) -> io::Result<()> {
     let (mut wake_rx, waker) = wake_pipe()?;
     let shared = Arc::new(DispatchShared { completions: Mutex::new(Vec::new()), waker });
@@ -576,7 +847,8 @@ pub(crate) fn run(
     let dispatch = TaskQueue::new(workers, queue_bound);
 
     let mut conns: HashMap<u64, Conn> = HashMap::new();
-    let mut hot = HotCache::new();
+    let mut hot = HotCache::new(service.rules_generation());
+    let mut peers = PeerSet::new(self_id, opts);
     let mut next_id: u64 = 0;
     let mut drain_deadline: Option<Instant> = None;
 
@@ -597,7 +869,7 @@ pub(crate) fn run(
         }
 
         // ── build the poll set ──────────────────────────────────────
-        let mut fds = Vec::with_capacity(2 + conns.len());
+        let mut fds = Vec::with_capacity(2 + conns.len() + peers.peers.len());
         fds.push(PollFd::new(wake_rx.fd(), POLLIN));
         let listener_idx = if stopping {
             None
@@ -618,8 +890,25 @@ pub(crate) fn run(
             }
             fds.push(PollFd::new(c.stream.fd(), interest));
         }
+        // Live peer connections poll alongside the clients: always
+        // readable (responses arrive whenever the owner answers),
+        // writable only while a `peer_get` is still queued.
+        let peer_base = fds.len();
+        let peer_order: Vec<usize> =
+            (0..peers.peers.len()).filter(|&i| peers.peers[i].conn.is_some()).collect();
+        for &pi in &peer_order {
+            let pc = peers.peers[pi].conn.as_ref().expect("filtered on is_some");
+            let mut interest = POLLIN;
+            if !pc.writer.is_empty() {
+                interest |= POLLOUT;
+            }
+            fds.push(PollFd::new(pc.stream.fd(), interest));
+        }
 
         poll_fds(&mut fds, POLL_TIMEOUT)?;
+        // The memo must not outlive the rule-set generation its bodies
+        // were rendered under.
+        hot.gen = service.rules_generation();
 
         // ── drain completions (every iteration: the waker's pending
         // flag makes a missed byte harmless) ────────────────────────
@@ -635,6 +924,57 @@ pub(crate) fn run(
                 conn.queue_reply(FastReply::Json(c.reply), c.tag.as_ref());
             }
         }
+
+        // ── peer I/O: flush queued fetches, correlate responses ─────
+        // Items freed here (response landed, fetch timed out, peer
+        // died) join this iteration's dispatch batch; a resolved fetch
+        // admitted its artifact, so those items hit the now-warm cache.
+        let mut ready: Vec<DispatchItem> = Vec::new();
+        let now = Instant::now();
+        let stats = service.stats();
+        for (j, &pi) in peer_order.iter().enumerate() {
+            let pf = &fds[peer_base + j];
+            let (failed, readable, writable) = (pf.failed(), pf.readable(), pf.writable());
+            let mut dead = failed;
+            let mut frames: Vec<Json> = Vec::new();
+            if !dead {
+                let pc = peers.peers[pi].conn.as_mut().expect("registered");
+                if writable && pc.writer.write_some(&mut pc.stream).is_err() {
+                    dead = true;
+                }
+                while !dead && readable {
+                    match pc.reader.fill_from(&mut pc.stream) {
+                        Ok(0) => dead = true,
+                        Ok(n) => {
+                            loop {
+                                match pc.reader.buffered_frame() {
+                                    Ok(Some(frame)) => frames.push(frame),
+                                    Ok(None) => break,
+                                    Err(_) => {
+                                        // Unframeable bytes: the stream
+                                        // can't be trusted any more.
+                                        dead = true;
+                                        break;
+                                    }
+                                }
+                            }
+                            if n < FILL_CHUNK {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(_) => dead = true,
+                    }
+                }
+            }
+            for frame in &frames {
+                peers.handle_response(frame, service, &mut ready, stats);
+            }
+            if dead {
+                peers.fail_peer(pi, &mut ready, stats, now);
+            }
+        }
+        peers.sweep(now, stopping, &mut ready, stats);
 
         // ── accept ──────────────────────────────────────────────────
         if let Some(i) = listener_idx {
@@ -680,10 +1020,27 @@ pub(crate) fn run(
         }
 
         // ── pump: inline replies + collect the dispatch batch ───────
-        let mut batch: Vec<DispatchItem> = Vec::new();
+        let mut batch: Vec<DispatchItem> = std::mem::take(&mut ready);
+        let mut remote: Vec<(CacheKey, DispatchItem)> = Vec::new();
+        let forward = peers.enabled() && !stopping;
         for (&id, conn) in conns.iter_mut() {
             if !conn.dead {
-                pump(id, conn, service, stop, opts, &mut hot, &mut batch);
+                pump(id, conn, service, stop, opts, &mut hot, &mut batch, &mut remote, forward);
+            }
+        }
+
+        // ── route misses to their owners, flush the fetch frames ────
+        for (key, item) in remote {
+            peers.route(key, item, &mut batch, stats, now);
+        }
+        for p in peers.peers.iter_mut() {
+            if let Some(pc) = p.conn.as_mut() {
+                if !pc.writer.is_empty() {
+                    // A write failure is deliberately left alone: the
+                    // fd polls as failed next iteration and fail_peer
+                    // reroutes the parked waits to local compiles.
+                    let _ = pc.writer.write_some(&mut pc.stream);
+                }
             }
         }
 

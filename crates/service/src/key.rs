@@ -187,6 +187,28 @@ mod tests {
     }
 
     #[test]
+    fn flipping_a_rule_toggle_changes_the_fingerprint() {
+        // The disk store names its files by `CacheKey::fingerprint` and
+        // stamps the rule-set fingerprint into every envelope header; a
+        // daemon whose rule toggles differ must therefore miss the
+        // store on both counts, never load an artifact compiled under
+        // other rules.
+        let e = sat_add(16);
+        let full = CacheKey::for_compile(&Pitchfork::new(Isa::ArmNeon), &e);
+        let hand = CacheKey::for_compile(
+            &Pitchfork::with_config(Config::new(Isa::ArmNeon).hand_written_only()),
+            &e,
+        );
+        let leave = CacheKey::for_compile(
+            &Pitchfork::with_config(Config::new(Isa::ArmNeon).leaving_out("blur")),
+            &e,
+        );
+        assert_ne!(full.fingerprint(), hand.fingerprint());
+        assert_ne!(full.fingerprint(), leave.fingerprint());
+        assert_ne!(full.rules_fp, hand.rules_fp, "the toggle reloads a different rule set");
+    }
+
+    #[test]
     fn fnv_matches_known_vectors() {
         // Standard FNV-1a 64 test vectors.
         let mut h = Fnv::new();

@@ -44,11 +44,13 @@ pub mod error;
 pub mod eventloop;
 pub mod json;
 pub mod key;
+pub mod peer;
 pub mod poll;
 pub mod protocol;
 pub mod server;
 pub mod service;
 pub mod stats;
+pub mod store;
 
 pub use cache::{Cache, CacheError, CacheStats, Source};
 pub use error::ServiceError;
@@ -62,5 +64,6 @@ pub use protocol::{
 pub use server::{
     install_signal_handlers, request_stop, reset_signal_stop, serve, serve_with, Client, Endpoint,
 };
-pub use service::{FastReply, Service, ServiceConfig};
+pub use service::{CacheDecision, FastReply, Service, ServiceConfig};
 pub use stats::{LatencySummary, Stats};
+pub use store::{DiskStore, StoreError};

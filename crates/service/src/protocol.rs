@@ -484,6 +484,18 @@ pub enum Request {
         /// Worker threads for the tiled runner.
         jobs: usize,
     },
+    /// A sibling daemon asks the owner of a cache key for its artifact
+    /// in portable form (fleet miss forwarding). Carries the full
+    /// structured key — the requester's and owner's keys must be equal,
+    /// not merely share a fingerprint.
+    PeerGet {
+        /// The key's compile half (`engine_bits` on the wire carries
+        /// all eight engine configurations, not just fast/reference).
+        spec: CompileSpec,
+        /// The requester's rule-set fingerprint for this configuration;
+        /// the owner answers `found: false` on a mismatch.
+        rules_fp: u64,
+    },
 }
 
 fn bad(msg: impl Into<String>) -> ServiceError {
@@ -645,8 +657,53 @@ pub fn parse_request(v: &Json) -> Result<Request, ServiceError> {
             };
             Ok(Request::RunPipeline { spec, inputs, jobs })
         }
+        "peer_get" => {
+            let mut spec = parse_spec(v)?;
+            if let Some(bits) = v.get("engine_bits") {
+                match bits.as_array() {
+                    Some([m, i, c]) => match (m.as_bool(), i.as_bool(), c.as_bool()) {
+                        (Some(memo), Some(index), Some(cost_cache)) => {
+                            spec.engine = EngineConfig { memo, index, cost_cache };
+                        }
+                        _ => return Err(bad("`engine_bits` entries must be booleans")),
+                    },
+                    _ => return Err(bad("`engine_bits` must be an array of three booleans")),
+                }
+            }
+            let rules_fp = v
+                .get("rules_fp")
+                .and_then(Json::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or_else(|| bad("missing hex string field `rules_fp`"))?;
+            Ok(Request::PeerGet { spec, rules_fp })
+        }
         other => Err(bad(format!("unknown op `{other}`"))),
     }
+}
+
+/// Build the `peer_get` request frame for one cache key. The key's
+/// engine bits ride in `engine_bits` (the `engine` string covers only
+/// the fast/reference presets); `tag` correlates the response on the
+/// requester's multiplexed peer connection.
+pub fn peer_get_frame(key: &crate::key::CacheKey, tag: i128) -> Json {
+    let (memo, index, cost_cache) = key.engine;
+    let mut members = vec![
+        ("op".into(), Json::str("peer_get")),
+        ("expr".into(), Json::str(key.expr.clone())),
+        ("lanes".into(), Json::Int(key.lanes as i128)),
+        ("isa".into(), Json::str(key.isa.short_name())),
+        (
+            "engine_bits".into(),
+            Json::Array(vec![Json::Bool(memo), Json::Bool(index), Json::Bool(cost_cache)]),
+        ),
+        ("synthesized_rules".into(), Json::Bool(key.synthesized_rules)),
+        ("rules_fp".into(), Json::str(format!("{:016x}", key.rules_fp))),
+        ("tag".into(), Json::Int(tag)),
+    ];
+    if let Some(l) = &key.leave_out {
+        members.insert(6, ("leave_out".into(), Json::str(l.clone())));
+    }
+    Json::Object(members)
 }
 
 /// The `{"ok": false, ...}` response for an error.

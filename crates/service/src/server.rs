@@ -42,6 +42,25 @@ impl std::fmt::Display for Endpoint {
     }
 }
 
+impl Endpoint {
+    /// Parse a CLI address: an explicit `unix:` or `tcp:` prefix wins;
+    /// a bare string containing `/` is a Unix-socket path, anything
+    /// else a TCP address. Round-trips with [`Display`]: the display
+    /// form doubles as the fleet's rendezvous node id, so every daemon
+    /// resolves `--peer` spellings to the same canonical string.
+    pub fn parse(s: &str) -> Endpoint {
+        if let Some(path) = s.strip_prefix("unix:") {
+            Endpoint::Unix(PathBuf::from(path))
+        } else if let Some(addr) = s.strip_prefix("tcp:") {
+            Endpoint::Tcp(addr.to_string())
+        } else if s.contains('/') {
+            Endpoint::Unix(PathBuf::from(s))
+        } else {
+            Endpoint::Tcp(s.to_string())
+        }
+    }
+}
+
 /// Default cap on concurrently open connections. Admission control on
 /// the compile queue bounds work, not sockets; this bounds sockets, so
 /// a connection flood (especially on TCP) cannot exhaust fds or
@@ -162,7 +181,7 @@ pub fn serve_with(
         }
     };
 
-    let result = eventloop::run(&service, &listener, &stop, opts);
+    let result = eventloop::run(&service, &listener, &stop, opts, &endpoint.to_string());
     if let Listener::Unix(l, path) = listener {
         drop(l);
         let _ = std::fs::remove_file(path);
@@ -262,6 +281,7 @@ mod tests {
             workers: 2,
             queue_capacity: 8,
             default_timeout_ms: None,
+            cache_dir: None,
         }));
         let ep = endpoint.clone();
         std::thread::spawn(move || serve(svc, &ep))

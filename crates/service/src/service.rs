@@ -28,12 +28,15 @@ use crate::json::Json;
 use crate::key::{engine_bits, ruleset_fingerprint, CacheKey};
 use crate::protocol::{error_response, ok_response, CompileSpec, ImageSpec, Request, StatsFormat};
 use crate::stats::Stats;
+use crate::store::{self, DiskStore, Lookup};
 use fpir::expr::RcExpr;
 use fpir::interp::{Env, Value};
 use fpir_halide::{run_tiled_exe, Image, Pipeline};
 use fpir_pool::TaskQueue;
 use pitchfork::{compile_to_executable_with, Artifact, Config, DriverError, Pitchfork};
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -49,6 +52,10 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Deadline applied when a request doesn't carry its own.
     pub default_timeout_ms: Option<u64>,
+    /// Spill directory for the on-disk artifact store. `None` disables
+    /// persistence; with a directory, compiled artifacts are written
+    /// through and re-admitted on the next startup (restart-warm).
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +66,7 @@ impl Default for ServiceConfig {
             workers,
             queue_capacity: workers * 8,
             default_timeout_ms: None,
+            cache_dir: None,
         }
     }
 }
@@ -131,25 +139,66 @@ pub enum FastReply {
     Raw(String),
 }
 
+/// How the event loop should treat one ready frame: answer it from
+/// warm state, hand it to a worker, or — for a key this daemon has
+/// neither in memory nor on disk — optionally ask the key's owning
+/// peer before the worker compiles it locally.
+#[derive(Debug)]
+pub enum CacheDecision {
+    /// Answerable right now; no worker needed.
+    Reply(FastReply),
+    /// Needs a worker (compile, run, warm pipeline execution, or a
+    /// refill the local disk store can satisfy).
+    Dispatch,
+    /// Needs a worker *and* the key is absent locally: a peering event
+    /// loop may first ask the key's owner for the artifact. Purely an
+    /// optimization — dispatching directly is always correct.
+    MissRemote(CacheKey),
+}
+
 /// The concurrent compile-and-run service.
 #[derive(Debug)]
 pub struct Service {
     config: ServiceConfig,
     selectors: Mutex<HashMap<SelectorKey, Arc<Selector>>>,
     cache: Cache<CacheKey, Served, ServiceError>,
+    store: Option<DiskStore>,
     queue: TaskQueue,
     stats: Stats,
+    /// Monotonic rule-set generation. Anything memoizing *rendered
+    /// responses* outside the cache (the event loop's hot-request memo)
+    /// records the generation it was seeded under and must discard
+    /// entries from older generations. Today rule sets are fixed at
+    /// startup, so this only moves when tests (or a future rule-reload
+    /// path) bump it — but the memo checks it on every hit, so reloads
+    /// can never serve another configuration's bytes.
+    rules_gen: AtomicU64,
 }
 
 impl Service {
     /// Build a service and warm the default selector for every ISA, so
-    /// the first request doesn't pay rule-set construction.
+    /// the first request doesn't pay rule-set construction. With a
+    /// `cache_dir`, the spill directory is scanned and every valid
+    /// entry re-admitted into the cache before the service is handed
+    /// out (restart-warm).
     pub fn new(config: ServiceConfig) -> Service {
+        let store = config.cache_dir.as_ref().and_then(|dir| match DiskStore::open(dir) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!(
+                    "pitchforkd: cannot open cache dir {}: {e}; persistence disabled",
+                    dir.display()
+                );
+                None
+            }
+        });
         let svc = Service {
             cache: Cache::new(config.cache_bytes),
             queue: TaskQueue::new(config.workers, config.queue_capacity),
             stats: Stats::new(),
             selectors: Mutex::new(HashMap::new()),
+            store,
+            rules_gen: AtomicU64::new(1),
             config,
         };
         for isa in fpir::machine::ALL_ISAS {
@@ -163,6 +212,15 @@ impl Service {
                 timeout_ms: None,
             };
             let _ = svc.selector(&spec);
+        }
+        if let Some(store) = &svc.store {
+            let report = store.scan(|key, art| {
+                let served = Served::new(art, key.fingerprint());
+                let bytes = served.approx_bytes();
+                svc.cache.insert(key, served, bytes);
+            });
+            svc.stats.disk_loaded.fetch_add(report.loaded, Ordering::Relaxed);
+            svc.stats.disk_rejected.fetch_add(report.rejected, Ordering::Relaxed);
         }
         svc
     }
@@ -185,6 +243,19 @@ impl Service {
     /// Compile tasks currently queued (admission-control depth).
     pub fn queue_depth(&self) -> usize {
         self.queue.depth()
+    }
+
+    /// The current rule-set generation (see the field doc on
+    /// `rules_gen`). Response memos outside the cache key on this.
+    pub fn rules_generation(&self) -> u64 {
+        self.rules_gen.load(Ordering::Relaxed)
+    }
+
+    /// Invalidate every externally-memoized rendered response by
+    /// advancing the rule-set generation. Call whenever the loaded rule
+    /// sets could have changed.
+    pub fn bump_rules_generation(&self) {
+        self.rules_gen.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The warm selector for a spec's compiler configuration.
@@ -249,30 +320,45 @@ impl Service {
             Request::RunPipeline { spec, inputs, jobs } => {
                 self.handle_run_pipeline(spec, inputs, *jobs, compiler)
             }
+            Request::PeerGet { spec, rules_fp } => self.handle_peer_get(spec, *rules_fp, compiler),
         };
         self.finish(started, out)
     }
 
     /// Answer a request from warm state only, without ever blocking on
     /// a compile: `None` means "dispatch this to a worker". The event
-    /// loop calls this inline for every ready frame, so cache hits and
-    /// control ops are answered in the same loop iteration they arrive
-    /// in and never wait behind a slow compile.
+    /// loop calls [`classify`](Self::classify) for the same decision
+    /// plus the miss's cache key (for peer forwarding); this wrapper
+    /// keeps the simpler reply-or-dispatch view.
     pub fn handle_cached(&self, req: &Request) -> Option<FastReply> {
+        match self.classify(req) {
+            CacheDecision::Reply(r) => Some(r),
+            CacheDecision::Dispatch | CacheDecision::MissRemote(_) => None,
+        }
+    }
+
+    /// Classify one ready frame: answer it inline from warm state,
+    /// dispatch it to a worker, or report a true local miss along with
+    /// its cache key so a peering event loop can consult the key's
+    /// owner first. Never blocks on a compile.
+    pub fn classify(&self, req: &Request) -> CacheDecision {
         let spec = match req {
             // Control ops never compile; answer inline.
             Request::Ping | Request::Stats { .. } | Request::Shutdown => {
-                return Some(FastReply::Json(self.handle(req)));
+                return CacheDecision::Reply(FastReply::Json(self.handle(req)));
             }
-            Request::Compile(spec) | Request::Run { spec, .. } => spec,
-            // Whole-image runs are real work even when the artifact is
-            // warm; always dispatch.
-            Request::RunPipeline { .. } => return None,
+            Request::Compile(spec)
+            | Request::Run { spec, .. }
+            | Request::RunPipeline { spec, .. } => spec,
+            // A sibling's lookup is answered by a worker and is never
+            // forwarded again — ownership is a function of the key, so
+            // a second hop could only be a routing loop.
+            Request::PeerGet { .. } => return CacheDecision::Dispatch,
         };
         let started = Instant::now();
         let Ok(expr) = fpir::parser::parse_expr(&spec.expr, spec.lanes) else {
             // Malformed expressions are cheap to reject inline.
-            return Some(FastReply::Json(self.handle(req)));
+            return CacheDecision::Reply(FastReply::Json(self.handle(req)));
         };
         let selector = self.selector(spec);
         let key = CacheKey {
@@ -284,19 +370,32 @@ impl Service {
             leave_out: spec.leave_out.clone(),
             rules_fp: selector.rules_fp,
         };
-        let served = self.cache.try_get(&key)?;
-        Stats::bump(&self.stats.requests);
-        Stats::bump(&self.stats.cache_hits);
+        let Some(served) = self.cache.try_get(&key) else {
+            // A disk-resident key refills locally (cheaper than any
+            // network hop); only a true local miss is worth a peer ask.
+            if self.store.as_ref().is_some_and(|s| s.contains(&key)) {
+                return CacheDecision::Dispatch;
+            }
+            return CacheDecision::MissRemote(key);
+        };
         match req {
             Request::Compile(_) => {
+                Stats::bump(&self.stats.requests);
+                Stats::bump(&self.stats.cache_hits);
                 let body = served.hit_body.clone();
                 self.stats.record_latency_us(started.elapsed().as_micros() as u64);
-                Some(FastReply::Raw(body))
+                CacheDecision::Reply(FastReply::Raw(body))
             }
             Request::Run { inputs, .. } => {
+                Stats::bump(&self.stats.requests);
+                Stats::bump(&self.stats.cache_hits);
                 let out = self.run_response(&expr, key.fingerprint(), &served, Source::Hit, inputs);
-                Some(FastReply::Json(self.finish(started, out)))
+                CacheDecision::Reply(FastReply::Json(self.finish(started, out)))
             }
+            // Whole-image runs are real work even when the artifact is
+            // warm; always dispatch (the worker's own accounting
+            // applies — counting here too would double-book).
+            Request::RunPipeline { .. } => CacheDecision::Dispatch,
             _ => unreachable!("filtered above"),
         }
     }
@@ -344,11 +443,28 @@ impl Service {
         let timeout_ms = spec.timeout_ms.or(self.config.default_timeout_ms);
         let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
 
-        let computed = self.cache.get_or_compute(&key, deadline, || match compiler {
-            Compiler::Queued => {
-                self.compile_on_queue(&selector, &expr, key_fp, deadline, timeout_ms)
+        let computed = self.cache.get_or_compute(&key, deadline, || {
+            // The single-flight leader tries the disk store first: a
+            // previously-evicted (or previous-process) artifact refills
+            // without compiling, and concurrent requests join the
+            // refill exactly like a compile.
+            if let Some(art) = self.fetch_from_disk(&key) {
+                let served = Served::new(art, key_fp);
+                let bytes = served.approx_bytes();
+                return Ok((served, bytes));
             }
-            Compiler::Inline => self.compile_now(&selector, &expr, key_fp, deadline, timeout_ms),
+            let r = match compiler {
+                Compiler::Queued => {
+                    self.compile_on_queue(&selector, &expr, key_fp, deadline, timeout_ms)
+                }
+                Compiler::Inline => {
+                    self.compile_now(&selector, &expr, key_fp, deadline, timeout_ms)
+                }
+            };
+            if let Ok((served, _)) = &r {
+                self.spill(&key, &served.art);
+            }
+            r
         });
         match computed {
             Ok((art, source)) => {
@@ -440,6 +556,103 @@ impl Service {
                 Err(ServiceError::Timeout { budget_ms: timeout_ms.unwrap_or(0) })
             }
             Err(e) => Err(ServiceError::Compile(e.to_string())),
+        }
+    }
+
+    /// Leader-side disk probe: a validated spill entry becomes the
+    /// flight's value without compiling.
+    fn fetch_from_disk(&self, key: &CacheKey) -> Option<Artifact> {
+        match self.store.as_ref()?.load(key) {
+            Lookup::Missing => None,
+            Lookup::Hit(art) => {
+                Stats::bump(&self.stats.disk_hits);
+                Some(*art)
+            }
+            Lookup::Rejected(e) => {
+                Stats::bump(&self.stats.disk_rejected);
+                eprintln!("pitchforkd: rejected spill entry {:016x}: {e}", key.fingerprint());
+                None
+            }
+        }
+    }
+
+    /// Write-through to the disk store. Failure is logged and swallowed
+    /// — persistence is an optimization, never on the serving path.
+    fn spill(&self, key: &CacheKey, art: &Artifact) {
+        let Some(store) = &self.store else { return };
+        match store.spill(key, art) {
+            Ok(()) => Stats::bump(&self.stats.disk_spills),
+            Err(e) => eprintln!("pitchforkd: spill of {:016x} failed: {e}", key.fingerprint()),
+        }
+    }
+
+    /// Admit an artifact a peer returned for `expected`. The payload is
+    /// untrusted input: it is decoded, rebuilt, and verified end to end
+    /// (see [`store::decode_artifact_json`]), and the embedded key must
+    /// equal the one this daemon asked for. On success the artifact is
+    /// spilled and inserted, so dispatching the originating request
+    /// lands on a warm cache.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Internal`] describing why the payload was
+    /// refused; the caller degrades to a local compile.
+    pub fn admit_peer_artifact(
+        &self,
+        expected: &CacheKey,
+        artifact: &Json,
+    ) -> Result<(), ServiceError> {
+        let (key, art) = store::decode_artifact_json(artifact)
+            .map_err(|e| ServiceError::Internal(format!("peer artifact rejected: {e}")))?;
+        if key != *expected {
+            return Err(ServiceError::Internal("peer answered for a different key".into()));
+        }
+        self.spill(&key, &art);
+        let served = Served::new(art, key.fingerprint());
+        let bytes = served.approx_bytes();
+        self.cache.insert(key, served, bytes);
+        Ok(())
+    }
+
+    /// Serve a sibling daemon's `peer_get`: fetch-or-compile the key
+    /// (this is what concentrates each key's one fleet-wide compile at
+    /// its owner) and return the portable artifact encoding. A rule-set
+    /// fingerprint mismatch answers `found: false` — this daemon's
+    /// bytes belong to a different configuration than the requester's.
+    fn handle_peer_get(
+        &self,
+        spec: &CompileSpec,
+        rules_fp: u64,
+        compiler: Compiler,
+    ) -> Result<Json, ServiceError> {
+        Stats::bump(&self.stats.peer_serves);
+        let not_found = |reason: &str| {
+            Ok(ok_response(vec![
+                ("found".into(), Json::Bool(false)),
+                ("reason".into(), Json::str(reason)),
+            ]))
+        };
+        let selector = self.selector(spec);
+        if selector.rules_fp != rules_fp {
+            return not_found("rules_mismatch");
+        }
+        let expr = fpir::parser::parse_expr(&spec.expr, spec.lanes)
+            .map_err(|e| ServiceError::BadRequest(format!("expression: {e}")))?;
+        let key = CacheKey {
+            expr: expr.to_string(),
+            lanes: spec.lanes,
+            isa: spec.isa,
+            engine: engine_bits(spec.engine),
+            synthesized_rules: spec.synthesized_rules,
+            leave_out: spec.leave_out.clone(),
+            rules_fp: selector.rules_fp,
+        };
+        let (_, _, served, _) = self.artifact(spec, compiler)?;
+        match store::encode_artifact_json(&key, &served.art) {
+            Ok(body) => {
+                Ok(ok_response(vec![("found".into(), Json::Bool(true)), ("artifact".into(), body)]))
+            }
+            Err(e) => not_found(&e.to_string()),
         }
     }
 
@@ -580,6 +793,16 @@ impl Service {
             ("sheds".into(), Json::Int(Stats::read(&self.stats.sheds).into())),
             ("timeouts".into(), Json::Int(Stats::read(&self.stats.timeouts).into())),
             ("errors".into(), Json::Int(Stats::read(&self.stats.errors).into())),
+            ("disk_hits".into(), Json::Int(Stats::read(&self.stats.disk_hits).into())),
+            ("disk_spills".into(), Json::Int(Stats::read(&self.stats.disk_spills).into())),
+            ("disk_loaded".into(), Json::Int(Stats::read(&self.stats.disk_loaded).into())),
+            ("disk_rejected".into(), Json::Int(Stats::read(&self.stats.disk_rejected).into())),
+            ("peer_hits".into(), Json::Int(Stats::read(&self.stats.peer_hits).into())),
+            ("peer_misses".into(), Json::Int(Stats::read(&self.stats.peer_misses).into())),
+            ("peer_timeouts".into(), Json::Int(Stats::read(&self.stats.peer_timeouts).into())),
+            ("peer_errors".into(), Json::Int(Stats::read(&self.stats.peer_errors).into())),
+            ("peer_serves".into(), Json::Int(Stats::read(&self.stats.peer_serves).into())),
+            ("hot_hits".into(), Json::Int(Stats::read(&self.stats.hot_hits).into())),
             ("cache_resident_bytes".into(), Json::Int(c.resident_bytes as i128)),
             ("cache_resident_count".into(), Json::Int(c.resident_count as i128)),
             ("cache_evictions".into(), Json::Int(c.evictions as i128)),
@@ -640,6 +863,7 @@ mod tests {
             workers: 2,
             queue_capacity: 8,
             default_timeout_ms: None,
+            cache_dir: None,
         })
     }
 

@@ -30,6 +30,31 @@ pub struct Stats {
     pub timeouts: AtomicU64,
     /// Malformed / uncompilable requests.
     pub errors: AtomicU64,
+    /// Cache misses refilled from the on-disk spill store instead of
+    /// compiling.
+    pub disk_hits: AtomicU64,
+    /// Artifacts spilled to the on-disk store after a compile.
+    pub disk_spills: AtomicU64,
+    /// Spill-store entries re-admitted into the cache at startup
+    /// (restart-warm).
+    pub disk_loaded: AtomicU64,
+    /// Spill-store entries that failed validation (checksum, version,
+    /// decode) and were unlinked — nonzero values warrant a look.
+    pub disk_rejected: AtomicU64,
+    /// Remote fills: misses answered by a peer's pre-rendered artifact.
+    pub peer_hits: AtomicU64,
+    /// Peer lookups the owner answered with "not found" (or a rule-set
+    /// mismatch); the request compiled locally.
+    pub peer_misses: AtomicU64,
+    /// Peer lookups abandoned at the peer deadline (→ local compile).
+    pub peer_timeouts: AtomicU64,
+    /// Peer connect/transport/decode failures (→ local compile).
+    pub peer_errors: AtomicU64,
+    /// `peer_get` requests this daemon answered for its siblings.
+    pub peer_serves: AtomicU64,
+    /// Warm frames answered from the event loop's hot-request memo
+    /// without parsing.
+    pub hot_hits: AtomicU64,
     /// Connections currently open on the event-loop server (gauge).
     pub open_connections: AtomicU64,
     /// Frames dispatched to workers but not yet answered (gauge).

@@ -31,6 +31,7 @@ fn start(path: &Path, opts: ServeOptions) -> std::thread::JoinHandle<io::Result<
         workers: 2,
         queue_capacity: 64,
         default_timeout_ms: None,
+        cache_dir: None,
     }));
     let ep = Endpoint::Unix(path.to_path_buf());
     std::thread::spawn(move || serve_with(svc, &ep, &opts))

@@ -67,6 +67,7 @@ fn duplicate_storm_is_deduplicated_and_bit_identical() {
         workers: 4,
         queue_capacity: 64,
         default_timeout_ms: None,
+        cache_dir: None,
     }));
 
     const THREADS: usize = 8;
@@ -129,6 +130,7 @@ fn tiny_budget_thrashes_but_never_serves_a_wrong_artifact() {
         workers: 4,
         queue_capacity: 64,
         default_timeout_ms: None,
+        cache_dir: None,
     }));
 
     const THREADS: usize = 4;
@@ -172,6 +174,7 @@ fn run_responses_match_direct_execution() {
         workers: 2,
         queue_capacity: 16,
         default_timeout_ms: None,
+        cache_dir: None,
     });
     let expr = "u8(min(u16(a_u8) + u16(b_u8), 255))";
     let lanes = 32u32;
@@ -211,6 +214,7 @@ fn expired_deadline_is_a_structured_timeout_and_cache_stays_consistent() {
         workers: 1,
         queue_capacity: 16,
         default_timeout_ms: None,
+        cache_dir: None,
     }));
     let combos = combos();
     let (slow_expr, slow_isa) = combos.last().unwrap().clone();

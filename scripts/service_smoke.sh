@@ -4,7 +4,11 @@
 # second compile of the same key is a cache hit, exercise protocol v2
 # (a tagged compile, a pipelined three-request exchange, and the
 # Prometheus-style stats rendering), then assert a clean shutdown on
-# SIGTERM (exit 0, socket unlinked).
+# SIGTERM (exit 0, socket unlinked). Then: a restart-warm round trip
+# (SIGTERM + relaunch on the same --cache-dir makes the second
+# process serve the key as a hit without recompiling) and a 2-daemon
+# peer fleet (the same key on both daemons compiles once fleet-wide,
+# the non-owner serving it via peer_get).
 #
 # Usage: scripts/service_smoke.sh [path-to-target-dir]
 # Expects `pitchforkd` and `pitchfork-cli` already built (release).
@@ -15,23 +19,50 @@ TARGET="${1:-target/release}"
 SOCK="${TMPDIR:-/tmp}/pitchforkd-smoke-$$.sock"
 EXPR='u8(min(u16(a_u8) + u16(b_u8), 255))'
 
+CACHE_DIR="${TMPDIR:-/tmp}/pitchforkd-smoke-cache-$$"
+
+cleanup() {
+    for p in "${PID:-}" "${PID_A:-}" "${PID_B:-}"; do
+        [ -n "$p" ] && kill "$p" 2>/dev/null || true
+    done
+    rm -rf "$CACHE_DIR"
+}
+
 fail() {
     echo "service_smoke: FAIL — $1" >&2
-    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    cleanup
     exit 1
 }
 
 "$TARGET/pitchforkd" --socket "$SOCK" --workers 2 --timeout-ms 30000 &
 PID=$!
-trap '[ -e "/proc/$PID" ] && kill "$PID" 2>/dev/null || true' EXIT
+trap cleanup EXIT
 
-# Wait for the socket to appear.
-for _ in $(seq 1 100); do
-    [ -S "$SOCK" ] && break
-    kill -0 "$PID" 2>/dev/null || fail "daemon died before binding"
-    sleep 0.1
-done
-[ -S "$SOCK" ] || fail "socket $SOCK never appeared"
+# Wait for a daemon's socket to appear.
+wait_sock() {
+    local sock="$1" pid="$2"
+    for _ in $(seq 1 100); do
+        [ -S "$sock" ] && return 0
+        kill -0 "$pid" 2>/dev/null || fail "daemon died before binding $sock"
+        sleep 0.1
+    done
+    fail "socket $sock never appeared"
+}
+
+# SIGTERM a daemon and require a clean (status 0) exit within 10s.
+term_and_wait() {
+    local pid="$1"
+    kill -TERM "$pid"
+    local waited=0
+    while kill -0 "$pid" 2>/dev/null; do
+        sleep 0.1
+        waited=$((waited + 1))
+        [ "$waited" -gt 100 ] && fail "daemon $pid ignored SIGTERM for 10s"
+    done
+    wait "$pid" || fail "daemon $pid exited with status $? on SIGTERM"
+}
+
+wait_sock "$SOCK" "$PID"
 
 CLI="$TARGET/pitchfork-cli"
 
@@ -73,15 +104,57 @@ echo "$OUT" | grep -q 'pitchforkd_requests' || fail "no text-format counters: $O
 echo "$OUT" | grep -q 'pitchforkd_open_connections' || fail "no event-loop gauges: $OUT"
 
 echo "== SIGTERM"
-kill -TERM "$PID"
-WAITED=0
-while kill -0 "$PID" 2>/dev/null; do
-    sleep 0.1
-    WAITED=$((WAITED + 1))
-    [ "$WAITED" -gt 100 ] && fail "daemon ignored SIGTERM for 10s"
-done
-wait "$PID" && STATUS=0 || STATUS=$?
-[ "$STATUS" -eq 0 ] || fail "daemon exited with status $STATUS on SIGTERM"
+term_and_wait "$PID"
+PID=""
 [ ! -e "$SOCK" ] || fail "socket file survived shutdown"
+
+echo "== restart-warm round trip"
+mkdir -p "$CACHE_DIR"
+"$TARGET/pitchforkd" --socket "$SOCK" --workers 2 --cache-dir "$CACHE_DIR" &
+PID=$!
+wait_sock "$SOCK" "$PID"
+OUT=$("$CLI" --socket "$SOCK" compile --expr "$EXPR" --lanes 16 --isa arm)
+echo "$OUT" | grep -q '"source":"computed"' || fail "cold compile before restart: $OUT"
+term_and_wait "$PID"
+ls "$CACHE_DIR"/*.pfa >/dev/null 2>&1 || fail "no spill files in $CACHE_DIR"
+"$TARGET/pitchforkd" --socket "$SOCK" --workers 2 --cache-dir "$CACHE_DIR" &
+PID=$!
+wait_sock "$SOCK" "$PID"
+OUT=$("$CLI" --socket "$SOCK" compile --expr "$EXPR" --lanes 16 --isa arm)
+echo "$OUT" | grep -q '"source":"hit"' || fail "compile after restart was not warm: $OUT"
+OUT=$("$CLI" --socket "$SOCK" stats)
+echo "$OUT" | grep -q '"disk_loaded":[1-9]' || fail "restart loaded nothing from disk: $OUT"
+echo "$OUT" | grep -q '"compiles":0' || fail "warm restart recompiled: $OUT"
+term_and_wait "$PID"
+PID=""
+
+echo "== 2-daemon peer fleet"
+SOCK_A="${TMPDIR:-/tmp}/pitchforkd-smoke-a-$$.sock"
+SOCK_B="${TMPDIR:-/tmp}/pitchforkd-smoke-b-$$.sock"
+"$TARGET/pitchforkd" --socket "$SOCK_A" --workers 2 --peer "unix:$SOCK_B" &
+PID_A=$!
+"$TARGET/pitchforkd" --socket "$SOCK_B" --workers 2 --peer "unix:$SOCK_A" &
+PID_B=$!
+wait_sock "$SOCK_A" "$PID_A"
+wait_sock "$SOCK_B" "$PID_B"
+OUT=$("$CLI" --socket "$SOCK_A" compile --expr "$EXPR" --lanes 16 --isa arm)
+echo "$OUT" | grep -q '"ok":true' || fail "fleet compile on A: $OUT"
+OUT=$("$CLI" --socket "$SOCK_B" compile --expr "$EXPR" --lanes 16 --isa arm)
+echo "$OUT" | grep -q '"ok":true' || fail "fleet compile on B: $OUT"
+COMPILES=0
+PEER_HITS=0
+for s in "$SOCK_A" "$SOCK_B"; do
+    OUT=$("$CLI" --socket "$s" stats)
+    C=$(echo "$OUT" | grep -o '"compiles":[0-9]*' | grep -o '[0-9]*')
+    H=$(echo "$OUT" | grep -o '"peer_hits":[0-9]*' | grep -o '[0-9]*')
+    COMPILES=$((COMPILES + C))
+    PEER_HITS=$((PEER_HITS + H))
+done
+[ "$COMPILES" -eq 1 ] || fail "fleet compiled the key $COMPILES times, want 1"
+[ "$PEER_HITS" -ge 1 ] || fail "no peer_get hit recorded across the fleet"
+term_and_wait "$PID_A"
+term_and_wait "$PID_B"
+PID_A=""
+PID_B=""
 
 echo "service_smoke: PASS"
