@@ -2,23 +2,27 @@
 //!
 //! Compiles every workload for every target with every selector flow
 //! (LLVM-like baseline, Rake, Pitchfork), then executes each compiled
-//! program over whole images with both engines:
+//! program over whole images with three engines:
 //!
 //! * REFERENCE — [`fpir_halide::run_program_reference`]: a string-keyed
 //!   environment rebuilt per vector strip, interpreted by the table-lookup
 //!   VM (`fpir_sim::vm::execute`);
-//! * FAST — [`fpir_halide::run_tiled`]: the program linked once into an
+//! * LINKED — [`fpir_halide::run_tiled_exe`] over a plain
 //!   [`fpir_sim::Executable`] (slot-resolved inputs, direct semantics
-//!   dispatch, shared constants, recycled register file), rows fanned out
-//!   over an `fpir-pool` worker pool.
+//!   dispatch, shared constants, recycled register file) — the engine as
+//!   it stood before post-link fusion;
+//! * FUSED — the same executable after the post-link superinstruction
+//!   pass ([`fpir_sim::ExecConfig::FAST`]): single-use def-use chains
+//!   collapsed into one lane loop per chain, intermediates in scalars.
 //!
 //! Equality gate, fatal (exit 1): on every workload × target × compiler
-//! the reference image, the tiled image at 1 worker and the tiled image
-//! at `--jobs` workers must be bit-identical.
+//! the reference image, the linked image, the fused image at 1 worker and
+//! the fused image at `--jobs` workers must be bit-identical.
 //!
-//! Writes `BENCH_exec.json` with per-row timings, cycle-model cost, the
-//! linked executable's peak physical register count, and the geomean
-//! wall-clock speedups (linked single-worker, and tiled at `--jobs`).
+//! Writes `BENCH_exec.json` with per-row timings, cycle-model cost,
+//! dispatch counts and peak physical register counts before/after fusion,
+//! fused-superinstruction counts, and the geomean wall-clock speedups
+//! (linked vs reference, fused vs linked, fused tiled at `--jobs`).
 //!
 //! Usage: `cargo run --release -p fpir-bench --bin exec-bench --
 //!         [--smoke] [--out PATH] [--jobs N]`
@@ -29,8 +33,9 @@
 
 use fpir::Isa;
 use fpir_bench::{geomean, run, Compiler};
-use fpir_halide::{run_program_reference, run_tiled};
+use fpir_halide::{run_program_reference, run_tiled_exe};
 use fpir_isa::target;
+use fpir_sim::{ExecConfig, Executable};
 use fpir_workloads::{all_workloads, extra_workloads, unrolled_workloads};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -42,11 +47,20 @@ struct Row {
     isa: Isa,
     compiler: &'static str,
     cycles: u64,
-    peak_regs: usize,
-    ops: usize,
+    /// Per-strip dispatches before fusion (plain linked op count).
+    ops_linked: usize,
+    /// Per-strip dispatches after fusion (fused executable op count).
+    ops_fused: usize,
+    /// Fused superinstructions in the optimized executable.
+    fused_kernels: usize,
+    /// Physical register file size before fusion.
+    peak_regs_linked: usize,
+    /// Physical register file size after fusion.
+    peak_regs_fused: usize,
     reference_ns: u128,
-    fast1_ns: u128,
-    fastn_ns: u128,
+    linked1_ns: u128,
+    fused1_ns: u128,
+    fusedn_ns: u128,
 }
 
 fn main() -> ExitCode {
@@ -110,7 +124,7 @@ fn main() -> ExitCode {
                 }
                 // `run` finishes the compilation through the shared
                 // `pitchfork::Artifact` pipeline: program, cycle price,
-                // and linked executable arrive together.
+                // and linked (fused) executable arrive together.
                 let result = match run(wl, isa, compiler) {
                     Ok(r) => r,
                     Err(e) => {
@@ -119,7 +133,16 @@ fn main() -> ExitCode {
                     }
                 };
                 let program = &result.artifact.program;
-                let exe = &result.artifact.exe;
+                // The artifact's executable is fused by default; relink
+                // plain for the pre-fusion baseline.
+                let fused = &result.artifact.exe;
+                let linked = match Executable::link_with(program, tgt, &ExecConfig::REFERENCE) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        eprintln!("exec-bench: {}/{isa}/{tag} failed to link: {e}", wl.name());
+                        return ExitCode::FAILURE;
+                    }
+                };
 
                 let time = |f: &dyn Fn() -> fpir_halide::Image| -> (fpir_halide::Image, u128) {
                     let img = f(); // warm-up; also the gated output
@@ -136,19 +159,24 @@ fn main() -> ExitCode {
                 let (ref_img, reference_ns) = time(&|| {
                     run_program_reference(&wl.pipeline, program, tgt, &inputs).expect("runs")
                 });
-                let (fast1_img, fast1_ns) =
-                    time(&|| run_tiled(&wl.pipeline, program, tgt, &inputs, 1).expect("runs"));
-                let (fastn_img, fastn_ns) =
-                    time(&|| run_tiled(&wl.pipeline, program, tgt, &inputs, jobs).expect("runs"));
+                let (linked1_img, linked1_ns) =
+                    time(&|| run_tiled_exe(&wl.pipeline, &linked, &inputs, 1).expect("runs"));
+                let (fused1_img, fused1_ns) =
+                    time(&|| run_tiled_exe(&wl.pipeline, fused, &inputs, 1).expect("runs"));
+                let (fusedn_img, fusedn_ns) =
+                    time(&|| run_tiled_exe(&wl.pipeline, fused, &inputs, jobs).expect("runs"));
 
-                // The equality gate: one program, three execution paths,
-                // one image.
-                if fast1_img != ref_img || fastn_img != ref_img {
+                // The equality gate: one program, four execution paths,
+                // one image. Fused==reference is the fusion soundness
+                // gate and is fatal.
+                if linked1_img != ref_img || fused1_img != ref_img || fusedn_img != ref_img {
                     eprintln!(
-                        "DIVERGENCE {}/{isa}/{tag}: engines disagree (fast(1)=={}, fast({jobs})=={})",
+                        "DIVERGENCE {}/{isa}/{tag}: engines disagree \
+                         (linked=={}, fused(1)=={}, fused({jobs})=={})",
                         wl.name(),
-                        fast1_img == ref_img,
-                        fastn_img == ref_img,
+                        linked1_img == ref_img,
+                        fused1_img == ref_img,
+                        fusedn_img == ref_img,
                     );
                     diverged = true;
                 }
@@ -158,44 +186,66 @@ fn main() -> ExitCode {
                     isa,
                     compiler: tag,
                     cycles: result.artifact.cycles,
-                    peak_regs: exe.peak_regs(),
-                    ops: exe.op_count(),
+                    ops_linked: linked.op_count(),
+                    ops_fused: fused.op_count(),
+                    fused_kernels: fused.fused_count(),
+                    peak_regs_linked: linked.peak_regs(),
+                    peak_regs_fused: fused.peak_regs(),
                     reference_ns,
-                    fast1_ns,
-                    fastn_ns,
+                    linked1_ns,
+                    fused1_ns,
+                    fusedn_ns,
                 });
             }
         }
     }
 
     let speedups1: Vec<f64> =
-        rows.iter().map(|r| r.reference_ns as f64 / r.fast1_ns.max(1) as f64).collect();
+        rows.iter().map(|r| r.reference_ns as f64 / r.linked1_ns.max(1) as f64).collect();
+    let speedups_fused: Vec<f64> =
+        rows.iter().map(|r| r.linked1_ns as f64 / r.fused1_ns.max(1) as f64).collect();
     let speedups_n: Vec<f64> =
-        rows.iter().map(|r| r.reference_ns as f64 / r.fastn_ns.max(1) as f64).collect();
-    let (geo1, geo_n) = (geomean(&speedups1), geomean(&speedups_n));
+        rows.iter().map(|r| r.reference_ns as f64 / r.fusedn_ns.max(1) as f64).collect();
+    let (geo1, geo_fused, geo_n) =
+        (geomean(&speedups1), geomean(&speedups_fused), geomean(&speedups_n));
 
     println!(
-        "{:<18} {:>4} {:>10} {:>5} {:>10} {:>10} {:>10} {:>8} {:>8}",
-        "workload", "isa", "compiler", "regs", "reference", "fast(1)", "fast(n)", "x1", "xN"
+        "{:<18} {:>4} {:>10} {:>9} {:>9} {:>10} {:>10} {:>10} {:>10} {:>7} {:>7}",
+        "workload",
+        "isa",
+        "compiler",
+        "ops l>f",
+        "regs l>f",
+        "reference",
+        "linked(1)",
+        "fused(1)",
+        "fused(n)",
+        "xlink",
+        "xfuse"
     );
     for r in &rows {
         println!(
-            "{:<18} {:>4} {:>10} {:>5} {:>8}us {:>8}us {:>8}us {:>7.1}x {:>7.1}x",
+            "{:<18} {:>4} {:>10} {:>4}>{:<4} {:>4}>{:<4} {:>8}us {:>8}us {:>8}us {:>8}us {:>6.1}x {:>6.2}x",
             r.workload,
             isa_tag(r.isa),
             r.compiler,
-            r.peak_regs,
+            r.ops_linked,
+            r.ops_fused,
+            r.peak_regs_linked,
+            r.peak_regs_fused,
             r.reference_ns / 1_000,
-            r.fast1_ns / 1_000,
-            r.fastn_ns / 1_000,
-            r.reference_ns as f64 / r.fast1_ns.max(1) as f64,
-            r.reference_ns as f64 / r.fastn_ns.max(1) as f64,
+            r.linked1_ns / 1_000,
+            r.fused1_ns / 1_000,
+            r.fusedn_ns / 1_000,
+            r.reference_ns as f64 / r.linked1_ns.max(1) as f64,
+            r.linked1_ns as f64 / r.fused1_ns.max(1) as f64,
         );
     }
     println!("\ngeomean speedup, linked engine (1 worker) vs reference runner: {geo1:.2}x");
-    println!("geomean speedup, tiled ({jobs} workers) vs reference runner:     {geo_n:.2}x");
+    println!("geomean speedup, fused engine (1 worker) vs linked engine:     {geo_fused:.2}x");
+    println!("geomean speedup, fused tiled ({jobs} workers) vs reference:    {geo_n:.2}x");
 
-    let json = render_json(&rows, geo1, geo_n, smoke, reps, jobs, img_w, img_h);
+    let json = render_json(&rows, geo1, geo_fused, geo_n, smoke, reps, jobs, img_w, img_h);
     if let Err(e) = std::fs::write(&out_path, json) {
         eprintln!("exec-bench: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
@@ -222,6 +272,7 @@ fn isa_tag(isa: Isa) -> &'static str {
 fn render_json(
     rows: &[Row],
     geo1: f64,
+    geo_fused: f64,
     geo_n: f64,
     smoke: bool,
     reps: usize,
@@ -230,12 +281,13 @@ fn render_json(
     img_h: usize,
 ) -> String {
     let mut s = String::from("{\n");
-    let _ = writeln!(s, "  \"schema\": \"pitchfork-exec-bench/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"pitchfork-exec-bench/v2\",");
     let _ = writeln!(s, "  \"smoke\": {smoke},");
     let _ = writeln!(s, "  \"reps\": {reps},");
     let _ = writeln!(s, "  \"jobs\": {jobs},");
     let _ = writeln!(s, "  \"image\": [{img_w}, {img_h}],");
     let _ = writeln!(s, "  \"geomean_speedup_linked_vs_reference\": {geo1:.4},");
+    let _ = writeln!(s, "  \"geomean_speedup_fused_vs_linked\": {geo_fused:.4},");
     let _ = writeln!(s, "  \"geomean_speedup_tiled_vs_reference\": {geo_n:.4},");
     let _ = writeln!(s, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -244,20 +296,29 @@ fn render_json(
         let _ = writeln!(s, "      \"isa\": \"{}\",", isa_tag(r.isa));
         let _ = writeln!(s, "      \"compiler\": \"{}\",", r.compiler);
         let _ = writeln!(s, "      \"cycles\": {},", r.cycles);
-        let _ = writeln!(s, "      \"peak_regs\": {},", r.peak_regs);
-        let _ = writeln!(s, "      \"ops\": {},", r.ops);
+        let _ = writeln!(s, "      \"dispatches_linked\": {},", r.ops_linked);
+        let _ = writeln!(s, "      \"dispatches_fused\": {},", r.ops_fused);
+        let _ = writeln!(s, "      \"fused_kernels\": {},", r.fused_kernels);
+        let _ = writeln!(s, "      \"peak_regs_linked\": {},", r.peak_regs_linked);
+        let _ = writeln!(s, "      \"peak_regs_fused\": {},", r.peak_regs_fused);
         let _ = writeln!(s, "      \"reference_ns\": {},", r.reference_ns);
-        let _ = writeln!(s, "      \"fast1_ns\": {},", r.fast1_ns);
-        let _ = writeln!(s, "      \"fastn_ns\": {},", r.fastn_ns);
+        let _ = writeln!(s, "      \"linked1_ns\": {},", r.linked1_ns);
+        let _ = writeln!(s, "      \"fused1_ns\": {},", r.fused1_ns);
+        let _ = writeln!(s, "      \"fusedn_ns\": {},", r.fusedn_ns);
         let _ = writeln!(
             s,
             "      \"speedup_linked\": {:.4},",
-            r.reference_ns as f64 / r.fast1_ns.max(1) as f64
+            r.reference_ns as f64 / r.linked1_ns.max(1) as f64
+        );
+        let _ = writeln!(
+            s,
+            "      \"speedup_fused_vs_linked\": {:.4},",
+            r.linked1_ns as f64 / r.fused1_ns.max(1) as f64
         );
         let _ = writeln!(
             s,
             "      \"speedup_tiled\": {:.4}",
-            r.reference_ns as f64 / r.fastn_ns.max(1) as f64
+            r.reference_ns as f64 / r.fusedn_ns.max(1) as f64
         );
         let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
     }

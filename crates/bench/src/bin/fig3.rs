@@ -52,13 +52,15 @@ fn main() {
             let bl = LlvmBaseline::new(isa).compile(e).expect("baseline compiles");
             let a_bl = Artifact::from_lowered(bl.lowered, isa).expect("baseline finishes");
             println!(
-                "--- {isa}: Pitchfork {} ops / {} cycles / {} regs \
-                 vs LLVM {} ops / {} cycles / {} regs ({:.2}x)",
+                "--- {isa}: Pitchfork {} ops / {} cycles / {} fused / {} regs \
+                 vs LLVM {} ops / {} cycles / {} fused / {} regs ({:.2}x)",
                 a_pf.program.op_count(),
                 a_pf.cycles,
+                a_pf.exe.fused_count(),
                 a_pf.exe.peak_regs(),
                 a_bl.program.op_count(),
                 a_bl.cycles,
+                a_bl.exe.fused_count(),
                 a_bl.exe.peak_regs(),
                 a_bl.cycles as f64 / a_pf.cycles as f64
             );

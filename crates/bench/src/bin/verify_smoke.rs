@@ -10,15 +10,20 @@
 //! release build skips inside `Executable::link` (the in-link gate is
 //! debug-only), run explicitly over the full workload matrix.
 //!
+//! Every artifact is verified in both link shapes: the fused executable
+//! the driver ships (`ExecConfig::FAST`, with superinstruction chains
+//! the verifier audits step by step) and a plain relink of the same
+//! program (`ExecConfig::REFERENCE`).
+//!
 //! Writes a JSON report (`--out`, default `BENCH_verify.json`) with one
 //! row per workload × target and exits non-zero if any artifact fails
-//! verification.
+//! verification in either shape.
 //!
 //! Usage: `cargo run -p fpir-bench --bin verify-smoke -- [--out PATH]`
 
 use fpir::Isa;
 use fpir_bench::{run, Compiler};
-use fpir_sim::verify_executable;
+use fpir_sim::{verify_executable, ExecConfig, Executable};
 use fpir_workloads::all_workloads;
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -26,10 +31,15 @@ use std::process::ExitCode;
 struct Row {
     workload: String,
     isa: Isa,
+    /// Dispatches in the fused executable (superinstructions count one).
     ops: usize,
+    /// Dispatches in the plain relink of the same program.
+    ops_unfused: usize,
+    fused_kernels: usize,
     peak_regs: usize,
     consts: usize,
     inputs: usize,
+    /// First violation across both link shapes, prefixed with the shape.
     violation: Option<String>,
 }
 
@@ -69,11 +79,28 @@ fn main() -> ExitCode {
                 }
             };
             let exe = &result.artifact.exe;
-            let violation = verify_executable(exe).err().map(|v| v.to_string());
+            let table = fpir_isa::target(isa);
+            let unfused = match Executable::link_with(
+                &result.artifact.program,
+                table,
+                &ExecConfig::REFERENCE,
+            ) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("verify-smoke: {}/{isa} failed to relink: {e}", wl.name());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let violation = verify_executable(exe)
+                .err()
+                .map(|v| format!("fused: {v}"))
+                .or_else(|| verify_executable(&unfused).err().map(|v| format!("unfused: {v}")));
             rows.push(Row {
                 workload: wl.name().to_string(),
                 isa,
                 ops: exe.op_count(),
+                ops_unfused: unfused.op_count(),
+                fused_kernels: exe.fused_count(),
                 peak_regs: exe.peak_regs(),
                 consts: exe.const_count(),
                 inputs: exe.inputs().len(),
@@ -84,15 +111,17 @@ fn main() -> ExitCode {
 
     let bad = rows.iter().filter(|r| r.violation.is_some()).count();
     println!(
-        "{:<18} {:>4} {:>5} {:>5} {:>7} {:>7}  verdict",
-        "workload", "isa", "ops", "regs", "consts", "inputs"
+        "{:<18} {:>4} {:>5} {:>7} {:>6} {:>5} {:>7} {:>7}  verdict",
+        "workload", "isa", "ops", "unfused", "fused", "regs", "consts", "inputs"
     );
     for r in &rows {
         println!(
-            "{:<18} {:>4} {:>5} {:>5} {:>7} {:>7}  {}",
+            "{:<18} {:>4} {:>5} {:>7} {:>6} {:>5} {:>7} {:>7}  {}",
             r.workload,
             isa_tag(r.isa),
             r.ops,
+            r.ops_unfused,
+            r.fused_kernels,
             r.peak_regs,
             r.consts,
             r.inputs,
@@ -102,7 +131,7 @@ fn main() -> ExitCode {
             }
         );
     }
-    println!("\nverify-smoke: {} artifacts, {} violations", rows.len(), bad);
+    println!("\nverify-smoke: {} artifacts (fused + unfused), {} violations", rows.len(), bad);
 
     if let Err(e) = std::fs::write(&out_path, render_json(&rows, bad)) {
         eprintln!("verify-smoke: cannot write {out_path}: {e}");
@@ -128,7 +157,7 @@ fn isa_tag(isa: Isa) -> &'static str {
 /// Hand-built JSON (the environment has no serde; the shape is flat).
 fn render_json(rows: &[Row], bad: usize) -> String {
     let mut s = String::from("{\n");
-    let _ = writeln!(s, "  \"schema\": \"pitchfork-verify-smoke/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"pitchfork-verify-smoke/v2\",");
     let _ = writeln!(s, "  \"artifacts\": {},", rows.len());
     let _ = writeln!(s, "  \"violations\": {bad},");
     let _ = writeln!(s, "  \"results\": [");
@@ -137,6 +166,8 @@ fn render_json(rows: &[Row], bad: usize) -> String {
         let _ = writeln!(s, "      \"workload\": \"{}\",", r.workload);
         let _ = writeln!(s, "      \"isa\": \"{}\",", isa_tag(r.isa));
         let _ = writeln!(s, "      \"ops\": {},", r.ops);
+        let _ = writeln!(s, "      \"ops_unfused\": {},", r.ops_unfused);
+        let _ = writeln!(s, "      \"fused_kernels\": {},", r.fused_kernels);
         let _ = writeln!(s, "      \"peak_regs\": {},", r.peak_regs);
         let _ = writeln!(s, "      \"consts\": {},", r.consts);
         let _ = writeln!(s, "      \"inputs\": {},", r.inputs);

@@ -16,7 +16,7 @@ use crate::compiler::{CompileInterrupt, CompilePhase, Compiled, Pitchfork};
 use fpir::expr::RcExpr;
 use fpir::Isa;
 use fpir_isa::target;
-use fpir_sim::{cycle_cost, emit, Executable, Program};
+use fpir_sim::{cycle_cost, emit, ExecConfig, Executable, Program};
 
 /// One phase of the full compile→emit→link pipeline: the four selection
 /// phases of [`CompilePhase`] followed by program emission and linking.
@@ -90,16 +90,34 @@ pub struct Artifact {
 
 impl Artifact {
     /// Finish a lowering (from any selector — Pitchfork or a baseline)
-    /// into a runnable artifact: emit, price, link.
+    /// into a runnable artifact: emit, price, link — with the post-link
+    /// FAST pipeline (superinstruction fusion) applied, so every
+    /// consumer of the driver runs fused by default.
     ///
     /// # Errors
     ///
     /// [`DriverError::Emit`] or [`DriverError::Link`].
     pub fn from_lowered(lowered: RcExpr, isa: Isa) -> Result<Artifact, DriverError> {
+        Artifact::from_lowered_with(lowered, isa, &ExecConfig::FAST)
+    }
+
+    /// [`Artifact::from_lowered`] with an explicit engine selection —
+    /// [`ExecConfig::REFERENCE`] keeps the plain PR 4 link for
+    /// differential baselines.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::Emit`] or [`DriverError::Link`].
+    pub fn from_lowered_with(
+        lowered: RcExpr,
+        isa: Isa,
+        cfg: &ExecConfig,
+    ) -> Result<Artifact, DriverError> {
         let t = target(isa);
         let program = emit(&lowered, t).map_err(|e| DriverError::Emit(e.to_string()))?;
         let cycles = cycle_cost(&program, t);
-        let exe = Executable::link(&program, t).map_err(|e| DriverError::Link(e.to_string()))?;
+        let exe = Executable::link_with(&program, t, cfg)
+            .map_err(|e| DriverError::Link(e.to_string()))?;
         Ok(Artifact { isa, lowered, program, cycles, exe })
     }
 
@@ -168,7 +186,8 @@ pub fn compile_to_executable_with(
     if !keep_going(Phase::Link) {
         return Err(DriverError::Cancelled(Phase::Link));
     }
-    let exe = Executable::link(&program, t).map_err(|e| DriverError::Link(e.to_string()))?;
+    let exe = Executable::link_with(&program, t, &ExecConfig::FAST)
+        .map_err(|e| DriverError::Link(e.to_string()))?;
     let lowered = compiled.lowered.clone();
     Ok((Artifact { isa, lowered, program, cycles, exe }, compiled))
 }
@@ -198,7 +217,21 @@ mod tests {
             assert_eq!(art.lowered, compiled.lowered, "{isa}");
             assert_eq!(art.program.render(), program.render(), "{isa}");
             assert_eq!(art.cycles, cycle_cost(&program, t), "{isa}");
-            assert_eq!(art.exe.render(), Executable::link(&program, t).unwrap().render(), "{isa}");
+            assert_eq!(
+                art.exe.render(),
+                Executable::link_with(&program, t, &fpir_sim::ExecConfig::FAST).unwrap().render(),
+                "{isa}"
+            );
+            // The artifact ships the FAST (fused) link; the REFERENCE
+            // link stays available for differential baselines.
+            let plain = Artifact::from_lowered_with(
+                compiled.lowered.clone(),
+                isa,
+                &fpir_sim::ExecConfig::REFERENCE,
+            )
+            .unwrap();
+            assert!(plain.exe.fused_count() == 0, "{isa}");
+            assert!(art.exe.op_count() <= plain.exe.op_count(), "{isa}");
         }
     }
 

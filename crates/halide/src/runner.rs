@@ -97,8 +97,9 @@ fn gather_row(buf: &mut Vec<i128>, row: &[i128], start: i64, lanes: usize) {
     }
 }
 
-/// Execute a compiled pipeline over whole images on the linked engine,
-/// rows fanned out over `jobs` workers.
+/// Execute a compiled pipeline over whole images on the linked engine
+/// (with post-link superinstruction fusion applied), rows fanned out
+/// over `jobs` workers.
 ///
 /// The program is linked once; each worker owns one execution context
 /// whose register file and lane buffers are recycled across every strip
@@ -117,7 +118,7 @@ pub fn run_tiled(
     inputs: &BTreeMap<String, Image>,
     jobs: usize,
 ) -> Result<Image, PipelineError> {
-    let exe = Executable::link(program, target)
+    let exe = Executable::link_with(program, target, &fpir_sim::ExecConfig::FAST)
         .map_err(|e| PipelineError { what: format!("linking failed: {e}") })?;
     run_tiled_exe(pipe, &exe, inputs, jobs)
 }

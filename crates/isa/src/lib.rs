@@ -47,4 +47,7 @@ pub mod x86;
 pub use cost::TargetCost;
 pub use def::{all_targets, target, InstDef, MachEvaluator, SignReq, Target};
 pub use legalize::{legalize, legalize_uncached, LowerError};
-pub use sem::{eval_sem, eval_sem_into, MachSem};
+pub use sem::{
+    eval_sem, eval_sem_into, sem_lane, sem_slice_fn, sem_slice_fn_pair, sem_slice_fn_splat,
+    MachSem, SemSliceFn,
+};

@@ -377,6 +377,809 @@ pub fn eval_sem_into(
     }
 }
 
+/// Execute one instruction on a *single lane*.
+///
+/// `xs` holds one lane value per operand and `tys` the corresponding
+/// operand element types; `result` is the destination element type. This
+/// is the scalar core backing fused superinstruction kernels in
+/// `fpir-sim`: a fused kernel walks the lanes once and evaluates each
+/// absorbed step through this function, keeping intermediates in scalars.
+///
+/// Every arm calls the *same* lane helpers (`bin_op_lane`,
+/// `cmp_op_lane`, `fpir_op_lane`, `wrap`, `saturate`) as the
+/// corresponding [`eval_sem_into`] arm, so for shape-valid inputs the two
+/// entry points are bit-identical by shared code — pinned by the
+/// `sem_lane_matches_eval_sem_into` test below.
+///
+/// # Preconditions
+///
+/// Shape checks (arity, lane counts, widening widths) are *not* repeated
+/// here: callers must only invoke this on operands that `eval_sem_into`
+/// would accept (`xs.len() == tys.len() == sem.arity()`). The linked
+/// engine guarantees this via the static artifact verifier plus its
+/// per-invocation input type checks.
+pub fn sem_lane(sem: MachSem, xs: &[i128], tys: &[ScalarType], result: ScalarType) -> i128 {
+    match sem {
+        MachSem::Bin(op) => bin_op_lane(op, xs[0], xs[1], tys[0]),
+        MachSem::Cmp(op) => cmp_op_lane(op, xs[0], xs[1], tys[0]),
+        MachSem::Select => {
+            if xs[0] != 0 {
+                xs[1]
+            } else {
+                xs[2]
+            }
+        }
+        MachSem::ExtendTo | MachSem::TruncTo | MachSem::Reinterpret | MachSem::Splat => {
+            result.wrap(xs[0])
+        }
+        MachSem::SatCastTo => result.saturate(xs[0]),
+        MachSem::PackSatSignedTo => result.saturate(tys[0].with_signed().wrap(xs[0])),
+        MachSem::Fpir(op) => fpir_op_lane(op, xs, tys, result),
+        MachSem::MulHigh => result.wrap((xs[0] * xs[1]) >> tys[0].bits()),
+        // The widening width constraint is a shape check; the lane
+        // arithmetic is identical to the non-widening form.
+        MachSem::MulAcc | MachSem::WideningMulAcc => result.wrap(xs[0] + xs[1] * xs[2]),
+        MachSem::MulPairsAdd => result.wrap(xs[0] * xs[1] + xs[2] * xs[3]),
+        MachSem::Mpa => result.wrap(xs[0] * xs[2] + xs[1] * xs[3]),
+        MachSem::MpaAcc => result.wrap(xs[0] + xs[1] * xs[3] + xs[2] * xs[4]),
+        MachSem::DotAcc4 => {
+            let mut acc = xs[0];
+            for k in 0..4 {
+                acc += xs[1 + k] * xs[5 + k];
+            }
+            result.wrap(acc)
+        }
+        MachSem::ShrRndSatNarrow => {
+            let tys2 = [tys[0], tys[1]];
+            result.saturate(fpir_op_lane(FpirOp::RoundingShr, &[xs[0], xs[1]], &tys2, tys[0]))
+        }
+        MachSem::ShrNarrow => result.wrap(bin_op_lane(BinOp::Shr, xs[0], xs[1], tys[0])),
+        MachSem::QRDMulH => {
+            let t = tys[0];
+            fpir_op_lane(
+                FpirOp::RoundingMulShr,
+                &[xs[0], xs[1], t.bits() as i128 - 1],
+                &[t, t, t],
+                result,
+            )
+        }
+    }
+}
+
+/// A compiled whole-strip evaluator: one fused-kernel step's semantics
+/// with every dispatch resolved ahead of time. Called as
+/// `f(operand_lane_slices, output_lane_slice)`; all slices share one
+/// length.
+///
+/// `Arc` so compiled kernels stay cheaply cloneable and shareable across
+/// worker threads.
+pub type SemSliceFn = std::sync::Arc<dyn Fn(&[&[i128]], &mut [i128]) + Send + Sync>;
+
+/// Compile one instruction's semantics into a monomorphic vector-loop
+/// closure over raw lane slices.
+///
+/// [`eval_sem_into`] re-matches on the semantics (and the inner `BinOp` /
+/// `CmpOp` / `FpirOp`), re-checks shapes, and re-reads operand types on
+/// *every* call. Fused superinstruction kernels in `fpir-sim` run their
+/// absorbed steps back-to-back per image strip, so they pay that dispatch
+/// once here, at fuse time: every arm hands a *literal* op to the same
+/// `#[inline]` lane helpers [`sem_lane`] and `eval_sem_into` use, with
+/// the operand/result element types captured, so the helper's internal
+/// match folds away and the closure's tight lane loop is bit-identical
+/// to `eval_sem_into` by construction — pinned by the
+/// `sem_lane_matches_eval_sem_into` test below.
+///
+/// # Preconditions
+///
+/// As [`sem_lane`]: shape checks are not repeated. `tys.len() ==
+/// sem.arity()`, and the returned closure must only see `xs` of that
+/// arity with every operand slice exactly `out.len()` lanes long.
+pub fn sem_slice_fn(sem: MachSem, tys: &[ScalarType], result: ScalarType) -> SemSliceFn {
+    use std::sync::Arc;
+    match sem {
+        MachSem::Bin(op) => {
+            let t = tys[0];
+            macro_rules! bin_fn {
+                ($($v:ident),*) => {
+                    match op {
+                        $(BinOp::$v => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                            for (o, (&x, &y)) in out.iter_mut().zip(xs[0].iter().zip(xs[1])) {
+                                *o = bin_op_lane(BinOp::$v, x, y, t);
+                            }
+                        }) as SemSliceFn,)*
+                    }
+                };
+            }
+            bin_fn!(Add, Sub, Mul, Div, Mod, Min, Max, Shl, Shr, And, Or, Xor)
+        }
+        MachSem::Cmp(op) => {
+            let t = tys[0];
+            macro_rules! cmp_fn {
+                ($($v:ident),*) => {
+                    match op {
+                        $(CmpOp::$v => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                            for (o, (&x, &y)) in out.iter_mut().zip(xs[0].iter().zip(xs[1])) {
+                                *o = cmp_op_lane(CmpOp::$v, x, y, t);
+                            }
+                        }) as SemSliceFn,)*
+                    }
+                };
+            }
+            cmp_fn!(Eq, Ne, Lt, Le, Gt, Ge)
+        }
+        MachSem::Select => Arc::new(|xs: &[&[i128]], out: &mut [i128]| {
+            for (o, ((&m, &x), &y)) in out.iter_mut().zip(xs[0].iter().zip(xs[1]).zip(xs[2])) {
+                *o = if m != 0 { x } else { y };
+            }
+        }),
+        MachSem::ExtendTo | MachSem::TruncTo | MachSem::Reinterpret | MachSem::Splat => {
+            Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                for (o, &x) in out.iter_mut().zip(xs[0]) {
+                    *o = result.wrap(x);
+                }
+            })
+        }
+        MachSem::SatCastTo => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+            for (o, &x) in out.iter_mut().zip(xs[0]) {
+                *o = result.saturate(x);
+            }
+        }),
+        MachSem::PackSatSignedTo => {
+            let signed = tys[0].with_signed();
+            Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                for (o, &x) in out.iter_mut().zip(xs[0]) {
+                    *o = result.saturate(signed.wrap(x));
+                }
+            })
+        }
+        MachSem::Fpir(op) => {
+            // Capture the operand types in a fixed array (max FPIR arity
+            // is 3) so the closure stays allocation-free; specialize the
+            // loop shape per arity so the zips elide bounds checks.
+            let mut ta = [result; 4];
+            ta[..tys.len()].copy_from_slice(tys);
+            let n = tys.len();
+            macro_rules! fpir_arm {
+                ($op:expr) => {{
+                    let op = $op;
+                    match n {
+                        1 => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                            for (o, &x) in out.iter_mut().zip(xs[0]) {
+                                *o = fpir_op_lane(op, &[x], &ta[..1], result);
+                            }
+                        }) as SemSliceFn,
+                        2 => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                            for (o, (&x, &y)) in out.iter_mut().zip(xs[0].iter().zip(xs[1])) {
+                                *o = fpir_op_lane(op, &[x, y], &ta[..2], result);
+                            }
+                        }) as SemSliceFn,
+                        _ => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                            for (o, ((&x, &y), &z)) in
+                                out.iter_mut().zip(xs[0].iter().zip(xs[1]).zip(xs[2]))
+                            {
+                                *o = fpir_op_lane(op, &[x, y, z], &ta[..3], result);
+                            }
+                        }) as SemSliceFn,
+                    }
+                }};
+            }
+            macro_rules! fpir_fn {
+                ($($v:ident),*) => {
+                    match op {
+                        $(FpirOp::$v => fpir_arm!(FpirOp::$v),)*
+                        FpirOp::SaturatingCast(to) => fpir_arm!(FpirOp::SaturatingCast(to)),
+                    }
+                };
+            }
+            fpir_fn!(
+                WideningAdd,
+                WideningSub,
+                WideningMul,
+                WideningShl,
+                WideningShr,
+                ExtendingAdd,
+                ExtendingSub,
+                ExtendingMul,
+                Abs,
+                Absd,
+                SaturatingNarrow,
+                SaturatingAdd,
+                SaturatingSub,
+                HalvingAdd,
+                HalvingSub,
+                RoundingHalvingAdd,
+                RoundingShl,
+                RoundingShr,
+                MulShr,
+                RoundingMulShr,
+                SaturatingShl
+            )
+        }
+        MachSem::MulHigh => {
+            let bits = tys[0].bits();
+            Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                for (o, (&x, &y)) in out.iter_mut().zip(xs[0].iter().zip(xs[1])) {
+                    *o = result.wrap((x * y) >> bits);
+                }
+            })
+        }
+        MachSem::MulAcc | MachSem::WideningMulAcc => {
+            Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                for (o, ((&c, &x), &y)) in out.iter_mut().zip(xs[0].iter().zip(xs[1]).zip(xs[2])) {
+                    *o = result.wrap(c + x * y);
+                }
+            })
+        }
+        MachSem::MulPairsAdd => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+            for i in 0..out.len() {
+                out[i] = result.wrap(xs[0][i] * xs[1][i] + xs[2][i] * xs[3][i]);
+            }
+        }),
+        MachSem::Mpa => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+            for i in 0..out.len() {
+                out[i] = result.wrap(xs[0][i] * xs[2][i] + xs[1][i] * xs[3][i]);
+            }
+        }),
+        MachSem::MpaAcc => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+            for i in 0..out.len() {
+                out[i] = result.wrap(xs[0][i] + xs[1][i] * xs[3][i] + xs[2][i] * xs[4][i]);
+            }
+        }),
+        MachSem::DotAcc4 => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+            for i in 0..out.len() {
+                let mut acc = xs[0][i];
+                for k in 0..4 {
+                    acc += xs[1 + k][i] * xs[5 + k][i];
+                }
+                out[i] = result.wrap(acc);
+            }
+        }),
+        MachSem::ShrRndSatNarrow => {
+            let tys2 = [tys[0], tys[1]];
+            let t = tys[0];
+            Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                for (o, (&x, &y)) in out.iter_mut().zip(xs[0].iter().zip(xs[1])) {
+                    *o = result.saturate(fpir_op_lane(FpirOp::RoundingShr, &[x, y], &tys2, t));
+                }
+            })
+        }
+        MachSem::ShrNarrow => {
+            let t = tys[0];
+            Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                for (o, (&x, &y)) in out.iter_mut().zip(xs[0].iter().zip(xs[1])) {
+                    *o = result.wrap(bin_op_lane(BinOp::Shr, x, y, t));
+                }
+            })
+        }
+        MachSem::QRDMulH => {
+            let t = tys[0];
+            Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                for (o, (&x, &y)) in out.iter_mut().zip(xs[0].iter().zip(xs[1])) {
+                    *o = fpir_op_lane(
+                        FpirOp::RoundingMulShr,
+                        &[x, y, t.bits() as i128 - 1],
+                        &[t, t, t],
+                        result,
+                    );
+                }
+            })
+        }
+    }
+}
+
+/// Compile one step with a *splat-constant* operand captured as a
+/// scalar register: the returned closure sees the same `xs` layout as
+/// [`sem_slice_fn`] — the constant's pool slice is still staged at
+/// position `k`, exactly as the audited pass sources say — but the
+/// lane loop never reads it, so the strip runs with one fewer input
+/// stream. Every lane goes through the same literal-op helpers as
+/// [`sem_slice_fn`], and the skipped slice holds `c` in every lane, so
+/// the result is bit-identical by construction — pinned by
+/// `splat_capture_matches_streamed_constant` below.
+///
+/// Returns `None` for semantics without a captured-scalar loop; the
+/// caller keeps the streamed [`sem_slice_fn`] kernel.
+///
+/// # Preconditions
+///
+/// As [`sem_slice_fn`], plus `k < sem.arity()` and `c` equal to every
+/// lane of the operand the closure skips.
+pub fn sem_slice_fn_splat(
+    sem: MachSem,
+    tys: &[ScalarType],
+    result: ScalarType,
+    k: usize,
+    c: i128,
+) -> Option<SemSliceFn> {
+    use std::sync::Arc;
+    Some(match sem {
+        MachSem::Bin(op) => {
+            let t = tys[0];
+            macro_rules! bin_splat {
+                ($($v:ident),*) => {
+                    match op {
+                        $(BinOp::$v => if k == 0 {
+                            Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                                for (o, &y) in out.iter_mut().zip(xs[1]) {
+                                    *o = bin_op_lane(BinOp::$v, c, y, t);
+                                }
+                            }) as SemSliceFn
+                        } else {
+                            Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                                for (o, &x) in out.iter_mut().zip(xs[0]) {
+                                    *o = bin_op_lane(BinOp::$v, x, c, t);
+                                }
+                            }) as SemSliceFn
+                        },)*
+                    }
+                };
+            }
+            bin_splat!(Add, Sub, Mul, Div, Mod, Min, Max, Shl, Shr, And, Or, Xor)
+        }
+        MachSem::Cmp(op) => {
+            let t = tys[0];
+            macro_rules! cmp_splat {
+                ($($v:ident),*) => {
+                    match op {
+                        $(CmpOp::$v => if k == 0 {
+                            Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                                for (o, &y) in out.iter_mut().zip(xs[1]) {
+                                    *o = cmp_op_lane(CmpOp::$v, c, y, t);
+                                }
+                            }) as SemSliceFn
+                        } else {
+                            Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                                for (o, &x) in out.iter_mut().zip(xs[0]) {
+                                    *o = cmp_op_lane(CmpOp::$v, x, c, t);
+                                }
+                            }) as SemSliceFn
+                        },)*
+                    }
+                };
+            }
+            cmp_splat!(Eq, Ne, Lt, Le, Gt, Ge)
+        }
+        MachSem::Fpir(op) if tys.len() == 2 => {
+            let ta = [tys[0], tys[1]];
+            macro_rules! fpir_splat2 {
+                ($op:expr) => {{
+                    let op = $op;
+                    if k == 0 {
+                        Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                            for (o, &y) in out.iter_mut().zip(xs[1]) {
+                                *o = fpir_op_lane(op, &[c, y], &ta, result);
+                            }
+                        }) as SemSliceFn
+                    } else {
+                        Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                            for (o, &x) in out.iter_mut().zip(xs[0]) {
+                                *o = fpir_op_lane(op, &[x, c], &ta, result);
+                            }
+                        }) as SemSliceFn
+                    }
+                }};
+            }
+            macro_rules! fpir_splat2_fn {
+                ($($v:ident),*) => {
+                    match op {
+                        $(FpirOp::$v => fpir_splat2!(FpirOp::$v),)*
+                        FpirOp::SaturatingCast(to) => fpir_splat2!(FpirOp::SaturatingCast(to)),
+                    }
+                };
+            }
+            fpir_splat2_fn!(
+                WideningAdd,
+                WideningSub,
+                WideningMul,
+                WideningShl,
+                WideningShr,
+                ExtendingAdd,
+                ExtendingSub,
+                ExtendingMul,
+                Abs,
+                Absd,
+                SaturatingNarrow,
+                SaturatingAdd,
+                SaturatingSub,
+                HalvingAdd,
+                HalvingSub,
+                RoundingHalvingAdd,
+                RoundingShl,
+                RoundingShr,
+                MulShr,
+                RoundingMulShr,
+                SaturatingShl
+            )
+        }
+        MachSem::MulHigh => {
+            let bits = tys[0].bits();
+            if k == 0 {
+                Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                    for (o, &y) in out.iter_mut().zip(xs[1]) {
+                        *o = result.wrap((c * y) >> bits);
+                    }
+                })
+            } else {
+                Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                    for (o, &x) in out.iter_mut().zip(xs[0]) {
+                        *o = result.wrap((x * c) >> bits);
+                    }
+                })
+            }
+        }
+        MachSem::MulAcc | MachSem::WideningMulAcc => match k {
+            0 => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                for (o, (&x, &y)) in out.iter_mut().zip(xs[1].iter().zip(xs[2])) {
+                    *o = result.wrap(c + x * y);
+                }
+            }),
+            1 => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                for (o, (&a, &y)) in out.iter_mut().zip(xs[0].iter().zip(xs[2])) {
+                    *o = result.wrap(a + c * y);
+                }
+            }),
+            _ => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                for (o, (&a, &x)) in out.iter_mut().zip(xs[0].iter().zip(xs[1])) {
+                    *o = result.wrap(a + x * c);
+                }
+            }),
+        },
+        MachSem::ShrRndSatNarrow => {
+            let tys2 = [tys[0], tys[1]];
+            let t = tys[0];
+            if k == 0 {
+                Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                    for (o, &y) in out.iter_mut().zip(xs[1]) {
+                        *o = result.saturate(fpir_op_lane(FpirOp::RoundingShr, &[c, y], &tys2, t));
+                    }
+                })
+            } else {
+                Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                    for (o, &x) in out.iter_mut().zip(xs[0]) {
+                        *o = result.saturate(fpir_op_lane(FpirOp::RoundingShr, &[x, c], &tys2, t));
+                    }
+                })
+            }
+        }
+        MachSem::ShrNarrow => {
+            let t = tys[0];
+            if k == 0 {
+                Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                    for (o, &y) in out.iter_mut().zip(xs[1]) {
+                        *o = result.wrap(bin_op_lane(BinOp::Shr, c, y, t));
+                    }
+                })
+            } else {
+                Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                    for (o, &x) in out.iter_mut().zip(xs[0]) {
+                        *o = result.wrap(bin_op_lane(BinOp::Shr, x, c, t));
+                    }
+                })
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// Lane-wise producer classes a fused pair loop can inline. `Bin` and
+/// `Cmp` compose with their op *monomorphized* through the macros in
+/// [`sem_slice_fn_pair`] — handing a runtime op to `bin_op_lane` inside
+/// a hot lane loop costs far more than the scratch round trip it saves
+/// (measured: it regressed the fused engine below the linked baseline),
+/// so only literal-op loops are emitted. FPIR ops compose with the op
+/// captured and dispatched per lane — exactly how [`sem_slice_fn`]'s own
+/// FPIR loops already run.
+#[derive(Clone, Copy)]
+enum PairProducer {
+    /// `Bin(op)` at the captured operand type.
+    Bin(BinOp, ScalarType),
+    /// `Cmp(op)` at the captured operand type (composes into `Select`).
+    Cmp(CmpOp, ScalarType),
+    /// Wrapping conversion to the captured result type
+    /// (`ExtendTo`/`TruncTo`/`Reinterpret`/`Splat`).
+    Wrap(ScalarType),
+    /// Arity ≤ 3 FPIR op: op, operand types, arity, result type.
+    Fpir(FpirOp, [ScalarType; 3], u8, ScalarType),
+}
+
+/// Consumer classes a fused pair loop can inline (see [`PairProducer`]).
+#[derive(Clone, Copy)]
+enum PairConsumer {
+    /// `Bin(op)` at the captured operand type.
+    Bin(BinOp),
+    /// Wrapping conversion to the captured result type.
+    Wrap(ScalarType),
+    /// `select(mask, a, b)` — the producer must feed the mask.
+    Select,
+}
+
+impl PairProducer {
+    fn of(sem: MachSem, tys: &[ScalarType], result: ScalarType) -> Option<PairProducer> {
+        Some(match sem {
+            MachSem::Bin(op) => PairProducer::Bin(op, tys[0]),
+            MachSem::Cmp(op) => PairProducer::Cmp(op, tys[0]),
+            MachSem::ExtendTo | MachSem::TruncTo | MachSem::Reinterpret | MachSem::Splat => {
+                PairProducer::Wrap(result)
+            }
+            MachSem::Fpir(op) if tys.len() <= 3 => {
+                let mut ta = [result; 3];
+                ta[..tys.len()].copy_from_slice(tys);
+                PairProducer::Fpir(op, ta, tys.len() as u8, result)
+            }
+            _ => return None,
+        })
+    }
+}
+
+impl PairConsumer {
+    fn of(sem: MachSem, result: ScalarType) -> Option<PairConsumer> {
+        Some(match sem {
+            MachSem::Bin(op) => PairConsumer::Bin(op),
+            MachSem::ExtendTo | MachSem::TruncTo | MachSem::Reinterpret | MachSem::Splat => {
+                PairConsumer::Wrap(result)
+            }
+            MachSem::Select => PairConsumer::Select,
+            _ => return None,
+        })
+    }
+}
+
+/// Compile a *fused pair*: a single-use producer absorbed into operand
+/// `k` of its consumer, evaluated in one strip loop with the
+/// intermediate held in a register instead of a scratch row.
+///
+/// Returns `None` when the combination is not one of the supported
+/// lane-wise families ([`PairProducer`] × [`PairConsumer`]) — the caller
+/// then keeps the two separate passes. Per pair, the loop body is the
+/// two corresponding [`sem_slice_fn`] loop bodies nested with *literal*
+/// ops (via the macros below), so the composition is bit-identical to
+/// running the producer into a temporary strip and the consumer after
+/// it — pinned by `fused_pairs_match_sequential_passes`.
+///
+/// # Preconditions
+///
+/// As [`sem_slice_fn`]: shape checks are not repeated. `k <
+/// consumer.arity()`; the returned closure reads the producer's operands
+/// first, then the consumer's remaining operands (in order, with operand
+/// `k` removed), every slice exactly `out.len()` lanes long.
+pub fn sem_slice_fn_pair(
+    p_sem: MachSem,
+    p_tys: &[ScalarType],
+    p_result: ScalarType,
+    c_sem: MachSem,
+    c_tys: &[ScalarType],
+    c_result: ScalarType,
+    k: usize,
+) -> Option<SemSliceFn> {
+    use std::sync::Arc;
+    let p = PairProducer::of(p_sem, p_tys, p_result)?;
+    let c = PairConsumer::of(c_sem, c_result)?;
+    // In every consumer, the operand type at position `k` is the
+    // producer's result type, and a `Bin`/`Select` consumer's lane type
+    // is uniform — so the consumer's captured type is its result type
+    // for `Wrap`, and the operand type equals `p_result` for `Bin`
+    // lane arithmetic. `Bin` consumers operate at their operand type,
+    // which for the chains the fuser builds equals `c_tys[0]`; that in
+    // turn is `p_result` when `k == 0`. Capture the operand type
+    // explicitly to be exact:
+    let ct = match c_sem {
+        MachSem::Bin(_) => c_tys[0],
+        _ => c_result,
+    };
+
+    /// Expand `$mk!([$pre,] Op)` for the literal `BinOp` matching `$op`.
+    macro_rules! for_each_bin_op {
+        ($op:expr, $mk:ident $(, $pre:ident)?) => {
+            match $op {
+                BinOp::Add => $mk!($($pre,)? Add),
+                BinOp::Sub => $mk!($($pre,)? Sub),
+                BinOp::Mul => $mk!($($pre,)? Mul),
+                BinOp::Div => $mk!($($pre,)? Div),
+                BinOp::Mod => $mk!($($pre,)? Mod),
+                BinOp::Min => $mk!($($pre,)? Min),
+                BinOp::Max => $mk!($($pre,)? Max),
+                BinOp::Shl => $mk!($($pre,)? Shl),
+                BinOp::Shr => $mk!($($pre,)? Shr),
+                BinOp::And => $mk!($($pre,)? And),
+                BinOp::Or => $mk!($($pre,)? Or),
+                BinOp::Xor => $mk!($($pre,)? Xor),
+            }
+        };
+    }
+
+    Some(match (p, c) {
+        // ---- cast -> cast: one wrap feeding another ------------------
+        (PairProducer::Wrap(pr), PairConsumer::Wrap(cr)) => {
+            Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                for (o, &x) in out.iter_mut().zip(xs[0]) {
+                    *o = cr.wrap(pr.wrap(x));
+                }
+            }) as SemSliceFn
+        }
+        // ---- cast -> binary ------------------------------------------
+        (PairProducer::Wrap(pr), PairConsumer::Bin(cop)) => {
+            macro_rules! wrap_bin {
+                ($C:ident) => {
+                    Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                        if k == 0 {
+                            for (o, (&x, &u)) in out.iter_mut().zip(xs[0].iter().zip(xs[1])) {
+                                *o = bin_op_lane(BinOp::$C, pr.wrap(x), u, ct);
+                            }
+                        } else {
+                            for (o, (&x, &u)) in out.iter_mut().zip(xs[0].iter().zip(xs[1])) {
+                                *o = bin_op_lane(BinOp::$C, u, pr.wrap(x), ct);
+                            }
+                        }
+                    }) as SemSliceFn
+                };
+            }
+            for_each_bin_op!(cop, wrap_bin)
+        }
+        // ---- binary -> cast ------------------------------------------
+        (PairProducer::Bin(pop, pt), PairConsumer::Wrap(cr)) => {
+            macro_rules! bin_wrap {
+                ($P:ident) => {
+                    Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                        for (o, (&x, &y)) in out.iter_mut().zip(xs[0].iter().zip(xs[1])) {
+                            *o = cr.wrap(bin_op_lane(BinOp::$P, x, y, pt));
+                        }
+                    }) as SemSliceFn
+                };
+            }
+            for_each_bin_op!(pop, bin_wrap)
+        }
+        // ---- binary -> binary: the dominant chain shape --------------
+        (PairProducer::Bin(pop, pt), PairConsumer::Bin(cop)) => {
+            macro_rules! bin_bin {
+                ($P:ident, $C:ident) => {
+                    Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                        // Re-sliced indexed loops: multi-way `zip` defeats
+                        // the unroller for cheap ops, and this family is
+                        // the hottest merged shape.
+                        let (x, y, u) =
+                            (&xs[0][..out.len()], &xs[1][..out.len()], &xs[2][..out.len()]);
+                        if k == 0 {
+                            for i in 0..out.len() {
+                                out[i] = bin_op_lane(
+                                    BinOp::$C,
+                                    bin_op_lane(BinOp::$P, x[i], y[i], pt),
+                                    u[i],
+                                    ct,
+                                );
+                            }
+                        } else {
+                            for i in 0..out.len() {
+                                out[i] = bin_op_lane(
+                                    BinOp::$C,
+                                    u[i],
+                                    bin_op_lane(BinOp::$P, x[i], y[i], pt),
+                                    ct,
+                                );
+                            }
+                        }
+                    }) as SemSliceFn
+                };
+            }
+            match pop {
+                BinOp::Add => for_each_bin_op!(cop, bin_bin, Add),
+                BinOp::Sub => for_each_bin_op!(cop, bin_bin, Sub),
+                BinOp::Mul => for_each_bin_op!(cop, bin_bin, Mul),
+                BinOp::Div => for_each_bin_op!(cop, bin_bin, Div),
+                BinOp::Mod => for_each_bin_op!(cop, bin_bin, Mod),
+                BinOp::Min => for_each_bin_op!(cop, bin_bin, Min),
+                BinOp::Max => for_each_bin_op!(cop, bin_bin, Max),
+                BinOp::Shl => for_each_bin_op!(cop, bin_bin, Shl),
+                BinOp::Shr => for_each_bin_op!(cop, bin_bin, Shr),
+                BinOp::And => for_each_bin_op!(cop, bin_bin, And),
+                BinOp::Or => for_each_bin_op!(cop, bin_bin, Or),
+                BinOp::Xor => for_each_bin_op!(cop, bin_bin, Xor),
+            }
+        }
+        // ---- FPIR -> binary ------------------------------------------
+        // The FPIR op stays captured and dispatches per lane — the same
+        // shape as sem_slice_fn's own FPIR loops.
+        (PairProducer::Fpir(pop, pta, pn, pr), PairConsumer::Bin(cop)) => {
+            macro_rules! fpir_bin {
+                ($C:ident) => {{
+                    match pn {
+                        1 => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                            if k == 0 {
+                                for (o, (&x, &u)) in out.iter_mut().zip(xs[0].iter().zip(xs[1])) {
+                                    let t = fpir_op_lane(pop, &[x], &pta[..1], pr);
+                                    *o = bin_op_lane(BinOp::$C, t, u, ct);
+                                }
+                            } else {
+                                for (o, (&x, &u)) in out.iter_mut().zip(xs[0].iter().zip(xs[1])) {
+                                    let t = fpir_op_lane(pop, &[x], &pta[..1], pr);
+                                    *o = bin_op_lane(BinOp::$C, u, t, ct);
+                                }
+                            }
+                        }) as SemSliceFn,
+                        2 => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                            if k == 0 {
+                                for (o, ((&x, &y), &u)) in
+                                    out.iter_mut().zip(xs[0].iter().zip(xs[1]).zip(xs[2]))
+                                {
+                                    let t = fpir_op_lane(pop, &[x, y], &pta[..2], pr);
+                                    *o = bin_op_lane(BinOp::$C, t, u, ct);
+                                }
+                            } else {
+                                for (o, ((&x, &y), &u)) in
+                                    out.iter_mut().zip(xs[0].iter().zip(xs[1]).zip(xs[2]))
+                                {
+                                    let t = fpir_op_lane(pop, &[x, y], &pta[..2], pr);
+                                    *o = bin_op_lane(BinOp::$C, u, t, ct);
+                                }
+                            }
+                        }) as SemSliceFn,
+                        _ => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                            if k == 0 {
+                                for (o, (((&x, &y), &z), &u)) in out
+                                    .iter_mut()
+                                    .zip(xs[0].iter().zip(xs[1]).zip(xs[2]).zip(xs[3]))
+                                {
+                                    let t = fpir_op_lane(pop, &[x, y, z], &pta[..3], pr);
+                                    *o = bin_op_lane(BinOp::$C, t, u, ct);
+                                }
+                            } else {
+                                for (o, (((&x, &y), &z), &u)) in out
+                                    .iter_mut()
+                                    .zip(xs[0].iter().zip(xs[1]).zip(xs[2]).zip(xs[3]))
+                                {
+                                    let t = fpir_op_lane(pop, &[x, y, z], &pta[..3], pr);
+                                    *o = bin_op_lane(BinOp::$C, u, t, ct);
+                                }
+                            }
+                        }) as SemSliceFn,
+                    }
+                }};
+            }
+            for_each_bin_op!(cop, fpir_bin)
+        }
+        // ---- FPIR -> cast --------------------------------------------
+        (PairProducer::Fpir(pop, pta, pn, pr), PairConsumer::Wrap(cr)) => match pn {
+            1 => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                for (o, &x) in out.iter_mut().zip(xs[0]) {
+                    *o = cr.wrap(fpir_op_lane(pop, &[x], &pta[..1], pr));
+                }
+            }),
+            2 => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                for (o, (&x, &y)) in out.iter_mut().zip(xs[0].iter().zip(xs[1])) {
+                    *o = cr.wrap(fpir_op_lane(pop, &[x, y], &pta[..2], pr));
+                }
+            }),
+            _ => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                for (o, ((&x, &y), &z)) in out.iter_mut().zip(xs[0].iter().zip(xs[1]).zip(xs[2])) {
+                    *o = cr.wrap(fpir_op_lane(pop, &[x, y, z], &pta[..3], pr));
+                }
+            }),
+        },
+        // ---- compare -> select: the mask never touches memory --------
+        (PairProducer::Cmp(pop, pt), PairConsumer::Select) if k == 0 => {
+            macro_rules! cmp_select {
+                ($P:ident) => {
+                    Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
+                        for (o, (((&x, &y), &u), &v)) in
+                            out.iter_mut().zip(xs[0].iter().zip(xs[1]).zip(xs[2]).zip(xs[3]))
+                        {
+                            *o = if cmp_op_lane(CmpOp::$P, x, y, pt) != 0 { u } else { v };
+                        }
+                    }) as SemSliceFn
+                };
+            }
+            match pop {
+                CmpOp::Eq => cmp_select!(Eq),
+                CmpOp::Ne => cmp_select!(Ne),
+                CmpOp::Lt => cmp_select!(Lt),
+                CmpOp::Le => cmp_select!(Le),
+                CmpOp::Gt => cmp_select!(Gt),
+                CmpOp::Ge => cmp_select!(Ge),
+            }
+        }
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +1246,222 @@ mod tests {
     fn arity_is_checked() {
         let t = V::new(S::U8, 1);
         assert!(eval_sem(MachSem::Select, &[v(t, &[1])], t).is_err());
+    }
+
+    #[test]
+    fn sem_lane_matches_eval_sem_into() {
+        // Every MachSem variant, evaluated whole-vector by eval_sem_into
+        // and lane-by-lane by sem_lane, must agree bit-for-bit. A small
+        // LCG fills the lanes with canonical (wrapped) values per type.
+        let mut state: u64 = 0x243f_6a88_85a3_08d3;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 16) as i128
+        };
+        const LANES: u32 = 8;
+        // (sem, operand element types, result element type); lane counts
+        // are uniform — exactly the shape the fused engine requires.
+        let fp = |op| MachSem::Fpir(op);
+        let cases: Vec<(MachSem, Vec<S>, S)> = vec![
+            (MachSem::Bin(BinOp::Add), vec![S::I16, S::I16], S::I16),
+            (MachSem::Bin(BinOp::Div), vec![S::I16, S::I16], S::I16),
+            (MachSem::Bin(BinOp::Shr), vec![S::U32, S::U32], S::U32),
+            (MachSem::Cmp(CmpOp::Lt), vec![S::I8, S::I8], S::I8),
+            (MachSem::Select, vec![S::U8, S::U8, S::U8], S::U8),
+            (MachSem::ExtendTo, vec![S::U8], S::U16),
+            (MachSem::TruncTo, vec![S::U16], S::U8),
+            (MachSem::Reinterpret, vec![S::I16], S::U16),
+            (MachSem::SatCastTo, vec![S::I32], S::U8),
+            (MachSem::PackSatSignedTo, vec![S::U16], S::U8),
+            (MachSem::MulHigh, vec![S::I16, S::I16], S::I16),
+            (MachSem::MulAcc, vec![S::I32, S::I32, S::I32], S::I32),
+            (MachSem::WideningMulAcc, vec![S::U16, S::U8, S::U8], S::U16),
+            (MachSem::MulPairsAdd, vec![S::I32; 4], S::I32),
+            (MachSem::Mpa, vec![S::I32; 4], S::I32),
+            (MachSem::MpaAcc, vec![S::I32; 5], S::I32),
+            (
+                MachSem::DotAcc4,
+                vec![S::U32, S::U8, S::U8, S::U8, S::U8, S::U8, S::U8, S::U8, S::U8],
+                S::U32,
+            ),
+            (MachSem::ShrRndSatNarrow, vec![S::I16, S::I16], S::I8),
+            (MachSem::ShrNarrow, vec![S::I16, S::I16], S::I8),
+            (MachSem::QRDMulH, vec![S::I16, S::I16], S::I16),
+            (MachSem::Splat, vec![S::U8], S::U8),
+            (fp(FpirOp::WideningAdd), vec![S::U8, S::U8], S::U16),
+            (fp(FpirOp::SaturatingAdd), vec![S::I16, S::I16], S::I16),
+            (fp(FpirOp::RoundingHalvingAdd), vec![S::U8, S::U8], S::U8),
+            (fp(FpirOp::Absd), vec![S::U8, S::U8], S::U8),
+            (fp(FpirOp::Abs), vec![S::I16], S::I16),
+            (fp(FpirOp::RoundingShr), vec![S::I16, S::I16], S::I16),
+            (fp(FpirOp::RoundingMulShr), vec![S::I16, S::I16, S::I16], S::I16),
+        ];
+        for (sem, arg_tys, result) in cases {
+            assert_eq!(arg_tys.len(), sem.arity(), "case shape for {sem:?}");
+            let args: Vec<Value> = arg_tys
+                .iter()
+                .map(|&t| {
+                    let vt = V::new(t, LANES);
+                    Value::new(vt, (0..LANES).map(|_| t.wrap(next())).collect())
+                })
+                .collect();
+            let rty = V::new(result, LANES);
+            let whole = eval_sem(sem, &args, rty).unwrap_or_else(|e| panic!("{sem:?}: {e}"));
+            for lane in 0..LANES as usize {
+                let xs: Vec<i128> = args.iter().map(|a| a.lane(lane)).collect();
+                let got = sem_lane(sem, &xs, &arg_tys, result);
+                assert_eq!(got, whole.lane(lane), "{sem:?} lane {lane}");
+            }
+            // The compiled whole-strip kernel must agree too.
+            let compiled = sem_slice_fn(sem, &arg_tys, result);
+            let slices: Vec<&[i128]> = args.iter().map(|a| a.lanes()).collect();
+            let mut out = vec![0i128; LANES as usize];
+            compiled(&slices, &mut out);
+            assert_eq!(out.as_slice(), whole.lanes(), "{sem:?} compiled");
+        }
+    }
+
+    #[test]
+    fn fused_pairs_match_sequential_passes() {
+        // For every type-compatible ordered pair of semantics and every
+        // consumer operand position, the one-loop fused pair must be
+        // bit-identical to running the two compiled strip kernels back to
+        // back through a temporary. Pairs the composer declines (arity
+        // > 3, pairwise family) are simply skipped — the engine keeps
+        // separate passes for those.
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 16) as i128
+        };
+        const LANES: usize = 8;
+        let fp = |op| MachSem::Fpir(op);
+        let cases: Vec<(MachSem, Vec<S>, S)> = vec![
+            (MachSem::Bin(BinOp::Add), vec![S::I16, S::I16], S::I16),
+            (MachSem::Bin(BinOp::Mul), vec![S::U8, S::U8], S::U8),
+            (MachSem::Bin(BinOp::Max), vec![S::I16, S::I16], S::I16),
+            (MachSem::Cmp(CmpOp::Gt), vec![S::I16, S::I16], S::I16),
+            (MachSem::Select, vec![S::I16, S::I16, S::I16], S::I16),
+            (MachSem::ExtendTo, vec![S::U8], S::I16),
+            (MachSem::TruncTo, vec![S::I16], S::U8),
+            (MachSem::SatCastTo, vec![S::I16], S::U8),
+            (MachSem::PackSatSignedTo, vec![S::I16], S::U8),
+            (MachSem::MulHigh, vec![S::I16, S::I16], S::I16),
+            (MachSem::WideningMulAcc, vec![S::I16, S::U8, S::U8], S::I16),
+            (MachSem::ShrRndSatNarrow, vec![S::I16, S::I16], S::U8),
+            (MachSem::QRDMulH, vec![S::I16, S::I16], S::I16),
+            (fp(FpirOp::WideningAdd), vec![S::U8, S::U8], S::I16),
+            (fp(FpirOp::SaturatingAdd), vec![S::I16, S::I16], S::I16),
+            (fp(FpirOp::Absd), vec![S::U8, S::U8], S::U8),
+            (fp(FpirOp::RoundingMulShr), vec![S::I16, S::I16, S::I16], S::I16),
+            (MachSem::MulPairsAdd, vec![S::I16; 4], S::I16),
+        ];
+        let mut fused_pairs = 0usize;
+        for (p_sem, p_tys, p_res) in &cases {
+            for (c_sem, c_tys, c_res) in &cases {
+                for k in 0..c_tys.len() {
+                    if c_tys[k] != *p_res {
+                        continue;
+                    }
+                    let Some(pair) =
+                        sem_slice_fn_pair(*p_sem, p_tys, *p_res, *c_sem, c_tys, *c_res, k)
+                    else {
+                        continue;
+                    };
+                    fused_pairs += 1;
+                    let mut fill =
+                        |t: S| -> Vec<i128> { (0..LANES).map(|_| t.wrap(next())).collect() };
+                    let p_args: Vec<Vec<i128>> = p_tys.iter().map(|&t| fill(t)).collect();
+                    let c_others: Vec<Vec<i128>> = c_tys
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != k)
+                        .map(|(_, &t)| fill(t))
+                        .collect();
+                    // Sequential: producer into a temp strip, consumer after.
+                    let mut tmp = vec![0i128; LANES];
+                    let p_slices: Vec<&[i128]> = p_args.iter().map(|a| a.as_slice()).collect();
+                    sem_slice_fn(*p_sem, p_tys, *p_res)(&p_slices, &mut tmp);
+                    let mut c_slices: Vec<&[i128]> =
+                        c_others.iter().map(|a| a.as_slice()).collect();
+                    c_slices.insert(k, &tmp);
+                    let mut want = vec![0i128; LANES];
+                    sem_slice_fn(*c_sem, c_tys, *c_res)(&c_slices, &mut want);
+                    // Fused: one loop over producer args + consumer others.
+                    let mut fused_slices: Vec<&[i128]> =
+                        p_args.iter().map(|a| a.as_slice()).collect();
+                    fused_slices.extend(c_others.iter().map(|a| a.as_slice()));
+                    let mut got = vec![0i128; LANES];
+                    pair(&fused_slices, &mut got);
+                    assert_eq!(got, want, "{p_sem:?} -> {c_sem:?} at operand {k}");
+                }
+            }
+        }
+        // The composer covers the hot monomorphic families (bin/cast
+        // chains, FPIR->bin/cast, cmp->select); everything else stays as
+        // two passes. Keep a floor so a refactor can't silently shrink
+        // coverage to nothing.
+        assert!(fused_pairs >= 40, "expected broad pair coverage, got {fused_pairs}");
+    }
+
+    #[test]
+    fn splat_capture_matches_streamed_constant() {
+        // For every semantic and operand position with a captured-scalar
+        // loop, running it with the constant in a register must be
+        // bit-identical to the streamed kernel reading a slice that
+        // holds the constant in every lane.
+        let mut state: u64 = 0x2545_f491_4f6c_dd1d;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 16) as i128
+        };
+        const LANES: usize = 8;
+        let fp = |op| MachSem::Fpir(op);
+        let cases: Vec<(MachSem, Vec<S>, S)> = vec![
+            (MachSem::Bin(BinOp::Add), vec![S::I16, S::I16], S::I16),
+            (MachSem::Bin(BinOp::Mul), vec![S::U8, S::U8], S::U8),
+            (MachSem::Bin(BinOp::Div), vec![S::I16, S::I16], S::I16),
+            (MachSem::Bin(BinOp::Shr), vec![S::U32, S::U32], S::U32),
+            (MachSem::Cmp(CmpOp::Lt), vec![S::I8, S::I8], S::I8),
+            (MachSem::MulHigh, vec![S::I16, S::I16], S::I16),
+            (MachSem::MulAcc, vec![S::I32, S::I32, S::I32], S::I32),
+            (MachSem::WideningMulAcc, vec![S::U16, S::U8, S::U8], S::U16),
+            (fp(FpirOp::WideningMul), vec![S::U8, S::U8], S::U16),
+            (fp(FpirOp::SaturatingAdd), vec![S::I16, S::I16], S::I16),
+            (fp(FpirOp::Absd), vec![S::U8, S::U8], S::U8),
+            (fp(FpirOp::RoundingShr), vec![S::I16, S::I16], S::I16),
+            (fp(FpirOp::HalvingAdd), vec![S::U8, S::U8], S::U8),
+            (MachSem::ShrRndSatNarrow, vec![S::I16, S::I16], S::U8),
+            (MachSem::ShrNarrow, vec![S::I16, S::I16], S::I8),
+        ];
+        let mut captured = 0usize;
+        for (sem, tys, result) in &cases {
+            for k in 0..tys.len() {
+                let c = tys[k].wrap(next());
+                let Some(splat) = sem_slice_fn_splat(*sem, tys, *result, k, c) else {
+                    continue;
+                };
+                captured += 1;
+                let args: Vec<Vec<i128>> = tys
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &t)| {
+                        if j == k {
+                            vec![c; LANES]
+                        } else {
+                            (0..LANES).map(|_| t.wrap(next())).collect()
+                        }
+                    })
+                    .collect();
+                let slices: Vec<&[i128]> = args.iter().map(|a| a.as_slice()).collect();
+                let mut want = vec![0i128; LANES];
+                sem_slice_fn(*sem, tys, *result)(&slices, &mut want);
+                let mut got = vec![0i128; LANES];
+                splat(&slices, &mut got);
+                assert_eq!(got, want, "{sem:?} splat at operand {k}");
+            }
+        }
+        assert!(captured >= 20, "expected broad splat coverage, got {captured}");
     }
 
     #[test]

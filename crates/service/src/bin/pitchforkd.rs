@@ -33,6 +33,11 @@ OPTIONS:
     --max-pipeline N    parsed frames in flight per connection [default: 128]
     --cache-dir PATH    spill served artifacts to PATH and re-admit them
                         on startup (restart-warm) [default: off]
+    --cache-max-mb N    spill-store byte budget; an LRU sweep (by mtime,
+                        refreshed on hits) evicts the oldest entries at
+                        startup and after each spill [default: unbounded]
+    --cache-max-age-s N evict spill entries idle longer than N seconds
+                        in the same sweep [default: never]
     --peer ADDR         a sibling daemon (unix:PATH, tcp:ADDR, or bare;
                         repeatable); on a miss the key's owner is asked
                         before compiling locally
@@ -103,6 +108,18 @@ fn main() -> ExitCode {
                 "--cache-dir" => {
                     config.cache_dir = Some(PathBuf::from(take("--cache-dir")?));
                 }
+                "--cache-max-mb" => {
+                    let mb: u64 = take("--cache-max-mb")?
+                        .parse()
+                        .map_err(|_| "--cache-max-mb must be an integer".to_string())?;
+                    config.cache_max_bytes = Some(mb << 20);
+                }
+                "--cache-max-age-s" => {
+                    let s: u64 = take("--cache-max-age-s")?
+                        .parse()
+                        .map_err(|_| "--cache-max-age-s must be an integer".to_string())?;
+                    config.cache_max_age = Some(std::time::Duration::from_secs(s));
+                }
                 "--peer" => opts.peers.push(Endpoint::parse(&take("--peer")?)),
                 "--peer-timeout-ms" => {
                     opts.peer_timeout_ms = take("--peer-timeout-ms")?
@@ -134,7 +151,12 @@ fn main() -> ExitCode {
         opts.max_connections
     );
     if let Some(dir) = &config.cache_dir {
-        eprintln!("pitchforkd: spilling artifacts to {}", dir.display());
+        let budget =
+            config.cache_max_bytes.map_or("unbounded".to_string(), |b| format!("{} MiB", b >> 20));
+        let age = config.cache_max_age.map_or("never expires".to_string(), |a| {
+            format!("expires after {}s idle", a.as_secs())
+        });
+        eprintln!("pitchforkd: spilling artifacts to {} ({budget}, {age})", dir.display());
     }
     if !opts.peers.is_empty() {
         let fleet: Vec<String> = opts.peers.iter().map(|p| p.to_string()).collect();

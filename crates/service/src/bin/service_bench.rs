@@ -37,6 +37,8 @@
 //!         -- [--smoke] [--out PATH]`
 
 use fpir::Isa;
+use fpir_halide::{run_program_reference, run_tiled_exe};
+use fpir_isa::target;
 use fpir_workloads::{all_workloads, LANES};
 use pitchfork::{compile_to_executable, Config, EngineConfig, Pitchfork};
 use pitchfork_service::protocol::CompileSpec;
@@ -283,6 +285,8 @@ fn restart_warm_scenario(
         queue_capacity: 64,
         default_timeout_ms: None,
         cache_dir: Some(dir.clone()),
+        cache_max_bytes: None,
+        cache_max_age: None,
     };
 
     // Generation A: an empty cache dir, so every first compile pays the
@@ -383,6 +387,8 @@ fn fleet_scenario(
                 queue_capacity: 64,
                 default_timeout_ms: None,
                 cache_dir: None,
+                cache_max_bytes: None,
+                cache_max_age: None,
             }))
         })
         .collect();
@@ -527,6 +533,7 @@ fn main() -> ExitCode {
     // 64-bit lanes internally, which HVX does not have, so each
     // workload is probed with a direct compile; failures are recorded,
     // not silently dropped.
+    let mut gate_failed = false;
     let mut combos: Vec<(String, String, Isa)> = Vec::new();
     let mut truth: Vec<(String, String, u64)> = Vec::new();
     let mut hvx_served: Vec<String> = Vec::new();
@@ -535,12 +542,39 @@ fn main() -> ExitCode {
         let expr_src = wl.pipeline.expr.to_string();
         let e = fpir::parser::parse_expr(&expr_src, LANES)
             .unwrap_or_else(|e| panic!("{}: workload expr must parse: {e}", wl.name()));
+        let exec_inputs = wl.random_inputs(64, 8, 0x5E2C);
         for isa in [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx] {
             let pf = Pitchfork::new(isa);
             match compile_to_executable(&pf, &e) {
                 Ok(art) => {
                     if isa == Isa::HexagonHvx {
                         hvx_served.push(wl.name().to_string());
+                    }
+                    // The execution gate on the artifact the service
+                    // serves: the fused executable must be bit-identical
+                    // to the reference interpreter on a real image. The
+                    // service's `run_pipeline` executes exactly this
+                    // `exe`, so a fusion bug can never hide behind the
+                    // compile-equality gates below.
+                    let want = run_program_reference(
+                        &wl.pipeline,
+                        &art.program,
+                        target(isa),
+                        &exec_inputs,
+                    )
+                    .unwrap_or_else(|e| {
+                        panic!("{}/{isa}: reference run must succeed: {e}", wl.name())
+                    });
+                    let got = run_tiled_exe(&wl.pipeline, &art.exe, &exec_inputs, 2)
+                        .unwrap_or_else(|e| {
+                            panic!("{}/{isa}: fused run must succeed: {e}", wl.name())
+                        });
+                    if got != want {
+                        eprintln!(
+                            "DIVERGENCE {name}/{isa}: fused executable diverges from the                              reference interpreter",
+                            name = wl.name()
+                        );
+                        gate_failed = true;
                     }
                     combos.push((wl.name().to_string(), expr_src.clone(), isa));
                     truth.push((art.lowered.to_string(), art.program.render(), art.cycles));
@@ -560,10 +594,11 @@ fn main() -> ExitCode {
         queue_capacity: 256,
         default_timeout_ms: None,
         cache_dir: None,
+        cache_max_bytes: None,
+        cache_max_age: None,
     }));
 
     let mut rows: Vec<Row> = Vec::new();
-    let mut gate_failed = false;
 
     for ((name, expr, isa), (lowered, program, cycles)) in combos.iter().zip(&truth) {
         let req = Request::Compile(spec(expr, *isa));

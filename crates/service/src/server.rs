@@ -282,6 +282,8 @@ mod tests {
             queue_capacity: 8,
             default_timeout_ms: None,
             cache_dir: None,
+            cache_max_bytes: None,
+            cache_max_age: None,
         }));
         let ep = endpoint.clone();
         std::thread::spawn(move || serve(svc, &ep))

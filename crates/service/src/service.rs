@@ -56,6 +56,13 @@ pub struct ServiceConfig {
     /// persistence; with a directory, compiled artifacts are written
     /// through and re-admitted on the next startup (restart-warm).
     pub cache_dir: Option<PathBuf>,
+    /// Disk-store byte budget: after startup and after every spill, an
+    /// LRU sweep (by mtime, refreshed on disk hits) unlinks the oldest
+    /// entries until the directory fits. `None` leaves it unbounded.
+    pub cache_max_bytes: Option<u64>,
+    /// Disk-store idle bound: entries not spilled or hit for this long
+    /// are unlinked by the same sweep. `None` disables expiry.
+    pub cache_max_age: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -67,6 +74,8 @@ impl Default for ServiceConfig {
             queue_capacity: workers * 8,
             default_timeout_ms: None,
             cache_dir: None,
+            cache_max_bytes: None,
+            cache_max_age: None,
         }
     }
 }
@@ -183,7 +192,7 @@ impl Service {
     /// out (restart-warm).
     pub fn new(config: ServiceConfig) -> Service {
         let store = config.cache_dir.as_ref().and_then(|dir| match DiskStore::open(dir) {
-            Ok(s) => Some(s),
+            Ok(s) => Some(s.with_limits(config.cache_max_bytes, config.cache_max_age)),
             Err(e) => {
                 eprintln!(
                     "pitchforkd: cannot open cache dir {}: {e}; persistence disabled",
@@ -221,6 +230,17 @@ impl Service {
             });
             svc.stats.disk_loaded.fetch_add(report.loaded, Ordering::Relaxed);
             svc.stats.disk_rejected.fetch_add(report.rejected, Ordering::Relaxed);
+            // Enforce the size/age bounds on whatever the scan left;
+            // re-admitted cache entries stay warm even if their disk
+            // copy is swept.
+            let gc = store.gc();
+            if gc.evicted > 0 {
+                svc.stats.disk_evicted.fetch_add(gc.evicted, Ordering::Relaxed);
+                eprintln!(
+                    "pitchforkd: spill GC evicted {} entries at startup ({} bytes retained)",
+                    gc.evicted, gc.retained_bytes
+                );
+            }
         }
         svc
     }
@@ -581,7 +601,15 @@ impl Service {
     fn spill(&self, key: &CacheKey, art: &Artifact) {
         let Some(store) = &self.store else { return };
         match store.spill(key, art) {
-            Ok(()) => Stats::bump(&self.stats.disk_spills),
+            Ok(()) => {
+                Stats::bump(&self.stats.disk_spills);
+                // Keep the directory within its bounds as it grows; a
+                // no-op unless limits are configured.
+                let gc = store.gc();
+                if gc.evicted > 0 {
+                    self.stats.disk_evicted.fetch_add(gc.evicted, Ordering::Relaxed);
+                }
+            }
             Err(e) => eprintln!("pitchforkd: spill of {:016x} failed: {e}", key.fingerprint()),
         }
     }
@@ -797,6 +825,7 @@ impl Service {
             ("disk_spills".into(), Json::Int(Stats::read(&self.stats.disk_spills).into())),
             ("disk_loaded".into(), Json::Int(Stats::read(&self.stats.disk_loaded).into())),
             ("disk_rejected".into(), Json::Int(Stats::read(&self.stats.disk_rejected).into())),
+            ("disk_evicted".into(), Json::Int(Stats::read(&self.stats.disk_evicted).into())),
             ("peer_hits".into(), Json::Int(Stats::read(&self.stats.peer_hits).into())),
             ("peer_misses".into(), Json::Int(Stats::read(&self.stats.peer_misses).into())),
             ("peer_timeouts".into(), Json::Int(Stats::read(&self.stats.peer_timeouts).into())),
@@ -864,6 +893,8 @@ mod tests {
             queue_capacity: 8,
             default_timeout_ms: None,
             cache_dir: None,
+            cache_max_bytes: None,
+            cache_max_age: None,
         })
     }
 

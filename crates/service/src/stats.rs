@@ -41,6 +41,8 @@ pub struct Stats {
     /// Spill-store entries that failed validation (checksum, version,
     /// decode) and were unlinked — nonzero values warrant a look.
     pub disk_rejected: AtomicU64,
+    /// Spill-store entries unlinked by the size/age GC sweep.
+    pub disk_evicted: AtomicU64,
     /// Remote fills: misses answered by a peer's pre-rendered artifact.
     pub peer_hits: AtomicU64,
     /// Peer lookups the owner answered with "not found" (or a rule-set

@@ -469,6 +469,15 @@ pub struct ScanReport {
 /// the name distinguishes processes sharing a directory).
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// What a [`DiskStore::gc`] sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries unlinked (stale or evicted for space).
+    pub evicted: u64,
+    /// Bytes of entries left on disk after the sweep.
+    pub retained_bytes: u64,
+}
+
 /// The content-addressed spill directory plus an in-memory index of
 /// the keys it is believed to hold, so the miss path pays a filesystem
 /// read only for keys that were actually spilled.
@@ -476,6 +485,13 @@ static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 pub struct DiskStore {
     dir: PathBuf,
     index: Mutex<HashSet<CacheKey>>,
+    /// Byte budget for [`gc`](Self::gc); `None` means unbounded.
+    max_bytes: Option<u64>,
+    /// Age bound for [`gc`](Self::gc); `None` means entries never
+    /// expire. Age is measured from the file's mtime, which
+    /// [`load`](Self::load) refreshes on every hit, so the sweep is
+    /// least-recently-*used*, not least-recently-written.
+    max_age: Option<std::time::Duration>,
 }
 
 impl DiskStore {
@@ -488,7 +504,20 @@ impl DiskStore {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<DiskStore> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(DiskStore { dir, index: Mutex::new(HashSet::new()) })
+        Ok(DiskStore { dir, index: Mutex::new(HashSet::new()), max_bytes: None, max_age: None })
+    }
+
+    /// Bound the store: [`gc`](Self::gc) keeps total entry bytes within
+    /// `max_bytes` and unlinks entries idle longer than `max_age`.
+    #[must_use]
+    pub fn with_limits(
+        mut self,
+        max_bytes: Option<u64>,
+        max_age: Option<std::time::Duration>,
+    ) -> DiskStore {
+        self.max_bytes = max_bytes;
+        self.max_age = max_age;
+        self
     }
 
     /// The spill directory.
@@ -550,7 +579,15 @@ impl DiskStore {
             }
         };
         match decode_entry(&bytes) {
-            Ok((stored_key, art)) if stored_key == *key => Lookup::Hit(Box::new(art)),
+            Ok((stored_key, art)) if stored_key == *key => {
+                // Refresh the mtime so the age/LRU sweep sees this
+                // entry as recently used, not as old as its spill.
+                let _ = fs::File::options()
+                    .append(true)
+                    .open(&path)
+                    .and_then(|f| f.set_modified(std::time::SystemTime::now()));
+                Lookup::Hit(Box::new(art))
+            }
             Ok(_) => {
                 // A valid entry for a *different* key (fingerprint
                 // collision overwrote ours). Leave the file — it is
@@ -608,6 +645,62 @@ impl DiskStore {
                     eprintln!("pitchforkd: rejected spill entry {name}: {e}");
                 }
             }
+        }
+        report
+    }
+
+    /// Sweep the directory against the configured bounds: unlink every
+    /// entry idle longer than `max_age`, then — oldest mtime first —
+    /// keep unlinking until total entry bytes fit in `max_bytes`.
+    /// Because [`load`](Self::load) refreshes mtimes on hits, the space
+    /// sweep evicts least-recently-used entries. A no-op when neither
+    /// bound is set.
+    pub fn gc(&self) -> GcReport {
+        let mut report = GcReport::default();
+        if self.max_bytes.is_none() && self.max_age.is_none() {
+            return report;
+        }
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(_) => return report,
+        };
+        let mut files: Vec<(PathBuf, String, std::time::SystemTime, u64)> = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(EXTENSION) {
+                continue;
+            }
+            let Some(name) = path.file_name().and_then(|n| n.to_str()).map(str::to_string) else {
+                continue;
+            };
+            let Ok(meta) = entry.metadata() else { continue };
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            files.push((path, name, mtime, meta.len()));
+        }
+        files.sort_by_key(|f| f.2);
+        let mut total: u64 = files.iter().map(|f| f.3).sum();
+        let now = std::time::SystemTime::now();
+        let mut removed: HashSet<String> = HashSet::new();
+        for (path, name, mtime, len) in files {
+            let stale =
+                self.max_age.is_some_and(|age| now.duration_since(mtime).unwrap_or_default() > age);
+            let over = self.max_bytes.is_some_and(|budget| total > budget);
+            if !stale && !over {
+                // Files are oldest-first: the rest are younger still,
+                // and the total already fits.
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total -= len;
+                removed.insert(name);
+                report.evicted += 1;
+            }
+        }
+        report.retained_bytes = total;
+        if !removed.is_empty() {
+            self.index.lock().expect("store index lock").retain(|key| {
+                !removed.contains(&format!("{:016x}.{EXTENSION}", key.fingerprint()))
+            });
         }
         report
     }
@@ -743,6 +836,130 @@ mod tests {
         assert!(matches!(store2.load(&key), Lookup::Rejected(_)));
         assert!(!path.exists(), "corrupt entry must be unlinked");
         assert!(matches!(store2.load(&key), Lookup::Missing));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_is_a_noop_without_limits() {
+        let dir = std::env::temp_dir().join(format!("pfstore-gc0-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = DiskStore::open(&dir).unwrap();
+        let (key, art) = compiled(SAT_ADD, 16, Isa::ArmNeon);
+        store.spill(&key, &art).unwrap();
+        let report = store.gc();
+        assert_eq!(report, GcReport::default());
+        assert!(matches!(store.load(&key), Lookup::Hit(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_evicts_oldest_when_over_budget_and_load_refreshes_age() {
+        let dir = std::env::temp_dir().join(format!("pfstore-gc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let exprs = ["a_u8 + a_u8", "a_u8 + b_u8", "min(a_u8, b_u8)"];
+        let entries: Vec<(CacheKey, Artifact)> =
+            exprs.iter().map(|e| compiled(e, 16, Isa::ArmNeon)).collect();
+
+        // Budget for exactly two of the three entries (they are within a
+        // few bytes of each other).
+        let one = encode_entry(&entries[0].0, &entries[0].1).unwrap().len() as u64;
+        let store = DiskStore::open(&dir).unwrap().with_limits(Some(one * 2 + one / 2), None);
+        let old = std::time::SystemTime::now() - std::time::Duration::from_secs(3600);
+        for (i, (key, art)) in entries.iter().enumerate() {
+            store.spill(key, art).unwrap();
+            // Stamp distinct mtimes, oldest first, so LRU order is
+            // deterministic regardless of filesystem timestamp
+            // granularity.
+            let f = fs::File::options()
+                .append(true)
+                .open(store.dir().join(format!("{:016x}.{EXTENSION}", key.fingerprint())));
+            f.unwrap().set_modified(old + std::time::Duration::from_secs(i as u64)).unwrap();
+        }
+        // A hit on the oldest entry refreshes its mtime, so the sweep
+        // evicts entry 1 (now the least recently used) instead.
+        assert!(matches!(store.load(&entries[0].0), Lookup::Hit(_)));
+        let report = store.gc();
+        assert_eq!(report.evicted, 1);
+        assert!(report.retained_bytes <= one * 2 + one / 2);
+        assert!(store.contains(&entries[0].0), "recently-used entry survives");
+        assert!(!store.contains(&entries[1].0), "LRU entry is evicted");
+        assert!(store.contains(&entries[2].0));
+        assert!(matches!(store.load(&entries[1].0), Lookup::Missing));
+
+        // The survivors still validate end to end.
+        assert!(matches!(store.load(&entries[0].0), Lookup::Hit(_)));
+        assert!(matches!(store.load(&entries[2].0), Lookup::Hit(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_expires_idle_entries_by_age() {
+        let dir = std::env::temp_dir().join(format!("pfstore-age-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = DiskStore::open(&dir)
+            .unwrap()
+            .with_limits(None, Some(std::time::Duration::from_secs(60)));
+        let (k1, a1) = compiled("a_u8 + a_u8", 16, Isa::ArmNeon);
+        let (k2, a2) = compiled("a_u8 + b_u8", 16, Isa::ArmNeon);
+        store.spill(&k1, &a1).unwrap();
+        store.spill(&k2, &a2).unwrap();
+        // Backdate one entry past the idle bound.
+        let path = store.dir().join(format!("{:016x}.{EXTENSION}", k1.fingerprint()));
+        let old = std::time::SystemTime::now() - std::time::Duration::from_secs(3600);
+        fs::File::options().append(true).open(&path).unwrap().set_modified(old).unwrap();
+
+        let report = store.gc();
+        assert_eq!(report.evicted, 1);
+        assert!(!path.exists());
+        assert!(!store.contains(&k1));
+        assert!(matches!(store.load(&k2), Lookup::Hit(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn service_persistence_respects_gc_bounds() {
+        use crate::protocol::{CompileSpec, Request};
+        use crate::service::{Service, ServiceConfig};
+        use crate::stats::Stats;
+        let dir = std::env::temp_dir().join(format!("pfstore-svcgc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let spec = |expr: &str| CompileSpec {
+            expr: expr.into(),
+            lanes: 8,
+            isa: Isa::ArmNeon,
+            engine: pitchfork::EngineConfig::FAST,
+            synthesized_rules: true,
+            leave_out: None,
+            timeout_ms: None,
+        };
+        let exprs = ["a_u8 + a_u8", "a_u8 + b_u8", "min(a_u8, b_u8)"];
+        {
+            let svc = Service::new(ServiceConfig {
+                cache_dir: Some(dir.clone()),
+                ..ServiceConfig::default()
+            });
+            for e in exprs {
+                let r = svc.handle(&Request::Compile(spec(e)));
+                assert!(r.get("error").is_none(), "compile of {e} failed: {r:?}");
+            }
+        }
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 3);
+
+        // Restarting with a two-entry budget sweeps the oldest spill at
+        // startup; the survivors are still served restart-warm.
+        let one = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.metadata().unwrap().len())
+            .max()
+            .unwrap();
+        let svc = Service::new(ServiceConfig {
+            cache_dir: Some(dir.clone()),
+            cache_max_bytes: Some(one * 2 + one / 2),
+            ..ServiceConfig::default()
+        });
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 2);
+        assert_eq!(Stats::read(&svc.stats().disk_evicted), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -28,6 +28,8 @@ fn service() -> Arc<Service> {
         queue_capacity: 16,
         default_timeout_ms: None,
         cache_dir: None,
+        cache_max_bytes: None,
+        cache_max_age: None,
     }))
 }
 

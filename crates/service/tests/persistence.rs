@@ -25,6 +25,8 @@ fn config(dir: &Path, cache_bytes: usize) -> ServiceConfig {
         queue_capacity: 16,
         default_timeout_ms: None,
         cache_dir: Some(dir.to_path_buf()),
+        cache_max_bytes: None,
+        cache_max_age: None,
     }
 }
 

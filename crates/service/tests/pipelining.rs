@@ -32,6 +32,8 @@ fn start(path: &Path, opts: ServeOptions) -> std::thread::JoinHandle<io::Result<
         queue_capacity: 64,
         default_timeout_ms: None,
         cache_dir: None,
+        cache_max_bytes: None,
+        cache_max_age: None,
     }));
     let ep = Endpoint::Unix(path.to_path_buf());
     std::thread::spawn(move || serve_with(svc, &ep, &opts))

@@ -68,6 +68,8 @@ fn duplicate_storm_is_deduplicated_and_bit_identical() {
         queue_capacity: 64,
         default_timeout_ms: None,
         cache_dir: None,
+        cache_max_bytes: None,
+        cache_max_age: None,
     }));
 
     const THREADS: usize = 8;
@@ -131,6 +133,8 @@ fn tiny_budget_thrashes_but_never_serves_a_wrong_artifact() {
         queue_capacity: 64,
         default_timeout_ms: None,
         cache_dir: None,
+        cache_max_bytes: None,
+        cache_max_age: None,
     }));
 
     const THREADS: usize = 4;
@@ -175,6 +179,8 @@ fn run_responses_match_direct_execution() {
         queue_capacity: 16,
         default_timeout_ms: None,
         cache_dir: None,
+        cache_max_bytes: None,
+        cache_max_age: None,
     });
     let expr = "u8(min(u16(a_u8) + u16(b_u8), 255))";
     let lanes = 32u32;
@@ -215,6 +221,8 @@ fn expired_deadline_is_a_structured_timeout_and_cache_stays_consistent() {
         queue_capacity: 16,
         default_timeout_ms: None,
         cache_dir: None,
+        cache_max_bytes: None,
+        cache_max_age: None,
     }));
     let combos = combos();
     let (slow_expr, slow_isa) = combos.last().unwrap().clone();

@@ -6,10 +6,14 @@
 //! harness. It plays the role that running on real hardware played for
 //! the paper's authors.
 //!
-//! The harness checks **both execution engines** on every round: the
-//! REFERENCE VM ([`crate::vm::execute`]) against the source expression's
-//! semantics, and the linked FAST engine ([`crate::exec::Executable`])
-//! against the reference VM — the two must return identical `Result`s.
+//! The harness checks **all three execution engines** on every round:
+//! the REFERENCE VM ([`crate::vm::execute`]) against the source
+//! expression's semantics, the plain linked engine
+//! ([`crate::exec::Executable`]) against the reference VM, and the
+//! fused linked engine ([`crate::fuse`]) against both — all must return
+//! identical `Result`s. Both the plain and the fused artifact pass the
+//! static verifier ([`crate::verify`]) before anything runs, in every
+//! build profile.
 
 use crate::exec::Executable;
 use crate::program::Program;
@@ -53,14 +57,19 @@ pub fn check_program(
         env: Env::new(),
         detail: format!("linking failed: {e}\n{program}"),
     })?;
-    // Static artifact audit before anything runs: a malformed link is a
-    // counterexample in its own right, caught here even in release
-    // builds (the in-link gate is debug-only).
-    crate::verify::verify_executable(&exe).map_err(|v| Counterexample {
-        env: Env::new(),
-        detail: format!("artifact verification failed: {v}\n{program}"),
-    })?;
+    let fused = crate::fuse::optimize(exe.clone());
+    // Static artifact audit before anything runs — on BOTH links: a
+    // malformed link or fusion is a counterexample in its own right,
+    // caught here even in release builds (the in-link gate is
+    // debug-only).
+    for (name, artifact) in [("linked", &exe), ("fused", &fused)] {
+        crate::verify::verify_executable(artifact).map_err(|v| Counterexample {
+            env: Env::new(),
+            detail: format!("{name} artifact verification failed: {v}\n{program}"),
+        })?;
+    }
     let mut ctx = exe.new_ctx();
+    let mut fctx = fused.new_ctx();
     for _ in 0..rounds {
         let env = random_env(rng, source);
         let want = eval(source, &env).map_err(|e| Counterexample {
@@ -77,10 +86,22 @@ pub fn check_program(
                 ),
             });
         }
+        let fused_out = fused.run(&mut fctx, &env);
+        if reference != fused_out {
+            return Err(Counterexample {
+                env,
+                detail: format!(
+                    "engines disagree: reference {reference:?} vs fused {fused_out:?}\n{program}\n{fused}"
+                ),
+            });
+        }
         let got = reference.map_err(|e| Counterexample {
             env: env.clone(),
             detail: format!("program execution failed: {e}\n{program}"),
         })?;
+        if let Ok(f) = fused_out {
+            fctx.recycle(f);
+        }
         if let Ok(fast_out) = fast {
             ctx.recycle(fast_out);
         }

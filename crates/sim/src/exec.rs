@@ -43,8 +43,15 @@ use std::fmt;
 use std::fmt::Write as _;
 
 /// The widest instruction in any table is `DotAcc4` (9 operands); the
-/// operand staging array is stack-allocated at this fixed width.
-const MAX_OPERANDS: usize = 16;
+/// operand staging array is stack-allocated at this fixed width. Fused
+/// superinstructions dedup their external operands into the same array,
+/// so the fuser also caps external sources at this width.
+pub(crate) const MAX_OPERANDS: usize = 32;
+
+/// Upper bound on the number of absorbed steps in one fused
+/// superinstruction; the per-lane scratchpad is stack-allocated at this
+/// width.
+pub(crate) const MAX_STEPS: usize = 32;
 
 /// Where a linked operand reads from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,14 +64,140 @@ pub(crate) enum Operand {
     Const(u16),
 }
 
+/// Where a fused step's operand lanes come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FSrc {
+    /// An external operand's lane slice (`LInst::args[k]` — a register,
+    /// input slot, or pool constant resolved by the engine).
+    Arg(u16),
+    /// The scratchpad row written by an earlier step in the same kernel.
+    Tmp(u16),
+}
+
+/// One absorbed instruction inside a fused superinstruction. The
+/// original opcode, program position, and virtual register ride along so
+/// the verifier can audit the chain and runtime errors blame the exact
+/// source instruction, byte-identically to the unfused engine.
+#[derive(Clone)]
+pub(crate) struct FStep {
+    /// Original opcode of the absorbed instruction.
+    pub(crate) op: MachOp,
+    /// Its semantics — the audited source of truth for `eval`.
+    pub(crate) sem: MachSem,
+    /// Its result type (`ty.elem` feeds the lane evaluator; all steps
+    /// share the kernel's lane count).
+    pub(crate) ty: VectorType,
+    /// Scalar sources, one per operand.
+    pub(crate) srcs: Box<[FSrc]>,
+    /// Element type of each source, precomputed at fuse time.
+    pub(crate) tys: Box<[ScalarType]>,
+    /// The compiled whole-strip evaluator: `sem` specialized once at
+    /// fuse time over `tys`/`ty.elem` ([`fpir_isa::sem_slice_fn`]), so
+    /// executing the step is one call into a monomorphic vector loop —
+    /// no dispatch, shape checks, or operand-type reads remain at run
+    /// time. Derived data: always built from the three fields above,
+    /// never stored independently.
+    pub(crate) eval: fpir_isa::SemSliceFn,
+    /// Position of the absorbed instruction in the source program.
+    pub(crate) pos: u32,
+    /// Its destination virtual register in the source program.
+    pub(crate) reg: Reg,
+}
+
+impl fmt::Debug for FStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `eval` is an opaque compiled closure; the debug form shows the
+        // audited fields it was derived from.
+        f.debug_struct("FStep")
+            .field("op", &self.op)
+            .field("sem", &self.sem)
+            .field("ty", &self.ty)
+            .field("srcs", &self.srcs)
+            .field("tys", &self.tys)
+            .field("pos", &self.pos)
+            .field("reg", &self.reg)
+            .finish()
+    }
+}
+
+/// One compiled strip loop of a fused kernel's execution schedule. A
+/// pass completes exactly one step (`last`), and may additionally absorb
+/// that step's single-use lane-wise producer into the same loop
+/// ([`fpir_isa::sem_slice_fn_pair`]) so the intermediate lives in a
+/// register for the duration of a lane instead of a scratch row.
+#[derive(Clone)]
+pub(crate) struct FPass {
+    /// Index of the step this pass completes; its result lands in the
+    /// step's scratch row (or the destination buffer for the root).
+    pub(crate) last: u16,
+    /// Step absorbed into this loop as the operand-`k` producer, if any.
+    /// An absorbed step's scratch row is never written.
+    pub(crate) absorbed: Option<u16>,
+    /// Operand sources in the compiled closure's expected order: the
+    /// absorbed producer's sources first, then the completing step's
+    /// sources with the absorbed operand removed.
+    pub(crate) srcs: Box<[FSrc]>,
+    /// The compiled strip loop. Derived data: for a plain pass this is
+    /// the step's own `eval`; for a merged pass it is built from the two
+    /// steps' audited `sem`/`tys`/`ty` fields at fuse time.
+    pub(crate) eval: fpir_isa::SemSliceFn,
+}
+
+impl fmt::Debug for FPass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FPass")
+            .field("last", &self.last)
+            .field("absorbed", &self.absorbed)
+            .field("srcs", &self.srcs)
+            .finish()
+    }
+}
+
+/// A fused superinstruction: a single-use producer→consumer chain
+/// collapsed into one engine dispatch. `steps` is the audited record of
+/// the absorbed instructions, in evaluation order; `passes` is the
+/// execution schedule derived from it — one compiled strip loop per
+/// step, except that lane-wise producer→consumer pairs share a single
+/// loop. Intermediates live in a context-owned scratchpad (or a register,
+/// for paired steps) and never touch the register file — only the root's
+/// result is materialized into the destination register.
+#[derive(Debug, Clone)]
+pub(crate) struct FusedKernel {
+    /// Steps in evaluation order; the last step is the chain's root and
+    /// matches the owning [`LInst`]'s `op`/`ty`/`pos`/`reg`.
+    pub(crate) steps: Box<[FStep]>,
+    /// Execution schedule: completes every step exactly once, in order.
+    pub(crate) passes: Box<[FPass]>,
+}
+
+impl FusedKernel {
+    /// Number of original instructions this kernel absorbs.
+    pub(crate) fn len(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+/// How a linked instruction computes its result.
+#[derive(Debug, Clone)]
+pub(crate) enum Kernel {
+    /// One table instruction, dispatched whole-vector through
+    /// [`fpir_isa::eval_sem_into`] — the PR 4 path.
+    Op(MachSem),
+    /// A fused chain of compiled step kernels
+    /// ([`fpir_isa::sem_slice_fn`]) run back-to-back over the strip.
+    Fused(Box<FusedKernel>),
+}
+
 /// One linked instruction: semantics resolved, operands resolved,
 /// destination a physical register.
 #[derive(Debug, Clone)]
 pub(crate) struct LInst {
-    /// Opcode (kept for error reports and rendering).
+    /// Opcode (kept for error reports and rendering; for a fused kernel,
+    /// the chain root's opcode).
     pub(crate) op: MachOp,
-    /// Direct-dispatch semantics, resolved from the table at link time.
-    pub(crate) sem: MachSem,
+    /// Direct-dispatch kernel, resolved from the table at link time and
+    /// possibly fused post-link.
+    pub(crate) kernel: Kernel,
     /// Result type.
     pub(crate) ty: VectorType,
     /// Destination physical register.
@@ -151,6 +284,10 @@ pub struct Executable {
 pub struct ExecCtx {
     regs: Vec<Option<Value>>,
     spare: Vec<Vec<i128>>,
+    /// Fused-kernel scratchpad: `MAX_STEPS` rows of strip-width lanes,
+    /// grown on first use and reused by every fused dispatch thereafter
+    /// (steady-state fused runs allocate nothing, like unfused ones).
+    scratch: Vec<i128>,
     buffer_allocs: u64,
     invocations: u64,
 }
@@ -332,7 +469,7 @@ impl Executable {
                     }
                     code.push(LInst {
                         op: *op,
-                        sem: def.sem,
+                        kernel: Kernel::Op(def.sem),
                         ty: inst.ty,
                         dst,
                         args: resolved,
@@ -370,6 +507,27 @@ impl Executable {
         Ok(exe)
     }
 
+    /// Link and then, per `cfg`, run the post-link optimization pipeline
+    /// ([`crate::fuse`]): copy propagation, constant folding, dead-write
+    /// elimination, and superinstruction fusion, with the register file
+    /// re-allocated afterwards. [`crate::fuse::ExecConfig::REFERENCE`]
+    /// returns the plain link unchanged; [`crate::fuse::ExecConfig::FAST`]
+    /// fuses. The two are bit-identical on every environment — gated by
+    /// difftest, the fused proptests, and every benchmark.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executable::link`]; the post-link pipeline itself cannot
+    /// fail.
+    pub fn link_with(
+        p: &Program,
+        target: &Target,
+        cfg: &crate::fuse::ExecConfig,
+    ) -> Result<Executable, ExecError> {
+        let exe = Executable::link(p, target)?;
+        Ok(if cfg.fuse { crate::fuse::optimize(exe) } else { exe })
+    }
+
     /// The ISA this executable was linked for.
     pub fn isa(&self) -> Isa {
         self.isa
@@ -381,9 +539,31 @@ impl Executable {
         &self.inputs
     }
 
-    /// Number of linked (op) instructions.
+    /// Number of linked instructions — one per dispatch in the hot loop,
+    /// so for a fused executable this is the per-invocation dispatch
+    /// count, not the original op count (see
+    /// [`Executable::step_count`]).
     pub fn op_count(&self) -> usize {
         self.code.len()
+    }
+
+    /// Number of fused superinstructions (kernels absorbing ≥ 2 original
+    /// instructions). Zero for an unfused link.
+    pub fn fused_count(&self) -> usize {
+        self.code.iter().filter(|i| matches!(i.kernel, Kernel::Fused(_))).count()
+    }
+
+    /// Total original instructions represented, counting every step
+    /// absorbed into fused kernels. For an unfused link this equals
+    /// [`Executable::op_count`].
+    pub fn step_count(&self) -> usize {
+        self.code
+            .iter()
+            .map(|i| match &i.kernel {
+                Kernel::Op(_) => 1,
+                Kernel::Fused(f) => f.len(),
+            })
+            .sum()
     }
 
     /// Size of the shared constant pool.
@@ -474,7 +654,7 @@ impl Executable {
             ctx.regs.resize_with(self.phys_regs, || None);
         }
         ctx.invocations += 1;
-        let ExecCtx { regs, spare, buffer_allocs, .. } = ctx;
+        let ExecCtx { regs, spare, scratch, buffer_allocs, .. } = ctx;
         for inst in &self.code {
             // Reclaim the destination's previous (dead by liveness)
             // value; the allocator guarantees the destination never
@@ -500,14 +680,83 @@ impl Executable {
                         Operand::Const(c) => &self.consts[c as usize],
                     };
                 }
-                eval_sem_into(inst.sem, &refs[..inst.args.len()], inst.ty, &mut buf).map_err(
-                    |what| ExecError::Sem {
-                        op: inst.op,
-                        pos: inst.pos as usize,
-                        reg: inst.reg,
-                        what,
-                    },
-                )?;
+                match &inst.kernel {
+                    Kernel::Op(sem) => {
+                        eval_sem_into(*sem, &refs[..inst.args.len()], inst.ty, &mut buf).map_err(
+                            |what| ExecError::Sem {
+                                op: inst.op,
+                                pos: inst.pos as usize,
+                                reg: inst.reg,
+                                what,
+                            },
+                        )?;
+                    }
+                    Kernel::Fused(f) => {
+                        // A fused kernel's shapes (arity, lane counts,
+                        // widening widths) were all proven static at fuse
+                        // time — external operand types are fixed by the
+                        // link and re-checked at binding — so the chain
+                        // runs with no per-step validation: each absorbed
+                        // step is one call into its compiled vector
+                        // kernel, intermediates staying in the context
+                        // scratchpad. The verifier's fused-shape check
+                        // audits this.
+                        let lanes = inst.ty.lanes as usize;
+                        let mut lanes_of: [&[i128]; MAX_OPERANDS] = [&[]; MAX_OPERANDS];
+                        for (k, r) in refs[..inst.args.len()].iter().enumerate() {
+                            lanes_of[k] = r.lanes();
+                        }
+                        if scratch.len() < f.steps.len() * lanes {
+                            // First fused dispatch at this width; the
+                            // scratchpad is retained for every later run.
+                            scratch.resize(MAX_STEPS * lanes, 0);
+                        }
+                        let root = f.steps.len() - 1;
+                        // Size the destination without zeroing it: the
+                        // root pass overwrites every lane (operand and
+                        // scratch slices are exactly `lanes` long, and
+                        // every compiled kernel writes its full output
+                        // slice), so recycled contents never leak.
+                        buf.resize(lanes, 0);
+                        for pass in f.passes.iter() {
+                            let j = pass.last as usize;
+                            let (lo, hi) = scratch.split_at_mut(j * lanes);
+                            // The chain root writes the destination
+                            // buffer directly; earlier passes fill their
+                            // completed step's scratchpad row.
+                            let dst: &mut [i128] =
+                                if j == root { &mut buf[..] } else { &mut hi[..lanes] };
+                            macro_rules! src {
+                                ($k:expr) => {
+                                    match pass.srcs[$k] {
+                                        FSrc::Arg(a) => lanes_of[a as usize],
+                                        FSrc::Tmp(t) => {
+                                            let t = t as usize;
+                                            &lo[t * lanes..(t + 1) * lanes]
+                                        }
+                                    }
+                                };
+                            }
+                            // Stage exactly the pass's operands: almost
+                            // every pass reads 1–4 sources, and the
+                            // fixed-size array keeps the staging cost off
+                            // the `MAX_OPERANDS`-wide worst case.
+                            match pass.srcs.len() {
+                                1 => (pass.eval)(&[src!(0)], dst),
+                                2 => (pass.eval)(&[src!(0), src!(1)], dst),
+                                3 => (pass.eval)(&[src!(0), src!(1), src!(2)], dst),
+                                4 => (pass.eval)(&[src!(0), src!(1), src!(2), src!(3)], dst),
+                                _ => {
+                                    let mut xs: [&[i128]; MAX_OPERANDS] = [&[]; MAX_OPERANDS];
+                                    for (x, k) in xs.iter_mut().zip(0..pass.srcs.len()) {
+                                        *x = src!(k);
+                                    }
+                                    (pass.eval)(&xs[..pass.srcs.len()], dst);
+                                }
+                            }
+                        }
+                    }
+                }
             }
             // Semantics wrap/saturate into the result type, so the lanes
             // satisfy the `Value` invariant by construction.
@@ -551,7 +800,18 @@ impl Executable {
         }
         for inst in &self.code {
             let srcs = inst.args.iter().map(|a| operand_name(*a)).collect::<Vec<_>>().join(", ");
-            let _ = writeln!(out, "{:<9} r{}.{}, {}", inst.op.name, inst.dst, inst.ty, srcs);
+            match &inst.kernel {
+                Kernel::Op(_) => {
+                    let _ =
+                        writeln!(out, "{:<9} r{}.{}, {}", inst.op.name, inst.dst, inst.ty, srcs);
+                }
+                Kernel::Fused(f) => {
+                    // A fused superinstruction lists its absorbed chain
+                    // in evaluation order, root last.
+                    let chain = f.steps.iter().map(|s| s.op.name).collect::<Vec<_>>().join("+");
+                    let _ = writeln!(out, "{:<9} r{}.{}, {}", chain, inst.dst, inst.ty, srcs);
+                }
+            }
         }
         let ret = match self.output {
             OutLoc::Reg(r) => format!("r{r}"),

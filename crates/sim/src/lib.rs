@@ -18,12 +18,14 @@
 
 pub mod difftest;
 pub mod exec;
+pub mod fuse;
 pub mod program;
 pub mod verify;
 pub mod vm;
 
 pub use difftest::{check_program, Counterexample};
 pub use exec::{ExecCtx, Executable, InputSlot};
+pub use fuse::ExecConfig;
 pub use program::{cycle_cost, emit, EmitError, PInst, PKind, Program, LOAD_COST};
 pub use verify::{verify_executable, ArtifactCheck, ArtifactError};
 pub use vm::{execute, ExecError};

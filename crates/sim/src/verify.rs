@@ -28,7 +28,19 @@
 //!   every operand has the result's lane count, and the widening
 //!   accumulator shapes hold (`WideningMulAcc` 2×, `DotAcc4` 4×), so
 //!   [`fpir_isa::eval_sem_into`] cannot reject the instruction at run
-//!   time.
+//!   time;
+//! * **`fused-shape`** — a fused superinstruction's audit trail holds
+//!   together: each absorbed step's operand count matches its
+//!   semantics' arity, temp references point at *earlier* steps,
+//!   external-operand indices are in range with element types matching
+//!   the recorded per-step types, baked immediates are canonical at
+//!   their recorded type, every step has the kernel's lane count, the
+//!   widening shapes hold per step, step positions strictly increase,
+//!   every external operand is read, and the final step is the
+//!   instruction's own op/type/position — so the lane walk through
+//!   [`fpir_isa::sem_lane`] is exactly the per-instruction dispatch it
+//!   replaced. (Each step's opcode→semantics agreement is reported
+//!   under `sem-table`, same as unfused instructions.)
 //!
 //! [`Executable::link`] runs this in debug builds on everything it
 //! produces, [`crate::difftest`] runs it on every artifact it tests, and
@@ -36,8 +48,11 @@
 //! regression is caught at the artifact boundary, with a named check and
 //! a program position, not as a scrambled image three layers up.
 
-use crate::exec::{Executable, Operand, OutLoc};
-use fpir_isa::MachSem;
+use crate::exec::{
+    Executable, FSrc, FusedKernel, Kernel, LInst, Operand, OutLoc, MAX_OPERANDS, MAX_STEPS,
+};
+use fpir::types::VectorType;
+use fpir_isa::{MachSem, Target};
 use std::fmt;
 
 /// Which artifact invariant a violation broke. [`ArtifactCheck::name`]
@@ -58,6 +73,8 @@ pub enum ArtifactCheck {
     SemTable,
     /// Operand shape the semantics would reject at run time.
     SemSignature,
+    /// A fused superinstruction whose step chain is malformed.
+    FusedShape,
 }
 
 impl ArtifactCheck {
@@ -71,6 +88,7 @@ impl ArtifactCheck {
             ArtifactCheck::ConstPool => "const-pool",
             ArtifactCheck::SemTable => "sem-table",
             ArtifactCheck::SemSignature => "sem-signature",
+            ArtifactCheck::FusedShape => "fused-shape",
         }
     }
 }
@@ -246,43 +264,9 @@ pub fn verify_executable(exe: &Executable) -> Result<(), ArtifactError> {
             operand_tys.push(ty);
         }
 
-        // The semantics the table resolves the opcode to today must be
-        // the semantics baked into the instruction at link time.
-        match table.def(inst.op) {
-            Some(def) if def.sem == inst.sem => {}
-            Some(def) => {
-                return Err(err(
-                    C::SemTable,
-                    Some(pos),
-                    format!(
-                        "{} linked as {:?} but the {} table says {:?}",
-                        inst.op, inst.sem, exe.isa, def.sem
-                    ),
-                ));
-            }
-            None => {
-                return Err(err(
-                    C::SemTable,
-                    Some(pos),
-                    format!("{} is not in the {} table", inst.op, exe.isa),
-                ));
-            }
-        }
-
-        // Shape checks mirroring everything `eval_sem_into` rejects, so
-        // a verified artifact cannot fail at dispatch time.
-        if inst.args.len() != inst.sem.arity() {
-            return Err(err(
-                C::SemSignature,
-                Some(pos),
-                format!(
-                    "{:?} takes {} operands, instruction has {}",
-                    inst.sem,
-                    inst.sem.arity(),
-                    inst.args.len()
-                ),
-            ));
-        }
+        // Every operand — of a plain instruction or a fused kernel —
+        // must have the result's lane count: both engines walk exactly
+        // `inst.ty.lanes` lanes of every external source.
         for (k, ty) in operand_tys.iter().enumerate() {
             if ty.lanes != inst.ty.lanes {
                 return Err(err(
@@ -295,28 +279,14 @@ pub fn verify_executable(exe: &Executable) -> Result<(), ArtifactError> {
                 ));
             }
         }
-        match inst.sem {
-            MachSem::WideningMulAcc => {
-                let (aw, ow) = (operand_tys[0].elem.bits(), operand_tys[1].elem.bits());
-                if aw != ow * 2 {
-                    return Err(err(
-                        C::SemSignature,
-                        Some(pos),
-                        format!("widening mul-acc accumulator is {aw}-bit over {ow}-bit operands"),
-                    ));
-                }
+
+        match &inst.kernel {
+            Kernel::Op(sem) => {
+                verify_op_shape(exe, inst, *sem, &operand_tys, table)?;
             }
-            MachSem::DotAcc4 => {
-                let (aw, ow) = (operand_tys[0].elem.bits(), operand_tys[1].elem.bits());
-                if aw != ow * 4 {
-                    return Err(err(
-                        C::SemSignature,
-                        Some(pos),
-                        format!("dot-product accumulator is {aw}-bit over {ow}-bit operands"),
-                    ));
-                }
+            Kernel::Fused(f) => {
+                verify_fused_shape(exe, inst, f, &operand_tys, table)?;
             }
-            _ => {}
         }
 
         defined[inst.dst as usize] = if inst.dst_dead { None } else { Some(inst.ty) };
@@ -362,10 +332,292 @@ pub fn verify_executable(exe: &Executable) -> Result<(), ArtifactError> {
     Ok(())
 }
 
+/// The table-agreement and shape checks for a plain (unfused)
+/// instruction — everything [`fpir_isa::eval_sem_into`] would reject at
+/// dispatch time, proven statically.
+fn verify_op_shape(
+    exe: &Executable,
+    inst: &LInst,
+    sem: MachSem,
+    operand_tys: &[VectorType],
+    table: &Target,
+) -> Result<(), ArtifactError> {
+    use ArtifactCheck as C;
+    let pos = inst.pos as usize;
+
+    // The semantics the table resolves the opcode to today must be the
+    // semantics baked into the instruction at link time.
+    match table.def(inst.op) {
+        Some(def) if def.sem == sem => {}
+        Some(def) => {
+            return Err(err(
+                C::SemTable,
+                Some(pos),
+                format!(
+                    "{} linked as {:?} but the {} table says {:?}",
+                    inst.op, sem, exe.isa, def.sem
+                ),
+            ));
+        }
+        None => {
+            return Err(err(
+                C::SemTable,
+                Some(pos),
+                format!("{} is not in the {} table", inst.op, exe.isa),
+            ));
+        }
+    }
+
+    if inst.args.len() != sem.arity() {
+        return Err(err(
+            C::SemSignature,
+            Some(pos),
+            format!("{sem:?} takes {} operands, instruction has {}", sem.arity(), inst.args.len()),
+        ));
+    }
+    verify_widening_widths(
+        sem,
+        &[operand_tys[0].elem, operand_tys[1.min(operand_tys.len() - 1)].elem],
+    )
+    .map_err(|detail| err(C::SemSignature, Some(pos), detail))
+}
+
+/// The widening-accumulator width constraints shared by plain and fused
+/// shape checks; `elems[0]`/`elems[1]` are the first two operand element
+/// types.
+fn verify_widening_widths(sem: MachSem, elems: &[fpir::types::ScalarType]) -> Result<(), String> {
+    match sem {
+        MachSem::WideningMulAcc => {
+            let (aw, ow) = (elems[0].bits(), elems[1].bits());
+            if aw != ow * 2 {
+                return Err(format!(
+                    "widening mul-acc accumulator is {aw}-bit over {ow}-bit operands"
+                ));
+            }
+        }
+        MachSem::DotAcc4 => {
+            let (aw, ow) = (elems[0].bits(), elems[1].bits());
+            if aw != ow * 4 {
+                return Err(format!("dot-product accumulator is {aw}-bit over {ow}-bit operands"));
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// The `fused-shape` audit: a fused superinstruction carries the
+/// original chain (op, sem, type, position, register per step), and this
+/// check re-proves everything the fuser relied on — so the single lane
+/// walk through [`fpir_isa::sem_lane`] is exactly the sequence of
+/// per-instruction dispatches it replaced.
+fn verify_fused_shape(
+    exe: &Executable,
+    inst: &LInst,
+    f: &FusedKernel,
+    operand_tys: &[VectorType],
+    table: &Target,
+) -> Result<(), ArtifactError> {
+    use ArtifactCheck as C;
+    let pos = inst.pos as usize;
+    let fail = |detail: String| err(C::FusedShape, Some(pos), detail);
+
+    if f.steps.is_empty() || f.steps.len() > MAX_STEPS {
+        return Err(fail(format!(
+            "fused kernel has {} steps (1..={MAX_STEPS} allowed)",
+            f.steps.len()
+        )));
+    }
+    if f.steps.len() < 2 {
+        return Err(fail("a fused kernel must absorb at least two instructions".into()));
+    }
+    if inst.args.len() > MAX_OPERANDS {
+        return Err(fail(format!(
+            "fused kernel reads {} external operands ({MAX_OPERANDS} allowed)",
+            inst.args.len()
+        )));
+    }
+    let mut arg_read = vec![false; inst.args.len()];
+    for (j, step) in f.steps.iter().enumerate() {
+        // Step opcode→semantics agreement is the sem-table check, the
+        // same audit unfused instructions get.
+        match table.def(step.op) {
+            Some(def) if def.sem == step.sem => {}
+            Some(def) => {
+                return Err(err(
+                    C::SemTable,
+                    Some(step.pos as usize),
+                    format!(
+                        "fused step {} linked as {:?} but the {} table says {:?}",
+                        step.op, step.sem, exe.isa, def.sem
+                    ),
+                ));
+            }
+            None => {
+                return Err(err(
+                    C::SemTable,
+                    Some(step.pos as usize),
+                    format!("fused step {} is not in the {} table", step.op, exe.isa),
+                ));
+            }
+        }
+        if step.srcs.len() != step.sem.arity() {
+            return Err(fail(format!(
+                "step {j} ({:?}) takes {} operands, has {}",
+                step.sem,
+                step.sem.arity(),
+                step.srcs.len()
+            )));
+        }
+        if step.tys.len() != step.srcs.len() {
+            return Err(fail(format!(
+                "step {j} has {} recorded operand types for {} sources",
+                step.tys.len(),
+                step.srcs.len()
+            )));
+        }
+        if step.ty.lanes != inst.ty.lanes {
+            return Err(fail(format!(
+                "step {j} has {} lanes, the kernel walks {}",
+                step.ty.lanes, inst.ty.lanes
+            )));
+        }
+        for (k, (&src, &ty)) in step.srcs.iter().zip(step.tys.iter()).enumerate() {
+            match src {
+                FSrc::Arg(a) => {
+                    let a = a as usize;
+                    if a >= inst.args.len() {
+                        return Err(fail(format!(
+                            "step {j} source {k} reads external operand {a} of {}",
+                            inst.args.len()
+                        )));
+                    }
+                    arg_read[a] = true;
+                    if operand_tys[a].elem != ty {
+                        return Err(fail(format!(
+                            "step {j} source {k} records type {ty} for operand {a} of type {}",
+                            operand_tys[a].elem
+                        )));
+                    }
+                }
+                FSrc::Tmp(t) => {
+                    let t = t as usize;
+                    if t >= j {
+                        return Err(fail(format!(
+                            "step {j} source {k} reads temp {t}, defined at or after it"
+                        )));
+                    }
+                    if f.steps[t].ty.elem != ty {
+                        return Err(fail(format!(
+                            "step {j} source {k} records type {ty} for temp {t} of type {}",
+                            f.steps[t].ty.elem
+                        )));
+                    }
+                }
+            }
+        }
+        verify_widening_widths(step.sem, &[step.tys[0], step.tys[1.min(step.tys.len() - 1)]])
+            .map_err(|detail| fail(format!("step {j}: {detail}")))?;
+        if j > 0 && step.pos <= f.steps[j - 1].pos {
+            return Err(fail(format!(
+                "step positions out of order: #{} after #{}",
+                step.pos,
+                f.steps[j - 1].pos
+            )));
+        }
+    }
+    let last = f.steps.last().expect("non-empty");
+    if last.op != inst.op || last.ty != inst.ty || last.pos != inst.pos || last.reg != inst.reg {
+        return Err(fail(format!(
+            "the final step ({} {} #{}) is not the instruction's own root ({} {} #{})",
+            last.op, last.ty, last.pos, inst.op, inst.ty, inst.pos
+        )));
+    }
+    if let Some(a) = arg_read.iter().position(|&r| !r) {
+        return Err(fail(format!("external operand {a} is never read by any step")));
+    }
+
+    // The execution schedule must complete every audited step exactly
+    // once, in order, with each pass's sources derived verbatim from the
+    // step(s) it covers. (The compiled closures themselves are derived
+    // data pinned by tests in `fpir-isa`; this audits the wiring.)
+    let mut completed_by = vec![None::<usize>; f.steps.len()];
+    let mut prev_last = None::<u16>;
+    for (p, pass) in f.passes.iter().enumerate() {
+        let j = pass.last as usize;
+        if j >= f.steps.len() {
+            return Err(fail(format!("pass {p} completes step {j} of {}", f.steps.len())));
+        }
+        if prev_last.is_some_and(|prev| pass.last <= prev) {
+            return Err(fail(format!("pass {p} completes step {j} out of order")));
+        }
+        prev_last = Some(pass.last);
+        completed_by[j] = Some(p);
+        match pass.absorbed {
+            None => {
+                if pass.srcs != f.steps[j].srcs {
+                    return Err(fail(format!("pass {p} sources disagree with step {j}")));
+                }
+            }
+            Some(t) => {
+                let t = t as usize;
+                if t >= j {
+                    return Err(fail(format!(
+                        "pass {p} absorbs step {t}, not before the step it completes ({j})"
+                    )));
+                }
+                if completed_by[t].is_some() {
+                    return Err(fail(format!("pass {p} absorbs step {t}, already completed")));
+                }
+                completed_by[t] = Some(p);
+                // The absorbed step must be the consumer's operand at
+                // exactly one position, and the pass's sources must be
+                // the producer's followed by the consumer's others.
+                let want: Vec<FSrc> = {
+                    let mut dropped = false;
+                    f.steps[t]
+                        .srcs
+                        .iter()
+                        .copied()
+                        .chain(f.steps[j].srcs.iter().copied().filter(|&s| {
+                            let hit = !dropped && s == FSrc::Tmp(t as u16);
+                            dropped |= hit;
+                            !hit
+                        }))
+                        .collect()
+                };
+                if pass.srcs.as_ref() != want.as_slice() {
+                    return Err(fail(format!(
+                        "pass {p} sources disagree with steps {t}+{j} merged"
+                    )));
+                }
+            }
+        }
+    }
+    if let Some(j) = completed_by.iter().position(|c| c.is_none()) {
+        return Err(fail(format!("step {j} is completed by no pass")));
+    }
+    // A pass may only read scratch rows that some earlier pass wrote:
+    // absorbed steps never materialize theirs.
+    for (p, pass) in f.passes.iter().enumerate() {
+        for &src in pass.srcs.iter() {
+            if let FSrc::Tmp(t) = src {
+                let t = t as usize;
+                let materialized = f.passes[..p].iter().any(|q| q.last as usize == t);
+                if !materialized {
+                    return Err(fail(format!("pass {p} reads temp {t}, which no pass wrote")));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::{Operand, OutLoc};
+    use crate::exec::{Kernel, Operand, OutLoc};
+    use crate::fuse::ExecConfig;
     use crate::program::emit;
     use fpir::build;
     use fpir::interp::Value;
@@ -511,12 +763,12 @@ mod tests {
         let mut exe = sample();
         // Claim the first instruction computes something other than what
         // the table says its opcode means.
-        let sem = exe.code[0].sem;
-        exe.code[0].sem = if sem == fpir_isa::MachSem::Select {
+        let Kernel::Op(sem) = exe.code[0].kernel else { panic!("plain links are unfused") };
+        exe.code[0].kernel = Kernel::Op(if sem == fpir_isa::MachSem::Select {
             fpir_isa::MachSem::SatCastTo
         } else {
             fpir_isa::MachSem::Select
-        };
+        });
         assert_flags(&exe, "sem-table");
     }
 
@@ -547,6 +799,103 @@ mod tests {
         let mut exe = sample();
         exe.output = OutLoc::Reg(u16::MAX);
         assert_flags(&exe, "operand-index");
+    }
+
+    // Fused-artifact fixtures: a fused sample must verify clean, and
+    // hand-corrupting the step chain must be flagged by `fused-shape`
+    // (or `sem-table` for a step whose opcode no longer means its sem).
+
+    fn fused_sample() -> Executable {
+        let t = V::new(S::U8, 16);
+        let e = build::saturating_cast(
+            S::U8,
+            build::widening_add(
+                build::rounding_halving_add(build::var("a", t), build::var("b", t)),
+                build::constant(3, t),
+            ),
+        );
+        let tgt = target(Isa::ArmNeon);
+        let p = emit(&legalize(&e, tgt).unwrap(), tgt).unwrap();
+        let exe = Executable::link_with(&p, tgt, &ExecConfig::FAST).unwrap();
+        assert!(exe.fused_count() >= 1, "the sample chain must fuse:\n{exe}");
+        exe
+    }
+
+    fn first_fused(exe: &mut Executable) -> &mut crate::exec::FusedKernel {
+        let inst = exe
+            .code
+            .iter_mut()
+            .find(|i| matches!(i.kernel, Kernel::Fused(_)))
+            .expect("a fused instruction");
+        match &mut inst.kernel {
+            Kernel::Fused(f) => f.as_mut(),
+            Kernel::Op(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn fused_sample_verifies_clean() {
+        let exe = fused_sample();
+        verify_executable(&exe).unwrap_or_else(|v| panic!("{v}\n{exe}"));
+    }
+
+    #[test]
+    fn corrupt_fused_temp_order_fails_fused_shape() {
+        let mut exe = fused_sample();
+        let f = first_fused(&mut exe);
+        // Point some step's temp reference at itself (a temp defined at
+        // or after its use can never have been computed).
+        let j = f
+            .steps
+            .iter()
+            .position(|s| s.srcs.iter().any(|x| matches!(x, crate::exec::FSrc::Tmp(_))))
+            .expect("a step reads a temp");
+        let k =
+            f.steps[j].srcs.iter().position(|x| matches!(x, crate::exec::FSrc::Tmp(_))).unwrap();
+        f.steps[j].srcs[k] = crate::exec::FSrc::Tmp(j as u16);
+        assert_flags(&exe, "fused-shape");
+    }
+
+    #[test]
+    fn corrupt_fused_step_sem_fails_sem_table() {
+        let mut exe = fused_sample();
+        let f = first_fused(&mut exe);
+        f.steps[0].sem = if f.steps[0].sem == fpir_isa::MachSem::Select {
+            fpir_isa::MachSem::SatCastTo
+        } else {
+            fpir_isa::MachSem::Select
+        };
+        assert_flags(&exe, "sem-table");
+    }
+
+    #[test]
+    fn corrupt_fused_root_mismatch_fails_fused_shape() {
+        let mut exe = fused_sample();
+        let f = first_fused(&mut exe);
+        // Drop the final step: the kernel no longer ends in the
+        // instruction's own root.
+        let steps = f.steps.to_vec();
+        f.steps = steps[..steps.len() - 1].to_vec().into_boxed_slice();
+        assert_flags(&exe, "fused-shape");
+    }
+
+    #[test]
+    fn corrupt_fused_operand_type_fails_fused_shape() {
+        let mut exe = fused_sample();
+        let f = first_fused(&mut exe);
+        // Mis-record an external operand's element type: the step's
+        // claimed type must match the linked operand it reads.
+        let (j, k) = f
+            .steps
+            .iter()
+            .enumerate()
+            .find_map(|(j, s)| {
+                s.srcs.iter().position(|x| matches!(x, crate::exec::FSrc::Arg(_))).map(|k| (j, k))
+            })
+            .expect("a step reads an external operand");
+        let old = f.steps[j].tys[k];
+        f.steps[j].tys[k] = if old == S::I64 { S::U8 } else { S::I64 };
+        assert_flags(&exe, "fused-shape");
     }
 
     #[test]

@@ -1,16 +1,17 @@
-//! Differential properties of the two execution engines.
+//! Differential properties of the three execution engines.
 //!
-//! The linked engine ([`fpir_sim::Executable`]) must be observationally
-//! identical to the reference VM ([`fpir_sim::execute`]): the *same
-//! `Result`* on every program and environment — equal values on success
-//! and equal [`fpir_sim::ExecError`]s on failure, including which input a
-//! broken environment is blamed on.
+//! The linked engine ([`fpir_sim::Executable`]) and the fused engine
+//! ([`fpir_sim::ExecConfig::FAST`]) must be observationally identical to
+//! the reference VM ([`fpir_sim::execute`]): the *same `Result`* on
+//! every program and environment — equal values on success and equal
+//! [`fpir_sim::ExecError`]s on failure, including which input a broken
+//! environment is blamed on.
 
 use fpir::interp::Value;
 use fpir::rand_expr::{gen_expr, random_env, GenConfig};
 use fpir::types::ScalarType;
 use fpir_isa::{legalize, target};
-use fpir_sim::{emit, execute, Executable};
+use fpir_sim::{emit, execute, ExecConfig, Executable};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,14 +42,21 @@ proptest! {
             let Ok(m) = legalize(&e, t) else { continue };
             let p = emit(&m, t).unwrap();
             let exe = Executable::link(&p, t).unwrap();
+            let fused = Executable::link_with(&p, t, &ExecConfig::FAST).unwrap();
             let mut ctx = exe.new_ctx();
+            let mut fctx = fused.new_ctx();
             for _ in 0..3 {
                 let env = random_env(&mut rng, &e);
                 let reference = execute(&p, &env, t);
                 let fast = exe.run(&mut ctx, &env);
+                let fout = fused.run(&mut fctx, &env);
                 prop_assert_eq!(&fast, &reference, "{} diverged on {}", isa, e);
+                prop_assert_eq!(&fout, &reference, "{} fused diverged on {}", isa, e);
                 if let Ok(v) = fast {
                     ctx.recycle(v);
+                }
+                if let Ok(v) = fout {
+                    fctx.recycle(v);
                 }
             }
         }
@@ -74,7 +82,9 @@ proptest! {
             let Ok(m) = legalize(&e, t) else { continue };
             let p = emit(&m, t).unwrap();
             let exe = Executable::link(&p, t).unwrap();
+            let fused = Executable::link_with(&p, t, &ExecConfig::FAST).unwrap();
             let mut ctx = exe.new_ctx();
+            let mut fctx = fused.new_ctx();
 
             // Missing binding.
             let env: fpir::interp::Env = vars
@@ -83,6 +93,11 @@ proptest! {
                 .map(|(n, ty)| (n.clone(), Value::splat(0, *ty)))
                 .collect();
             prop_assert_eq!(exe.run(&mut ctx, &env), execute(&p, &env, t), "{isa}: missing");
+            prop_assert_eq!(
+                fused.run(&mut fctx, &env),
+                execute(&p, &env, t),
+                "{isa}: missing (fused)"
+            );
 
             // Mistyped binding: same lane count, different element type.
             let env: fpir::interp::Env = vars
@@ -98,6 +113,11 @@ proptest! {
                 })
                 .collect();
             prop_assert_eq!(exe.run(&mut ctx, &env), execute(&p, &env, t), "{isa}: mistyped");
+            prop_assert_eq!(
+                fused.run(&mut fctx, &env),
+                execute(&p, &env, t),
+                "{isa}: mistyped (fused)"
+            );
         }
     }
 }
