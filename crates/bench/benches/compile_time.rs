@@ -4,7 +4,6 @@
 //! `cargo bench -p fpir-bench --bench compile_time`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fpir::Isa;
 use fpir_baseline::LlvmBaseline;
 use pitchfork::Pitchfork;
 
@@ -13,7 +12,7 @@ fn bench_compile(c: &mut Criterion) {
     group.sample_size(20);
     for name in ["sobel3x3", "softmax", "camera_pipe", "gaussian7x7"] {
         let wl = fpir_workloads::workload(name).expect("known workload");
-        for isa in [Isa::ArmNeon, Isa::HexagonHvx, Isa::X86Avx2] {
+        for isa in fpir::machine::ALL_ISAS {
             group.bench_with_input(
                 BenchmarkId::new(format!("{name}/{isa}"), "pitchfork"),
                 &wl.pipeline.expr,

@@ -4,7 +4,6 @@
 //! `cargo bench -p fpir-bench --bench runtime`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fpir::Isa;
 use fpir_bench::{run, Compiler};
 use fpir_isa::target;
 use fpir_sim::execute;
@@ -17,7 +16,7 @@ fn bench_runtime(c: &mut Criterion) {
         let wl = fpir_workloads::workload(name).expect("known workload");
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let env = fpir::rand_expr::random_env(&mut rng, &wl.pipeline.expr);
-        for isa in [Isa::ArmNeon, Isa::HexagonHvx, Isa::X86Avx2] {
+        for isa in fpir::machine::ALL_ISAS {
             for compiler in [Compiler::Llvm, Compiler::Pitchfork] {
                 let result = run(&wl, isa, &compiler).expect("compiles");
                 group.bench_with_input(

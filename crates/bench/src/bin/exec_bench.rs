@@ -105,7 +105,7 @@ fn main() -> ExitCode {
         workloads.extend(extra_workloads());
         workloads.extend(unrolled_workloads());
     }
-    let isas = [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx];
+    let isas = fpir::machine::ALL_ISAS;
     let compilers: [(&'static str, Compiler); 3] =
         [("llvm", Compiler::Llvm), ("rake", Compiler::Rake), ("pitchfork", Compiler::Pitchfork)];
 
@@ -119,7 +119,7 @@ fn main() -> ExitCode {
             for (tag, compiler) in &compilers {
                 // The Rake reproduction models the paper's ARM/HVX
                 // backends only.
-                if *compiler == Compiler::Rake && isa == Isa::X86Avx2 {
+                if *compiler == Compiler::Rake && !fpir_bench::rake_supports(isa) {
                     continue;
                 }
                 // `run` finishes the compilation through the shared
@@ -227,7 +227,7 @@ fn main() -> ExitCode {
         println!(
             "{:<18} {:>4} {:>10} {:>4}>{:<4} {:>4}>{:<4} {:>8}us {:>8}us {:>8}us {:>8}us {:>6.1}x {:>6.2}x",
             r.workload,
-            isa_tag(r.isa),
+            r.isa.slug(),
             r.compiler,
             r.ops_linked,
             r.ops_fused,
@@ -259,14 +259,6 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn isa_tag(isa: Isa) -> &'static str {
-    match isa {
-        Isa::X86Avx2 => "x86",
-        Isa::ArmNeon => "arm",
-        Isa::HexagonHvx => "hvx",
-    }
-}
-
 /// Hand-built JSON (the environment has no serde; the shape is flat).
 #[allow(clippy::too_many_arguments)]
 fn render_json(
@@ -293,7 +285,7 @@ fn render_json(
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(s, "    {{");
         let _ = writeln!(s, "      \"workload\": \"{}\",", r.workload);
-        let _ = writeln!(s, "      \"isa\": \"{}\",", isa_tag(r.isa));
+        let _ = writeln!(s, "      \"isa\": \"{}\",", r.isa.slug());
         let _ = writeln!(s, "      \"compiler\": \"{}\",", r.compiler);
         let _ = writeln!(s, "      \"cycles\": {},", r.cycles);
         let _ = writeln!(s, "      \"dispatches_linked\": {},", r.ops_linked);

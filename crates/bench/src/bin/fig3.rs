@@ -16,7 +16,7 @@
 
 use fpir::build::*;
 use fpir::types::{ScalarType as S, VectorType as V};
-use fpir::{Isa, RcExpr};
+use fpir::RcExpr;
 use fpir_baseline::LlvmBaseline;
 use pitchfork::{compile_to_executable, Artifact, Pitchfork};
 
@@ -47,7 +47,7 @@ fn main() {
     for (title, e) in &exprs {
         println!("==============================================================");
         println!("{title}\n");
-        for isa in [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx] {
+        for isa in fpir::machine::ALL_ISAS {
             let a_pf = compile_to_executable(&Pitchfork::new(isa), e).expect("pitchfork compiles");
             let bl = LlvmBaseline::new(isa).compile(e).expect("baseline compiles");
             let a_bl = Artifact::from_lowered(bl.lowered, isa).expect("baseline finishes");

@@ -1,11 +1,14 @@
 //! Figure 7: ablation — speedup of the full rule set over hand-written
-//! rules alone, for ARM and HVX (§5.3).
+//! rules alone, per registered target (§5.3).
 //!
 //! The paper reports geomean gains of 1.09x (ARM) and 1.14x (HVX) from
 //! the synthesized rules, with the largest single effect on average_pool
 //! for HVX (4.99x) — the branch-free average idioms only the synthesized
 //! lifting rules recognise — and one *regression* on gaussian7x7/HVX from
-//! a synthesized reordering interacting badly with swizzles.
+//! a synthesized reordering interacting badly with swizzles. Targets the
+//! paper did not evaluate (x86, RVV) run the same ablation without a
+//! paper reference; their synthesized lowering rules (e.g. RVV's
+//! `vwmacc`-from-shift) are ablated exactly like ARM's and HVX's.
 //!
 //! Usage: `cargo run --release -p fpir-bench --bin fig7`
 
@@ -13,13 +16,26 @@ use fpir::Isa;
 use fpir_bench::{geomean, run, validate, Compiler};
 use fpir_workloads::all_workloads;
 
+/// The paper's headline ablation gain, if the target was evaluated.
+fn paper_gain(isa: Isa) -> Option<&'static str> {
+    match isa {
+        Isa::ArmNeon => Some("1.09x"),
+        Isa::HexagonHvx => Some("1.14x"),
+        _ => None,
+    }
+}
+
 fn main() {
-    let isas = [Isa::ArmNeon, Isa::HexagonHvx];
+    let isas = fpir::machine::ALL_ISAS;
     println!("Figure 7: speedup of full rules over hand-written rules only\n");
-    println!("{:<16} {:>9} {:>9}", "benchmark", "ARM", "HVX");
-    let mut gains: Vec<Vec<f64>> = vec![Vec::new(); 2];
+    print!("{:<16}", "benchmark");
+    for isa in isas {
+        print!(" {:>9}", isa.short_name());
+    }
+    println!();
+    let mut gains: Vec<Vec<f64>> = vec![Vec::new(); isas.len()];
     for wl in all_workloads() {
-        let mut row = [0.0f64; 2];
+        let mut row = vec![0.0f64; isas.len()];
         for (i, isa) in isas.iter().enumerate() {
             let hand = run(&wl, *isa, &Compiler::PitchforkHandWritten)
                 .unwrap_or_else(|e| panic!("hand-written failed on {}/{isa}: {e}", wl.name()));
@@ -30,11 +46,23 @@ fn main() {
             row[i] = hand.artifact.cycles as f64 / full.artifact.cycles as f64;
             gains[i].push(row[i]);
         }
-        println!("{:<16} {:>8.2}x {:>8.2}x", wl.name(), row[0], row[1]);
+        print!("{:<16}", wl.name());
+        for v in &row {
+            print!(" {v:>8.2}x");
+        }
+        println!();
     }
     println!("\ngeomean gain from synthesized rules:");
-    println!("  ARM  {:.2}x   (paper: 1.09x)", geomean(&gains[0]));
-    println!("  HVX  {:.2}x   (paper: 1.14x)", geomean(&gains[1]));
-    let max_hvx = gains[1].iter().cloned().fold(0.0f64, f64::max);
-    println!("  max single-benchmark HVX gain {max_hvx:.2}x   (paper: 4.99x on average_pool)");
+    for (i, isa) in isas.iter().enumerate() {
+        let note = match paper_gain(*isa) {
+            Some(p) => format!("   (paper: {p})"),
+            None => String::from("   (post-paper target)"),
+        };
+        println!("  {:<4} {:.2}x{note}", isa.short_name(), geomean(&gains[i]));
+    }
+    let hvx_col = isas.iter().position(|i| *i == Isa::HexagonHvx);
+    if let Some(i) = hvx_col {
+        let max_hvx = gains[i].iter().cloned().fold(0.0f64, f64::max);
+        println!("  max single-benchmark HVX gain {max_hvx:.2}x   (paper: 4.99x on average_pool)");
+    }
 }

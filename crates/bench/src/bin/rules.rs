@@ -4,7 +4,6 @@
 //!
 //! Usage: `cargo run --release -p fpir-bench --bin rules [--verify]`
 
-use fpir::Isa;
 use fpir_synth::{verify_rule_set, VerifyOptions};
 use fpir_trs::rule::RuleSet;
 
@@ -21,13 +20,16 @@ fn main() {
     let lift = pitchfork::lift_rules();
     print_set(&lift);
     let mut sets = vec![lift];
-    for isa in [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx] {
+    for isa in fpir::machine::ALL_ISAS {
         let rs = pitchfork::lower_rules(isa);
         print_set(&rs);
         sets.push(rs);
     }
     let total: usize = sets.iter().map(RuleSet::len).sum();
-    println!("{total} rules across the lifting TRS and three lowering TRSs");
+    println!(
+        "{total} rules across the lifting TRS and {} lowering TRSs",
+        fpir::machine::ALL_ISAS.len()
+    );
 
     // Structural validation always runs; semantic verification on request.
     for rs in &sets {

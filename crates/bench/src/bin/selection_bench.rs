@@ -109,7 +109,7 @@ fn main() -> ExitCode {
     } else {
         workloads.extend(unrolled_workloads());
     }
-    let isas = [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx];
+    let isas = fpir::machine::ALL_ISAS;
 
     let mut rows: Vec<Row> = Vec::new();
     let mut diverged = false;
@@ -177,7 +177,7 @@ fn main() -> ExitCode {
                 })
                 .min()
                 .unwrap();
-            let rake_ns = (isa != Isa::X86Avx2).then(|| {
+            let rake_ns = fpir_bench::rake_supports(isa).then(|| {
                 (0..reps)
                     .map(|_| {
                         run(wl, isa, &Compiler::Rake)
@@ -242,7 +242,7 @@ fn main() -> ExitCode {
         println!(
             "{:<18} {:>4} {:>6} {:>9}us {:>9}us {:>7.1}x {:>10.0}",
             r.workload,
-            isa_tag(r.isa),
+            r.isa.slug(),
             r.unique_nodes,
             r.pitchfork.fast_ns / 1_000,
             r.pitchfork.reference_ns / 1_000,
@@ -271,14 +271,6 @@ fn nodes_per_sec(r: &Row) -> f64 {
     r.unique_nodes as f64 / (r.pitchfork.fast_ns.max(1) as f64 / 1e9)
 }
 
-fn isa_tag(isa: Isa) -> &'static str {
-    match isa {
-        Isa::X86Avx2 => "x86",
-        Isa::ArmNeon => "arm",
-        Isa::HexagonHvx => "hvx",
-    }
-}
-
 /// Hand-built JSON (the environment has no serde; the shape is flat).
 fn render_json(rows: &[Row], geo: f64, smoke: bool, reps: usize, engine_reps: usize) -> String {
     let mut s = String::from("{\n");
@@ -293,7 +285,7 @@ fn render_json(rows: &[Row], geo: f64, smoke: bool, reps: usize, engine_reps: us
         let speedup = p.reference_ns as f64 / p.fast_ns.max(1) as f64;
         let _ = writeln!(s, "    {{");
         let _ = writeln!(s, "      \"workload\": \"{}\",", r.workload);
-        let _ = writeln!(s, "      \"isa\": \"{}\",", isa_tag(r.isa));
+        let _ = writeln!(s, "      \"isa\": \"{}\",", r.isa.slug());
         let _ = writeln!(s, "      \"unique_nodes\": {},", r.unique_nodes);
         let _ = writeln!(s, "      \"tree_nodes\": {},", r.tree_nodes);
         let _ = writeln!(s, "      \"pitchfork_fast_ns\": {},", p.fast_ns);

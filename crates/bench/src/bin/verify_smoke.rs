@@ -67,7 +67,7 @@ fn main() -> ExitCode {
     }
 
     let workloads = all_workloads();
-    let isas = [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx];
+    let isas = fpir::machine::ALL_ISAS;
     let mut rows: Vec<Row> = Vec::new();
     for wl in &workloads {
         for isa in isas {
@@ -118,7 +118,7 @@ fn main() -> ExitCode {
         println!(
             "{:<18} {:>4} {:>5} {:>7} {:>6} {:>5} {:>7} {:>7}  {}",
             r.workload,
-            isa_tag(r.isa),
+            r.isa.slug(),
             r.ops,
             r.ops_unfused,
             r.fused_kernels,
@@ -146,14 +146,6 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn isa_tag(isa: Isa) -> &'static str {
-    match isa {
-        Isa::X86Avx2 => "x86",
-        Isa::ArmNeon => "arm",
-        Isa::HexagonHvx => "hvx",
-    }
-}
-
 /// Hand-built JSON (the environment has no serde; the shape is flat).
 fn render_json(rows: &[Row], bad: usize) -> String {
     let mut s = String::from("{\n");
@@ -164,7 +156,7 @@ fn render_json(rows: &[Row], bad: usize) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(s, "    {{");
         let _ = writeln!(s, "      \"workload\": \"{}\",", r.workload);
-        let _ = writeln!(s, "      \"isa\": \"{}\",", isa_tag(r.isa));
+        let _ = writeln!(s, "      \"isa\": \"{}\",", r.isa.slug());
         let _ = writeln!(s, "      \"ops\": {},", r.ops);
         let _ = writeln!(s, "      \"ops_unfused\": {},", r.ops_unfused);
         let _ = writeln!(s, "      \"fused_kernels\": {},", r.fused_kernels);

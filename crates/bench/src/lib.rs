@@ -51,6 +51,13 @@ impl std::fmt::Display for Compiler {
     }
 }
 
+/// Whether the Rake-like baseline models this target. The paper's Rake
+/// evaluation covers ARM and HVX only; a positive capability list keeps
+/// newly registered backends out of the Rake columns by default.
+pub fn rake_supports(isa: Isa) -> bool {
+    matches!(isa, Isa::ArmNeon | Isa::HexagonHvx)
+}
+
 /// Outcome of compiling one workload for one target.
 #[derive(Debug)]
 pub struct RunResult {
@@ -154,7 +161,7 @@ fn node_too_wide(e: &RcExpr, isa: Isa) -> bool {
         Ok(expanded) => {
             let mut too_wide = false;
             expanded.visit(&mut |n: &Expr| {
-                too_wide |= n.elem().bits() > isa.max_lane_bits();
+                too_wide |= n.elem().bits() > fpir_isa::target(isa).max_lane_bits();
             });
             too_wide
         }

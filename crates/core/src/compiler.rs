@@ -370,9 +370,12 @@ mod tests {
         // selects the fixed-point instruction.
         let t = V::new(S::U8, 16);
         let e = build::rounding_halving_add(build::var("a", t), build::var("b", t));
-        for (isa, inst) in
-            [(Isa::X86Avx2, "vpavg"), (Isa::ArmNeon, "urhadd"), (Isa::HexagonHvx, "vavg:rnd")]
-        {
+        for (isa, inst) in [
+            (Isa::X86Avx2, "vpavg"),
+            (Isa::ArmNeon, "urhadd"),
+            (Isa::HexagonHvx, "vavg:rnd"),
+            (Isa::Rvv, "vaadd"),
+        ] {
             let out = Pitchfork::new(isa).compile(&e).unwrap();
             assert!(out.lowered.to_string().contains(inst), "{isa}: {}", out.lowered);
         }

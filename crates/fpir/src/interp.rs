@@ -367,7 +367,10 @@ pub fn bin_op_lane(op: BinOp, x: i128, y: i128, elem: ScalarType) -> i128 {
     match op {
         BinOp::Add => wrapped(x + y),
         BinOp::Sub => wrapped(x - y),
-        BinOp::Mul => wrapped(x * y),
+        // Wrapping at i128: a u64 extreme squared exceeds i128::MAX, and
+        // `wrap` to a <= 64-bit lane only reads the product's low bits,
+        // which `wrapping_mul` preserves exactly.
+        BinOp::Mul => wrapped(x.wrapping_mul(y)),
         BinOp::Div => wrapped(floor_div(x, y)),
         BinOp::Mod => wrapped(floor_mod(x, y)),
         BinOp::Min => x.min(y),

@@ -11,8 +11,15 @@ use std::fmt;
 
 /// A target instruction set.
 ///
-/// These are *virtual* ISAs modelled on the three backends evaluated in the
-/// paper: x86 AVX2, 64-bit ARM Neon, and Hexagon HVX.
+/// These are *virtual* ISAs: three modelled on the backends evaluated in
+/// the paper (x86 AVX2, 64-bit ARM Neon, Hexagon HVX) plus an RVV-style
+/// scalable-vector target added to demonstrate the `k + n + 1` rule-count
+/// scaling. This enum is only a *name*; everything a backend is made of
+/// (instruction table, register model, lane-width limits, costs) lives in
+/// the `fpir-isa` backend registry, keyed by this name. Adding a variant
+/// here plus one registry descriptor there is the whole recipe for a new
+/// target — call sites enumerate [`ALL_ISAS`] or the registry and must
+/// not pattern-match a fixed set of variants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Isa {
     /// x86 AVX2-like: 256-bit vectors, few fused fixed-point ops.
@@ -21,38 +28,34 @@ pub enum Isa {
     ArmNeon,
     /// Hexagon HVX-like: 1024-bit vectors, rich fixed-point ops, no 64-bit lanes.
     HexagonHvx,
+    /// RISC-V Vector-like: vector-length-agnostic (scalable) registers,
+    /// widening/narrowing arithmetic, fixed-point `vsmul`/`vnclip`.
+    Rvv,
 }
 
-/// All targets, in the paper's presentation order.
-pub const ALL_ISAS: [Isa; 3] = [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx];
+/// All targets: the paper's three in presentation order, then post-paper
+/// additions in the order they were registered.
+pub const ALL_ISAS: [Isa; 4] = [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx, Isa::Rvv];
 
 impl Isa {
-    /// Short display name used in reports ("x86", "ARM", "HVX").
+    /// Short display name used in reports ("x86", "ARM", "HVX", "RVV").
     pub fn short_name(self) -> &'static str {
         match self {
             Isa::X86Avx2 => "x86",
             Isa::ArmNeon => "ARM",
             Isa::HexagonHvx => "HVX",
+            Isa::Rvv => "RVV",
         }
     }
 
-    /// Native vector register width in bits.
-    pub fn vector_bits(self) -> u32 {
+    /// Lower-case machine-readable tag used in JSON reports and file
+    /// names ("x86", "arm", "hvx", "rvv").
+    pub fn slug(self) -> &'static str {
         match self {
-            Isa::X86Avx2 => 256,
-            Isa::ArmNeon => 128,
-            Isa::HexagonHvx => 1024,
-        }
-    }
-
-    /// Largest lane width in bits the target supports natively.
-    ///
-    /// Hexagon HVX has no 64-bit lanes, which is why three of the paper's
-    /// benchmarks cannot be compiled by the LLVM baseline on HVX (§5.1).
-    pub fn max_lane_bits(self) -> u32 {
-        match self {
-            Isa::HexagonHvx => 32,
-            _ => 64,
+            Isa::X86Avx2 => "x86",
+            Isa::ArmNeon => "arm",
+            Isa::HexagonHvx => "hvx",
+            Isa::Rvv => "rvv",
         }
     }
 }
@@ -134,10 +137,14 @@ mod tests {
     }
 
     #[test]
-    fn isa_properties() {
-        assert_eq!(Isa::HexagonHvx.vector_bits(), 1024);
-        assert_eq!(Isa::HexagonHvx.max_lane_bits(), 32);
-        assert_eq!(Isa::ArmNeon.max_lane_bits(), 64);
+    fn isa_names_are_distinct() {
+        for (i, a) in ALL_ISAS.iter().enumerate() {
+            for b in &ALL_ISAS[i + 1..] {
+                assert_ne!(a.short_name(), b.short_name());
+                assert_ne!(a.slug(), b.slug());
+            }
+        }
         assert_eq!(Isa::X86Avx2.short_name(), "x86");
+        assert_eq!(Isa::Rvv.slug(), "rvv");
     }
 }

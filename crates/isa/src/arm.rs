@@ -8,10 +8,19 @@
 //! the unsigned (`u`-prefixed) name; each row accepts both signednesses
 //! unless marked.
 
-use crate::def::{row, InstDef};
+use crate::def::{row, BackendDesc, InstDef, RegModel};
 use crate::sem::MachSem;
 use fpir::expr::{BinOp, CmpOp};
 use fpir::{FpirOp, Isa, MachOp};
+
+/// Registry descriptor for the 64-bit ARM Neon-like backend.
+pub static BACKEND: BackendDesc = BackendDesc {
+    isa: Isa::ArmNeon,
+    reg: RegModel::Fixed { bits: 128 },
+    max_lane_bits: 64,
+    build: defs,
+    description: "64-bit ARM Neon-like: 128-bit vectors, rich fixed-point ops",
+};
 
 const fn m(code: u16, name: &'static str) -> MachOp {
     MachOp { isa: Isa::ArmNeon, code, name }

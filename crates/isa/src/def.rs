@@ -1,16 +1,68 @@
-//! Instruction definitions and the target registry.
+//! Instruction definitions and the pluggable backend registry.
 //!
 //! Each virtual ISA is a table of [`InstDef`]s: opcode, executable
 //! semantics, a throughput-style cost (per native register operated on),
-//! legal lane widths, and operand constraints. The three tables live in
-//! [`crate::x86`], [`crate::arm`] and [`crate::hvx`]; [`target`] returns
-//! the registry entry for an [`Isa`].
+//! legal lane widths, and operand constraints. Every backend contributes
+//! one [`BackendDesc`] — its register model, lane-width limit, and table
+//! builder — to [`BACKENDS`]; [`target`] materializes the descriptors
+//! once and returns the registry entry for an [`Isa`]. Nothing in this
+//! module (or downstream of it) pattern-matches a fixed set of `Isa`
+//! variants: adding a backend is one descriptor plus one enum variant.
 
 use crate::sem::{eval_sem, MachSem};
 use fpir::interp::Value;
 use fpir::types::VectorType;
 use fpir::{Isa, MachOp};
 use std::sync::OnceLock;
+
+/// How a backend's vector register file relates to logical vector types.
+#[derive(Debug, Clone, Copy)]
+pub enum RegModel {
+    /// Fixed-width registers: a logical vector occupies
+    /// `ceil(total_bits / bits)` registers.
+    Fixed {
+        /// Native register width in bits.
+        bits: u32,
+    },
+    /// Vector-length-agnostic (scalable) registers, RVV-style. Code is
+    /// strip-mined over whatever hardware length an implementation has,
+    /// so no logical vector width is *illegal*; `vlen` is the
+    /// representative implementation width the cycle model prices
+    /// against, and `max_lmul` is the largest register-group factor a
+    /// single instruction can cover before strip-mining must loop.
+    Scalable {
+        /// Priced implementation width in bits (VLEN).
+        vlen: u32,
+        /// Maximum register grouping factor (LMUL).
+        max_lmul: u32,
+    },
+}
+
+/// A backend's registry entry: everything the rest of the stack needs to
+/// know about a target, short of the rule pack (which `fpir-core` keys by
+/// [`Isa`]). One of these per target module; the table itself is built
+/// lazily via `build` on first [`target`] call.
+#[derive(Debug)]
+pub struct BackendDesc {
+    /// The ISA this descriptor registers.
+    pub isa: Isa,
+    /// Register model (fixed-width or scalable).
+    pub reg: RegModel,
+    /// Largest lane width in bits the target supports natively. Hexagon
+    /// HVX has no 64-bit lanes, which is why three of the paper's
+    /// benchmarks cannot be compiled by the LLVM baseline on HVX (§5.1).
+    pub max_lane_bits: u32,
+    /// Builds the instruction table.
+    pub build: fn() -> Vec<InstDef>,
+    /// One-line description for docs and reports.
+    pub description: &'static str,
+}
+
+/// Every registered backend descriptor, in [`fpir::machine::ALL_ISAS`]
+/// order. Adding a target means adding its module's `BACKEND` here — the
+/// registry init asserts the two lists stay in sync.
+pub static BACKENDS: [&BackendDesc; 4] =
+    [&crate::x86::BACKEND, &crate::arm::BACKEND, &crate::hvx::BACKEND, &crate::rvv::BACKEND];
 
 /// Signedness requirement on an instruction's first operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,11 +95,13 @@ pub struct InstDef {
     pub desc: &'static str,
 }
 
-/// A virtual target: an ISA plus its instruction table.
+/// A virtual target: a backend descriptor plus its materialized
+/// instruction table.
 #[derive(Debug)]
 pub struct Target {
     /// Which ISA this is.
     pub isa: Isa,
+    desc: &'static BackendDesc,
     defs: Vec<InstDef>,
     /// Semantics index: for each distinct [`MachSem`] in the table, the
     /// row indices implementing it, sorted by (cost, table order). Built
@@ -57,7 +111,9 @@ pub struct Target {
 }
 
 impl Target {
-    pub(crate) fn new(isa: Isa, defs: Vec<InstDef>) -> Target {
+    pub(crate) fn new(desc: &'static BackendDesc) -> Target {
+        let isa = desc.isa;
+        let defs = (desc.build)();
         for (i, d) in defs.iter().enumerate() {
             assert_eq!(d.op.isa, isa, "instruction {} belongs to {}", d.op, d.op.isa);
             assert_eq!(
@@ -79,7 +135,31 @@ impl Target {
             // `min_by_key` on cost would pick.
             rows.sort_by_key(|&i| defs[i as usize].cost);
         }
-        Target { isa, defs, by_sem }
+        Target { isa, desc, defs, by_sem }
+    }
+
+    /// The registry descriptor this target was built from.
+    pub fn desc(&self) -> &'static BackendDesc {
+        self.desc
+    }
+
+    /// Native (or, for scalable targets, priced implementation) vector
+    /// register width in bits.
+    pub fn vector_bits(&self) -> u32 {
+        match self.desc.reg {
+            RegModel::Fixed { bits } => bits,
+            RegModel::Scalable { vlen, .. } => vlen,
+        }
+    }
+
+    /// Largest lane width in bits the target supports natively.
+    pub fn max_lane_bits(&self) -> u32 {
+        self.desc.max_lane_bits
+    }
+
+    /// Whether the register file is vector-length-agnostic.
+    pub fn scalable(&self) -> bool {
+        matches!(self.desc.reg, RegModel::Scalable { .. })
     }
 
     /// All instructions.
@@ -121,9 +201,12 @@ impl Target {
             .map(|&i| &self.defs[i as usize])
     }
 
-    /// Number of native registers a logical vector occupies (≥ 1).
+    /// Number of native registers a logical vector occupies (≥ 1). For
+    /// scalable targets this is the strip-mine factor at the priced
+    /// implementation width — throughput still scales with total bits
+    /// even though no logical width is illegal.
     pub fn reg_factor(&self, ty: VectorType) -> u64 {
-        let native = self.isa.vector_bits() as u64;
+        let native = self.vector_bits() as u64;
         ty.total_bits().div_ceil(native).max(1)
     }
 }
@@ -136,20 +219,29 @@ pub fn all_targets() -> impl Iterator<Item = &'static Target> {
 }
 
 /// The registry entry for `isa`.
+///
+/// Materializes every [`BACKENDS`] descriptor on first call, asserting
+/// the registry covers [`fpir::machine::ALL_ISAS`] exactly (one
+/// descriptor per variant, in order) — the compile-time exhaustiveness a
+/// `match` used to provide, recovered as a startup invariant.
 pub fn target(isa: Isa) -> &'static Target {
-    static REG: OnceLock<[Target; 3]> = OnceLock::new();
+    static REG: OnceLock<Vec<Target>> = OnceLock::new();
     let all = REG.get_or_init(|| {
-        [
-            Target::new(Isa::X86Avx2, crate::x86::defs()),
-            Target::new(Isa::ArmNeon, crate::arm::defs()),
-            Target::new(Isa::HexagonHvx, crate::hvx::defs()),
-        ]
+        assert_eq!(
+            BACKENDS.len(),
+            fpir::machine::ALL_ISAS.len(),
+            "backend registry out of sync with Isa enum"
+        );
+        BACKENDS
+            .iter()
+            .zip(fpir::machine::ALL_ISAS)
+            .map(|(desc, isa)| {
+                assert_eq!(desc.isa, isa, "backend registry order differs from ALL_ISAS");
+                Target::new(desc)
+            })
+            .collect()
     });
-    match isa {
-        Isa::X86Avx2 => &all[0],
-        Isa::ArmNeon => &all[1],
-        Isa::HexagonHvx => &all[2],
-    }
+    all.iter().find(|t| t.isa == isa).unwrap_or_else(|| panic!("no backend registered for {isa}"))
 }
 
 /// [`fpir::machine::MachEval`] implementation executing machine nodes
@@ -205,19 +297,33 @@ mod tests {
 
     #[test]
     fn registry_tables_are_consistent() {
-        for isa in fpir::machine::ALL_ISAS {
-            let t = target(isa);
+        for t in all_targets() {
             assert!(!t.defs().is_empty());
             for d in t.defs() {
                 assert!(!d.widths.is_empty(), "{} has no legal widths", d.op);
                 assert!(d.cost > 0 || matches!(d.sem, MachSem::Reinterpret), "{}", d.op);
                 assert!(
-                    d.widths.iter().all(|w| *w <= isa.max_lane_bits()),
-                    "{} claims an illegal width for {isa}",
-                    d.op
+                    d.widths.iter().all(|w| *w <= t.max_lane_bits()),
+                    "{} claims an illegal width for {}",
+                    d.op,
+                    t.isa
                 );
             }
         }
+    }
+
+    #[test]
+    fn registry_covers_every_isa() {
+        for isa in fpir::machine::ALL_ISAS {
+            let t = target(isa);
+            assert_eq!(t.isa, isa);
+            assert_eq!(t.desc().isa, isa);
+            assert!(t.vector_bits() > 0);
+            assert!(t.max_lane_bits() >= 32);
+        }
+        // Only the RVV backend is scalable today.
+        assert!(target(Isa::Rvv).scalable());
+        assert!(!target(Isa::ArmNeon).scalable());
     }
 
     #[test]
@@ -230,6 +336,14 @@ mod tests {
         let hvx = target(Isa::HexagonHvx);
         assert_eq!(hvx.reg_factor(V::new(S::U8, 128)), 1);
         assert_eq!(hvx.reg_factor(V::new(S::U16, 128)), 2);
+        // Scalable targets strip-mine: reg_factor is the pass count at
+        // the priced VLEN and must scale with total bits — including at
+        // the odd lane counts a VLA target naturally encounters.
+        let rvv = target(Isa::Rvv);
+        assert_eq!(rvv.reg_factor(V::new(S::U8, 32)), 1);
+        assert_eq!(rvv.reg_factor(V::new(S::U64, 32)), 8);
+        assert_eq!(rvv.reg_factor(V::new(S::U16, 7)), 1);
+        assert_eq!(rvv.reg_factor(V::new(S::U32, 31)), 4);
     }
 
     #[test]

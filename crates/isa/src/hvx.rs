@@ -7,10 +7,19 @@
 //! **no 64-bit lanes at all**: expressions needing 64-bit intermediates
 //! cannot be legalized here.
 
-use crate::def::{row, InstDef};
+use crate::def::{row, BackendDesc, InstDef, RegModel};
 use crate::sem::MachSem;
 use fpir::expr::{BinOp, CmpOp};
 use fpir::{FpirOp, Isa, MachOp};
+
+/// Registry descriptor for the Hexagon HVX-like backend.
+pub static BACKEND: BackendDesc = BackendDesc {
+    isa: Isa::HexagonHvx,
+    reg: RegModel::Fixed { bits: 1024 },
+    max_lane_bits: 32,
+    build: defs,
+    description: "Hexagon HVX-like: 1024-bit vectors, rich fixed-point ops, no 64-bit lanes",
+};
 
 const fn m(code: u16, name: &'static str) -> MachOp {
     MachOp { isa: Isa::HexagonHvx, code, name }

@@ -147,7 +147,7 @@ fn legalize_memo(expr: &RcExpr, t: &Target, memo: &mut Memo) -> Result<RcExpr, L
     // the general path below would clone the node after the same width
     // check.)
     if matches!(expr.kind(), ExprKind::Var(_) | ExprKind::Const(_)) {
-        check_width(expr.ty(), t.isa)?;
+        check_width(expr.ty(), t)?;
         return Ok(expr.clone());
     }
     if let Some(out) = memo.get(expr) {
@@ -156,7 +156,7 @@ fn legalize_memo(expr: &RcExpr, t: &Target, memo: &mut Memo) -> Result<RcExpr, L
     let children: Vec<RcExpr> =
         expr.children().into_iter().map(|c| legalize_memo(c, t, memo)).collect::<Result<_, _>>()?;
     let isa = t.isa;
-    check_width(expr.ty(), isa)?;
+    check_width(expr.ty(), t)?;
 
     let out = match expr.kind() {
         ExprKind::Var(_) | ExprKind::Const(_) => expr.clone(),
@@ -202,11 +202,11 @@ impl<T> RemoveFirst<T> for Vec<T> {
     }
 }
 
-fn check_width(ty: VectorType, isa: Isa) -> Result<(), LowerError> {
-    if ty.elem.bits() > isa.max_lane_bits() {
+fn check_width(ty: VectorType, t: &Target) -> Result<(), LowerError> {
+    if ty.elem.bits() > t.max_lane_bits() {
         Err(LowerError::new(
-            isa,
-            format!("{isa} has no {}-bit lanes (needed for {ty})", ty.elem.bits()),
+            t.isa,
+            format!("{} has no {}-bit lanes (needed for {ty})", t.isa, ty.elem.bits()),
         ))
     } else {
         Ok(())
@@ -358,7 +358,7 @@ fn legalize_bin(
     // Width promotion: run at double width and truncate back (the costly
     // path that halves SIMD throughput).
     if let Some(wider) = ty.elem.widen() {
-        if check_width(ty.with_elem(wider), isa).is_ok() {
+        if check_width(ty.with_elem(wider), t).is_ok() {
             let wide_args = args
                 .into_iter()
                 .map(|a| legalize_cast(wider, a, t, memo))
@@ -425,7 +425,7 @@ fn legalize_cast(
 ) -> Result<RcExpr, LowerError> {
     let isa = t.isa;
     let from = arg.elem();
-    check_width(arg.ty().with_elem(to), isa)?;
+    check_width(arg.ty().with_elem(to), t)?;
     if from.bits() == to.bits() {
         return Ok(reinterpret_node(arg.ty().with_elem(to), arg, t, memo));
     }

@@ -1,8 +1,12 @@
 //! # fpir-isa — virtual fixed-point SIMD targets
 //!
-//! Three *virtual ISAs* modelled on the paper's evaluation targets —
-//! x86 AVX2 ([`x86`]), 64-bit ARM Neon ([`arm`]) and Hexagon HVX
-//! ([`hvx`]) — each defined as an instruction table with:
+//! Four *virtual ISAs* behind a pluggable backend registry
+//! ([`def::BACKENDS`]): three modelled on the paper's evaluation
+//! targets — x86 AVX2 ([`x86`]), 64-bit ARM Neon ([`arm`]) and Hexagon
+//! HVX ([`hvx`]) — plus an RVV-style scalable-vector target ([`rvv`])
+//! added to demonstrate the `k + n + 1` rule-count scaling. Each is
+//! one [`def::BackendDesc`] (register model, lane-width limit, table
+//! builder) and an instruction table with:
 //!
 //! * **executable semantics** ([`sem`]) built from the reference
 //!   interpreter's lane arithmetic, so lowered code can be run and
@@ -41,11 +45,14 @@ pub mod cost;
 pub mod def;
 pub mod hvx;
 pub mod legalize;
+pub mod rvv;
 pub mod sem;
 pub mod x86;
 
 pub use cost::TargetCost;
-pub use def::{all_targets, target, InstDef, MachEvaluator, SignReq, Target};
+pub use def::{
+    all_targets, target, BackendDesc, InstDef, MachEvaluator, RegModel, SignReq, Target, BACKENDS,
+};
 pub use legalize::{legalize, legalize_uncached, LowerError};
 pub use sem::{
     eval_sem, eval_sem_into, sem_lane, sem_slice_fn, sem_slice_fn_pair, sem_slice_fn_splat,

@@ -1,0 +1,157 @@
+//! The RISC-V Vector (RVV)-like virtual target.
+//!
+//! Modelled on the RVV 1.0 integer ISA: **vector-length-agnostic**
+//! (scalable) registers — code is strip-mined over whatever VLEN an
+//! implementation provides, so no logical vector width is illegal and
+//! the cost model prices a representative 256-bit implementation —
+//! with register grouping (LMUL), element widths from 8 to 64 bits
+//! (unlike HVX, the §5.1 64-bit workloads compile here, and unlike
+//! Neon, the 64-bit multiply is native rather than emulated), the
+//! widening/narrowing arithmetic family (`vwadd`, `vwmul`, `vwmacc`,
+//! `vnsrl`), and the fixed-point ops steered by `vxrm`: averaging adds
+//! (`vaadd`/`vasub`), saturating adds (`vsadd`/`vssub`), the Q-format
+//! rounding-doubling multiply `vsmul`, and the fused
+//! shift-round-saturate narrow `vnclip`.
+//!
+//! Two character gaps matter for lowering: base RVV has no absolute
+//! difference and no dot product, so those shapes fall to compound
+//! rules or the generic lift pipeline. Conversely the narrowing shifts
+//! (`vnsrl`, `vnclip`) take a *vector* shift operand, so — unlike ARM's
+//! `shrn`/`sqrshrn` or HVX's `vasr` — the table rows carry no
+//! immediate-operand constraint.
+//!
+//! Mnemonics use the base (signed) name; each row accepts both
+//! signednesses unless marked, with the `u`-suffixed form implied for
+//! unsigned lanes (`vmulhu`, `vsaddu`, `vnclipu`, ...).
+
+use crate::def::{row, BackendDesc, InstDef, RegModel};
+use crate::sem::MachSem;
+use fpir::expr::{BinOp, CmpOp};
+use fpir::{FpirOp, Isa, MachOp};
+
+/// Registry descriptor for the RVV-like backend.
+pub static BACKEND: BackendDesc = BackendDesc {
+    isa: Isa::Rvv,
+    reg: RegModel::Scalable { vlen: 256, max_lmul: 8 },
+    max_lane_bits: 64,
+    build: defs,
+    description: "RISC-V Vector-like: scalable registers, widening/narrowing \
+                  arithmetic, fixed-point vsmul/vnclip",
+};
+
+const fn m(code: u16, name: &'static str) -> MachOp {
+    MachOp { isa: Isa::Rvv, code, name }
+}
+
+/// Vector add.
+pub const VADD: MachOp = m(0, "vadd");
+/// Vector subtract.
+pub const VSUB: MachOp = m(1, "vsub");
+/// Vector multiply — native at every SEW including 64-bit.
+pub const VMUL: MachOp = m(2, "vmul");
+/// Multiply-accumulate (`vmacc`).
+pub const VMACC: MachOp = m(3, "vmacc");
+/// Minimum (`vmin`/`vminu`).
+pub const VMIN: MachOp = m(4, "vmin");
+/// Maximum (`vmax`/`vmaxu`).
+pub const VMAX: MachOp = m(5, "vmax");
+/// Bitwise and.
+pub const VAND: MachOp = m(6, "vand");
+/// Bitwise or.
+pub const VOR: MachOp = m(7, "vor");
+/// Bitwise xor.
+pub const VXOR: MachOp = m(8, "vxor");
+/// Shift left (`vsll`).
+pub const VSLL: MachOp = m(9, "vsll");
+/// Shift right (`vsra`/`vsrl` per signedness).
+pub const VSRL: MachOp = m(10, "vsrl");
+/// Compare greater (`vmsgt`/`vmsgtu`).
+pub const VMSGT: MachOp = m(11, "vmsgt");
+/// Compare equal (`vmseq`).
+pub const VMSEQ: MachOp = m(12, "vmseq");
+/// Mask-driven merge (select).
+pub const VMERGE: MachOp = m(13, "vmerge");
+/// Zero extension (`vzext.vf2`).
+pub const VZEXT: MachOp = m(14, "vzext");
+/// Sign extension (`vsext.vf2`).
+pub const VSEXT: MachOp = m(15, "vsext");
+/// Truncating narrow (`vncvt.x.x.w`).
+pub const VNCVT: MachOp = m(16, "vncvt");
+/// Register reinterpretation (free — same bits, new SEW view).
+pub const VMV: MachOp = m(17, "vmv");
+/// Widening add (`vwadd.vv`/`vwaddu.vv`).
+pub const VWADD: MachOp = m(18, "vwadd");
+/// Widening subtract (`vwsub.vv`/`vwsubu.vv`).
+pub const VWSUB: MachOp = m(19, "vwsub");
+/// Widening multiply (`vwmul`/`vwmulu`).
+pub const VWMUL: MachOp = m(20, "vwmul");
+/// Extending add — wide plus narrow (`vwadd.wv`).
+pub const VWADDW: MachOp = m(21, "vwadd.w");
+/// Widening multiply-accumulate (`vwmacc`/`vwmaccu`).
+pub const VWMACC: MachOp = m(22, "vwmacc");
+/// Saturating add (`vsadd`/`vsaddu`).
+pub const VSADD: MachOp = m(23, "vsadd");
+/// Saturating subtract (`vssub`/`vssubu`).
+pub const VSSUB: MachOp = m(24, "vssub");
+/// Averaging add, round-to-nearest-up (`vaadd`, `vxrm=rnu`).
+pub const VAADD: MachOp = m(25, "vaadd");
+/// Averaging add, round-down (`vaadd`, `vxrm=rdn`) — the halving add.
+pub const VAADDF: MachOp = m(26, "vaadd.rdn");
+/// Averaging subtract, round-down (`vasub`, `vxrm=rdn`).
+pub const VASUB: MachOp = m(27, "vasub");
+/// Rounding shift right (`vssra`/`vssrl`, `vxrm=rnu`) — vector shift
+/// operand, no immediate required.
+pub const VSSRA: MachOp = m(28, "vssra");
+/// Fixed-point rounding-doubling multiply high (`vsmul`, Q-format).
+pub const VSMUL: MachOp = m(29, "vsmul");
+/// Narrowing shift right (`vnsrl.wv`) — vector shift operand.
+pub const VNSRL: MachOp = m(30, "vnsrl");
+/// Narrowing fixed-point clip: shift, round, saturate (`vnclip`/`vnclipu`).
+pub const VNCLIP: MachOp = m(31, "vnclip");
+/// Multiply returning high half (`vmulh`/`vmulhu`).
+pub const VMULH: MachOp = m(32, "vmulh");
+/// Broadcast a scalar (`vmv.v.x`).
+pub const VSPLAT: MachOp = m(33, "vmv.v.x");
+
+const ALL: &[u32] = &[8, 16, 32, 64];
+const SMALL: &[u32] = &[8, 16, 32];
+const WIDE: &[u32] = &[16, 32, 64];
+
+pub(crate) fn defs() -> Vec<InstDef> {
+    vec![
+        row(VADD, MachSem::Bin(BinOp::Add), 1, ALL, "vector add"),
+        row(VSUB, MachSem::Bin(BinOp::Sub), 1, ALL, "vector subtract"),
+        row(VMUL, MachSem::Bin(BinOp::Mul), 2, ALL, "vector multiply (native 64-bit)"),
+        row(VMACC, MachSem::MulAcc, 1, ALL, "multiply-accumulate"),
+        row(VMIN, MachSem::Bin(BinOp::Min), 1, ALL, "minimum"),
+        row(VMAX, MachSem::Bin(BinOp::Max), 1, ALL, "maximum"),
+        row(VAND, MachSem::Bin(BinOp::And), 1, ALL, "bitwise and"),
+        row(VOR, MachSem::Bin(BinOp::Or), 1, ALL, "bitwise or"),
+        row(VXOR, MachSem::Bin(BinOp::Xor), 1, ALL, "bitwise xor"),
+        row(VSLL, MachSem::Bin(BinOp::Shl), 1, ALL, "shift left"),
+        row(VSRL, MachSem::Bin(BinOp::Shr), 1, ALL, "shift right"),
+        row(VMSGT, MachSem::Cmp(CmpOp::Gt), 1, ALL, "compare greater"),
+        row(VMSEQ, MachSem::Cmp(CmpOp::Eq), 1, ALL, "compare equal"),
+        row(VMERGE, MachSem::Select, 1, ALL, "mask merge (select)"),
+        row(VZEXT, MachSem::ExtendTo, 1, SMALL, "zero extend").unsigned_only(),
+        row(VSEXT, MachSem::ExtendTo, 1, SMALL, "sign extend").signed_only(),
+        row(VNCVT, MachSem::TruncTo, 1, WIDE, "truncating narrow"),
+        row(VMV, MachSem::Reinterpret, 0, ALL, "register alias"),
+        row(VWADD, MachSem::Fpir(FpirOp::WideningAdd), 1, SMALL, "widening add"),
+        row(VWSUB, MachSem::Fpir(FpirOp::WideningSub), 1, SMALL, "widening subtract"),
+        row(VWMUL, MachSem::Fpir(FpirOp::WideningMul), 2, SMALL, "widening multiply"),
+        row(VWADDW, MachSem::Fpir(FpirOp::ExtendingAdd), 1, WIDE, "extending add"),
+        row(VWMACC, MachSem::WideningMulAcc, 1, WIDE, "widening multiply-accumulate"),
+        row(VSADD, MachSem::Fpir(FpirOp::SaturatingAdd), 1, ALL, "saturating add"),
+        row(VSSUB, MachSem::Fpir(FpirOp::SaturatingSub), 1, ALL, "saturating subtract"),
+        row(VAADD, MachSem::Fpir(FpirOp::RoundingHalvingAdd), 1, ALL, "rounding averaging add"),
+        row(VAADDF, MachSem::Fpir(FpirOp::HalvingAdd), 1, ALL, "averaging add, round down"),
+        row(VASUB, MachSem::Fpir(FpirOp::HalvingSub), 1, ALL, "averaging subtract, round down"),
+        row(VSSRA, MachSem::Fpir(FpirOp::RoundingShr), 1, ALL, "rounding shift right"),
+        row(VSMUL, MachSem::QRDMulH, 2, SMALL, "fixed-point rounding multiply high").signed_only(),
+        row(VNSRL, MachSem::ShrNarrow, 1, WIDE, "narrowing shift right"),
+        row(VNCLIP, MachSem::ShrRndSatNarrow, 1, WIDE, "narrowing fixed-point clip"),
+        row(VMULH, MachSem::MulHigh, 2, SMALL, "multiply high"),
+        row(VSPLAT, MachSem::Splat, 1, ALL, "broadcast scalar"),
+    ]
+}

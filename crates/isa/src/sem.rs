@@ -281,9 +281,12 @@ pub fn eval_sem_into(
         }
         MachSem::MulAcc => {
             let (acc, a, b) = (args[0].lanes(), args[1].lanes(), args[2].lanes());
-            out.extend(
-                acc.iter().zip(a).zip(b).map(|((&c, &x), &y)| result_ty.elem.wrap(c + x * y)),
-            );
+            out.extend(acc.iter().zip(a).zip(b).map(|((&c, &x), &y)| {
+                // Wrapping at i128 for the same reason as `BinOp::Mul` in
+                // `bin_op_lane`: 64-bit lane extremes overflow the raw
+                // product, and `wrap` only reads its low bits.
+                result_ty.elem.wrap(c.wrapping_add(x.wrapping_mul(y)))
+            }));
             Ok(())
         }
         MachSem::WideningMulAcc => {
@@ -295,7 +298,10 @@ pub fn eval_sem_into(
             }
             let (acc, a, b) = (args[0].lanes(), args[1].lanes(), args[2].lanes());
             out.extend(
-                acc.iter().zip(a).zip(b).map(|((&c, &x), &y)| result_ty.elem.wrap(c + x * y)),
+                acc.iter()
+                    .zip(a)
+                    .zip(b)
+                    .map(|((&c, &x), &y)| result_ty.elem.wrap(c.wrapping_add(x.wrapping_mul(y)))),
             );
             Ok(())
         }
@@ -418,7 +424,9 @@ pub fn sem_lane(sem: MachSem, xs: &[i128], tys: &[ScalarType], result: ScalarTyp
         MachSem::MulHigh => result.wrap((xs[0] * xs[1]) >> tys[0].bits()),
         // The widening width constraint is a shape check; the lane
         // arithmetic is identical to the non-widening form.
-        MachSem::MulAcc | MachSem::WideningMulAcc => result.wrap(xs[0] + xs[1] * xs[2]),
+        MachSem::MulAcc | MachSem::WideningMulAcc => {
+            result.wrap(xs[0].wrapping_add(xs[1].wrapping_mul(xs[2])))
+        }
         MachSem::MulPairsAdd => result.wrap(xs[0] * xs[1] + xs[2] * xs[3]),
         MachSem::Mpa => result.wrap(xs[0] * xs[2] + xs[1] * xs[3]),
         MachSem::MpaAcc => result.wrap(xs[0] + xs[1] * xs[3] + xs[2] * xs[4]),
@@ -606,7 +614,7 @@ pub fn sem_slice_fn(sem: MachSem, tys: &[ScalarType], result: ScalarType) -> Sem
         MachSem::MulAcc | MachSem::WideningMulAcc => {
             Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
                 for (o, ((&c, &x), &y)) in out.iter_mut().zip(xs[0].iter().zip(xs[1]).zip(xs[2])) {
-                    *o = result.wrap(c + x * y);
+                    *o = result.wrap(c.wrapping_add(x.wrapping_mul(y)));
                 }
             })
         }
@@ -810,17 +818,17 @@ pub fn sem_slice_fn_splat(
         MachSem::MulAcc | MachSem::WideningMulAcc => match k {
             0 => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
                 for (o, (&x, &y)) in out.iter_mut().zip(xs[1].iter().zip(xs[2])) {
-                    *o = result.wrap(c + x * y);
+                    *o = result.wrap(c.wrapping_add(x.wrapping_mul(y)));
                 }
             }),
             1 => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
                 for (o, (&a, &y)) in out.iter_mut().zip(xs[0].iter().zip(xs[2])) {
-                    *o = result.wrap(a + c * y);
+                    *o = result.wrap(a.wrapping_add(c.wrapping_mul(y)));
                 }
             }),
             _ => Arc::new(move |xs: &[&[i128]], out: &mut [i128]| {
                 for (o, (&a, &x)) in out.iter_mut().zip(xs[0].iter().zip(xs[1])) {
-                    *o = result.wrap(a + x * c);
+                    *o = result.wrap(a.wrapping_add(x.wrapping_mul(c)));
                 }
             }),
         },

@@ -7,10 +7,19 @@
 //! gaps that make Pitchfork's x86 backend lean on *compound* lowerings
 //! (§5.1.4).
 
-use crate::def::{row, InstDef};
+use crate::def::{row, BackendDesc, InstDef, RegModel};
 use crate::sem::MachSem;
 use fpir::expr::{BinOp, CmpOp};
 use fpir::{FpirOp, Isa, MachOp};
+
+/// Registry descriptor for the x86 AVX2-like backend.
+pub static BACKEND: BackendDesc = BackendDesc {
+    isa: Isa::X86Avx2,
+    reg: RegModel::Fixed { bits: 256 },
+    max_lane_bits: 64,
+    build: defs,
+    description: "x86 AVX2-like: 256-bit vectors, few fused fixed-point ops",
+};
 
 const fn m(code: u16, name: &'static str) -> MachOp {
     MachOp { isa: Isa::X86Avx2, code, name }

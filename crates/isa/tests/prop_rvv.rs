@@ -1,0 +1,380 @@
+//! Differential tests for the RVV backend's instruction semantics.
+//!
+//! Every row of the RVV table carries a [`MachSem`]; this suite checks
+//! each one against an *FPIR expression* with the same meaning, run
+//! through the reference interpreter (`fpir::interp::eval`). That is
+//! the same oracle the compiler's end-to-end differential tests use, so
+//! a table row whose semantics drift from the FPIR op its lowering
+//! rules assume cannot slip in unnoticed.
+//!
+//! Two RVV-specific angles get extra weight:
+//!
+//! * **saturation boundaries** — lane values are biased toward
+//!   `MIN`/`MAX`/0/±1 so the fixed-point rows (`vsmul`'s Q-format
+//!   `MIN × MIN` overflow, `vnclip`'s clip edges, `vsadd`/`vssub`)
+//!   exercise their saturating paths, not just the interior;
+//! * **vector-length agnosticism** — lane counts sweep odd sizes
+//!   (1, 3, 7, 31) a fixed-width target never produces, since RVV's
+//!   scalable registers make every lane count legal.
+
+use fpir::expr::{BinOp, Expr, RcExpr};
+use fpir::interp::{eval, Env, Value};
+use fpir::types::{ScalarType, VectorType};
+use fpir::{FpirOp, Isa};
+use fpir_isa::{eval_sem, target, InstDef, MachSem, SignReq};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Odd, non-power-of-two lane counts: legal on a scalable target only.
+const LANES: [u32; 4] = [1, 3, 7, 31];
+
+fn elem_of(bits: u32, signed: bool) -> ScalarType {
+    match (bits, signed) {
+        (8, false) => ScalarType::U8,
+        (16, false) => ScalarType::U16,
+        (32, false) => ScalarType::U32,
+        (64, false) => ScalarType::U64,
+        (8, true) => ScalarType::I8,
+        (16, true) => ScalarType::I16,
+        (32, true) => ScalarType::I32,
+        (64, true) => ScalarType::I64,
+        _ => unreachable!("no {bits}-bit lane type"),
+    }
+}
+
+/// The signednesses a row accepts for its first operand.
+fn signs(req: SignReq) -> &'static [bool] {
+    match req {
+        SignReq::Any => &[false, true],
+        SignReq::Signed => &[true],
+        SignReq::Unsigned => &[false],
+    }
+}
+
+/// A lane value biased toward the saturation-relevant boundary of `t`.
+fn boundary_lane(rng: &mut StdRng, t: ScalarType) -> i128 {
+    let (lo, hi) = (t.min_value(), t.max_value());
+    match rng.gen_range(0..8u32) {
+        0 => lo,
+        1 => hi,
+        2 => 0,
+        3 => 1,
+        4 => lo + 1,
+        5 => hi - 1,
+        6 if t.is_signed() => -1,
+        _ => rng.gen_range(lo..=hi),
+    }
+}
+
+fn boundary_value(rng: &mut StdRng, ty: VectorType) -> Value {
+    Value::new(ty, (0..ty.lanes).map(|_| boundary_lane(rng, ty.elem)).collect())
+}
+
+/// A shift-amount operand: lanes in `[0, bits)` of the shifted type.
+fn shift_value(rng: &mut StdRng, ty: VectorType) -> Value {
+    Value::new(ty, (0..ty.lanes).map(|_| rng.gen_range(0..ty.elem.bits()) as i128).collect())
+}
+
+/// A 0/1 mask operand (for `vmerge`).
+fn mask_value(rng: &mut StdRng, ty: VectorType) -> Value {
+    Value::new(ty, (0..ty.lanes).map(|_| rng.gen_range(0..2u32) as i128).collect())
+}
+
+fn var(name: &str, ty: VectorType) -> RcExpr {
+    Expr::var(name, ty)
+}
+
+/// The FPIR reference for one RVV table row: the expression it should
+/// agree with, the operand values (in the row's operand order), and the
+/// result type `eval_sem` is asked for. Returns one or more scenarios —
+/// narrowing rows are checked against both the same-sign and the
+/// signed-to-unsigned narrow, mirroring the shipped `vnclip` rules.
+struct Scenario {
+    expr: RcExpr,
+    env: Env,
+    args: Vec<Value>,
+    result_ty: VectorType,
+}
+
+fn scenarios(def: &InstDef, elem: ScalarType, lanes: u32, rng: &mut StdRng) -> Vec<Scenario> {
+    let ty = VectorType::new(elem, lanes);
+    let x = boundary_value(rng, ty);
+    let y = boundary_value(rng, ty);
+    let two = |expr: RcExpr, a: Value, b: Value, result_ty: VectorType| Scenario {
+        expr,
+        env: Env::new().bind("x", a.clone()).bind("y", b.clone()),
+        args: vec![a, b],
+        result_ty,
+    };
+    match def.sem {
+        MachSem::Bin(op) => {
+            let shifty = matches!(op, BinOp::Shl | BinOp::Shr);
+            let y = if shifty { shift_value(rng, ty) } else { y };
+            let expr = Expr::bin(op, var("x", ty), var("y", ty)).unwrap();
+            vec![two(expr, x, y, ty)]
+        }
+        MachSem::Cmp(op) => {
+            let expr = Expr::cmp(op, var("x", ty), var("y", ty)).unwrap();
+            vec![two(expr, x, y, ty)]
+        }
+        MachSem::Select => {
+            let m = mask_value(rng, ty);
+            let expr = Expr::select(var("m", ty), var("x", ty), var("y", ty)).unwrap();
+            vec![Scenario {
+                expr,
+                env: Env::new().bind("m", m.clone()).bind("x", x.clone()).bind("y", y.clone()),
+                args: vec![m, x, y],
+                result_ty: ty,
+            }]
+        }
+        MachSem::ExtendTo => {
+            let wide = ty.widen().expect("extend rows stop below 64 bits");
+            let expr = Expr::cast(wide.elem, var("x", ty));
+            vec![Scenario {
+                expr,
+                env: Env::new().bind("x", x.clone()),
+                args: vec![x],
+                result_ty: wide,
+            }]
+        }
+        MachSem::TruncTo => {
+            let narrow = ty.narrow().expect("narrow rows start at 16 bits");
+            let expr = Expr::cast(narrow.elem, var("x", ty));
+            vec![Scenario {
+                expr,
+                env: Env::new().bind("x", x.clone()),
+                args: vec![x],
+                result_ty: narrow,
+            }]
+        }
+        MachSem::Reinterpret => {
+            let flipped = if elem.is_signed() { elem.with_unsigned() } else { elem.with_signed() };
+            let expr = Expr::reinterpret(flipped, var("x", ty)).unwrap();
+            vec![Scenario {
+                expr,
+                env: Env::new().bind("x", x.clone()),
+                args: vec![x],
+                result_ty: VectorType::new(flipped, lanes),
+            }]
+        }
+        MachSem::Fpir(op) => {
+            match op.arity() {
+                1 => {
+                    let expr = Expr::fpir(op, vec![var("x", ty)]).unwrap();
+                    let result_ty = expr.ty();
+                    vec![Scenario {
+                        expr,
+                        env: Env::new().bind("x", x.clone()),
+                        args: vec![x],
+                        result_ty,
+                    }]
+                }
+                2 => {
+                    // `vwadd.wv` takes (wide, narrow); shifts take a
+                    // bounded shift operand; the rest are same-type.
+                    let y = match op {
+                        FpirOp::ExtendingAdd | FpirOp::ExtendingSub | FpirOp::ExtendingMul => {
+                            boundary_value(rng, ty.narrow().expect("extending rows are wide"))
+                        }
+                        FpirOp::RoundingShr | FpirOp::RoundingShl | FpirOp::SaturatingShl => {
+                            shift_value(rng, ty)
+                        }
+                        _ => y,
+                    };
+                    let expr = Expr::fpir(op, vec![var("x", ty), var("y", y.ty())]).unwrap();
+                    let result_ty = expr.ty();
+                    vec![two(expr, x, y, result_ty)]
+                }
+                n => unreachable!("no {n}-ary FPIR row in the RVV table"),
+            }
+        }
+        MachSem::MulAcc => {
+            let acc = boundary_value(rng, ty);
+            let expr = Expr::bin(
+                BinOp::Add,
+                var("acc", ty),
+                Expr::bin(BinOp::Mul, var("x", ty), var("y", ty)).unwrap(),
+            )
+            .unwrap();
+            vec![Scenario {
+                expr,
+                env: Env::new().bind("acc", acc.clone()).bind("x", x.clone()).bind("y", y.clone()),
+                args: vec![acc, x, y],
+                result_ty: ty,
+            }]
+        }
+        MachSem::WideningMulAcc => {
+            // First operand (the accumulator) is at the wide type; the
+            // multiplicands are one width down.
+            let narrow = ty.narrow().expect("vwmacc rows are wide");
+            let acc = boundary_value(rng, ty);
+            let (a, b) = (boundary_value(rng, narrow), boundary_value(rng, narrow));
+            let expr = Expr::bin(
+                BinOp::Add,
+                var("acc", ty),
+                Expr::fpir(FpirOp::WideningMul, vec![var("x", narrow), var("y", narrow)]).unwrap(),
+            )
+            .unwrap();
+            vec![Scenario {
+                expr,
+                env: Env::new().bind("acc", acc.clone()).bind("x", a.clone()).bind("y", b.clone()),
+                args: vec![acc, a, b],
+                result_ty: ty,
+            }]
+        }
+        MachSem::MulHigh => {
+            // `vmulh` ≡ `mul_shr(x, y, bits)` — the shipped rvv-vmulh
+            // rule's exact claim.
+            let c = Expr::constant(elem.bits() as i128, ty).unwrap();
+            let expr = Expr::fpir(FpirOp::MulShr, vec![var("x", ty), var("y", ty), c]).unwrap();
+            vec![two(expr, x, y, ty)]
+        }
+        MachSem::QRDMulH => {
+            // `vsmul` ≡ `rounding_mul_shr(x, y, bits - 1)` — the shipped
+            // rvv-vsmul rule's exact claim, including MIN×MIN saturation.
+            let c = Expr::constant(elem.bits() as i128 - 1, ty).unwrap();
+            let expr =
+                Expr::fpir(FpirOp::RoundingMulShr, vec![var("x", ty), var("y", ty), c]).unwrap();
+            vec![two(expr, x, y, ty)]
+        }
+        MachSem::ShrNarrow => {
+            // `vnsrl` ≡ truncating narrow of a plain shift.
+            let narrow = ty.narrow().expect("vnsrl rows are wide");
+            let s = shift_value(rng, ty);
+            let expr =
+                Expr::cast(narrow.elem, Expr::bin(BinOp::Shr, var("x", ty), var("s", ty)).unwrap());
+            vec![Scenario {
+                expr,
+                env: Env::new().bind("x", x.clone()).bind("s", s.clone()),
+                args: vec![x, s],
+                result_ty: narrow,
+            }]
+        }
+        MachSem::ShrRndSatNarrow => {
+            // `vnclip` ≡ saturating_cast(rounding_shr(x, s)), to the
+            // same-sign narrow and — for signed inputs — the unsigned
+            // narrow (`vnclipu` as the shipped s2u rules use it).
+            let narrow = ty.narrow().expect("vnclip rows are wide");
+            let s = shift_value(rng, ty);
+            let mut narrows = vec![narrow.elem];
+            if elem.is_signed() {
+                narrows.push(narrow.elem.with_unsigned());
+            }
+            narrows
+                .into_iter()
+                .map(|to| {
+                    let expr = Expr::fpir(
+                        FpirOp::SaturatingCast(to),
+                        vec![Expr::fpir(FpirOp::RoundingShr, vec![var("x", ty), var("s", ty)])
+                            .unwrap()],
+                    )
+                    .unwrap();
+                    Scenario {
+                        expr,
+                        env: Env::new().bind("x", x.clone()).bind("s", s.clone()),
+                        args: vec![x.clone(), s.clone()],
+                        result_ty: VectorType::new(to, lanes),
+                    }
+                })
+                .collect()
+        }
+        MachSem::Splat => {
+            let c = boundary_lane(rng, elem);
+            let expr = Expr::constant(c, ty).unwrap();
+            vec![Scenario { expr, env: Env::new(), args: vec![Value::splat(c, ty)], result_ty: ty }]
+        }
+        other => unreachable!("the RVV table has no {other:?} row"),
+    }
+}
+
+/// Run every row × legal width × legal signedness at one lane count.
+fn check_all_rows(seed: u64, lanes: u32) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for def in target(Isa::Rvv).defs() {
+        for &bits in def.widths {
+            for &signed in signs(def.sign) {
+                let elem = elem_of(bits, signed);
+                for sc in scenarios(def, elem, lanes, &mut rng) {
+                    let want = eval(&sc.expr, &sc.env).unwrap_or_else(|e| {
+                        panic!("{}({}): reference eval failed: {e}", def.op, elem.name())
+                    });
+                    let got = eval_sem(def.sem, &sc.args, sc.result_ty).unwrap_or_else(|e| {
+                        panic!("{}({}): eval_sem failed: {e}", def.op, elem.name())
+                    });
+                    assert_eq!(
+                        want,
+                        got,
+                        "{} ({}) diverged from the FPIR interpreter at {}x{lanes} on {:?}",
+                        def.op,
+                        def.desc,
+                        elem.name(),
+                        sc.args,
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every RVV table row agrees with its FPIR reference expression on
+    /// boundary-biased inputs, across the scalable lane counts.
+    #[test]
+    fn rvv_sems_match_fpir_interpreter(seed in any::<u64>(), li in 0usize..LANES.len()) {
+        check_all_rows(seed, LANES[li]);
+    }
+}
+
+/// Deterministic pins for the headline fixed-point saturation cases,
+/// independent of proptest's sampling.
+#[test]
+fn vsmul_saturates_min_times_min() {
+    for (elem, lanes) in [(ScalarType::I8, 3), (ScalarType::I16, 7), (ScalarType::I32, 1)] {
+        let ty = VectorType::new(elem, lanes);
+        let min = Value::splat(elem.min_value(), ty);
+        let got = eval_sem(MachSem::QRDMulH, &[min.clone(), min], ty).unwrap();
+        // Q-format MIN×MIN would be +2^(bits-1), one past MAX: must clamp.
+        assert!(got.lanes().iter().all(|&v| v == elem.max_value()), "{got:?}");
+    }
+}
+
+#[test]
+fn vnclip_clips_to_the_narrow_range() {
+    // i16 MAX >> 0, narrowed to i8: saturates to i8::MAX; to u8: u8::MAX.
+    let ty = VectorType::new(ScalarType::I16, 3);
+    let x = Value::splat(i16::MAX as i128, ty);
+    let s = Value::splat(0, ty);
+    let signed = eval_sem(
+        MachSem::ShrRndSatNarrow,
+        &[x.clone(), s.clone()],
+        VectorType::new(ScalarType::I8, 3),
+    )
+    .unwrap();
+    assert!(signed.lanes().iter().all(|&v| v == i8::MAX as i128), "{signed:?}");
+    let unsigned =
+        eval_sem(MachSem::ShrRndSatNarrow, &[x, s], VectorType::new(ScalarType::U8, 3)).unwrap();
+    assert!(unsigned.lanes().iter().all(|&v| v == u8::MAX as i128), "{unsigned:?}");
+    // A negative input clipped to unsigned pins at zero.
+    let neg = Value::splat(-5, ty);
+    let z = eval_sem(
+        MachSem::ShrRndSatNarrow,
+        &[neg, Value::splat(0, ty)],
+        VectorType::new(ScalarType::U8, 3),
+    )
+    .unwrap();
+    assert!(z.lanes().iter().all(|&v| v == 0), "{z:?}");
+}
+
+/// The table's width lists keep the raw-`i128`-product rows (`vmulh`,
+/// `vsmul`) off 64-bit lanes, where the widened product would not fit.
+#[test]
+fn wide_product_rows_stop_at_32_bits() {
+    for def in target(Isa::Rvv).defs() {
+        if matches!(def.sem, MachSem::MulHigh | MachSem::QRDMulH) {
+            assert!(!def.widths.contains(&64), "{} must not offer 64-bit lanes", def.op);
+        }
+    }
+}

@@ -15,7 +15,9 @@
 //! both text and JSON output; tooling should match on codes, not on
 //! message text.
 
-use pitchfork_lint::{check_selected_jobs, render_json, tally, Analysis, Severity};
+use pitchfork_lint::{
+    check_selected_jobs, render_report_json, summarize_coverage, tally, Analysis, Severity,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -86,16 +88,27 @@ fn main() -> ExitCode {
         selected.extend(Analysis::ALL);
     }
 
-    let mut diags =
-        check_selected_jobs(&pitchfork::all_rule_sets(), &selected, &fpir_pool::Pool::new(jobs));
+    let sets = pitchfork::all_rule_sets();
+    let mut diags = check_selected_jobs(&sets, &selected, &fpir_pool::Pool::new(jobs));
     // Most severe first, stable within a severity class.
     diags.sort_by_key(|d| std::cmp::Reverse(d.severity));
 
+    // The per-backend census is only meaningful when coverage actually
+    // ran; a filtered run would misreport every backend as hole-free.
+    let summary = if selected.contains(&Analysis::Coverage) {
+        summarize_coverage(&sets, &diags)
+    } else {
+        Vec::new()
+    };
+
     if json {
-        println!("{}", render_json(&diags));
+        println!("{}", render_report_json(&summary, &diags));
     } else {
         for d in &diags {
             println!("{d}");
+        }
+        for row in &summary {
+            println!("{row}");
         }
         let (errors, warnings, notes) = tally(&diags);
         println!(

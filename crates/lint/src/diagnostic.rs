@@ -137,6 +137,47 @@ impl Diagnostic {
     }
 }
 
+/// Per-backend lowering-coverage census row: how many rules the
+/// target's pattern-context pack ships, and how many coverage holes
+/// (rule-set bugs) and notes (inherent target limitations) the coverage
+/// analysis found for it. One row per registered lowering TRS; this is
+/// the machine-checkable form of the `k + n + 1` census in `docs/isa.md`.
+#[derive(Debug, Clone)]
+pub struct CoverageSummary {
+    /// The lowering rule set (`lower-arm`, `lower-rvv`, …).
+    pub ruleset: String,
+    /// Rules in the target's pattern-context pack.
+    pub rules: usize,
+    /// Coverage findings at warning severity or above (`COV002`):
+    /// FPIR the legalizer alone could select but the pack broke.
+    pub holes: usize,
+    /// Coverage notes (`COV001`): inherent target limitations.
+    pub notes: usize,
+}
+
+impl fmt::Display for CoverageSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "coverage[{}]: {} rules, {} holes, {} notes",
+            self.ruleset, self.rules, self.holes, self.notes
+        )
+    }
+}
+
+impl CoverageSummary {
+    /// Serialize as a JSON object (hand-built, like [`Diagnostic::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ruleset\":\"{}\",\"rules\":{},\"holes\":{},\"notes\":{}}}",
+            json_escape(&self.ruleset),
+            self.rules,
+            self.holes,
+            self.notes
+        )
+    }
+}
+
 /// Serialize a batch of diagnostics as a JSON array.
 pub fn render_json(diags: &[Diagnostic]) -> String {
     let mut s = String::from("[");
@@ -152,6 +193,30 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
         s.push('\n');
     }
     s.push(']');
+    s
+}
+
+/// Serialize the full `rulecheck --json` report: the per-backend
+/// coverage summary (empty when the coverage analysis was filtered out
+/// with `--analysis`, so absent counts are never mistaken for clean
+/// runs) followed by every diagnostic. The old top-level array shape
+/// lives on as the `diagnostics` field.
+pub fn render_report_json(summary: &[CoverageSummary], diags: &[Diagnostic]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"pitchfork-rulecheck/v2\",\n  \"summary\": [");
+    for (i, row) in summary.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    ");
+        s.push_str(&row.to_json());
+    }
+    if !summary.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n  \"diagnostics\": ");
+    // Indent the diagnostics array to sit inside the report object.
+    s.push_str(&render_json(diags).replace('\n', "\n  "));
+    s.push_str("\n}");
     s
 }
 

@@ -53,7 +53,9 @@ pub mod skeleton;
 pub mod soundness;
 pub mod termination;
 
-pub use diagnostic::{render_json, Analysis, Diagnostic, Severity};
+pub use diagnostic::{
+    render_json, render_report_json, Analysis, CoverageSummary, Diagnostic, Severity,
+};
 
 use pitchfork::{RegisteredRuleSet, RuleSetKind};
 
@@ -110,6 +112,35 @@ pub fn check_selected_jobs(
     .into_iter()
     .flatten()
     .collect()
+}
+
+/// Build the per-backend coverage census from a finished run: one
+/// [`CoverageSummary`] row per registered lowering TRS, counting that
+/// backend's pack size plus the coverage holes (warning or worse) and
+/// inherent-limitation notes attributed to it in `diags`. Callers must
+/// pass diagnostics from a run that *included* the coverage analysis —
+/// summarizing a filtered run would report every backend as hole-free.
+pub fn summarize_coverage(
+    sets: &[RegisteredRuleSet],
+    diags: &[Diagnostic],
+) -> Vec<CoverageSummary> {
+    sets.iter()
+        .filter(|reg| matches!(reg.kind, RuleSetKind::Lower(_)))
+        .map(|reg| {
+            let name = reg.kind.to_string();
+            let cov =
+                diags.iter().filter(|d| d.analysis == Analysis::Coverage && d.ruleset == name);
+            let (mut holes, mut notes) = (0, 0);
+            for d in cov {
+                if d.severity >= Severity::Warning {
+                    holes += 1;
+                } else {
+                    notes += 1;
+                }
+            }
+            CoverageSummary { ruleset: name, rules: reg.set.len(), holes, notes }
+        })
+        .collect()
 }
 
 /// Count diagnostics at each severity: `(errors, warnings, notes)`.

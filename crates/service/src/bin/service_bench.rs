@@ -13,10 +13,11 @@
 //!   each connection keeps a window of tagged frames in flight
 //!   (protocol v2), so one poll iteration carries many requests.
 //!
-//! The suite is every figure workload on x86 and ARM, plus the subset
-//! of workloads that lower on HVX (probed with a direct compile; the
-//! rest are recorded under `hvx_skipped` instead of being silently
-//! dropped).
+//! The suite is every figure workload on every registered backend,
+//! minus the combinations a backend's inherent lane-width limit rules
+//! out (probed with a direct compile; a target with full-width lanes
+//! must serve everything, and limited targets record their skips under
+//! `capability` instead of silently dropping them).
 //!
 //! Gates, all fatal (exit 1, full runs only — `--smoke` reports but
 //! does not gate):
@@ -101,7 +102,7 @@ fn encode_compile(expr: &str, isa: Isa, tag: Option<&str>) -> Vec<u8> {
         ("op".to_string(), Json::str("compile")),
         ("expr".to_string(), Json::str(expr)),
         ("lanes".to_string(), Json::Int(i128::from(LANES))),
-        ("isa".to_string(), Json::str(isa_tag(isa))),
+        ("isa".to_string(), Json::str(isa.slug())),
     ];
     if let Some(t) = tag {
         members.push(("tag".to_string(), Json::str(t)));
@@ -242,7 +243,7 @@ fn compile_json(expr: &str, isa: Isa, synthesized_rules: bool) -> Json {
         ("op".to_string(), Json::str("compile")),
         ("expr".to_string(), Json::str(expr)),
         ("lanes".to_string(), Json::Int(i128::from(LANES))),
-        ("isa".to_string(), Json::str(isa_tag(isa))),
+        ("isa".to_string(), Json::str(isa.slug())),
     ];
     if !synthesized_rules {
         members.push(("synthesized_rules".to_string(), Json::Bool(false)));
@@ -528,28 +529,29 @@ fn main() -> ExitCode {
         workloads.truncate(3);
     }
 
-    // The suite: every figure workload on x86 and ARM, plus HVX for the
-    // workloads that lower there. Several pipelines widen through
-    // 64-bit lanes internally, which HVX does not have, so each
-    // workload is probed with a direct compile; failures are recorded,
-    // not silently dropped.
+    // The suite: every figure workload on every registered backend,
+    // minus what a backend's inherent limits rule out. Several
+    // pipelines widen through 64-bit lanes internally, which e.g. HVX
+    // does not have, so each workload is probed with a direct compile;
+    // failures on limited targets are recorded, not silently dropped,
+    // and a full-width target failing to compile anything is a bug.
     let mut gate_failed = false;
     let mut combos: Vec<(String, String, Isa)> = Vec::new();
     let mut truth: Vec<(String, String, u64)> = Vec::new();
-    let mut hvx_served: Vec<String> = Vec::new();
-    let mut hvx_skipped: Vec<String> = Vec::new();
+    let mut capability: Vec<Capability> = fpir::machine::ALL_ISAS
+        .into_iter()
+        .map(|isa| Capability { isa, served: Vec::new(), skipped: Vec::new() })
+        .collect();
     for wl in &workloads {
         let expr_src = wl.pipeline.expr.to_string();
         let e = fpir::parser::parse_expr(&expr_src, LANES)
             .unwrap_or_else(|e| panic!("{}: workload expr must parse: {e}", wl.name()));
         let exec_inputs = wl.random_inputs(64, 8, 0x5E2C);
-        for isa in [Isa::X86Avx2, Isa::ArmNeon, Isa::HexagonHvx] {
+        for (slot, isa) in fpir::machine::ALL_ISAS.into_iter().enumerate() {
             let pf = Pitchfork::new(isa);
             match compile_to_executable(&pf, &e) {
                 Ok(art) => {
-                    if isa == Isa::HexagonHvx {
-                        hvx_served.push(wl.name().to_string());
-                    }
+                    capability[slot].served.push(wl.name().to_string());
                     // The execution gate on the artifact the service
                     // serves: the fused executable must be bit-identical
                     // to the reference interpreter on a real image. The
@@ -579,8 +581,10 @@ fn main() -> ExitCode {
                     combos.push((wl.name().to_string(), expr_src.clone(), isa));
                     truth.push((art.lowered.to_string(), art.program.render(), art.cycles));
                 }
-                Err(e) if isa == Isa::HexagonHvx => {
-                    hvx_skipped.push(wl.name().to_string());
+                // Only a backend with an inherent lane-width limit may
+                // shrink its menu; full-width targets serve everything.
+                Err(e) if target(isa).max_lane_bits() < 64 => {
+                    capability[slot].skipped.push(wl.name().to_string());
                     let _ = e;
                 }
                 Err(e) => panic!("{}/{isa}: direct compile must succeed: {e}", wl.name()),
@@ -736,15 +740,22 @@ fn main() -> ExitCode {
         println!(
             "{:<18} {:>4} {:>10}us {:>10}us {:>8.1}x",
             r.workload,
-            isa_tag(r.isa),
+            r.isa.slug(),
             r.cold_ns / 1_000,
             r.warm_ns / 1_000,
             r.cold_ns as f64 / r.warm_ns.max(1) as f64,
         );
     }
     println!("\ngeomean warm speedup (cold / warm): {geo:.1}x");
-    if !hvx_skipped.is_empty() {
-        println!("hvx: served {} workloads, skipped {:?}", hvx_served.len(), hvx_skipped);
+    for cap in &capability {
+        if !cap.skipped.is_empty() {
+            println!(
+                "{}: served {} workloads, skipped {:?}",
+                cap.isa.slug(),
+                cap.served.len(),
+                cap.skipped
+            );
+        }
     }
     for (threads, r) in &rps {
         println!("sustained (socket), {threads} client thread(s): {r:.0} req/s");
@@ -787,8 +798,7 @@ fn main() -> ExitCode {
         pipelined_threads,
         restart: &restart,
         fleet: &fleet,
-        hvx_served: &hvx_served,
-        hvx_skipped: &hvx_skipped,
+        capability: &capability,
         geo,
         smoke,
         warm_reps,
@@ -860,12 +870,11 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn isa_tag(isa: Isa) -> &'static str {
-    match isa {
-        Isa::X86Avx2 => "x86",
-        Isa::ArmNeon => "arm",
-        Isa::HexagonHvx => "hvx",
-    }
+/// One backend's probed serving menu.
+struct Capability {
+    isa: Isa,
+    served: Vec<String>,
+    skipped: Vec<String>,
 }
 
 /// Geometric mean (the bench crate's helper, duplicated locally so the
@@ -885,8 +894,7 @@ struct RenderInputs<'a> {
     pipelined_threads: usize,
     restart: &'a RestartWarm,
     fleet: &'a FleetReport,
-    hvx_served: &'a [String],
-    hvx_skipped: &'a [String],
+    capability: &'a [Capability],
     geo: f64,
     smoke: bool,
     warm_reps: usize,
@@ -901,7 +909,7 @@ fn render_json(r: &RenderInputs<'_>) -> String {
     let names =
         |xs: &[String]| xs.iter().map(|n| format!("\"{n}\"")).collect::<Vec<_>>().join(", ");
     let mut s = String::from("{\n");
-    let _ = writeln!(s, "  \"schema\": \"pitchfork-service-bench/v3\",");
+    let _ = writeln!(s, "  \"schema\": \"pitchfork-service-bench/v4\",");
     let _ = writeln!(s, "  \"smoke\": {},", r.smoke);
     let _ = writeln!(s, "  \"transport\": \"unix-socket-eventloop\",");
     let _ = writeln!(s, "  \"warm_reps\": {},", r.warm_reps);
@@ -949,8 +957,14 @@ fn render_json(r: &RenderInputs<'_>) -> String {
     let _ = writeln!(s, "    \"peer_errors\": {},", r.fleet.peer_errors);
     let _ = writeln!(s, "    \"fallback_keys\": {}", r.fleet.fallback_keys);
     let _ = writeln!(s, "  }},");
-    let _ = writeln!(s, "  \"hvx_served\": [{}],", names(r.hvx_served));
-    let _ = writeln!(s, "  \"hvx_skipped\": [{}],", names(r.hvx_skipped));
+    let _ = writeln!(s, "  \"capability\": {{");
+    for (i, cap) in r.capability.iter().enumerate() {
+        let _ = writeln!(s, "    \"{}\": {{", cap.isa.slug());
+        let _ = writeln!(s, "      \"served\": [{}],", names(&cap.served));
+        let _ = writeln!(s, "      \"skipped\": [{}]", names(&cap.skipped));
+        let _ = writeln!(s, "    }}{}", if i + 1 < r.capability.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"stats\": {{");
     let _ = writeln!(s, "    \"requests\": {},", Stats::read(&stats.requests));
     let _ = writeln!(s, "    \"cache_hits\": {},", Stats::read(&stats.cache_hits));
@@ -967,7 +981,7 @@ fn render_json(r: &RenderInputs<'_>) -> String {
     for (i, row) in r.rows.iter().enumerate() {
         let _ = writeln!(s, "    {{");
         let _ = writeln!(s, "      \"workload\": \"{}\",", row.workload);
-        let _ = writeln!(s, "      \"isa\": \"{}\",", isa_tag(row.isa));
+        let _ = writeln!(s, "      \"isa\": \"{}\",", row.isa.slug());
         let _ = writeln!(s, "      \"cold_ns\": {},", row.cold_ns);
         let _ = writeln!(s, "      \"warm_ns\": {},", row.warm_ns);
         let _ =

@@ -502,13 +502,19 @@ fn bad(msg: impl Into<String>) -> ServiceError {
     ServiceError::BadRequest(msg.into())
 }
 
-/// Parse `"x86" | "arm" | "hvx"` (the `Isa::short_name` vocabulary,
-/// case-insensitive).
+/// Parse `"x86" | "arm" | "hvx" | "rvv"` (the `Isa::short_name`
+/// vocabulary, case-insensitive; new registry backends are accepted
+/// automatically).
 pub fn parse_isa(s: &str) -> Result<Isa, ServiceError> {
-    fpir::machine::ALL_ISAS
-        .into_iter()
-        .find(|i| i.short_name().eq_ignore_ascii_case(s))
-        .ok_or_else(|| bad(format!("unknown isa `{s}` (expected x86, arm, or hvx)")))
+    fpir::machine::ALL_ISAS.into_iter().find(|i| i.short_name().eq_ignore_ascii_case(s)).ok_or_else(
+        || {
+            let known: Vec<String> = fpir::machine::ALL_ISAS
+                .into_iter()
+                .map(|i| i.short_name().to_lowercase())
+                .collect();
+            bad(format!("unknown isa `{s}` (expected one of: {})", known.join(", ")))
+        },
+    )
 }
 
 /// Parse `"u8" | "i16" | ...` (the `ScalarType` display vocabulary).
